@@ -1,0 +1,152 @@
+//! Text codec for audit trails.
+//!
+//! One entry per line, whitespace-separated, in the column order of Fig. 4:
+//!
+//! ```text
+//! user role action object task case time status
+//! John GP read [Jane]EPR/Clinical T01 HT-1 201003121210 success
+//! John GP cancel N/A T02 HT-1 201003121216 failure
+//! ```
+//!
+//! The object column is `N/A` when the entry carries no object. Comments
+//! (`#`) and blank lines are ignored on input.
+
+use crate::entry::{LogEntry, TaskStatus};
+use crate::trail::AuditTrail;
+use cows::symbol::Symbol;
+use std::fmt;
+
+/// Parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrailParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TrailParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TrailParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> TrailParseError {
+    TrailParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a trail document. Entries are sorted chronologically on load.
+pub fn parse_trail(text: &str) -> Result<AuditTrail, TrailParseError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        entries.push(parse_entry(line, lineno)?);
+    }
+    Ok(AuditTrail::from_entries(entries))
+}
+
+fn parse_entry(line: &str, lineno: usize) -> Result<LogEntry, TrailParseError> {
+    let tok: Vec<&str> = line.split_whitespace().collect();
+    if tok.len() != 8 {
+        return Err(err(
+            lineno,
+            format!("expected 8 columns (user role action object task case time status), got {}", tok.len()),
+        ));
+    }
+    let action = tok[2]
+        .parse()
+        .map_err(|e| err(lineno, format!("{e}")))?;
+    let object = if tok[3] == "N/A" {
+        None
+    } else {
+        Some(tok[3].parse().map_err(|e| err(lineno, format!("{e}")))?)
+    };
+    let time = tok[6].parse().map_err(|e| err(lineno, format!("{e}")))?;
+    let status = match tok[7] {
+        "success" => TaskStatus::Success,
+        "failure" => TaskStatus::Failure,
+        other => return Err(err(lineno, format!("unknown status `{other}`"))),
+    };
+    Ok(LogEntry {
+        user: Symbol::new(tok[0]),
+        role: Symbol::new(tok[1]),
+        action,
+        object,
+        task: Symbol::new(tok[4]),
+        case: Symbol::new(tok[5]),
+        time,
+        status,
+    })
+}
+
+/// Render a trail back to its text form (inverse of [`parse_trail`]).
+pub fn format_trail(trail: &AuditTrail) -> String {
+    let mut out = String::with_capacity(trail.len() * 64);
+    for e in trail {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    const SAMPLE: &str = "\
+# opening rows of Fig. 4
+John GP read [Jane]EPR/Clinical T01 HT-1 201003121210 success
+John GP write [Jane]EPR/Clinical T02 HT-1 201003121212 success
+John GP cancel N/A T02 HT-1 201003121216 failure
+";
+
+    #[test]
+    fn parses_fig4_rows() {
+        let t = parse_trail(SAMPLE).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.entries()[2].object, None);
+        assert_eq!(t.entries()[2].status, TaskStatus::Failure);
+        assert_eq!(t.entries()[0].case, sym("HT-1"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = parse_trail(SAMPLE).unwrap();
+        let text = format_trail(&t);
+        let t2 = parse_trail(&text).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn column_count_errors_carry_line_numbers() {
+        let e = parse_trail("John GP read\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("8 columns"));
+    }
+
+    #[test]
+    fn bad_action_and_time_reported() {
+        assert!(parse_trail("u r poke o T c 201003121210 success\n").is_err());
+        assert!(parse_trail("u r read o T c 20100312 success\n").is_err());
+        assert!(parse_trail("u r read o T c 201003121210 maybe\n").is_err());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let text = "\
+u r read o2 B c 201003121220 success
+u r read o1 A c 201003121210 success
+";
+        let t = parse_trail(text).unwrap();
+        assert_eq!(t.entries()[0].task, sym("A"));
+        assert!(t.is_chronological());
+    }
+}

@@ -1,0 +1,135 @@
+//! Log entries (Def. 4).
+//!
+//! A log entry is `(u, r, a, o, q, c, t, s)`: the user, the role held at
+//! the time of the action, the action, the object (absent for pure task
+//! events such as Fig. 4's `cancel … N/A`), the task and case identifying
+//! the purpose, the time, and the task status indicator.
+
+use crate::time::Timestamp;
+use cows::symbol::Symbol;
+use policy::object::ObjectId;
+use policy::statement::Action;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Task status indicator: "the failure of a task makes the task completed"
+/// (§3.4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum TaskStatus {
+    Success,
+    Failure,
+}
+
+impl fmt::Display for TaskStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TaskStatus::Success => "success",
+            TaskStatus::Failure => "failure",
+        })
+    }
+}
+
+/// Def. 4 — a log entry.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LogEntry {
+    pub user: Symbol,
+    pub role: Symbol,
+    pub action: Action,
+    /// `None` renders as the paper's `N/A` (e.g. a task cancellation).
+    pub object: Option<ObjectId>,
+    pub task: Symbol,
+    pub case: Symbol,
+    pub time: Timestamp,
+    pub status: TaskStatus,
+}
+
+impl LogEntry {
+    /// Convenience constructor for successful actions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn success(
+        user: impl Into<Symbol>,
+        role: impl Into<Symbol>,
+        action: Action,
+        object: Option<ObjectId>,
+        task: impl Into<Symbol>,
+        case: impl Into<Symbol>,
+        time: Timestamp,
+    ) -> LogEntry {
+        LogEntry {
+            user: user.into(),
+            role: role.into(),
+            action,
+            object,
+            task: task.into(),
+            case: case.into(),
+            time,
+            status: TaskStatus::Success,
+        }
+    }
+
+    pub fn is_failure(&self) -> bool {
+        self.status == TaskStatus::Failure
+    }
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {} {} {} {}",
+            self.user,
+            self.role,
+            self.action,
+            self.object
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "N/A".to_string()),
+            self.task,
+            self.case,
+            self.time,
+            self.status
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    #[test]
+    fn display_matches_fig4_row() {
+        let e = LogEntry::success(
+            "John",
+            "GP",
+            Action::Read,
+            Some(ObjectId::of_subject("Jane", "EPR/Clinical")),
+            "T01",
+            "HT-1",
+            "201003121210".parse().unwrap(),
+        );
+        assert_eq!(
+            e.to_string(),
+            "John GP read [Jane]EPR/Clinical T01 HT-1 201003121210 success"
+        );
+    }
+
+    #[test]
+    fn missing_object_renders_na() {
+        let e = LogEntry {
+            user: sym("John"),
+            role: sym("GP"),
+            action: Action::Cancel,
+            object: None,
+            task: sym("T02"),
+            case: sym("HT-1"),
+            time: "201003121216".parse().unwrap(),
+            status: TaskStatus::Failure,
+        };
+        assert_eq!(
+            e.to_string(),
+            "John GP cancel N/A T02 HT-1 201003121216 failure"
+        );
+        assert!(e.is_failure());
+    }
+}

@@ -1,0 +1,29 @@
+//! # Audit trails
+//!
+//! The audit substrate of the paper (§3.4): log entries (Def. 4),
+//! chronological trails (Def. 5), case projection, a line-oriented text
+//! codec, a hash-chained integrity layer simulating secure logging
+//! \[18,19\], and the Fig. 4 sample trail.
+//!
+//! ```
+//! use audit::samples::figure4_trail;
+//! use cows::sym;
+//!
+//! let trail = figure4_trail();
+//! assert_eq!(trail.project_case(sym("HT-1")).len(), 16);
+//! ```
+
+pub mod chain;
+pub mod codec;
+pub mod entry;
+pub mod samples;
+pub mod stats;
+pub mod time;
+pub mod trail;
+
+pub use chain::{ChainedTrail, IntegrityViolation};
+pub use codec::{format_trail, parse_trail, TrailParseError};
+pub use entry::{LogEntry, TaskStatus};
+pub use stats::{trail_stats, TrailStats};
+pub use time::Timestamp;
+pub use trail::AuditTrail;

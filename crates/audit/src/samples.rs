@@ -1,0 +1,151 @@
+//! The Fig. 4 audit trail.
+//!
+//! [`figure4_trail`] reproduces the rows printed in the paper verbatim.
+//! Fig. 4 elides runs of similar entries with `···`; [`figure4_expanded`]
+//! fills those runs in (Bob's T06 reads across cases HT-10…HT-20 and
+//! HT-21…HT-30, and the weekly T94 measurements), which is what the
+//! §4 analysis talks about ("Bob specified healthcare treatment as the
+//! purpose in order to retrieve a larger number of EPRs").
+
+use crate::codec::parse_trail;
+use crate::trail::AuditTrail;
+use crate::time::Timestamp;
+use crate::entry::LogEntry;
+use policy::object::ObjectId;
+use policy::statement::Action;
+
+/// The printed rows of Fig. 4, verbatim.
+pub fn figure4_trail() -> AuditTrail {
+    parse_trail(FIGURE4_TEXT).expect("builtin trail parses")
+}
+
+/// The Fig. 4 column text (kept in the codec format so it can double as a
+/// documentation artifact and parser fixture).
+pub const FIGURE4_TEXT: &str = "\
+John GP read [Jane]EPR/Clinical T01 HT-1 201003121210 success
+John GP write [Jane]EPR/Clinical T02 HT-1 201003121212 success
+John GP cancel N/A T02 HT-1 201003121216 failure
+John GP read [Jane]EPR/Clinical T01 HT-1 201003121218 success
+John GP write [Jane]EPR/Clinical T05 HT-1 201003121220 success
+John GP read [David]EPR/Demographics T01 HT-2 201003121230 success
+Bob Cardiologist read [Jane]EPR/Clinical T06 HT-1 201003141010 success
+Bob Cardiologist write [Jane]EPR/Clinical T09 HT-1 201003141025 success
+Charlie Radiologist read [Jane]EPR/Clinical T10 HT-1 201003201640 success
+Charlie Radiologist execute ScanSoftware T11 HT-1 201003201645 success
+Charlie Radiologist write [Jane]EPR/Clinical/Scan T12 HT-1 201003201730 success
+Bob Cardiologist read [Jane]EPR/Clinical T06 HT-1 201003301010 success
+Bob Cardiologist write [Jane]EPR/Clinical T07 HT-1 201003301020 success
+John GP read [Jane]EPR/Clinical T01 HT-1 201004151210 success
+John GP write [Jane]EPR/Clinical T02 HT-1 201004151210 success
+John GP write [Jane]EPR/Clinical T03 HT-1 201004151215 success
+John GP write [Jane]EPR/Clinical T04 HT-1 201004151220 success
+Bob Cardiologist write ClinicalTrial/Criteria T91 CT-1 201004151450 success
+Bob Cardiologist read [Alice]EPR/Clinical T06 HT-10 201004151500 success
+Bob Cardiologist read [Jane]EPR/Clinical T06 HT-11 201004151501 success
+Bob Cardiologist read [David]EPR/Clinical T06 HT-20 201004151515 success
+Bob Cardiologist write ClinicalTrial/ListOfSelCand T92 CT-1 201004151520 success
+Bob Cardiologist read [Alice]EPR/Demographics T06 HT-21 201004151530 success
+Bob Cardiologist read [David]EPR/Demographics T06 HT-30 201004151550 success
+Bob Cardiologist write ClinicalTrial/ListOfEnrCand T93 CT-1 201004201200 success
+Bob Cardiologist write ClinicalTrial/Measurements T94 CT-1 201004221600 success
+Bob Cardiologist write ClinicalTrial/Measurements T94 CT-1 201004291600 success
+Bob Cardiologist write ClinicalTrial/Results T95 CT-1 201004301200 success
+";
+
+/// Synthetic patient names filling the `···` runs of Fig. 4.
+pub const ELIDED_PATIENTS: [&str; 8] = [
+    "Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy", "Ken", "Laura",
+];
+
+/// Fig. 4 with the elided `···` runs filled in: one `T06` clinical read per
+/// case HT-12…HT-19 and one demographics read per case HT-22…HT-29, all by
+/// Bob, interleaved at one-minute intervals inside the gaps the figure
+/// leaves.
+pub fn figure4_expanded() -> AuditTrail {
+    let mut trail = figure4_trail();
+    // Clinical reads between HT-11 (…1501) and HT-20 (…1515).
+    let base: Timestamp = "201004151502".parse().expect("valid literal");
+    for (i, patient) in ELIDED_PATIENTS.iter().enumerate() {
+        trail.push(LogEntry::success(
+            "Bob",
+            "Cardiologist",
+            Action::Read,
+            Some(ObjectId::of_subject(*patient, "EPR/Clinical")),
+            "T06",
+            format!("HT-{}", 12 + i).as_str(),
+            base.plus_minutes(i as u64),
+        ));
+    }
+    // Demographics reads between HT-21 (…1530) and HT-30 (…1550).
+    let base: Timestamp = "201004151532".parse().expect("valid literal");
+    for (i, patient) in ELIDED_PATIENTS.iter().enumerate() {
+        trail.push(LogEntry::success(
+            "Bob",
+            "Cardiologist",
+            Action::Read,
+            Some(ObjectId::of_subject(*patient, "EPR/Demographics")),
+            "T06",
+            format!("HT-{}", 22 + i).as_str(),
+            base.plus_minutes(i as u64),
+        ));
+    }
+    // Mid-week T94 measurements between the two printed ones.
+    for (i, day) in [23u64, 25, 27].iter().enumerate() {
+        trail.push(LogEntry::success(
+            "Bob",
+            "Cardiologist",
+            Action::Write,
+            Some(ObjectId::plain("ClinicalTrial/Measurements")),
+            "T94",
+            "CT-1",
+            Timestamp::from_ymd_hm(2010, 4, *day, 16, i as u64).expect("valid literal"),
+        ));
+    }
+    trail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    #[test]
+    fn fig4_has_28_printed_rows() {
+        let t = figure4_trail();
+        assert_eq!(t.len(), 28);
+        assert!(t.is_chronological());
+    }
+
+    #[test]
+    fn fig4_case_projections() {
+        let t = figure4_trail();
+        let ht1 = t.project_case(sym("HT-1"));
+        assert_eq!(ht1.len(), 16);
+        let ct1 = t.project_case(sym("CT-1"));
+        assert_eq!(ct1.len(), 6);
+        let ht11 = t.project_case(sym("HT-11"));
+        assert_eq!(ht11.len(), 1);
+    }
+
+    #[test]
+    fn fig4_jane_cases() {
+        // §4: "Besides for HT-1, Jane's EPR has been accessed for case
+        // HT-11."
+        let t = figure4_trail();
+        let jane = policy::object::ObjectId::of_subject("Jane", "EPR");
+        let cases = t.cases_touching(&jane);
+        assert_eq!(
+            cases,
+            std::collections::BTreeSet::from([sym("HT-1"), sym("HT-11")])
+        );
+    }
+
+    #[test]
+    fn expanded_trail_is_consistent() {
+        let t = figure4_expanded();
+        assert_eq!(t.len(), 28 + 8 + 8 + 3);
+        assert!(t.is_chronological());
+        // The expansion keeps one entry per synthetic case.
+        assert_eq!(t.project_case(sym("HT-15")).len(), 1);
+    }
+}

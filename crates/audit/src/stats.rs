@@ -1,0 +1,179 @@
+//! Descriptive statistics over audit trails.
+//!
+//! Before replaying anything, an auditor needs to size the job: how many
+//! cases, which users and roles are active, how the day distributes over
+//! objects — §1's "more than 20,000 records are opened every day" as a
+//! first-class query. All statistics are single-pass.
+
+use crate::entry::TaskStatus;
+use crate::time::Timestamp;
+use crate::trail::AuditTrail;
+use cows::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Aggregate statistics of one trail.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrailStats {
+    pub entries: usize,
+    pub cases: usize,
+    pub users: usize,
+    pub failures: usize,
+    /// Entries without an object (pure task events).
+    pub objectless: usize,
+    pub first: Option<Timestamp>,
+    pub last: Option<Timestamp>,
+    /// Entries per role, sorted descending.
+    pub by_role: Vec<(Symbol, usize)>,
+    /// Entries per task, sorted descending.
+    pub by_task: Vec<(Symbol, usize)>,
+    /// Entries per data subject, sorted descending (objectless and
+    /// subject-less objects excluded).
+    pub by_subject: Vec<(Symbol, usize)>,
+    /// Case sizes: (min, median, max) entries per case.
+    pub case_size_min: usize,
+    pub case_size_median: usize,
+    pub case_size_max: usize,
+}
+
+impl TrailStats {
+    /// Span of the trail in minutes (0 for empty or single-instant trails).
+    pub fn span_minutes(&self) -> u64 {
+        match (self.first, self.last) {
+            (Some(a), Some(b)) => b.0.saturating_sub(a.0),
+            _ => 0,
+        }
+    }
+}
+
+fn sorted_counts(map: HashMap<Symbol, usize>) -> Vec<(Symbol, usize)> {
+    let mut v: Vec<(Symbol, usize)> = map.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Compute statistics for `trail`.
+pub fn trail_stats(trail: &AuditTrail) -> TrailStats {
+    let mut by_role: HashMap<Symbol, usize> = HashMap::new();
+    let mut by_task: HashMap<Symbol, usize> = HashMap::new();
+    let mut by_subject: HashMap<Symbol, usize> = HashMap::new();
+    let mut by_case: HashMap<Symbol, usize> = HashMap::new();
+    let mut users: HashMap<Symbol, ()> = HashMap::new();
+    let mut failures = 0usize;
+    let mut objectless = 0usize;
+
+    for e in trail {
+        *by_role.entry(e.role).or_default() += 1;
+        *by_task.entry(e.task).or_default() += 1;
+        *by_case.entry(e.case).or_default() += 1;
+        users.insert(e.user, ());
+        if e.status == TaskStatus::Failure {
+            failures += 1;
+        }
+        match &e.object {
+            None => objectless += 1,
+            Some(o) => {
+                if let Some(subj) = o.subject {
+                    *by_subject.entry(subj).or_default() += 1;
+                }
+            }
+        }
+    }
+
+    let mut case_sizes: Vec<usize> = by_case.values().copied().collect();
+    case_sizes.sort_unstable();
+    let (case_size_min, case_size_median, case_size_max) = match case_sizes.as_slice() {
+        [] => (0, 0, 0),
+        sizes => (
+            sizes[0],
+            sizes[sizes.len() / 2],
+            sizes[sizes.len() - 1],
+        ),
+    };
+
+    TrailStats {
+        entries: trail.len(),
+        cases: by_case.len(),
+        users: users.len(),
+        failures,
+        objectless,
+        first: trail.entries().first().map(|e| e.time),
+        last: trail.entries().last().map(|e| e.time),
+        by_role: sorted_counts(by_role),
+        by_task: sorted_counts(by_task),
+        by_subject: sorted_counts(by_subject),
+        case_size_min,
+        case_size_median,
+        case_size_max,
+    }
+}
+
+impl fmt::Display for TrailStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} entries, {} cases (size {}/{}/{} min/med/max), {} users, {} failures, {} objectless",
+            self.entries,
+            self.cases,
+            self.case_size_min,
+            self.case_size_median,
+            self.case_size_max,
+            self.users,
+            self.failures,
+            self.objectless
+        )?;
+        if let (Some(a), Some(b)) = (self.first, self.last) {
+            writeln!(f, "span: {a} .. {b} ({} minutes)", self.span_minutes())?;
+        }
+        let top = |f: &mut fmt::Formatter<'_>, label: &str, v: &[(Symbol, usize)]| {
+            write!(f, "{label}:")?;
+            for (sym, n) in v.iter().take(8) {
+                write!(f, " {sym}={n}")?;
+            }
+            writeln!(f)
+        };
+        top(f, "by role", &self.by_role)?;
+        top(f, "by task", &self.by_task)?;
+        top(f, "by subject", &self.by_subject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::figure4_trail;
+    use cows::sym;
+
+    #[test]
+    fn fig4_statistics() {
+        let s = trail_stats(&figure4_trail());
+        assert_eq!(s.entries, 28);
+        assert_eq!(s.cases, 8);
+        assert_eq!(s.users, 3); // John, Bob, Charlie
+        assert_eq!(s.failures, 1); // the T02 cancel
+        assert_eq!(s.objectless, 1); // same entry
+        // Bob dominates the trail (the sweep).
+        assert_eq!(s.by_role[0].0, sym("Cardiologist"));
+        // Jane is the most-touched subject.
+        assert_eq!(s.by_subject[0].0, sym("Jane"));
+        assert_eq!(s.case_size_max, 16); // HT-1
+        assert_eq!(s.case_size_min, 1); // the sweep singletons
+        assert!(s.span_minutes() > 0);
+    }
+
+    #[test]
+    fn empty_trail_statistics() {
+        let s = trail_stats(&AuditTrail::new());
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.span_minutes(), 0);
+        assert_eq!(s.case_size_median, 0);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let text = trail_stats(&figure4_trail()).to_string();
+        assert!(text.contains("28 entries"));
+        assert!(text.contains("by role:"));
+        assert!(text.contains("Jane="));
+    }
+}

@@ -1,0 +1,195 @@
+//! Timestamps in the paper's `yyyymmddHHMM` layout.
+//!
+//! Fig. 4: "Time is in the form year-month-day-hour-minute", e.g.
+//! `201003121210`. [`Timestamp`] stores the instant as minutes since
+//! 2000-01-01 00:00 so ordering and arithmetic are cheap, and converts to
+//! and from the paper's digit layout (with proper calendar arithmetic,
+//! including leap years).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Minutes since 2000-01-01 00:00.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+/// Invalid calendar field or malformed digit string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeParseError {
+    pub input: String,
+    pub reason: &'static str,
+}
+
+impl fmt::Display for TimeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid timestamp `{}`: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for TimeParseError {}
+
+fn is_leap(year: u64) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+fn days_in_month(year: u64, month: u64) -> u64 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl Timestamp {
+    /// Build from calendar fields. Years before 2000 are rejected (the
+    /// paper's trails start in 2010).
+    pub fn from_ymd_hm(
+        year: u64,
+        month: u64,
+        day: u64,
+        hour: u64,
+        minute: u64,
+    ) -> Result<Timestamp, TimeParseError> {
+        let bad = |reason| TimeParseError {
+            input: format!("{year:04}{month:02}{day:02}{hour:02}{minute:02}"),
+            reason,
+        };
+        if year < 2000 {
+            return Err(bad("year before 2000"));
+        }
+        if !(1..=12).contains(&month) {
+            return Err(bad("month out of range"));
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return Err(bad("day out of range"));
+        }
+        if hour > 23 {
+            return Err(bad("hour out of range"));
+        }
+        if minute > 59 {
+            return Err(bad("minute out of range"));
+        }
+        let mut days: u64 = 0;
+        for y in 2000..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+        for m in 1..month {
+            days += days_in_month(year, m);
+        }
+        days += day - 1;
+        Ok(Timestamp(days * 1440 + hour * 60 + minute))
+    }
+
+    /// Decompose back into `(year, month, day, hour, minute)`.
+    pub fn to_ymd_hm(self) -> (u64, u64, u64, u64, u64) {
+        let minutes = self.0;
+        let mut days = minutes / 1440;
+        let hm = minutes % 1440;
+        let mut year = 2000;
+        loop {
+            let len = if is_leap(year) { 366 } else { 365 };
+            if days < len {
+                break;
+            }
+            days -= len;
+            year += 1;
+        }
+        let mut month = 1;
+        loop {
+            let len = days_in_month(year, month);
+            if days < len {
+                break;
+            }
+            days -= len;
+            month += 1;
+        }
+        (year, month, days + 1, hm / 60, hm % 60)
+    }
+
+    pub fn plus_minutes(self, m: u64) -> Timestamp {
+        Timestamp(self.0 + m)
+    }
+
+    pub fn plus_days(self, d: u64) -> Timestamp {
+        Timestamp(self.0 + d * 1440)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi) = self.to_ymd_hm();
+        write!(f, "{y:04}{mo:02}{d:02}{h:02}{mi:02}")
+    }
+}
+
+impl FromStr for Timestamp {
+    type Err = TimeParseError;
+
+    fn from_str(s: &str) -> Result<Timestamp, TimeParseError> {
+        if s.len() != 12 || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(TimeParseError {
+                input: s.into(),
+                reason: "expected 12 digits (yyyymmddHHMM)",
+            });
+        }
+        let num = |r: std::ops::Range<usize>| s[r].parse::<u64>().expect("digits checked");
+        Timestamp::from_ymd_hm(num(0..4), num(4..6), num(6..8), num(8..10), num(10..12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timestamp_round_trips() {
+        for s in ["201003121210", "201004301200", "200001010000", "202812312359"] {
+            let t: Timestamp = s.parse().unwrap();
+            assert_eq!(t.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_chronology() {
+        let a: Timestamp = "201003121210".parse().unwrap();
+        let b: Timestamp = "201003121216".parse().unwrap();
+        let c: Timestamp = "201004151210".parse().unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn leap_year_february() {
+        assert!(Timestamp::from_ymd_hm(2012, 2, 29, 0, 0).is_ok());
+        assert!(Timestamp::from_ymd_hm(2011, 2, 29, 0, 0).is_err());
+        assert!(Timestamp::from_ymd_hm(2100, 2, 29, 0, 0).is_err()); // century rule
+        assert!(Timestamp::from_ymd_hm(2000, 2, 29, 0, 0).is_ok()); // 400 rule
+    }
+
+    #[test]
+    fn arithmetic_crosses_boundaries() {
+        let t: Timestamp = "201012312355".parse().unwrap();
+        assert_eq!(t.plus_minutes(10).to_string(), "201101010005");
+        let d: Timestamp = "201002280000".parse().unwrap();
+        assert_eq!(d.plus_days(1).to_string(), "201003010000");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!("2010031212".parse::<Timestamp>().is_err()); // too short
+        assert!("20100312121x".parse::<Timestamp>().is_err()); // non-digit
+        assert!("201013121210".parse::<Timestamp>().is_err()); // month 13
+        assert!("201003321210".parse::<Timestamp>().is_err()); // day 32
+        assert!("201003122410".parse::<Timestamp>().is_err()); // hour 24
+        assert!("201003121260".parse::<Timestamp>().is_err()); // minute 60
+    }
+}

@@ -1,0 +1,201 @@
+//! Audit trails (Def. 5).
+//!
+//! An audit trail is the chronological sequence of log entries. Entries
+//! with equal timestamps (Fig. 4 contains two) keep their insertion order —
+//! the trail is stable-sorted on time only.
+
+use crate::entry::LogEntry;
+use cows::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Def. 5 — a chronologically-ordered sequence of log entries.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditTrail {
+    entries: Vec<LogEntry>,
+}
+
+impl AuditTrail {
+    pub fn new() -> AuditTrail {
+        AuditTrail::default()
+    }
+
+    /// Build from entries, stable-sorting by time.
+    pub fn from_entries(mut entries: Vec<LogEntry>) -> AuditTrail {
+        entries.sort_by_key(|e| e.time);
+        AuditTrail { entries }
+    }
+
+    /// Append an entry, keeping chronological order. Appending in time
+    /// order is O(1); out-of-order entries are inserted at the right
+    /// position (stable: after any equal timestamp).
+    pub fn push(&mut self, entry: LogEntry) {
+        match self.entries.last() {
+            Some(last) if last.time > entry.time => {
+                let pos = self.entries.partition_point(|e| e.time <= entry.time);
+                self.entries.insert(pos, entry);
+            }
+            _ => self.entries.push(entry),
+        }
+    }
+
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, LogEntry> {
+        self.entries.iter()
+    }
+
+    /// The portion of the trail belonging to one case, in order — the unit
+    /// Algorithm 1 analyzes.
+    pub fn project_case(&self, case: Symbol) -> Vec<&LogEntry> {
+        self.entries.iter().filter(|e| e.case == case).collect()
+    }
+
+    /// All cases mentioned by the trail, sorted.
+    pub fn cases(&self) -> BTreeSet<Symbol> {
+        self.entries.iter().map(|e| e.case).collect()
+    }
+
+    /// The cases in which `object` (or a sub-object of it) was accessed —
+    /// §4: "for each case in which the object under investigation was
+    /// accessed".
+    pub fn cases_touching(&self, object: &policy::object::ObjectId) -> BTreeSet<Symbol> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                e.object
+                    .as_ref()
+                    .map(|o| object.dominates(o) || o.dominates(object))
+                    .unwrap_or(false)
+            })
+            .map(|e| e.case)
+            .collect()
+    }
+
+    /// Merge another trail into this one (e.g. logs collected from several
+    /// applications into "a single database", §3.4).
+    pub fn merge(&mut self, other: AuditTrail) {
+        for e in other.entries {
+            self.push(e);
+        }
+    }
+
+    /// Whether entries are in chronological order (always true by
+    /// construction; used by property tests and the codec).
+    pub fn is_chronological(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+}
+
+impl IntoIterator for AuditTrail {
+    type Item = LogEntry;
+    type IntoIter = std::vec::IntoIter<LogEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AuditTrail {
+    type Item = &'a LogEntry;
+    type IntoIter = std::slice::Iter<'a, LogEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+    use cows::sym;
+    use policy::object::ObjectId;
+    use policy::statement::Action;
+
+    fn entry(task: &str, case: &str, minute: u64) -> LogEntry {
+        LogEntry::success(
+            "John",
+            "GP",
+            Action::Read,
+            Some(ObjectId::of_subject("Jane", "EPR/Clinical")),
+            task,
+            case,
+            Timestamp(minute),
+        )
+    }
+
+    #[test]
+    fn from_entries_sorts() {
+        let t = AuditTrail::from_entries(vec![entry("B", "c", 5), entry("A", "c", 1)]);
+        assert_eq!(t.entries()[0].task, sym("A"));
+        assert!(t.is_chronological());
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut t = AuditTrail::new();
+        t.push(entry("A", "c", 10));
+        t.push(entry("C", "c", 30));
+        t.push(entry("B", "c", 20));
+        let tasks: Vec<_> = t.iter().map(|e| e.task.to_string()).collect();
+        assert_eq!(tasks, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_insertion_order() {
+        let mut t = AuditTrail::new();
+        t.push(entry("first", "c", 10));
+        t.push(entry("second", "c", 10));
+        let tasks: Vec<_> = t.iter().map(|e| e.task.to_string()).collect();
+        assert_eq!(tasks, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn case_projection() {
+        let t = AuditTrail::from_entries(vec![
+            entry("A", "HT-1", 1),
+            entry("B", "HT-2", 2),
+            entry("C", "HT-1", 3),
+        ]);
+        let ht1 = t.project_case(sym("HT-1"));
+        assert_eq!(ht1.len(), 2);
+        assert_eq!(t.cases().len(), 2);
+    }
+
+    #[test]
+    fn cases_touching_object() {
+        let t = AuditTrail::from_entries(vec![
+            entry("A", "HT-1", 1),
+            LogEntry::success(
+                "Bob",
+                "Cardiologist",
+                Action::Write,
+                Some(ObjectId::plain("ClinicalTrial/Criteria")),
+                "T91",
+                "CT-1",
+                Timestamp(2),
+            ),
+        ]);
+        // Jane's whole EPR dominates the clinical section accessed in HT-1.
+        let jane = ObjectId::of_subject("Jane", "EPR");
+        assert_eq!(t.cases_touching(&jane), BTreeSet::from([sym("HT-1")]));
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let mut a = AuditTrail::from_entries(vec![entry("A", "c", 1), entry("C", "c", 30)]);
+        let b = AuditTrail::from_entries(vec![entry("B", "c", 10)]);
+        a.merge(b);
+        let tasks: Vec<_> = a.iter().map(|e| e.task.to_string()).collect();
+        assert_eq!(tasks, vec!["A", "B", "C"]);
+    }
+}

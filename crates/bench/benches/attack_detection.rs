@@ -1,0 +1,53 @@
+//! P7 — time-to-verdict per misuse pattern (§2/§4).
+//!
+//! Replays a compliant healthcare case and one variant per injector.
+//! Infringing replays are often *faster* than compliant ones — the
+//! algorithm stops at the first inexplicable entry — so detection adds no
+//! latency over normal auditing; the mimicry discussion of §4 rests on
+//! this being cheap enough to run on everything.
+
+use audit::entry::LogEntry;
+use bench::replay;
+use bpmn::encode::encode;
+use bpmn::models::healthcare_treatment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use workload::attacks;
+use workload::simulate::{simulate_case, SimConfig};
+
+fn bench_attacks(c: &mut Criterion) {
+    let model = healthcare_treatment();
+    let encoded = encode(&model);
+    let mut rng = StdRng::seed_from_u64(99);
+    let base = simulate_case(&encoded, "HT-1", &SimConfig::new("Jane"), &mut rng);
+
+    let variants: Vec<(&str, Vec<LogEntry>)> = {
+        let mut v = Vec::new();
+        v.push(("compliant", base.clone()));
+        let mut t = base.clone();
+        attacks::repurpose(&mut t, cows::sym("T92"));
+        v.push(("repurposed", t));
+        let mut t = base.clone();
+        let first = t[0].task;
+        attacks::reuse_case(&mut t, first, &mut StdRng::seed_from_u64(1));
+        v.push(("case_reuse", t));
+        let mut t = base.clone();
+        attacks::wrong_role(&mut t, &mut StdRng::seed_from_u64(2));
+        v.push(("wrong_role", t));
+        let mut t = base.clone();
+        attacks::skip_task(&mut t, &mut StdRng::seed_from_u64(3));
+        v.push(("skip_task", t));
+        v
+    };
+
+    let mut g = c.benchmark_group("attack_detection");
+    for (name, entries) in &variants {
+        g.bench_function(*name, |b| b.iter(|| black_box(replay(&encoded, entries))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation of the memoized step function (`DESIGN.md` §3.5).
+//!
+//! Measures `cows::semantics::transitions_shared` (the global sharded memo
+//! used by everything) against `transitions_uncached` (recompute every
+//! time) over the state set an actual HT-1 replay visits. The memo is the
+//! design choice that made the 20,000-entry hospital day feasible; this
+//! bench keeps that claim honest.
+
+use bpmn::encode::encode;
+use bpmn::models::healthcare_treatment;
+use cows::lts::{explore, ExploreLimits};
+use cows::semantics::{transitions_shared, transitions_uncached};
+use cows::Service;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn visited_states(n: usize) -> Vec<Service> {
+    let encoded = encode(&healthcare_treatment());
+    let lts = explore(&encoded.service, ExploreLimits::default()).expect("finite LTS");
+    (0..lts.state_count().min(n))
+        .map(|i| lts.state(i).clone())
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let states = visited_states(64);
+    let mut g = c.benchmark_group("cache_ablation");
+    g.bench_function("memoized", |b| {
+        b.iter(|| {
+            for s in &states {
+                black_box(transitions_shared(s));
+            }
+        })
+    });
+    g.bench_function("uncached", |b| {
+        b.iter(|| {
+            for s in &states {
+                black_box(transitions_uncached(s));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! P4 — §1 "at the Geneva University Hospitals, more than 20,000 records
+//! are opened every day … it would be infeasible to verify every data
+//! usage manually".
+//!
+//! Measures auditing one synthetic day at that scale (generation is done
+//! once outside the timing loop). The relevant output is wall-clock per
+//! day and entries/second — the quantity that decides whether the paper's
+//! "we expect [it] scales to real applications" holds.
+
+use bench::hospital_auditor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use purpose_control::parallel::audit_parallel;
+use std::hint::black_box;
+use workload::hospital::{generate_day, HospitalConfig};
+
+fn bench_hospital_day(c: &mut Criterion) {
+    let auditor = hospital_auditor();
+    let mut g = c.benchmark_group("hospital_day");
+    g.sample_size(10);
+    for entries in [2_000usize, 20_000] {
+        let day = generate_day(
+            &HospitalConfig {
+                target_entries: entries,
+                ..HospitalConfig::default()
+            },
+            42,
+        );
+        g.throughput(Throughput::Elements(day.trail.len() as u64));
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, _| b.iter(|| black_box(audit_parallel(&auditor, &day.trail, threads))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hospital_day);
+criterion_main!(benches);

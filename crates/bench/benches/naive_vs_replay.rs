@@ -1,0 +1,49 @@
+//! P1 — Algorithm 1 vs the naïve trace enumeration (§1).
+//!
+//! On a process with a loop, the naïve approach must enumerate every
+//! unrolling up to the trail length — exponential-to-infinite work — while
+//! Algorithm 1 replays in time linear in the trail. The shape to verify:
+//! replay stays flat, naïve blows past it within a handful of iterations.
+
+use bench::{loop_process, loop_trail, replay};
+use bpmn::encode::encode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use policy::hierarchy::RoleHierarchy;
+use purpose_control::naive::{naive_check, NaiveLimits};
+use std::hint::black_box;
+
+fn bench_naive_vs_replay(c: &mut Criterion) {
+    let encoded = encode(&loop_process());
+    let hierarchy = RoleHierarchy::new();
+    let mut g = c.benchmark_group("naive_vs_replay");
+    g.sample_size(10);
+
+    // k capped at 12 here (~200 ms per naïve run); the `report` binary
+    // pushes to k = 20 where the naïve side exhausts a 3M-trace budget.
+    for k in [1usize, 2, 4, 8, 12] {
+        let entries = loop_trail(k);
+        g.bench_with_input(BenchmarkId::new("replay", k), &k, |b, _| {
+            b.iter(|| black_box(replay(&encoded, &entries)))
+        });
+        // The naïve enumeration is capped; past the cap it errors out —
+        // measured as the cost of discovering the blow-up.
+        let refs: Vec<&audit::LogEntry> = entries.iter().collect();
+        g.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(naive_check(
+                    &encoded,
+                    &hierarchy,
+                    &refs,
+                    &NaiveLimits {
+                        max_traces: 200_000,
+                        ..NaiveLimits::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_naive_vs_replay);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! P6 — ablation: configuration growth under inclusive (OR) gateways.
+//!
+//! Def. 6's configuration sets are the price of the OR gateway: "the set of
+//! reachable states includes states that allow the execution of every
+//! possible combination of alternatives" (§4). The encoding enumerates
+//! 2^n − 1 branch subsets, so replay cost grows exponentially in the
+//! fan-out — this bench quantifies the constant the paper leaves implicit,
+//! and justifies the validator's fan-out cap.
+
+use bench::{or_diamond, replay};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_or_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("or_fanout");
+    g.sample_size(10);
+    for fanout in [1usize, 2, 3, 4] {
+        let (encoded, entries) = or_diamond(fanout);
+        g.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, _| {
+            b.iter(|| black_box(replay(&encoded, &entries)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_or_fanout);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! P3 — §7 "the analysis of process instances is independent from each
+//! other, allowing for massive parallelization".
+//!
+//! Audits a fixed hospital-day trail with 1, 2, 4 and 8 worker threads;
+//! the expected shape is near-linear speedup until the core count.
+
+use bench::hospital_auditor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use purpose_control::parallel::check_cases_parallel;
+use std::hint::black_box;
+use workload::hospital::{generate_day, HospitalConfig};
+
+fn bench_parallel(c: &mut Criterion) {
+    let auditor = hospital_auditor();
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: 2_000,
+            attack_fraction: 0.05,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    let cases: Vec<cows::Symbol> = day.trail.cases().into_iter().collect();
+
+    let mut g = c.benchmark_group("parallel_cases");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cases.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(check_cases_parallel(
+                        &auditor,
+                        &day.trail,
+                        &cases,
+                        threads,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

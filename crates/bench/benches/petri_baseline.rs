@@ -1,0 +1,36 @@
+//! P5 — the Petri-net token-replay baseline (§6, Rozinat & van der
+//! Aalst [13]).
+//!
+//! Compares the cost of token replay against Algorithm 1 on the same
+//! translatable process. Token replay is cheaper per event — it works on a
+//! coarser abstraction (task labels on a net, no roles, no COWS states) —
+//! which is exactly the trade §6 describes: speed bought with blindness to
+//! fine-grained violations and OR-gateway processes.
+
+use bench::{replay, sequential_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use petri::conformance::{task_log, token_replay, ReplayOptions};
+use petri::translate::translate;
+use std::hint::black_box;
+
+fn bench_petri(c: &mut Criterion) {
+    let mut g = c.benchmark_group("petri_baseline");
+    for n in [5usize, 20, 80] {
+        let (encoded, entries) = sequential_workload(n, 3);
+        let model = workload::procgen::generate(&workload::ProcGenConfig::sequential(n), 3);
+        let net = translate(&model).expect("sequential processes translate");
+        let refs: Vec<&audit::LogEntry> = entries.iter().collect();
+        let log = task_log(&refs);
+
+        g.bench_with_input(BenchmarkId::new("token_replay", n), &n, |b, _| {
+            b.iter(|| black_box(token_replay(&net, &log, &ReplayOptions::default())))
+        });
+        g.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| black_box(replay(&encoded, &entries)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_petri);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! F4/F6 — replaying the paper's running example.
+//!
+//! Measures Algorithm 1 on the Fig. 4 trail: the compliant 16-entry HT-1
+//! case, the 1-entry HT-11 infringement, the CT-1 trial case, and the full
+//! object-scoped investigation of Jane's EPR.
+
+use audit::samples::figure4_trail;
+use bench::hospital_auditor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use policy::object::ObjectId;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let auditor = hospital_auditor();
+    let trail = figure4_trail();
+    let mut g = c.benchmark_group("fig4");
+
+    g.bench_function("replay_HT1_compliant", |b| {
+        b.iter(|| black_box(auditor.check_one_case(&trail, cows::sym("HT-1"))))
+    });
+    g.bench_function("replay_HT11_infringement", |b| {
+        b.iter(|| black_box(auditor.check_one_case(&trail, cows::sym("HT-11"))))
+    });
+    g.bench_function("replay_CT1_trial", |b| {
+        b.iter(|| black_box(auditor.check_one_case(&trail, cows::sym("CT-1"))))
+    });
+    g.bench_function("investigate_janes_epr", |b| {
+        let jane = ObjectId::of_subject("Jane", "EPR");
+        b.iter(|| black_box(auditor.audit_object(&trail, &jane)))
+    });
+    g.bench_function("preventive_pass", |b| {
+        b.iter(|| black_box(auditor.preventive_check(&trail)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! P2 — §7 "we expect that the audit process is tractable and scales to
+//! real applications".
+//!
+//! Two sweeps: replay time as a function of (a) trail length on a fixed
+//! loop process — expected linear; (b) process size (number of tasks) on a
+//! single full execution — expected low-polynomial (the per-entry cost is
+//! one `WeakNext`, whose τ-search scales with the encoded service size).
+
+use bench::{loop_process, loop_trail, replay, sequential_workload, structured_workload};
+use bpmn::encode::encode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_trail_length(c: &mut Criterion) {
+    let encoded = encode(&loop_process());
+    let mut g = c.benchmark_group("scaling_trail_len");
+    g.sample_size(20);
+    for k in [10usize, 100, 1_000, 10_000] {
+        let entries = loop_trail(k);
+        g.throughput(Throughput::Elements(entries.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(replay(&encoded, &entries)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_process_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_process_size");
+    g.sample_size(20);
+    // n capped at 40 here (structured processes pay for τ-interleavings);
+    // the `report` binary measures n = 80 once.
+    for n in [5usize, 10, 20, 40] {
+        let (encoded, entries) = sequential_workload(n, 7);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| black_box(replay(&encoded, &entries)))
+        });
+        let (encoded, entries) = structured_workload(n, 7);
+        g.bench_with_input(BenchmarkId::new("structured", n), &n, |b, _| {
+            b.iter(|| black_box(replay(&encoded, &entries)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trail_length, bench_process_size);
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! Regenerate every experiment series of `EXPERIMENTS.md` in one run.
+//!
+//! Criterion gives rigorous timings; this binary gives the *tables* — the
+//! rows and series a reader compares against the paper's claims. Timings
+//! here are medians of a few repetitions, good to ~10%.
+//!
+//! ```text
+//! cargo run --release -p bench --bin report [--quick]
+//! ```
+
+use audit::samples::figure4_trail;
+use bench::{
+    hospital_auditor, loop_process, loop_trail, or_diamond, replay, sequential_workload,
+    structured_workload, to_trail,
+};
+use bpmn::encode::encode;
+use bpmn::models::healthcare_treatment;
+use cows::sym;
+use cows::weaknext::{weak_next, WeakNextLimits};
+use petri::conformance::{task_log, token_replay, ReplayOptions};
+use petri::translate::translate;
+use policy::hierarchy::RoleHierarchy;
+use purpose_control::auditor::CaseOutcome;
+use purpose_control::naive::{naive_check, NaiveLimits};
+use purpose_control::parallel::audit_parallel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use workload::attacks;
+use workload::hospital::{generate_day, HospitalConfig};
+use workload::simulate::{simulate_case, SimConfig};
+
+fn median_time<F: FnMut()>(mut f: F, reps: usize) -> Duration {
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn fmt_dur(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_micros() >= 1000 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{}us", d.as_micros())
+    }
+}
+
+fn p1_naive_vs_replay(quick: bool) {
+    println!("## P1 — Algorithm 1 vs naive trace enumeration (§1)");
+    println!("{:>4} | {:>12} | {:>14} | {:>12}", "k", "replay", "naive", "naive traces");
+    println!("-----|--------------|----------------|-------------");
+    let encoded = encode(&loop_process());
+    let h = RoleHierarchy::new();
+    let ks: &[usize] = if quick { &[1, 4, 8, 12] } else { &[1, 2, 4, 8, 12, 16, 20] };
+    for &k in ks {
+        let entries = loop_trail(k);
+        let refs: Vec<&audit::LogEntry> = entries.iter().collect();
+        let rt = median_time(|| { replay(&encoded, &entries); }, 3);
+        let limits = NaiveLimits { max_traces: 3_000_000, ..NaiveLimits::default() };
+        let mut traces = String::new();
+        let nt = median_time(
+            || match naive_check(&encoded, &h, &refs, &limits) {
+                Ok(n) => traces = n.traces_enumerated.to_string(),
+                Err(_) => traces = ">3000000 (budget hit)".to_string(),
+            },
+            1,
+        );
+        println!("{k:>4} | {:>12} | {:>14} | {traces:>12}", fmt_dur(rt), fmt_dur(nt));
+    }
+    println!();
+}
+
+fn p2_scaling(quick: bool) {
+    println!("## P2 — replay scaling (§7 tractability)");
+    println!("trail length sweep (branching loop process):");
+    println!("{:>8} | {:>12} | {:>14}", "entries", "replay", "entries/s");
+    let encoded = encode(&loop_process());
+    let lens: &[usize] = if quick { &[10, 100, 1_000] } else { &[10, 100, 1_000, 10_000] };
+    for &k in lens {
+        let entries = loop_trail(k);
+        let t = median_time(|| { replay(&encoded, &entries); }, 3);
+        println!(
+            "{:>8} | {:>12} | {:>14.0}",
+            entries.len(),
+            fmt_dur(t),
+            entries.len() as f64 / t.as_secs_f64()
+        );
+    }
+    println!("\nprocess size sweep (one full execution each):");
+    println!("{:>6} | {:>14} | {:>14}", "tasks", "sequential", "structured");
+    let sizes: &[usize] = if quick { &[5, 20, 40] } else { &[5, 10, 20, 40, 80] };
+    for &n in sizes {
+        let (enc_s, ent_s) = sequential_workload(n, 7);
+        let ts = median_time(|| { replay(&enc_s, &ent_s); }, 3);
+        let (enc_x, ent_x) = structured_workload(n, 7);
+        let tx = median_time(|| { replay(&enc_x, &ent_x); }, 3);
+        println!("{n:>6} | {:>14} | {:>14}", fmt_dur(ts), fmt_dur(tx));
+    }
+    println!();
+}
+
+fn p3_parallel(quick: bool) {
+    println!("## P3 — parallelization across cases (§7)");
+    let auditor = hospital_auditor();
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: if quick { 1_000 } else { 4_000 },
+            attack_fraction: 0.05,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    println!(
+        "trail: {} entries, {} cases",
+        day.trail.len(),
+        day.truth.len()
+    );
+    println!("{:>8} | {:>12} | {:>8}", "threads", "wall", "speedup");
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let t = median_time(|| { audit_parallel(&auditor, &day.trail, threads); }, 3);
+        let b = *base.get_or_insert(t.as_secs_f64());
+        println!("{threads:>8} | {:>12} | {:>7.2}x", fmt_dur(t), b / t.as_secs_f64());
+    }
+    println!();
+}
+
+fn p4_hospital_day(quick: bool) {
+    println!("## P4 — a Geneva-scale day (§1: 20,000 record opens)");
+    let auditor = hospital_auditor();
+    let entries = if quick { 2_000 } else { 20_000 };
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: entries,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let t0 = Instant::now();
+    let report = audit_parallel(&auditor, &day.trail, threads);
+    let took = t0.elapsed();
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for case in &report.cases {
+        let attacked = day.truth.get(&case.case).map(|t| t.injected.is_some()).unwrap_or(false);
+        let flagged = matches!(case.outcome, CaseOutcome::Infringement { .. });
+        match (attacked, flagged) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "audited {} entries / {} cases in {} with {threads} threads ({:.0} entries/s)",
+        day.trail.len(),
+        report.cases.len(),
+        fmt_dur(took),
+        day.trail.len() as f64 / took.as_secs_f64()
+    );
+    println!(
+        "detection: {tp} caught, {fn_} missed (prefix-surviving edits), {fp} false alarms"
+    );
+    println!();
+}
+
+fn p5_petri() {
+    println!("## P5 — Petri-net conformance baseline limits (§6)");
+    // (a) The Fig. 1 process cannot even be translated.
+    match translate(&healthcare_treatment()) {
+        Err(e) => println!("Fig. 1 translation: REJECTED — {e}"),
+        Ok(_) => println!("Fig. 1 translation: unexpectedly succeeded"),
+    }
+    // (b) A wrong-role infringement is invisible to task-level replay.
+    let model = workload::procgen::generate(&workload::ProcGenConfig::sequential(5), 3);
+    let encoded = encode(&model);
+    let net = translate(&model).expect("sequential processes translate");
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut entries = simulate_case(&encoded, "c", &SimConfig::new("P"), &mut rng);
+    attacks::wrong_role(&mut entries, &mut StdRng::seed_from_u64(1));
+    let refs: Vec<&audit::LogEntry> = entries.iter().collect();
+    let fitness = token_replay(&net, &task_log(&refs), &ReplayOptions::default());
+    let verdict = replay(&encoded, &entries);
+    println!(
+        "wrong-role trail: token-replay fitness {:.3} ({}), Algorithm 1 verdict {}",
+        fitness.fitness(),
+        if fitness.is_perfect() { "perfect — violation invisible" } else { "imperfect" },
+        if verdict.verdict.is_compliant() { "compliant" } else { "INFRINGEMENT" }
+    );
+    // (c) A re-purposing trail gets graded, not rejected.
+    let mut entries2 = simulate_case(&encoded, "c", &SimConfig::new("P"), &mut rng);
+    attacks::repurpose(&mut entries2, sym("T92"));
+    let refs2: Vec<&audit::LogEntry> = entries2.iter().collect();
+    let fitness2 = token_replay(&net, &task_log(&refs2), &ReplayOptions::default());
+    let verdict2 = replay(&encoded, &entries2);
+    println!(
+        "re-purposed trail: token-replay fitness {:.3} (degree of fit), Algorithm 1 verdict {}",
+        fitness2.fitness(),
+        if verdict2.verdict.is_compliant() { "compliant" } else { "INFRINGEMENT (exact)" }
+    );
+    println!();
+}
+
+fn p6_or_fanout() {
+    println!("## P6 — OR-gateway configuration growth (ablation)");
+    println!("{:>7} | {:>18} | {:>12} | {:>10}", "fanout", "WeakNext states", "peak configs", "replay");
+    for fanout in 1..=5usize {
+        let (encoded, entries) = or_diamond(fanout);
+        // Successors right after the head task (the OR choice point).
+        let m0 = encoded.initial();
+        let after_head = weak_next(&m0, &encoded.observability, WeakNextLimits::default())
+            .unwrap()
+            .remove(0)
+            .state;
+        let succ = weak_next(&after_head, &encoded.observability, WeakNextLimits::default())
+            .unwrap()
+            .len();
+        let out = replay(&encoded, &entries);
+        let t = median_time(|| { replay(&encoded, &entries); }, 3);
+        println!(
+            "{fanout:>7} | {succ:>18} | {:>12} | {:>10}",
+            out.peak_configurations,
+            fmt_dur(t)
+        );
+    }
+    println!();
+}
+
+fn p7_attack_detection() {
+    println!("## P7 — detection per misuse pattern (§2/§4)");
+    let model = healthcare_treatment();
+    let encoded = encode(&model);
+    let trials = 40usize;
+    let kinds: [&str; 4] = ["repurpose", "reuse_case", "skip_task", "wrong_role"];
+    println!("{:>12} | {:>9} | {:>9}", "attack", "injected", "detected");
+    for kind in kinds {
+        let (mut injected, mut detected) = (0usize, 0usize);
+        for seed in 0..trials as u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut entries =
+                simulate_case(&encoded, "c", &SimConfig::new("P"), &mut rng);
+            let inj = match kind {
+                "repurpose" => attacks::repurpose(&mut entries, sym("T92")),
+                "reuse_case" => {
+                    let first = entries.first().map(|e| e.task).unwrap_or_else(|| sym("T01"));
+                    attacks::reuse_case(&mut entries, first, &mut rng)
+                }
+                "skip_task" => attacks::skip_task(&mut entries, &mut rng),
+                _ => attacks::wrong_role(&mut entries, &mut rng),
+            };
+            if inj == workload::Injection::NotApplicable {
+                continue;
+            }
+            injected += 1;
+            let sorted = to_trail(&entries);
+            let refs: Vec<&audit::LogEntry> = sorted.entries().iter().collect();
+            let out = purpose_control::replay::check_case(
+                &encoded,
+                &RoleHierarchy::new(),
+                &refs,
+                &purpose_control::replay::CheckOptions::default(),
+            )
+            .unwrap();
+            if !out.verdict.is_compliant() {
+                detected += 1;
+            }
+        }
+        println!("{kind:>12} | {injected:>9} | {detected:>9}");
+    }
+    println!();
+}
+
+fn fig4_summary() {
+    println!("## F4 — the paper's running example (Fig. 4)");
+    let auditor = hospital_auditor();
+    let trail = figure4_trail();
+    let report = auditor.audit(&trail);
+    println!(
+        "cases: {} total, {} compliant, {} infringing, {} preventive violations",
+        report.cases.len(),
+        report.compliant_cases(),
+        report.infringing_cases(),
+        report.preventive_violations.len()
+    );
+    for c in &report.cases {
+        let v = match &c.outcome {
+            CaseOutcome::Compliant { can_complete } => {
+                format!("compliant ({})", if *can_complete { "complete" } else { "in progress" })
+            }
+            CaseOutcome::Infringement { severity, .. } => {
+                format!("INFRINGEMENT (severity {:.2})", severity.score)
+            }
+            other => format!("{other:?}"),
+        };
+        println!("  {:<6} {v}", c.case.to_string());
+    }
+    println!();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("# purpose-control experiment report\n");
+    fig4_summary();
+    p1_naive_vs_replay(quick);
+    p2_scaling(quick);
+    p3_parallel(quick);
+    p4_hospital_day(quick);
+    p5_petri();
+    p6_or_fanout();
+    p7_attack_detection();
+}

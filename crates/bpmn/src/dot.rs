@@ -1,0 +1,95 @@
+//! Graphviz (DOT) export of process models.
+//!
+//! Renders a [`crate::model::ProcessModel`] in the visual vocabulary of
+//! BPMN diagrams like the paper's Fig. 1: pools as clusters, events as
+//! circles, tasks as boxes, gateways as diamonds, sequence flows solid and
+//! message/error flows dashed.
+
+use crate::model::{NodeKind, ProcessModel};
+use std::fmt::Write;
+
+/// Render the model as a DOT digraph with one cluster per pool.
+pub fn to_dot(model: &ProcessModel) -> String {
+    let mut out = String::new();
+    out.push_str("digraph bpmn {\n  rankdir=LR;\n  fontsize=10;\n");
+    for (pi, pool) in model.pools().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{pi} {{");
+        let _ = writeln!(out, "    label=\"{}\";", pool.role);
+        for n in model.nodes().iter().filter(|n| n.pool.0 == pi) {
+            let attrs = match n.kind {
+                NodeKind::Start | NodeKind::MessageStart => {
+                    "shape=circle, style=filled, fillcolor=palegreen"
+                }
+                NodeKind::End | NodeKind::MessageEnd { .. } => {
+                    "shape=circle, style=filled, fillcolor=lightcoral, penwidth=2"
+                }
+                NodeKind::Task { .. } => "shape=box, style=rounded",
+                NodeKind::Xor => "shape=diamond, label=\"×\", xlabel=\"{}\"",
+                NodeKind::And => "shape=diamond, label=\"+\"",
+                NodeKind::Or { .. } | NodeKind::OrJoin => "shape=diamond, label=\"○\"",
+            };
+            if n.kind.is_gateway() {
+                let symbol = match n.kind {
+                    NodeKind::Xor => "×",
+                    NodeKind::And => "+",
+                    _ => "○",
+                };
+                let _ = writeln!(
+                    out,
+                    "    n{} [shape=diamond, label=\"{symbol}\", xlabel=\"{}\"];",
+                    n.id.0, n.name
+                );
+            } else {
+                let _ = writeln!(out, "    n{} [{attrs}, label=\"{}\"];", n.id.0, n.name);
+            }
+        }
+        out.push_str("  }\n");
+    }
+    for f in model.flows() {
+        let _ = writeln!(out, "  n{} -> n{};", f.from.0, f.to.0);
+    }
+    for n in model.nodes() {
+        match n.kind {
+            NodeKind::MessageEnd { to } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [style=dashed, label=\"msg\"];",
+                    n.id.0, to.0
+                );
+            }
+            NodeKind::Task { on_error: Some(h) } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [style=dotted, color=red, label=\"Err\"];",
+                    n.id.0, h.0
+                );
+            }
+            _ => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{fig9_error, healthcare_treatment};
+
+    #[test]
+    fn fig1_renders_four_pools() {
+        let dot = to_dot(&healthcare_treatment());
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_3"));
+        assert!(dot.contains("label=\"GP\""));
+        assert!(dot.contains("label=\"Radiologist\""));
+        assert!(dot.contains("msg"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn error_boundaries_are_dotted_red() {
+        let dot = to_dot(&fig9_error());
+        assert!(dot.contains("style=dotted, color=red"));
+    }
+}

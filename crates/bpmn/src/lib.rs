@@ -1,0 +1,34 @@
+//! # BPMN process models for purpose control
+//!
+//! The organizational-process substrate of the paper (§3.3): a builder and
+//! validator for the core BPMN 1.2 element set, the well-foundedness check
+//! of §5, the encoding into [`cows`] services (Appendix A), and the paper's
+//! worked process models (Figs. 1 and 2).
+//!
+//! ```
+//! use bpmn::model::ProcessBuilder;
+//! use bpmn::encode::encode;
+//!
+//! let mut b = ProcessBuilder::new("demo");
+//! let p = b.pool("P");
+//! let s = b.start(p, "S");
+//! let t = b.task(p, "T");
+//! let e = b.end(p, "E");
+//! b.chain(&[s, t, e]);
+//! let model = b.build().unwrap();
+//! let encoded = encode(&model);
+//! assert!(!encoded.service.is_nil());
+//! ```
+
+pub mod dot;
+pub mod encode;
+pub mod model;
+pub mod models;
+pub mod parse;
+pub mod validate;
+pub mod wellfounded;
+
+pub use dot::to_dot;
+pub use parse::{format_process, parse_process, ProcessParseError};
+pub use encode::{encode, Encoded};
+pub use model::{ModelError, Node, NodeId, NodeKind, Pool, PoolId, ProcessBuilder, ProcessModel};

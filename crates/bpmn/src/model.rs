@@ -1,0 +1,486 @@
+//! BPMN process models.
+//!
+//! A [`ProcessModel`] is the core set of BPMN 1.2 elements used by the paper
+//! (§3.3, Figs. 1, 2, 7–10): pools, start/end events (plain and message),
+//! tasks with optional error boundary events, exclusive (XOR), parallel
+//! (AND) and inclusive (OR) gateways, sequence flows and message flows.
+//!
+//! Models are built through [`ProcessBuilder`] and checked by
+//! [`crate::validate`] before they can be encoded into COWS.
+
+use cows::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within its [`ProcessModel`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Index of a pool within its [`ProcessModel`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PoolId(pub usize);
+
+/// A BPMN pool: "every BPMN pool corresponds to a role in R" (§3.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pool {
+    pub role: Symbol,
+}
+
+/// The kind of a BPMN element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Plain start event: fires once, unprompted.
+    Start,
+    /// Message start event: fires each time a message arrives.
+    MessageStart,
+    /// Plain end event.
+    End,
+    /// Message end event: sends a message to `to` (a [`NodeKind::MessageStart`]
+    /// or [`NodeKind::OrJoin`], possibly in another pool) on completion.
+    MessageEnd { to: NodeId },
+    /// A task. `on_error` is the target of an attached error boundary
+    /// event: when the task fails, an observable `sys·Err` is raised and
+    /// the token flows to `on_error` (Fig. 9).
+    Task { on_error: Option<NodeId> },
+    /// Exclusive (XOR) gateway: split (one outgoing path chosen) or join
+    /// (pass-through merge).
+    Xor,
+    /// Parallel (AND) gateway: split (all outgoing paths) or join (waits
+    /// for every incoming token).
+    And,
+    /// Inclusive (OR) gateway split: one or more outgoing paths chosen.
+    /// `join` optionally names the [`NodeKind::OrJoin`] that synchronizes
+    /// the chosen branches; the encoding forwards the number of activated
+    /// branches to it.
+    Or { join: Option<NodeId> },
+    /// Inclusive (OR) join: waits for as many tokens as its paired
+    /// [`NodeKind::Or`] split activated. Without a paired split it degrades
+    /// to a pass-through merge.
+    OrJoin,
+}
+
+impl NodeKind {
+    pub fn is_task(&self) -> bool {
+        matches!(self, NodeKind::Task { .. })
+    }
+
+    pub fn is_gateway(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::Xor | NodeKind::And | NodeKind::Or { .. } | NodeKind::OrJoin
+        )
+    }
+
+    pub fn is_start(&self) -> bool {
+        matches!(self, NodeKind::Start | NodeKind::MessageStart)
+    }
+
+    pub fn is_end(&self) -> bool {
+        matches!(self, NodeKind::End | NodeKind::MessageEnd { .. })
+    }
+}
+
+/// A BPMN element.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub id: NodeId,
+    pub name: Symbol,
+    pub pool: PoolId,
+    pub kind: NodeKind,
+}
+
+/// A sequence flow `from → to` (within a pool).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequenceFlow {
+    pub from: NodeId,
+    pub to: NodeId,
+}
+
+/// A validated BPMN process model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProcessModel {
+    name: Symbol,
+    pools: Vec<Pool>,
+    nodes: Vec<Node>,
+    flows: Vec<SequenceFlow>,
+}
+
+impl ProcessModel {
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    pub fn pools(&self) -> &[Pool] {
+        &self.pools
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub fn flows(&self) -> &[SequenceFlow] {
+        &self.flows
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    pub fn pool(&self, id: PoolId) -> &Pool {
+        &self.pools[id.0]
+    }
+
+    /// The role of the pool containing `id`.
+    pub fn role_of(&self, id: NodeId) -> Symbol {
+        self.pools[self.node(id).pool.0].role
+    }
+
+    /// Outgoing sequence-flow targets of `id`, in insertion order.
+    pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
+        self.flows
+            .iter()
+            .filter(|f| f.from == id)
+            .map(|f| f.to)
+            .collect()
+    }
+
+    /// Incoming sequence-flow sources of `id`, in insertion order.
+    pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
+        self.flows
+            .iter()
+            .filter(|f| f.to == id)
+            .map(|f| f.from)
+            .collect()
+    }
+
+    /// All task nodes.
+    pub fn tasks(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind.is_task())
+    }
+
+    /// Role responsible for a task name, if the task exists.
+    pub fn task_role(&self, task: Symbol) -> Option<Symbol> {
+        self.nodes
+            .iter()
+            .find(|n| n.kind.is_task() && n.name == task)
+            .map(|n| self.role_of(n.id))
+    }
+
+    /// Find a node by name.
+    pub fn node_by_name(&self, name: Symbol) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Whether any task carries an error boundary event.
+    pub fn has_error_boundaries(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Task { on_error: Some(_) }))
+    }
+}
+
+/// Errors raised when assembling or validating a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    DuplicateNodeName { name: Symbol },
+    UnknownNode { id: NodeId },
+    NoStartEvent,
+    FlowCrossesPools { from: Symbol, to: Symbol },
+    BadDegree { node: Symbol, detail: &'static str },
+    BadMessageTarget { from: Symbol, to: Symbol },
+    ErrorTargetOutsidePool { task: Symbol, target: Symbol },
+    OrJoinPairingBroken { split: Symbol, detail: &'static str },
+    Unreachable { node: Symbol },
+    NotWellFounded { cycle: Vec<Symbol> },
+    OrFanoutTooLarge { gateway: Symbol, fanout: usize, max: usize },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateNodeName { name } => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            ModelError::UnknownNode { id } => write!(f, "unknown node id {id:?}"),
+            ModelError::NoStartEvent => write!(f, "the process has no start event"),
+            ModelError::FlowCrossesPools { from, to } => write!(
+                f,
+                "sequence flow `{from}` → `{to}` crosses pools; use a message flow"
+            ),
+            ModelError::BadDegree { node, detail } => {
+                write!(f, "node `{node}`: {detail}")
+            }
+            ModelError::BadMessageTarget { from, to } => write!(
+                f,
+                "message end `{from}` targets `{to}`, which is neither a message start nor an OR join"
+            ),
+            ModelError::ErrorTargetOutsidePool { task, target } => write!(
+                f,
+                "error boundary of task `{task}` targets `{target}` in a different pool"
+            ),
+            ModelError::OrJoinPairingBroken { split, detail } => {
+                write!(f, "OR split `{split}`: {detail}")
+            }
+            ModelError::Unreachable { node } => {
+                write!(f, "node `{node}` is unreachable from every start event")
+            }
+            ModelError::NotWellFounded { cycle } => {
+                write!(f, "process is not well-founded; task-free cycle: ")?;
+                for (i, n) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " → ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            ModelError::OrFanoutTooLarge { gateway, fanout, max } => write!(
+                f,
+                "OR gateway `{gateway}` has fan-out {fanout}, above the supported maximum {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Incremental builder for [`ProcessModel`].
+///
+/// ```
+/// use bpmn::model::ProcessBuilder;
+///
+/// let mut b = ProcessBuilder::new("demo");
+/// let p = b.pool("P");
+/// let s = b.start(p, "S");
+/// let t = b.task(p, "T");
+/// let e = b.end(p, "E");
+/// b.flow(s, t);
+/// b.flow(t, e);
+/// let model = b.build().unwrap();
+/// assert_eq!(model.tasks().count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProcessBuilder {
+    name: Option<Symbol>,
+    pools: Vec<Pool>,
+    nodes: Vec<Node>,
+    flows: Vec<SequenceFlow>,
+}
+
+impl ProcessBuilder {
+    pub fn new(name: impl Into<Symbol>) -> ProcessBuilder {
+        ProcessBuilder {
+            name: Some(name.into()),
+            ..ProcessBuilder::default()
+        }
+    }
+
+    pub fn pool(&mut self, role: impl Into<Symbol>) -> PoolId {
+        let id = PoolId(self.pools.len());
+        self.pools.push(Pool { role: role.into() });
+        id
+    }
+
+    fn add(&mut self, pool: PoolId, name: impl Into<Symbol>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            pool,
+            kind,
+        });
+        id
+    }
+
+    pub fn start(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::Start)
+    }
+
+    pub fn message_start(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::MessageStart)
+    }
+
+    pub fn end(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::End)
+    }
+
+    /// Message end sending to `to` on completion; `to` must be a message
+    /// start or an OR join (checked at [`ProcessBuilder::build`]).
+    pub fn message_end(&mut self, pool: PoolId, name: impl Into<Symbol>, to: NodeId) -> NodeId {
+        self.add(pool, name, NodeKind::MessageEnd { to })
+    }
+
+    pub fn task(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::Task { on_error: None })
+    }
+
+    /// A task with an attached error boundary event routing failures to
+    /// `on_error`.
+    pub fn task_with_error(
+        &mut self,
+        pool: PoolId,
+        name: impl Into<Symbol>,
+        on_error: NodeId,
+    ) -> NodeId {
+        self.add(
+            pool,
+            name,
+            NodeKind::Task {
+                on_error: Some(on_error),
+            },
+        )
+    }
+
+    /// Re-target an existing message end — used by the text parser to
+    /// resolve forward references.
+    pub fn set_message_target(&mut self, message_end: NodeId, to: NodeId) {
+        if let Some(node) = self.nodes.get_mut(message_end.0) {
+            if let NodeKind::MessageEnd { to: slot } = &mut node.kind {
+                *slot = to;
+            }
+        }
+    }
+
+    /// Attach (or replace) an error boundary on an existing task — useful
+    /// when the handler node is created after the task.
+    pub fn set_error_boundary(&mut self, task: NodeId, on_error: NodeId) {
+        if let Some(node) = self.nodes.get_mut(task.0) {
+            if let NodeKind::Task { on_error: slot } = &mut node.kind {
+                *slot = Some(on_error);
+            }
+        }
+    }
+
+    pub fn xor(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::Xor)
+    }
+
+    pub fn and(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::And)
+    }
+
+    pub fn or_split(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::Or { join: None })
+    }
+
+    pub fn or_join(&mut self, pool: PoolId, name: impl Into<Symbol>) -> NodeId {
+        self.add(pool, name, NodeKind::OrJoin)
+    }
+
+    /// Pair an OR split with its join so the encoding can synchronize the
+    /// activated branches.
+    pub fn pair_or(&mut self, split: NodeId, join: NodeId) {
+        if let Some(node) = self.nodes.get_mut(split.0) {
+            if let NodeKind::Or { join: slot } = &mut node.kind {
+                *slot = Some(join);
+            }
+        }
+    }
+
+    pub fn flow(&mut self, from: NodeId, to: NodeId) {
+        self.flows.push(SequenceFlow { from, to });
+    }
+
+    /// Chain a sequence of nodes with flows.
+    pub fn chain(&mut self, nodes: &[NodeId]) {
+        for w in nodes.windows(2) {
+            self.flow(w[0], w[1]);
+        }
+    }
+
+    /// Validate and freeze the model. See [`crate::validate`] for the rules.
+    pub fn build(self) -> Result<ProcessModel, ModelError> {
+        let model = ProcessModel {
+            name: self.name.unwrap_or_else(|| Symbol::new("unnamed")),
+            pools: self.pools,
+            nodes: self.nodes,
+            flows: self.flows,
+        };
+        crate::validate::validate(&model)?;
+        Ok(model)
+    }
+
+    /// Freeze without validation — for tests that need to construct broken
+    /// models on purpose.
+    pub fn build_unchecked(self) -> ProcessModel {
+        ProcessModel {
+            name: self.name.unwrap_or_else(|| Symbol::new("unnamed")),
+            pools: self.pools,
+            nodes: self.nodes,
+            flows: self.flows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = ProcessBuilder::new("t");
+        let p = b.pool("P");
+        let s = b.start(p, "S");
+        let t = b.task(p, "T");
+        assert_eq!(s, NodeId(0));
+        assert_eq!(t, NodeId(1));
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let mut b = ProcessBuilder::new("t");
+        let p = b.pool("P");
+        let s = b.start(p, "S");
+        let t = b.task(p, "T");
+        let e = b.end(p, "E");
+        b.chain(&[s, t, e]);
+        let m = b.build().unwrap();
+        assert_eq!(m.successors(s), vec![t]);
+        assert_eq!(m.successors(t), vec![e]);
+        assert_eq!(m.predecessors(e), vec![t]);
+        assert!(m.successors(e).is_empty());
+    }
+
+    #[test]
+    fn task_role_lookup() {
+        let mut b = ProcessBuilder::new("t");
+        let p = b.pool("GP");
+        let s = b.start(p, "S");
+        let t = b.task(p, "T01");
+        let e = b.end(p, "E");
+        b.chain(&[s, t, e]);
+        let m = b.build().unwrap();
+        assert_eq!(m.task_role(sym("T01")), Some(sym("GP")));
+        assert_eq!(m.task_role(sym("T99")), None);
+    }
+
+    #[test]
+    fn error_boundary_can_be_set_late() {
+        let mut b = ProcessBuilder::new("t");
+        let p = b.pool("P");
+        let s = b.start(p, "S");
+        let t = b.task(p, "T");
+        let h = b.task(p, "H");
+        let e = b.end(p, "E");
+        let e2 = b.end(p, "E2");
+        b.set_error_boundary(t, h);
+        b.chain(&[s, t, e]);
+        b.flow(h, e2);
+        let m = b.build().unwrap();
+        match m.node(t).kind {
+            NodeKind::Task { on_error } => assert_eq!(on_error, Some(h)),
+            _ => panic!("expected task"),
+        }
+        assert!(m.has_error_boundaries());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Start.is_start());
+        assert!(NodeKind::Task { on_error: None }.is_task());
+        assert!(NodeKind::Xor.is_gateway());
+        assert!(NodeKind::End.is_end());
+        assert!(!NodeKind::End.is_gateway());
+    }
+}

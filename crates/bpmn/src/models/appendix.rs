@@ -1,0 +1,89 @@
+//! The micro-processes of Appendix A (Figs. 7–10).
+//!
+//! Each constructor reproduces one example the paper uses to explain the
+//! BPMN → COWS encoding; the LTS shapes claimed by the appendix are checked
+//! by the `fig7_lts` … `fig10_lts` integration tests.
+
+use crate::model::{ProcessBuilder, ProcessModel};
+
+/// Fig. 7 — a single-task sequence `S → T → E`.
+pub fn fig7_sequence() -> ProcessModel {
+    let mut b = ProcessBuilder::new("fig7_sequence");
+    let p = b.pool("P");
+    let s = b.start(p, "S");
+    let t = b.task(p, "T");
+    let e = b.end(p, "E");
+    b.chain(&[s, t, e]);
+    b.build().expect("fig7 is well-formed")
+}
+
+/// Fig. 8 — an exclusive gateway: `S → T → G → (T1 → E1 | T2 → E2)`.
+pub fn fig8_exclusive() -> ProcessModel {
+    let mut b = ProcessBuilder::new("fig8_exclusive");
+    let p = b.pool("P");
+    let s = b.start(p, "S");
+    let t = b.task(p, "T");
+    let g = b.xor(p, "G");
+    let t1 = b.task(p, "T1");
+    let t2 = b.task(p, "T2");
+    let e1 = b.end(p, "E1");
+    let e2 = b.end(p, "E2");
+    b.chain(&[s, t, g]);
+    b.flow(g, t1);
+    b.flow(g, t2);
+    b.flow(t1, e1);
+    b.flow(t2, e2);
+    b.build().expect("fig8 is well-formed")
+}
+
+/// Fig. 9 — a task with an error boundary: `T` proceeds to `T2` or, on
+/// `Err`, to the handler `T1`.
+pub fn fig9_error() -> ProcessModel {
+    let mut b = ProcessBuilder::new("fig9_error");
+    let p = b.pool("P");
+    let s = b.start(p, "S");
+    let t1 = b.task(p, "T1"); // error handler
+    let t2 = b.task(p, "T2"); // normal continuation
+    let e1 = b.end(p, "E1");
+    let e2 = b.end(p, "E2");
+    let t = b.task_with_error(p, "T", t1);
+    b.flow(s, t);
+    b.flow(t, t2);
+    b.flow(t1, e1);
+    b.flow(t2, e2);
+    b.build().expect("fig9 is well-formed")
+}
+
+/// Fig. 10 — message flow and a cross-pool cycle:
+/// `S1 → T1 → E1 ⇒ S3 → T2 → E2 ⇒ S2 → T1 → …`.
+pub fn fig10_message_cycle() -> ProcessModel {
+    let mut b = ProcessBuilder::new("fig10_message_cycle");
+    let p1 = b.pool("P1");
+    let p2 = b.pool("P2");
+    let s1 = b.start(p1, "S1");
+    let s2 = b.message_start(p1, "S2");
+    let t1 = b.task(p1, "T1");
+    let s3 = b.message_start(p2, "S3");
+    let t2 = b.task(p2, "T2");
+    let e1 = b.message_end(p1, "E1", s3);
+    let e2 = b.message_end(p2, "E2", s2);
+    b.flow(s1, t1);
+    b.flow(s2, t1);
+    b.flow(t1, e1);
+    b.flow(s3, t2);
+    b.flow(t2, e2);
+    b.build().expect("fig10 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_appendix_models_build() {
+        assert_eq!(fig7_sequence().tasks().count(), 1);
+        assert_eq!(fig8_exclusive().tasks().count(), 3);
+        assert_eq!(fig9_error().tasks().count(), 3);
+        assert_eq!(fig10_message_cycle().tasks().count(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig. 2 — the clinical trial process (physician's part).
+//!
+//! `T91` define eligibility criteria → `T92` find candidate patients →
+//! `T93` ask candidates to participate → `T94` perform the trial (repeated:
+//! Fig. 4 logs several `T94` measurement entries across days) → `T95`
+//! analyze the results.
+//!
+//! The pool role is the generic `Physician`: the paper's role hierarchy
+//! makes `Cardiologist ≥R Physician`, so Bob's entries match through the
+//! hierarchy — this model exercises the role-generalization rule of
+//! Algorithm 1 (line 5).
+
+use crate::model::{ProcessBuilder, ProcessModel};
+
+use super::roles;
+
+/// Build the Fig. 2 process.
+pub fn clinical_trial() -> ProcessModel {
+    let mut b = ProcessBuilder::new("clinical_trial");
+    let phys = b.pool(roles::physician());
+    let s91 = b.start(phys, "S91");
+    let t91 = b.task(phys, "T91"); // define eligibility criteria
+    let t92 = b.task(phys, "T92"); // find patients meeting the criteria
+    let t93 = b.task(phys, "T93"); // ask candidates to participate
+    let t94 = b.task(phys, "T94"); // perform the trial (measurements)
+    let g91 = b.xor(phys, "G91"); // more measurements, or analyze
+    let t95 = b.task(phys, "T95"); // analyze the results
+    let e91 = b.end(phys, "E91");
+
+    b.chain(&[s91, t91, t92, t93, t94, g91]);
+    b.flow(g91, t94); // measurement loop (well-founded: contains T94)
+    b.flow(g91, t95);
+    b.flow(t95, e91);
+
+    b.build()
+        .expect("the Fig. 2 model is well-formed and well-founded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    #[test]
+    fn fig2_inventory() {
+        let m = clinical_trial();
+        assert_eq!(m.pools().len(), 1);
+        assert_eq!(m.tasks().count(), 5);
+        assert_eq!(m.task_role(sym("T94")), Some(sym("Physician")));
+    }
+
+    #[test]
+    fn fig2_measurement_loop_is_well_founded() {
+        let m = clinical_trial();
+        assert!(crate::wellfounded::find_task_free_cycle(&m).is_none());
+    }
+}

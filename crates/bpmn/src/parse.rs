@@ -1,0 +1,378 @@
+//! A line-oriented text format for process models.
+//!
+//! The paper's processes are diagrams; this format gives them a concrete
+//! syntax so purposes can be deployed as files next to policies and trails
+//! (same philosophy as the `policy::parse` and `audit::codec` modules):
+//!
+//! ```text
+//! process order_fulfillment
+//!
+//! pool Clerk
+//!   start    Start
+//!   task     Receive
+//!   task     Pick on_error Receive
+//!   task     Ship
+//!   end      Done
+//!
+//! flows
+//!   Start -> Receive -> Pick -> Ship -> Done
+//! ```
+//!
+//! Node kinds: `start`, `message_start`, `end`, `message_end <name> -> <target>`,
+//! `task <name> [on_error <node>]`, `xor`, `and`, `or_split <name> [join <node>]`,
+//! `or_join`. Flows accept chains (`A -> B -> C`). References may be
+//! forward — the parser resolves names in a second pass. Comments (`#`)
+//! and blank lines are ignored.
+
+use crate::model::{ModelError, NodeId, NodeKind, PoolId, ProcessBuilder, ProcessModel};
+use cows::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessParseError {
+    Syntax { line: usize, message: String },
+    UnknownNode { line: usize, name: String },
+    Invalid(ModelError),
+}
+
+impl fmt::Display for ProcessParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ProcessParseError::UnknownNode { line, name } => {
+                write!(f, "line {line}: unknown node `{name}`")
+            }
+            ProcessParseError::Invalid(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessParseError {}
+
+fn syntax(line: usize, message: impl Into<String>) -> ProcessParseError {
+    ProcessParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One parsed node declaration awaiting reference resolution.
+struct PendingNode {
+    line: usize,
+    pool: PoolId,
+    kind_word: String,
+    name: String,
+    /// `on_error <x>` / `-> <x>` / `join <x>` argument, if any.
+    reference: Option<String>,
+}
+
+/// Parse a process document.
+pub fn parse_process(text: &str) -> Result<ProcessModel, ProcessParseError> {
+    let mut name: Option<String> = None;
+    let mut builder: Option<ProcessBuilder> = None;
+    let mut current_pool: Option<PoolId> = None;
+    let mut pending: Vec<PendingNode> = Vec::new();
+    let mut flows: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut in_flows = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "process" => {
+                if tokens.len() != 2 {
+                    return Err(syntax(lineno, "expected `process <name>`"));
+                }
+                if name.is_some() {
+                    return Err(syntax(lineno, "duplicate `process` header"));
+                }
+                name = Some(tokens[1].to_string());
+                builder = Some(ProcessBuilder::new(tokens[1]));
+            }
+            "pool" => {
+                if tokens.len() != 2 {
+                    return Err(syntax(lineno, "expected `pool <role>`"));
+                }
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(lineno, "`process <name>` must come first"))?;
+                current_pool = Some(b.pool(tokens[1]));
+                in_flows = false;
+            }
+            "flows" => {
+                if builder.is_none() {
+                    return Err(syntax(lineno, "`process <name>` must come first"));
+                }
+                in_flows = true;
+            }
+            _ if in_flows => {
+                // A chain: A -> B -> C.
+                let chain: Vec<String> = line
+                    .split("->")
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                if chain.len() < 2 || chain.iter().any(String::is_empty) {
+                    return Err(syntax(lineno, "expected `A -> B [-> C …]`"));
+                }
+                flows.push((lineno, chain));
+            }
+            kind_word @ ("start" | "message_start" | "end" | "message_end" | "task" | "xor"
+            | "and" | "or_split" | "or_join") => {
+                if builder.is_none() {
+                    return Err(syntax(lineno, "`process <name>` must come first"));
+                }
+                let pool = current_pool
+                    .ok_or_else(|| syntax(lineno, "node declared outside any `pool`"))?;
+                if tokens.len() < 2 {
+                    return Err(syntax(lineno, format!("expected `{kind_word} <name> …`")));
+                }
+                let node_name = tokens[1].to_string();
+                let reference = match (kind_word, tokens.len()) {
+                    ("message_end", 4) if tokens[2] == "->" => Some(tokens[3].to_string()),
+                    ("message_end", _) => {
+                        return Err(syntax(lineno, "expected `message_end <name> -> <target>`"))
+                    }
+                    ("task", 4) if tokens[2] == "on_error" => Some(tokens[3].to_string()),
+                    ("task", 2) => None,
+                    ("task", _) => {
+                        return Err(syntax(lineno, "expected `task <name> [on_error <node>]`"))
+                    }
+                    ("or_split", 4) if tokens[2] == "join" => Some(tokens[3].to_string()),
+                    ("or_split", 2) => None,
+                    ("or_split", _) => {
+                        return Err(syntax(lineno, "expected `or_split <name> [join <node>]`"))
+                    }
+                    (_, 2) => None,
+                    _ => return Err(syntax(lineno, format!("unexpected tokens after `{kind_word} <name>`"))),
+                };
+                pending.push(PendingNode {
+                    line: lineno,
+                    pool,
+                    kind_word: kind_word.to_string(),
+                    name: node_name,
+                    reference,
+                });
+            }
+            other => {
+                return Err(syntax(
+                    lineno,
+                    format!("unknown directive `{other}` (expected a node kind, `pool`, or `flows`)"),
+                ))
+            }
+        }
+    }
+
+    let mut b = builder.ok_or_else(|| syntax(1, "missing `process <name>` header"))?;
+
+    // First pass: create every node (targets resolved after).
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut fixups: Vec<(usize, NodeId, &'static str, String)> = Vec::new();
+    for p in &pending {
+        let id = match p.kind_word.as_str() {
+            "start" => b.start(p.pool, p.name.as_str()),
+            "message_start" => b.message_start(p.pool, p.name.as_str()),
+            "end" => b.end(p.pool, p.name.as_str()),
+            // Placeholder target: patched below once every name is known.
+            "message_end" => b.message_end(p.pool, p.name.as_str(), NodeId(0)),
+            "task" => b.task(p.pool, p.name.as_str()),
+            "xor" => b.xor(p.pool, p.name.as_str()),
+            "and" => b.and(p.pool, p.name.as_str()),
+            "or_split" => b.or_split(p.pool, p.name.as_str()),
+            "or_join" => b.or_join(p.pool, p.name.as_str()),
+            _ => unreachable!("kinds filtered during scanning"),
+        };
+        if ids.insert(p.name.clone(), id).is_some() {
+            return Err(ProcessParseError::Invalid(ModelError::DuplicateNodeName {
+                name: Symbol::new(&p.name),
+            }));
+        }
+        if let Some(r) = &p.reference {
+            let slot = match p.kind_word.as_str() {
+                "message_end" => "message_target",
+                "task" => "on_error",
+                "or_split" => "join",
+                _ => unreachable!("only these kinds carry references"),
+            };
+            fixups.push((p.line, id, slot, r.clone()));
+        }
+    }
+
+    // Second pass: resolve references.
+    for (line, id, slot, target) in fixups {
+        let Some(&tid) = ids.get(&target) else {
+            return Err(ProcessParseError::UnknownNode { line, name: target });
+        };
+        match slot {
+            "message_target" => b.set_message_target(id, tid),
+            "on_error" => b.set_error_boundary(id, tid),
+            "join" => b.pair_or(id, tid),
+            _ => unreachable!(),
+        }
+    }
+
+    // Flows.
+    for (line, chain) in flows {
+        let mut prev: Option<NodeId> = None;
+        for nm in chain {
+            let Some(&id) = ids.get(&nm) else {
+                return Err(ProcessParseError::UnknownNode { line, name: nm });
+            };
+            if let Some(p) = prev {
+                b.flow(p, id);
+            }
+            prev = Some(id);
+        }
+    }
+
+    b.build().map_err(ProcessParseError::Invalid)
+}
+
+/// Render a model back to the text form (inverse of [`parse_process`] up to
+/// whitespace and declaration order within a pool).
+pub fn format_process(model: &ProcessModel) -> String {
+    let mut out = format!("process {}\n", model.name());
+    for (pi, pool) in model.pools().iter().enumerate() {
+        out.push_str(&format!("\npool {}\n", pool.role));
+        for n in model.nodes().iter().filter(|n| n.pool.0 == pi) {
+            let decl = match n.kind {
+                NodeKind::Start => format!("start {}", n.name),
+                NodeKind::MessageStart => format!("message_start {}", n.name),
+                NodeKind::End => format!("end {}", n.name),
+                NodeKind::MessageEnd { to } => {
+                    format!("message_end {} -> {}", n.name, model.node(to).name)
+                }
+                NodeKind::Task { on_error: None } => format!("task {}", n.name),
+                NodeKind::Task { on_error: Some(h) } => {
+                    format!("task {} on_error {}", n.name, model.node(h).name)
+                }
+                NodeKind::Xor => format!("xor {}", n.name),
+                NodeKind::And => format!("and {}", n.name),
+                NodeKind::Or { join: None } => format!("or_split {}", n.name),
+                NodeKind::Or { join: Some(j) } => {
+                    format!("or_split {} join {}", n.name, model.node(j).name)
+                }
+                NodeKind::OrJoin => format!("or_join {}", n.name),
+            };
+            out.push_str("  ");
+            out.push_str(&decl);
+            out.push('\n');
+        }
+    }
+    out.push_str("\nflows\n");
+    for f in model.flows() {
+        out.push_str(&format!(
+            "  {} -> {}\n",
+            model.node(f.from).name,
+            model.node(f.to).name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::healthcare_treatment;
+
+    const ORDER: &str = "\
+# a tiny fulfillment process
+process order_fulfillment
+
+pool Clerk
+  start Start
+  task Receive
+  task Pick on_error Receive
+  task Ship
+  end Done
+
+flows
+  Start -> Receive -> Pick -> Ship -> Done
+";
+
+    #[test]
+    fn parses_a_simple_process() {
+        let m = parse_process(ORDER).unwrap();
+        assert_eq!(m.name().to_string(), "order_fulfillment");
+        assert_eq!(m.tasks().count(), 3);
+        assert!(m.has_error_boundaries());
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        let m = parse_process(ORDER).unwrap();
+        let text = format_process(&m);
+        let m2 = parse_process(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn fig1_round_trips() {
+        // Re-parsing renumbers nodes (grouped per pool), so compare the
+        // canonical text forms rather than raw ids.
+        let m = healthcare_treatment();
+        let text = format_process(&m);
+        let m2 = parse_process(&text).unwrap();
+        assert_eq!(format_process(&m2), text);
+        assert_eq!(m2.pools().len(), m.pools().len());
+        assert_eq!(m2.tasks().count(), m.tasks().count());
+        assert_eq!(m2.flows().len(), m.flows().len());
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "\
+process p
+pool A
+  start S
+  task T
+  message_end E -> M
+pool B
+  message_start M
+  task U
+  end D
+flows
+  S -> T -> E
+  M -> U -> D
+";
+        let m = parse_process(text).unwrap();
+        assert_eq!(m.pools().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_process("process p\npool A\n  start S\n  frobnicate X\n").unwrap_err();
+        match e {
+            ProcessParseError::Syntax { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_flow_node_reported() {
+        let text = "process p\npool A\n  start S\n  end E\nflows\n  S -> Missing\n";
+        let e = parse_process(text).unwrap_err();
+        assert!(matches!(e, ProcessParseError::UnknownNode { line: 6, .. }));
+    }
+
+    #[test]
+    fn node_outside_pool_rejected() {
+        let e = parse_process("process p\n  start S\n").unwrap_err();
+        assert!(matches!(e, ProcessParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn invalid_models_surface_model_errors() {
+        let text = "process p\npool A\n  task T\n  end E\nflows\n  T -> E\n";
+        let e = parse_process(text).unwrap_err();
+        assert!(matches!(
+            e,
+            ProcessParseError::Invalid(ModelError::NoStartEvent)
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! Well-foundedness (§5 of the paper).
+//!
+//! A BPMN process is *well-founded* w.r.t. the observable labels if every
+//! cycle contains at least one observable activity — a task (whose start
+//! synchronization `r·q` is observable) or an error boundary (whose
+//! `sys·Err` is observable). Corollary 1 shows `WeakNext` terminates exactly
+//! on well-founded processes, so this static check is the decidability
+//! gate for Algorithm 1.
+//!
+//! The check is purely graph-theoretic: a cycle avoiding every task node is
+//! a cycle in the subgraph induced by non-task nodes, and error edges
+//! originate at tasks, so the task-free subgraph over all control edges
+//! captures exactly the offending cycles. "Note that non well-founded
+//! processes can be detected directly on the diagram describing the
+//! process" (§5) — this module is that detector.
+
+use crate::model::{ModelError, NodeId, ProcessModel};
+use crate::validate::control_edges;
+use std::collections::HashMap;
+
+/// Check well-foundedness; on failure, report one task-free cycle.
+pub fn check_well_founded(model: &ProcessModel) -> Result<(), ModelError> {
+    match find_task_free_cycle(model) {
+        None => Ok(()),
+        Some(cycle) => Err(ModelError::NotWellFounded {
+            cycle: cycle.iter().map(|id| model.node(*id).name).collect(),
+        }),
+    }
+}
+
+/// Find a cycle through non-task nodes only, if any.
+pub fn find_task_free_cycle(model: &ProcessModel) -> Option<Vec<NodeId>> {
+    // Adjacency restricted to non-task nodes.
+    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (from, to) in control_edges(model) {
+        if model.node(from).kind.is_task() || model.node(to).kind.is_task() {
+            continue;
+        }
+        adj.entry(from).or_default().push(to);
+    }
+
+    // Iterative DFS with colors; on back edge, reconstruct the cycle from
+    // the active path.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<NodeId, Color> = model
+        .nodes()
+        .iter()
+        .map(|n| (n.id, Color::White))
+        .collect();
+
+    for start in model.nodes().iter().map(|n| n.id) {
+        if color[&start] != Color::White || model.node(start).kind.is_task() {
+            continue;
+        }
+        // Stack of (node, next-child-index); `path` mirrors the gray chain.
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        let mut path: Vec<NodeId> = vec![start];
+        color.insert(start, Color::Gray);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let children = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if *idx < children.len() {
+                let child = children[*idx];
+                *idx += 1;
+                match color[&child] {
+                    Color::Gray => {
+                        // Found a cycle: the segment of `path` from `child`.
+                        let pos = path
+                            .iter()
+                            .position(|&n| n == child)
+                            .expect("gray node is on the active path");
+                        let mut cycle = path[pos..].to_vec();
+                        cycle.push(child);
+                        return Some(cycle);
+                    }
+                    Color::White => {
+                        color.insert(child, Color::Gray);
+                        stack.push((child, 0));
+                        path.push(child);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProcessBuilder;
+
+    #[test]
+    fn cycle_through_task_is_well_founded() {
+        // S → T → G → (T | E): the paper's T01/G1/T02 pattern.
+        let mut b = ProcessBuilder::new("wf");
+        let p = b.pool("P");
+        let s = b.start(p, "S");
+        let t = b.task(p, "T");
+        let g = b.xor(p, "G");
+        let e = b.end(p, "E");
+        b.flow(s, t);
+        b.flow(t, g);
+        b.flow(g, t); // loop back through the task
+        b.flow(g, e);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn gateway_only_cycle_is_rejected() {
+        // "An example is a BPMN process with a cycle formed only by gates."
+        let mut b = ProcessBuilder::new("nwf");
+        let p = b.pool("P");
+        let s = b.start(p, "S");
+        let g1 = b.xor(p, "G1");
+        let g2 = b.xor(p, "G2");
+        let e = b.end(p, "E");
+        b.flow(s, g1);
+        b.flow(g1, g2);
+        b.flow(g2, g1); // gate-only cycle
+        b.flow(g2, e);
+        let err = b.build().unwrap_err();
+        match err {
+            ModelError::NotWellFounded { cycle } => {
+                assert!(cycle.len() >= 2);
+            }
+            other => panic!("expected NotWellFounded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn message_flow_cycle_with_tasks_is_well_founded() {
+        // Fig. 10: two pools in a message cycle, each with a task.
+        let mut b = ProcessBuilder::new("fig10");
+        let p1 = b.pool("P1");
+        let p2 = b.pool("P2");
+        let s1 = b.start(p1, "S1");
+        let s2 = b.message_start(p1, "S2");
+        let t1 = b.task(p1, "T1");
+        let s3 = b.message_start(p2, "S3");
+        let t2 = b.task(p2, "T2");
+        let e1 = b.message_end(p1, "E1", s3);
+        let e2 = b.message_end(p2, "E2", s2);
+        b.flow(s1, t1);
+        b.flow(s2, t1);
+        b.flow(t1, e1);
+        b.flow(s3, t2);
+        b.flow(t2, e2);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn reported_cycle_is_closed() {
+        let mut b = ProcessBuilder::new("nwf2");
+        let p = b.pool("P");
+        let s = b.start(p, "S");
+        let g1 = b.xor(p, "G1");
+        let g2 = b.xor(p, "G2");
+        let g3 = b.xor(p, "G3");
+        let e = b.end(p, "E");
+        b.flow(s, g1);
+        b.flow(g1, g2);
+        b.flow(g2, g3);
+        b.flow(g3, g1);
+        b.flow(g3, e);
+        let m = b.build_unchecked();
+        let cycle = find_task_free_cycle(&m).expect("cycle expected");
+        assert_eq!(cycle.first(), cycle.last());
+    }
+}

@@ -1,0 +1,579 @@
+//! # purposectl — the command-line purpose-control auditor
+//!
+//! Glues the text formats together into a deployable tool:
+//!
+//! ```text
+//! purposectl validate <process.bpmn>
+//! purposectl explore  <process.bpmn> [--dot]
+//! purposectl simulate <process.bpmn> --cases N [--seed S] [--prefix C-]
+//! purposectl check    <process.bpmn> --trail <file> --case <name> [--trace] [--lenient K]
+//! purposectl audit    --trail <file> [--policy <file>]
+//!                     --process <purpose>=<file> … --map <prefix>=<purpose> …
+//!                     [--threads N] [--object OBJ] [--max-minutes M]
+//! ```
+//!
+//! The library surface ([`run`]) takes argv-style arguments and a writer,
+//! so every command is unit-testable without spawning processes.
+
+use audit::codec::{format_trail, parse_trail};
+use audit::trail::AuditTrail;
+use bpmn::encode::encode;
+use bpmn::parse::parse_process;
+use bpmn::ProcessModel;
+use cows::lts::{explore, ExploreLimits};
+use policy::parse::parse_policy;
+use policy::samples::hospital_roles;
+use policy::{Policy, PolicyContext};
+use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
+use purpose_control::lenient::{check_case_lenient, LenientOptions};
+use purpose_control::parallel::audit_parallel;
+use purpose_control::replay::{check_case, CheckOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::io::Write;
+use workload::simulate::{simulate_case, SimConfig};
+
+/// CLI failure: message plus the exit code `main` should use.
+#[derive(Debug)]
+pub struct CliError {
+    pub message: String,
+    pub exit_code: i32,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        exit_code: 2,
+    }
+}
+
+const USAGE: &str = "\
+purposectl — purpose control for audit trails
+
+USAGE:
+  purposectl stats    --trail <file>
+  purposectl validate <process-file>
+  purposectl explore  <process-file> [--dot]
+  purposectl simulate <process-file> --cases <N> [--seed <S>] [--prefix <P>]
+  purposectl check    <process-file> --trail <file> --case <name> [--trace] [--lenient <K>]
+  purposectl audit    --trail <file> [--policy <file>]
+                      --process <purpose>=<file>... [--map <prefix>=<purpose>...]
+                      [--threads <N>] [--object <obj>] [--max-minutes <M>]
+";
+
+/// Minimal flag scanner: positional args plus `--flag value` / `--flag`.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn flag_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| fail(format!("--{name}: `{v}` is not a valid number"))),
+        }
+    }
+}
+
+fn load_process(path: &str) -> Result<ProcessModel, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read process file `{path}`: {e}")))?;
+    parse_process(&text).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+fn load_trail(path: &str) -> Result<AuditTrail, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read trail file `{path}`: {e}")))?;
+    parse_trail(&text).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+fn load_policy(path: &str) -> Result<Policy, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read policy file `{path}`: {e}")))?;
+    parse_policy(&text).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+/// Run the CLI. `argv` excludes the program name.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    let Some(command) = argv.first() else {
+        writeln!(out, "{USAGE}").ok();
+        return Ok(2);
+    };
+    let args = Args::parse(&argv[1..]);
+    match command.as_str() {
+        "stats" => cmd_stats(&args, out),
+        "validate" => cmd_validate(&args, out),
+        "explore" => cmd_explore(&args, out),
+        "simulate" => cmd_simulate(&args, out),
+        "check" => cmd_check(&args, out),
+        "audit" => cmd_audit(&args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").ok();
+            Ok(0)
+        }
+        other => Err(fail(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+fn positional_process(args: &Args) -> Result<ProcessModel, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| fail("missing <process-file> argument"))?;
+    load_process(path)
+}
+
+fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let trail = load_trail(args.flag("trail").ok_or_else(|| fail("missing --trail"))?)?;
+    write!(out, "{}", audit::trail_stats(&trail)).ok();
+    Ok(0)
+}
+
+fn cmd_validate(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let model = positional_process(args)?;
+    writeln!(
+        out,
+        "ok: process `{}` — {} pools, {} tasks, {} flows, well-founded",
+        model.name(),
+        model.pools().len(),
+        model.tasks().count(),
+        model.flows().len()
+    )
+    .ok();
+    Ok(0)
+}
+
+fn cmd_explore(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let model = positional_process(args)?;
+    let encoded = encode(&model);
+    let lts = explore(&encoded.service, ExploreLimits::default())
+        .map_err(|e| fail(format!("exploration failed: {e}")))?;
+    if args.has("dot") {
+        write!(out, "{}", lts.to_dot(&encoded.observability)).ok();
+    } else {
+        writeln!(
+            out,
+            "LTS of `{}`: {} states, {} transitions, {} terminal",
+            model.name(),
+            lts.state_count(),
+            lts.edge_count(),
+            lts.terminal_states().len()
+        )
+        .ok();
+        for sid in 0..lts.state_count() {
+            for (label, next) in lts.edges_from(sid) {
+                writeln!(out, "  St{sid} --{label}--> St{next}").ok();
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let model = positional_process(args)?;
+    let encoded = encode(&model);
+    let cases: usize = args.flag_num("cases", 1)?;
+    let seed: u64 = args.flag_num("seed", 42)?;
+    let prefix = args.flag("prefix").unwrap_or("C-");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trail = AuditTrail::new();
+    for i in 1..=cases {
+        let mut cfg = SimConfig::new(format!("subject{i:04}").as_str());
+        cfg.start = audit::Timestamp(6_000_000 + i as u64 * 600);
+        let entries = simulate_case(&encoded,
+            format!("{prefix}{i}").as_str(),
+            &cfg,
+            &mut rng,
+        );
+        for e in entries {
+            trail.push(e);
+        }
+    }
+    write!(out, "{}", format_trail(&trail)).ok();
+    Ok(0)
+}
+
+fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let model = positional_process(args)?;
+    let encoded = encode(&model);
+    let trail = load_trail(args.flag("trail").ok_or_else(|| fail("missing --trail"))?)?;
+    let case = cows::sym(args.flag("case").ok_or_else(|| fail("missing --case"))?);
+    let entries = trail.project_case(case);
+    if entries.is_empty() {
+        return Err(fail(format!("trail has no entries for case `{case}`")));
+    }
+    let hierarchy = hospital_roles();
+    let lenient: usize = args.flag_num("lenient", 0)?;
+    let opts = CheckOptions {
+        record_trace: args.has("trace"),
+        max_case_minutes: args.flag("max-minutes").map(|v| v.parse().unwrap_or(u64::MAX)),
+        ..CheckOptions::default()
+    };
+
+    if lenient > 0 {
+        let res = check_case_lenient(
+            &encoded,
+            &hierarchy,
+            &entries,
+            &LenientOptions {
+                base: opts,
+                max_silent: lenient,
+            },
+        )
+        .map_err(|e| fail(format!("replay failed: {e}")))?;
+        writeln!(out, "case {case}: {:?}", res.verdict).ok();
+        if !res.assumed.is_empty() {
+            writeln!(out, "assumed silent activities: {:?}", res.assumed).ok();
+        }
+        return Ok(i32::from(!res.verdict.is_compliant()));
+    }
+
+    let res = check_case(&encoded, &hierarchy, &entries, &opts)
+        .map_err(|e| fail(format!("replay failed: {e}")))?;
+    for step in &res.steps {
+        let e = entries[step.entry_index];
+        writeln!(
+            out,
+            "  entry {:2} {} {} -> {} configuration(s) {:?}",
+            step.entry_index, e.role, e.task, step.configurations, step.token_tasks
+        )
+        .ok();
+    }
+    writeln!(out, "case {case}: {:?}", res.verdict).ok();
+    Ok(i32::from(!res.verdict.is_compliant()))
+}
+
+fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let trail = load_trail(args.flag("trail").ok_or_else(|| fail("missing --trail"))?)?;
+    let mut registry = ProcessRegistry::new();
+    let processes = args.flag_all("process");
+    if processes.is_empty() {
+        return Err(fail("at least one --process <purpose>=<file> is required"));
+    }
+    for spec in processes {
+        let (purpose, path) = spec
+            .split_once('=')
+            .ok_or_else(|| fail(format!("--process `{spec}`: expected <purpose>=<file>")))?;
+        registry.register(purpose, load_process(path)?);
+    }
+    for spec in args.flag_all("map") {
+        let (prefix, purpose) = spec
+            .split_once('=')
+            .ok_or_else(|| fail(format!("--map `{spec}`: expected <prefix>=<purpose>")))?;
+        registry.add_case_prefix(prefix, purpose);
+    }
+    let policy = match args.flag("policy") {
+        Some(path) => load_policy(path)?,
+        None => Policy::new(),
+    };
+    let context = PolicyContext::new(hospital_roles());
+    let mut auditor = Auditor::new(registry, policy, context);
+    if let Some(m) = args.flag("max-minutes") {
+        auditor.options.max_case_minutes =
+            Some(m.parse().map_err(|_| fail("--max-minutes: not a number"))?);
+    }
+
+    let threads: usize = args.flag_num("threads", 1)?;
+    let report = if let Some(obj) = args.flag("object") {
+        let object: policy::ObjectId = obj
+            .parse()
+            .map_err(|e| fail(format!("--object: {e}")))?;
+        auditor.audit_object(&trail, &object)
+    } else if threads > 1 {
+        audit_parallel(&auditor, &trail, threads)
+    } else {
+        auditor.audit(&trail)
+    };
+
+    write!(out, "{report}").ok();
+    for case in &report.cases {
+        let line = match &case.outcome {
+            CaseOutcome::Compliant { can_complete } => format!(
+                "compliant ({})",
+                if *can_complete { "complete" } else { "in progress" }
+            ),
+            CaseOutcome::Infringement { infringement, severity } => format!(
+                "INFRINGEMENT at entry {} (severity {:.2})",
+                infringement.entry_index, severity.score
+            ),
+            CaseOutcome::Unresolved(e) => format!("unresolved: {e}"),
+            CaseOutcome::Failed(e) => format!("failed: {e}"),
+        };
+        writeln!(out, "  {:<8} [{} entries] {line}", case.case.to_string(), case.entries).ok();
+    }
+    Ok(i32::from(report.infringing_cases() > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORDER: &str = "\
+process order_fulfillment
+pool Clerk
+  start Start
+  task Receive
+  task Pick
+  task Ship
+  end Done
+flows
+  Start -> Receive -> Pick -> Ship -> Done
+";
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_capture(v: &[&str]) -> (i32, String) {
+        let mut buf = Vec::new();
+        let code = run(&args(v), &mut buf).unwrap();
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("purposectl-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, out) = run_capture(&[]);
+        assert_eq!(code, 2);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut buf = Vec::new();
+        let err = run(&args(&["frobnicate"]), &mut buf).unwrap_err();
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn validate_ok() {
+        let p = write_temp("order.bpmn", ORDER);
+        let (code, out) = run_capture(&["validate", &p]);
+        assert_eq!(code, 0);
+        assert!(out.contains("ok: process `order_fulfillment`"));
+        assert!(out.contains("3 tasks"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_model() {
+        let p = write_temp("bad.bpmn", "process p\npool A\n  task T\n  end E\nflows\n  T -> E\n");
+        let mut buf = Vec::new();
+        let err = run(&args(&["validate", &p]), &mut buf).unwrap_err();
+        assert!(err.message.contains("no start event"));
+    }
+
+    #[test]
+    fn explore_lists_transitions() {
+        let p = write_temp("order2.bpmn", ORDER);
+        let (code, out) = run_capture(&["explore", &p]);
+        assert_eq!(code, 0);
+        assert!(out.contains("Clerk.Receive"));
+    }
+
+    #[test]
+    fn explore_dot_output() {
+        let p = write_temp("order3.bpmn", ORDER);
+        let (code, out) = run_capture(&["explore", &p, "--dot"]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("digraph lts {"));
+    }
+
+    #[test]
+    fn simulate_then_check_round_trip() {
+        let p = write_temp("order4.bpmn", ORDER);
+        let (code, trail_text) =
+            run_capture(&["simulate", &p, "--cases", "2", "--seed", "7", "--prefix", "ORD-"]);
+        assert_eq!(code, 0);
+        let t = write_temp("order4.trail", &trail_text);
+        let (code, out) = run_capture(&["check", &p, "--trail", &t, "--case", "ORD-1"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Compliant"));
+    }
+
+    #[test]
+    fn check_detects_infringements_with_exit_code() {
+        let p = write_temp("order5.bpmn", ORDER);
+        let t = write_temp(
+            "bad.trail",
+            "carol Clerk read [A]Order Ship ORD-9 202607060900 success\n",
+        );
+        let (code, out) = run_capture(&["check", &p, "--trail", &t, "--case", "ORD-9"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("Infringement"));
+    }
+
+    #[test]
+    fn check_lenient_bridges_gaps() {
+        let p = write_temp("order6.bpmn", ORDER);
+        // Pick unlogged.
+        let t = write_temp(
+            "gap.trail",
+            "carol Clerk read [A]Order Receive ORD-1 202607060900 success\n\
+             carol Clerk read [A]Order Ship ORD-1 202607060910 success\n",
+        );
+        let (strict, _) = run_capture(&["check", &p, "--trail", &t, "--case", "ORD-1"]);
+        assert_eq!(strict, 1);
+        let (code, out) =
+            run_capture(&["check", &p, "--trail", &t, "--case", "ORD-1", "--lenient", "1"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("assumed silent activities"));
+        assert!(out.contains("Clerk.Pick"));
+    }
+
+    #[test]
+    fn audit_full_pipeline() {
+        let p = write_temp("order7.bpmn", ORDER);
+        let (_, trail_text) =
+            run_capture(&["simulate", &p, "--cases", "3", "--seed", "1", "--prefix", "ORD-"]);
+        let t = write_temp("order7.trail", &trail_text);
+        let pol = write_temp(
+            "order.policy",
+            "allow role:Clerk read [*]Order for fulfillment\n\
+             allow role:Clerk write [*]Order for fulfillment\n",
+        );
+        let (code, out) = run_capture(&[
+            "audit", "--trail", &t, "--policy", &pol, "--process",
+            &format!("fulfillment={p}"), "--map", "ORD-=fulfillment",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("3 compliant"));
+    }
+
+    #[test]
+    fn audit_flags_infringements() {
+        let p = write_temp("order8.bpmn", ORDER);
+        let t = write_temp(
+            "order8.trail",
+            "carol Clerk read [A]Order Ship ORD-1 202607060900 success\n",
+        );
+        let (code, out) = run_capture(&[
+            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
+            "--map", "ORD-=fulfillment",
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("INFRINGEMENT"));
+    }
+
+    #[test]
+    fn stats_subcommand() {
+        let p = write_temp("order10.bpmn", ORDER);
+        let (_, trail_text) =
+            run_capture(&["simulate", &p, "--cases", "2", "--seed", "3", "--prefix", "ORD-"]);
+        let t = write_temp("order10.trail", &trail_text);
+        let (code, out) = run_capture(&["stats", "--trail", &t]);
+        assert_eq!(code, 0);
+        assert!(out.contains("2 cases"));
+        assert!(out.contains("by task:"));
+    }
+
+    #[test]
+    fn audit_parallel_threads_flag() {
+        let p = write_temp("order11.bpmn", ORDER);
+        let (_, trail_text) =
+            run_capture(&["simulate", &p, "--cases", "4", "--seed", "2", "--prefix", "ORD-"]);
+        let t = write_temp("order11.trail", &trail_text);
+        let (code, out) = run_capture(&[
+            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
+            "--map", "ORD-=fulfillment", "--threads", "4",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("4 compliant"));
+    }
+
+    #[test]
+    fn audit_max_minutes_flags_stale_cases() {
+        let p = write_temp("order12.bpmn", ORDER);
+        // A process-valid case spread over two days.
+        let t = write_temp(
+            "order12.trail",
+            "carol Clerk read [A]Order Receive ORD-1 202607060900 success
+             carol Clerk read [A]Order Pick ORD-1 202607080900 success
+",
+        );
+        let (fast, _) = run_capture(&[
+            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
+            "--map", "ORD-=fulfillment",
+        ]);
+        assert_eq!(fast, 0, "without a window the case is compliant");
+        let (code, out) = run_capture(&[
+            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
+            "--map", "ORD-=fulfillment", "--max-minutes", "60",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("INFRINGEMENT"));
+    }
+
+    #[test]
+    fn audit_object_scoping() {
+        let p = write_temp("order9.bpmn", ORDER);
+        let t = write_temp(
+            "order9.trail",
+            "carol Clerk read [Acme]Order Ship ORD-1 202607060900 success\n\
+             carol Clerk read [Globex]Order Ship ORD-2 202607060905 success\n",
+        );
+        let (_, out) = run_capture(&[
+            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
+            "--map", "ORD-=fulfillment", "--object", "[Acme]Order",
+        ]);
+        assert!(out.contains("ORD-1"));
+        assert!(!out.contains("ORD-2"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Thin binary wrapper over [`purposectl::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout();
+    match purposectl::run(&argv, &mut out) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("purposectl: {e}");
+            std::process::exit(e.exit_code);
+        }
+    }
+}

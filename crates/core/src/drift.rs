@@ -1,0 +1,285 @@
+//! Compliance drift: prescribed process vs. mined behavior.
+//!
+//! Algorithm 1 answers "is *this case* a valid execution?". Drift analysis
+//! answers the organizational question underneath §6's process-mining
+//! comparison: "has practice *as a whole* diverged from the prescribed
+//! process?" — tasks nobody executes any more, and task-to-task shortcuts
+//! that the model does not allow.
+//!
+//! The observed side comes from the α-relations of the trail's task logs
+//! (`petri::discover::LogRelations`); the prescribed side from the BPMN
+//! control-flow graph: a direct succession `a > b` is *allowed* when the
+//! model has a path from task `a` to task `b` through non-task nodes only
+//! (gateways, events, message flows), or when `a ∥ b` is possible (both
+//! reachable from a common AND/OR split without passing the other).
+
+use bpmn::model::{NodeId, NodeKind, ProcessModel};
+use bpmn::validate::control_edges;
+use cows::symbol::Symbol;
+use petri::discover::LogRelations;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// The drift findings for one purpose.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DriftReport {
+    /// Prescribed tasks never observed in any case.
+    pub dead_tasks: BTreeSet<Symbol>,
+    /// Observed tasks the model does not prescribe at all.
+    pub foreign_tasks: BTreeSet<Symbol>,
+    /// Observed direct successions `a > b` that the prescribed control
+    /// flow cannot produce (shortcuts / reorderings). Pairs over foreign
+    /// tasks are excluded — they are already reported above.
+    pub illegal_successions: BTreeSet<(Symbol, Symbol)>,
+    /// Cases analyzed.
+    pub cases: usize,
+}
+
+impl DriftReport {
+    pub fn is_clean(&self) -> bool {
+        self.dead_tasks.is_empty()
+            && self.foreign_tasks.is_empty()
+            && self.illegal_successions.is_empty()
+    }
+}
+
+/// Task-to-task "may directly follow" relation of a model: `b` may directly
+/// follow `a` if a token can travel from `a`'s output to `b`'s input
+/// through non-task nodes, or if `a` and `b` can be concurrently enabled
+/// (a parallel/inclusive split reaches both without passing through either).
+pub fn allowed_successions(model: &ProcessModel) -> HashSet<(Symbol, Symbol)> {
+    let edges = control_edges(model);
+    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (from, to) in &edges {
+        adj.entry(*from).or_default().push(*to);
+    }
+
+    // For each task a: BFS from its successors through non-task nodes;
+    // every task reached may directly follow a.
+    let mut allowed: HashSet<(Symbol, Symbol)> = HashSet::new();
+    for a in model.tasks() {
+        let mut frontier: Vec<NodeId> = adj.get(&a.id).cloned().unwrap_or_default();
+        let mut seen: HashSet<NodeId> = frontier.iter().copied().collect();
+        while let Some(n) = frontier.pop() {
+            if model.node(n).kind.is_task() {
+                allowed.insert((a.name, model.node(n).name));
+                continue; // stop at the first task on the path
+            }
+            for next in adj.get(&n).cloned().unwrap_or_default() {
+                if seen.insert(next) {
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+
+    // Concurrency: from every AND split or OR split, the tasks reachable
+    // on *different* branches (up to the next join) may interleave in any
+    // order. The branch sweep stops at join nodes — control in-degree > 1
+    // — which is where the concurrent window closes (block-structured
+    // assumption; the paper's Fig. 1 G3/S4 pair has exactly this shape).
+    let mut in_degree: HashMap<NodeId, usize> = HashMap::new();
+    for (_, to) in &edges {
+        *in_degree.entry(*to).or_default() += 1;
+    }
+    for n in model.nodes() {
+        let concurrent = matches!(n.kind, NodeKind::And | NodeKind::Or { .. })
+            && model.successors(n.id).len() > 1;
+        if !concurrent {
+            continue;
+        }
+        let mut per_branch: Vec<HashSet<Symbol>> = Vec::new();
+        for branch in model.successors(n.id) {
+            let mut tasks: HashSet<Symbol> = HashSet::new();
+            let mut frontier = vec![branch];
+            let mut seen: HashSet<NodeId> = frontier.iter().copied().collect();
+            while let Some(x) = frontier.pop() {
+                if in_degree.get(&x).copied().unwrap_or(0) > 1 {
+                    continue; // the join closes the concurrent window
+                }
+                if model.node(x).kind.is_task() {
+                    tasks.insert(model.node(x).name);
+                    // Continue past the task: later tasks on this branch can
+                    // also interleave with the other branch.
+                }
+                for next in adj.get(&x).cloned().unwrap_or_default() {
+                    if seen.insert(next) {
+                        frontier.push(next);
+                    }
+                }
+            }
+            per_branch.push(tasks);
+        }
+        for (i, left) in per_branch.iter().enumerate() {
+            for (j, right) in per_branch.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for &a in left {
+                    for &b in right {
+                        allowed.insert((a, b));
+                        allowed.insert((b, a));
+                    }
+                }
+            }
+        }
+    }
+    allowed
+}
+
+/// Compare the prescribed `model` with observed per-case task logs.
+pub fn drift_report(model: &ProcessModel, task_logs: &[Vec<Symbol>]) -> DriftReport {
+    let relations = LogRelations::from_log(task_logs);
+    let prescribed: BTreeSet<Symbol> = model.tasks().map(|t| t.name).collect();
+    let observed = &relations.tasks;
+
+    let dead_tasks: BTreeSet<Symbol> =
+        prescribed.difference(observed).copied().collect();
+    let foreign_tasks: BTreeSet<Symbol> =
+        observed.difference(&prescribed).copied().collect();
+
+    let allowed = allowed_successions(model);
+    let mut illegal_successions = BTreeSet::new();
+    for &a in observed {
+        for &b in observed {
+            if relations.directly_follows(a, b)
+                && !allowed.contains(&(a, b))
+                && prescribed.contains(&a)
+                && prescribed.contains(&b)
+            {
+                illegal_successions.insert((a, b));
+            }
+        }
+    }
+
+    DriftReport {
+        dead_tasks,
+        foreign_tasks,
+        illegal_successions,
+        cases: task_logs.len(),
+    }
+}
+
+/// Collapse a per-case projection into the task log drift analysis expects
+/// (consecutive same-task entries merge; failures keep the task name — the
+/// drift lens does not distinguish outcomes).
+pub fn case_task_log(entries: &[&audit::entry::LogEntry]) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = Vec::new();
+    for e in entries {
+        if out.last() != Some(&e.task) {
+            out.push(e.task);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpmn::models::{fig8_exclusive, healthcare_treatment};
+    use cows::sym;
+
+    fn logs(runs: &[&[&str]]) -> Vec<Vec<Symbol>> {
+        runs.iter()
+            .map(|r| r.iter().map(|t| sym(t)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn clean_behavior_reports_nothing() {
+        let model = fig8_exclusive();
+        let report = drift_report(&model, &logs(&[&["T", "T1"], &["T", "T2"]]));
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn dead_tasks_detected() {
+        let model = fig8_exclusive();
+        // Nobody ever takes the T2 branch.
+        let report = drift_report(&model, &logs(&[&["T", "T1"], &["T", "T1"]]));
+        assert_eq!(report.dead_tasks, BTreeSet::from([sym("T2")]));
+        assert!(report.foreign_tasks.is_empty());
+    }
+
+    #[test]
+    fn foreign_tasks_detected() {
+        let model = fig8_exclusive();
+        let report = drift_report(&model, &logs(&[&["T", "Audit", "T1"]]));
+        assert_eq!(report.foreign_tasks, BTreeSet::from([sym("Audit")]));
+    }
+
+    #[test]
+    fn shortcuts_detected() {
+        // T1 directly after T2 is impossible in the exclusive model.
+        let model = fig8_exclusive();
+        let report = drift_report(&model, &logs(&[&["T", "T2", "T1"]]));
+        assert!(report
+            .illegal_successions
+            .contains(&(sym("T2"), sym("T1"))));
+    }
+
+    #[test]
+    fn healthcare_allowed_successions_cover_fig4() {
+        // Every direct succession HT-1 actually produces is allowed.
+        let model = healthcare_treatment();
+        let allowed = allowed_successions(&model);
+        for (a, b) in [
+            ("T01", "T02"),
+            ("T01", "T05"),
+            ("T05", "T06"), // referral message
+            ("T06", "T09"),
+            ("T09", "T10"), // order → radiology
+            ("T12", "T06"), // notification → retrieve results
+            ("T07", "T01"), // diagnosis → back to the GP
+            ("T02", "T03"),
+            ("T03", "T04"),
+            ("T02", "T01"), // error boundary retry
+        ] {
+            assert!(
+                allowed.contains(&(sym(a), sym(b))),
+                "{a} > {b} should be allowed"
+            );
+        }
+        // And the re-purposing shortcut is not.
+        assert!(!allowed.contains(&(sym("T04"), sym("T06"))));
+    }
+
+    #[test]
+    fn parallel_branches_may_interleave() {
+        let mut b = bpmn::ProcessBuilder::new("andp");
+        let p = b.pool("P");
+        let s = b.start(p, "S");
+        let f = b.and(p, "F");
+        let a = b.task(p, "A");
+        let t = b.task(p, "B");
+        let j = b.and(p, "J");
+        let e = b.end(p, "E");
+        b.flow(s, f);
+        b.flow(f, a);
+        b.flow(f, t);
+        b.flow(a, j);
+        b.flow(t, j);
+        b.flow(j, e);
+        let model = b.build().unwrap();
+        let allowed = allowed_successions(&model);
+        assert!(allowed.contains(&(sym("A"), sym("B"))));
+        assert!(allowed.contains(&(sym("B"), sym("A"))));
+        // Both interleavings drift-clean.
+        let report = drift_report(&model, &logs(&[&["A", "B"], &["B", "A"]]));
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn case_log_collapses_repeats() {
+        use audit::entry::LogEntry;
+        use policy::statement::Action;
+        let entries: Vec<LogEntry> = [("A", 0u64), ("A", 1), ("B", 2), ("A", 3)]
+            .iter()
+            .map(|(t, m)| {
+                LogEntry::success("u", "R", Action::Read, None, *t, "c", audit::Timestamp(*m))
+            })
+            .collect();
+        let refs: Vec<&LogEntry> = entries.iter().collect();
+        let log = case_task_log(&refs);
+        assert_eq!(log, vec![sym("A"), sym("B"), sym("A")]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Errors of the purpose-control engine.
+
+use cows::error::ExploreError;
+use std::fmt;
+
+/// Failures of Algorithm 1's machinery (distinct from *verdicts*: an
+/// infringement is a result, not an error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The underlying `WeakNext` computation failed (τ-divergence or state
+    /// budget) — the process is likely not well-founded.
+    Explore(ExploreError),
+    /// The configuration set outgrew its bound while consuming the entry at
+    /// `entry_index`. Raise [`crate::replay::CheckOptions::max_configurations`]
+    /// or reduce OR-gateway fan-out.
+    ConfigurationLimit { limit: usize, entry_index: usize },
+    /// A case refers to a purpose with no registered process.
+    UnknownPurpose { purpose: String },
+    /// A case cannot be mapped to any purpose.
+    UnresolvedCase { case: String },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Explore(e) => write!(f, "exploration failed: {e}"),
+            CheckError::ConfigurationLimit { limit, entry_index } => write!(
+                f,
+                "configuration set exceeded {limit} while consuming entry {entry_index}"
+            ),
+            CheckError::UnknownPurpose { purpose } => {
+                write!(f, "no process registered for purpose `{purpose}`")
+            }
+            CheckError::UnresolvedCase { case } => {
+                write!(f, "case `{case}` cannot be mapped to a purpose")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckError::Explore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExploreError> for CheckError {
+    fn from(e: ExploreError) -> CheckError {
+        CheckError::Explore(e)
+    }
+}

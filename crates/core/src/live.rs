@@ -1,0 +1,274 @@
+//! Online purpose control.
+//!
+//! The paper's mechanism is a-posteriori, but nothing in Algorithm 1
+//! requires the trail to be complete before checking starts — the
+//! configuration set advances one entry at a time. [`LiveAuditor`] exploits
+//! that: it keeps one [`crate::session::SessionCore`] per open case and
+//! raises an alarm the *moment* an entry deviates, turning the paper's
+//! detective control into a near-real-time one (a tighter variant of the
+//! §4 observation that mimicry only works in narrow windows — windows this
+//! monitor shrinks to a single log entry).
+
+use crate::auditor::{Auditor, RegisteredProcess};
+use crate::error::CheckError;
+use crate::replay::{CaseCheck, Infringement};
+use crate::session::{FeedOutcome, SessionCore};
+use crate::severity::{assess, SeverityAssessment};
+use audit::entry::LogEntry;
+use cows::symbol::Symbol;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What happened when an entry was observed.
+#[derive(Clone, Debug)]
+pub enum LiveEvent {
+    /// The entry fits its case's process so far.
+    Accepted { case: Symbol },
+    /// The entry deviates — raise the alarm now.
+    Alarm {
+        case: Symbol,
+        infringement: Infringement,
+        severity: SeverityAssessment,
+    },
+    /// The case was already closed by a previous alarm; the entry is
+    /// recorded as additional unaccounted activity.
+    AfterAlarm { case: Symbol },
+    /// No purpose/process could be resolved for the case.
+    Unresolved { case: Symbol },
+}
+
+impl LiveEvent {
+    pub fn is_alarm(&self) -> bool {
+        matches!(self, LiveEvent::Alarm { .. })
+    }
+}
+
+struct LiveCase {
+    process: Arc<RegisteredProcess>,
+    core: SessionCore,
+    entries: Vec<LogEntry>,
+}
+
+/// A streaming auditor: feed it log entries as the systems emit them.
+pub struct LiveAuditor {
+    auditor: Auditor,
+    cases: HashMap<Symbol, LiveCase>,
+    alarms: Vec<(Symbol, Infringement)>,
+}
+
+impl LiveAuditor {
+    pub fn new(auditor: Auditor) -> LiveAuditor {
+        LiveAuditor {
+            auditor,
+            cases: HashMap::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// Number of cases currently tracked.
+    pub fn open_cases(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Alarms raised so far, in order.
+    pub fn alarms(&self) -> &[(Symbol, Infringement)] {
+        &self.alarms
+    }
+
+    /// Observe one log entry (entries must arrive per-case in
+    /// chronological order, as a log shipper would deliver them).
+    pub fn observe(&mut self, entry: &LogEntry) -> Result<LiveEvent, CheckError> {
+        let case = entry.case;
+        if !self.cases.contains_key(&case) {
+            let Some(purpose) = self.auditor.resolve_case(case) else {
+                return Ok(LiveEvent::Unresolved { case });
+            };
+            let Some(process) = self.auditor.registry.process_for(purpose) else {
+                return Ok(LiveEvent::Unresolved { case });
+            };
+            let core = SessionCore::new(&process.encoded, self.auditor.options)?;
+            self.cases.insert(
+                case,
+                LiveCase {
+                    process: process.clone(),
+                    core,
+                    entries: Vec::new(),
+                },
+            );
+        }
+        let live = self.cases.get_mut(&case).expect("inserted above");
+        live.entries.push(entry.clone());
+        if live.core.is_closed() {
+            return Ok(LiveEvent::AfterAlarm { case });
+        }
+        let hierarchy = self.auditor.context.roles();
+        match live.core.feed(&live.process.encoded, hierarchy, entry)? {
+            FeedOutcome::Accepted { .. } => Ok(LiveEvent::Accepted { case }),
+            FeedOutcome::Rejected(infringement) => {
+                let refs: Vec<&LogEntry> = live.entries.iter().collect();
+                let severity = assess(&infringement, &refs, &self.auditor.sensitivity);
+                self.alarms.push((case, infringement.clone()));
+                Ok(LiveEvent::Alarm {
+                    case,
+                    infringement,
+                    severity,
+                })
+            }
+        }
+    }
+
+    /// Snapshot the Algorithm-1 result for one tracked case.
+    pub fn snapshot(&self, case: Symbol) -> Option<Result<CaseCheck, CheckError>> {
+        self.cases
+            .get(&case)
+            .map(|live| live.core.finish(&live.process.encoded))
+    }
+
+    /// Drop cases whose process has completed (every configuration can
+    /// silently terminate) — the live monitor's garbage collection.
+    /// Returns the retired case names.
+    pub fn retire_completed(&mut self) -> Result<Vec<Symbol>, CheckError> {
+        let mut retired = Vec::new();
+        let mut keep: HashMap<Symbol, LiveCase> = HashMap::new();
+        for (case, live) in self.cases.drain() {
+            let done = !live.core.is_closed()
+                && live
+                    .core
+                    .finish(&live.process.encoded)?
+                    .verdict
+                    == crate::replay::Verdict::Compliant { can_complete: true };
+            if done {
+                retired.push(case);
+            } else {
+                keep.insert(case, live);
+            }
+        }
+        self.cases = keep;
+        retired.sort();
+        Ok(retired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::ProcessRegistry;
+    use audit::samples::figure4_trail;
+    use bpmn::models::{clinical_trial, healthcare_treatment};
+    use cows::sym;
+    use policy::samples::{
+        clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+    };
+
+    fn live() -> LiveAuditor {
+        let mut registry = ProcessRegistry::new();
+        registry.register(treatment(), healthcare_treatment());
+        registry.register(clinical_trial_purpose(), clinical_trial());
+        registry.add_case_prefix("HT-", treatment());
+        registry.add_case_prefix("CT-", clinical_trial_purpose());
+        LiveAuditor::new(Auditor::new(
+            registry,
+            extended_hospital_policy(),
+            hospital_context(),
+        ))
+    }
+
+    #[test]
+    fn streams_the_fig4_trail_and_alarms_on_the_sweep() {
+        let mut monitor = live();
+        let trail = figure4_trail();
+        let mut alarm_cases = Vec::new();
+        for e in &trail {
+            if let LiveEvent::Alarm { case, .. } = monitor.observe(e).unwrap() {
+                alarm_cases.push(case.to_string());
+            }
+        }
+        // The five printed sweep cases each alarm on their very first
+        // (and only) entry — detection latency of one log entry.
+        assert_eq!(
+            alarm_cases,
+            vec!["HT-10", "HT-11", "HT-20", "HT-21", "HT-30"]
+        );
+        // The legitimate cases never alarmed.
+        assert!(monitor
+            .snapshot(sym("HT-1"))
+            .unwrap()
+            .unwrap()
+            .verdict
+            .is_compliant());
+        assert!(monitor
+            .snapshot(sym("CT-1"))
+            .unwrap()
+            .unwrap()
+            .verdict
+            .is_compliant());
+    }
+
+    #[test]
+    fn entries_after_an_alarm_are_tracked_not_replayed() {
+        let mut monitor = live();
+        let bad = audit::codec::parse_trail(
+            "Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060900 success\n\
+             Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060905 success\n",
+        )
+        .unwrap();
+        let mut events = Vec::new();
+        for e in &bad {
+            events.push(monitor.observe(e).unwrap());
+        }
+        assert!(events[0].is_alarm());
+        assert!(matches!(events[1], LiveEvent::AfterAlarm { .. }));
+        assert_eq!(monitor.alarms().len(), 1);
+    }
+
+    #[test]
+    fn unresolved_cases_are_reported() {
+        let mut monitor = live();
+        let e = audit::codec::parse_trail(
+            "Bob Cardiologist read [Jane]EPR/Clinical T06 XX-1 201007060900 success\n",
+        )
+        .unwrap();
+        let ev = monitor.observe(&e.entries()[0]).unwrap();
+        assert!(matches!(ev, LiveEvent::Unresolved { .. }));
+        assert_eq!(monitor.open_cases(), 0);
+    }
+
+    #[test]
+    fn completed_cases_retire() {
+        let mut monitor = live();
+        let trail = figure4_trail();
+        for e in trail.project_case(sym("HT-1")) {
+            monitor.observe(e).unwrap();
+        }
+        assert_eq!(monitor.open_cases(), 1);
+        let retired = monitor.retire_completed().unwrap();
+        assert_eq!(retired, vec![sym("HT-1")]);
+        assert_eq!(monitor.open_cases(), 0);
+    }
+
+    #[test]
+    fn live_verdicts_match_batch_audit() {
+        let mut monitor = live();
+        let trail = figure4_trail();
+        for e in &trail {
+            monitor.observe(e).unwrap();
+        }
+        let batch = monitor.auditor().audit(&trail);
+        for case in &batch.cases {
+            let live_verdict = monitor
+                .snapshot(case.case)
+                .expect("case tracked")
+                .expect("no machinery error");
+            assert_eq!(
+                live_verdict.verdict.is_compliant(),
+                case.outcome.is_compliant(),
+                "case {} disagrees between live and batch",
+                case.case
+            );
+        }
+    }
+}

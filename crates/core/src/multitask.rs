@@ -1,0 +1,193 @@
+//! Multitasking analysis — the §4 mimicry mitigation.
+//!
+//! "A single user cannot simulate the whole process alone … This threat can
+//! be partially mitigated by limiting multi-tasking, i.e. a user \[has\] to
+//! complete an activity before starting a new activity."
+//!
+//! [`multitasking_report`] finds, per user, pairs of task activities whose
+//! logged intervals overlap — a user apparently working on two tasks at
+//! once (possibly across cases). Overlaps are not infringements by
+//! themselves; they shrink the time windows in which a mimicry attack
+//! (reusing a live case id) could hide, and give auditors a policy lever.
+
+use audit::trail::AuditTrail;
+use audit::time::Timestamp;
+use cows::symbol::Symbol;
+use std::collections::HashMap;
+
+/// One task activity of one user: the span between its first and last log
+/// entries within a case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskSpan {
+    pub case: Symbol,
+    pub task: Symbol,
+    pub first: Timestamp,
+    pub last: Timestamp,
+    pub entries: usize,
+}
+
+/// Two overlapping spans of the same user.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultitaskFinding {
+    pub user: Symbol,
+    pub a: TaskSpan,
+    pub b: TaskSpan,
+    /// Overlap length in minutes.
+    pub overlap_minutes: u64,
+}
+
+/// Compute all task spans per user.
+pub fn task_spans(trail: &AuditTrail) -> HashMap<Symbol, Vec<TaskSpan>> {
+    let mut per_user: HashMap<Symbol, HashMap<(Symbol, Symbol), TaskSpan>> = HashMap::new();
+    for e in trail {
+        let span = per_user
+            .entry(e.user)
+            .or_default()
+            .entry((e.case, e.task))
+            .or_insert(TaskSpan {
+                case: e.case,
+                task: e.task,
+                first: e.time,
+                last: e.time,
+                entries: 0,
+            });
+        span.first = span.first.min(e.time);
+        span.last = span.last.max(e.time);
+        span.entries += 1;
+    }
+    per_user
+        .into_iter()
+        .map(|(user, spans)| {
+            let mut v: Vec<TaskSpan> = spans.into_values().collect();
+            v.sort_by_key(|s| (s.first, s.last, s.case, s.task));
+            (user, v)
+        })
+        .collect()
+}
+
+/// Report all per-user overlapping task spans.
+///
+/// Two spans overlap when one starts strictly before the other ends and
+/// they are different (case, task) activities. Zero-length spans (single
+/// entries) only overlap if they share the exact timestamp of another
+/// span's interior.
+pub fn multitasking_report(trail: &AuditTrail) -> Vec<MultitaskFinding> {
+    let mut findings = Vec::new();
+    for (user, spans) in task_spans(trail) {
+        for i in 0..spans.len() {
+            for j in (i + 1)..spans.len() {
+                let (a, b) = (spans[i], spans[j]);
+                // Spans are sorted by start; once b starts after a ends, no
+                // later span overlaps a either.
+                if b.first > a.last {
+                    break;
+                }
+                let overlap_end = a.last.min(b.last);
+                findings.push(MultitaskFinding {
+                    user,
+                    a,
+                    b,
+                    overlap_minutes: overlap_end.0.saturating_sub(b.first.0),
+                });
+            }
+        }
+    }
+    findings.sort_by_key(|f| (f.user, f.a.first, f.b.first));
+    findings
+}
+
+/// Summary statistic: the fraction of users with at least one overlap — a
+/// quick health indicator for the §4 "limit multi-tasking" policy.
+pub fn multitasking_ratio(trail: &AuditTrail) -> f64 {
+    let spans = task_spans(trail);
+    if spans.is_empty() {
+        return 0.0;
+    }
+    let users_total = spans.len();
+    let findings = multitasking_report(trail);
+    let mut offenders: Vec<Symbol> = findings.iter().map(|f| f.user).collect();
+    offenders.sort();
+    offenders.dedup();
+    offenders.len() as f64 / users_total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audit::entry::LogEntry;
+    use policy::statement::Action;
+
+    fn entry(user: &str, task: &str, case: &str, minute: u64) -> LogEntry {
+        LogEntry::success(user, "R", Action::Read, None, task, case, Timestamp(minute))
+    }
+
+    #[test]
+    fn disjoint_tasks_produce_no_findings() {
+        let t = AuditTrail::from_entries(vec![
+            entry("u", "A", "c1", 0),
+            entry("u", "A", "c1", 10),
+            entry("u", "B", "c1", 20),
+            entry("u", "B", "c1", 30),
+        ]);
+        assert!(multitasking_report(&t).is_empty());
+        assert_eq!(multitasking_ratio(&t), 0.0);
+    }
+
+    #[test]
+    fn interleaved_tasks_are_reported() {
+        // u works A(0..20) and B(10..30): overlap 10 minutes.
+        let t = AuditTrail::from_entries(vec![
+            entry("u", "A", "c1", 0),
+            entry("u", "B", "c2", 10),
+            entry("u", "A", "c1", 20),
+            entry("u", "B", "c2", 30),
+        ]);
+        let f = multitasking_report(&t);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].overlap_minutes, 10);
+        assert_eq!(f[0].a.task, cows::sym("A"));
+        assert_eq!(f[0].b.task, cows::sym("B"));
+        assert_eq!(multitasking_ratio(&t), 1.0);
+    }
+
+    #[test]
+    fn different_users_never_overlap_each_other() {
+        let t = AuditTrail::from_entries(vec![
+            entry("u1", "A", "c1", 0),
+            entry("u1", "A", "c1", 20),
+            entry("u2", "B", "c2", 10),
+            entry("u2", "B", "c2", 30),
+        ]);
+        assert!(multitasking_report(&t).is_empty());
+    }
+
+    #[test]
+    fn same_task_across_cases_counts_as_multitasking() {
+        // The §4 scenario: Bob keeps a treatment case "warm" while feeding
+        // his sweep — same task, different cases, overlapping.
+        let t = AuditTrail::from_entries(vec![
+            entry("bob", "T06", "HT-1", 0),
+            entry("bob", "T06", "HT-11", 5),
+            entry("bob", "T06", "HT-1", 10),
+            entry("bob", "T06", "HT-11", 15),
+        ]);
+        let f = multitasking_report(&t);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].a.case, cows::sym("HT-1"));
+        assert_eq!(f[0].b.case, cows::sym("HT-11"));
+    }
+
+    #[test]
+    fn spans_aggregate_entries() {
+        let t = AuditTrail::from_entries(vec![
+            entry("u", "A", "c", 3),
+            entry("u", "A", "c", 1),
+            entry("u", "A", "c", 2),
+        ]);
+        let spans = task_spans(&t);
+        let s = &spans[&cows::sym("u")][0];
+        assert_eq!(s.first, Timestamp(1));
+        assert_eq!(s.last, Timestamp(3));
+        assert_eq!(s.entries, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! The naïve purpose-control baseline the paper rejects.
+//!
+//! §1: "A naïve approach for purpose control would be to generate the
+//! transition system of the COWS process model and then verify if the audit
+//! trail corresponds to a valid trace of the transition system.
+//! Unfortunately, the number of possible traces can be infinite, for
+//! instance when the process has a loop, making this approach not
+//! feasible."
+//!
+//! This module implements exactly that approach — bounded, so the blow-up
+//! surfaces as [`ExploreError::TraceLimit`] instead of divergence — both to
+//! reproduce the paper's argument quantitatively (bench `naive_vs_replay`)
+//! and as a cross-validation oracle for Algorithm 1 on small loop-free
+//! processes.
+
+use audit::entry::{LogEntry, TaskStatus};
+use bpmn::encode::Encoded;
+use cows::error::ExploreError;
+use cows::lts::{explore, ExploreLimits};
+use cows::observe::Observation;
+use policy::hierarchy::RoleHierarchy;
+
+/// Bounds for the naïve enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveLimits {
+    pub explore: ExploreLimits,
+    /// Maximum observable-trace length enumerated.
+    pub max_trace_len: usize,
+    /// Maximum number of distinct traces before giving up.
+    pub max_traces: usize,
+}
+
+impl Default for NaiveLimits {
+    fn default() -> Self {
+        NaiveLimits {
+            explore: ExploreLimits::default(),
+            max_trace_len: 64,
+            max_traces: 1_000_000,
+        }
+    }
+}
+
+/// Statistics of a naïve check — the cost the paper's Algorithm 1 avoids.
+#[derive(Clone, Debug)]
+pub struct NaiveCheck {
+    pub accepted: bool,
+    pub lts_states: usize,
+    pub traces_enumerated: usize,
+}
+
+/// Collapse a case projection into the observation sequence it induces:
+/// consecutive successful entries of the same `(role, task)` are one task
+/// start; a failure is `sys·Err`.
+///
+/// This collapse is exact only when repeated task entries are adjacent —
+/// with interleaved parallel branches the naïve approach cannot tell an
+/// absorbed action from a fresh start, one more reason the paper's
+/// configuration-based algorithm is needed.
+pub fn collapse_entries(entries: &[&LogEntry]) -> Vec<(cows::Symbol, cows::Symbol, TaskStatus)> {
+    let mut out: Vec<(cows::Symbol, cows::Symbol, TaskStatus)> = Vec::new();
+    for e in entries {
+        match out.last() {
+            Some(&(r, t, TaskStatus::Success))
+                if e.status == TaskStatus::Success && r == e.role && t == e.task => {}
+            _ => out.push((e.role, e.task, e.status)),
+        }
+    }
+    out
+}
+
+/// Naïvely check a case projection: enumerate every observable trace of
+/// the process LTS (bounded) and test whether the collapsed entry sequence
+/// occurs among them.
+pub fn naive_check(
+    encoded: &Encoded,
+    hierarchy: &RoleHierarchy,
+    entries: &[&LogEntry],
+    limits: &NaiveLimits,
+) -> Result<NaiveCheck, ExploreError> {
+    let lts = explore(&encoded.service, limits.explore)?;
+    let traces = lts.observable_traces(
+        &encoded.observability,
+        limits.max_trace_len.min(entries.len().max(1)),
+        limits.max_traces,
+    )?;
+    let want = collapse_entries(entries);
+    let accepted = traces.iter().any(|trace| {
+        trace.len() == want.len()
+            && trace.iter().zip(&want).all(|(obs, &(role, task, status))| {
+                match (obs, status) {
+                    (Observation::Task { role: r, task: t }, TaskStatus::Success) => {
+                        *t == task && hierarchy.is_specialization_of(role, *r)
+                    }
+                    (Observation::Error, TaskStatus::Failure) => true,
+                    _ => false,
+                }
+            })
+    });
+    Ok(NaiveCheck {
+        accepted,
+        lts_states: lts.state_count(),
+        traces_enumerated: traces.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{check_case, CheckOptions};
+    use audit::time::Timestamp;
+    use bpmn::encode::encode;
+    use bpmn::models::{fig10_message_cycle, fig8_exclusive};
+    use policy::statement::Action;
+
+    fn ok(role: &str, task: &str, minute: u64) -> LogEntry {
+        LogEntry {
+            user: cows::sym("u"),
+            role: cows::sym(role),
+            action: Action::Read,
+            object: None,
+            task: cows::sym(task),
+            case: cows::sym("c"),
+            time: Timestamp(minute),
+            status: TaskStatus::Success,
+        }
+    }
+
+    #[test]
+    fn collapse_merges_adjacent_runs() {
+        let entries = [ok("P", "T", 1), ok("P", "T", 2), ok("P", "T1", 3)];
+        let refs: Vec<&LogEntry> = entries.iter().collect();
+        let c = collapse_entries(&refs);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn naive_agrees_with_algorithm1_on_loop_free_process() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let good = [ok("P", "T", 1), ok("P", "T2", 2)];
+        let bad = [ok("P", "T2", 1)];
+        for (entries, expect) in [(&good[..], true), (&bad[..], false)] {
+            let refs: Vec<&LogEntry> = entries.iter().collect();
+            let naive = naive_check(&encoded, &h, &refs, &NaiveLimits::default()).unwrap();
+            let replay = check_case(&encoded, &h, &refs, &CheckOptions::default()).unwrap();
+            assert_eq!(naive.accepted, expect);
+            assert_eq!(replay.verdict.is_compliant(), expect);
+        }
+    }
+
+    #[test]
+    fn loops_blow_up_the_naive_enumeration() {
+        // Fig. 10's cycle makes the trace set unbounded; with a small trace
+        // budget the enumeration must fail where Algorithm 1 succeeds.
+        let encoded = encode(&fig10_message_cycle());
+        let h = RoleHierarchy::new();
+        let entries: Vec<LogEntry> = (0..40)
+            .map(|i| ok(if i % 2 == 0 { "P1" } else { "P2" }, if i % 2 == 0 { "T1" } else { "T2" }, i))
+            .collect();
+        let refs: Vec<&LogEntry> = entries.iter().collect();
+        let err = naive_check(
+            &encoded,
+            &h,
+            &refs,
+            &NaiveLimits {
+                max_traces: 30,
+                ..NaiveLimits::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ExploreError::TraceLimit { limit: 30 });
+        // Algorithm 1 replays the same 40 entries without trouble.
+        let replay = check_case(&encoded, &h, &refs, &CheckOptions::default()).unwrap();
+        assert!(replay.verdict.is_compliant());
+    }
+}

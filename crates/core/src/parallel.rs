@@ -1,0 +1,130 @@
+//! Parallel per-case auditing.
+//!
+//! §7: "the analysis of process instances is independent from each other,
+//! allowing for massive parallelization". Cases share nothing but the
+//! read-only auditor and trail, so the audit scales across worker threads
+//! with no synchronization beyond result collection.
+
+use crate::auditor::{AuditReport, Auditor, CaseResult};
+use audit::trail::AuditTrail;
+use cows::symbol::Symbol;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Audit every case of `trail` using `threads` worker threads.
+///
+/// Produces the same `cases` vector as [`Auditor::audit`] (sorted by case),
+/// plus the preventive pass (run once, on the calling thread).
+pub fn audit_parallel(auditor: &Auditor, trail: &AuditTrail, threads: usize) -> AuditReport {
+    let cases: Vec<Symbol> = trail.cases().into_iter().collect();
+    let results = check_cases_parallel(auditor, trail, &cases, threads);
+    AuditReport {
+        cases: results,
+        preventive_violations: auditor.preventive_check(trail),
+    }
+}
+
+/// The parallel core: replay `cases` across `threads` workers, work-stealing
+/// from a shared counter.
+pub fn check_cases_parallel(
+    auditor: &Auditor,
+    trail: &AuditTrail,
+    cases: &[Symbol],
+    threads: usize,
+) -> Vec<CaseResult> {
+    let threads = threads.max(1).min(cases.len().max(1));
+    if threads == 1 {
+        return cases
+            .iter()
+            .map(|&c| auditor.check_one_case(trail, c))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, CaseResult)>> = Mutex::new(Vec::with_capacity(cases.len()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local: Vec<(usize, CaseResult)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cases.len() {
+                        break;
+                    }
+                    local.push((i, auditor.check_one_case(trail, cases[i])));
+                }
+                results.lock().extend(local);
+            });
+        }
+    })
+    .expect("audit worker panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Audit a specific set of cases in parallel.
+pub fn audit_cases_parallel(
+    auditor: &Auditor,
+    trail: &AuditTrail,
+    cases: &BTreeSet<Symbol>,
+    threads: usize,
+) -> AuditReport {
+    let cases: Vec<Symbol> = cases.iter().copied().collect();
+    AuditReport {
+        cases: check_cases_parallel(auditor, trail, &cases, threads),
+        preventive_violations: auditor.preventive_check(trail),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::{CaseOutcome, ProcessRegistry};
+    use audit::samples::figure4_trail;
+    use bpmn::models::{clinical_trial, healthcare_treatment};
+    use policy::samples::{
+        clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+    };
+
+    fn auditor() -> Auditor {
+        let mut registry = ProcessRegistry::new();
+        registry.register(treatment(), healthcare_treatment());
+        registry.register(clinical_trial_purpose(), clinical_trial());
+        registry.add_case_prefix("HT-", treatment());
+        registry.add_case_prefix("CT-", clinical_trial_purpose());
+        Auditor::new(registry, extended_hospital_policy(), hospital_context())
+    }
+
+    fn outcome_key(o: &CaseOutcome) -> &'static str {
+        match o {
+            CaseOutcome::Compliant { .. } => "compliant",
+            CaseOutcome::Infringement { .. } => "infringement",
+            CaseOutcome::Unresolved(_) => "unresolved",
+            CaseOutcome::Failed(_) => "failed",
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = auditor();
+        let trail = figure4_trail();
+        let seq = a.audit(&trail);
+        for threads in [1, 2, 4, 8] {
+            let par = audit_parallel(&a, &trail, threads);
+            assert_eq!(par.cases.len(), seq.cases.len());
+            for (p, s) in par.cases.iter().zip(&seq.cases) {
+                assert_eq!(p.case, s.case);
+                assert_eq!(outcome_key(&p.outcome), outcome_key(&s.outcome));
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_cases_is_fine() {
+        let a = auditor();
+        let trail = figure4_trail();
+        let par = audit_parallel(&a, &trail, 64);
+        assert_eq!(par.cases.len(), trail.cases().len());
+    }
+}

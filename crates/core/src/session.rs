@@ -1,0 +1,427 @@
+//! Incremental replay sessions.
+//!
+//! §4: "the analysis of the audit trail may lead the computation to a state
+//! for which further activities are still possible. In this case the
+//! analysis should be resumed when new actions within the process instance
+//! are recorded." A [`ReplaySession`] is that resumable computation: feed
+//! it log entries as they arrive; it maintains the configuration set of
+//! Algorithm 1 across calls and reports the deviation the moment an entry
+//! cannot be simulated.
+//!
+//! The session also enforces the §4 temporal constraint: "if a maximum
+//! duration for the process is defined, an infringement can be raised in
+//! the case where this temporal constraint is violated."
+//!
+//! [`SessionCore`] is the borrow-free state machine underneath — shared
+//! with [`crate::live::LiveAuditor`], which owns its processes through
+//! `Arc` instead of borrowing them.
+
+use crate::error::CheckError;
+use crate::replay::{
+    CaseCheck, CheckOptions, Configuration, Infringement, InfringementKind, MatchKind, StepRecord,
+    Verdict,
+};
+use audit::entry::{LogEntry, TaskStatus};
+use audit::time::Timestamp;
+use bpmn::encode::Encoded;
+use cows::observe::Observation;
+use cows::weaknext::{can_terminate_silently, weak_next, Marked};
+use policy::hierarchy::RoleHierarchy;
+use std::collections::HashSet;
+
+/// Outcome of feeding one entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// The entry is explainable; the session advanced.
+    Accepted { matches: Vec<MatchKind> },
+    /// The entry deviates; the session is closed with this infringement
+    /// (subsequent feeds return it again).
+    Rejected(Infringement),
+}
+
+/// The borrow-free Algorithm-1 state machine: the configuration set plus
+/// bookkeeping, independent of how the process and hierarchy are owned.
+#[derive(Clone, Debug)]
+pub struct SessionCore {
+    opts: CheckOptions,
+    confs: Vec<Configuration>,
+    steps: Vec<StepRecord>,
+    peak: usize,
+    explored: usize,
+    consumed: usize,
+    first_time: Option<Timestamp>,
+    infringement: Option<Infringement>,
+}
+
+impl SessionCore {
+    /// Open at the process's initial configuration.
+    pub fn new(encoded: &Encoded, opts: CheckOptions) -> Result<SessionCore, CheckError> {
+        let state = encoded.initial();
+        let next = weak_next(&state, &encoded.observability, opts.weaknext)?;
+        let explored = next.len();
+        Ok(SessionCore {
+            opts,
+            confs: vec![Configuration { state, next }],
+            steps: Vec::new(),
+            peak: 1,
+            explored,
+            consumed: 0,
+            first_time: None,
+            infringement: None,
+        })
+    }
+
+    pub fn configurations(&self) -> &[Configuration] {
+        &self.confs
+    }
+
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.infringement.is_some()
+    }
+
+    pub fn infringement(&self) -> Option<&Infringement> {
+        self.infringement.as_ref()
+    }
+
+    /// The observations the process would accept next.
+    pub fn expected_observations(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .confs
+            .iter()
+            .flat_map(|c| c.next.iter().map(|s| s.observation.to_string()))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Tasks currently running in some configuration.
+    pub fn active_tasks(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .confs
+            .iter()
+            .flat_map(|c| c.state.running.iter().map(|(r, q)| format!("{r}.{q}")))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Feed the next log entry of the case (chronological order is the
+    /// caller's responsibility, as in Def. 5).
+    pub fn feed(
+        &mut self,
+        encoded: &Encoded,
+        hierarchy: &RoleHierarchy,
+        entry: &LogEntry,
+    ) -> Result<FeedOutcome, CheckError> {
+        if let Some(inf) = &self.infringement {
+            return Ok(FeedOutcome::Rejected(inf.clone()));
+        }
+        let entry_index = self.consumed;
+
+        // Temporal constraint (§4): the whole case must fit in the window.
+        let start = *self.first_time.get_or_insert(entry.time);
+        if let Some(limit) = self.opts.max_case_minutes {
+            let elapsed = entry.time.0.saturating_sub(start.0);
+            if elapsed > limit {
+                let inf = Infringement {
+                    entry_index,
+                    entry: entry.clone(),
+                    expected: Vec::new(),
+                    active: self.active_tasks(),
+                    kind: InfringementKind::TemporalViolation {
+                        elapsed_minutes: elapsed,
+                        limit_minutes: limit,
+                    },
+                };
+                self.infringement = Some(inf.clone());
+                return Ok(FeedOutcome::Rejected(inf));
+            }
+        }
+
+        let role_matches = |entry_role: cows::Symbol, pool_role: cows::Symbol| {
+            hierarchy.is_specialization_of(entry_role, pool_role)
+        };
+
+        let mut next_confs: Vec<Configuration> = Vec::new();
+        let mut seen: HashSet<Marked> = HashSet::new();
+        let mut matches: Vec<MatchKind> = Vec::new();
+
+        for conf in &self.confs {
+            let task_running = conf
+                .state
+                .running
+                .iter()
+                .any(|&(r, q)| q == entry.task && role_matches(entry.role, r));
+
+            // Line 8: absorbed only if active and successful.
+            if task_running && entry.status == TaskStatus::Success {
+                if seen.insert(conf.state.clone()) {
+                    next_confs.push(conf.clone());
+                }
+                matches.push(MatchKind::Absorbed);
+                continue;
+            }
+
+            // Lines 9–13: consume an observable successor.
+            for succ in &conf.next {
+                let accept = match (succ.observation, entry.status) {
+                    (Observation::Task { role, task }, TaskStatus::Success) => {
+                        task == entry.task && role_matches(entry.role, role)
+                    }
+                    (Observation::Error, TaskStatus::Failure) => true,
+                    _ => false,
+                };
+                if !accept {
+                    continue;
+                }
+                matches.push(match succ.observation {
+                    Observation::Error => MatchKind::Failed,
+                    Observation::Task { .. } => MatchKind::Started,
+                });
+                if seen.insert(succ.state.clone()) {
+                    let next = weak_next(
+                        &succ.state,
+                        &encoded.observability,
+                        self.opts.weaknext,
+                    )?;
+                    self.explored += next.len();
+                    next_confs.push(Configuration {
+                        state: succ.state.clone(),
+                        next,
+                    });
+                }
+            }
+        }
+
+        if next_confs.is_empty() {
+            // Line 21: the entry cannot be simulated by the process.
+            let inf = Infringement {
+                entry_index,
+                entry: entry.clone(),
+                expected: self.expected_observations(),
+                active: self.active_tasks(),
+                kind: InfringementKind::ProcessDeviation,
+            };
+            self.infringement = Some(inf.clone());
+            return Ok(FeedOutcome::Rejected(inf));
+        }
+        if next_confs.len() > self.opts.max_configurations {
+            return Err(CheckError::ConfigurationLimit {
+                limit: self.opts.max_configurations,
+                entry_index,
+            });
+        }
+        self.peak = self.peak.max(next_confs.len());
+        if self.opts.record_trace {
+            self.steps.push(StepRecord {
+                entry_index,
+                matches: matches.clone(),
+                configurations: next_confs.len(),
+                token_tasks: next_confs
+                    .iter()
+                    .map(|c| {
+                        c.state
+                            .token_tasks(&encoded.observability)
+                            .iter()
+                            .map(|(r, q)| format!("{r}.{q}"))
+                            .collect()
+                    })
+                    .collect(),
+            });
+        }
+        self.confs = next_confs;
+        self.consumed += 1;
+        Ok(FeedOutcome::Accepted { matches })
+    }
+
+    /// Snapshot the Algorithm-1 result for everything fed so far. The
+    /// session can keep being fed afterwards — this is what "resume when
+    /// new actions are recorded" needs.
+    pub fn finish(&self, encoded: &Encoded) -> Result<CaseCheck, CheckError> {
+        let verdict = match &self.infringement {
+            Some(inf) => Verdict::Infringement(inf.clone()),
+            None => {
+                let mut can_complete = false;
+                for conf in &self.confs {
+                    if can_terminate_silently(
+                        &conf.state,
+                        &encoded.observability,
+                        self.opts.weaknext,
+                    )? {
+                        can_complete = true;
+                        break;
+                    }
+                }
+                Verdict::Compliant { can_complete }
+            }
+        };
+        Ok(CaseCheck {
+            verdict,
+            steps: self.steps.clone(),
+            peak_configurations: self.peak,
+            explored_successors: self.explored,
+        })
+    }
+}
+
+/// A resumable Algorithm-1 computation over one case, borrowing its process.
+pub struct ReplaySession<'a> {
+    encoded: &'a Encoded,
+    hierarchy: &'a RoleHierarchy,
+    core: SessionCore,
+}
+
+impl<'a> ReplaySession<'a> {
+    /// Open a session at the process's initial configuration.
+    pub fn new(
+        encoded: &'a Encoded,
+        hierarchy: &'a RoleHierarchy,
+        opts: CheckOptions,
+    ) -> Result<ReplaySession<'a>, CheckError> {
+        Ok(ReplaySession {
+            encoded,
+            hierarchy,
+            core: SessionCore::new(encoded, opts)?,
+        })
+    }
+
+    /// The live configurations (Def. 6).
+    pub fn configurations(&self) -> &[Configuration] {
+        self.core.configurations()
+    }
+
+    /// Entries consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.core.consumed()
+    }
+
+    /// Whether the session already found a deviation.
+    pub fn is_closed(&self) -> bool {
+        self.core.is_closed()
+    }
+
+    /// Feed the next log entry of the case.
+    pub fn feed(&mut self, entry: &LogEntry) -> Result<FeedOutcome, CheckError> {
+        self.core.feed(self.encoded, self.hierarchy, entry)
+    }
+
+    /// Feed a batch of entries; stops at the first rejection.
+    pub fn feed_all<'e>(
+        &mut self,
+        entries: impl IntoIterator<Item = &'e LogEntry>,
+    ) -> Result<Option<Infringement>, CheckError> {
+        for e in entries {
+            if let FeedOutcome::Rejected(inf) = self.feed(e)? {
+                return Ok(Some(inf));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The observations the process would accept next.
+    pub fn expected_observations(&self) -> Vec<String> {
+        self.core.expected_observations()
+    }
+
+    /// Tasks currently running in some configuration.
+    pub fn active_tasks(&self) -> Vec<String> {
+        self.core.active_tasks()
+    }
+
+    /// Close the session and produce the Algorithm-1 result for everything
+    /// fed so far (a snapshot — feeding can continue afterwards).
+    pub fn finish(&self) -> Result<CaseCheck, CheckError> {
+        self.core.finish(self.encoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpmn::encode::encode;
+    use bpmn::models::fig8_exclusive;
+    use policy::statement::Action;
+
+    fn entry(task: &str, minute: u64) -> LogEntry {
+        LogEntry::success("u", "P", Action::Read, None, task, "c", Timestamp(minute))
+    }
+
+    #[test]
+    fn session_matches_batch_check() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let mut session = ReplaySession::new(&encoded, &h, CheckOptions::default()).unwrap();
+        assert!(matches!(
+            session.feed(&entry("T", 1)).unwrap(),
+            FeedOutcome::Accepted { .. }
+        ));
+        // Mid-flight snapshot: compliant but incomplete.
+        let snap = session.finish().unwrap();
+        assert_eq!(snap.verdict, Verdict::Compliant { can_complete: false });
+        // Resume with the rest.
+        assert!(matches!(
+            session.feed(&entry("T1", 2)).unwrap(),
+            FeedOutcome::Accepted { .. }
+        ));
+        let done = session.finish().unwrap();
+        assert_eq!(done.verdict, Verdict::Compliant { can_complete: true });
+    }
+
+    #[test]
+    fn session_rejects_and_stays_closed() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let mut session = ReplaySession::new(&encoded, &h, CheckOptions::default()).unwrap();
+        let out = session.feed(&entry("T2", 1)).unwrap();
+        let FeedOutcome::Rejected(inf) = out else {
+            panic!("expected rejection");
+        };
+        assert_eq!(inf.kind, InfringementKind::ProcessDeviation);
+        assert!(session.is_closed());
+        // Feeding more keeps reporting the same infringement.
+        let again = session.feed(&entry("T", 2)).unwrap();
+        assert!(matches!(again, FeedOutcome::Rejected(i) if i.entry_index == inf.entry_index));
+    }
+
+    #[test]
+    fn temporal_constraint_raises_infringement() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let opts = CheckOptions {
+            max_case_minutes: Some(60),
+            ..CheckOptions::default()
+        };
+        let mut session = ReplaySession::new(&encoded, &h, opts).unwrap();
+        assert!(matches!(
+            session.feed(&entry("T", 0)).unwrap(),
+            FeedOutcome::Accepted { .. }
+        ));
+        // A process-valid entry arriving past the window is still flagged.
+        let out = session.feed(&entry("T1", 100)).unwrap();
+        let FeedOutcome::Rejected(inf) = out else {
+            panic!("expected temporal rejection");
+        };
+        assert_eq!(
+            inf.kind,
+            InfringementKind::TemporalViolation {
+                elapsed_minutes: 100,
+                limit_minutes: 60
+            }
+        );
+    }
+
+    #[test]
+    fn expected_observations_exposed() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let session = ReplaySession::new(&encoded, &h, CheckOptions::default()).unwrap();
+        assert_eq!(session.expected_observations(), vec!["P.T".to_string()]);
+        assert!(session.active_tasks().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Severity metrics for privacy infringements.
+//!
+//! §7 (future work): "we are complementing the presented mechanism with
+//! metrics for measuring the severity of privacy infringements" — to
+//! "narrow down the number of situations to be investigated". This module
+//! implements that extension: a deterministic score combining
+//!
+//! * **exposure** — how many entries of the case are unaccounted for from
+//!   the deviation point on (more unexplained activity = worse);
+//! * **sensitivity** — the most sensitive object touched by unaccounted
+//!   entries, under a configurable weighting of object paths (clinical data
+//!   outranks demographics, which outranks operational objects);
+//! * **breadth** — the number of distinct data subjects touched by
+//!   unaccounted entries (a sweep over many patients, as in the paper's
+//!   re-purposing scenario, outranks a single-record slip).
+//!
+//! The score is `sensitivity × (1 + ln(1 + exposure)) × (1 + ln(1 +
+//! breadth))`, normalized so a single unaccounted access to a
+//! default-weight object scores 1.0.
+
+use crate::replay::Infringement;
+use audit::entry::LogEntry;
+use cows::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// Configurable object-sensitivity weights, matched on the first path
+/// segment after the subject (e.g. `EPR`) plus optional deeper segments.
+#[derive(Clone, Debug)]
+pub struct SensitivityModel {
+    /// Weight per path prefix (joined with `/`); the longest matching
+    /// prefix wins.
+    weights: HashMap<String, f64>,
+    /// Weight when nothing matches.
+    pub default_weight: f64,
+}
+
+impl Default for SensitivityModel {
+    /// Healthcare defaults: clinical data is the most sensitive, then
+    /// demographics, then everything else.
+    fn default() -> Self {
+        let mut weights = HashMap::new();
+        weights.insert("EPR/Clinical".to_string(), 3.0);
+        weights.insert("EPR/Demographics".to_string(), 2.0);
+        weights.insert("EPR".to_string(), 2.5);
+        SensitivityModel {
+            weights,
+            default_weight: 1.0,
+        }
+    }
+}
+
+impl SensitivityModel {
+    pub fn new(default_weight: f64) -> SensitivityModel {
+        SensitivityModel {
+            weights: HashMap::new(),
+            default_weight,
+        }
+    }
+
+    pub fn set_weight(&mut self, prefix: &str, weight: f64) {
+        self.weights.insert(prefix.to_string(), weight);
+    }
+
+    /// Weight of an object: longest matching path prefix.
+    pub fn object_weight(&self, entry: &LogEntry) -> f64 {
+        let Some(obj) = &entry.object else {
+            return self.default_weight;
+        };
+        let segs: Vec<String> = obj.path.iter().map(|s| s.to_string()).collect();
+        for cut in (1..=segs.len()).rev() {
+            let prefix = segs[..cut].join("/");
+            if let Some(&w) = self.weights.get(&prefix) {
+                return w;
+            }
+        }
+        self.default_weight
+    }
+}
+
+/// The severity assessment of one infringing case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeverityAssessment {
+    /// Entries from the deviation point to the end of the case projection.
+    pub unaccounted_entries: usize,
+    /// Highest sensitivity weight among unaccounted objects.
+    pub max_sensitivity: f64,
+    /// Distinct data subjects among unaccounted objects.
+    pub subjects_touched: usize,
+    /// The combined score (≥ 0; 1.0 ≈ one unaccounted default-weight
+    /// access).
+    pub score: f64,
+}
+
+/// Assess an infringement against the full case projection it was found in.
+pub fn assess(
+    infringement: &Infringement,
+    case_entries: &[&LogEntry],
+    model: &SensitivityModel,
+) -> SeverityAssessment {
+    let unaccounted = &case_entries[infringement.entry_index.min(case_entries.len())..];
+    let unaccounted_entries = unaccounted.len();
+    let max_sensitivity = unaccounted
+        .iter()
+        .map(|e| model.object_weight(e))
+        .fold(model.default_weight, f64::max);
+    let subjects: HashSet<Symbol> = unaccounted
+        .iter()
+        .filter_map(|e| e.object.as_ref().and_then(|o| o.subject))
+        .collect();
+    let subjects_touched = subjects.len();
+    let exposure = 1.0 + (unaccounted_entries as f64).ln_1p();
+    let breadth = 1.0 + (subjects_touched as f64).ln_1p();
+    // Normalize: one unaccounted access, one subject, default weight → 1.0.
+    let norm = (1.0 + 1f64.ln_1p()) * (1.0 + 1f64.ln_1p());
+    SeverityAssessment {
+        unaccounted_entries,
+        max_sensitivity,
+        subjects_touched,
+        score: max_sensitivity * exposure * breadth / norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audit::entry::TaskStatus;
+    use audit::time::Timestamp;
+    use policy::object::ObjectId;
+    use policy::statement::Action;
+
+    fn entry(subject: &str, path: &str) -> LogEntry {
+        LogEntry {
+            user: cows::sym("u"),
+            role: cows::sym("R"),
+            action: Action::Read,
+            object: Some(ObjectId::of_subject(subject, path)),
+            task: cows::sym("T"),
+            case: cows::sym("c"),
+            time: Timestamp(0),
+            status: TaskStatus::Success,
+        }
+    }
+
+    fn infringement_at(idx: usize, e: &LogEntry) -> Infringement {
+        Infringement {
+            entry_index: idx,
+            entry: e.clone(),
+            expected: vec![],
+            active: vec![],
+            kind: crate::replay::InfringementKind::ProcessDeviation,
+        }
+    }
+
+    #[test]
+    fn single_default_access_scores_one() {
+        let mut m = SensitivityModel::new(1.0);
+        m.set_weight("X", 1.0);
+        let e = entry("Jane", "Other/Thing");
+        let refs = [&e];
+        let a = assess(&infringement_at(0, &e), &refs, &m);
+        assert!((a.score - 1.0).abs() < 1e-9);
+        assert_eq!(a.unaccounted_entries, 1);
+        assert_eq!(a.subjects_touched, 1);
+    }
+
+    #[test]
+    fn clinical_data_outranks_demographics() {
+        let m = SensitivityModel::default();
+        let clin = entry("Jane", "EPR/Clinical");
+        let demo = entry("Jane", "EPR/Demographics");
+        assert!(m.object_weight(&clin) > m.object_weight(&demo));
+        assert!(m.object_weight(&demo) > m.default_weight);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut m = SensitivityModel::new(1.0);
+        m.set_weight("EPR", 2.0);
+        m.set_weight("EPR/Clinical", 5.0);
+        assert_eq!(m.object_weight(&entry("J", "EPR/Clinical/Scan")), 5.0);
+        assert_eq!(m.object_weight(&entry("J", "EPR/Demographics")), 2.0);
+    }
+
+    #[test]
+    fn sweeping_many_patients_scores_higher() {
+        let m = SensitivityModel::default();
+        let one = [entry("Jane", "EPR/Clinical")];
+        let many: Vec<LogEntry> = ["A", "B", "C", "D", "E"]
+            .iter()
+            .map(|p| entry(p, "EPR/Clinical"))
+            .collect();
+        let one_refs: Vec<&LogEntry> = one.iter().collect();
+        let many_refs: Vec<&LogEntry> = many.iter().collect();
+        let s1 = assess(&infringement_at(0, &one[0]), &one_refs, &m);
+        let s2 = assess(&infringement_at(0, &many[0]), &many_refs, &m);
+        assert!(s2.score > s1.score);
+        assert_eq!(s2.subjects_touched, 5);
+    }
+
+    #[test]
+    fn objectless_entries_use_default_weight() {
+        let m = SensitivityModel::default();
+        let mut e = entry("Jane", "EPR");
+        e.object = None;
+        assert_eq!(m.object_weight(&e), m.default_weight);
+    }
+}

@@ -1,0 +1,76 @@
+//! Graphviz (DOT) export of labeled transition systems.
+//!
+//! The paper communicates its semantics through LTS diagrams (Figs. 5–10);
+//! this module renders ours in the same style so encodings can be inspected
+//! visually:
+//!
+//! ```text
+//! cargo run --example process_explorer fig8 | …   # textual
+//! lts.to_dot(&obs) | dot -Tsvg > fig8.svg          # graphical
+//! ```
+
+use crate::lts::Lts;
+use crate::observe::Observability;
+use std::fmt::Write;
+
+impl Lts {
+    /// Render the LTS as a DOT digraph. Observable edges are solid and
+    /// bold; unobservable edges are dashed gray — mirroring how the paper
+    /// distinguishes `l ∈ L` from internal computation.
+    pub fn to_dot(&self, obs: &dyn Observability) -> String {
+        let mut out = String::new();
+        out.push_str("digraph lts {\n");
+        out.push_str("  rankdir=TB;\n");
+        out.push_str("  node [shape=circle, fontsize=10];\n");
+        let _ = writeln!(out, "  St{} [style=bold];", self.initial);
+        for sid in 0..self.state_count() {
+            let terminal = self.edges_from(sid).is_empty();
+            if terminal {
+                let _ = writeln!(out, "  St{sid} [shape=doublecircle];");
+            }
+            for (label, next) in self.edges_from(sid) {
+                match obs.observe(label) {
+                    Some(o) => {
+                        let _ = writeln!(
+                            out,
+                            "  St{sid} -> St{next} [label=\"{o}\", style=bold];"
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  St{sid} -> St{next} [label=\"{label}\", style=dashed, color=gray50, fontcolor=gray50];"
+                        );
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lts::{explore, ExploreLimits};
+    use crate::observe::TaskObservability;
+    use crate::symbol::sym;
+    use crate::term::{ep, invoke, par, request, Service};
+
+    #[test]
+    fn dot_renders_states_and_edges() {
+        let s = par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), invoke(ep("P", "E"))),
+            request(ep("P", "E"), Service::Nil),
+        ]);
+        let lts = explore(&s, ExploreLimits::default()).unwrap();
+        let obs = TaskObservability::with([sym("P")], [sym("T")]);
+        let dot = lts.to_dot(&obs);
+        assert!(dot.starts_with("digraph lts {"));
+        assert!(dot.contains("St0 -> St1 [label=\"P.T\", style=bold];"));
+        assert!(dot.contains("style=dashed")); // the unobservable P.E edge
+        assert!(dot.contains("doublecircle")); // the terminal state
+        assert!(dot.ends_with("}\n"));
+    }
+}

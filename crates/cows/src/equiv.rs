@@ -1,0 +1,302 @@
+//! Weak trace equivalence of services.
+//!
+//! Two services are *weakly trace-equivalent* w.r.t. an observability when
+//! they admit the same observable traces and the same quiescence points
+//! (states from which the system can silently terminate). This is the
+//! right notion for validating alternative BPMN encodings: Algorithm 1
+//! only ever looks at observable labels and termination, so weakly
+//! equivalent encodings are interchangeable under it.
+//!
+//! The check runs a synchronized subset construction (determinization over
+//! the observable alphabet) on both services and compares enabled
+//! observables and quiescence at every reachable pair of subset-states.
+
+use crate::error::ExploreError;
+use crate::observe::{Observability, Observation};
+use crate::semantics::transitions_shared;
+use crate::term::Service;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// Budget for the subset construction.
+#[derive(Clone, Copy, Debug)]
+pub struct EquivLimits {
+    /// Maximum number of subset-state pairs explored.
+    pub max_pairs: usize,
+    /// Maximum services per subset (τ-closure size).
+    pub max_closure: usize,
+}
+
+impl Default for EquivLimits {
+    fn default() -> Self {
+        EquivLimits {
+            max_pairs: 10_000,
+            max_closure: 10_000,
+        }
+    }
+}
+
+/// Why two services were found inequivalent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Inequivalence {
+    /// After the given observable trace, one side offers an observation
+    /// the other does not.
+    Observables {
+        trace: Vec<Observation>,
+        left_only: Vec<Observation>,
+        right_only: Vec<Observation>,
+    },
+    /// After the trace, exactly one side can silently reach quiescence.
+    Quiescence {
+        trace: Vec<Observation>,
+        left_quiesces: bool,
+    },
+}
+
+type SubsetState = BTreeSet<Service>;
+
+fn tau_closure(
+    seed: impl IntoIterator<Item = Service>,
+    obs: &dyn Observability,
+    limits: &EquivLimits,
+) -> Result<SubsetState, ExploreError> {
+    let mut set: SubsetState = SubsetState::new();
+    let mut queue: VecDeque<Service> = VecDeque::new();
+    for s in seed {
+        if set.insert(s.clone()) {
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for (label, next) in transitions_shared(&s).iter() {
+            if obs.observe(label).is_some() {
+                continue;
+            }
+            if set.insert(next.clone()) {
+                if set.len() > limits.max_closure {
+                    return Err(ExploreError::TauBudgetExceeded {
+                        limit: limits.max_closure,
+                    });
+                }
+                queue.push_back(next.clone());
+            }
+        }
+    }
+    Ok(set)
+}
+
+/// Observable successors of a (τ-closed) subset-state, grouped by
+/// observation.
+fn observable_steps(
+    set: &SubsetState,
+    obs: &dyn Observability,
+) -> BTreeMap<Observation, BTreeSet<Service>> {
+    let mut out: BTreeMap<Observation, BTreeSet<Service>> = BTreeMap::new();
+    for s in set {
+        for (label, next) in transitions_shared(s).iter() {
+            if let Some(o) = obs.observe(label) {
+                out.entry(o).or_default().insert(next.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Whether some service in the (τ-closed) subset has no transitions at all.
+fn quiesces(set: &SubsetState) -> bool {
+    set.iter().any(|s| transitions_shared(s).is_empty())
+}
+
+/// Check weak trace + quiescence equivalence of `a` and `b`.
+///
+/// Returns `Ok(None)` when equivalent (up to the exploration budget), the
+/// first witness of inequivalence otherwise.
+pub fn weak_trace_equiv(
+    a: &Service,
+    b: &Service,
+    obs: &dyn Observability,
+    limits: &EquivLimits,
+) -> Result<Option<Inequivalence>, ExploreError> {
+    let start_a = tau_closure([crate::normal::normalize(a.clone())], obs, limits)?;
+    let start_b = tau_closure([crate::normal::normalize(b.clone())], obs, limits)?;
+
+    let mut seen: HashSet<(SubsetState, SubsetState)> = HashSet::new();
+    let mut queue: VecDeque<(SubsetState, SubsetState, Vec<Observation>)> = VecDeque::new();
+    seen.insert((start_a.clone(), start_b.clone()));
+    queue.push_back((start_a, start_b, Vec::new()));
+
+    while let Some((sa, sb, trace)) = queue.pop_front() {
+        if quiesces(&sa) != quiesces(&sb) {
+            return Ok(Some(Inequivalence::Quiescence {
+                trace,
+                left_quiesces: quiesces(&sa),
+            }));
+        }
+        let steps_a = observable_steps(&sa, obs);
+        let steps_b = observable_steps(&sb, obs);
+        let keys_a: BTreeSet<Observation> = steps_a.keys().copied().collect();
+        let keys_b: BTreeSet<Observation> = steps_b.keys().copied().collect();
+        if keys_a != keys_b {
+            return Ok(Some(Inequivalence::Observables {
+                trace,
+                left_only: keys_a.difference(&keys_b).copied().collect(),
+                right_only: keys_b.difference(&keys_a).copied().collect(),
+            }));
+        }
+        for (o, next_a) in steps_a {
+            let next_b = steps_b[&o].clone();
+            let ca = tau_closure(next_a, obs, limits)?;
+            let cb = tau_closure(next_b, obs, limits)?;
+            if seen.insert((ca.clone(), cb.clone())) {
+                if seen.len() > limits.max_pairs {
+                    return Err(ExploreError::StateLimit {
+                        limit: limits.max_pairs,
+                    });
+                }
+                let mut t = trace.clone();
+                t.push(o);
+                queue.push_back((ca, cb, t));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::normalize;
+    use crate::observe::TaskObservability;
+    use crate::symbol::sym;
+    use crate::term::{
+        delim, delim_killer, ep, invoke, kill, par, protect, request, Decl, Request, Service,
+    };
+
+    fn obs() -> TaskObservability {
+        TaskObservability::with([sym("P")], [sym("T"), sym("T1"), sym("T2")])
+    }
+
+    fn assert_equiv(a: &Service, b: &Service) {
+        let w = weak_trace_equiv(a, b, &obs(), &EquivLimits::default()).unwrap();
+        assert_eq!(w, None, "expected equivalence");
+    }
+
+    fn assert_inequiv(a: &Service, b: &Service) {
+        let w = weak_trace_equiv(a, b, &obs(), &EquivLimits::default()).unwrap();
+        assert!(w.is_some(), "expected inequivalence");
+    }
+
+    /// The Fig. 8 kill-based XOR encoding is weakly equivalent to the
+    /// direct choice-based encoding of the same gateway.
+    #[test]
+    fn kill_gateway_equivalent_to_choice_gateway() {
+        // Kill-based (as the paper encodes it).
+        let kill_gate = par(vec![
+            invoke(ep("P", "G")),
+            request(
+                ep("P", "G"),
+                delim_killer(
+                    "k",
+                    delim(
+                        Decl::Name(sym("sys")),
+                        par(vec![
+                            invoke(ep("sys", "b1")),
+                            invoke(ep("sys", "b2")),
+                            request(
+                                ep("sys", "b1"),
+                                par(vec![kill("k"), protect(invoke(ep("P", "T1")))]),
+                            ),
+                            request(
+                                ep("sys", "b2"),
+                                par(vec![kill("k"), protect(invoke(ep("P", "T2")))]),
+                            ),
+                        ]),
+                    ),
+                ),
+            ),
+            request(ep("P", "T1"), Service::Nil),
+            request(ep("P", "T2"), Service::Nil),
+        ]);
+        // Choice-based: the gateway offers the two task triggers through an
+        // internal choice directly.
+        let choice_gate = par(vec![
+            invoke(ep("P", "G")),
+            request(
+                ep("P", "G"),
+                delim(
+                    Decl::Name(sym("sys")),
+                    par(vec![
+                        invoke(ep("sys", "go")),
+                        Service::Guarded(crate::term::Guard {
+                            branches: vec![
+                                Request {
+                                    ep: ep("sys", "go"),
+                                    params: vec![],
+                                    cont: invoke(ep("P", "T1")).into(),
+                                },
+                                Request {
+                                    ep: ep("sys", "go"),
+                                    params: vec![],
+                                    cont: invoke(ep("P", "T2")).into(),
+                                },
+                            ],
+                        }),
+                    ]),
+                ),
+            ),
+            request(ep("P", "T1"), Service::Nil),
+            request(ep("P", "T2"), Service::Nil),
+        ]);
+        assert_equiv(&kill_gate, &choice_gate);
+    }
+
+    #[test]
+    fn different_alphabets_are_inequivalent() {
+        let a = par(vec![invoke(ep("P", "T1")), request(ep("P", "T1"), Service::Nil)]);
+        let b = par(vec![invoke(ep("P", "T2")), request(ep("P", "T2"), Service::Nil)]);
+        assert_inequiv(&a, &b);
+    }
+
+    #[test]
+    fn prefix_vs_complete_inequivalent_by_quiescence() {
+        // a runs T then stops; b runs T then is stuck waiting on an invoke
+        // that never synchronizes (no quiescence distinction here — both
+        // quiesce), so instead: b can also run T1 afterwards.
+        let a = par(vec![invoke(ep("P", "T")), request(ep("P", "T"), Service::Nil)]);
+        let b = par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), invoke(ep("P", "T1"))),
+            request(ep("P", "T1"), Service::Nil),
+        ]);
+        let w = weak_trace_equiv(&a, &b, &obs(), &EquivLimits::default()).unwrap();
+        match w {
+            // Either witness is correct: after T, `a` quiesces while `b`
+            // still offers T1.
+            Some(Inequivalence::Observables { trace, .. })
+            | Some(Inequivalence::Quiescence { trace, .. }) => {
+                assert_eq!(trace.len(), 1, "diverges right after T");
+            }
+            other => panic!("expected a witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_equivalence() {
+        let s = par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), par(vec![Service::Nil, invoke(ep("P", "T1"))])),
+            request(ep("P", "T1"), Service::Nil),
+        ]);
+        let n = normalize(s.clone());
+        assert_equiv(&s, &n);
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_on_encodings() {
+        let s = par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), invoke(ep("P", "T1"))),
+            request(ep("P", "T1"), Service::Nil),
+        ]);
+        assert_equiv(&s, &s.clone());
+    }
+}

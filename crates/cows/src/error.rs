@@ -1,0 +1,42 @@
+//! Exploration errors.
+
+use std::fmt;
+
+/// Errors raised by LTS exploration and `WeakNext` computation.
+///
+/// All limits are defensive: Proposition 1 / Corollary 1 of the paper
+/// guarantee termination for well-founded processes, so hitting a limit on
+/// an encoded BPMN process indicates either a non-well-founded model (which
+/// `bpmn::wellfounded` detects statically) or a limit configured too low for
+/// the model size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The state budget of a full LTS exploration was exhausted.
+    StateLimit { limit: usize },
+    /// A `WeakNext` computation expanded more unobservable states than
+    /// allowed — the τ-divergence guard of `DESIGN.md` §3.3.
+    TauBudgetExceeded { limit: usize },
+    /// Trace enumeration produced more traces than allowed (the naïve
+    /// baseline blowing up, as §1 of the paper predicts).
+    TraceLimit { limit: usize },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::StateLimit { limit } => {
+                write!(f, "LTS exploration exceeded the state limit of {limit}")
+            }
+            ExploreError::TauBudgetExceeded { limit } => write!(
+                f,
+                "WeakNext exceeded the unobservable-step budget of {limit}; \
+                 the process is likely not well-founded"
+            ),
+            ExploreError::TraceLimit { limit } => {
+                write!(f, "trace enumeration exceeded the limit of {limit} traces")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}

@@ -1,0 +1,161 @@
+//! Transition labels.
+//!
+//! The label grammar of §3.3:
+//!
+//! ```text
+//! l ::= (p·o) ▹ w̄   |   (p·o) ◃ w̄   |   p·o (v̄)   |   †k   |   †
+//! ```
+//!
+//! Invoke (`▹`) and request (`◃`) labels describe the *potential* of an open
+//! service to interact with an environment; only communication (`p·o (v̄)`,
+//! rendered `p·o` when the exchange is a pure synchronization) and kill
+//! labels describe steps of a closed system, and only those are followed by
+//! the LTS explorer.
+
+use crate::symbol::Symbol;
+use crate::term::{Endpoint, Word};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transition label.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Label {
+    /// `(p·o) ▹ v̄` — an invoke offered to the environment.
+    Invoke {
+        ep: Endpoint,
+        args: Vec<Symbol>,
+        /// Task-completion bookkeeping carried from [`crate::term::Invoke`].
+        completes: Vec<Endpoint>,
+    },
+    /// `(p·o) ◃ w̄` — a request offered to the environment.
+    Request { ep: Endpoint, params: Vec<Word> },
+    /// `p·o (v̄)` — a communication; `p·o` when `args` is empty.
+    Comm {
+        ep: Endpoint,
+        args: Vec<Symbol>,
+        completes: Vec<Endpoint>,
+    },
+    /// `†k` — an ongoing kill, still propagating towards its delimiter.
+    Kill(Symbol),
+    /// `†` — an executed kill.
+    KillExec,
+}
+
+impl Label {
+    /// Whether the label is a closed-system step (communication or kill).
+    pub fn is_closed(&self) -> bool {
+        matches!(
+            self,
+            Label::Comm { .. } | Label::Kill(_) | Label::KillExec
+        )
+    }
+
+    /// Endpoint of a communication label, if any.
+    pub fn comm_endpoint(&self) -> Option<Endpoint> {
+        match self {
+            Label::Comm { ep, .. } => Some(*ep),
+            _ => None,
+        }
+    }
+
+    /// Tasks completed by this step (communications only).
+    pub fn completed_tasks(&self) -> &[Endpoint] {
+        match self {
+            Label::Comm { completes, .. } | Label::Invoke { completes, .. } => completes,
+            _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn args(f: &mut fmt::Formatter<'_>, xs: &[Symbol]) -> fmt::Result {
+            if xs.is_empty() {
+                return Ok(());
+            }
+            write!(f, "(")?;
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{x}")?;
+            }
+            write!(f, ")")
+        }
+        match self {
+            Label::Invoke { ep, args: a, .. } => {
+                write!(f, "{ep} |>")?;
+                args(f, a)
+            }
+            Label::Request { ep, params } => {
+                write!(f, "{ep} <|")?;
+                if !params.is_empty() {
+                    write!(f, "(")?;
+                    for (i, w) in params.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{w}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Label::Comm { ep, args: a, .. } => {
+                write!(f, "{ep}")?;
+                args(f, a)
+            }
+            Label::Kill(k) => write!(f, "+k({k})"),
+            Label::KillExec => write!(f, "+"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::ep;
+
+    #[test]
+    fn closed_labels() {
+        let sync = Label::Comm {
+            ep: ep("GP", "T01"),
+            args: vec![],
+            completes: vec![],
+        };
+        assert!(sync.is_closed());
+        assert!(Label::KillExec.is_closed());
+        assert!(!Label::Request {
+            ep: ep("P", "O"),
+            params: vec![]
+        }
+        .is_closed());
+    }
+
+    #[test]
+    fn display_sync_matches_paper() {
+        let sync = Label::Comm {
+            ep: ep("GP", "T01"),
+            args: vec![],
+            completes: vec![],
+        };
+        assert_eq!(sync.to_string(), "GP.T01");
+        let msg = Label::Comm {
+            ep: ep("P2", "S3"),
+            args: vec!["msg1".into()],
+            completes: vec![],
+        };
+        assert_eq!(msg.to_string(), "P2.S3(msg1)");
+    }
+
+    #[test]
+    fn comm_endpoint_accessor() {
+        let sync = Label::Comm {
+            ep: ep("C", "T06"),
+            args: vec![],
+            completes: vec![],
+        };
+        assert_eq!(sync.comm_endpoint(), Some(ep("C", "T06")));
+        assert_eq!(Label::KillExec.comm_endpoint(), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! Labeled transition systems.
+//!
+//! [`explore`] builds the full (closed-system) LTS of a service by
+//! breadth-first search over [`crate::semantics::transitions`], identifying
+//! states up to structural congruence via canonical normal forms.
+//!
+//! [`Lts::observable_traces`] enumerates the observable traces of an LTS —
+//! the object the *naïve* purpose-control approach of §1 would compare audit
+//! trails against, and which the paper rejects because the set can be
+//! infinite. We bound the enumeration and surface the blow-up as an error.
+
+use crate::error::ExploreError;
+use crate::label::Label;
+use crate::normal::normalize;
+use crate::observe::{Observability, Observation};
+use crate::semantics::transitions_shared;
+use crate::term::Service;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Index of a state inside an [`Lts`].
+pub type StateId = usize;
+
+/// Limits for [`explore`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct states.
+    pub max_states: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_states: 100_000 }
+    }
+}
+
+/// A finite labeled transition system `(s0, S, L, →)`.
+#[derive(Clone, Debug)]
+pub struct Lts {
+    pub initial: StateId,
+    states: Vec<Service>,
+    edges: Vec<Vec<(Label, StateId)>>,
+}
+
+impl Lts {
+    pub fn state(&self, id: StateId) -> &Service {
+        &self.states[id]
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing edges of a state.
+    pub fn edges_from(&self, id: StateId) -> &[(Label, StateId)] {
+        &self.edges[id]
+    }
+
+    /// All states with no outgoing edges (completed or deadlocked).
+    pub fn terminal_states(&self) -> Vec<StateId> {
+        (0..self.states.len())
+            .filter(|&i| self.edges[i].is_empty())
+            .collect()
+    }
+
+    /// Enumerate observable traces up to `max_len` observations.
+    ///
+    /// Unobservable transitions are τ-abstracted. Traces are returned
+    /// deduplicated and sorted. Fails with [`ExploreError::TraceLimit`] once
+    /// more than `max_traces` distinct traces (complete or partial) have
+    /// been generated — the blow-up of the naïve approach.
+    pub fn observable_traces(
+        &self,
+        obs: &dyn Observability,
+        max_len: usize,
+        max_traces: usize,
+    ) -> Result<Vec<Vec<Observation>>, ExploreError> {
+        // Work queue over (state, trace-so-far); τ moves do not extend the
+        // trace. Visited set on (state, trace) prevents τ-cycles from
+        // looping forever, but observable cycles still multiply traces —
+        // which is exactly the point the paper makes.
+        let mut out: Vec<Vec<Observation>> = Vec::new();
+        let mut queue: VecDeque<(StateId, Vec<Observation>)> = VecDeque::new();
+        let mut seen: std::collections::HashSet<(StateId, Vec<Observation>)> =
+            std::collections::HashSet::new();
+        queue.push_back((self.initial, Vec::new()));
+        seen.insert((self.initial, Vec::new()));
+        while let Some((sid, trace)) = queue.pop_front() {
+            out.push(trace.clone());
+            if out.len() > max_traces {
+                return Err(ExploreError::TraceLimit { limit: max_traces });
+            }
+            if trace.len() == max_len {
+                continue;
+            }
+            for (label, next) in &self.edges[sid] {
+                let mut t = trace.clone();
+                if let Some(o) = obs.observe(label) {
+                    t.push(o);
+                }
+                if seen.insert((*next, t.clone())) {
+                    queue.push_back((*next, t));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// The set of distinct observable labels appearing on any edge.
+    pub fn observable_alphabet(&self, obs: &dyn Observability) -> Vec<Observation> {
+        let mut v: Vec<Observation> = self
+            .edges
+            .iter()
+            .flatten()
+            .filter_map(|(l, _)| obs.observe(l))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// Build the LTS reachable from `initial` by closed-system transitions.
+pub fn explore(initial: &Service, limits: ExploreLimits) -> Result<Lts, ExploreError> {
+    let init = normalize(initial.clone());
+    let mut ids: HashMap<Service, StateId> = HashMap::new();
+    let mut states: Vec<Service> = Vec::new();
+    let mut edges: Vec<Vec<(Label, StateId)>> = Vec::new();
+    let mut queue: VecDeque<StateId> = VecDeque::new();
+
+    ids.insert(init.clone(), 0);
+    states.push(init);
+    edges.push(Vec::new());
+    queue.push_back(0);
+
+    while let Some(sid) = queue.pop_front() {
+        let ts = transitions_shared(&states[sid]);
+        let mut out = Vec::with_capacity(ts.len());
+        for (label, next) in ts.iter().cloned() {
+            let nid = match ids.entry(next.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    if states.len() >= limits.max_states {
+                        return Err(ExploreError::StateLimit {
+                            limit: limits.max_states,
+                        });
+                    }
+                    let nid = states.len();
+                    e.insert(nid);
+                    states.push(next);
+                    edges.push(Vec::new());
+                    queue.push_back(nid);
+                    nid
+                }
+            };
+            out.push((label, nid));
+        }
+        edges[sid] = out;
+    }
+
+    Ok(Lts {
+        initial: 0,
+        states,
+        edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::TaskObservability;
+    use crate::symbol::sym;
+    use crate::term::{ep, invoke, par, repl, request, Service};
+
+    /// Fig. 7: S → T → E. Three states, two edges.
+    fn fig7() -> Service {
+        par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), invoke(ep("P", "E"))),
+            request(ep("P", "E"), Service::Nil),
+        ])
+    }
+
+    #[test]
+    fn fig7_lts_shape() {
+        let lts = explore(&fig7(), ExploreLimits::default()).unwrap();
+        assert_eq!(lts.state_count(), 3);
+        assert_eq!(lts.edge_count(), 2);
+        assert_eq!(lts.terminal_states().len(), 1);
+    }
+
+    #[test]
+    fn traces_of_fig7() {
+        let lts = explore(&fig7(), ExploreLimits::default()).unwrap();
+        let obs = TaskObservability::with([sym("P")], [sym("T")]);
+        let traces = lts.observable_traces(&obs, 10, 100).unwrap();
+        // Prefix-closed: ε and ⟨P.T⟩.
+        assert_eq!(traces.len(), 2);
+        assert_eq!(
+            traces[1],
+            vec![Observation::Task {
+                role: sym("P"),
+                task: sym("T")
+            }]
+        );
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let err = explore(&fig7(), ExploreLimits { max_states: 1 }).unwrap_err();
+        assert_eq!(err, ExploreError::StateLimit { limit: 1 });
+    }
+
+    #[test]
+    fn cyclic_process_has_finite_lts() {
+        // *P.T?<>.P.T!<> fed one token: a single-state loop.
+        let body = request(ep("P", "T"), invoke(ep("P", "T")));
+        let s = par(vec![repl(body), invoke(ep("P", "T"))]);
+        let lts = explore(&s, ExploreLimits::default()).unwrap();
+        assert_eq!(lts.state_count(), 1);
+        assert_eq!(lts.edge_count(), 1);
+    }
+
+    #[test]
+    fn cyclic_process_trace_enumeration_blows_up() {
+        // The same loop makes the naïve trace set infinite: the enumerator
+        // must hit its budget. This is the §1 argument for Algorithm 1.
+        let body = request(ep("P", "T"), invoke(ep("P", "T")));
+        let s = par(vec![repl(body), invoke(ep("P", "T"))]);
+        let lts = explore(&s, ExploreLimits::default()).unwrap();
+        let obs = TaskObservability::with([sym("P")], [sym("T")]);
+        // Unbounded length: every length-k trace exists, so the trace
+        // budget is exceeded.
+        let err = lts.observable_traces(&obs, usize::MAX, 50).unwrap_err();
+        assert_eq!(err, ExploreError::TraceLimit { limit: 50 });
+    }
+
+    #[test]
+    fn observable_alphabet() {
+        let lts = explore(&fig7(), ExploreLimits::default()).unwrap();
+        let obs = TaskObservability::with([sym("P")], [sym("T"), sym("E")]);
+        let alpha = lts.observable_alphabet(&obs);
+        assert_eq!(alpha.len(), 2);
+    }
+
+    use crate::observe::Observation;
+}

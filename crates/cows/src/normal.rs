@@ -1,0 +1,204 @@
+//! Canonical normal form.
+//!
+//! LTS exploration identifies states up to *structural congruence*: parallel
+//! composition is associative and commutative with unit `0`; choice is
+//! associative and commutative; unused delimiters are inert; dead services
+//! are garbage-collected. Normalization rewrites services into a canonical
+//! representative so that congruent states hash and compare equal.
+//!
+//! The encoding never generates fresh identifiers at runtime, so canonical
+//! form does not need α-renaming (see `DESIGN.md` §3.1): replicated copies
+//! of a service reuse the same symbols and therefore collapse to identical
+//! canonical terms once consumed.
+
+use crate::term::Service;
+use std::sync::Arc;
+
+/// Rewrite `s` into canonical normal form.
+///
+/// Guarantees:
+/// * `Parallel` nodes are flat, sorted, free of nil components, and never
+///   unary or empty;
+/// * `Guarded` nodes have sorted branches; an empty guard is `Nil`;
+/// * delimiters whose declaration is unused in their body are removed;
+/// * `Protect`/`Repl`/`Delim` of a dead body collapse to `Nil`;
+/// * normalization is idempotent.
+pub fn normalize(s: Service) -> Service {
+    match s {
+        Service::Nil | Service::Kill(_) | Service::Invoke(_) => s,
+        Service::Guarded(mut g) => {
+            // Continuations are normalized lazily (when a branch fires);
+            // normalizing them here keeps canonical forms stable across
+            // different construction orders.
+            for b in &mut g.branches {
+                b.cont = Arc::new(normalize((*b.cont).clone()));
+            }
+            g.branches.sort();
+            if g.branches.is_empty() {
+                Service::Nil
+            } else {
+                Service::Guarded(g)
+            }
+        }
+        Service::Parallel(children) => {
+            let mut flat = Vec::with_capacity(children.len());
+            flatten_parallel(children, &mut flat);
+            flat.sort();
+            match flat.len() {
+                0 => Service::Nil,
+                1 => flat.pop().expect("len checked"),
+                _ => Service::Parallel(flat),
+            }
+        }
+        Service::Delim(d, body) => {
+            let body = normalize((*body).clone());
+            if body.is_nil() {
+                Service::Nil
+            } else if !body.uses_decl(&d) {
+                body
+            } else {
+                Service::Delim(d, Arc::new(body))
+            }
+        }
+        Service::Protect(body) => {
+            let body = normalize((*body).clone());
+            if body.is_nil() {
+                Service::Nil
+            } else {
+                Service::Protect(Arc::new(body))
+            }
+        }
+        Service::Repl(body) => {
+            let body = normalize((*body).clone());
+            if body.is_nil() {
+                Service::Nil
+            } else {
+                Service::Repl(Arc::new(body))
+            }
+        }
+    }
+}
+
+fn flatten_parallel(children: Vec<Service>, out: &mut Vec<Service>) {
+    for c in children {
+        match normalize(c) {
+            Service::Nil => {}
+            Service::Parallel(grand) => {
+                // Already normalized (flat, sorted, non-nil).
+                out.extend(grand);
+            }
+            other => out.push(other),
+        }
+    }
+}
+
+/// Apply the `halt` function of the COWS kill semantics: terminate every
+/// non-protected activity, preserving `{|s|}` blocks (and descending through
+/// delimiters and parallel compositions).
+///
+/// `halt` is applied to the *siblings* of an executing `kill(k)` by the
+/// parallel rule in [`crate::semantics`].
+pub fn halt(s: &Service) -> Service {
+    match s {
+        Service::Protect(body) => Service::Protect(body.clone()),
+        Service::Parallel(ps) => Service::Parallel(ps.iter().map(halt).collect()),
+        Service::Delim(d, body) => Service::Delim(*d, Arc::new(halt(body))),
+        _ => Service::Nil,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{
+        choice, delim_killer, delim_var, ep, invoke, kill, par, protect, repl, request, Request,
+        Service, Word,
+    };
+
+    #[test]
+    fn parallel_flattens_and_sorts() {
+        let a = invoke(ep("P", "A"));
+        let b = invoke(ep("P", "B"));
+        let left = normalize(par(vec![a.clone(), par(vec![b.clone(), Service::Nil])]));
+        let right = normalize(par(vec![par(vec![b, Service::Nil]), a]));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_parallel_is_nil() {
+        assert_eq!(normalize(par(vec![Service::Nil, choice(vec![])])), Service::Nil);
+    }
+
+    #[test]
+    fn singleton_parallel_unwraps() {
+        let a = invoke(ep("P", "A"));
+        assert_eq!(normalize(par(vec![a.clone(), Service::Nil])), a);
+    }
+
+    #[test]
+    fn unused_delimiter_is_dropped() {
+        let body = invoke(ep("P", "A"));
+        assert_eq!(normalize(delim_killer("k", body.clone())), body);
+    }
+
+    #[test]
+    fn used_delimiter_is_kept() {
+        let s = delim_killer("k", par(vec![kill("k"), invoke(ep("P", "A"))]));
+        let n = normalize(s);
+        assert!(matches!(n, Service::Delim(_, _)));
+    }
+
+    #[test]
+    fn dead_bodies_collapse() {
+        assert_eq!(normalize(protect(Service::Nil)), Service::Nil);
+        assert_eq!(normalize(repl(Service::Nil)), Service::Nil);
+        assert_eq!(normalize(delim_var("x", Service::Nil)), Service::Nil);
+    }
+
+    #[test]
+    fn guard_branches_sorted() {
+        let b1 = Request {
+            ep: ep("P", "B"),
+            params: vec![],
+            cont: Service::Nil.into(),
+        };
+        let b2 = Request {
+            ep: ep("P", "A"),
+            params: vec![Word::name("n")],
+            cont: Service::Nil.into(),
+        };
+        let left = normalize(choice(vec![b1.clone(), b2.clone()]));
+        let right = normalize(choice(vec![b2, b1]));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let s = par(vec![
+            repl(request(ep("P", "T"), invoke(ep("P", "E")))),
+            delim_killer("k", par(vec![kill("k"), protect(invoke(ep("P", "T1")))])),
+            invoke(ep("P", "T")),
+        ]);
+        let once = normalize(s);
+        let twice = normalize(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn halt_preserves_protection_only() {
+        let s = par(vec![
+            protect(invoke(ep("P", "T1"))),
+            invoke(ep("P", "T2")),
+            request(ep("P", "T3"), Service::Nil),
+        ]);
+        let halted = normalize(halt(&s));
+        assert_eq!(halted, protect(invoke(ep("P", "T1"))));
+    }
+
+    #[test]
+    fn halt_descends_delimiters() {
+        let s = delim_var("x", par(vec![protect(invoke(ep("P", "T1"))), kill("q")]));
+        let halted = normalize(halt(&s));
+        assert_eq!(halted, protect(invoke(ep("P", "T1"))));
+    }
+}

@@ -1,0 +1,176 @@
+//! Observability of transition labels.
+//!
+//! §3.5 of the paper distinguishes the IT-observable subset `L ⊂ L` of
+//! labels: synchronizations `r·q` where `r` is a role and `q` a task
+//! (a task received the token), and the error label `sys·Err`. Everything
+//! else — gateway bookkeeping on the private `sys` partner, message flows
+//! between pools, event triggers — is unobservable and skipped by
+//! [`crate::weaknext::weak_next`].
+
+use crate::label::Label;
+use crate::symbol::{sym, Symbol};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The reserved partner used for internal computation labels (gateway
+/// decisions, error signaling). §3.3: "we use the private name sys".
+pub fn sys_partner() -> Symbol {
+    sym("sys")
+}
+
+/// The reserved operation for error events: `sys·Err`.
+pub fn err_op() -> Symbol {
+    sym("Err")
+}
+
+/// An observable event: either a task receiving the token, or an error.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Observation {
+    /// `r·q` — task `q` of role `r` received the token.
+    Task { role: Symbol, task: Symbol },
+    /// `sys·Err`.
+    Error,
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observation::Task { role, task } => write!(f, "{role}.{task}"),
+            Observation::Error => write!(f, "sys.Err"),
+        }
+    }
+}
+
+/// Decides which labels are IT observable.
+pub trait Observability {
+    fn observe(&self, label: &Label) -> Option<Observation>;
+}
+
+/// The paper's observability: `L = {r·q | r ∈ R, q ∈ Q} ∪ {sys·Err}`.
+#[derive(Clone, Debug, Default)]
+pub struct TaskObservability {
+    roles: HashSet<Symbol>,
+    tasks: HashSet<Symbol>,
+}
+
+impl TaskObservability {
+    pub fn new() -> TaskObservability {
+        TaskObservability::default()
+    }
+
+    pub fn with(
+        roles: impl IntoIterator<Item = Symbol>,
+        tasks: impl IntoIterator<Item = Symbol>,
+    ) -> TaskObservability {
+        TaskObservability {
+            roles: roles.into_iter().collect(),
+            tasks: tasks.into_iter().collect(),
+        }
+    }
+
+    pub fn add_role(&mut self, role: Symbol) {
+        self.roles.insert(role);
+    }
+
+    pub fn add_task(&mut self, task: Symbol) {
+        self.tasks.insert(task);
+    }
+
+    pub fn roles(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.roles.iter().copied()
+    }
+
+    pub fn tasks(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.tasks.iter().copied()
+    }
+}
+
+impl Observability for TaskObservability {
+    fn observe(&self, label: &Label) -> Option<Observation> {
+        let Label::Comm { ep, .. } = label else {
+            return None;
+        };
+        if ep.partner == sys_partner() && ep.op == err_op() {
+            return Some(Observation::Error);
+        }
+        if self.roles.contains(&ep.partner) && self.tasks.contains(&ep.op) {
+            return Some(Observation::Task {
+                role: ep.partner,
+                task: ep.op,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::ep;
+
+    fn comm(partner: &str, op: &str) -> Label {
+        Label::Comm {
+            ep: ep(partner, op),
+            args: vec![],
+            completes: vec![],
+        }
+    }
+
+    fn obs() -> TaskObservability {
+        TaskObservability::with(
+            [sym("GP"), sym("C")],
+            [sym("T01"), sym("T02"), sym("T06")],
+        )
+    }
+
+    #[test]
+    fn task_sync_is_observable() {
+        assert_eq!(
+            obs().observe(&comm("GP", "T01")),
+            Some(Observation::Task {
+                role: sym("GP"),
+                task: sym("T01")
+            })
+        );
+    }
+
+    #[test]
+    fn sys_err_is_observable() {
+        assert_eq!(obs().observe(&comm("sys", "Err")), Some(Observation::Error));
+    }
+
+    #[test]
+    fn gateway_bookkeeping_is_not_observable() {
+        assert_eq!(obs().observe(&comm("sys", "T01")), None);
+        assert_eq!(obs().observe(&comm("GP", "G1")), None);
+    }
+
+    #[test]
+    fn open_labels_are_never_observable() {
+        let l = Label::Request {
+            ep: ep("GP", "T01"),
+            params: vec![],
+        };
+        assert_eq!(obs().observe(&l), None);
+        assert_eq!(obs().observe(&Label::KillExec), None);
+    }
+
+    #[test]
+    fn unknown_role_is_not_observable() {
+        assert_eq!(obs().observe(&comm("Nurse", "T01")), None);
+    }
+
+    #[test]
+    fn observation_display() {
+        assert_eq!(
+            Observation::Task {
+                role: sym("GP"),
+                task: sym("T01")
+            }
+            .to_string(),
+            "GP.T01"
+        );
+        assert_eq!(Observation::Error.to_string(), "sys.Err");
+    }
+}

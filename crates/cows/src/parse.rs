@@ -1,0 +1,538 @@
+//! A parser for the COWS term syntax.
+//!
+//! Accepts the ASCII rendering produced by the [`std::fmt::Display`]
+//! implementation of [`Service`] (round-trip checked by property tests):
+//!
+//! ```text
+//! s ::= 0 | p.o!<w,...> | g | (s | s | ...) | [d]s | {|s|} | kill(k) | *s
+//! g ::= p.o?<w,...>[.s] | g + g
+//! w ::= name | ?var
+//! d ::= name | ?var | k:label
+//! ```
+//!
+//! Operator binding, loosest to tightest: `|` (parallel), `+` (choice),
+//! prefixes (`*`, `[d]`). Parentheses group.
+//!
+//! ```
+//! use cows::parse::parse_service;
+//!
+//! let s = parse_service("(P.T!<> | *P.T?<>.(P.E!<msg>) | [k:k]kill(k))").unwrap();
+//! let round = cows::parse::parse_service(&s.to_string()).unwrap();
+//! assert_eq!(cows::normalize(s), cows::normalize(round));
+//! ```
+
+use crate::symbol::Symbol;
+use crate::term::{Decl, Endpoint, Guard, Invoke, Request, Service, Word};
+use std::fmt;
+use std::sync::Arc;
+
+/// Parse error with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TermParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TermParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Zero,
+    Kill,
+    Dot,
+    Bang,
+    Question,
+    Lt,
+    Gt,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    ProtectOpen,  // {|
+    ProtectClose, // |}
+    Pipe,
+    Plus,
+    Star,
+    Colon,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    toks: Vec<(usize, Tok)>,
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+}
+
+impl<'a> Lexer<'a> {
+    fn lex(src: &'a str) -> Result<Vec<(usize, Tok)>, TermParseError> {
+        let mut lx = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            toks: Vec::new(),
+        };
+        while lx.pos < lx.src.len() {
+            let at = lx.pos;
+            let b = lx.src[lx.pos];
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    lx.pos += 1;
+                }
+                b'{' if lx.peek(1) == Some(b'|') => {
+                    lx.toks.push((at, Tok::ProtectOpen));
+                    lx.pos += 2;
+                }
+                b'|' if lx.peek(1) == Some(b'}') => {
+                    lx.toks.push((at, Tok::ProtectClose));
+                    lx.pos += 2;
+                }
+                b'|' => {
+                    lx.toks.push((at, Tok::Pipe));
+                    lx.pos += 1;
+                }
+                b'.' => {
+                    lx.toks.push((at, Tok::Dot));
+                    lx.pos += 1;
+                }
+                b'!' => {
+                    lx.toks.push((at, Tok::Bang));
+                    lx.pos += 1;
+                }
+                b'?' => {
+                    lx.toks.push((at, Tok::Question));
+                    lx.pos += 1;
+                }
+                b'<' => {
+                    lx.toks.push((at, Tok::Lt));
+                    lx.pos += 1;
+                }
+                b'>' => {
+                    lx.toks.push((at, Tok::Gt));
+                    lx.pos += 1;
+                }
+                b',' => {
+                    lx.toks.push((at, Tok::Comma));
+                    lx.pos += 1;
+                }
+                b'(' => {
+                    lx.toks.push((at, Tok::LParen));
+                    lx.pos += 1;
+                }
+                b')' => {
+                    lx.toks.push((at, Tok::RParen));
+                    lx.pos += 1;
+                }
+                b'[' => {
+                    lx.toks.push((at, Tok::LBracket));
+                    lx.pos += 1;
+                }
+                b']' => {
+                    lx.toks.push((at, Tok::RBracket));
+                    lx.pos += 1;
+                }
+                b'+' => {
+                    lx.toks.push((at, Tok::Plus));
+                    lx.pos += 1;
+                }
+                b'*' => {
+                    lx.toks.push((at, Tok::Star));
+                    lx.pos += 1;
+                }
+                b':' => {
+                    lx.toks.push((at, Tok::Colon));
+                    lx.pos += 1;
+                }
+                b'0' if lx
+                    .peek(1)
+                    .map(|c| !is_ident_char(c))
+                    .unwrap_or(true) =>
+                {
+                    lx.toks.push((at, Tok::Zero));
+                    lx.pos += 1;
+                }
+                c if is_ident_char(c) => {
+                    let start = lx.pos;
+                    while lx.pos < lx.src.len() && is_ident_char(lx.src[lx.pos]) {
+                        lx.pos += 1;
+                    }
+                    let word = std::str::from_utf8(&lx.src[start..lx.pos])
+                        .expect("ascii ident")
+                        .to_string();
+                    if word == "kill" {
+                        lx.toks.push((at, Tok::Kill));
+                    } else {
+                        lx.toks.push((at, Tok::Ident(word)));
+                    }
+                }
+                other => {
+                    return Err(TermParseError {
+                        offset: at,
+                        message: format!("unexpected character `{}`", other as char),
+                    })
+                }
+            }
+        }
+        Ok(lx.toks)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> TermParseError {
+        TermParseError {
+            offset: self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(usize::MAX),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), TermParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Symbol, TermParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(Symbol::new(&s)),
+            // `0` can legitimately be an identifier start in names like `0x`
+            // — but bare `0` is the empty service; treat it as an error here.
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// parallel := choice ('|' choice)*
+    fn parallel(&mut self) -> Result<Service, TermParseError> {
+        let first = self.choice()?;
+        let mut parts = vec![first];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            parts.push(self.choice()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Service::Parallel(parts)
+        })
+    }
+
+    /// choice := prefix ('+' prefix)*  — every alternative must be a
+    /// request-guarded service.
+    fn choice(&mut self) -> Result<Service, TermParseError> {
+        let first = self.prefix()?;
+        if self.peek() != Some(&Tok::Plus) {
+            return Ok(first);
+        }
+        let mut branches = into_branches(first).map_err(|_| {
+            self.err("only request-guarded services may appear in a choice")
+        })?;
+        while self.peek() == Some(&Tok::Plus) {
+            self.pos += 1;
+            let next = self.prefix()?;
+            branches.extend(
+                into_branches(next)
+                    .map_err(|_| self.err("only request-guarded services may appear in a choice"))?,
+            );
+        }
+        Ok(Service::Guarded(Guard { branches }))
+    }
+
+    /// prefix := '*' prefix | '[' decl ']' prefix | '{|' parallel '|}'
+    ///         | 'kill' '(' k ')' | '(' parallel ')' | '0' | atom
+    fn prefix(&mut self) -> Result<Service, TermParseError> {
+        match self.peek() {
+            Some(Tok::Star) => {
+                self.pos += 1;
+                Ok(Service::Repl(Arc::new(self.prefix()?)))
+            }
+            Some(Tok::LBracket) => {
+                self.pos += 1;
+                let decl = self.decl()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                Ok(Service::Delim(decl, Arc::new(self.prefix()?)))
+            }
+            Some(Tok::ProtectOpen) => {
+                self.pos += 1;
+                let inner = self.parallel()?;
+                self.expect(&Tok::ProtectClose, "`|}`")?;
+                Ok(Service::Protect(Arc::new(inner)))
+            }
+            Some(Tok::Kill) => {
+                self.pos += 1;
+                self.expect(&Tok::LParen, "`(` after kill")?;
+                let k = self.ident("killer label")?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Service::Kill(k))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.parallel()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Tok::Zero) => {
+                self.pos += 1;
+                Ok(Service::Nil)
+            }
+            Some(Tok::Ident(_)) => self.activity(),
+            other => Err(self.err(format!("expected a service, found {other:?}"))),
+        }
+    }
+
+    /// decl := 'k' ':' label | '?' var | name — with `k:` lexed as
+    /// Ident("k"), Colon, Ident(label).
+    fn decl(&mut self) -> Result<Decl, TermParseError> {
+        match self.peek() {
+            Some(Tok::Question) => {
+                self.pos += 1;
+                Ok(Decl::Var(self.ident("variable")?))
+            }
+            Some(Tok::Ident(w)) if w == "k" && self.toks.get(self.pos + 1).map(|(_, t)| t) == Some(&Tok::Colon) => {
+                self.pos += 2;
+                Ok(Decl::Killer(self.ident("killer label")?))
+            }
+            Some(Tok::Ident(_)) => Ok(Decl::Name(self.ident("name")?)),
+            other => Err(self.err(format!("expected a declaration, found {other:?}"))),
+        }
+    }
+
+    /// activity := endpoint '!' args | endpoint '?' args ['.' prefix]
+    fn activity(&mut self) -> Result<Service, TermParseError> {
+        let partner = self.ident("partner")?;
+        self.expect(&Tok::Dot, "`.` between partner and operation")?;
+        let op = self.ident("operation")?;
+        let ep = Endpoint { partner, op };
+        match self.next() {
+            Some(Tok::Bang) => {
+                let args = self.words()?;
+                Ok(Service::Invoke(Invoke {
+                    ep,
+                    args,
+                    completes: Vec::new(),
+                }))
+            }
+            Some(Tok::Question) => {
+                let params = self.words()?;
+                let cont = if self.peek() == Some(&Tok::Dot) {
+                    self.pos += 1;
+                    self.prefix()?
+                } else {
+                    Service::Nil
+                };
+                Ok(Service::Guarded(Guard {
+                    branches: vec![Request {
+                        ep,
+                        params,
+                        cont: Arc::new(cont),
+                    }],
+                }))
+            }
+            other => Err(self.err(format!("expected `!` or `?` after endpoint, found {other:?}"))),
+        }
+    }
+
+    /// args := '<' [word (',' word)*] '>'
+    fn words(&mut self) -> Result<Vec<Word>, TermParseError> {
+        self.expect(&Tok::Lt, "`<`")?;
+        let mut out = Vec::new();
+        if self.peek() == Some(&Tok::Gt) {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            match self.peek() {
+                Some(Tok::Question) => {
+                    self.pos += 1;
+                    out.push(Word::Var(self.ident("variable")?));
+                }
+                Some(Tok::Ident(_)) => out.push(Word::Name(self.ident("name")?)),
+                other => return Err(self.err(format!("expected a parameter, found {other:?}"))),
+            }
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::Gt) => break,
+                other => return Err(self.err(format!("expected `,` or `>`, found {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn into_branches(s: Service) -> Result<Vec<Request>, ()> {
+    match s {
+        Service::Guarded(g) => Ok(g.branches),
+        _ => Err(()),
+    }
+}
+
+/// Parse a COWS service from its ASCII rendering.
+pub fn parse_service(text: &str) -> Result<Service, TermParseError> {
+    let toks = Lexer::lex(text)?;
+    let mut p = Parser { toks, pos: 0 };
+    let s = p.parallel()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input after service"));
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::normalize;
+    use crate::term::{
+        delim_killer, delim_var, ep, invoke, invoke_args, kill, par, protect, repl, request,
+        request_params, Service,
+    };
+
+    fn round_trip(s: &Service) {
+        let text = s.to_string();
+        let parsed = parse_service(&text)
+            .unwrap_or_else(|e| panic!("failed to parse `{text}`: {e}"));
+        assert_eq!(
+            normalize(parsed),
+            normalize(s.clone()),
+            "round trip of `{text}`"
+        );
+    }
+
+    #[test]
+    fn parses_basic_activities() {
+        assert_eq!(parse_service("0").unwrap(), Service::Nil);
+        assert_eq!(
+            parse_service("P.T!<>").unwrap(),
+            invoke(ep("P", "T"))
+        );
+        assert_eq!(
+            parse_service("P.T!<msg1,msg2>").unwrap(),
+            invoke_args(ep("P", "T"), vec![Word::name("msg1"), Word::name("msg2")])
+        );
+        assert_eq!(
+            parse_service("P.T?<>.(P.E!<>)").unwrap(),
+            request(ep("P", "T"), invoke(ep("P", "E")))
+        );
+    }
+
+    #[test]
+    fn parses_structured_terms() {
+        let s = parse_service("[k:k](kill(k) | {|P.T1!<>|})").unwrap();
+        assert_eq!(
+            s,
+            delim_killer("k", par(vec![kill("k"), protect(invoke(ep("P", "T1")))]))
+        );
+        let r = parse_service("*[?z]P1.S2?<?z>.(P1.T1!<>)").unwrap();
+        assert_eq!(
+            r,
+            repl(delim_var(
+                "z",
+                request_params(ep("P1", "S2"), vec![Word::var("z")], invoke(ep("P1", "T1")))
+            ))
+        );
+    }
+
+    #[test]
+    fn choice_requires_guards() {
+        assert!(parse_service("P.A?<> + P.B?<>.(P.C!<>)").is_ok());
+        assert!(parse_service("P.A!<> + P.B?<>").is_err());
+    }
+
+    #[test]
+    fn precedence_pipe_loosest() {
+        // a?<> + b?<> | c!<>  ≡  (a?<> + b?<>) | c!<>
+        let s = parse_service("P.a?<> + P.b?<> | P.c!<>").unwrap();
+        match s {
+            Service::Parallel(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(&parts[0], Service::Guarded(g) if g.branches.len() == 2));
+            }
+            other => panic!("expected parallel, got {other}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trips_structured_services() {
+        let samples = vec![
+            Service::Nil,
+            invoke(ep("P", "T")),
+            par(vec![
+                invoke(ep("P", "T")),
+                request(ep("P", "T"), invoke(ep("P", "E"))),
+                request(ep("P", "E"), Service::Nil),
+            ]),
+            delim_killer("k", par(vec![kill("k"), protect(invoke(ep("P", "T1")))])),
+            repl(delim_var(
+                "z",
+                request_params(
+                    ep("P1", "S2"),
+                    vec![Word::var("z")],
+                    invoke(ep("P1", "T1")),
+                ),
+            )),
+        ];
+        for s in samples {
+            round_trip(&s);
+        }
+    }
+
+    #[test]
+    fn display_round_trips_the_paper_encodings() {
+        // The Display form of every Appendix-A encoding parses back to a
+        // structurally-congruent service — except for `completes`
+        // annotations, which are bookkeeping that Display does not render.
+        // Use the annotation-free Fig. 8 gateway skeleton.
+        let gate = parse_service(
+            "*P.G?<>.([k:k_G][sys](sys.G_T1!<> | sys.G_T2!<> |              sys.G_T1?<>.((kill(k_G) | {|P.T1!<>|})) |              sys.G_T2?<>.((kill(k_G) | {|P.T2!<>|}))))",
+        )
+        .unwrap();
+        round_trip(&gate);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_service("P.T!<> @ Q.U!<>").unwrap_err();
+        assert_eq!(e.offset, 7);
+        assert!(parse_service("P.T!").is_err());
+        assert!(parse_service("(P.T!<>").is_err());
+        assert!(parse_service("P.T!<> extra.ident!<> trailing").is_err());
+    }
+
+    #[test]
+    fn zero_is_not_an_identifier() {
+        // `0` alone is nil; `P.T?<>.0` gives an explicit nil continuation.
+        let s = parse_service("P.T?<>.0").unwrap();
+        assert_eq!(s, request(ep("P", "T"), Service::Nil));
+    }
+}

@@ -1,0 +1,220 @@
+//! Variable substitution.
+//!
+//! Communication `p·o!⟨v̄⟩ ‖ p·o?⟨w̄⟩.s` instantiates the variables of the
+//! request pattern `w̄` with the corresponding values of `v̄` inside the
+//! continuation `s`. Substitution respects shadowing by variable delimiters.
+
+use crate::symbol::Symbol;
+use crate::term::{Decl, Guard, Request, Service, Word};
+use std::sync::Arc;
+
+/// A (small) set of variable → value bindings produced by pattern matching.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bindings {
+    pairs: Vec<(Symbol, Symbol)>,
+}
+
+impl Bindings {
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Record `var := value`. Returns `false` (match failure) if `var` is
+    /// already bound to a different value — COWS patterns are linear in
+    /// practice, but repeated variables must agree.
+    pub fn bind(&mut self, var: Symbol, value: Symbol) -> bool {
+        match self.pairs.iter().find(|(v, _)| *v == var) {
+            Some((_, existing)) => *existing == value,
+            None => {
+                self.pairs.push((var, value));
+                true
+            }
+        }
+    }
+
+    pub fn lookup(&self, var: Symbol) -> Option<Symbol> {
+        self.pairs.iter().find(|(v, _)| *v == var).map(|(_, x)| *x)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, Symbol)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+/// Match a request pattern against invoke values.
+///
+/// Returns the induced bindings, or `None` if the shapes or names disagree.
+pub fn match_pattern(params: &[Word], args: &[Symbol]) -> Option<Bindings> {
+    if params.len() != args.len() {
+        return None;
+    }
+    let mut b = Bindings::new();
+    for (p, a) in params.iter().zip(args) {
+        match p {
+            Word::Name(n) => {
+                if n != a {
+                    return None;
+                }
+            }
+            Word::Var(v) => {
+                if !b.bind(*v, *a) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(b)
+}
+
+fn subst_word(w: Word, b: &Bindings) -> Word {
+    match w {
+        Word::Var(v) => match b.lookup(v) {
+            Some(n) => Word::Name(n),
+            None => Word::Var(v),
+        },
+        other => other,
+    }
+}
+
+/// Apply `bindings` to `s`, respecting shadowing: occurrences under a
+/// `[x]` delimiter for a bound variable `x` are left untouched.
+pub fn substitute(s: &Service, bindings: &Bindings) -> Service {
+    if bindings.is_empty() {
+        return s.clone();
+    }
+    match s {
+        Service::Nil => Service::Nil,
+        Service::Kill(k) => Service::Kill(*k),
+        Service::Invoke(i) => {
+            let mut i = i.clone();
+            for a in &mut i.args {
+                *a = subst_word(*a, bindings);
+            }
+            Service::Invoke(i)
+        }
+        Service::Guarded(g) => Service::Guarded(Guard {
+            branches: g
+                .branches
+                .iter()
+                .map(|br| Request {
+                    ep: br.ep,
+                    params: br.params.iter().map(|w| subst_word(*w, bindings)).collect(),
+                    cont: Arc::new(substitute(&br.cont, bindings)),
+                })
+                .collect(),
+        }),
+        Service::Parallel(ps) => {
+            Service::Parallel(ps.iter().map(|p| substitute(p, bindings)).collect())
+        }
+        Service::Delim(d, body) => {
+            if let Decl::Var(x) = d {
+                if bindings.lookup(*x).is_some() {
+                    // Shadowed: strip the shadowed binding.
+                    let mut pruned = Bindings::new();
+                    for (v, n) in bindings.iter() {
+                        if v != *x {
+                            pruned.bind(v, n);
+                        }
+                    }
+                    return Service::Delim(*d, Arc::new(substitute(body, &pruned)));
+                }
+            }
+            Service::Delim(*d, Arc::new(substitute(body, bindings)))
+        }
+        Service::Protect(body) => Service::Protect(Arc::new(substitute(body, bindings))),
+        Service::Repl(body) => Service::Repl(Arc::new(substitute(body, bindings))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+    use crate::term::{delim_var, ep, invoke_args, request_params, Service};
+
+    #[test]
+    fn match_empty_sync() {
+        assert!(match_pattern(&[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn match_name_requires_equality() {
+        let params = [Word::name("msg1")];
+        assert!(match_pattern(&params, &[sym("msg1")]).is_some());
+        assert!(match_pattern(&params, &[sym("msg2")]).is_none());
+    }
+
+    #[test]
+    fn match_var_binds() {
+        let z = sym("z");
+        let b = match_pattern(&[Word::var(z)], &[sym("msg2")]).unwrap();
+        assert_eq!(b.lookup(z), Some(sym("msg2")));
+    }
+
+    #[test]
+    fn match_arity_mismatch_fails() {
+        assert!(match_pattern(&[Word::var(sym("z"))], &[]).is_none());
+    }
+
+    #[test]
+    fn repeated_var_must_agree() {
+        let z = sym("z");
+        assert!(match_pattern(&[Word::var(z), Word::var(z)], &[sym("a"), sym("a")]).is_some());
+        assert!(match_pattern(&[Word::var(z), Word::var(z)], &[sym("a"), sym("b")]).is_none());
+    }
+
+    #[test]
+    fn substitution_reaches_invoke_args() {
+        let z = sym("z");
+        let mut b = Bindings::new();
+        b.bind(z, sym("msg2"));
+        let s = invoke_args(ep("P1", "S2"), vec![Word::var(z)]);
+        let out = substitute(&s, &b);
+        assert_eq!(out, invoke_args(ep("P1", "S2"), vec![Word::name("msg2")]));
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        let z = sym("z");
+        let mut b = Bindings::new();
+        b.bind(z, sym("v"));
+        // [z] P.O?<z>.P.Q!<z>  — z here is the *inner* z; must not change.
+        let inner = request_params(
+            ep("P", "O"),
+            vec![Word::var(z)],
+            invoke_args(ep("P", "Q"), vec![Word::var(z)]),
+        );
+        let s = delim_var(z, inner.clone());
+        let out = substitute(&s, &b);
+        assert_eq!(out, delim_var(z, inner));
+    }
+
+    #[test]
+    fn substitution_descends_request_continuations() {
+        let z = sym("z");
+        let mut b = Bindings::new();
+        b.bind(z, sym("v"));
+        let s = request_params(
+            ep("P", "O"),
+            vec![],
+            invoke_args(ep("P", "Q"), vec![Word::var(z)]),
+        );
+        let out = substitute(&s, &b);
+        let expected = request_params(
+            ep("P", "O"),
+            vec![],
+            invoke_args(ep("P", "Q"), vec![Word::name("v")]),
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_bindings_is_identity() {
+        let s = Service::Nil;
+        assert_eq!(substitute(&s, &Bindings::new()), Service::Nil);
+    }
+}

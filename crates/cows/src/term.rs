@@ -1,0 +1,444 @@
+//! The COWS abstract syntax.
+//!
+//! The grammar implemented here is the *minimal* COWS of §3.3:
+//!
+//! ```text
+//! s ::= p·o!⟨w⟩  |  [d]s  |  g  |  s | s  |  {|s|}  |  kill(k)  |  ∗s
+//! g ::= 0  |  p·o?⟨w⟩.s  |  g + g
+//! ```
+//!
+//! Two deviations, both neutral on the BPMN image of the encoding and
+//! explained in `DESIGN.md` §3.1:
+//!
+//! * choice is flattened into a list of request branches ([`Guard`]), with
+//!   the empty list playing the role of `0`;
+//! * invoke activities may carry `completes` metadata ([`Invoke::completes`])
+//!   naming the tasks that finish when the activity executes. This is pure
+//!   bookkeeping for [`crate::weaknext`]; it does not affect the semantics.
+
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A communication endpoint `partner · operation`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    pub partner: Symbol,
+    pub op: Symbol,
+}
+
+impl Endpoint {
+    pub fn new(partner: impl Into<Symbol>, op: impl Into<Symbol>) -> Endpoint {
+        Endpoint {
+            partner: partner.into(),
+            op: op.into(),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.partner, self.op)
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A parameter of an invoke or request activity: either a closed name or a
+/// variable to be instantiated by communication.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Word {
+    Name(Symbol),
+    Var(Symbol),
+}
+
+impl Word {
+    pub fn name(s: impl Into<Symbol>) -> Word {
+        Word::Name(s.into())
+    }
+    pub fn var(s: impl Into<Symbol>) -> Word {
+        Word::Var(s.into())
+    }
+    pub fn as_name(self) -> Option<Symbol> {
+        match self {
+            Word::Name(n) => Some(n),
+            Word::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Word::Name(n) => write!(f, "{n}"),
+            Word::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// A declaration introduced by the delimitation operator `[d]s`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Decl {
+    /// A private name.
+    Name(Symbol),
+    /// A variable awaiting instantiation by a request activity in scope.
+    Var(Symbol),
+    /// A killer label delimiting the blast radius of `kill(k)`.
+    Killer(Symbol),
+}
+
+/// An invoke (sending) activity `p·o!⟨w̄⟩`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Invoke {
+    pub ep: Endpoint,
+    pub args: Vec<Word>,
+    /// Tasks (identified by their start endpoint) that complete when this
+    /// activity executes. See `DESIGN.md` §3.2.
+    pub completes: Vec<Endpoint>,
+}
+
+/// One branch of a receive-guarded choice: `p·o?⟨w̄⟩.s`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Request {
+    pub ep: Endpoint,
+    pub params: Vec<Word>,
+    pub cont: Arc<Service>,
+}
+
+/// A receive-guarded service `g`: zero (no branches) or a choice among
+/// request prefixes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Guard {
+    pub branches: Vec<Request>,
+}
+
+/// A COWS service.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Service {
+    /// The empty activity `0`.
+    #[default]
+    Nil,
+    /// `p·o!⟨w̄⟩`.
+    Invoke(Invoke),
+    /// `0`, a request prefix, or a choice of request prefixes.
+    Guarded(Guard),
+    /// `s | s | …`.
+    Parallel(Vec<Service>),
+    /// `[d]s`.
+    Delim(Decl, Arc<Service>),
+    /// `{|s|}` — protected from `kill`.
+    Protect(Arc<Service>),
+    /// `kill(k)`.
+    Kill(Symbol),
+    /// `∗s` — replication.
+    Repl(Arc<Service>),
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+/// `p·o!⟨⟩` — synchronization-style invoke with no payload.
+pub fn invoke(ep: Endpoint) -> Service {
+    Service::Invoke(Invoke {
+        ep,
+        args: Vec::new(),
+        completes: Vec::new(),
+    })
+}
+
+/// `p·o!⟨w̄⟩`.
+pub fn invoke_args(ep: Endpoint, args: Vec<Word>) -> Service {
+    Service::Invoke(Invoke {
+        ep,
+        args,
+        completes: Vec::new(),
+    })
+}
+
+/// An invoke annotated with the tasks it completes.
+pub fn invoke_completing(ep: Endpoint, completes: Vec<Endpoint>) -> Service {
+    Service::Invoke(Invoke {
+        ep,
+        args: Vec::new(),
+        completes,
+    })
+}
+
+/// `p·o?⟨⟩.s`.
+pub fn request(ep: Endpoint, cont: Service) -> Service {
+    Service::Guarded(Guard {
+        branches: vec![Request {
+            ep,
+            params: Vec::new(),
+            cont: Arc::new(cont),
+        }],
+    })
+}
+
+/// `p·o?⟨w̄⟩.s`.
+pub fn request_params(ep: Endpoint, params: Vec<Word>, cont: Service) -> Service {
+    Service::Guarded(Guard {
+        branches: vec![Request { ep, params, cont: Arc::new(cont) }],
+    })
+}
+
+/// `g1 + g2 + …` over request branches.
+pub fn choice(branches: Vec<Request>) -> Service {
+    Service::Guarded(Guard { branches })
+}
+
+/// `s1 | s2 | …`.
+pub fn par(services: Vec<Service>) -> Service {
+    Service::Parallel(services)
+}
+
+/// `[d]s`.
+pub fn delim(decl: Decl, body: Service) -> Service {
+    Service::Delim(decl, Arc::new(body))
+}
+
+/// `[k]s` with a killer label.
+pub fn delim_killer(k: impl Into<Symbol>, body: Service) -> Service {
+    Service::Delim(Decl::Killer(k.into()), Arc::new(body))
+}
+
+/// `[x]s` with a variable.
+pub fn delim_var(x: impl Into<Symbol>, body: Service) -> Service {
+    Service::Delim(Decl::Var(x.into()), Arc::new(body))
+}
+
+/// `{|s|}`.
+pub fn protect(body: Service) -> Service {
+    Service::Protect(Arc::new(body))
+}
+
+/// `kill(k)`.
+pub fn kill(k: impl Into<Symbol>) -> Service {
+    Service::Kill(k.into())
+}
+
+/// `∗s`.
+pub fn repl(body: Service) -> Service {
+    Service::Repl(Arc::new(body))
+}
+
+/// Shorthand for [`Endpoint::new`].
+pub fn ep(partner: impl Into<Symbol>, op: impl Into<Symbol>) -> Endpoint {
+    Endpoint::new(partner, op)
+}
+
+// ---------------------------------------------------------------------------
+// Structural queries
+// ---------------------------------------------------------------------------
+
+impl Service {
+    /// Whether the service is syntactically the empty activity (after
+    /// normalization, semantically-dead services are also [`Service::Nil`]).
+    pub fn is_nil(&self) -> bool {
+        match self {
+            Service::Nil => true,
+            Service::Guarded(g) => g.branches.is_empty(),
+            Service::Parallel(ps) => ps.iter().all(Service::is_nil),
+            _ => false,
+        }
+    }
+
+    /// Number of AST nodes; a rough size metric used by exploration limits
+    /// and tests.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Service::Nil | Service::Kill(_) | Service::Invoke(_) => 1,
+            Service::Guarded(g) => {
+                1 + g
+                    .branches
+                    .iter()
+                    .map(|b| 1 + b.cont.node_count())
+                    .sum::<usize>()
+            }
+            Service::Parallel(ps) => 1 + ps.iter().map(Service::node_count).sum::<usize>(),
+            Service::Delim(_, s) | Service::Protect(s) | Service::Repl(s) => 1 + s.node_count(),
+        }
+    }
+
+    /// Whether `decl` is referenced anywhere in the service.
+    pub fn uses_decl(&self, decl: &Decl) -> bool {
+        fn word_uses(w: &Word, decl: &Decl) -> bool {
+            match (w, decl) {
+                (Word::Name(n), Decl::Name(d)) => n == d,
+                (Word::Var(v), Decl::Var(d)) => v == d,
+                _ => false,
+            }
+        }
+        fn ep_uses(e: &Endpoint, decl: &Decl) -> bool {
+            matches!(decl, Decl::Name(d) if e.partner == *d || e.op == *d)
+        }
+        match self {
+            Service::Nil => false,
+            Service::Invoke(i) => ep_uses(&i.ep, decl) || i.args.iter().any(|w| word_uses(w, decl)),
+            Service::Guarded(g) => g.branches.iter().any(|b| {
+                ep_uses(&b.ep, decl)
+                    || b.params.iter().any(|w| word_uses(w, decl))
+                    || b.cont.uses_decl(decl)
+            }),
+            Service::Parallel(ps) => ps.iter().any(|p| p.uses_decl(decl)),
+            Service::Delim(d, s) => {
+                if d == decl {
+                    // Shadowed: inner occurrences refer to the inner binder.
+                    false
+                } else {
+                    s.uses_decl(decl)
+                }
+            }
+            Service::Protect(s) | Service::Repl(s) => s.uses_decl(decl),
+            Service::Kill(k) => matches!(decl, Decl::Killer(d) if k == d),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display (paper-style ASCII rendering)
+// ---------------------------------------------------------------------------
+
+fn fmt_words(words: &[Word], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "<")?;
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{w}")?;
+    }
+    write!(f, ">")
+}
+
+/// Bodies of prefix operators (`∗s`, `[d]s`) need parentheses when they are
+/// multi-branch choices, which would otherwise re-associate under the
+/// looser-binding `+`.
+fn fmt_prefix_body(s: &Service, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match s {
+        Service::Guarded(g) if g.branches.len() > 1 => write!(f, "({s})"),
+        _ => write!(f, "{s}"),
+    }
+}
+
+impl fmt::Display for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Service::Nil => write!(f, "0"),
+            Service::Invoke(i) => {
+                write!(f, "{}!", i.ep)?;
+                fmt_words(&i.args, f)
+            }
+            Service::Guarded(g) => {
+                if g.branches.is_empty() {
+                    return write!(f, "0");
+                }
+                for (i, b) in g.branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{}?", b.ep)?;
+                    fmt_words(&b.params, f)?;
+                    if !b.cont.is_nil() {
+                        write!(f, ".({})", b.cont)?;
+                    }
+                }
+                Ok(())
+            }
+            Service::Parallel(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "0");
+                }
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Service::Delim(d, s) => {
+                match d {
+                    Decl::Name(n) => write!(f, "[{n}]")?,
+                    Decl::Var(v) => write!(f, "[?{v}]")?,
+                    Decl::Killer(k) => write!(f, "[k:{k}]")?,
+                }
+                fmt_prefix_body(s, f)
+            }
+            Service::Protect(s) => write!(f, "{{|{s}|}}"),
+            Service::Kill(k) => write!(f, "kill({k})"),
+            Service::Repl(s) => {
+                write!(f, "*")?;
+                fmt_prefix_body(s, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    #[test]
+    fn builders_compose() {
+        // [[S]] | [[T]] | [[E]] from Fig. 7 of the paper.
+        let p = sym("P");
+        let serv = par(vec![
+            invoke(ep(p, "T")),
+            request(ep(p, "T"), invoke(ep(p, "E"))),
+            request(ep(p, "E"), Service::Nil),
+        ]);
+        assert_eq!(serv.node_count(), 8);
+        assert!(!serv.is_nil());
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let s = request(ep("P", "T"), invoke(ep("P", "E")));
+        assert_eq!(s.to_string(), "P.T?<>.(P.E!<>)");
+        let k = delim_killer("k", par(vec![kill("k"), protect(invoke(ep("P", "T1")))]));
+        assert_eq!(k.to_string(), "[k:k](kill(k) | {|P.T1!<>|})");
+    }
+
+    #[test]
+    fn is_nil_sees_through_structure() {
+        assert!(Service::Nil.is_nil());
+        assert!(choice(vec![]).is_nil());
+        assert!(par(vec![Service::Nil, choice(vec![])]).is_nil());
+        assert!(!kill("k").is_nil());
+    }
+
+    #[test]
+    fn uses_decl_respects_shadowing() {
+        let x = sym("x");
+        let inner = request_params(ep("P", "O"), vec![Word::var(x)], Service::Nil);
+        // [x] P.O?<x> uses x…
+        assert!(inner.uses_decl(&Decl::Var(x)));
+        // …but [x][x] P.O?<x> does not use the *outer* x.
+        let shadowed = delim_var(x, inner);
+        assert!(!shadowed.uses_decl(&Decl::Var(x)));
+    }
+
+    #[test]
+    fn uses_decl_distinguishes_categories() {
+        let n = sym("n");
+        let s = invoke(ep(n, "op"));
+        assert!(s.uses_decl(&Decl::Name(n)));
+        assert!(!s.uses_decl(&Decl::Var(n)));
+        assert!(!s.uses_decl(&Decl::Killer(n)));
+    }
+
+    #[test]
+    fn kill_uses_killer_decl() {
+        let s = kill("k");
+        assert!(s.uses_decl(&Decl::Killer(sym("k"))));
+        assert!(!s.uses_decl(&Decl::Name(sym("k"))));
+    }
+}

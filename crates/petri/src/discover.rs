@@ -1,0 +1,305 @@
+//! Process discovery: the α-algorithm (van der Aalst, Weijters & Maruster,
+//! "Workflow Mining: Discovering Process Models from Event Logs" — the
+//! paper's reference \[33\]).
+//!
+//! The paper contrasts its *top-down* purpose control (replay against the
+//! prescribed process) with the *bottom-up* process-mining tradition
+//! (discover what people actually do). Implementing the classic miner
+//! closes that loop: discover a net from the audit trail's task logs and
+//! token-replay the prescribed behavior against it — a drift detector
+//! complementary to Algorithm 1.
+//!
+//! Given a log `L` of task traces, the α-algorithm derives:
+//!
+//! * direct succession `a > b` — `ab` occurs consecutively in some trace;
+//! * causality `a → b` — `a > b` and not `b > a`;
+//! * parallelism `a ∥ b` — `a > b` and `b > a`;
+//! * independence `a # b` — neither;
+//!
+//! then builds one place per maximal pair `(A, B)` with `A → B` pointwise
+//! and `#` within each side, plus source and sink places.
+
+use crate::net::{PetriNet, PlaceId};
+use cows::symbol::Symbol;
+use std::collections::{BTreeSet, HashMap};
+
+/// The ordering relations the α-algorithm extracts from a log.
+#[derive(Clone, Debug, Default)]
+pub struct LogRelations {
+    pub tasks: BTreeSet<Symbol>,
+    pub first_tasks: BTreeSet<Symbol>,
+    pub last_tasks: BTreeSet<Symbol>,
+    succ: BTreeSet<(Symbol, Symbol)>,
+}
+
+impl LogRelations {
+    /// Extract relations from `log` (one task sequence per case).
+    pub fn from_log(log: &[Vec<Symbol>]) -> LogRelations {
+        let mut r = LogRelations::default();
+        for trace in log {
+            if trace.is_empty() {
+                continue;
+            }
+            r.first_tasks.insert(trace[0]);
+            r.last_tasks.insert(trace[trace.len() - 1]);
+            for t in trace {
+                r.tasks.insert(*t);
+            }
+            for w in trace.windows(2) {
+                r.succ.insert((w[0], w[1]));
+            }
+        }
+        r
+    }
+
+    pub fn directly_follows(&self, a: Symbol, b: Symbol) -> bool {
+        self.succ.contains(&(a, b))
+    }
+
+    /// `a → b`.
+    pub fn causal(&self, a: Symbol, b: Symbol) -> bool {
+        self.directly_follows(a, b) && !self.directly_follows(b, a)
+    }
+
+    /// `a ∥ b`.
+    pub fn parallel(&self, a: Symbol, b: Symbol) -> bool {
+        self.directly_follows(a, b) && self.directly_follows(b, a)
+    }
+
+    /// `a # b`.
+    pub fn independent(&self, a: Symbol, b: Symbol) -> bool {
+        !self.directly_follows(a, b) && !self.directly_follows(b, a)
+    }
+}
+
+/// Limits for the place search. `(A, B)` candidates are enumerated over
+/// subsets; the side size is capped (the classic algorithm is exponential
+/// in it; real task alphabets rarely need more than a handful).
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoverLimits {
+    pub max_side: usize,
+}
+
+impl Default for DiscoverLimits {
+    fn default() -> Self {
+        DiscoverLimits { max_side: 4 }
+    }
+}
+
+/// A discovered net plus its diagnostic relations.
+#[derive(Clone, Debug)]
+pub struct Discovery {
+    pub net: PetriNet,
+    pub relations: LogRelations,
+    /// The maximal `(A, B)` pairs realized as places.
+    pub places: Vec<(BTreeSet<Symbol>, BTreeSet<Symbol>)>,
+}
+
+/// Run the α-algorithm on a task log.
+pub fn alpha_miner(log: &[Vec<Symbol>], limits: &DiscoverLimits) -> Discovery {
+    let relations = LogRelations::from_log(log);
+    let tasks: Vec<Symbol> = relations.tasks.iter().copied().collect();
+
+    // Candidate sides: subsets of tasks that are pairwise independent.
+    // Seeds are single tasks; grow breadth-first up to the cap.
+    let independent_sets = independent_subsets(&relations, &tasks, limits.max_side);
+
+    // X_L: (A, B) with a → b for every a ∈ A, b ∈ B.
+    let mut x: Vec<(BTreeSet<Symbol>, BTreeSet<Symbol>)> = Vec::new();
+    for a_set in &independent_sets {
+        for b_set in &independent_sets {
+            let all_causal = a_set
+                .iter()
+                .all(|&a| b_set.iter().all(|&b| relations.causal(a, b)));
+            if all_causal {
+                x.push((a_set.clone(), b_set.clone()));
+            }
+        }
+    }
+
+    // Y_L: maximal elements of X_L under componentwise inclusion.
+    let mut places: Vec<(BTreeSet<Symbol>, BTreeSet<Symbol>)> = Vec::new();
+    'outer: for (i, (a, b)) in x.iter().enumerate() {
+        for (j, (a2, b2)) in x.iter().enumerate() {
+            if i != j && a.is_subset(a2) && b.is_subset(b2) && (a != a2 || b != b2) {
+                continue 'outer;
+            }
+        }
+        if !places.contains(&(a.clone(), b.clone())) {
+            places.push((a.clone(), b.clone()));
+        }
+    }
+    places.sort();
+
+    // Assemble the net.
+    let mut net = PetriNet::new();
+    let source = net.add_place("source", 1);
+    let sink = net.add_place("end_sink", 0);
+    let mut pre: HashMap<Symbol, Vec<PlaceId>> = HashMap::new();
+    let mut post: HashMap<Symbol, Vec<PlaceId>> = HashMap::new();
+
+    for &t in &tasks {
+        if relations.first_tasks.contains(&t) {
+            pre.entry(t).or_default().push(source);
+        }
+        if relations.last_tasks.contains(&t) {
+            post.entry(t).or_default().push(sink);
+        }
+    }
+    for (idx, (a, b)) in places.iter().enumerate() {
+        let p = net.add_place(format!("p{idx}").as_str(), 0);
+        for &t in a {
+            post.entry(t).or_default().push(p);
+        }
+        for &t in b {
+            pre.entry(t).or_default().push(p);
+        }
+    }
+    for &t in &tasks {
+        net.add_transition(
+            t.as_str(),
+            Some(t),
+            pre.remove(&t).unwrap_or_default(),
+            post.remove(&t).unwrap_or_default(),
+        );
+    }
+
+    Discovery {
+        net,
+        relations,
+        places,
+    }
+}
+
+/// All nonempty subsets of `tasks` (size ≤ `max_side`) that are pairwise
+/// independent (`#`).
+fn independent_subsets(
+    relations: &LogRelations,
+    tasks: &[Symbol],
+    max_side: usize,
+) -> Vec<BTreeSet<Symbol>> {
+    let mut out: Vec<BTreeSet<Symbol>> = tasks
+        .iter()
+        .map(|&t| BTreeSet::from([t]))
+        .collect();
+    let mut frontier = out.clone();
+    for _ in 1..max_side {
+        let mut next: Vec<BTreeSet<Symbol>> = Vec::new();
+        for set in &frontier {
+            let anchor = *set.iter().next_back().expect("nonempty");
+            for &t in tasks {
+                if t <= anchor || set.contains(&t) {
+                    continue;
+                }
+                if set.iter().all(|&s| relations.independent(s, t)) {
+                    let mut grown = set.clone();
+                    grown.insert(t);
+                    next.push(grown);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::{token_replay, ReplayOptions};
+    use cows::sym;
+
+    fn trace(tasks: &[&str]) -> Vec<Symbol> {
+        tasks.iter().map(|t| sym(t)).collect()
+    }
+
+    #[test]
+    fn relations_from_sequence() {
+        let log = vec![trace(&["A", "B", "C"])];
+        let r = LogRelations::from_log(&log);
+        assert!(r.causal(sym("A"), sym("B")));
+        assert!(r.causal(sym("B"), sym("C")));
+        assert!(!r.causal(sym("A"), sym("C")));
+        assert!(r.independent(sym("A"), sym("C")));
+        assert_eq!(r.first_tasks, BTreeSet::from([sym("A")]));
+        assert_eq!(r.last_tasks, BTreeSet::from([sym("C")]));
+    }
+
+    #[test]
+    fn parallel_detected() {
+        let log = vec![trace(&["A", "B", "C", "D"]), trace(&["A", "C", "B", "D"])];
+        let r = LogRelations::from_log(&log);
+        assert!(r.parallel(sym("B"), sym("C")));
+        assert!(r.causal(sym("A"), sym("B")));
+    }
+
+    #[test]
+    fn discovers_a_sequence() {
+        let log = vec![trace(&["A", "B", "C"]); 3];
+        let d = alpha_miner(&log, &DiscoverLimits::default());
+        // Two internal places (A→B, B→C) plus source and sink.
+        assert_eq!(d.places.len(), 2);
+        assert_eq!(d.net.place_count(), 4);
+        // The log itself replays perfectly on the discovered net.
+        let replay = token_replay(&d.net, &log[0], &ReplayOptions::default());
+        assert!(replay.is_perfect(), "{replay:?}");
+    }
+
+    #[test]
+    fn discovers_an_exclusive_choice() {
+        let log = vec![trace(&["A", "B", "D"]), trace(&["A", "C", "D"])];
+        let d = alpha_miner(&log, &DiscoverLimits::default());
+        // One place A→{B,C} and one {B,C}→D: the XOR diamond.
+        assert!(d
+            .places
+            .iter()
+            .any(|(a, b)| a == &BTreeSet::from([sym("A")])
+                && b == &BTreeSet::from([sym("B"), sym("C")])));
+        for t in [&log[0], &log[1]] {
+            assert!(token_replay(&d.net, t, &ReplayOptions::default()).is_perfect());
+        }
+        // A trace running BOTH branches does not fit the discovered net.
+        let both = trace(&["A", "B", "C", "D"]);
+        assert!(!token_replay(&d.net, &both, &ReplayOptions::default()).is_perfect());
+    }
+
+    #[test]
+    fn discovers_parallelism_without_false_places() {
+        let log = vec![
+            trace(&["A", "B", "C", "D"]),
+            trace(&["A", "C", "B", "D"]),
+        ];
+        let d = alpha_miner(&log, &DiscoverLimits::default());
+        // B ∥ C: no place between them; both orders replay.
+        for t in [&log[0], &log[1]] {
+            let r = token_replay(&d.net, t, &ReplayOptions::default());
+            assert!(r.is_perfect(), "{t:?}: {r:?}");
+        }
+        // Skipping one parallel branch leaves a token behind.
+        let skip = trace(&["A", "B", "D"]);
+        assert!(!token_replay(&d.net, &skip, &ReplayOptions::default()).is_perfect());
+    }
+
+    #[test]
+    fn discovered_net_flags_prescribed_process_drift() {
+        // The compliance-drift scenario: people systematically skip B.
+        // Mining the *actual* behavior yields a net on which the
+        // *prescribed* trace no longer fits.
+        let actual = vec![trace(&["A", "C"]); 5];
+        let d = alpha_miner(&actual, &DiscoverLimits::default());
+        let prescribed = trace(&["A", "B", "C"]);
+        let r = token_replay(&d.net, &prescribed, &ReplayOptions::default());
+        assert!(!r.is_perfect(), "drift must be visible: {r:?}");
+    }
+
+    #[test]
+    fn empty_log_discovers_empty_net() {
+        let d = alpha_miner(&[], &DiscoverLimits::default());
+        assert_eq!(d.net.transition_count(), 0);
+        assert_eq!(d.places.len(), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Place/transition nets.
+//!
+//! The substrate of the process-mining conformance baseline the paper
+//! compares against in §6 (Rozinat & van der Aalst \[13\]). Transitions are
+//! either *visible* (labeled with a task name, the activity label of
+//! process mining) or *invisible* (τ — routing introduced by translation).
+
+use cows::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a place.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PlaceId(pub usize);
+
+/// Index of a transition.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TransitionId(pub usize);
+
+/// A transition with its pre- and post-sets.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Transition {
+    pub name: Symbol,
+    /// Task label; `None` for invisible routing transitions.
+    pub label: Option<Symbol>,
+    pub inputs: Vec<PlaceId>,
+    pub outputs: Vec<PlaceId>,
+}
+
+impl Transition {
+    pub fn is_visible(&self) -> bool {
+        self.label.is_some()
+    }
+}
+
+/// A place/transition net with an initial marking.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PetriNet {
+    place_names: Vec<Symbol>,
+    transitions: Vec<Transition>,
+    initial: Vec<u32>,
+}
+
+/// A marking: token count per place.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Marking(pub Vec<u32>);
+
+impl Marking {
+    pub fn tokens(&self, p: PlaceId) -> u32 {
+        self.0[p.0]
+    }
+
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, n) in self.0.iter().enumerate() {
+            if *n > 0 {
+                write!(f, " p{i}:{n}")?;
+            }
+        }
+        write!(f, " ]")
+    }
+}
+
+impl PetriNet {
+    pub fn new() -> PetriNet {
+        PetriNet::default()
+    }
+
+    pub fn add_place(&mut self, name: impl Into<Symbol>, initial_tokens: u32) -> PlaceId {
+        let id = PlaceId(self.place_names.len());
+        self.place_names.push(name.into());
+        self.initial.push(initial_tokens);
+        id
+    }
+
+    pub fn add_transition(
+        &mut self,
+        name: impl Into<Symbol>,
+        label: Option<Symbol>,
+        inputs: Vec<PlaceId>,
+        outputs: Vec<PlaceId>,
+    ) -> TransitionId {
+        let id = TransitionId(self.transitions.len());
+        self.transitions.push(Transition {
+            name: name.into(),
+            label,
+            inputs,
+            outputs,
+        });
+        id
+    }
+
+    pub fn place_count(&self) -> usize {
+        self.place_names.len()
+    }
+
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    pub fn place_name(&self, p: PlaceId) -> Symbol {
+        self.place_names[p.0]
+    }
+
+    pub fn transition(&self, t: TransitionId) -> &Transition {
+        &self.transitions[t.0]
+    }
+
+    pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition)> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TransitionId(i), t))
+    }
+
+    pub fn initial_marking(&self) -> Marking {
+        Marking(self.initial.clone())
+    }
+
+    /// Whether `t` is enabled under `m`.
+    pub fn enabled(&self, m: &Marking, t: TransitionId) -> bool {
+        self.transitions[t.0].inputs.iter().all(|p| m.0[p.0] > 0)
+    }
+
+    /// Fire `t`, consuming and producing tokens. Returns `None` if not
+    /// enabled.
+    pub fn fire(&self, m: &Marking, t: TransitionId) -> Option<Marking> {
+        if !self.enabled(m, t) {
+            return None;
+        }
+        let mut next = m.clone();
+        for p in &self.transitions[t.0].inputs {
+            next.0[p.0] -= 1;
+        }
+        for p in &self.transitions[t.0].outputs {
+            next.0[p.0] += 1;
+        }
+        Some(next)
+    }
+
+    /// Fire `t` in forced mode: missing input tokens are conjured (and
+    /// counted) — the token-replay repair of \[13\].
+    pub fn force_fire(&self, m: &Marking, t: TransitionId) -> (Marking, u32) {
+        let mut next = m.clone();
+        let mut missing = 0;
+        for p in &self.transitions[t.0].inputs {
+            if next.0[p.0] == 0 {
+                missing += 1;
+            } else {
+                next.0[p.0] -= 1;
+            }
+        }
+        for p in &self.transitions[t.0].outputs {
+            next.0[p.0] += 1;
+        }
+        (next, missing)
+    }
+
+    /// All enabled transitions under `m`.
+    pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
+        (0..self.transitions.len())
+            .map(TransitionId)
+            .filter(|&t| self.enabled(m, t))
+            .collect()
+    }
+
+    /// Visible transitions labeled `task`.
+    pub fn labeled(&self, task: Symbol) -> Vec<TransitionId> {
+        self.transitions()
+            .filter(|(_, t)| t.label == Some(task))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    /// p0 → [a] → p1 → [τ] → p2
+    fn chain() -> (PetriNet, TransitionId, TransitionId) {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0", 1);
+        let p1 = net.add_place("p1", 0);
+        let p2 = net.add_place("p2", 0);
+        let a = net.add_transition("a", Some(sym("A")), vec![p0], vec![p1]);
+        let tau = net.add_transition("tau", None, vec![p1], vec![p2]);
+        (net, a, tau)
+    }
+
+    #[test]
+    fn firing_moves_tokens() {
+        let (net, a, tau) = chain();
+        let m0 = net.initial_marking();
+        assert!(net.enabled(&m0, a));
+        assert!(!net.enabled(&m0, tau));
+        let m1 = net.fire(&m0, a).unwrap();
+        assert_eq!(m1.tokens(PlaceId(0)), 0);
+        assert_eq!(m1.tokens(PlaceId(1)), 1);
+        let m2 = net.fire(&m1, tau).unwrap();
+        assert_eq!(m2.tokens(PlaceId(2)), 1);
+        assert!(net.fire(&m2, a).is_none());
+    }
+
+    #[test]
+    fn force_fire_counts_missing() {
+        let (net, _, tau) = chain();
+        let m0 = net.initial_marking();
+        let (m, missing) = net.force_fire(&m0, tau);
+        assert_eq!(missing, 1);
+        assert_eq!(m.tokens(PlaceId(2)), 1);
+    }
+
+    #[test]
+    fn labeled_lookup() {
+        let (net, a, _) = chain();
+        assert_eq!(net.labeled(sym("A")), vec![a]);
+        assert!(net.labeled(sym("B")).is_empty());
+    }
+
+    #[test]
+    fn synchronizing_join_requires_all_inputs() {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0", 1);
+        let p1 = net.add_place("p1", 0);
+        let out = net.add_place("out", 0);
+        let join = net.add_transition("join", None, vec![p0, p1], vec![out]);
+        let m = net.initial_marking();
+        assert!(!net.enabled(&m, join));
+    }
+}

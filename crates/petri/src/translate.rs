@@ -1,0 +1,271 @@
+//! BPMN → Petri net translation.
+//!
+//! The translation covers the fragment Petri-net-based conformance tooling
+//! supports; §6 of the paper: "existing solutions based on Petri Nets
+//! either impose some restrictions on the syntax of BPMN … or define a
+//! formal semantics that deviate from the informal one". We take the first
+//! horn and reproduce the restriction faithfully: **inclusive (OR)
+//! gateways are rejected**, so the paper's Fig. 1 process is exactly the
+//! kind of model this baseline cannot analyze (test
+//! `fig1_rejected_by_translation`).
+//!
+//! Mapping (one place per sequence flow, plus a busy place per task):
+//!
+//! * start event → marked place + τ;
+//! * task `T` → visible transition `T` into `busy_T`, then a τ completion;
+//!   an error boundary adds a visible `Err`-labeled transition out of
+//!   `busy_T`;
+//! * XOR gateway → one τ per routing alternative;
+//! * AND gateway → a single synchronizing τ;
+//! * message flows → an inbox place per message-receiving node;
+//! * end events → τ into a terminal place.
+
+use crate::net::{PetriNet, PlaceId};
+use bpmn::model::{NodeId, NodeKind, ProcessModel};
+use cows::symbol::{sym, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a model cannot be translated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The model uses inclusive (OR) gateways — outside the supported
+    /// fragment, as in the Petri-net conformance literature.
+    InclusiveGateway { node: Symbol },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::InclusiveGateway { node } => write!(
+                f,
+                "node `{node}`: inclusive (OR) gateways are not expressible in the \
+                 Petri-net fragment used by token-replay conformance checking"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translate `model` into a Petri net whose visible transitions are the
+/// model's tasks (activity labels) plus `Err` for error boundaries.
+pub fn translate(model: &ProcessModel) -> Result<PetriNet, TranslateError> {
+    for n in model.nodes() {
+        if matches!(n.kind, NodeKind::Or { .. } | NodeKind::OrJoin) {
+            return Err(TranslateError::InclusiveGateway { node: n.name });
+        }
+    }
+
+    let mut net = PetriNet::new();
+    // One place per sequence flow.
+    let mut flow_place: HashMap<(NodeId, NodeId), PlaceId> = HashMap::new();
+    for f in model.flows() {
+        let name = format!(
+            "f_{}_{}",
+            model.node(f.from).name,
+            model.node(f.to).name
+        );
+        flow_place.insert((f.from, f.to), net.add_place(name.as_str(), 0));
+    }
+    // One inbox place per message-receiving node.
+    let mut inbox: HashMap<NodeId, PlaceId> = HashMap::new();
+    for n in model.nodes() {
+        if let NodeKind::MessageEnd { to } = n.kind {
+            inbox
+                .entry(to)
+                .or_insert_with(|| net.add_place(format!("inbox_{}", model.node(to).name).as_str(), 0));
+        }
+    }
+    // A synthetic input place for error handlers reachable only through a
+    // boundary event (they have no incoming sequence flow of their own).
+    let mut err_input: HashMap<NodeId, PlaceId> = HashMap::new();
+    for n in model.nodes() {
+        if let NodeKind::Task {
+            on_error: Some(handler),
+        } = n.kind
+        {
+            if model.predecessors(handler).is_empty() {
+                err_input.entry(handler).or_insert_with(|| {
+                    net.add_place(format!("errin_{}", model.node(handler).name).as_str(), 0)
+                });
+            }
+        }
+    }
+
+    let in_places = |model: &ProcessModel,
+                     flow_place: &HashMap<(NodeId, NodeId), PlaceId>,
+                     id: NodeId|
+     -> Vec<PlaceId> {
+        model
+            .predecessors(id)
+            .into_iter()
+            .map(|p| flow_place[&(p, id)])
+            .collect()
+    };
+    let out_places = |model: &ProcessModel,
+                      flow_place: &HashMap<(NodeId, NodeId), PlaceId>,
+                      id: NodeId|
+     -> Vec<PlaceId> {
+        model
+            .successors(id)
+            .into_iter()
+            .map(|s| flow_place[&(id, s)])
+            .collect()
+    };
+
+    for n in model.nodes() {
+        let name = n.name;
+        match n.kind {
+            NodeKind::Start => {
+                let p = net.add_place(format!("start_{name}").as_str(), 1);
+                net.add_transition(
+                    format!("t_{name}").as_str(),
+                    None,
+                    vec![p],
+                    out_places(model, &flow_place, n.id),
+                );
+            }
+            NodeKind::MessageStart => {
+                // Consumes one message from the inbox per activation.
+                let p = *inbox
+                    .entry(n.id)
+                    .or_insert_with(|| net.add_place(format!("inbox_{name}").as_str(), 0));
+                net.add_transition(
+                    format!("t_{name}").as_str(),
+                    None,
+                    vec![p],
+                    out_places(model, &flow_place, n.id),
+                );
+            }
+            NodeKind::End => {
+                let done = net.add_place(format!("end_{name}").as_str(), 0);
+                for (i, p) in in_places(model, &flow_place, n.id).into_iter().enumerate() {
+                    net.add_transition(
+                        format!("t_{name}_{i}").as_str(),
+                        None,
+                        vec![p],
+                        vec![done],
+                    );
+                }
+            }
+            NodeKind::MessageEnd { to } => {
+                let target = inbox[&to];
+                for (i, p) in in_places(model, &flow_place, n.id).into_iter().enumerate() {
+                    net.add_transition(
+                        format!("t_{name}_{i}").as_str(),
+                        None,
+                        vec![p],
+                        vec![target],
+                    );
+                }
+            }
+            NodeKind::Task { on_error } => {
+                let busy = net.add_place(format!("busy_{name}").as_str(), 0);
+                // Start: one visible transition per input place (XOR-join
+                // semantics of multiple incoming flows; the synthetic
+                // error-input place counts as one).
+                let mut ins = in_places(model, &flow_place, n.id);
+                if let Some(&p) = err_input.get(&n.id) {
+                    ins.push(p);
+                }
+                for (i, p) in ins.into_iter().enumerate() {
+                    net.add_transition(
+                        format!("start_{name}_{i}").as_str(),
+                        Some(name),
+                        vec![p],
+                        vec![busy],
+                    );
+                }
+                // Completion.
+                net.add_transition(
+                    format!("done_{name}").as_str(),
+                    None,
+                    vec![busy],
+                    out_places(model, &flow_place, n.id),
+                );
+                // Failure (visible, labeled Err as in the observable
+                // alphabet of §3.5).
+                if let Some(handler) = on_error {
+                    let hin = match err_input.get(&handler) {
+                        Some(&p) => p,
+                        None => flow_place[&(model.predecessors(handler)[0], handler)],
+                    };
+                    net.add_transition(
+                        format!("fail_{name}").as_str(),
+                        Some(sym("Err")),
+                        vec![busy],
+                        vec![hin],
+                    );
+                }
+            }
+            NodeKind::Xor => {
+                // One τ per (incoming, outgoing) routing alternative.
+                let ins = in_places(model, &flow_place, n.id);
+                let outs = out_places(model, &flow_place, n.id);
+                for (i, &pin) in ins.iter().enumerate() {
+                    for (j, &pout) in outs.iter().enumerate() {
+                        net.add_transition(
+                            format!("t_{name}_{i}_{j}").as_str(),
+                            None,
+                            vec![pin],
+                            vec![pout],
+                        );
+                    }
+                }
+            }
+            NodeKind::And => {
+                net.add_transition(
+                    format!("t_{name}").as_str(),
+                    None,
+                    in_places(model, &flow_place, n.id),
+                    out_places(model, &flow_place, n.id),
+                );
+            }
+            NodeKind::Or { .. } | NodeKind::OrJoin => unreachable!("rejected above"),
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpmn::models::{fig7_sequence, fig8_exclusive, fig9_error, healthcare_treatment};
+    use cows::sym;
+
+    #[test]
+    fn fig7_translates() {
+        let net = translate(&fig7_sequence()).unwrap();
+        assert_eq!(net.labeled(sym("T")).len(), 1);
+        // Start is enabled; T fires after its τ.
+        let m0 = net.initial_marking();
+        let enabled = net.enabled_transitions(&m0);
+        assert_eq!(enabled.len(), 1);
+    }
+
+    #[test]
+    fn fig8_xor_translates_with_two_branch_taus() {
+        let net = translate(&fig8_exclusive()).unwrap();
+        assert_eq!(net.labeled(sym("T1")).len(), 1);
+        assert_eq!(net.labeled(sym("T2")).len(), 1);
+    }
+
+    #[test]
+    fn fig9_error_has_visible_err() {
+        let net = translate(&fig9_error()).unwrap();
+        assert_eq!(net.labeled(sym("Err")).len(), 1);
+    }
+
+    #[test]
+    fn fig1_rejected_by_translation() {
+        // The paper's healthcare process uses an inclusive gateway (G3) —
+        // outside the Petri-net fragment, reproducing the §6 restriction.
+        let err = translate(&healthcare_treatment()).unwrap_err();
+        let TranslateError::InclusiveGateway { node } = err;
+        assert!(
+            node == sym("G3") || node == sym("S4"),
+            "expected the OR split or its join, got {node}"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Evaluation context: everything Def. 3 needs beyond the policy itself.
+//!
+//! * role activation — "during the authentication process, the role
+//!   membership of users is determined by the system" (§3.2, footnote 2);
+//! * the role hierarchy ≥R;
+//! * consent — which data subjects allowed which purposes (Fig. 3's `[X]`);
+//! * the case registry — which process instance implements which purpose;
+//! * purpose/task membership — which tasks belong to which purpose's
+//!   process.
+
+use crate::hierarchy::RoleHierarchy;
+use cows::symbol::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// Mutable registry backing policy evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyContext {
+    roles: RoleHierarchy,
+    active_roles: HashMap<Symbol, Vec<Symbol>>,
+    consent: HashMap<Symbol, HashSet<Symbol>>,
+    case_purpose: HashMap<Symbol, Symbol>,
+    purpose_tasks: HashMap<Symbol, HashSet<Symbol>>,
+}
+
+impl PolicyContext {
+    pub fn new(roles: RoleHierarchy) -> PolicyContext {
+        PolicyContext {
+            roles,
+            ..PolicyContext::default()
+        }
+    }
+
+    pub fn roles(&self) -> &RoleHierarchy {
+        &self.roles
+    }
+
+    pub fn roles_mut(&mut self) -> &mut RoleHierarchy {
+        &mut self.roles
+    }
+
+    /// Activate `role` for `user`.
+    pub fn assign_role(&mut self, user: impl Into<Symbol>, role: impl Into<Symbol>) {
+        self.active_roles
+            .entry(user.into())
+            .or_default()
+            .push(role.into());
+    }
+
+    /// Roles currently active for `user`.
+    pub fn active_roles(&self, user: Symbol) -> &[Symbol] {
+        self.active_roles
+            .get(&user)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Record that `subject` consented to `purpose`.
+    pub fn grant_consent(&mut self, subject: impl Into<Symbol>, purpose: impl Into<Symbol>) {
+        self.consent
+            .entry(subject.into())
+            .or_default()
+            .insert(purpose.into());
+    }
+
+    /// Withdraw a previously-granted consent (data protection regulations
+    /// make consent revocable).
+    pub fn revoke_consent(&mut self, subject: impl Into<Symbol>, purpose: impl Into<Symbol>) {
+        if let Some(set) = self.consent.get_mut(&subject.into()) {
+            set.remove(&purpose.into());
+        }
+    }
+
+    pub fn has_consented(&self, subject: Symbol, purpose: Symbol) -> bool {
+        self.consent
+            .get(&subject)
+            .map(|s| s.contains(&purpose))
+            .unwrap_or(false)
+    }
+
+    /// Register a case (process instance) as implementing `purpose`.
+    pub fn register_case(&mut self, case: impl Into<Symbol>, purpose: impl Into<Symbol>) {
+        self.case_purpose.insert(case.into(), purpose.into());
+    }
+
+    pub fn purpose_of_case(&self, case: Symbol) -> Option<Symbol> {
+        self.case_purpose.get(&case).copied()
+    }
+
+    /// Record that `task` belongs to the process implementing `purpose`.
+    pub fn register_purpose_task(&mut self, purpose: impl Into<Symbol>, task: impl Into<Symbol>) {
+        self.purpose_tasks
+            .entry(purpose.into())
+            .or_default()
+            .insert(task.into());
+    }
+
+    /// Bulk registration of a purpose's task set.
+    pub fn register_purpose_tasks(
+        &mut self,
+        purpose: impl Into<Symbol>,
+        tasks: impl IntoIterator<Item = Symbol>,
+    ) {
+        let entry = self.purpose_tasks.entry(purpose.into()).or_default();
+        entry.extend(tasks);
+    }
+
+    pub fn purpose_has_task(&self, purpose: Symbol, task: Symbol) -> bool {
+        self.purpose_tasks
+            .get(&purpose)
+            .map(|t| t.contains(&task))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    #[test]
+    fn role_assignment() {
+        let mut ctx = PolicyContext::new(RoleHierarchy::new());
+        ctx.assign_role("bob", "Cardiologist");
+        ctx.assign_role("bob", "Researcher");
+        assert_eq!(
+            ctx.active_roles(sym("bob")),
+            &[sym("Cardiologist"), sym("Researcher")]
+        );
+        assert!(ctx.active_roles(sym("nobody")).is_empty());
+    }
+
+    #[test]
+    fn consent_lifecycle() {
+        let mut ctx = PolicyContext::new(RoleHierarchy::new());
+        assert!(!ctx.has_consented(sym("Jane"), sym("clinicaltrial")));
+        ctx.grant_consent("Jane", "clinicaltrial");
+        assert!(ctx.has_consented(sym("Jane"), sym("clinicaltrial")));
+        ctx.revoke_consent("Jane", "clinicaltrial");
+        assert!(!ctx.has_consented(sym("Jane"), sym("clinicaltrial")));
+    }
+
+    #[test]
+    fn case_registry() {
+        let mut ctx = PolicyContext::new(RoleHierarchy::new());
+        ctx.register_case("HT-1", "treatment");
+        assert_eq!(ctx.purpose_of_case(sym("HT-1")), Some(sym("treatment")));
+        assert_eq!(ctx.purpose_of_case(sym("HT-2")), None);
+    }
+
+    #[test]
+    fn purpose_tasks_bulk() {
+        let mut ctx = PolicyContext::new(RoleHierarchy::new());
+        ctx.register_purpose_tasks("treatment", [sym("T01"), sym("T02")]);
+        assert!(ctx.purpose_has_task(sym("treatment"), sym("T01")));
+        assert!(!ctx.purpose_has_task(sym("treatment"), sym("T91")));
+    }
+}

@@ -1,0 +1,170 @@
+//! Role hierarchy.
+//!
+//! §3.1: "roles are organized into a hierarchical structure under partial
+//! ordering ≥R … r1 ≥R r2 means r1 is a specialization of r2". A
+//! cardiologist is a physician: `Cardiologist ≥R Physician`.
+
+use cows::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A partial order of roles under specialization.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RoleHierarchy {
+    /// `generalizations[r]` = direct generalizations of `r`.
+    generalizations: HashMap<Symbol, Vec<Symbol>>,
+    /// Every role ever mentioned.
+    roles: HashSet<Symbol>,
+}
+
+/// Error raised when an edge would make the hierarchy cyclic (and thus not
+/// a partial order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    pub specialized: Symbol,
+    pub general: Symbol,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "adding `{} specializes {}` would create a cycle",
+            self.specialized, self.general
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl RoleHierarchy {
+    pub fn new() -> RoleHierarchy {
+        RoleHierarchy::default()
+    }
+
+    /// Register a role with no relations (idempotent).
+    pub fn add_role(&mut self, role: impl Into<Symbol>) {
+        self.roles.insert(role.into());
+    }
+
+    /// Declare `specialized ≥R general`.
+    pub fn specializes(
+        &mut self,
+        specialized: impl Into<Symbol>,
+        general: impl Into<Symbol>,
+    ) -> Result<(), CycleError> {
+        let s = specialized.into();
+        let g = general.into();
+        // Reject edges that would close a cycle: g must not already
+        // specialize s.
+        if s == g || self.is_specialization_of(g, s) {
+            return Err(CycleError {
+                specialized: s,
+                general: g,
+            });
+        }
+        self.roles.insert(s);
+        self.roles.insert(g);
+        self.generalizations.entry(s).or_default().push(g);
+        Ok(())
+    }
+
+    /// Whether `a ≥R b` (a specializes b). Reflexive and transitive.
+    pub fn is_specialization_of(&self, a: Symbol, b: Symbol) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut stack = vec![a];
+        let mut seen = HashSet::new();
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if let Some(gs) = self.generalizations.get(&r) {
+                for &g in gs {
+                    if g == b {
+                        return true;
+                    }
+                    stack.push(g);
+                }
+            }
+        }
+        false
+    }
+
+    /// All roles `b` such that `a ≥R b`, including `a`.
+    pub fn generalizations_of(&self, a: Symbol) -> HashSet<Symbol> {
+        let mut out = HashSet::new();
+        let mut stack = vec![a];
+        while let Some(r) = stack.pop() {
+            if out.insert(r) {
+                if let Some(gs) = self.generalizations.get(&r) {
+                    stack.extend(gs.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    pub fn roles(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.roles.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    fn hospital() -> RoleHierarchy {
+        let mut h = RoleHierarchy::new();
+        h.specializes("GP", "Physician").unwrap();
+        h.specializes("Cardiologist", "Physician").unwrap();
+        h.specializes("Radiologist", "Physician").unwrap();
+        h.specializes("MedicalLabTech", "MedicalTech").unwrap();
+        h.specializes("Physician", "HospitalStaff").unwrap();
+        h
+    }
+
+    #[test]
+    fn reflexive() {
+        let h = hospital();
+        assert!(h.is_specialization_of(sym("GP"), sym("GP")));
+    }
+
+    #[test]
+    fn direct_and_transitive() {
+        let h = hospital();
+        assert!(h.is_specialization_of(sym("Cardiologist"), sym("Physician")));
+        assert!(h.is_specialization_of(sym("Cardiologist"), sym("HospitalStaff")));
+    }
+
+    #[test]
+    fn not_symmetric() {
+        let h = hospital();
+        assert!(!h.is_specialization_of(sym("Physician"), sym("Cardiologist")));
+    }
+
+    #[test]
+    fn unrelated_roles() {
+        let h = hospital();
+        assert!(!h.is_specialization_of(sym("MedicalLabTech"), sym("Physician")));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut h = hospital();
+        assert!(h.specializes("Physician", "Cardiologist").is_err());
+        assert!(h.specializes("GP", "GP").is_err());
+    }
+
+    #[test]
+    fn generalization_closure() {
+        let h = hospital();
+        let gs = h.generalizations_of(sym("GP"));
+        assert!(gs.contains(&sym("GP")));
+        assert!(gs.contains(&sym("Physician")));
+        assert!(gs.contains(&sym("HospitalStaff")));
+        assert!(!gs.contains(&sym("Cardiologist")));
+    }
+}

@@ -1,0 +1,174 @@
+//! A line-oriented text format for policies.
+//!
+//! The paper presents policies as tuples (Fig. 3); this module gives them a
+//! concrete syntax so policies can live in files without pulling a
+//! serialization-format dependency:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! allow role:Physician read [*]EPR/Clinical for treatment
+//! allow role:Physician write [*]EPR/Clinical for treatment
+//! allow user:bob write ClinicalTrial/Criteria for clinicaltrial
+//! allow role:Physician read [consent]EPR for clinicaltrial
+//! ```
+
+use crate::object::ObjectPattern;
+use crate::statement::{Action, Policy, Statement, StatementSubject};
+use cows::symbol::Symbol;
+use std::fmt;
+
+/// Parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> PolicyParseError {
+    PolicyParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a policy document.
+pub fn parse_policy(text: &str) -> Result<Policy, PolicyParseError> {
+    let mut policy = Policy::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        policy.add(parse_statement(line, lineno)?);
+    }
+    Ok(policy)
+}
+
+fn parse_statement(line: &str, lineno: usize) -> Result<Statement, PolicyParseError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    // allow <subject> <action> <object> for <purpose>
+    if tokens.len() != 6 {
+        return Err(err(
+            lineno,
+            format!(
+                "expected `allow <subject> <action> <object> for <purpose>`, got {} tokens",
+                tokens.len()
+            ),
+        ));
+    }
+    if tokens[0] != "allow" {
+        return Err(err(lineno, format!("expected `allow`, got `{}`", tokens[0])));
+    }
+    if tokens[4] != "for" {
+        return Err(err(lineno, format!("expected `for`, got `{}`", tokens[4])));
+    }
+    let subject = match tokens[1].split_once(':') {
+        Some(("role", r)) if !r.is_empty() => StatementSubject::Role(Symbol::new(r)),
+        Some(("user", u)) if !u.is_empty() => StatementSubject::User(Symbol::new(u)),
+        _ => {
+            return Err(err(
+                lineno,
+                format!("subject must be `role:<name>` or `user:<name>`, got `{}`", tokens[1]),
+            ))
+        }
+    };
+    let action: Action = tokens[2]
+        .parse()
+        .map_err(|e| err(lineno, format!("{e}")))?;
+    let object: ObjectPattern = tokens[3]
+        .parse()
+        .map_err(|e| err(lineno, format!("{e}")))?;
+    let purpose = Symbol::new(tokens[5]);
+    Ok(Statement {
+        subject,
+        action,
+        object,
+        purpose,
+    })
+}
+
+/// Render a policy back to its text form (inverse of [`parse_policy`]).
+pub fn format_policy(policy: &Policy) -> String {
+    let mut out = String::new();
+    for st in policy.statements() {
+        let subject = match st.subject {
+            StatementSubject::User(u) => format!("user:{u}"),
+            StatementSubject::Role(r) => format!("role:{r}"),
+        };
+        out.push_str(&format!(
+            "allow {subject} {} {} for {}\n",
+            st.action, st.object, st.purpose
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::SubjectPattern;
+    use cows::sym;
+
+    #[test]
+    fn parses_fig3_like_policy() {
+        let text = "\
+# Fig. 3 (first block)
+allow role:Physician read [*]EPR/Clinical for treatment
+allow role:Physician write [*]EPR/Clinical for treatment
+
+allow role:Physician read [consent]EPR for clinicaltrial
+";
+        let p = parse_policy(text).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.statements()[0].purpose, sym("treatment"));
+        assert_eq!(
+            p.statements()[2].object.subject,
+            SubjectPattern::Consenting
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "\
+allow role:Physician read [*]EPR/Clinical for treatment
+allow user:bob write ClinicalTrial/Criteria for clinicaltrial
+allow role:MedicalLabTech write [*]EPR/Clinical/Tests for treatment
+";
+        let p = parse_policy(text).unwrap();
+        assert_eq!(format_policy(&p), text);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "allow role:Physician read [*]EPR for treatment\nallow bogus\n";
+        let e = parse_policy(text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_action() {
+        let e = parse_policy("allow role:R frobnicate [*]EPR for p\n").unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_bad_subject() {
+        let e = parse_policy("allow Physician read [*]EPR for p\n").unwrap_err();
+        assert!(e.message.contains("subject"));
+    }
+
+    #[test]
+    fn rejects_missing_for() {
+        let e = parse_policy("allow role:R read [*]EPR as p\n").unwrap_err();
+        assert!(e.message.contains("for"));
+    }
+}

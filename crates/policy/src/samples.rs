@@ -1,0 +1,228 @@
+//! The paper's sample policy (Fig. 3) and the hospital role hierarchy.
+
+use crate::context::PolicyContext;
+use crate::hierarchy::RoleHierarchy;
+use crate::object::ObjectPattern;
+use crate::parse::parse_policy;
+use crate::statement::{Action, Policy, Statement, StatementSubject};
+use cows::symbol::{sym, Symbol};
+
+/// The `treatment` purpose (implemented by the Fig. 1 process).
+pub fn treatment() -> Symbol {
+    sym("treatment")
+}
+
+/// The `clinicaltrial` purpose (implemented by the Fig. 2 process).
+pub fn clinical_trial_purpose() -> Symbol {
+    sym("clinicaltrial")
+}
+
+/// The hospital role hierarchy of §3.2: GP, radiologist and cardiologist
+/// specialize physician; medical lab technician specializes medical
+/// technician.
+pub fn hospital_roles() -> RoleHierarchy {
+    let mut h = RoleHierarchy::new();
+    h.specializes("GP", "Physician").expect("acyclic");
+    h.specializes("Cardiologist", "Physician").expect("acyclic");
+    h.specializes("Radiologist", "Physician").expect("acyclic");
+    h.specializes("MedicalLabTech", "MedicalTech").expect("acyclic");
+    h
+}
+
+/// The Fig. 3 data protection policy, verbatim:
+///
+/// ```text
+/// (Physician,      read,  [·]EPR/Clinical,        treatment)
+/// (Physician,      write, [·]EPR/Clinical,        treatment)
+/// (Physician,      read,  [·]EPR/Demographics,    treatment)
+/// (MedicalTech,    read,  [·]EPR/Clinical,        treatment)
+/// (MedicalTech,    read,  [·]EPR/Demographics,    treatment)
+/// (MedicalLabTech, write, [·]EPR/Clinical/Tests,  treatment)
+/// (Physician,      read,  [X]EPR,                 clinicaltrial)
+/// ```
+pub fn figure3_policy() -> Policy {
+    let role = |r: &str| StatementSubject::Role(sym(r));
+    Policy::with_statements(vec![
+        Statement {
+            subject: role("Physician"),
+            action: Action::Read,
+            object: ObjectPattern::any_subject("EPR/Clinical"),
+            purpose: treatment(),
+        },
+        Statement {
+            subject: role("Physician"),
+            action: Action::Write,
+            object: ObjectPattern::any_subject("EPR/Clinical"),
+            purpose: treatment(),
+        },
+        Statement {
+            subject: role("Physician"),
+            action: Action::Read,
+            object: ObjectPattern::any_subject("EPR/Demographics"),
+            purpose: treatment(),
+        },
+        Statement {
+            subject: role("MedicalTech"),
+            action: Action::Read,
+            object: ObjectPattern::any_subject("EPR/Clinical"),
+            purpose: treatment(),
+        },
+        Statement {
+            subject: role("MedicalTech"),
+            action: Action::Read,
+            object: ObjectPattern::any_subject("EPR/Demographics"),
+            purpose: treatment(),
+        },
+        Statement {
+            subject: role("MedicalLabTech"),
+            action: Action::Write,
+            object: ObjectPattern::any_subject("EPR/Clinical/Tests"),
+            purpose: treatment(),
+        },
+        Statement {
+            subject: role("Physician"),
+            action: Action::Read,
+            object: ObjectPattern::consenting("EPR"),
+            purpose: clinical_trial_purpose(),
+        },
+    ])
+}
+
+/// Fig. 3 plus the statements the clinical-trial process additionally needs
+/// (writing eligibility criteria, candidate lists, measurements and results
+/// — resources the paper's Fig. 4 trail touches but Fig. 3 does not cover;
+/// an extension, flagged as such in `DESIGN.md`).
+pub fn extended_hospital_policy() -> Policy {
+    let mut p = figure3_policy();
+    let extra = parse_policy(
+        "\
+allow role:Physician write ClinicalTrial for clinicaltrial
+allow role:Physician read ClinicalTrial for clinicaltrial
+allow role:Physician execute ScanSoftware for treatment
+allow role:MedicalTech execute ScanSoftware for treatment
+allow role:Physician cancel Workflow for treatment
+allow role:Physician write [*]EPR/Clinical/Scan for treatment
+",
+    )
+    .expect("builtin policy parses");
+    for st in extra.statements() {
+        p.add(st.clone());
+    }
+    p
+}
+
+/// A ready-made evaluation context for the paper's running example: the
+/// hospital hierarchy, the cast of Figs. 4 (John the GP, Bob the
+/// cardiologist, Charlie the radiologist, plus a lab technician), and the
+/// purposes of the two processes.
+pub fn hospital_context() -> PolicyContext {
+    let mut ctx = PolicyContext::new(hospital_roles());
+    ctx.assign_role("John", "GP");
+    ctx.assign_role("Bob", "Cardiologist");
+    ctx.assign_role("Charlie", "Radiologist");
+    ctx.assign_role("Dana", "MedicalLabTech");
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+    use crate::statement::{AccessRequest, Decision};
+
+    fn trial_ctx() -> PolicyContext {
+        let mut ctx = hospital_context();
+        ctx.register_case("HT-1", treatment());
+        ctx.register_case("CT-1", clinical_trial_purpose());
+        ctx.register_purpose_tasks(treatment(), [sym("T01"), sym("T06"), sym("T10")]);
+        ctx.register_purpose_tasks(clinical_trial_purpose(), [sym("T92")]);
+        ctx.grant_consent("Alice", clinical_trial_purpose());
+        ctx
+    }
+
+    #[test]
+    fn fig3_has_seven_statements() {
+        assert_eq!(figure3_policy().len(), 7);
+    }
+
+    #[test]
+    fn gp_reads_clinical_for_treatment() {
+        let d = figure3_policy().evaluate(
+            &AccessRequest {
+                user: sym("John"),
+                action: Action::Read,
+                object: ObjectId::of_subject("Jane", "EPR/Clinical"),
+                task: sym("T01"),
+                case: sym("HT-1"),
+            },
+            &trial_ctx(),
+        );
+        assert!(d.is_permit());
+    }
+
+    #[test]
+    fn lab_tech_cannot_read_demographics_as_physician() {
+        // MedicalLabTech specializes MedicalTech, not Physician — the
+        // MedicalTech statements apply instead.
+        let d = figure3_policy().evaluate(
+            &AccessRequest {
+                user: sym("Dana"),
+                action: Action::Read,
+                object: ObjectId::of_subject("Jane", "EPR/Demographics"),
+                task: sym("T01"),
+                case: sym("HT-1"),
+            },
+            &trial_ctx(),
+        );
+        assert!(d.is_permit(), "MedicalTech statement covers the lab tech");
+    }
+
+    #[test]
+    fn scenario_trial_without_consent_denied() {
+        // §2: "the hospital staff cannot access Jane's information for
+        // clinical trials" — Jane gave no consent.
+        let d = figure3_policy().evaluate(
+            &AccessRequest {
+                user: sym("Bob"),
+                action: Action::Read,
+                object: ObjectId::of_subject("Jane", "EPR/Clinical"),
+                task: sym("T92"),
+                case: sym("CT-1"),
+            },
+            &trial_ctx(),
+        );
+        assert!(matches!(d, Decision::Deny(_)));
+    }
+
+    #[test]
+    fn scenario_trial_with_consent_permitted() {
+        let d = figure3_policy().evaluate(
+            &AccessRequest {
+                user: sym("Bob"),
+                action: Action::Read,
+                object: ObjectId::of_subject("Alice", "EPR/Clinical"),
+                task: sym("T92"),
+                case: sym("CT-1"),
+            },
+            &trial_ctx(),
+        );
+        assert!(d.is_permit());
+    }
+
+    #[test]
+    fn extended_policy_covers_trial_bookkeeping() {
+        let mut ctx = trial_ctx();
+        ctx.register_purpose_tasks(clinical_trial_purpose(), [sym("T91")]);
+        let d = extended_hospital_policy().evaluate(
+            &AccessRequest {
+                user: sym("Bob"),
+                action: Action::Write,
+                object: ObjectId::plain("ClinicalTrial/Criteria"),
+                task: sym("T91"),
+                case: sym("CT-1"),
+            },
+            &ctx,
+        );
+        assert!(d.is_permit());
+    }
+}

@@ -1,0 +1,367 @@
+//! Data protection statements, policies and access-request evaluation.
+//!
+//! Def. 1: a statement is `(s, a, o, p)` with `s ∈ U ∪ R`, `a ∈ A`,
+//! `o ∈ O`, `p ∈ P`. Def. 2: an access request is `(u, a, o, q, c)`.
+//! Def. 3 grants the request iff some statement matches directly or through
+//! the role/object hierarchies, and the case `c` is an instance of the
+//! statement purpose `p` with `q` a task of `p`.
+
+use crate::context::PolicyContext;
+use crate::object::{ObjectId, ObjectPattern};
+use cows::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The action set `A` of §3.1 (plus `cancel`, which Fig. 4 logs when a task
+/// is aborted).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Action {
+    Read,
+    Write,
+    Execute,
+    Cancel,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Action::Read => "read",
+            Action::Write => "write",
+            Action::Execute => "execute",
+            Action::Cancel => "cancel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parse error for [`Action`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionParseError(pub String);
+
+impl fmt::Display for ActionParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown action `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ActionParseError {}
+
+impl FromStr for Action {
+    type Err = ActionParseError;
+    fn from_str(s: &str) -> Result<Action, ActionParseError> {
+        match s {
+            "read" => Ok(Action::Read),
+            "write" => Ok(Action::Write),
+            "execute" => Ok(Action::Execute),
+            "cancel" => Ok(Action::Cancel),
+            other => Err(ActionParseError(other.to_string())),
+        }
+    }
+}
+
+/// The subject of a statement: a specific user or a role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StatementSubject {
+    User(Symbol),
+    Role(Symbol),
+}
+
+impl fmt::Display for StatementSubject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementSubject::User(u) => write!(f, "user:{u}"),
+            StatementSubject::Role(r) => write!(f, "role:{r}"),
+        }
+    }
+}
+
+/// Def. 1 — a data protection statement.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Statement {
+    pub subject: StatementSubject,
+    pub action: Action,
+    pub object: ObjectPattern,
+    pub purpose: Symbol,
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, {})",
+            self.subject, self.action, self.object, self.purpose
+        )
+    }
+}
+
+/// Def. 2 — an access request `(u, a, o, q, c)`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AccessRequest {
+    pub user: Symbol,
+    pub action: Action,
+    pub object: ObjectId,
+    pub task: Symbol,
+    pub case: Symbol,
+}
+
+impl fmt::Display for AccessRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, {}, {})",
+            self.user, self.action, self.object, self.task, self.case
+        )
+    }
+}
+
+/// Why a request was denied — every Def. 3 condition that failed for the
+/// closest statement, for auditability.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DenialReason {
+    /// No statement subject/action/object matched at all.
+    NoMatchingStatement,
+    /// A statement matched but the case is not an instance of its purpose.
+    CaseNotInstanceOfPurpose,
+    /// A statement matched and the case is fine, but the task is not part
+    /// of the purpose's process.
+    TaskNotInPurpose,
+}
+
+/// The outcome of evaluating an access request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Decision {
+    Permit,
+    Deny(DenialReason),
+}
+
+impl Decision {
+    pub fn is_permit(&self) -> bool {
+        matches!(self, Decision::Permit)
+    }
+}
+
+/// Def. 1 — a data protection policy: a set of statements.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Policy {
+    statements: Vec<Statement>,
+}
+
+impl Policy {
+    pub fn new() -> Policy {
+        Policy::default()
+    }
+
+    pub fn with_statements(statements: Vec<Statement>) -> Policy {
+        Policy { statements }
+    }
+
+    pub fn add(&mut self, statement: Statement) {
+        self.statements.push(statement);
+    }
+
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Def. 3 — evaluate an access request.
+    ///
+    /// The request is authorized if there is a statement `(s, a', o', p)`
+    /// such that (i) `s = u`, or `s = r1`, `u` has role `r2` active and
+    /// `r2 ≥R r1`; (ii) `a = a'`; (iii) `o' ≥O o`; (iv) `c` is an instance
+    /// of `p` and `q` is a task in `p`.
+    pub fn evaluate(&self, req: &AccessRequest, ctx: &PolicyContext) -> Decision {
+        let mut best = DenialReason::NoMatchingStatement;
+        for st in &self.statements {
+            // (i) subject
+            let subject_ok = match st.subject {
+                StatementSubject::User(u) => u == req.user,
+                StatementSubject::Role(r1) => ctx
+                    .active_roles(req.user)
+                    .iter()
+                    .any(|&r2| ctx.roles().is_specialization_of(r2, r1)),
+            };
+            if !subject_ok {
+                continue;
+            }
+            // (ii) action
+            if st.action != req.action {
+                continue;
+            }
+            // (iii) object, with consent resolved against the statement's
+            // purpose
+            let consented = req
+                .object
+                .subject
+                .map(|subj| ctx.has_consented(subj, st.purpose))
+                .unwrap_or(false);
+            if !st.object.covers(&req.object, consented) {
+                continue;
+            }
+            // (iv) purpose: case instance-of and task membership
+            match ctx.purpose_of_case(req.case) {
+                Some(p) if p == st.purpose => {
+                    if ctx.purpose_has_task(st.purpose, req.task) {
+                        return Decision::Permit;
+                    }
+                    best = DenialReason::TaskNotInPurpose;
+                }
+                _ => {
+                    if best == DenialReason::NoMatchingStatement {
+                        best = DenialReason::CaseNotInstanceOfPurpose;
+                    }
+                }
+            }
+        }
+        Decision::Deny(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PolicyContext;
+    use crate::hierarchy::RoleHierarchy;
+    use cows::sym;
+
+    fn ctx() -> PolicyContext {
+        let mut roles = RoleHierarchy::new();
+        roles.specializes("Cardiologist", "Physician").unwrap();
+        let mut ctx = PolicyContext::new(roles);
+        ctx.assign_role("bob", "Cardiologist");
+        ctx.register_case("HT-1", "treatment");
+        ctx.register_case("CT-1", "clinicaltrial");
+        ctx.register_purpose_task("treatment", "T06");
+        ctx.register_purpose_task("clinicaltrial", "T92");
+        ctx.grant_consent("Alice", "clinicaltrial");
+        ctx
+    }
+
+    fn policy() -> Policy {
+        Policy::with_statements(vec![
+            Statement {
+                subject: StatementSubject::Role(sym("Physician")),
+                action: Action::Read,
+                object: ObjectPattern::any_subject("EPR/Clinical"),
+                purpose: sym("treatment"),
+            },
+            Statement {
+                subject: StatementSubject::Role(sym("Physician")),
+                action: Action::Read,
+                object: ObjectPattern::consenting("EPR"),
+                purpose: sym("clinicaltrial"),
+            },
+        ])
+    }
+
+    fn req(user: &str, object: ObjectId, task: &str, case: &str) -> AccessRequest {
+        AccessRequest {
+            user: sym(user),
+            action: Action::Read,
+            object,
+            task: sym(task),
+            case: sym(case),
+        }
+    }
+
+    #[test]
+    fn role_hierarchy_grants_specialization() {
+        let d = policy().evaluate(
+            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "HT-1"),
+            &ctx(),
+        );
+        assert!(d.is_permit());
+    }
+
+    #[test]
+    fn object_hierarchy_covers_subsections() {
+        let d = policy().evaluate(
+            &req(
+                "bob",
+                ObjectId::of_subject("Jane", "EPR/Clinical/Scan"),
+                "T06",
+                "HT-1",
+            ),
+            &ctx(),
+        );
+        assert!(d.is_permit());
+    }
+
+    #[test]
+    fn wrong_action_denied() {
+        let mut r = req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "HT-1");
+        r.action = Action::Write;
+        assert_eq!(
+            policy().evaluate(&r, &ctx()),
+            Decision::Deny(DenialReason::NoMatchingStatement)
+        );
+    }
+
+    #[test]
+    fn unknown_user_denied() {
+        let d = policy().evaluate(
+            &req("mallory", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "HT-1"),
+            &ctx(),
+        );
+        assert!(!d.is_permit());
+    }
+
+    #[test]
+    fn consent_gates_trial_access() {
+        // Alice consented to the clinical trial: reads under CT-1/T92 pass.
+        let d = policy().evaluate(
+            &req("bob", ObjectId::of_subject("Alice", "EPR/Clinical"), "T92", "CT-1"),
+            &ctx(),
+        );
+        assert!(d.is_permit());
+        // Jane did not consent.
+        let d = policy().evaluate(
+            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T92", "CT-1"),
+            &ctx(),
+        );
+        assert!(!d.is_permit());
+    }
+
+    #[test]
+    fn task_must_belong_to_purpose() {
+        // T92 is a clinical-trial task; requesting it under treatment fails
+        // condition (iv).
+        let d = policy().evaluate(
+            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T92", "HT-1"),
+            &ctx(),
+        );
+        assert_eq!(d, Decision::Deny(DenialReason::TaskNotInPurpose));
+    }
+
+    #[test]
+    fn case_purpose_mismatch_detected() {
+        // Statement purpose is treatment but the case is a trial instance.
+        let d = policy().evaluate(
+            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "CT-1"),
+            &ctx(),
+        );
+        assert_eq!(d, Decision::Deny(DenialReason::CaseNotInstanceOfPurpose));
+    }
+
+    #[test]
+    fn display_matches_paper_tuples() {
+        let st = Statement {
+            subject: StatementSubject::Role(sym("Physician")),
+            action: Action::Read,
+            object: ObjectPattern::any_subject("EPR/Clinical"),
+            purpose: sym("treatment"),
+        };
+        assert_eq!(
+            st.to_string(),
+            "(role:Physician, read, [*]EPR/Clinical, treatment)"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Infringement injectors.
+//!
+//! Each injector perturbs a compliant per-case trail into one of the misuse
+//! patterns the paper discusses, returning what was injected so detection
+//! rates can be measured against ground truth:
+//!
+//! * [`repurpose`] — §2/§4: actions that belong to a different purpose's
+//!   process appear under the case (Bob's clinical-trial sweep logged as
+//!   treatment);
+//! * [`reuse_case`] — §4's mimicry discussion: a fresh access stamped with
+//!   an old, already-completed case;
+//! * [`skip_task`] — a required task's entries vanish (work performed
+//!   off-process);
+//! * [`wrong_role`] — an entry performed under a role the pool does not
+//!   generalize;
+//! * [`shuffle`] — two different-task entries swap their timestamps
+//!   (out-of-order execution).
+
+use audit::entry::LogEntry;
+use cows::symbol::{sym, Symbol};
+use policy::object::ObjectId;
+use policy::statement::Action;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What an injector did, for ground-truth bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Injection {
+    Repurposed { foreign_task: Symbol },
+    ReusedCase { task: Symbol },
+    SkippedTask { task: Symbol },
+    WrongRole { index: usize, role: Symbol },
+    Shuffled { i: usize, j: usize },
+    /// The trail was too short or uniform to perturb.
+    NotApplicable,
+}
+
+/// Append an action from a *different* process (default: the clinical-trial
+/// task `T92`) under this case's label — the paper's re-purposing scenario.
+pub fn repurpose(entries: &mut Vec<LogEntry>, foreign_task: Symbol) -> Injection {
+    let Some(last) = entries.last().cloned() else {
+        return Injection::NotApplicable;
+    };
+    entries.push(LogEntry {
+        task: foreign_task,
+        time: last.time.plus_minutes(5),
+        action: Action::Write,
+        object: Some(ObjectId::plain("ClinicalTrial/ListOfSelCand")),
+        ..last
+    });
+    Injection::Repurposed { foreign_task }
+}
+
+/// Stamp a fresh access with this (completed) case — the mimicry variant
+/// where an attacker reuses an old case id as the access reason.
+pub fn reuse_case(entries: &mut Vec<LogEntry>, task: Symbol, rng: &mut StdRng) -> Injection {
+    let Some(last) = entries.last().cloned() else {
+        return Injection::NotApplicable;
+    };
+    entries.push(LogEntry {
+        task,
+        // Long after the case completed.
+        time: last.time.plus_days(30 + rng.gen_range(0..30)),
+        action: Action::Read,
+        ..last
+    });
+    Injection::ReusedCase { task }
+}
+
+/// Remove every entry of one mid-trail task.
+pub fn skip_task(entries: &mut Vec<LogEntry>, rng: &mut StdRng) -> Injection {
+    // Candidate tasks: any task that is not the first task of the trail
+    // (dropping a prefix may leave a still-valid shorter prefix; dropping a
+    // mid-trail task always leaves a gap).
+    let Some(first_task) = entries.first().map(|e| e.task) else {
+        return Injection::NotApplicable;
+    };
+    let mut tasks: Vec<Symbol> = entries
+        .iter()
+        .map(|e| e.task)
+        .filter(|&t| t != first_task)
+        .collect();
+    tasks.dedup();
+    // Last task is also a poor candidate (dropping a suffix is valid).
+    if tasks.len() < 2 {
+        return Injection::NotApplicable;
+    }
+    tasks.pop();
+    let task = tasks[rng.gen_range(0..tasks.len())];
+    entries.retain(|e| e.task != task);
+    Injection::SkippedTask { task }
+}
+
+/// Replace the role of one entry with an unrelated role.
+pub fn wrong_role(entries: &mut [LogEntry], rng: &mut StdRng) -> Injection {
+    if entries.is_empty() {
+        return Injection::NotApplicable;
+    }
+    let index = rng.gen_range(0..entries.len());
+    let role = sym("Janitor");
+    entries[index].role = role;
+    entries[index].user = sym("mallory");
+    Injection::WrongRole { index, role }
+}
+
+/// Swap the timestamps of two entries belonging to different tasks.
+pub fn shuffle(entries: &mut [LogEntry], rng: &mut StdRng) -> Injection {
+    if entries.len() < 2 {
+        return Injection::NotApplicable;
+    }
+    for _ in 0..32 {
+        let i = rng.gen_range(0..entries.len());
+        let j = rng.gen_range(0..entries.len());
+        if i != j && entries[i].task != entries[j].task {
+            let (a, b) = (entries[i].time, entries[j].time);
+            entries[i].time = b;
+            entries[j].time = a;
+            return Injection::Shuffled {
+                i: i.min(j),
+                j: i.max(j),
+            };
+        }
+    }
+    Injection::NotApplicable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{simulate_case, SimConfig};
+    use audit::trail::AuditTrail;
+    use bpmn::encode::encode;
+    use bpmn::models::fig8_exclusive;
+    use policy::hierarchy::RoleHierarchy;
+    use purpose_control::replay::{check_case, CheckOptions};
+    use rand::SeedableRng;
+
+    fn simulated() -> Vec<LogEntry> {
+        let model = fig8_exclusive();
+        let encoded = encode(&model);
+        let mut rng = StdRng::seed_from_u64(11);
+        simulate_case(&encoded, "c", &SimConfig::new("Jane"), &mut rng)
+    }
+
+    fn is_compliant(entries: &[LogEntry]) -> bool {
+        let encoded = encode(&fig8_exclusive());
+        let sorted = AuditTrail::from_entries(entries.to_vec());
+        let refs: Vec<&LogEntry> = sorted.entries().iter().collect();
+        check_case(
+            &encoded,
+            &RoleHierarchy::new(),
+            &refs,
+            &CheckOptions::default(),
+        )
+        .unwrap()
+        .verdict
+        .is_compliant()
+    }
+
+    #[test]
+    fn repurposing_is_detected() {
+        let mut entries = simulated();
+        assert!(is_compliant(&entries));
+        let inj = repurpose(&mut entries, sym("T92"));
+        assert!(matches!(inj, Injection::Repurposed { .. }));
+        assert!(!is_compliant(&entries));
+    }
+
+    #[test]
+    fn case_reuse_is_detected_on_completed_case() {
+        let mut entries = simulated();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Re-access the first task after the case has completed.
+        let first = entries[0].task;
+        let inj = reuse_case(&mut entries, first, &mut rng);
+        assert!(matches!(inj, Injection::ReusedCase { .. }));
+        assert!(!is_compliant(&entries));
+    }
+
+    #[test]
+    fn wrong_role_is_detected() {
+        let mut entries = simulated();
+        let mut rng = StdRng::seed_from_u64(6);
+        let inj = wrong_role(&mut entries, &mut rng);
+        assert!(matches!(inj, Injection::WrongRole { .. }));
+        assert!(!is_compliant(&entries));
+    }
+
+    #[test]
+    fn empty_trails_are_not_applicable() {
+        let mut empty: Vec<LogEntry> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(repurpose(&mut empty, sym("X")), Injection::NotApplicable);
+        assert_eq!(skip_task(&mut empty, &mut rng), Injection::NotApplicable);
+        assert_eq!(wrong_role(&mut empty, &mut rng), Injection::NotApplicable);
+        assert_eq!(shuffle(&mut empty, &mut rng), Injection::NotApplicable);
+    }
+}

@@ -1,0 +1,24 @@
+//! # Synthetic workloads for purpose control
+//!
+//! The paper evaluates on hospital systems we cannot obtain; this crate
+//! synthesizes equivalent workloads (see `DESIGN.md` §5):
+//!
+//! * [`procgen`] — random well-founded BPMN processes for scalability
+//!   sweeps;
+//! * [`simulate`] — compliant Def. 4 trails produced by random-walking the
+//!   same COWS encoding Algorithm 1 replays (valid by construction);
+//! * [`attacks`] — infringement injectors for the misuse patterns of
+//!   §2/§4 (re-purposing, case reuse/mimicry, task skipping, wrong role,
+//!   reordering);
+//! * [`hospital`] — the §1 Geneva-scale day model (20,000 record opens)
+//!   with ground truth.
+
+pub mod attacks;
+pub mod hospital;
+pub mod procgen;
+pub mod simulate;
+
+pub use attacks::Injection;
+pub use hospital::{generate_day, HospitalConfig, HospitalDay};
+pub use procgen::{generate, ProcGenConfig};
+pub use simulate::{simulate_case, SimConfig, TaskProfiles};

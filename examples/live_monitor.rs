@@ -1,0 +1,94 @@
+//! Online purpose control: alarms while the logs stream in.
+//!
+//! Replays the expanded Fig. 4 trail entry by entry through the
+//! [`purpose_control::live::LiveAuditor`], printing each alarm the moment
+//! its entry arrives, then closes the day with completed-case retirement
+//! and an organizational drift report (prescribed process vs mined
+//! behavior).
+//!
+//! ```text
+//! cargo run --example live_monitor
+//! ```
+
+use audit::samples::figure4_expanded;
+use bpmn::models::{clinical_trial, healthcare_treatment};
+
+use purpose_control::auditor::{Auditor, ProcessRegistry};
+use purpose_control::drift::{case_task_log, drift_report};
+use purpose_control::live::{LiveAuditor, LiveEvent};
+use policy::samples::{
+    clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+};
+
+fn main() {
+    let mut registry = ProcessRegistry::new();
+    registry.register(treatment(), healthcare_treatment());
+    registry.register(clinical_trial_purpose(), clinical_trial());
+    registry.add_case_prefix("HT-", treatment());
+    registry.add_case_prefix("CT-", clinical_trial_purpose());
+    let auditor = Auditor::new(registry, extended_hospital_policy(), hospital_context());
+    let mut monitor = LiveAuditor::new(auditor);
+
+    let trail = figure4_expanded();
+    println!("streaming {} log entries…\n", trail.len());
+    let mut accepted = 0usize;
+    for e in &trail {
+        match monitor.observe(e).expect("monitoring succeeds") {
+            LiveEvent::Accepted { .. } => accepted += 1,
+            LiveEvent::Alarm {
+                case,
+                infringement,
+                severity,
+            } => {
+                println!(
+                    "🔔 ALARM [{}] case {case}: `{}` is not a valid step (expected {:?}); severity {:.2}",
+                    e.time, infringement.entry, infringement.expected, severity.score
+                );
+            }
+            LiveEvent::AfterAlarm { case } => {
+                println!("   (case {case} already under alarm; entry recorded)");
+            }
+            LiveEvent::Unresolved { case } => {
+                println!("?? case {case} has no registered purpose");
+            }
+        }
+    }
+    println!("\n{accepted} entries accepted, {} alarms", monitor.alarms().len());
+
+    let retired = monitor.retire_completed().expect("retirement succeeds");
+    println!(
+        "retired {} completed case(s): {:?}; {} still open",
+        retired.len(),
+        retired.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        monitor.open_cases()
+    );
+
+    // End-of-day organizational lens: has treatment practice drifted from
+    // the prescribed Fig. 1 process?
+    println!("\n=== drift report for purpose `treatment` ===");
+    let model = healthcare_treatment();
+    let logs: Vec<Vec<cows::Symbol>> = trail
+        .cases()
+        .into_iter()
+        .filter(|c| c.as_str().starts_with("HT-"))
+        .map(|c| case_task_log(&trail.project_case(c)))
+        .collect();
+    let drift = drift_report(&model, &logs);
+    println!("cases analyzed: {}", drift.cases);
+    println!(
+        "dead tasks (prescribed, never executed): {:?}",
+        drift.dead_tasks.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    println!(
+        "foreign tasks (executed, not prescribed): {:?}",
+        drift.foreign_tasks.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    println!(
+        "illegal direct successions: {:?}",
+        drift
+            .illegal_successions
+            .iter()
+            .map(|(a, b)| format!("{a} > {b}"))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,131 @@
+//! Purpose control outside healthcare: a bank's loan-approval process.
+//!
+//! Shows the full file-based workflow a deploying organization would use —
+//! process, policy and trail all in their text formats — plus the
+//! extensions: severity triage, the §4 temporal constraint, the lenient
+//! replay for unlogged human activities, and the multitasking lint.
+//!
+//! ```text
+//! cargo run --example loan_approval
+//! ```
+
+use audit::codec::parse_trail;
+use bpmn::encode::encode;
+use bpmn::parse::parse_process;
+use policy::parse::parse_policy;
+use policy::{PolicyContext, RoleHierarchy};
+use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
+use purpose_control::lenient::{check_case_lenient, LenientOptions};
+use purpose_control::multitask::multitasking_report;
+use purpose_control::replay::CheckOptions;
+
+const SIMPLE: &str = "\
+process loan_approval
+
+pool Officer
+  start Apply
+  task Intake
+  xor Route
+  task QuickScore
+  task FullReview on_error Intake
+  xor Merge
+  task Decide
+  end Done
+
+flows
+  Apply -> Intake -> Route
+  Route -> QuickScore
+  Route -> FullReview
+  QuickScore -> Merge
+  FullReview -> Merge
+  Merge -> Decide -> Done
+";
+
+const POLICY: &str = "\
+allow role:Officer read [*]LoanFile for loanapproval
+allow role:Officer write [*]LoanFile for loanapproval
+allow role:Officer read [*]CreditReport for loanapproval
+";
+
+const TRAIL: &str = "\
+# LN-1: a by-the-book application
+amy Officer read [Smith]LoanFile Intake LN-1 202607060900 success
+amy Officer read [Smith]CreditReport QuickScore LN-1 202607060910 success
+amy Officer write [Smith]LoanFile Decide LN-1 202607060930 success
+# LN-2: the officer jumped straight to a decision
+ben Officer write [Jones]LoanFile Decide LN-2 202607061000 success
+# LN-3: intake logged, then a decision — the full review happened in a
+# meeting and never hit the IT system
+amy Officer read [Doe]LoanFile Intake LN-3 202607061100 success
+amy Officer write [Doe]LoanFile Decide LN-3 202607061130 success
+";
+
+fn main() {
+    let model = parse_process(SIMPLE).expect("process parses");
+    let policy = parse_policy(POLICY).expect("policy parses");
+    let trail = parse_trail(TRAIL).expect("trail parses");
+
+    let mut ctx = PolicyContext::new(RoleHierarchy::new());
+    ctx.roles_mut().add_role("Officer");
+    ctx.assign_role("amy", "Officer");
+    ctx.assign_role("ben", "Officer");
+
+    let mut registry = ProcessRegistry::new();
+    registry.register("loanapproval", model.clone());
+    registry.add_case_prefix("LN-", "loanapproval");
+    let auditor = Auditor::new(registry, policy, ctx);
+
+    println!("=== full audit ===");
+    let report = auditor.audit(&trail);
+    print!("{report}");
+    for case in &report.cases {
+        println!(
+            "  {}: {}",
+            case.case,
+            match &case.outcome {
+                CaseOutcome::Compliant { can_complete } =>
+                    format!("compliant ({})", if *can_complete { "complete" } else { "in progress" }),
+                CaseOutcome::Infringement { infringement, severity } => format!(
+                    "INFRINGEMENT at entry {} (severity {:.2}, expected {:?})",
+                    infringement.entry_index, severity.score, infringement.expected
+                ),
+                other => format!("{other:?}"),
+            }
+        );
+    }
+
+    // LN-3 deviates because FullReview (or QuickScore) was never logged.
+    // The §7 lenient replay asks: is there a small set of unlogged human
+    // activities that explains the trail?
+    println!("\n=== lenient replay of LN-3 (silent human activities, §7) ===");
+    let encoded = encode(&model);
+    let entries = trail.project_case(cows::sym("LN-3"));
+    let lenient = check_case_lenient(
+        &encoded,
+        auditor.context.roles(),
+        &entries,
+        &LenientOptions {
+            base: CheckOptions::default(),
+            max_silent: 1,
+        },
+    )
+    .expect("replay succeeds");
+    println!("  verdict: {:?}", lenient.verdict);
+    println!(
+        "  assumed unlogged activities: {:?} (follow up with the officer)",
+        lenient.assumed
+    );
+
+    // The §4 mitigation lens: who is juggling several tasks at once?
+    println!("\n=== multitasking lint (§4 mimicry mitigation) ===");
+    let findings = multitasking_report(&trail);
+    if findings.is_empty() {
+        println!("  no overlapping task spans");
+    }
+    for f in findings {
+        println!(
+            "  {} works {}::{} and {}::{} concurrently ({} min overlap)",
+            f.user, f.a.case, f.a.task, f.b.case, f.b.task, f.overlap_minutes
+        );
+    }
+}

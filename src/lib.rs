@@ -1,0 +1,13 @@
+//! Umbrella crate for the purpose-control reproduction workspace.
+//!
+//! Re-exports every workspace crate so the examples and integration tests can
+//! use a single dependency. Downstream users should depend on the individual
+//! crates instead.
+
+pub use audit;
+pub use bpmn;
+pub use cows;
+pub use petri;
+pub use policy;
+pub use purpose_control;
+pub use workload;

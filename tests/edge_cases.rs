@@ -1,0 +1,216 @@
+//! Edge-case integration tests: inclusive gateways inside loops, multiple
+//! OR splits sharing a join, session resumption across audit rounds on the
+//! paper's model, and reordering attacks.
+
+use audit::entry::LogEntry;
+use audit::samples::figure4_trail;
+use audit::time::Timestamp;
+use bpmn::encode::encode;
+use bpmn::model::ProcessBuilder;
+use bpmn::models::healthcare_treatment;
+use cows::sym;
+use policy::hierarchy::RoleHierarchy;
+use policy::samples::hospital_context;
+use policy::statement::Action;
+use purpose_control::replay::{check_case, CheckOptions, Verdict};
+use purpose_control::session::{FeedOutcome, ReplaySession};
+
+fn ok(role: &str, task: &str, minute: u64) -> LogEntry {
+    LogEntry::success("u", role, Action::Read, None, task, "c", Timestamp(minute))
+}
+
+fn check(model: &bpmn::ProcessModel, entries: &[LogEntry]) -> Verdict {
+    let encoded = encode(model);
+    let refs: Vec<&LogEntry> = entries.iter().collect();
+    check_case(
+        &encoded,
+        &RoleHierarchy::new(),
+        &refs,
+        &CheckOptions::default(),
+    )
+    .unwrap()
+    .verdict
+}
+
+/// An OR diamond inside a loop: the join must resynchronize correctly on
+/// every iteration (the Fig. 1 S4 re-use pattern, single-pool variant).
+#[test]
+fn or_gateway_inside_a_loop() {
+    let mut b = ProcessBuilder::new("or_loop");
+    let p = b.pool("P");
+    let s = b.start(p, "S");
+    let head = b.task(p, "Head");
+    let g = b.or_split(p, "G");
+    let a = b.task(p, "A");
+    let t = b.task(p, "B");
+    let j = b.or_join(p, "J");
+    b.pair_or(g, j);
+    let tail = b.task(p, "Tail");
+    let x = b.xor(p, "X");
+    let e = b.end(p, "E");
+    b.flow(s, head);
+    b.flow(head, g);
+    b.flow(g, a);
+    b.flow(g, t);
+    b.flow(a, j);
+    b.flow(t, j);
+    b.flow(j, tail);
+    b.flow(tail, x);
+    b.flow(x, head); // loop
+    b.flow(x, e);
+    let model = b.build().unwrap();
+
+    // Iteration 1: both branches; iteration 2: only A; then exit.
+    let entries = vec![
+        ok("P", "Head", 0),
+        ok("P", "A", 10),
+        ok("P", "B", 20),
+        ok("P", "Tail", 30),
+        ok("P", "Head", 40),
+        ok("P", "A", 50),
+        ok("P", "Tail", 60),
+    ];
+    assert_eq!(check(&model, &entries), Verdict::Compliant { can_complete: true });
+
+    // Claiming both branches but only delivering one token must not let
+    // Tail through: B logged, then Tail without B's token being possible…
+    // actually B was never started — the single-branch choice explains it,
+    // so a *missing* B is fine. What must fail is Tail before any branch.
+    let bad = vec![ok("P", "Head", 0), ok("P", "Tail", 10)];
+    assert!(!check(&model, &bad).is_compliant());
+}
+
+/// Two OR splits paired with the same join: counts must not cross-talk.
+#[test]
+fn two_or_splits_sharing_one_join() {
+    let mut b = ProcessBuilder::new("two_splits");
+    let p = b.pool("P");
+    let s = b.start(p, "S");
+    let pick = b.xor(p, "Pick");
+    let g1 = b.or_split(p, "G1");
+    let g2 = b.or_split(p, "G2");
+    let a1 = b.task(p, "A1");
+    let a2 = b.task(p, "A2");
+    let b1 = b.task(p, "B1");
+    let b2 = b.task(p, "B2");
+    let j = b.or_join(p, "J");
+    b.pair_or(g1, j);
+    b.pair_or(g2, j);
+    let tail = b.task(p, "Tail");
+    let e = b.end(p, "E");
+    b.flow(s, pick);
+    b.flow(pick, g1);
+    b.flow(pick, g2);
+    b.flow(g1, a1);
+    b.flow(g1, a2);
+    b.flow(g2, b1);
+    b.flow(g2, b2);
+    for t in [a1, a2, b1, b2] {
+        b.flow(t, j);
+    }
+    b.flow(j, tail);
+    b.flow(tail, e);
+    let model = b.build().unwrap();
+
+    // G1 chosen with both branches.
+    let entries = vec![ok("P", "A1", 0), ok("P", "A2", 10), ok("P", "Tail", 20)];
+    assert_eq!(check(&model, &entries), Verdict::Compliant { can_complete: true });
+    // G2 chosen with one branch.
+    let entries = vec![ok("P", "B2", 0), ok("P", "Tail", 10)];
+    assert_eq!(check(&model, &entries), Verdict::Compliant { can_complete: true });
+    // Mixing branches of different splits is not a valid execution.
+    let entries = vec![ok("P", "A1", 0), ok("P", "B1", 10), ok("P", "Tail", 20)];
+    assert!(!check(&model, &entries).is_compliant());
+}
+
+/// §4 resumption on the paper's own model: audit HT-1 mid-flight on day
+/// one (compliant, incomplete), resume with the remaining entries later.
+#[test]
+fn session_resumes_ht1_across_audit_rounds() {
+    let encoded = encode(&healthcare_treatment());
+    let ctx = hospital_context();
+    let trail = figure4_trail();
+    let entries = trail.project_case(sym("HT-1"));
+
+    let mut session =
+        ReplaySession::new(&encoded, ctx.roles(), CheckOptions::default()).unwrap();
+    // Day one: the first 8 entries (through the radiology work).
+    for e in &entries[..8] {
+        assert!(matches!(
+            session.feed(e).unwrap(),
+            FeedOutcome::Accepted { .. }
+        ));
+    }
+    let midway = session.finish().unwrap();
+    assert_eq!(
+        midway.verdict,
+        Verdict::Compliant { can_complete: false },
+        "mid-flight case is compliant but unfinished"
+    );
+
+    // Day two: the rest.
+    for e in &entries[8..] {
+        assert!(matches!(
+            session.feed(e).unwrap(),
+            FeedOutcome::Accepted { .. }
+        ));
+    }
+    let done = session.finish().unwrap();
+    assert_eq!(done.verdict, Verdict::Compliant { can_complete: true });
+}
+
+/// Reordering two different-task entries across a sequential dependency is
+/// detected (the shuffle injector).
+#[test]
+fn shuffled_sequential_entries_are_detected() {
+    let mut b = ProcessBuilder::new("seq");
+    let p = b.pool("P");
+    let s = b.start(p, "S");
+    let a = b.task(p, "A");
+    let t = b.task(p, "B");
+    let c2 = b.task(p, "C");
+    let e = b.end(p, "E");
+    b.chain(&[s, a, t, c2, e]);
+    let model = b.build().unwrap();
+
+    let mut entries = vec![ok("P", "A", 0), ok("P", "B", 10), ok("P", "C", 20)];
+    // Swap B and C's timestamps by hand (deterministic shuffle).
+    let (tb, tc) = (entries[1].time, entries[2].time);
+    entries[1].time = tc;
+    entries[2].time = tb;
+    let sorted = audit::AuditTrail::from_entries(entries);
+    let refs: Vec<&LogEntry> = sorted.entries().iter().collect();
+    let out = check_case(
+        &encode(&model),
+        &RoleHierarchy::new(),
+        &refs,
+        &CheckOptions::default(),
+    )
+    .unwrap();
+    assert!(!out.verdict.is_compliant());
+}
+
+/// The temporal constraint composes with the paper's model: HT-1 spans
+/// more than a month, so a 7-day window flags it even though the steps are
+/// process-valid.
+#[test]
+fn temporal_constraint_on_ht1() {
+    let encoded = encode(&healthcare_treatment());
+    let ctx = hospital_context();
+    let trail = figure4_trail();
+    let entries = trail.project_case(sym("HT-1"));
+    let opts = CheckOptions {
+        max_case_minutes: Some(7 * 24 * 60),
+        ..CheckOptions::default()
+    };
+    let out = check_case(&encoded, ctx.roles(), &entries, &opts).unwrap();
+    match out.verdict {
+        Verdict::Infringement(inf) => {
+            assert!(matches!(
+                inf.kind,
+                purpose_control::InfringementKind::TemporalViolation { .. }
+            ));
+        }
+        v => panic!("expected a temporal violation, got {v:?}"),
+    }
+}

@@ -1,0 +1,350 @@
+//! Figure-by-figure reproduction of the paper's artifacts (the per-experiment
+//! index F1–F10 of `DESIGN.md`).
+
+use audit::samples::{figure4_trail, FIGURE4_TEXT};
+use bpmn::encode::encode;
+use bpmn::models::{
+    clinical_trial, fig10_message_cycle, fig7_sequence, fig8_exclusive, fig9_error,
+    healthcare_treatment,
+};
+use cows::lts::{explore, ExploreLimits};
+use cows::observe::Observation;
+use cows::sym;
+use cows::weaknext::{weak_next, WeakNextLimits};
+use policy::object::ObjectId;
+use policy::samples::{
+    clinical_trial_purpose, extended_hospital_policy, figure3_policy, hospital_context, treatment,
+};
+use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
+use purpose_control::replay::{check_case, CheckOptions, Verdict};
+
+fn hospital_auditor() -> Auditor {
+    let mut registry = ProcessRegistry::new();
+    registry.register(treatment(), healthcare_treatment());
+    registry.register(clinical_trial_purpose(), clinical_trial());
+    registry.add_case_prefix("HT-", treatment());
+    registry.add_case_prefix("CT-", clinical_trial_purpose());
+    Auditor::new(registry, extended_hospital_policy(), hospital_context())
+}
+
+// --------------------------------------------------------------------------
+// F1 / F2 — the process models of Figs. 1 and 2.
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig1_model() {
+    let m = healthcare_treatment();
+    assert_eq!(m.pools().len(), 4, "GP, cardiologist, lab, radiology");
+    assert_eq!(m.tasks().count(), 15);
+    // The referral task and the diagnosis-with-error of §2.
+    assert_eq!(m.task_role(sym("T05")), Some(sym("GP")));
+    assert!(m.has_error_boundaries());
+    // The encoding is well-founded and has the start task GP·T01.
+    let enc = encode(&m);
+    let succ = weak_next(&enc.initial(), &enc.observability, WeakNextLimits::default()).unwrap();
+    assert_eq!(succ.len(), 1);
+    assert_eq!(succ[0].observation.to_string(), "GP.T01");
+}
+
+#[test]
+fn fig2_model() {
+    let m = clinical_trial();
+    assert_eq!(m.tasks().count(), 5);
+    let enc = encode(&m);
+    let succ = weak_next(&enc.initial(), &enc.observability, WeakNextLimits::default()).unwrap();
+    assert_eq!(succ.len(), 1);
+    assert_eq!(succ[0].observation.to_string(), "Physician.T91");
+}
+
+// --------------------------------------------------------------------------
+// F3 — the Fig. 3 policy.
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig3_policy() {
+    let p = figure3_policy();
+    assert_eq!(p.len(), 7, "Fig. 3 lists seven statements");
+    let rendered = policy::parse::format_policy(&p);
+    // Round-trips through the text format.
+    let reparsed = policy::parse::parse_policy(&rendered).unwrap();
+    assert_eq!(reparsed.len(), 7);
+}
+
+// --------------------------------------------------------------------------
+// F4 — the Fig. 4 trail and the §4 verdicts.
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig4_trail_parses_from_its_printed_text() {
+    let t = audit::codec::parse_trail(FIGURE4_TEXT).unwrap();
+    assert_eq!(t.len(), 28);
+    assert_eq!(audit::codec::format_trail(&t), FIGURE4_TEXT);
+}
+
+#[test]
+fn fig4_replay_verdicts() {
+    let auditor = hospital_auditor();
+    let trail = figure4_trail();
+
+    // "As the portion of the audit trail corresponding to HT-1 is
+    // completely analyzed without deviations from the expected behavior,
+    // no infringement is detected by the algorithm."
+    let ht1 = auditor.check_one_case(&trail, sym("HT-1"));
+    assert!(matches!(
+        ht1.outcome,
+        CaseOutcome::Compliant { can_complete: true }
+    ));
+
+    // "If we apply the algorithm to the portion of the audit log
+    // corresponding to that case (only one entry), we can immediately see
+    // that it does not correspond to a valid execution of the HT process."
+    let ht11 = auditor.check_one_case(&trail, sym("HT-11"));
+    match ht11.outcome {
+        CaseOutcome::Infringement { infringement, .. } => {
+            assert_eq!(infringement.entry_index, 0);
+            assert_eq!(infringement.entry.task, sym("T06"));
+            assert_eq!(infringement.expected, vec!["GP.T01".to_string()]);
+        }
+        other => panic!("expected infringement, got {other:?}"),
+    }
+
+    // Bob's bookkeeping under CT-1 does follow the Fig. 2 process (the
+    // infringement is the HT-labeled sweep, not the trial itself), and the
+    // role hierarchy maps Cardiologist onto the Physician pool.
+    let ct1 = auditor.check_one_case(&trail, sym("CT-1"));
+    assert!(ct1.outcome.is_compliant());
+}
+
+#[test]
+fn fig4_object_investigation() {
+    // §4: the object under investigation selects its cases; Jane's EPR was
+    // accessed in HT-1 (valid) and HT-11 (infringing).
+    let auditor = hospital_auditor();
+    let report = auditor.audit_object(&figure4_trail(), &ObjectId::of_subject("Jane", "EPR"));
+    assert_eq!(report.cases.len(), 2);
+    assert_eq!(report.compliant_cases(), 1);
+    assert_eq!(report.infringing_cases(), 1);
+}
+
+// --------------------------------------------------------------------------
+// F6 — the transition system visited by Algorithm 1 on HT-1 (Fig. 6).
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig6_visited_states() {
+    let model = healthcare_treatment();
+    let encoded = encode(&model);
+    let ctx = hospital_context();
+    let trail = figure4_trail();
+    let entries = trail.project_case(sym("HT-1"));
+    let opts = CheckOptions {
+        record_trace: true,
+        ..CheckOptions::default()
+    };
+    let out = check_case(&encoded, ctx.roles(), &entries, &opts).unwrap();
+    assert!(matches!(out.verdict, Verdict::Compliant { can_complete: true }));
+    assert_eq!(out.steps.len(), entries.len());
+
+    // Step 1 (GP·T01): one configuration, token tasks {GP·T01} — St2.
+    assert_eq!(out.steps[0].configurations, 1);
+    assert_eq!(out.steps[0].token_tasks[0], vec!["GP.T01".to_string()]);
+
+    // Step 2 (GP·T02): {GP·T02} — St3.
+    assert_eq!(out.steps[1].token_tasks[0], vec!["GP.T02".to_string()]);
+
+    // Step 3 (failure of T02 → sys·Err): the suspension state St4 with no
+    // active tasks, "awaiting the proper activities (GP·T01) to restore it".
+    assert_eq!(out.steps[2].configurations, 1);
+    assert!(out.steps[2].token_tasks[0].is_empty());
+
+    // Step 7 (C·T09 after T06): the OR gateway G3 was resolved; both the
+    // "scans only" state (St10, {C·T09}) and the "both ordered" state
+    // (St11/St12 flavor, {C·T08, C·T09}) survive — "both states are
+    // considered in the next iteration".
+    let step7: Vec<Vec<String>> = out.steps[6].token_tasks.clone();
+    assert_eq!(step7.len(), 2, "two configurations after C.T09: {step7:?}");
+    assert!(step7.contains(&vec!["Cardiologist.T09".to_string()]));
+    assert!(step7.contains(&vec![
+        "Cardiologist.T08".to_string(),
+        "Cardiologist.T09".to_string()
+    ]));
+
+    // Step 8 (R·T10): St13 {R·T10} and St14 {C·T08, R·T10}.
+    let step8 = out.steps[7].token_tasks.clone();
+    assert_eq!(step8.len(), 2);
+    assert!(step8.contains(&vec!["Radiologist.T10".to_string()]));
+    assert!(step8.contains(&vec![
+        "Cardiologist.T08".to_string(),
+        "Radiologist.T10".to_string()
+    ]));
+
+    // Final step (GP·T04): a single configuration, {GP·T04} — St36.
+    let last = out.steps.last().unwrap();
+    assert_eq!(last.configurations, 1);
+    assert_eq!(last.token_tasks[0], vec!["GP.T04".to_string()]);
+}
+
+#[test]
+fn fig6_five_states_reachable_after_t06() {
+    // "one can notice that five states are reachable from state St7"
+    // (C·T07, C·T08 alone, C·T09 alone, and the two both-ordered states).
+    let model = healthcare_treatment();
+    let encoded = encode(&model);
+    let ctx = hospital_context();
+    let trail = figure4_trail();
+    let entries = trail.project_case(sym("HT-1"));
+
+    // Replay up to and including the C·T06 entry (index 5), then inspect
+    // WeakNext of the surviving configuration.
+    let prefix = &entries[..6];
+    let opts = CheckOptions {
+        record_trace: true,
+        ..CheckOptions::default()
+    };
+    let out = check_case(&encoded, ctx.roles(), prefix, &opts).unwrap();
+    assert!(out.verdict.is_compliant());
+    assert_eq!(out.steps[5].configurations, 1, "St7 is unique");
+
+    // Re-derive the state and count its weak successors.
+    // (check_case does not expose configurations; recompute from scratch.)
+    let mut confs = vec![encoded.initial()];
+    for e in prefix {
+        let mut next = Vec::new();
+        for c in &confs {
+            for w in weak_next(c, &encoded.observability, WeakNextLimits::default()).unwrap() {
+                let ok = match w.observation {
+                    Observation::Task { task, .. } => {
+                        task == e.task && e.status == audit::TaskStatus::Success
+                    }
+                    Observation::Error => e.status == audit::TaskStatus::Failure,
+                };
+                if ok {
+                    next.push(w.state);
+                }
+            }
+            if c.running.iter().any(|&(_, q)| q == e.task)
+                && e.status == audit::TaskStatus::Success
+            {
+                next.push(c.clone());
+            }
+        }
+        next.sort_by(|a, b| (&a.running, &a.service).cmp(&(&b.running, &b.service)));
+        next.dedup();
+        confs = next;
+    }
+    assert_eq!(confs.len(), 1);
+    let st7 = &confs[0];
+    let succ = weak_next(st7, &encoded.observability, WeakNextLimits::default()).unwrap();
+    assert_eq!(succ.len(), 5, "five states reachable from St7");
+    let obs: std::collections::BTreeSet<String> =
+        succ.iter().map(|w| w.observation.to_string()).collect();
+    assert_eq!(
+        obs,
+        ["Cardiologist.T07", "Cardiologist.T08", "Cardiologist.T09"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    );
+}
+
+// --------------------------------------------------------------------------
+// F7–F10 — the appendix encodings.
+// --------------------------------------------------------------------------
+
+#[test]
+fn fig7_encoding_equivalent_to_appendix_text() {
+    // The appendix's hand-written Fig. 7 service (parsed from its ASCII
+    // form) is weakly equivalent to what the encoder produces from the
+    // BPMN model — parser, encoder and equivalence checker agree.
+    let enc = encode(&fig7_sequence());
+    let hand = cows::parse::parse_service(
+        "(P.T!<> | *P.T?<>.(P.E!<>) | *P.E?<>)",
+    )
+    .unwrap();
+    let witness = cows::equiv::weak_trace_equiv(
+        &enc.service,
+        &hand,
+        &enc.observability,
+        &cows::equiv::EquivLimits::default(),
+    )
+    .unwrap();
+    assert_eq!(witness, None, "encoder output must match Appendix A");
+}
+
+#[test]
+fn fig7_lts() {
+    // Fig. 7(c): a single path St1 → St2 → St3.
+    let enc = encode(&fig7_sequence());
+    let lts = explore(&enc.service, ExploreLimits::default()).unwrap();
+    assert_eq!(lts.state_count(), 3);
+    assert_eq!(lts.edge_count(), 2);
+    assert_eq!(lts.terminal_states().len(), 1);
+}
+
+#[test]
+fn fig8_lts() {
+    // Fig. 8(c): 8 visible states; our LTS additionally shows the two
+    // kill-execution steps the paper's diagram elides (St3→St4 and
+    // St4→St5 there are compound). Both exclusive branches reach ends and
+    // never coexist.
+    let enc = encode(&fig8_exclusive());
+    let lts = explore(&enc.service, ExploreLimits::default()).unwrap();
+    assert_eq!(lts.state_count(), 10);
+    // τ-abstracted traces: T then exactly one of T1/T2.
+    let traces = lts
+        .observable_traces(&enc.observability, 10, 1000)
+        .unwrap();
+    let complete: Vec<String> = traces
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    assert!(complete.contains(&"P.T P.T1".to_string()));
+    assert!(complete.contains(&"P.T P.T2".to_string()));
+    assert!(!complete.iter().any(|t| t.contains("T1") && t.contains("T2")));
+}
+
+#[test]
+fn fig9_lts() {
+    // Fig. 9(c): after T, either the normal path to T2 or the observable
+    // error to T1.
+    let enc = encode(&fig9_error());
+    let lts = explore(&enc.service, ExploreLimits::default()).unwrap();
+    let traces = lts
+        .observable_traces(&enc.observability, 10, 1000)
+        .unwrap();
+    let rendered: Vec<String> = traces
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    assert!(rendered.contains(&"P.T P.T2".to_string()));
+    assert!(rendered.contains(&"P.T sys.Err P.T1".to_string()));
+}
+
+#[test]
+fn fig10_lts() {
+    // Fig. 10(c): a six-step cycle St1 → … → St6 → St1. Canonical forms
+    // close the loop, so the LTS is finite even though behavior is infinite.
+    let enc = encode(&fig10_message_cycle());
+    let lts = explore(&enc.service, ExploreLimits::default()).unwrap();
+    assert!(lts.state_count() <= 8);
+    assert!(lts.terminal_states().is_empty(), "the cycle never ends");
+    // The observable behavior alternates T1, T2, T1, T2…
+    let enc2 = encode(&fig10_message_cycle());
+    let mut m = enc2.initial();
+    for expected in ["P1.T1", "P2.T2", "P1.T1", "P2.T2", "P1.T1"] {
+        let succ = weak_next(&m, &enc2.observability, WeakNextLimits::default()).unwrap();
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].observation.to_string(), expected);
+        m = succ[0].state.clone();
+    }
+}

@@ -1,0 +1,72 @@
+//! Robustness of every parser in the workspace: arbitrary input must yield
+//! `Ok` or a structured error — never a panic, hang or bogus success on
+//! garbage. Parsers are the attack surface of a deployed auditor (they eat
+//! files from log shippers and modelers).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The trail codec never panics.
+    #[test]
+    fn trail_parser_total(input in ".{0,200}") {
+        let _ = audit::codec::parse_trail(&input);
+    }
+
+    /// The policy parser never panics.
+    #[test]
+    fn policy_parser_total(input in ".{0,200}") {
+        let _ = policy::parse::parse_policy(&input);
+    }
+
+    /// The process parser never panics.
+    #[test]
+    fn process_parser_total(input in ".{0,300}") {
+        let _ = bpmn::parse::parse_process(&input);
+    }
+
+    /// The COWS term parser never panics.
+    #[test]
+    fn cows_parser_total(input in ".{0,200}") {
+        let _ = cows::parse::parse_service(&input);
+    }
+
+    /// The timestamp parser never panics and accepts only exact layouts.
+    #[test]
+    fn timestamp_parser_total(input in ".{0,20}") {
+        if let Ok(t) = input.parse::<audit::Timestamp>() {
+            // Anything accepted must round-trip.
+            prop_assert_eq!(t.to_string().parse::<audit::Timestamp>().unwrap(), t);
+        }
+    }
+
+    /// The object parser never panics; accepted objects round-trip.
+    #[test]
+    fn object_parser_total(input in "[\\[\\]A-Za-z0-9/*.]{0,40}") {
+        if let Ok(o) = input.parse::<policy::ObjectId>() {
+            prop_assert_eq!(o.to_string().parse::<policy::ObjectId>().unwrap(), o);
+        }
+        let _ = input.parse::<policy::ObjectPattern>();
+    }
+
+    /// Near-miss trail lines (valid shape, fuzzed fields) parse or error
+    /// cleanly and never mis-assign columns.
+    #[test]
+    fn trail_near_misses(
+        user in "[a-z]{1,8}",
+        role in "[A-Za-z]{1,8}",
+        action in "[a-z]{1,8}",
+        object in "[\\[\\]A-Za-z/]{1,16}",
+        task in "[A-Z0-9]{1,4}",
+        time in "[0-9]{8,14}",
+    ) {
+        let line = format!("{user} {role} {action} {object} {task} C-1 {time} success\n");
+        if let Ok(trail) = audit::codec::parse_trail(&line) {
+            let e = &trail.entries()[0];
+            prop_assert_eq!(e.user.to_string(), user);
+            prop_assert_eq!(e.role.to_string(), role);
+            prop_assert_eq!(e.task.to_string(), task);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end pipeline tests spanning every crate: workload generation →
+//! integrity chain → preventive policy pass → parallel Algorithm-1 audit →
+//! severity triage, scored against ground truth.
+
+use audit::chain::ChainedTrail;
+use bpmn::models::{clinical_trial, healthcare_treatment};
+use cows::sym;
+use policy::samples::{
+    clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+};
+use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
+use purpose_control::parallel::audit_parallel;
+use workload::hospital::{generate_day, HospitalConfig};
+use workload::Injection;
+
+fn hospital_auditor() -> Auditor {
+    let mut registry = ProcessRegistry::new();
+    registry.register(treatment(), healthcare_treatment());
+    registry.register(clinical_trial_purpose(), clinical_trial());
+    registry.add_case_prefix("HT-", treatment());
+    registry.add_case_prefix("CT-", clinical_trial_purpose());
+    Auditor::new(registry, extended_hospital_policy(), hospital_context())
+}
+
+fn small_day() -> workload::HospitalDay {
+    generate_day(
+        &HospitalConfig {
+            target_entries: 600,
+            trial_fraction: 0.1,
+            attack_fraction: 0.25,
+            error_prob: 0.15,
+        },
+        2024,
+    )
+}
+
+#[test]
+fn hospital_day_end_to_end() {
+    let day = small_day();
+    let auditor = hospital_auditor();
+    let report = audit_parallel(&auditor, &day.trail, 4);
+
+    assert_eq!(report.cases.len(), day.truth.len());
+
+    let mut missed: Vec<(String, Injection)> = Vec::new();
+    let mut false_alarms: Vec<String> = Vec::new();
+    for case in &report.cases {
+        let truth = &day.truth[&case.case];
+        let flagged = matches!(case.outcome, CaseOutcome::Infringement { .. });
+        match (&truth.injected, flagged) {
+            (Some(_), true) | (None, false) => {}
+            (Some(inj), false) => missed.push((case.case.to_string(), inj.clone())),
+            (None, true) => false_alarms.push(case.case.to_string()),
+        }
+    }
+
+    // Compliant cases never raise alarms (Theorem 2 completeness: the
+    // simulated trail IS a valid execution).
+    assert!(
+        false_alarms.is_empty(),
+        "false alarms on compliant cases: {false_alarms:?}"
+    );
+
+    // The only injections Algorithm 1 may legitimately miss are prefix
+    // survivals: a skipped *suffix* task or a shuffle that lands on another
+    // valid interleaving. Everything it missed must be explainable.
+    for (case, inj) in &missed {
+        assert!(
+            matches!(inj, Injection::SkippedTask { .. } | Injection::Shuffled { .. }),
+            "case {case}: unexplained miss of {inj:?}"
+        );
+    }
+    // And the bulk of attacks must be caught.
+    let attacked = day.attacked_cases();
+    assert!(
+        missed.len() * 4 <= attacked,
+        "missed {} of {attacked} attacks",
+        missed.len()
+    );
+}
+
+#[test]
+fn parallel_and_sequential_reports_agree_at_scale() {
+    let day = small_day();
+    let auditor = hospital_auditor();
+    let seq = auditor.audit(&day.trail);
+    let par = audit_parallel(&auditor, &day.trail, 8);
+    assert_eq!(seq.cases.len(), par.cases.len());
+    for (a, b) in seq.cases.iter().zip(&par.cases) {
+        assert_eq!(a.case, b.case);
+        assert_eq!(
+            a.outcome.is_infringement(),
+            b.outcome.is_infringement(),
+            "case {} disagrees between sequential and parallel",
+            a.case
+        );
+    }
+}
+
+#[test]
+fn integrity_chain_protects_the_evidence() {
+    // The audit evidence pipeline: commit the day's trail, verify, tamper,
+    // detect.
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: 120,
+            attack_fraction: 0.0,
+            ..HospitalConfig::default()
+        },
+        5,
+    );
+    let committed = ChainedTrail::commit(day.trail.clone());
+    assert!(committed.verify().is_ok());
+
+    // An attacker who can rewrite storage still cannot hide: delete the
+    // incriminating tail.
+    let mut tampered = committed.clone();
+    let shortened = audit::AuditTrail::from_entries(
+        day.trail.entries()[..day.trail.len() - 3].to_vec(),
+    );
+    *tampered.tamper() = shortened;
+    assert!(tampered.verify().is_err());
+}
+
+#[test]
+fn codec_round_trips_generated_days() {
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: 200,
+            ..HospitalConfig::default()
+        },
+        77,
+    );
+    let text = audit::codec::format_trail(&day.trail);
+    let parsed = audit::codec::parse_trail(&text).unwrap();
+    assert_eq!(parsed.len(), day.trail.len());
+    // Case projections survive the round trip.
+    for case in day.trail.cases() {
+        assert_eq!(
+            parsed.project_case(case).len(),
+            day.trail.project_case(case).len()
+        );
+    }
+}
+
+#[test]
+fn preventive_and_purpose_layers_are_complementary() {
+    // The paper's central point (§2): prevention alone cannot catch
+    // re-purposing. Build a trail whose every access is authorized but
+    // whose case is not a valid process execution.
+    let auditor = hospital_auditor();
+    let trail = audit::codec::parse_trail(
+        "Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060900 success\n",
+    )
+    .unwrap();
+    // Layer 1 (Def. 3): permitted — Bob is a physician reading clinical
+    // data under a treatment task.
+    assert!(auditor.preventive_check(&trail).is_empty());
+    // Layer 2 (Algorithm 1): infringement — HT-99 is not a valid execution
+    // of the treatment process.
+    let r = auditor.check_one_case(&trail, sym("HT-99"));
+    assert!(r.outcome.is_infringement());
+}
+
+#[test]
+fn consent_violations_caught_by_the_preventive_layer_only() {
+    // Generate a day with trial cases; wire the day's consents into the
+    // auditor context. Withheld-consent cases follow the trial process
+    // perfectly — Algorithm 1 must NOT flag them — but their T92 EPR reads
+    // fail Def. 3 (the Fig. 3 `[X]EPR` statement requires consent).
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: 1_500,
+            trial_fraction: 0.5,
+            attack_fraction: 0.3,
+            error_prob: 0.0,
+        },
+        99,
+    );
+    // Only cases that actually read a patient object can violate the
+    // consent statement (the T92 profile mixes EPR reads with bookkeeping
+    // writes, so some trial cases never touch an EPR).
+    let reads_subject = |case: cows::Symbol| {
+        day.trail
+            .project_case(case)
+            .iter()
+            .any(|e| e.object.as_ref().is_some_and(|o| o.subject.is_some()))
+    };
+    let withheld: Vec<_> = day
+        .truth
+        .iter()
+        .filter(|(c, t)| t.consent_withheld && t.injected.is_none() && reads_subject(**c))
+        .map(|(c, _)| *c)
+        .collect();
+    assert!(!withheld.is_empty(), "need withheld-consent trial cases");
+
+    let mut auditor = hospital_auditor();
+    for (patient, purpose) in &day.consents {
+        auditor.context.grant_consent(*patient, *purpose);
+    }
+    let report = auditor.audit(&day.trail);
+
+    // Layer 2 (Algorithm 1) sees nothing wrong with these cases…
+    for case in &withheld {
+        let r = report.cases.iter().find(|c| c.case == *case).unwrap();
+        assert!(
+            r.outcome.is_compliant(),
+            "case {case} follows the process; got {:?}",
+            r.outcome
+        );
+    }
+    // …but layer 1 (Def. 3) flags their non-consented EPR reads.
+    for case in &withheld {
+        let flagged = report
+            .preventive_violations
+            .iter()
+            .any(|v| v.entry.case == *case && v.entry.object.as_ref().is_some_and(|o| o.subject.is_some()));
+        assert!(flagged, "case {case} must raise a preventive violation");
+    }
+    // And consenting trial cases raise no EPR-read violations.
+    for (case, t) in &day.truth {
+        if t.purpose == cows::sym("clinicaltrial") && !t.consent_withheld && t.injected.is_none() {
+            let flagged = report
+                .preventive_violations
+                .iter()
+                .any(|v| v.entry.case == *case && v.entry.object.as_ref().is_some_and(|o| o.subject.is_some()));
+            assert!(!flagged, "consented case {case} must pass Def. 3");
+        }
+    }
+}
+
+#[test]
+fn unknown_cases_are_reported_not_dropped() {
+    let auditor = hospital_auditor();
+    let trail = audit::codec::parse_trail(
+        "Bob Cardiologist read [Jane]EPR/Clinical T06 MYSTERY-1 201007060900 success\n",
+    )
+    .unwrap();
+    let report = auditor.audit(&trail);
+    assert_eq!(report.cases.len(), 1);
+    assert!(matches!(report.cases[0].outcome, CaseOutcome::Unresolved(_)));
+}
+
+#[test]
+fn severity_triage_ranks_bulk_sweeps_over_single_slips() {
+    // One case with a one-off invalid access vs one case sweeping many
+    // subjects: the sweep must triage first.
+    let auditor = hospital_auditor();
+    let mut text = String::new();
+    text.push_str("Bob Cardiologist read [Jane]EPR/Clinical T06 HT-201 201007060900 success\n");
+    for (i, p) in ["A", "B", "C", "D", "E", "F"].iter().enumerate() {
+        text.push_str(&format!(
+            "Bob Cardiologist read [{p}]EPR/Clinical T06 HT-202 2010070609{:02} success\n",
+            10 + i
+        ));
+    }
+    let trail = audit::codec::parse_trail(&text).unwrap();
+    let report = auditor.audit(&trail);
+    assert_eq!(report.infringing_cases(), 2);
+    let triage = report.triage();
+    assert_eq!(triage[0].case, sym("HT-202"), "the sweep ranks first");
+}
