@@ -23,6 +23,7 @@ use policy::hierarchy::RoleHierarchy;
 use purpose_control::auditor::CaseOutcome;
 use purpose_control::naive::{naive_check, NaiveLimits};
 use purpose_control::parallel::audit_parallel;
+use purpose_control::replay::{check_case, CheckOptions, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -277,6 +278,83 @@ fn p7_attack_detection() {
     println!();
 }
 
+fn p8_engine_ablation(quick: bool) {
+    println!("## P8 — replay engine ablation (compiled automaton vs direct WeakNext)");
+    let encoded = encode(&healthcare_treatment());
+    let n = if quick { 20usize } else { 100 };
+    let mut rng = StdRng::seed_from_u64(7);
+    let cases: Vec<Vec<audit::LogEntry>> = (1..=n)
+        .map(|i| {
+            let mut cfg = SimConfig::new(format!("subject{i:03}").as_str());
+            cfg.start = audit::Timestamp(6_000_000 + i as u64 * 600);
+            simulate_case(&encoded, format!("HT-{i}").as_str(), &cfg, &mut rng)
+        })
+        .collect();
+    let h = RoleHierarchy::new();
+    let run_all = |engine: Engine| {
+        let opts = CheckOptions { engine, ..CheckOptions::default() };
+        for entries in &cases {
+            let refs: Vec<&audit::LogEntry> = entries.iter().collect();
+            check_case(&encoded, &h, &refs, &opts).expect("replay machinery succeeds");
+        }
+    };
+    let td = median_time(|| run_all(Engine::Direct), 3);
+    let ta = median_time(|| run_all(Engine::Automaton), 3);
+    let (cps_d, cps_a) = (n as f64 / td.as_secs_f64(), n as f64 / ta.as_secs_f64());
+    println!("{:>10} | {:>12} | {:>12}", "engine", "100 cases", "cases/s");
+    println!("{:>10} | {:>12} | {:>12.0}", "direct", fmt_dur(td), cps_d);
+    println!("{:>10} | {:>12} | {:>12.0}", "automaton", fmt_dur(ta), cps_a);
+    let auto = encoded.automaton.stats();
+    let cache = cows::semantics::cache_stats();
+    let edge_total = auto.edge_hits + auto.edge_misses;
+    let cache_total = cache.hits + cache.misses;
+    println!(
+        "automaton: {} states ({} expanded), edge hit rate {:.4}; \
+         transitions memo: hit rate {:.4}, {} evictions",
+        auto.states,
+        auto.expanded,
+        auto.edge_hits as f64 / edge_total.max(1) as f64,
+        cache.hits as f64 / cache_total.max(1) as f64,
+        cache.evictions
+    );
+    // Machine-readable summary for the acceptance gate (hand-rolled JSON —
+    // the workspace deliberately has no serde_json).
+    let json = format!(
+        "{{\n  \
+           \"benchmark\": \"replay_engine_ablation\",\n  \
+           \"process\": \"healthcare_treatment\",\n  \
+           \"cases\": {n},\n  \
+           \"direct\": {{ \"seconds\": {:.6}, \"cases_per_sec\": {:.1} }},\n  \
+           \"automaton\": {{ \"seconds\": {:.6}, \"cases_per_sec\": {:.1}, \
+             \"states\": {}, \"expanded\": {}, \"edge_hits\": {}, \
+             \"edge_misses\": {}, \"edge_hit_rate\": {:.4} }},\n  \
+           \"speedup\": {:.2},\n  \
+           \"transitions_cache\": {{ \"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4} }}\n}}\n",
+        td.as_secs_f64(),
+        cps_d,
+        ta.as_secs_f64(),
+        cps_a,
+        auto.states,
+        auto.expanded,
+        auto.edge_hits,
+        auto.edge_misses,
+        auto.edge_hits as f64 / edge_total.max(1) as f64,
+        cps_a / cps_d,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.entries,
+        cache.hits as f64 / cache_total.max(1) as f64,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
+    println!();
+}
+
 fn fig4_summary() {
     println!("## F4 — the paper's running example (Fig. 4)");
     let auditor = hospital_auditor();
@@ -315,4 +393,5 @@ fn main() {
     p5_petri();
     p6_or_fanout();
     p7_attack_detection();
+    p8_engine_ablation(quick);
 }

@@ -28,7 +28,9 @@ use cows::term::{
     delim, delim_killer, delim_var, ep, invoke, invoke_args, par, protect, repl, request,
     request_params, Decl, Endpoint, Invoke, Service, Word,
 };
+use cows::automaton::ProcessAutomaton;
 use cows::weaknext::Marked;
+use std::sync::Arc;
 
 /// The reserved partner for cross-scope bookkeeping (OR-join counts). Like
 /// `sys` it is never a role, so its labels are unobservable; unlike `sys` it
@@ -45,6 +47,11 @@ pub struct Encoded {
     /// The paper's observability for this process: pool roles × task names,
     /// plus `sys·Err`.
     pub observability: TaskObservability,
+    /// The process's lazily compiled observable-step automaton, shared by
+    /// every replay of this encoding (clones of `Encoded` share it too).
+    /// The §7 parallel workers warm it for each other: once any case has
+    /// expanded a state, every later case walks cached `u32` edges.
+    pub automaton: Arc<ProcessAutomaton>,
 }
 
 impl Encoded {
@@ -71,6 +78,7 @@ pub fn encode(model: &ProcessModel) -> Encoded {
     Encoded {
         service: par(services),
         observability,
+        automaton: Arc::new(ProcessAutomaton::new()),
     }
 }
 

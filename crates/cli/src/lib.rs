@@ -27,7 +27,7 @@ use policy::{Policy, PolicyContext};
 use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
 use purpose_control::lenient::{check_case_lenient, LenientOptions};
 use purpose_control::parallel::audit_parallel;
-use purpose_control::replay::{check_case, CheckOptions};
+use purpose_control::replay::{check_case, CheckOptions, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -65,9 +65,11 @@ USAGE:
   purposectl explore  <process-file> [--dot]
   purposectl simulate <process-file> --cases <N> [--seed <S>] [--prefix <P>]
   purposectl check    <process-file> --trail <file> --case <name> [--trace] [--lenient <K>]
+                      [--engine <direct|automaton>]
   purposectl audit    --trail <file> [--policy <file>]
                       --process <purpose>=<file>... [--map <prefix>=<purpose>...]
                       [--threads <N>] [--object <obj>] [--max-minutes <M>]
+                      [--engine <direct|automaton>]
 ";
 
 /// Minimal flag scanner: positional args plus `--flag value` / `--flag`.
@@ -123,6 +125,19 @@ impl Args {
                 .parse()
                 .map_err(|_| fail(format!("--{name}: `{v}` is not a valid number"))),
         }
+    }
+}
+
+/// Parse `--engine` (default: the compiled automaton; `direct` keeps the
+/// per-case `WeakNext` recomputation for ablation and debugging).
+fn engine_flag(args: &Args) -> Result<Engine, CliError> {
+    match args.flag("engine") {
+        None => Ok(Engine::default()),
+        Some("direct") => Ok(Engine::Direct),
+        Some("automaton") => Ok(Engine::Automaton),
+        Some(other) => Err(fail(format!(
+            "--engine: expected `direct` or `automaton`, got `{other}`"
+        ))),
     }
 }
 
@@ -258,6 +273,7 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     let opts = CheckOptions {
         record_trace: args.has("trace"),
         max_case_minutes: args.flag("max-minutes").map(|v| v.parse().unwrap_or(u64::MAX)),
+        engine: engine_flag(args)?,
         ..CheckOptions::default()
     };
 
@@ -319,6 +335,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     };
     let context = PolicyContext::new(hospital_roles());
     let mut auditor = Auditor::new(registry, policy, context);
+    auditor.options.engine = engine_flag(args)?;
     if let Some(m) = args.flag("max-minutes") {
         auditor.options.max_case_minutes =
             Some(m.parse().map_err(|_| fail("--max-minutes: not a number"))?);
@@ -559,6 +576,28 @@ flows
         ]);
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("INFRINGEMENT"));
+    }
+
+    #[test]
+    fn check_engine_flag_selects_and_validates() {
+        let p = write_temp("order13.bpmn", ORDER);
+        let (_, trail_text) =
+            run_capture(&["simulate", &p, "--cases", "1", "--seed", "5", "--prefix", "ORD-"]);
+        let t = write_temp("order13.trail", &trail_text);
+        for engine in ["direct", "automaton"] {
+            let (code, out) = run_capture(&[
+                "check", &p, "--trail", &t, "--case", "ORD-1", "--engine", engine,
+            ]);
+            assert_eq!(code, 0, "{out}");
+            assert!(out.contains("Compliant"));
+        }
+        let mut buf = Vec::new();
+        let err = run(
+            &args(&["check", &p, "--trail", &t, "--case", "ORD-1", "--engine", "magic"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("--engine"));
     }
 
     #[test]

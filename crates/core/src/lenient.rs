@@ -19,13 +19,51 @@
 //! (checked by a test), preserving Theorem 2 on complete trails.
 
 use crate::error::CheckError;
-use crate::replay::{CheckOptions, Infringement, InfringementKind, Verdict};
+use crate::replay::{CheckOptions, Engine, Infringement, InfringementKind, Verdict};
 use audit::entry::{LogEntry, TaskStatus};
 use bpmn::encode::Encoded;
 use cows::observe::Observation;
 use cows::weaknext::{can_terminate_silently, weak_next, Marked, WeakSuccessor};
 use policy::hierarchy::RoleHierarchy;
 use std::collections::HashMap;
+
+/// `WeakNext(state)` through the engine selected by `opts`: the direct path
+/// recomputes per call; the automaton path interns the state into the
+/// process's shared [`cows::automaton::ProcessAutomaton`] and materializes
+/// the compiled edges, so the lenient replay also benefits from (and
+/// contributes to) cross-case warming.
+fn expand(
+    encoded: &Encoded,
+    state: &Marked,
+    opts: &CheckOptions,
+) -> Result<Vec<WeakSuccessor>, CheckError> {
+    match opts.engine {
+        Engine::Direct => Ok(weak_next(state, &encoded.observability, opts.weaknext)?),
+        Engine::Automaton => {
+            let id = encoded.automaton.intern(state.clone());
+            Ok(encoded
+                .automaton
+                .weak_successors(id, &encoded.observability, opts.weaknext)?)
+        }
+    }
+}
+
+/// Engine-dispatched `can_terminate_silently`.
+fn quiesces(encoded: &Encoded, state: &Marked, opts: &CheckOptions) -> Result<bool, CheckError> {
+    match opts.engine {
+        Engine::Direct => Ok(can_terminate_silently(
+            state,
+            &encoded.observability,
+            opts.weaknext,
+        )?),
+        Engine::Automaton => {
+            let id = encoded.automaton.intern(state.clone());
+            Ok(encoded
+                .automaton
+                .can_quiesce(id, &encoded.observability, opts.weaknext)?)
+        }
+    }
+}
 
 /// Options for the tolerant replay.
 #[derive(Clone, Copy, Debug)]
@@ -78,7 +116,7 @@ pub fn check_case_lenient(
     opts: &LenientOptions,
 ) -> Result<LenientCheck, CheckError> {
     let initial = encoded.initial();
-    let next = weak_next(&initial, &encoded.observability, opts.base.weaknext)?;
+    let next = expand(encoded, &initial, &opts.base)?;
     let mut confs: Vec<LenientConf> = vec![LenientConf {
         state: initial,
         next,
@@ -117,8 +155,7 @@ pub fn check_case_lenient(
                     if !accept {
                         continue;
                     }
-                    let next =
-                        weak_next(&succ.state, &encoded.observability, opts.base.weaknext)?;
+                    let next = expand(encoded, &succ.state, &opts.base)?;
                     insert_better(
                         &mut matched,
                         LenientConf {
@@ -144,8 +181,7 @@ pub fn check_case_lenient(
                         _ => {}
                     }
                     visited.insert(succ.state.clone(), skips);
-                    let next =
-                        weak_next(&succ.state, &encoded.observability, opts.base.weaknext)?;
+                    let next = expand(encoded, &succ.state, &opts.base)?;
                     let mut assumed = conf.assumed.clone();
                     assumed.push(succ.observation.to_string());
                     expanded.push(LenientConf {
@@ -224,7 +260,7 @@ pub fn check_case_lenient(
         .expect("configurations nonempty on the compliant path");
     let mut can_complete = false;
     for conf in &confs {
-        if can_terminate_silently(&conf.state, &encoded.observability, opts.base.weaknext)? {
+        if quiesces(encoded, &conf.state, &opts.base)? {
             can_complete = true;
             break;
         }

@@ -55,7 +55,7 @@ pub mod severity;
 
 pub use auditor::{AuditReport, Auditor, CaseOutcome, CaseResult, ProcessRegistry};
 pub use error::CheckError;
-pub use replay::{check_case, CaseCheck, CheckOptions, Configuration, Infringement, InfringementKind, Verdict};
+pub use replay::{check_case, CaseCheck, CheckOptions, Configuration, Engine, Infringement, InfringementKind, Verdict};
 pub use session::{FeedOutcome, ReplaySession};
 pub use drift::{allowed_successions, case_task_log, drift_report, DriftReport};
 pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};

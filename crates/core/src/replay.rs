@@ -29,11 +29,37 @@ pub struct Configuration {
     pub next: Vec<WeakSuccessor>,
 }
 
+/// Which replay engine drives the configuration set.
+///
+/// Both engines implement exactly Algorithm 1 and produce identical
+/// verdicts, traces and exploration counts (asserted by the
+/// `engine_equivalence` property test). They differ only in how the
+/// observable successors are obtained:
+///
+/// * [`Engine::Direct`] calls [`cows::weaknext::weak_next`] on owned
+///   [`Marked`] states every time a configuration is expanded — the
+///   paper-faithful baseline, kept for ablation;
+/// * [`Engine::Automaton`] walks the process's shared
+///   [`cows::automaton::ProcessAutomaton`]: states are interned `u32` ids
+///   and each state's successor edges are computed once per process (not
+///   once per case), so replaying many cases of the same process is
+///   integer-automaton walking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// Recompute `WeakNext` per configuration (no cross-case sharing).
+    Direct,
+    /// Walk the lazily compiled, thread-shared observable-step automaton.
+    #[default]
+    Automaton,
+}
+
 /// Options for [`check_case`].
 #[derive(Clone, Copy, Debug)]
 pub struct CheckOptions {
     /// τ-budget per `WeakNext` call.
     pub weaknext: WeakNextLimits,
+    /// Which replay engine to use (see [`Engine`]).
+    pub engine: Engine,
     /// Upper bound on simultaneously-tracked configurations.
     pub max_configurations: usize,
     /// Record per-entry step details (needed to reproduce Fig. 6; costs
@@ -50,6 +76,7 @@ impl Default for CheckOptions {
     fn default() -> Self {
         CheckOptions {
             weaknext: WeakNextLimits::default(),
+            engine: Engine::default(),
             max_configurations: 4_096,
             record_trace: false,
             max_case_minutes: None,
@@ -284,6 +311,58 @@ mod tests {
         let refs: Vec<&LogEntry> = trail.iter().collect();
         let out = check_case(&encoded, &h, &refs, &CheckOptions::default()).unwrap();
         assert!(out.verdict.is_compliant());
+    }
+
+    #[test]
+    fn engines_agree_on_verdict_trace_and_counters() {
+        let trails: Vec<Vec<LogEntry>> = vec![
+            vec![ok("P", "T", 1), ok("P", "T1", 2)],
+            vec![ok("P", "T", 1), ok("P", "T1", 2), ok("P", "T2", 3)],
+            vec![ok("P", "T1", 1)],
+            vec![ok("P", "T", 1), ok("P", "T", 2), ok("P", "T", 3), ok("P", "T1", 4)],
+            vec![ok("Q", "T", 1)],
+            vec![],
+        ];
+        for model in [fig8_exclusive, fig9_error] {
+            for trail in &trails {
+                // Fresh encodings per run so a warmed automaton cannot mask
+                // a divergence in exploration counts.
+                let h = RoleHierarchy::new();
+                let refs: Vec<&LogEntry> = trail.iter().collect();
+                let direct = check_case(
+                    &encode(&model()),
+                    &h,
+                    &refs,
+                    &CheckOptions {
+                        engine: Engine::Direct,
+                        record_trace: true,
+                        ..CheckOptions::default()
+                    },
+                )
+                .unwrap();
+                let automaton = check_case(
+                    &encode(&model()),
+                    &h,
+                    &refs,
+                    &CheckOptions {
+                        engine: Engine::Automaton,
+                        record_trace: true,
+                        ..CheckOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(direct.verdict, automaton.verdict);
+                assert_eq!(direct.peak_configurations, automaton.peak_configurations);
+                assert_eq!(direct.explored_successors, automaton.explored_successors);
+                assert_eq!(direct.steps.len(), automaton.steps.len());
+                for (d, a) in direct.steps.iter().zip(&automaton.steps) {
+                    assert_eq!(d.entry_index, a.entry_index);
+                    assert_eq!(d.matches, a.matches);
+                    assert_eq!(d.configurations, a.configurations);
+                    assert_eq!(d.token_tasks, a.token_tasks);
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,16 +18,18 @@
 
 use crate::error::CheckError;
 use crate::replay::{
-    CaseCheck, CheckOptions, Configuration, Infringement, InfringementKind, MatchKind, StepRecord,
-    Verdict,
+    CaseCheck, CheckOptions, Configuration, Engine, Infringement, InfringementKind, MatchKind,
+    StepRecord, Verdict,
 };
 use audit::entry::{LogEntry, TaskStatus};
 use audit::time::Timestamp;
 use bpmn::encode::Encoded;
+use cows::automaton::{ProcessAutomaton, StateId};
 use cows::observe::Observation;
-use cows::weaknext::{can_terminate_silently, weak_next, Marked};
+use cows::weaknext::{can_terminate_silently, weak_next, Marked, WeakSuccessor};
 use policy::hierarchy::RoleHierarchy;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Outcome of feeding one entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,12 +41,43 @@ pub enum FeedOutcome {
     Rejected(Infringement),
 }
 
+/// The configuration set of Algorithm 1, in the representation of the
+/// selected [`Engine`].
+///
+/// Both variants track the same mathematical set of Def. 6 configurations.
+/// `Direct` owns the `Marked` states and their precomputed successors;
+/// `Automaton` holds dense [`StateId`]s into the process's shared
+/// [`ProcessAutomaton`], whose invariant here is that every live id has
+/// already been expanded (its edges are compiled), so a feed step is pure
+/// table walking.
+#[derive(Clone, Debug)]
+enum ConfSet {
+    Direct(Vec<Configuration>),
+    Automaton {
+        auto: Arc<ProcessAutomaton>,
+        ids: Vec<StateId>,
+    },
+}
+
+impl ConfSet {
+    fn len(&self) -> usize {
+        match self {
+            ConfSet::Direct(confs) => confs.len(),
+            ConfSet::Automaton { ids, .. } => ids.len(),
+        }
+    }
+}
+
+/// The automaton-engine invariant: ids stored in the live set were expanded
+/// when inserted, so their edges are always compiled.
+const PRE_EXPANDED: &str = "live configuration ids are expanded on insertion";
+
 /// The borrow-free Algorithm-1 state machine: the configuration set plus
 /// bookkeeping, independent of how the process and hierarchy are owned.
 #[derive(Clone, Debug)]
 pub struct SessionCore {
     opts: CheckOptions,
-    confs: Vec<Configuration>,
+    confs: ConfSet,
     steps: Vec<StepRecord>,
     peak: usize,
     explored: usize,
@@ -56,12 +89,24 @@ pub struct SessionCore {
 impl SessionCore {
     /// Open at the process's initial configuration.
     pub fn new(encoded: &Encoded, opts: CheckOptions) -> Result<SessionCore, CheckError> {
-        let state = encoded.initial();
-        let next = weak_next(&state, &encoded.observability, opts.weaknext)?;
-        let explored = next.len();
+        let (confs, explored) = match opts.engine {
+            Engine::Direct => {
+                let state = encoded.initial();
+                let next = weak_next(&state, &encoded.observability, opts.weaknext)?;
+                let explored = next.len();
+                (ConfSet::Direct(vec![Configuration { state, next }]), explored)
+            }
+            Engine::Automaton => {
+                let auto = encoded.automaton.clone();
+                let id = auto.initial_id(&encoded.service);
+                let edges = auto.successors(id, &encoded.observability, opts.weaknext)?;
+                let explored = edges.len();
+                (ConfSet::Automaton { auto, ids: vec![id] }, explored)
+            }
+        };
         Ok(SessionCore {
             opts,
-            confs: vec![Configuration { state, next }],
+            confs,
             steps: Vec::new(),
             peak: 1,
             explored,
@@ -71,8 +116,30 @@ impl SessionCore {
         })
     }
 
-    pub fn configurations(&self) -> &[Configuration] {
-        &self.confs
+    /// Materialize the live configurations (Def. 6). Under the automaton
+    /// engine this reconstructs owned `Marked` states and successor vectors
+    /// from the compiled tables — use the session for replay and this only
+    /// for inspection.
+    pub fn configurations(&self) -> Vec<Configuration> {
+        match &self.confs {
+            ConfSet::Direct(confs) => confs.clone(),
+            ConfSet::Automaton { auto, ids } => ids
+                .iter()
+                .map(|&id| {
+                    let edges = auto.cached_edges(id).expect(PRE_EXPANDED);
+                    Configuration {
+                        state: (*auto.state(id)).clone(),
+                        next: edges
+                            .iter()
+                            .map(|&(observation, sid)| WeakSuccessor {
+                                observation,
+                                state: (*auto.state(sid)).clone(),
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+        }
     }
 
     pub fn consumed(&self) -> usize {
@@ -89,11 +156,20 @@ impl SessionCore {
 
     /// The observations the process would accept next.
     pub fn expected_observations(&self) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .confs
-            .iter()
-            .flat_map(|c| c.next.iter().map(|s| s.observation.to_string()))
-            .collect();
+        let mut v: Vec<String> = Vec::new();
+        match &self.confs {
+            ConfSet::Direct(confs) => {
+                for c in confs {
+                    v.extend(c.next.iter().map(|s| s.observation.to_string()));
+                }
+            }
+            ConfSet::Automaton { auto, ids } => {
+                for &id in ids {
+                    let edges = auto.cached_edges(id).expect(PRE_EXPANDED);
+                    v.extend(edges.iter().map(|(o, _)| o.to_string()));
+                }
+            }
+        }
         v.sort();
         v.dedup();
         v
@@ -101,11 +177,20 @@ impl SessionCore {
 
     /// Tasks currently running in some configuration.
     pub fn active_tasks(&self) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .confs
-            .iter()
-            .flat_map(|c| c.state.running.iter().map(|(r, q)| format!("{r}.{q}")))
-            .collect();
+        let mut v: Vec<String> = Vec::new();
+        match &self.confs {
+            ConfSet::Direct(confs) => {
+                for c in confs {
+                    v.extend(c.state.running.iter().map(|(r, q)| format!("{r}.{q}")));
+                }
+            }
+            ConfSet::Automaton { auto, ids } => {
+                for &id in ids {
+                    let state = auto.state(id);
+                    v.extend(state.running.iter().map(|(r, q)| format!("{r}.{q}")));
+                }
+            }
+        }
         v.sort();
         v.dedup();
         v
@@ -148,58 +233,123 @@ impl SessionCore {
             hierarchy.is_specialization_of(entry_role, pool_role)
         };
 
-        let mut next_confs: Vec<Configuration> = Vec::new();
-        let mut seen: HashSet<Marked> = HashSet::new();
         let mut matches: Vec<MatchKind> = Vec::new();
 
-        for conf in &self.confs {
-            let task_running = conf
-                .state
-                .running
-                .iter()
-                .any(|&(r, q)| q == entry.task && role_matches(entry.role, r));
+        let next_confs: ConfSet = match &self.confs {
+            ConfSet::Direct(confs) => {
+                let mut next_confs: Vec<Configuration> = Vec::new();
+                let mut seen: HashSet<Marked> = HashSet::new();
+                for conf in confs {
+                    let task_running = conf
+                        .state
+                        .running
+                        .iter()
+                        .any(|&(r, q)| q == entry.task && role_matches(entry.role, r));
 
-            // Line 8: absorbed only if active and successful.
-            if task_running && entry.status == TaskStatus::Success {
-                if seen.insert(conf.state.clone()) {
-                    next_confs.push(conf.clone());
-                }
-                matches.push(MatchKind::Absorbed);
-                continue;
-            }
-
-            // Lines 9–13: consume an observable successor.
-            for succ in &conf.next {
-                let accept = match (succ.observation, entry.status) {
-                    (Observation::Task { role, task }, TaskStatus::Success) => {
-                        task == entry.task && role_matches(entry.role, role)
+                    // Line 8: absorbed only if active and successful.
+                    if task_running && entry.status == TaskStatus::Success {
+                        if seen.insert(conf.state.clone()) {
+                            next_confs.push(conf.clone());
+                        }
+                        matches.push(MatchKind::Absorbed);
+                        continue;
                     }
-                    (Observation::Error, TaskStatus::Failure) => true,
-                    _ => false,
-                };
-                if !accept {
-                    continue;
+
+                    // Lines 9–13: consume an observable successor.
+                    for succ in &conf.next {
+                        let accept = match (succ.observation, entry.status) {
+                            (Observation::Task { role, task }, TaskStatus::Success) => {
+                                task == entry.task && role_matches(entry.role, role)
+                            }
+                            (Observation::Error, TaskStatus::Failure) => true,
+                            _ => false,
+                        };
+                        if !accept {
+                            continue;
+                        }
+                        matches.push(match succ.observation {
+                            Observation::Error => MatchKind::Failed,
+                            Observation::Task { .. } => MatchKind::Started,
+                        });
+                        if seen.insert(succ.state.clone()) {
+                            let next = weak_next(
+                                &succ.state,
+                                &encoded.observability,
+                                self.opts.weaknext,
+                            )?;
+                            self.explored += next.len();
+                            next_confs.push(Configuration {
+                                state: succ.state.clone(),
+                                next,
+                            });
+                        }
+                    }
                 }
-                matches.push(match succ.observation {
-                    Observation::Error => MatchKind::Failed,
-                    Observation::Task { .. } => MatchKind::Started,
-                });
-                if seen.insert(succ.state.clone()) {
-                    let next = weak_next(
-                        &succ.state,
-                        &encoded.observability,
-                        self.opts.weaknext,
-                    )?;
-                    self.explored += next.len();
-                    next_confs.push(Configuration {
-                        state: succ.state.clone(),
-                        next,
-                    });
+                ConfSet::Direct(next_confs)
+            }
+            ConfSet::Automaton { auto, ids } => {
+                // The same loop over interned ids: interning is bijective
+                // with `Marked` equality and edge order equals `weak_next`
+                // order, so matches, dedup and exploration counts are
+                // identical to the direct arm.
+                let mut next_ids: Vec<StateId> = Vec::new();
+                let mut seen: HashSet<StateId> = HashSet::new();
+                for &id in ids {
+                    let state = auto.state(id);
+                    let task_running = state
+                        .running
+                        .iter()
+                        .any(|&(r, q)| q == entry.task && role_matches(entry.role, r));
+
+                    // Line 8: absorbed only if active and successful.
+                    if task_running && entry.status == TaskStatus::Success {
+                        if seen.insert(id) {
+                            next_ids.push(id);
+                        }
+                        matches.push(MatchKind::Absorbed);
+                        continue;
+                    }
+
+                    // Lines 9–13: consume a compiled observable edge.
+                    let edges = auto.cached_edges(id).expect(PRE_EXPANDED);
+                    for &(observation, succ_id) in edges.iter() {
+                        let accept = match (observation, entry.status) {
+                            (Observation::Task { role, task }, TaskStatus::Success) => {
+                                task == entry.task && role_matches(entry.role, role)
+                            }
+                            (Observation::Error, TaskStatus::Failure) => true,
+                            _ => false,
+                        };
+                        if !accept {
+                            continue;
+                        }
+                        matches.push(match observation {
+                            Observation::Error => MatchKind::Failed,
+                            Observation::Task { .. } => MatchKind::Started,
+                        });
+                        if seen.insert(succ_id) {
+                            // Expand eagerly (maintaining the invariant) so
+                            // τ-budget errors surface on the same entry as
+                            // the direct engine; a warmed automaton answers
+                            // from the compiled table.
+                            let succ_edges = auto.successors(
+                                succ_id,
+                                &encoded.observability,
+                                self.opts.weaknext,
+                            )?;
+                            self.explored += succ_edges.len();
+                            next_ids.push(succ_id);
+                        }
+                    }
+                }
+                ConfSet::Automaton {
+                    auto: auto.clone(),
+                    ids: next_ids,
                 }
             }
-        }
+        };
 
-        if next_confs.is_empty() {
+        if next_confs.len() == 0 {
             // Line 21: the entry cannot be simulated by the process.
             let inf = Infringement {
                 entry_index,
@@ -219,11 +369,8 @@ impl SessionCore {
         }
         self.peak = self.peak.max(next_confs.len());
         if self.opts.record_trace {
-            self.steps.push(StepRecord {
-                entry_index,
-                matches: matches.clone(),
-                configurations: next_confs.len(),
-                token_tasks: next_confs
+            let token_tasks: Vec<Vec<String>> = match &next_confs {
+                ConfSet::Direct(confs) => confs
                     .iter()
                     .map(|c| {
                         c.state
@@ -233,6 +380,21 @@ impl SessionCore {
                             .collect()
                     })
                     .collect(),
+                ConfSet::Automaton { auto, ids } => ids
+                    .iter()
+                    .map(|&id| {
+                        auto.token_tasks(id, &encoded.observability)
+                            .iter()
+                            .map(|(r, q)| format!("{r}.{q}"))
+                            .collect()
+                    })
+                    .collect(),
+            };
+            self.steps.push(StepRecord {
+                entry_index,
+                matches: matches.clone(),
+                configurations: next_confs.len(),
+                token_tasks,
             });
         }
         self.confs = next_confs;
@@ -248,14 +410,26 @@ impl SessionCore {
             Some(inf) => Verdict::Infringement(inf.clone()),
             None => {
                 let mut can_complete = false;
-                for conf in &self.confs {
-                    if can_terminate_silently(
-                        &conf.state,
-                        &encoded.observability,
-                        self.opts.weaknext,
-                    )? {
-                        can_complete = true;
-                        break;
+                match &self.confs {
+                    ConfSet::Direct(confs) => {
+                        for conf in confs {
+                            if can_terminate_silently(
+                                &conf.state,
+                                &encoded.observability,
+                                self.opts.weaknext,
+                            )? {
+                                can_complete = true;
+                                break;
+                            }
+                        }
+                    }
+                    ConfSet::Automaton { auto, ids } => {
+                        for &id in ids {
+                            if auto.can_quiesce(id, &encoded.observability, self.opts.weaknext)? {
+                                can_complete = true;
+                                break;
+                            }
+                        }
                     }
                 }
                 Verdict::Compliant { can_complete }
@@ -291,8 +465,9 @@ impl<'a> ReplaySession<'a> {
         })
     }
 
-    /// The live configurations (Def. 6).
-    pub fn configurations(&self) -> &[Configuration] {
+    /// The live configurations (Def. 6), materialized (see
+    /// [`SessionCore::configurations`]).
+    pub fn configurations(&self) -> Vec<Configuration> {
         self.core.configurations()
     }
 

@@ -22,7 +22,12 @@
 //!   trace enumeration (the naïve baseline of §1);
 //! * [`observe`] — the paper's IT-observability (`L = {r·q} ∪ {sys·Err}`);
 //! * [`weaknext`] — `WeakNext` (Def. 7) with active-task bookkeeping
-//!   (Def. 6), the engine under Algorithm 1.
+//!   (Def. 6), the engine under Algorithm 1;
+//! * [`automaton`] — [`automaton::ProcessAutomaton`], a lazily built,
+//!   thread-shared compilation of the observable LTS: `Marked`
+//!   configurations are interned to dense `u32` ids and `weak_next`
+//!   results are cached per state, so replay becomes integer-automaton
+//!   walking.
 //!
 //! ## Example
 //!
@@ -42,6 +47,7 @@
 //! assert_eq!(lts.edge_count(), 2);
 //! ```
 
+pub mod automaton;
 pub mod dot;
 pub mod equiv;
 pub mod error;
@@ -56,6 +62,7 @@ pub mod symbol;
 pub mod term;
 pub mod weaknext;
 
+pub use automaton::{AutomatonStats, ProcessAutomaton};
 pub use equiv::{weak_trace_equiv, EquivLimits, Inequivalence};
 pub use error::ExploreError;
 pub use label::Label;

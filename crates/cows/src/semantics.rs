@@ -17,6 +17,7 @@ use crate::term::{Decl, Service, Word};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// All SOS transitions of `s`, including open (invoke/request) labels.
@@ -211,6 +212,12 @@ fn repl_transitions(body: &Arc<Service>) -> Vec<(Label, Service)> {
 /// Closed-system transitions: communications and kills, with kill priority
 /// applied and residuals in canonical normal form. Deduplicated and sorted
 /// for deterministic exploration.
+///
+/// This clones the full transition `Vec` out of the memo on every call —
+/// every `(Label, Service)` pair, label args and all. Production callers
+/// (WeakNext, exploration, the automaton) use [`transitions_shared`] and
+/// borrow through the `Arc`; this owned variant survives only for tests
+/// and one-shot inspection code where the clone cost is irrelevant.
 pub fn transitions(s: &Service) -> Vec<(Label, Service)> {
     transitions_shared(s).as_ref().clone()
 }
@@ -243,9 +250,40 @@ fn compute_transitions(s: &Service) -> Vec<(Label, Service)> {
 /// contention negligible for the §7 parallel auditor).
 const CACHE_SHARDS: usize = 64;
 
-/// Bound per shard; when exceeded the shard is cleared wholesale (states
-/// repeat densely within one replay, so a fresh shard re-warms quickly).
+/// Bound per shard; when exceeded, half the shard is evicted (an arbitrary
+/// half — whatever the drain yields first). Evicting half instead of
+/// clearing wholesale keeps the other half warm, avoiding the periodic
+/// re-warm cliffs a full clear causes under sustained load.
 const SHARD_CAP: usize = 4_096;
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Counters of the global transitions memo, for the bench report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that recomputed (and inserted).
+    pub misses: u64,
+    /// Half-shard eviction events (not entries evicted).
+    pub evictions: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+/// Snapshot the global memo counters. Counters are process-wide and
+/// monotone (relaxed atomics); `entries` is a point-in-time sum over the
+/// shards.
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
+        entries: cache().iter().map(|s| s.read().len()).sum(),
+    }
+}
 
 type Shard = RwLock<HashMap<Service, Arc<Vec<(Label, Service)>>>>;
 
@@ -272,12 +310,17 @@ fn shard_of(s: &Service) -> &'static Shard {
 pub fn transitions_shared(s: &Service) -> Arc<Vec<(Label, Service)>> {
     let shard = shard_of(s);
     if let Some(hit) = shard.read().get(s) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return hit.clone();
     }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let computed = Arc::new(compute_transitions(s));
     let mut wr = shard.write();
     if wr.len() >= SHARD_CAP {
-        wr.clear();
+        let keep = wr.len() / 2;
+        let retained: HashMap<_, _> = wr.drain().take(keep).collect();
+        *wr = retained;
+        CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
     }
     wr.insert(s.clone(), computed.clone());
     computed

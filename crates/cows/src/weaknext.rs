@@ -23,6 +23,7 @@ use crate::semantics::transitions_shared;
 use crate::symbol::Symbol;
 use crate::term::Service;
 use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A task instance `(role, task)` — an element of `R × Q`.
 pub type TaskInstance = (Symbol, Symbol);
@@ -125,15 +126,22 @@ pub fn weak_next(
 ) -> Result<Vec<WeakSuccessor>, ExploreError> {
     let mut successors: Vec<WeakSuccessor> = Vec::new();
     let mut seen_succ: HashSet<(Observation, Marked)> = HashSet::new();
-    let mut visited: HashSet<Marked> = HashSet::new();
-    let mut queue: VecDeque<Marked> = VecDeque::new();
+    // States live in `Arc`s shared between the visited set and the queue:
+    // `from` is cloned once, each τ-successor is constructed once, and
+    // popping the queue moves the `Arc` instead of cloning a `Marked`.
+    let mut visited: HashSet<Arc<Marked>> = HashSet::new();
+    let mut queue: VecDeque<Arc<Marked>> = VecDeque::new();
 
-    visited.insert(from.clone());
-    queue.push_back(from.clone());
+    let start = Arc::new(from.clone());
+    visited.insert(start.clone());
+    queue.push_back(start);
 
     while let Some(m) = queue.pop_front() {
         let ts = transitions_shared(&m.service);
-        for (label, next_service) in ts.iter().cloned() {
+        // Iterate by reference: the label is only inspected (observe,
+        // completed_tasks); only the residual service of a taken step is
+        // cloned into the successor state.
+        for (label, next_service) in ts.iter() {
             // Task completions happen on both observable and unobservable
             // steps (a task may hand the token directly to another task, or
             // to a gateway).
@@ -141,13 +149,13 @@ pub fn weak_next(
             for done in label.completed_tasks() {
                 running.remove(&(done.partner, done.op));
             }
-            match obs.observe(&label) {
+            match obs.observe(label) {
                 Some(observation) => {
                     if let Observation::Task { role, task } = observation {
                         running.insert((role, task));
                     }
                     let state = Marked {
-                        service: next_service,
+                        service: next_service.clone(),
                         running,
                     };
                     if seen_succ.insert((observation, state.clone())) {
@@ -156,15 +164,17 @@ pub fn weak_next(
                 }
                 None => {
                     let next = Marked {
-                        service: next_service,
+                        service: next_service.clone(),
                         running,
                     };
-                    if visited.insert(next.clone()) {
-                        if visited.len() > limits.max_tau_states {
+                    if !visited.contains(&next) {
+                        if visited.len() >= limits.max_tau_states {
                             return Err(ExploreError::TauBudgetExceeded {
                                 limit: limits.max_tau_states,
                             });
                         }
+                        let next = Arc::new(next);
+                        visited.insert(next.clone());
                         queue.push_back(next);
                     }
                 }
@@ -191,25 +201,30 @@ pub fn can_terminate_silently(
     obs: &dyn Observability,
     limits: WeakNextLimits,
 ) -> Result<bool, ExploreError> {
-    let mut visited: HashSet<Service> = HashSet::new();
-    let mut queue: VecDeque<Service> = VecDeque::new();
-    visited.insert(from.service.clone());
-    queue.push_back(from.service.clone());
+    // Same Arc-sharing scheme as `weak_next`: one clone of `from.service`,
+    // one construction per distinct τ-successor, moves everywhere else.
+    let mut visited: HashSet<Arc<Service>> = HashSet::new();
+    let mut queue: VecDeque<Arc<Service>> = VecDeque::new();
+    let start = Arc::new(from.service.clone());
+    visited.insert(start.clone());
+    queue.push_back(start);
     while let Some(s) = queue.pop_front() {
         let ts = transitions_shared(&s);
         if ts.is_empty() {
             return Ok(true);
         }
-        for (label, next) in ts.iter().cloned() {
-            if obs.observe(&label).is_some() {
+        for (label, next) in ts.iter() {
+            if obs.observe(label).is_some() {
                 continue;
             }
-            if visited.insert(next.clone()) {
-                if visited.len() > limits.max_tau_states {
+            if !visited.contains(next) {
+                if visited.len() >= limits.max_tau_states {
                     return Err(ExploreError::TauBudgetExceeded {
                         limit: limits.max_tau_states,
                     });
                 }
+                let next = Arc::new(next.clone());
+                visited.insert(next.clone());
                 queue.push_back(next);
             }
         }

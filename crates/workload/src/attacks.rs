@@ -60,7 +60,7 @@ pub fn reuse_case(entries: &mut Vec<LogEntry>, task: Symbol, rng: &mut StdRng) -
     entries.push(LogEntry {
         task,
         // Long after the case completed.
-        time: last.time.plus_days(30 + rng.gen_range(0..30)),
+        time: last.time.plus_days(30 + rng.gen_range(0..30u64)),
         action: Action::Read,
         ..last
     });
