@@ -188,10 +188,8 @@ mod tests {
 
     #[test]
     fn deletion_detected() {
-        let mut c = ChainedTrail::commit(AuditTrail::from_entries(vec![
-            entry("A", 1),
-            entry("B", 2),
-        ]));
+        let mut c =
+            ChainedTrail::commit(AuditTrail::from_entries(vec![entry("A", 1), entry("B", 2)]));
         *c.tamper() = AuditTrail::from_entries(vec![entry("A", 1)]);
         assert!(c.verify().is_err());
     }

@@ -57,12 +57,13 @@ fn parse_entry(line: &str, lineno: usize) -> Result<LogEntry, TrailParseError> {
     if tok.len() != 8 {
         return Err(err(
             lineno,
-            format!("expected 8 columns (user role action object task case time status), got {}", tok.len()),
+            format!(
+                "expected 8 columns (user role action object task case time status), got {}",
+                tok.len()
+            ),
         ));
     }
-    let action = tok[2]
-        .parse()
-        .map_err(|e| err(lineno, format!("{e}")))?;
+    let action = tok[2].parse().map_err(|e| err(lineno, format!("{e}")))?;
     let object = if tok[3] == "N/A" {
         None
     } else {

@@ -8,9 +8,9 @@
 //! purpose in order to retrieve a larger number of EPRs").
 
 use crate::codec::parse_trail;
-use crate::trail::AuditTrail;
-use crate::time::Timestamp;
 use crate::entry::LogEntry;
+use crate::time::Timestamp;
+use crate::trail::AuditTrail;
 use policy::object::ObjectId;
 use policy::statement::Action;
 

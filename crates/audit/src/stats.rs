@@ -84,11 +84,7 @@ pub fn trail_stats(trail: &AuditTrail) -> TrailStats {
     case_sizes.sort_unstable();
     let (case_size_min, case_size_median, case_size_max) = match case_sizes.as_slice() {
         [] => (0, 0, 0),
-        sizes => (
-            sizes[0],
-            sizes[sizes.len() / 2],
-            sizes[sizes.len() - 1],
-        ),
+        sizes => (sizes[0], sizes[sizes.len() / 2], sizes[sizes.len() - 1]),
     };
 
     TrailStats {
@@ -152,7 +148,7 @@ mod tests {
         assert_eq!(s.users, 3); // John, Bob, Charlie
         assert_eq!(s.failures, 1); // the T02 cancel
         assert_eq!(s.objectless, 1); // same entry
-        // Bob dominates the trail (the sweep).
+                                     // Bob dominates the trail (the sweep).
         assert_eq!(s.by_role[0].0, sym("Cardiologist"));
         // Jane is the most-touched subject.
         assert_eq!(s.by_subject[0].0, sym("Jane"));

@@ -153,7 +153,12 @@ mod tests {
 
     #[test]
     fn paper_timestamp_round_trips() {
-        for s in ["201003121210", "201004301200", "200001010000", "202812312359"] {
+        for s in [
+            "201003121210",
+            "201004301200",
+            "200001010000",
+            "202812312359",
+        ] {
             let t: Timestamp = s.parse().unwrap();
             assert_eq!(t.to_string(), s);
         }

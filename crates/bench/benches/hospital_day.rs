@@ -29,11 +29,9 @@ fn bench_hospital_day(c: &mut Criterion) {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(entries),
-            &entries,
-            |b, _| b.iter(|| black_box(audit_parallel(&auditor, &day.trail, threads))),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| black_box(audit_parallel(&auditor, &day.trail, threads)))
+        });
     }
     g.finish();
 }

@@ -30,14 +30,7 @@ fn bench_parallel(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &threads,
             |b, &threads| {
-                b.iter(|| {
-                    black_box(check_cases_parallel(
-                        &auditor,
-                        &day.trail,
-                        &cases,
-                        threads,
-                    ))
-                })
+                b.iter(|| black_box(check_cases_parallel(&auditor, &day.trail, &cases, threads)))
             },
         );
     }

@@ -20,6 +20,7 @@ use cows::weaknext::{weak_next, WeakNextLimits};
 use petri::conformance::{task_log, token_replay, ReplayOptions};
 use petri::translate::translate;
 use policy::hierarchy::RoleHierarchy;
+use policy::samples::hospital_roles;
 use purpose_control::auditor::CaseOutcome;
 use purpose_control::naive::{naive_check, NaiveLimits};
 use purpose_control::parallel::audit_parallel;
@@ -55,16 +56,31 @@ fn fmt_dur(d: Duration) -> String {
 
 fn p1_naive_vs_replay(quick: bool) {
     println!("## P1 — Algorithm 1 vs naive trace enumeration (§1)");
-    println!("{:>4} | {:>12} | {:>14} | {:>12}", "k", "replay", "naive", "naive traces");
+    println!(
+        "{:>4} | {:>12} | {:>14} | {:>12}",
+        "k", "replay", "naive", "naive traces"
+    );
     println!("-----|--------------|----------------|-------------");
     let encoded = encode(&loop_process());
     let h = RoleHierarchy::new();
-    let ks: &[usize] = if quick { &[1, 4, 8, 12] } else { &[1, 2, 4, 8, 12, 16, 20] };
+    let ks: &[usize] = if quick {
+        &[1, 4, 8, 12]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 20]
+    };
     for &k in ks {
         let entries = loop_trail(k);
         let refs: Vec<&audit::LogEntry> = entries.iter().collect();
-        let rt = median_time(|| { replay(&encoded, &entries); }, 3);
-        let limits = NaiveLimits { max_traces: 3_000_000, ..NaiveLimits::default() };
+        let rt = median_time(
+            || {
+                replay(&encoded, &entries);
+            },
+            3,
+        );
+        let limits = NaiveLimits {
+            max_traces: 3_000_000,
+            ..NaiveLimits::default()
+        };
         let mut traces = String::new();
         let nt = median_time(
             || match naive_check(&encoded, &h, &refs, &limits) {
@@ -73,7 +89,11 @@ fn p1_naive_vs_replay(quick: bool) {
             },
             1,
         );
-        println!("{k:>4} | {:>12} | {:>14} | {traces:>12}", fmt_dur(rt), fmt_dur(nt));
+        println!(
+            "{k:>4} | {:>12} | {:>14} | {traces:>12}",
+            fmt_dur(rt),
+            fmt_dur(nt)
+        );
     }
     println!();
 }
@@ -83,10 +103,19 @@ fn p2_scaling(quick: bool) {
     println!("trail length sweep (branching loop process):");
     println!("{:>8} | {:>12} | {:>14}", "entries", "replay", "entries/s");
     let encoded = encode(&loop_process());
-    let lens: &[usize] = if quick { &[10, 100, 1_000] } else { &[10, 100, 1_000, 10_000] };
+    let lens: &[usize] = if quick {
+        &[10, 100, 1_000]
+    } else {
+        &[10, 100, 1_000, 10_000]
+    };
     for &k in lens {
         let entries = loop_trail(k);
-        let t = median_time(|| { replay(&encoded, &entries); }, 3);
+        let t = median_time(
+            || {
+                replay(&encoded, &entries);
+            },
+            3,
+        );
         println!(
             "{:>8} | {:>12} | {:>14.0}",
             entries.len(),
@@ -95,13 +124,30 @@ fn p2_scaling(quick: bool) {
         );
     }
     println!("\nprocess size sweep (one full execution each):");
-    println!("{:>6} | {:>14} | {:>14}", "tasks", "sequential", "structured");
-    let sizes: &[usize] = if quick { &[5, 20, 40] } else { &[5, 10, 20, 40, 80] };
+    println!(
+        "{:>6} | {:>14} | {:>14}",
+        "tasks", "sequential", "structured"
+    );
+    let sizes: &[usize] = if quick {
+        &[5, 20, 40]
+    } else {
+        &[5, 10, 20, 40, 80]
+    };
     for &n in sizes {
         let (enc_s, ent_s) = sequential_workload(n, 7);
-        let ts = median_time(|| { replay(&enc_s, &ent_s); }, 3);
+        let ts = median_time(
+            || {
+                replay(&enc_s, &ent_s);
+            },
+            3,
+        );
         let (enc_x, ent_x) = structured_workload(n, 7);
-        let tx = median_time(|| { replay(&enc_x, &ent_x); }, 3);
+        let tx = median_time(
+            || {
+                replay(&enc_x, &ent_x);
+            },
+            3,
+        );
         println!("{n:>6} | {:>14} | {:>14}", fmt_dur(ts), fmt_dur(tx));
     }
     println!();
@@ -126,9 +172,18 @@ fn p3_parallel(quick: bool) {
     println!("{:>8} | {:>12} | {:>8}", "threads", "wall", "speedup");
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
-        let t = median_time(|| { audit_parallel(&auditor, &day.trail, threads); }, 3);
+        let t = median_time(
+            || {
+                audit_parallel(&auditor, &day.trail, threads);
+            },
+            3,
+        );
         let b = *base.get_or_insert(t.as_secs_f64());
-        println!("{threads:>8} | {:>12} | {:>7.2}x", fmt_dur(t), b / t.as_secs_f64());
+        println!(
+            "{threads:>8} | {:>12} | {:>7.2}x",
+            fmt_dur(t),
+            b / t.as_secs_f64()
+        );
     }
     println!();
 }
@@ -144,13 +199,19 @@ fn p4_hospital_day(quick: bool) {
         },
         42,
     );
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let t0 = Instant::now();
     let report = audit_parallel(&auditor, &day.trail, threads);
     let took = t0.elapsed();
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
     for case in &report.cases {
-        let attacked = day.truth.get(&case.case).map(|t| t.injected.is_some()).unwrap_or(false);
+        let attacked = day
+            .truth
+            .get(&case.case)
+            .map(|t| t.injected.is_some())
+            .unwrap_or(false);
         let flagged = matches!(case.outcome, CaseOutcome::Infringement { .. });
         match (attacked, flagged) {
             (true, true) => tp += 1,
@@ -166,9 +227,7 @@ fn p4_hospital_day(quick: bool) {
         fmt_dur(took),
         day.trail.len() as f64 / took.as_secs_f64()
     );
-    println!(
-        "detection: {tp} caught, {fn_} missed (prefix-surviving edits), {fp} false alarms"
-    );
+    println!("detection: {tp} caught, {fn_} missed (prefix-surviving edits), {fp} false alarms");
     println!();
 }
 
@@ -192,8 +251,16 @@ fn p5_petri() {
     println!(
         "wrong-role trail: token-replay fitness {:.3} ({}), Algorithm 1 verdict {}",
         fitness.fitness(),
-        if fitness.is_perfect() { "perfect — violation invisible" } else { "imperfect" },
-        if verdict.verdict.is_compliant() { "compliant" } else { "INFRINGEMENT" }
+        if fitness.is_perfect() {
+            "perfect — violation invisible"
+        } else {
+            "imperfect"
+        },
+        if verdict.verdict.is_compliant() {
+            "compliant"
+        } else {
+            "INFRINGEMENT"
+        }
     );
     // (c) A re-purposing trail gets graded, not rejected.
     let mut entries2 = simulate_case(&encoded, "c", &SimConfig::new("P"), &mut rng);
@@ -204,14 +271,21 @@ fn p5_petri() {
     println!(
         "re-purposed trail: token-replay fitness {:.3} (degree of fit), Algorithm 1 verdict {}",
         fitness2.fitness(),
-        if verdict2.verdict.is_compliant() { "compliant" } else { "INFRINGEMENT (exact)" }
+        if verdict2.verdict.is_compliant() {
+            "compliant"
+        } else {
+            "INFRINGEMENT (exact)"
+        }
     );
     println!();
 }
 
 fn p6_or_fanout() {
     println!("## P6 — OR-gateway configuration growth (ablation)");
-    println!("{:>7} | {:>18} | {:>12} | {:>10}", "fanout", "WeakNext states", "peak configs", "replay");
+    println!(
+        "{:>7} | {:>18} | {:>12} | {:>10}",
+        "fanout", "WeakNext states", "peak configs", "replay"
+    );
     for fanout in 1..=5usize {
         let (encoded, entries) = or_diamond(fanout);
         // Successors right after the head task (the OR choice point).
@@ -220,11 +294,20 @@ fn p6_or_fanout() {
             .unwrap()
             .remove(0)
             .state;
-        let succ = weak_next(&after_head, &encoded.observability, WeakNextLimits::default())
-            .unwrap()
-            .len();
+        let succ = weak_next(
+            &after_head,
+            &encoded.observability,
+            WeakNextLimits::default(),
+        )
+        .unwrap()
+        .len();
         let out = replay(&encoded, &entries);
-        let t = median_time(|| { replay(&encoded, &entries); }, 3);
+        let t = median_time(
+            || {
+                replay(&encoded, &entries);
+            },
+            3,
+        );
         println!(
             "{fanout:>7} | {succ:>18} | {:>12} | {:>10}",
             out.peak_configurations,
@@ -245,12 +328,14 @@ fn p7_attack_detection() {
         let (mut injected, mut detected) = (0usize, 0usize);
         for seed in 0..trials as u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut entries =
-                simulate_case(&encoded, "c", &SimConfig::new("P"), &mut rng);
+            let mut entries = simulate_case(&encoded, "c", &SimConfig::new("P"), &mut rng);
             let inj = match kind {
                 "repurpose" => attacks::repurpose(&mut entries, sym("T92")),
                 "reuse_case" => {
-                    let first = entries.first().map(|e| e.task).unwrap_or_else(|| sym("T01"));
+                    let first = entries
+                        .first()
+                        .map(|e| e.task)
+                        .unwrap_or_else(|| sym("T01"));
                     attacks::reuse_case(&mut entries, first, &mut rng)
                 }
                 "skip_task" => attacks::skip_task(&mut entries, &mut rng),
@@ -278,7 +363,7 @@ fn p7_attack_detection() {
     println!();
 }
 
-fn p8_engine_ablation(quick: bool) {
+fn p8_engine_ablation(quick: bool) -> String {
     println!("## P8 — replay engine ablation (compiled automaton vs direct WeakNext)");
     let encoded = encode(&healthcare_treatment());
     let n = if quick { 20usize } else { 100 };
@@ -292,7 +377,10 @@ fn p8_engine_ablation(quick: bool) {
         .collect();
     let h = RoleHierarchy::new();
     let run_all = |engine: Engine| {
-        let opts = CheckOptions { engine, ..CheckOptions::default() };
+        let opts = CheckOptions {
+            engine,
+            ..CheckOptions::default()
+        };
         for entries in &cases {
             let refs: Vec<&audit::LogEntry> = entries.iter().collect();
             check_case(&encoded, &h, &refs, &opts).expect("replay machinery succeeds");
@@ -303,7 +391,12 @@ fn p8_engine_ablation(quick: bool) {
     let (cps_d, cps_a) = (n as f64 / td.as_secs_f64(), n as f64 / ta.as_secs_f64());
     println!("{:>10} | {:>12} | {:>12}", "engine", "100 cases", "cases/s");
     println!("{:>10} | {:>12} | {:>12.0}", "direct", fmt_dur(td), cps_d);
-    println!("{:>10} | {:>12} | {:>12.0}", "automaton", fmt_dur(ta), cps_a);
+    println!(
+        "{:>10} | {:>12} | {:>12.0}",
+        "automaton",
+        fmt_dur(ta),
+        cps_a
+    );
     let auto = encoded.automaton.stats();
     let cache = cows::semantics::cache_stats();
     let edge_total = auto.edge_hits + auto.edge_misses;
@@ -318,7 +411,8 @@ fn p8_engine_ablation(quick: bool) {
         cache.evictions
     );
     // Machine-readable summary for the acceptance gate (hand-rolled JSON —
-    // the workspace deliberately has no serde_json).
+    // the workspace deliberately has no serde_json). Returned as a fragment;
+    // `main` assembles BENCH_replay.json from every section that has one.
     let json = format!(
         "{{\n  \
            \"benchmark\": \"replay_engine_ablation\",\n  \
@@ -347,12 +441,136 @@ fn p8_engine_ablation(quick: bool) {
         cache.entries,
         cache.hits as f64 / cache_total.max(1) as f64,
     );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => println!("could not write {}: {e}", path.display()),
-    }
     println!();
+    json
+}
+
+/// Replay every case of the Fig. 4 trail — what `purposectl check` does on
+/// the paper's running example. Returns the number of compliant cases.
+fn p9_check_all(enc: &bpmn::encode::Encoded, trail: &audit::AuditTrail) -> usize {
+    let h = hospital_roles();
+    let opts = CheckOptions::default();
+    let mut compliant = 0usize;
+    for case in trail.cases() {
+        let entries = trail.project_case(case);
+        let check = check_case(enc, &h, &entries, &opts).expect("replay machinery succeeds");
+        if check.verdict.is_compliant() {
+            compliant += 1;
+        }
+    }
+    compliant
+}
+
+/// Child-process hook for P9: one true cold or warm `check` run in a fresh
+/// process — fresh symbol interner, fresh transitions memo — printing the
+/// elapsed seconds on stdout. Spawned by `p9_snapshot_warm_start`. The
+/// cold run saves the snapshot (as a caching CLI run would); the warm run
+/// loads it and must replay without a single `weak_next` expansion.
+fn p9_child(mode: &str, snapshot: &str) {
+    let model = healthcare_treatment();
+    let trail = figure4_trail();
+    let scratch = format!("{snapshot}.cold-out");
+    let t = Instant::now();
+    let enc = encode(&model);
+    if mode == "warm" {
+        enc.load_snapshot(std::path::Path::new(snapshot))
+            .expect("snapshot loads in child");
+    }
+    let compliant = p9_check_all(&enc, &trail);
+    if mode == "cold" {
+        enc.save_snapshot(std::path::Path::new(&scratch))
+            .expect("cold child saves its cache");
+    }
+    let elapsed = t.elapsed();
+    let _ = std::fs::remove_file(&scratch);
+    assert!(compliant > 0, "Fig. 4 must keep its compliant cases");
+    if mode == "warm" {
+        let stats = enc.automaton.stats();
+        assert_eq!(stats.edge_misses, 0, "warm child must never run weak_next");
+    }
+    println!("{:.9}", elapsed.as_secs_f64());
+}
+
+fn p9_snapshot_warm_start(quick: bool) -> String {
+    println!("## P9 — snapshot warm start (cold vs warm `check` of the Fig. 4 trail)");
+    // One full `purposectl check` of the paper's running example, cold vs
+    // warm. Cold compiles the observable LTS through weak_next and saves
+    // the snapshot; warm loads the snapshot and replays on integer edges
+    // alone. Each measurement runs in a fresh child process so the symbol
+    // interner and the global transitions memo start genuinely cold —
+    // repeating in-process would hand the "cold" runs a warm memo and
+    // understate the gap a short-lived CLI run actually sees.
+    let model = healthcare_treatment();
+    let enc = encode(&model);
+    let trail = figure4_trail();
+    assert!(p9_check_all(&enc, &trail) > 0);
+    let snapshot = std::env::temp_dir().join("purposectl-bench-p9.pcas");
+    enc.save_snapshot(&snapshot).expect("snapshot saved");
+    let snapshot_bytes = enc.snapshot_bytes().len();
+    let snapshot_states = enc.automaton.stats().states;
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let run = |mode: &str| -> f64 {
+        let out = std::process::Command::new(&exe)
+            .arg("--p9-child")
+            .arg(mode)
+            .arg(&snapshot)
+            .output()
+            .expect("p9 child spawns");
+        assert!(
+            out.status.success(),
+            "p9 {mode} child failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .trim()
+            .parse()
+            .expect("child prints elapsed seconds")
+    };
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        xs[xs.len() / 2]
+    };
+    let reps = if quick { 5 } else { 9 };
+    let cold = median((0..reps).map(|_| run("cold")).collect());
+    let warm = median((0..reps).map(|_| run("warm")).collect());
+    let _ = std::fs::remove_file(&snapshot);
+    let speedup = cold / warm;
+    println!("{:>8} | {:>12} | {:>10}", "start", "full check", "speedup");
+    println!(
+        "{:>8} | {:>12} | {:>10}",
+        "cold",
+        fmt_dur(Duration::from_secs_f64(cold)),
+        "1.00x"
+    );
+    println!(
+        "{:>8} | {:>12} | {:>9.2}x",
+        "warm",
+        fmt_dur(Duration::from_secs_f64(warm)),
+        speedup
+    );
+    println!(
+        "snapshot: {snapshot_bytes} bytes, {snapshot_states} states; \
+         {} entries / {} cases checked per start",
+        trail.len(),
+        trail.cases().len()
+    );
+    println!();
+    format!(
+        "{{\n  \
+           \"benchmark\": \"snapshot_warm_start\",\n  \
+           \"process\": \"healthcare_treatment\",\n  \
+           \"trail\": \"figure4\",\n  \
+           \"entries_per_start\": {},\n  \
+           \"cases_per_start\": {},\n  \
+           \"snapshot_bytes\": {snapshot_bytes},\n  \
+           \"snapshot_states\": {snapshot_states},\n  \
+           \"cold\": {{ \"seconds\": {cold:.6} }},\n  \
+           \"warm\": {{ \"seconds\": {warm:.6} }},\n  \
+           \"speedup\": {speedup:.2}\n}}",
+        trail.len(),
+        trail.cases().len(),
+    )
 }
 
 fn fig4_summary() {
@@ -370,7 +588,14 @@ fn fig4_summary() {
     for c in &report.cases {
         let v = match &c.outcome {
             CaseOutcome::Compliant { can_complete } => {
-                format!("compliant ({})", if *can_complete { "complete" } else { "in progress" })
+                format!(
+                    "compliant ({})",
+                    if *can_complete {
+                        "complete"
+                    } else {
+                        "in progress"
+                    }
+                )
             }
             CaseOutcome::Infringement { severity, .. } => {
                 format!("INFRINGEMENT (severity {:.2})", severity.score)
@@ -383,7 +608,12 @@ fn fig4_summary() {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--p9-child") {
+        p9_child(&argv[i + 1], &argv[i + 2]);
+        return;
+    }
+    let quick = argv.iter().any(|a| a == "--quick");
     println!("# purpose-control experiment report\n");
     fig4_summary();
     p1_naive_vs_replay(quick);
@@ -393,5 +623,16 @@ fn main() {
     p5_petri();
     p6_or_fanout();
     p7_attack_detection();
-    p8_engine_ablation(quick);
+    let p8 = p8_engine_ablation(quick);
+    let p9 = p9_snapshot_warm_start(quick);
+    let json = format!(
+        "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {}\n}}\n",
+        p8.trim_end(),
+        p9
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
 }

@@ -22,14 +22,16 @@
 //!   encoding unspecified; see `DESIGN.md` §2).
 
 use crate::model::{NodeId, NodeKind, ProcessModel};
+use cows::automaton::snapshot::{hash_service, MergeReport, SnapshotError, StableHasher};
+use cows::automaton::ProcessAutomaton;
 use cows::observe::{err_op, sys_partner, TaskObservability};
 use cows::symbol::{sym, Symbol};
 use cows::term::{
     delim, delim_killer, delim_var, ep, invoke, invoke_args, par, protect, repl, request,
     request_params, Decl, Endpoint, Invoke, Service, Word,
 };
-use cows::automaton::ProcessAutomaton;
 use cows::weaknext::Marked;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// The reserved partner for cross-scope bookkeeping (OR-join counts). Like
@@ -54,10 +56,89 @@ pub struct Encoded {
     pub automaton: Arc<ProcessAutomaton>,
 }
 
+/// Extension of the snapshot files written next to process definitions.
+pub const SNAPSHOT_EXT: &str = "pcas";
+
 impl Encoded {
     /// The initial marked state for [`cows::weaknext`] / Algorithm 1.
     pub fn initial(&self) -> Marked {
         Marked::initial(&self.service)
+    }
+
+    /// The content key binding automaton snapshots to this encoding: a
+    /// stable hash over the (un-normalized) process term and the
+    /// observability alphabet, computed from symbol *strings* so it is
+    /// identical across runs and machines. Any change to the process
+    /// definition or its roles/tasks changes the key, and the stale
+    /// snapshot self-invalidates on load.
+    pub fn snapshot_key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("purposectl-automaton-v1");
+        hash_service(&mut h, &self.service);
+        let mut roles: Vec<&str> = self.observability.roles().map(|s| s.as_str()).collect();
+        roles.sort_unstable();
+        h.write_u32(roles.len() as u32);
+        for r in roles {
+            h.write_str(r);
+        }
+        let mut tasks: Vec<&str> = self.observability.tasks().map(|s| s.as_str()).collect();
+        tasks.sort_unstable();
+        h.write_u32(tasks.len() as u32);
+        for t in tasks {
+            h.write_str(t);
+        }
+        h.finish()
+    }
+
+    /// Serialize the automaton's current compilation, keyed to this
+    /// encoding.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.automaton.to_snapshot_bytes(self.snapshot_key())
+    }
+
+    /// Fail-open in-memory load: merge snapshot bytes into this encoding's
+    /// automaton if (and only if) they validate against [`Self::snapshot_key`].
+    pub fn load_snapshot_bytes(&self, bytes: &[u8]) -> Result<MergeReport, SnapshotError> {
+        self.automaton
+            .load_snapshot_bytes(bytes, self.snapshot_key())
+    }
+
+    /// Fail-open load from `path`. Missing or unreadable files, stale keys,
+    /// corruption — every failure leaves the automaton cold and reports why.
+    pub fn load_snapshot(&self, path: &Path) -> Result<MergeReport, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        self.load_snapshot_bytes(&bytes)
+    }
+
+    /// Write the automaton's current compilation to `path` atomically
+    /// (temp file + rename, so readers never observe a half-written
+    /// snapshot — a torn write at worst costs a cold start, never a wrong
+    /// verdict).
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        let bytes = self.snapshot_bytes();
+        let tmp = path.with_extension(format!("{SNAPSHOT_EXT}.tmp"));
+        std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            SnapshotError::Io(e.to_string())
+        })
+    }
+
+    /// The conventional snapshot path for a process definition file:
+    /// `<file name>.pcas` in `cache_dir` if given, else beside the process
+    /// file.
+    pub fn snapshot_path(process_file: &Path, cache_dir: Option<&Path>) -> PathBuf {
+        let name = process_file
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "process".to_string());
+        let dir = cache_dir.map(Path::to_path_buf).unwrap_or_else(|| {
+            process_file
+                .parent()
+                .unwrap_or(Path::new("."))
+                .to_path_buf()
+        });
+        dir.join(format!("{name}.{SNAPSHOT_EXT}"))
     }
 }
 
@@ -98,10 +179,7 @@ impl Encoder<'_> {
         Service::Invoke(Invoke {
             ep: self.endpoint(to),
             args: Vec::new(),
-            completes: completes
-                .into_iter()
-                .map(|t| self.endpoint(t))
-                .collect(),
+            completes: completes.into_iter().map(|t| self.endpoint(t)).collect(),
         })
     }
 
@@ -169,7 +247,10 @@ impl Encoder<'_> {
                 // which also completes the task — §3.4: "the failure of a
                 // task makes the task completed").
                 let k = sym(&format!("k_{}", self.model.node(id).name));
-                let ok = ep(sys_partner(), sym(&format!("ok_{}", self.model.node(id).name)));
+                let ok = ep(
+                    sys_partner(),
+                    sym(&format!("ok_{}", self.model.node(id).name)),
+                );
                 let err = ep(sys_partner(), err_op());
                 let err_invoke = Service::Invoke(Invoke {
                     ep: err,
@@ -587,6 +668,47 @@ mod tests {
                 "unexpected successors {nn:?}"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_key_is_stable_per_process_and_distinct_across_processes() {
+        let build = |task: &str| {
+            let mut b = ProcessBuilder::new("keyed");
+            let p = b.pool("P");
+            let s = b.start(p, "S");
+            let t = b.task(p, task);
+            let e = b.end(p, "E");
+            b.chain(&[s, t, e]);
+            encode(&b.build().unwrap())
+        };
+        let a1 = build("T");
+        let a2 = build("T");
+        let b = build("U");
+        assert_eq!(a1.snapshot_key(), a2.snapshot_key());
+        assert_ne!(a1.snapshot_key(), b.snapshot_key());
+        // A snapshot of one process never loads into the other.
+        let bytes = a1.snapshot_bytes();
+        assert!(a2.load_snapshot_bytes(&bytes).is_ok());
+        assert!(matches!(
+            b.load_snapshot_bytes(&bytes),
+            Err(cows::SnapshotError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_path_convention() {
+        use std::path::Path;
+        assert_eq!(
+            Encoded::snapshot_path(Path::new("/tmp/procs/care.toml"), None),
+            Path::new("/tmp/procs/care.toml.pcas")
+        );
+        assert_eq!(
+            Encoded::snapshot_path(
+                Path::new("/tmp/procs/care.toml"),
+                Some(Path::new("/var/cache"))
+            ),
+            Path::new("/var/cache/care.toml.pcas")
+        );
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod validate;
 pub mod wellfounded;
 
 pub use dot::to_dot;
-pub use parse::{format_process, parse_process, ProcessParseError};
 pub use encode::{encode, Encoded};
 pub use model::{ModelError, Node, NodeId, NodeKind, Pool, PoolId, ProcessBuilder, ProcessModel};
+pub use parse::{format_process, parse_process, ProcessParseError};

@@ -182,17 +182,44 @@ impl ProcessModel {
 /// Errors raised when assembling or validating a model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelError {
-    DuplicateNodeName { name: Symbol },
-    UnknownNode { id: NodeId },
+    DuplicateNodeName {
+        name: Symbol,
+    },
+    UnknownNode {
+        id: NodeId,
+    },
     NoStartEvent,
-    FlowCrossesPools { from: Symbol, to: Symbol },
-    BadDegree { node: Symbol, detail: &'static str },
-    BadMessageTarget { from: Symbol, to: Symbol },
-    ErrorTargetOutsidePool { task: Symbol, target: Symbol },
-    OrJoinPairingBroken { split: Symbol, detail: &'static str },
-    Unreachable { node: Symbol },
-    NotWellFounded { cycle: Vec<Symbol> },
-    OrFanoutTooLarge { gateway: Symbol, fanout: usize, max: usize },
+    FlowCrossesPools {
+        from: Symbol,
+        to: Symbol,
+    },
+    BadDegree {
+        node: Symbol,
+        detail: &'static str,
+    },
+    BadMessageTarget {
+        from: Symbol,
+        to: Symbol,
+    },
+    ErrorTargetOutsidePool {
+        task: Symbol,
+        target: Symbol,
+    },
+    OrJoinPairingBroken {
+        split: Symbol,
+        detail: &'static str,
+    },
+    Unreachable {
+        node: Symbol,
+    },
+    NotWellFounded {
+        cycle: Vec<Symbol>,
+    },
+    OrFanoutTooLarge {
+        gateway: Symbol,
+        fanout: usize,
+        max: usize,
+    },
 }
 
 impl fmt::Display for ModelError {

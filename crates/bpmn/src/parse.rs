@@ -113,10 +113,7 @@ pub fn parse_process(text: &str) -> Result<ProcessModel, ProcessParseError> {
             }
             _ if in_flows => {
                 // A chain: A -> B -> C.
-                let chain: Vec<String> = line
-                    .split("->")
-                    .map(|s| s.trim().to_string())
-                    .collect();
+                let chain: Vec<String> = line.split("->").map(|s| s.trim().to_string()).collect();
                 if chain.len() < 2 || chain.iter().any(String::is_empty) {
                     return Err(syntax(lineno, "expected `A -> B [-> C …]`"));
                 }
@@ -149,7 +146,12 @@ pub fn parse_process(text: &str) -> Result<ProcessModel, ProcessParseError> {
                         return Err(syntax(lineno, "expected `or_split <name> [join <node>]`"))
                     }
                     (_, 2) => None,
-                    _ => return Err(syntax(lineno, format!("unexpected tokens after `{kind_word} <name>`"))),
+                    _ => {
+                        return Err(syntax(
+                            lineno,
+                            format!("unexpected tokens after `{kind_word} <name>`"),
+                        ))
+                    }
                 };
                 pending.push(PendingNode {
                     line: lineno,
@@ -162,7 +164,9 @@ pub fn parse_process(text: &str) -> Result<ProcessModel, ProcessParseError> {
             other => {
                 return Err(syntax(
                     lineno,
-                    format!("unknown directive `{other}` (expected a node kind, `pool`, or `flows`)"),
+                    format!(
+                        "unknown directive `{other}` (expected a node kind, `pool`, or `flows`)"
+                    ),
                 ))
             }
         }

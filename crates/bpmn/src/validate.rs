@@ -16,8 +16,7 @@ pub const MAX_OR_FANOUT: usize = 6;
 /// Every edge along which a token (or message, or error signal) can travel.
 /// Used for reachability and cycle analysis.
 pub fn control_edges(model: &ProcessModel) -> Vec<(NodeId, NodeId)> {
-    let mut edges: Vec<(NodeId, NodeId)> =
-        model.flows().iter().map(|f| (f.from, f.to)).collect();
+    let mut edges: Vec<(NodeId, NodeId)> = model.flows().iter().map(|f| (f.from, f.to)).collect();
     for n in model.nodes() {
         match n.kind {
             NodeKind::MessageEnd { to } => edges.push((n.id, to)),

@@ -47,11 +47,8 @@ pub fn find_task_free_cycle(model: &ProcessModel) -> Option<Vec<NodeId>> {
         Gray,
         Black,
     }
-    let mut color: HashMap<NodeId, Color> = model
-        .nodes()
-        .iter()
-        .map(|n| (n.id, Color::White))
-        .collect();
+    let mut color: HashMap<NodeId, Color> =
+        model.nodes().iter().map(|n| (n.id, Color::White)).collect();
 
     for start in model.nodes().iter().map(|n| n.id) {
         if color[&start] != Color::White || model.node(start).kind.is_task() {

@@ -17,21 +17,24 @@
 
 use audit::codec::{format_trail, parse_trail};
 use audit::trail::AuditTrail;
-use bpmn::encode::encode;
+use bpmn::encode::{encode, Encoded};
 use bpmn::parse::parse_process;
 use bpmn::ProcessModel;
 use cows::lts::{explore, ExploreLimits};
 use policy::parse::parse_policy;
 use policy::samples::hospital_roles;
 use policy::{Policy, PolicyContext};
-use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
+use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry, RegisteredProcess};
 use purpose_control::lenient::{check_case_lenient, LenientOptions};
 use purpose_control::parallel::audit_parallel;
 use purpose_control::replay::{check_case, CheckOptions, Engine};
+use purpose_control::startup::StartupStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use workload::simulate::{simulate_case, SimConfig};
 
 /// CLI failure: message plus the exit code `main` should use.
@@ -66,10 +69,19 @@ USAGE:
   purposectl simulate <process-file> --cases <N> [--seed <S>] [--prefix <P>]
   purposectl check    <process-file> --trail <file> --case <name> [--trace] [--lenient <K>]
                       [--engine <direct|automaton>]
+                      [--automaton-cache <dir>] [--no-automaton-cache]
   purposectl audit    --trail <file> [--policy <file>]
                       --process <purpose>=<file>... [--map <prefix>=<purpose>...]
                       [--threads <N>] [--object <obj>] [--max-minutes <M>]
                       [--engine <direct|automaton>]
+                      [--automaton-cache <dir>] [--no-automaton-cache]
+
+Automaton snapshots: check/audit persist the compiled replay automaton as
+`<process-file>.pcas` (in --automaton-cache <dir> if given, else beside the
+process file) and start warm from it on the next run. Stale or corrupt
+snapshots self-invalidate: loading falls back to cold compilation with the
+reason printed, never a wrong verdict. --no-automaton-cache disables both
+loading and saving; --engine direct never touches snapshots.
 ";
 
 /// Minimal flag scanner: positional args plus `--flag value` / `--flag`.
@@ -138,6 +150,52 @@ fn engine_flag(args: &Args) -> Result<Engine, CliError> {
         Some(other) => Err(fail(format!(
             "--engine: expected `direct` or `automaton`, got `{other}`"
         ))),
+    }
+}
+
+/// Where the automaton snapshot for `process_path` lives, honoring
+/// `--automaton-cache <dir>` and `--no-automaton-cache`. `None` disables
+/// snapshot persistence entirely; `--engine direct` callers must also skip
+/// it (the direct engine never touches the automaton).
+fn automaton_cache_file(args: &Args, process_path: &str) -> Option<PathBuf> {
+    if args.has("no-automaton-cache") {
+        return None;
+    }
+    let dir = args.flag("automaton-cache").map(Path::new);
+    Some(Encoded::snapshot_path(Path::new(process_path), dir))
+}
+
+/// Attempt a warm start from `cache` (fail-open: any load failure is just a
+/// logged cold start). Returns the startup stats plus the number of
+/// expanded states right after the load — the baseline `save_if_grown`
+/// compares against on exit.
+fn warm_start(encoded: &Encoded, cache: Option<&Path>) -> (StartupStats, usize) {
+    let stats = match cache {
+        // A missing snapshot is the ordinary first run, not a fallback.
+        Some(path) if path.exists() => StartupStats::from_load(encoded.load_snapshot(path)),
+        _ => StartupStats::cold(),
+    };
+    (stats, encoded.automaton.stats().expanded)
+}
+
+/// Re-save the snapshot if replay expanded states beyond what the load
+/// carried. Save failures are reported but never affect the exit code —
+/// the verdict is already computed.
+fn save_if_grown(encoded: &Encoded, cache: Option<&Path>, baseline: usize, out: &mut dyn Write) {
+    let Some(path) = cache else { return };
+    if encoded.automaton.stats().expanded <= baseline {
+        return;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match encoded.save_snapshot(path) {
+        Ok(()) => {
+            writeln!(out, "automaton: snapshot saved to {}", path.display()).ok();
+        }
+        Err(e) => {
+            writeln!(out, "automaton: snapshot not saved: {e}").ok();
+        }
     }
 }
 
@@ -246,11 +304,7 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     for i in 1..=cases {
         let mut cfg = SimConfig::new(format!("subject{i:04}").as_str());
         cfg.start = audit::Timestamp(6_000_000 + i as u64 * 600);
-        let entries = simulate_case(&encoded,
-            format!("{prefix}{i}").as_str(),
-            &cfg,
-            &mut rng,
-        );
+        let entries = simulate_case(&encoded, format!("{prefix}{i}").as_str(), &cfg, &mut rng);
         for e in entries {
             trail.push(e);
         }
@@ -260,7 +314,12 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
 }
 
 fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
-    let model = positional_process(args)?;
+    let process_path = args
+        .positional
+        .first()
+        .ok_or_else(|| fail("missing <process-file> argument"))?
+        .clone();
+    let model = load_process(&process_path)?;
     let encoded = encode(&model);
     let trail = load_trail(args.flag("trail").ok_or_else(|| fail("missing --trail"))?)?;
     let case = cows::sym(args.flag("case").ok_or_else(|| fail("missing --case"))?);
@@ -272,10 +331,24 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     let lenient: usize = args.flag_num("lenient", 0)?;
     let opts = CheckOptions {
         record_trace: args.has("trace"),
-        max_case_minutes: args.flag("max-minutes").map(|v| v.parse().unwrap_or(u64::MAX)),
+        max_case_minutes: args
+            .flag("max-minutes")
+            .map(|v| v.parse().unwrap_or(u64::MAX)),
         engine: engine_flag(args)?,
         ..CheckOptions::default()
     };
+
+    // Warm-start lifecycle: load before replay, re-save after if replay
+    // expanded states the snapshot didn't carry. The direct engine never
+    // touches the automaton, so snapshots are skipped entirely there.
+    let cache = match opts.engine {
+        Engine::Direct => None,
+        _ => automaton_cache_file(args, &process_path),
+    };
+    let (startup, expanded_at_start) = warm_start(&encoded, cache.as_deref());
+    if cache.is_some() {
+        writeln!(out, "automaton: {startup}").ok();
+    }
 
     if lenient > 0 {
         let res = check_case_lenient(
@@ -288,6 +361,7 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             },
         )
         .map_err(|e| fail(format!("replay failed: {e}")))?;
+        save_if_grown(&encoded, cache.as_deref(), expanded_at_start, out);
         writeln!(out, "case {case}: {:?}", res.verdict).ok();
         if !res.assumed.is_empty() {
             writeln!(out, "assumed silent activities: {:?}", res.assumed).ok();
@@ -297,6 +371,7 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
 
     let res = check_case(&encoded, &hierarchy, &entries, &opts)
         .map_err(|e| fail(format!("replay failed: {e}")))?;
+    save_if_grown(&encoded, cache.as_deref(), expanded_at_start, out);
     for step in &res.steps {
         let e = entries[step.entry_index];
         writeln!(
@@ -317,11 +392,25 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     if processes.is_empty() {
         return Err(fail("at least one --process <purpose>=<file> is required"));
     }
+    let engine = engine_flag(args)?;
+    // Handles for the snapshot lifecycle: `Auditor::new` consumes the
+    // registry, but the compiled automaton is shared behind `Arc`s, so
+    // warm-starting here and re-saving after the audit works through them.
+    let mut snapshots: Vec<(Arc<RegisteredProcess>, PathBuf, usize)> = Vec::new();
     for spec in processes {
         let (purpose, path) = spec
             .split_once('=')
             .ok_or_else(|| fail(format!("--process `{spec}`: expected <purpose>=<file>")))?;
         registry.register(purpose, load_process(path)?);
+        let cache = match engine {
+            Engine::Direct => None,
+            _ => automaton_cache_file(args, path),
+        };
+        if let (Some(cache), Some(rp)) = (cache, registry.process_for(cows::sym(purpose))) {
+            let (startup, expanded_at_start) = warm_start(&rp.encoded, Some(&cache));
+            writeln!(out, "automaton[{purpose}]: {startup}").ok();
+            snapshots.push((rp.clone(), cache, expanded_at_start));
+        }
     }
     for spec in args.flag_all("map") {
         let (prefix, purpose) = spec
@@ -335,7 +424,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     };
     let context = PolicyContext::new(hospital_roles());
     let mut auditor = Auditor::new(registry, policy, context);
-    auditor.options.engine = engine_flag(args)?;
+    auditor.options.engine = engine;
     if let Some(m) = args.flag("max-minutes") {
         auditor.options.max_case_minutes =
             Some(m.parse().map_err(|_| fail("--max-minutes: not a number"))?);
@@ -343,9 +432,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
 
     let threads: usize = args.flag_num("threads", 1)?;
     let report = if let Some(obj) = args.flag("object") {
-        let object: policy::ObjectId = obj
-            .parse()
-            .map_err(|e| fail(format!("--object: {e}")))?;
+        let object: policy::ObjectId = obj.parse().map_err(|e| fail(format!("--object: {e}")))?;
         auditor.audit_object(&trail, &object)
     } else if threads > 1 {
         audit_parallel(&auditor, &trail, threads)
@@ -353,21 +440,37 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         auditor.audit(&trail)
     };
 
+    for (rp, cache, expanded_at_start) in &snapshots {
+        save_if_grown(&rp.encoded, Some(cache), *expanded_at_start, out);
+    }
     write!(out, "{report}").ok();
     for case in &report.cases {
         let line = match &case.outcome {
             CaseOutcome::Compliant { can_complete } => format!(
                 "compliant ({})",
-                if *can_complete { "complete" } else { "in progress" }
+                if *can_complete {
+                    "complete"
+                } else {
+                    "in progress"
+                }
             ),
-            CaseOutcome::Infringement { infringement, severity } => format!(
+            CaseOutcome::Infringement {
+                infringement,
+                severity,
+            } => format!(
                 "INFRINGEMENT at entry {} (severity {:.2})",
                 infringement.entry_index, severity.score
             ),
             CaseOutcome::Unresolved(e) => format!("unresolved: {e}"),
             CaseOutcome::Failed(e) => format!("failed: {e}"),
         };
-        writeln!(out, "  {:<8} [{} entries] {line}", case.case.to_string(), case.entries).ok();
+        writeln!(
+            out,
+            "  {:<8} [{} entries] {line}",
+            case.case.to_string(),
+            case.entries
+        )
+        .ok();
     }
     Ok(i32::from(report.infringing_cases() > 0))
 }
@@ -431,7 +534,10 @@ flows
 
     #[test]
     fn validate_rejects_bad_model() {
-        let p = write_temp("bad.bpmn", "process p\npool A\n  task T\n  end E\nflows\n  T -> E\n");
+        let p = write_temp(
+            "bad.bpmn",
+            "process p\npool A\n  task T\n  end E\nflows\n  T -> E\n",
+        );
         let mut buf = Vec::new();
         let err = run(&args(&["validate", &p]), &mut buf).unwrap_err();
         assert!(err.message.contains("no start event"));
@@ -456,8 +562,9 @@ flows
     #[test]
     fn simulate_then_check_round_trip() {
         let p = write_temp("order4.bpmn", ORDER);
-        let (code, trail_text) =
-            run_capture(&["simulate", &p, "--cases", "2", "--seed", "7", "--prefix", "ORD-"]);
+        let (code, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "2", "--seed", "7", "--prefix", "ORD-",
+        ]);
         assert_eq!(code, 0);
         let t = write_temp("order4.trail", &trail_text);
         let (code, out) = run_capture(&["check", &p, "--trail", &t, "--case", "ORD-1"]);
@@ -488,8 +595,16 @@ flows
         );
         let (strict, _) = run_capture(&["check", &p, "--trail", &t, "--case", "ORD-1"]);
         assert_eq!(strict, 1);
-        let (code, out) =
-            run_capture(&["check", &p, "--trail", &t, "--case", "ORD-1", "--lenient", "1"]);
+        let (code, out) = run_capture(&[
+            "check",
+            &p,
+            "--trail",
+            &t,
+            "--case",
+            "ORD-1",
+            "--lenient",
+            "1",
+        ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("assumed silent activities"));
         assert!(out.contains("Clerk.Pick"));
@@ -498,8 +613,9 @@ flows
     #[test]
     fn audit_full_pipeline() {
         let p = write_temp("order7.bpmn", ORDER);
-        let (_, trail_text) =
-            run_capture(&["simulate", &p, "--cases", "3", "--seed", "1", "--prefix", "ORD-"]);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "3", "--seed", "1", "--prefix", "ORD-",
+        ]);
         let t = write_temp("order7.trail", &trail_text);
         let pol = write_temp(
             "order.policy",
@@ -507,8 +623,15 @@ flows
              allow role:Clerk write [*]Order for fulfillment\n",
         );
         let (code, out) = run_capture(&[
-            "audit", "--trail", &t, "--policy", &pol, "--process",
-            &format!("fulfillment={p}"), "--map", "ORD-=fulfillment",
+            "audit",
+            "--trail",
+            &t,
+            "--policy",
+            &pol,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("3 compliant"));
@@ -522,8 +645,13 @@ flows
             "carol Clerk read [A]Order Ship ORD-1 202607060900 success\n",
         );
         let (code, out) = run_capture(&[
-            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
-            "--map", "ORD-=fulfillment",
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
         ]);
         assert_eq!(code, 1);
         assert!(out.contains("INFRINGEMENT"));
@@ -532,8 +660,9 @@ flows
     #[test]
     fn stats_subcommand() {
         let p = write_temp("order10.bpmn", ORDER);
-        let (_, trail_text) =
-            run_capture(&["simulate", &p, "--cases", "2", "--seed", "3", "--prefix", "ORD-"]);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "2", "--seed", "3", "--prefix", "ORD-",
+        ]);
         let t = write_temp("order10.trail", &trail_text);
         let (code, out) = run_capture(&["stats", "--trail", &t]);
         assert_eq!(code, 0);
@@ -544,12 +673,20 @@ flows
     #[test]
     fn audit_parallel_threads_flag() {
         let p = write_temp("order11.bpmn", ORDER);
-        let (_, trail_text) =
-            run_capture(&["simulate", &p, "--cases", "4", "--seed", "2", "--prefix", "ORD-"]);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "4", "--seed", "2", "--prefix", "ORD-",
+        ]);
         let t = write_temp("order11.trail", &trail_text);
         let (code, out) = run_capture(&[
-            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
-            "--map", "ORD-=fulfillment", "--threads", "4",
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--threads",
+            "4",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("4 compliant"));
@@ -566,13 +703,25 @@ flows
 ",
         );
         let (fast, _) = run_capture(&[
-            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
-            "--map", "ORD-=fulfillment",
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
         ]);
         assert_eq!(fast, 0, "without a window the case is compliant");
         let (code, out) = run_capture(&[
-            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
-            "--map", "ORD-=fulfillment", "--max-minutes", "60",
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--max-minutes",
+            "60",
         ]);
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("INFRINGEMENT"));
@@ -581,8 +730,9 @@ flows
     #[test]
     fn check_engine_flag_selects_and_validates() {
         let p = write_temp("order13.bpmn", ORDER);
-        let (_, trail_text) =
-            run_capture(&["simulate", &p, "--cases", "1", "--seed", "5", "--prefix", "ORD-"]);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "1", "--seed", "5", "--prefix", "ORD-",
+        ]);
         let t = write_temp("order13.trail", &trail_text);
         for engine in ["direct", "automaton"] {
             let (code, out) = run_capture(&[
@@ -593,11 +743,207 @@ flows
         }
         let mut buf = Vec::new();
         let err = run(
-            &args(&["check", &p, "--trail", &t, "--case", "ORD-1", "--engine", "magic"]),
+            &args(&[
+                "check", &p, "--trail", &t, "--case", "ORD-1", "--engine", "magic",
+            ]),
             &mut buf,
         )
         .unwrap_err();
         assert!(err.message.contains("--engine"));
+    }
+
+    /// A fresh directory so snapshot tests never share cache files with
+    /// each other or with other tests' process files.
+    fn temp_cache_dir(name: &str) -> String {
+        let dir = std::env::temp_dir()
+            .join("purposectl-tests")
+            .join(format!("cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn check_saves_then_warm_starts_from_snapshot() {
+        let p = write_temp("order14.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "1", "--seed", "5", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order14.trail", &trail_text);
+        let cache = temp_cache_dir("warm");
+
+        let (code, out) = run_capture(&[
+            "check",
+            &p,
+            "--trail",
+            &t,
+            "--case",
+            "ORD-1",
+            "--automaton-cache",
+            &cache,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("automaton: cold start"), "{out}");
+        assert!(out.contains("snapshot saved"), "{out}");
+        let pcas = std::fs::read_dir(&cache)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .find(|n| n.ends_with(".pcas"))
+            .expect("a .pcas file in the cache dir");
+        assert!(pcas.ends_with(".bpmn.pcas"));
+
+        let (code2, out2) = run_capture(&[
+            "check",
+            &p,
+            "--trail",
+            &t,
+            "--case",
+            "ORD-1",
+            "--automaton-cache",
+            &cache,
+        ]);
+        assert_eq!(code2, 0, "{out2}");
+        assert!(out2.contains("automaton: warm start"), "{out2}");
+        // Nothing new expanded, so nothing re-saved.
+        assert!(!out2.contains("snapshot saved"), "{out2}");
+        assert!(out2.contains("Compliant"));
+    }
+
+    #[test]
+    fn no_automaton_cache_disables_persistence() {
+        let p = write_temp("order15.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "1", "--seed", "5", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order15.trail", &trail_text);
+        let cache = temp_cache_dir("off");
+        let (code, out) = run_capture(&[
+            "check",
+            &p,
+            "--trail",
+            &t,
+            "--case",
+            "ORD-1",
+            "--automaton-cache",
+            &cache,
+            "--no-automaton-cache",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("automaton:"), "{out}");
+        assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn direct_engine_skips_snapshots() {
+        let p = write_temp("order16.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "1", "--seed", "5", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order16.trail", &trail_text);
+        let cache = temp_cache_dir("direct");
+        let (code, out) = run_capture(&[
+            "check",
+            &p,
+            "--trail",
+            &t,
+            "--case",
+            "ORD-1",
+            "--engine",
+            "direct",
+            "--automaton-cache",
+            &cache,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("automaton:"), "{out}");
+        assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_cold_with_reason_and_same_verdict() {
+        let p = write_temp("order17.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "1", "--seed", "5", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order17.trail", &trail_text);
+        let cache = temp_cache_dir("corrupt");
+        run_capture(&[
+            "check",
+            &p,
+            "--trail",
+            &t,
+            "--case",
+            "ORD-1",
+            "--automaton-cache",
+            &cache,
+        ]);
+        // Flip a payload byte in the saved snapshot.
+        let pcas = std::fs::read_dir(&cache)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|q| q.extension().is_some_and(|x| x == "pcas"))
+            .unwrap();
+        let mut bytes = std::fs::read(&pcas).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&pcas, bytes).unwrap();
+
+        let (code, out) = run_capture(&[
+            "check",
+            &p,
+            "--trail",
+            &t,
+            "--case",
+            "ORD-1",
+            "--automaton-cache",
+            &cache,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("automaton: cold start"), "{out}");
+        assert!(out.contains("corrupted"), "{out}");
+        assert!(out.contains("Compliant"), "{out}");
+        // The cold run re-expanded everything and overwrote the bad file.
+        assert!(out.contains("snapshot saved"), "{out}");
+    }
+
+    #[test]
+    fn audit_warm_starts_per_registered_process() {
+        let p = write_temp("order18.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "2", "--seed", "2", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order18.trail", &trail_text);
+        let cache = temp_cache_dir("audit");
+        let (code, out) = run_capture(&[
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--automaton-cache",
+            &cache,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("automaton[fulfillment]: cold start"), "{out}");
+        assert!(out.contains("snapshot saved"), "{out}");
+        let (code2, out2) = run_capture(&[
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--automaton-cache",
+            &cache,
+        ]);
+        assert_eq!(code2, 0, "{out2}");
+        assert!(
+            out2.contains("automaton[fulfillment]: warm start"),
+            "{out2}"
+        );
+        assert!(out2.contains("2 compliant"), "{out2}");
     }
 
     #[test]
@@ -609,8 +955,15 @@ flows
              carol Clerk read [Globex]Order Ship ORD-2 202607060905 success\n",
         );
         let (_, out) = run_capture(&[
-            "audit", "--trail", &t, "--process", &format!("fulfillment={p}"),
-            "--map", "ORD-=fulfillment", "--object", "[Acme]Order",
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--object",
+            "[Acme]Order",
         ]);
         assert!(out.contains("ORD-1"));
         assert!(!out.contains("ORD-2"));

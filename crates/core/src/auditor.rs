@@ -140,7 +140,10 @@ pub struct AuditReport {
 
 impl AuditReport {
     pub fn compliant_cases(&self) -> usize {
-        self.cases.iter().filter(|c| c.outcome.is_compliant()).count()
+        self.cases
+            .iter()
+            .filter(|c| c.outcome.is_compliant())
+            .count()
     }
 
     pub fn infringing_cases(&self) -> usize {
@@ -379,7 +382,11 @@ impl Auditor {
     /// necessary to repeat the analysis of the same process instance for
     /// different objects", and conversely an investigation of one object
     /// only needs its cases.
-    pub fn audit_object(&self, trail: &AuditTrail, object: &policy::object::ObjectId) -> AuditReport {
+    pub fn audit_object(
+        &self,
+        trail: &AuditTrail,
+        object: &policy::object::ObjectId,
+    ) -> AuditReport {
         let cases = trail.cases_touching(object);
         self.audit_cases(trail, &cases)
     }

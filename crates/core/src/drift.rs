@@ -132,10 +132,8 @@ pub fn drift_report(model: &ProcessModel, task_logs: &[Vec<Symbol>]) -> DriftRep
     let prescribed: BTreeSet<Symbol> = model.tasks().map(|t| t.name).collect();
     let observed = &relations.tasks;
 
-    let dead_tasks: BTreeSet<Symbol> =
-        prescribed.difference(observed).copied().collect();
-    let foreign_tasks: BTreeSet<Symbol> =
-        observed.difference(&prescribed).copied().collect();
+    let dead_tasks: BTreeSet<Symbol> = prescribed.difference(observed).copied().collect();
+    let foreign_tasks: BTreeSet<Symbol> = observed.difference(&prescribed).copied().collect();
 
     let allowed = allowed_successions(model);
     let mut illegal_successions = BTreeSet::new();
@@ -212,9 +210,7 @@ mod tests {
         // T1 directly after T2 is impossible in the exclusive model.
         let model = fig8_exclusive();
         let report = drift_report(&model, &logs(&[&["T", "T2", "T1"]]));
-        assert!(report
-            .illegal_successions
-            .contains(&(sym("T2"), sym("T1"))));
+        assert!(report.illegal_successions.contains(&(sym("T2"), sym("T1"))));
     }
 
     #[test]

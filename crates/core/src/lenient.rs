@@ -342,8 +342,7 @@ mod tests {
         let strict = check_case(&encoded, &h, &refs, &CheckOptions::default()).unwrap();
         assert!(!strict.verdict.is_compliant(), "strict replay must reject");
 
-        let lenient =
-            check_case_lenient(&encoded, &h, &refs, &LenientOptions::default()).unwrap();
+        let lenient = check_case_lenient(&encoded, &h, &refs, &LenientOptions::default()).unwrap();
         assert!(lenient.verdict.is_compliant());
         assert_eq!(lenient.min_silent_used, 1);
         assert_eq!(lenient.assumed, vec!["P.B".to_string()]);

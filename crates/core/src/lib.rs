@@ -43,22 +43,27 @@
 
 pub mod auditor;
 pub mod drift;
+pub mod error;
 pub mod lenient;
 pub mod live;
 pub mod multitask;
-pub mod error;
 pub mod naive;
 pub mod parallel;
 pub mod replay;
 pub mod session;
 pub mod severity;
+pub mod startup;
 
 pub use auditor::{AuditReport, Auditor, CaseOutcome, CaseResult, ProcessRegistry};
-pub use error::CheckError;
-pub use replay::{check_case, CaseCheck, CheckOptions, Configuration, Engine, Infringement, InfringementKind, Verdict};
-pub use session::{FeedOutcome, ReplaySession};
 pub use drift::{allowed_successions, case_task_log, drift_report, DriftReport};
+pub use error::CheckError;
 pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};
 pub use live::{LiveAuditor, LiveEvent};
 pub use multitask::{multitasking_ratio, multitasking_report, MultitaskFinding};
+pub use replay::{
+    check_case, CaseCheck, CheckOptions, Configuration, Engine, Infringement, InfringementKind,
+    Verdict,
+};
+pub use session::{FeedOutcome, ReplaySession};
 pub use severity::{assess, SensitivityModel, SeverityAssessment};
+pub use startup::StartupStats;

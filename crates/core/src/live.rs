@@ -136,10 +136,7 @@ impl LiveAuditor {
         let mut keep: HashMap<Symbol, LiveCase> = HashMap::new();
         for (case, live) in self.cases.drain() {
             let done = !live.core.is_closed()
-                && live
-                    .core
-                    .finish(&live.process.encoded)?
-                    .verdict
+                && live.core.finish(&live.process.encoded)?.verdict
                     == crate::replay::Verdict::Compliant { can_complete: true };
             if done {
                 retired.push(case);

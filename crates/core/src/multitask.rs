@@ -10,8 +10,8 @@
 //! themselves; they shrink the time windows in which a mimicry attack
 //! (reusing a live case id) could hide, and give auditors a policy lever.
 
-use audit::trail::AuditTrail;
 use audit::time::Timestamp;
+use audit::trail::AuditTrail;
 use cows::symbol::Symbol;
 use std::collections::HashMap;
 

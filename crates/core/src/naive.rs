@@ -86,15 +86,16 @@ pub fn naive_check(
     let want = collapse_entries(entries);
     let accepted = traces.iter().any(|trace| {
         trace.len() == want.len()
-            && trace.iter().zip(&want).all(|(obs, &(role, task, status))| {
-                match (obs, status) {
+            && trace
+                .iter()
+                .zip(&want)
+                .all(|(obs, &(role, task, status))| match (obs, status) {
                     (Observation::Task { role: r, task: t }, TaskStatus::Success) => {
                         *t == task && hierarchy.is_specialization_of(role, *r)
                     }
                     (Observation::Error, TaskStatus::Failure) => true,
                     _ => false,
-                }
-            })
+                })
     });
     Ok(NaiveCheck {
         accepted,
@@ -155,7 +156,13 @@ mod tests {
         let encoded = encode(&fig10_message_cycle());
         let h = RoleHierarchy::new();
         let entries: Vec<LogEntry> = (0..40)
-            .map(|i| ok(if i % 2 == 0 { "P1" } else { "P2" }, if i % 2 == 0 { "T1" } else { "T2" }, i))
+            .map(|i| {
+                ok(
+                    if i % 2 == 0 { "P1" } else { "P2" },
+                    if i % 2 == 0 { "T1" } else { "T2" },
+                    i,
+                )
+            })
             .collect();
         let refs: Vec<&LogEntry> = entries.iter().collect();
         let err = naive_check(

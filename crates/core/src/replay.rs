@@ -244,7 +244,12 @@ mod tests {
     #[test]
     fn repeated_entries_absorbed_by_running_task() {
         // Several actions within one task: a single T entry sequence.
-        let trail = [ok("P", "T", 1), ok("P", "T", 2), ok("P", "T", 3), ok("P", "T1", 4)];
+        let trail = [
+            ok("P", "T", 1),
+            ok("P", "T", 2),
+            ok("P", "T", 3),
+            ok("P", "T1", 4),
+        ];
         let out = check(fig8_exclusive(), &trail);
         assert!(out.verdict.is_compliant());
     }
@@ -285,7 +290,12 @@ mod tests {
     fn mid_process_trail_is_compliant_but_incomplete() {
         let trail = [ok("P", "T", 1)];
         let out = check(fig8_exclusive(), &trail);
-        assert_eq!(out.verdict, Verdict::Compliant { can_complete: false });
+        assert_eq!(
+            out.verdict,
+            Verdict::Compliant {
+                can_complete: false
+            }
+        );
     }
 
     #[test]
@@ -319,7 +329,12 @@ mod tests {
             vec![ok("P", "T", 1), ok("P", "T1", 2)],
             vec![ok("P", "T", 1), ok("P", "T1", 2), ok("P", "T2", 3)],
             vec![ok("P", "T1", 1)],
-            vec![ok("P", "T", 1), ok("P", "T", 2), ok("P", "T", 3), ok("P", "T1", 4)],
+            vec![
+                ok("P", "T", 1),
+                ok("P", "T", 2),
+                ok("P", "T", 3),
+                ok("P", "T1", 4),
+            ],
             vec![ok("Q", "T", 1)],
             vec![],
         ];

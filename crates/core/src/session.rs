@@ -94,14 +94,23 @@ impl SessionCore {
                 let state = encoded.initial();
                 let next = weak_next(&state, &encoded.observability, opts.weaknext)?;
                 let explored = next.len();
-                (ConfSet::Direct(vec![Configuration { state, next }]), explored)
+                (
+                    ConfSet::Direct(vec![Configuration { state, next }]),
+                    explored,
+                )
             }
             Engine::Automaton => {
                 let auto = encoded.automaton.clone();
                 let id = auto.initial_id(&encoded.service);
                 let edges = auto.successors(id, &encoded.observability, opts.weaknext)?;
                 let explored = edges.len();
-                (ConfSet::Automaton { auto, ids: vec![id] }, explored)
+                (
+                    ConfSet::Automaton {
+                        auto,
+                        ids: vec![id],
+                    },
+                    explored,
+                )
             }
         };
         Ok(SessionCore {
@@ -272,11 +281,8 @@ impl SessionCore {
                             Observation::Task { .. } => MatchKind::Started,
                         });
                         if seen.insert(succ.state.clone()) {
-                            let next = weak_next(
-                                &succ.state,
-                                &encoded.observability,
-                                self.opts.weaknext,
-                            )?;
+                            let next =
+                                weak_next(&succ.state, &encoded.observability, self.opts.weaknext)?;
                             self.explored += next.len();
                             next_confs.push(Configuration {
                                 state: succ.state.clone(),
@@ -538,7 +544,12 @@ mod tests {
         ));
         // Mid-flight snapshot: compliant but incomplete.
         let snap = session.finish().unwrap();
-        assert_eq!(snap.verdict, Verdict::Compliant { can_complete: false });
+        assert_eq!(
+            snap.verdict,
+            Verdict::Compliant {
+                can_complete: false
+            }
+        );
         // Resume with the rest.
         assert!(matches!(
             session.feed(&entry("T1", 2)).unwrap(),

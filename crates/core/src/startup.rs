@@ -1,0 +1,102 @@
+//! Warm-vs-cold startup accounting for the snapshot subsystem.
+//!
+//! `purposectl check/audit` tries to load a [`ProcessAutomaton`] snapshot
+//! before replaying (see `cows::automaton::snapshot`). This module is the
+//! stats surface that says how that went: whether the run started warm,
+//! what the snapshot contributed, and — when it started cold — why the
+//! snapshot was rejected. The CLI prints it; tests assert on it.
+//!
+//! [`ProcessAutomaton`]: cows::ProcessAutomaton
+
+use cows::{MergeReport, SnapshotError};
+use std::fmt;
+
+/// How a replay run's automaton came to life.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StartupStats {
+    /// `Some(report)` if a snapshot merged successfully, `None` on a cold
+    /// start (no snapshot attempted, or the load failed).
+    pub loaded: Option<MergeReport>,
+    /// Why the load fell back to cold compilation, if it did. `None` both
+    /// on success and when no snapshot was attempted.
+    pub fallback: Option<String>,
+}
+
+impl StartupStats {
+    /// A run that never looked for a snapshot.
+    pub fn cold() -> StartupStats {
+        StartupStats::default()
+    }
+
+    /// Classify a load attempt. Every [`SnapshotError`] becomes a logged
+    /// fallback reason — fail-open means the error is recorded, never
+    /// propagated into the verdict path.
+    pub fn from_load(result: Result<MergeReport, SnapshotError>) -> StartupStats {
+        match result {
+            Ok(report) => StartupStats {
+                loaded: Some(report),
+                fallback: None,
+            },
+            Err(e) => StartupStats {
+                loaded: None,
+                fallback: Some(e.to_string()),
+            },
+        }
+    }
+
+    /// Whether the automaton started warm (a snapshot contributed at least
+    /// one compiled edge table).
+    pub fn is_warm(&self) -> bool {
+        self.loaded.map(|r| r.is_warm()).unwrap_or(false)
+    }
+}
+
+impl fmt::Display for StartupStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.loaded, &self.fallback) {
+            (Some(r), _) => write!(
+                f,
+                "warm start: {} states, {} edge tables from snapshot ({} new)",
+                r.snapshot_states, r.edges_loaded, r.new_states
+            ),
+            (None, Some(reason)) => write!(f, "cold start: {reason}"),
+            (None, None) => write!(f, "cold start"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_display() {
+        let cold = StartupStats::cold();
+        assert!(!cold.is_warm());
+        assert_eq!(cold.to_string(), "cold start");
+
+        let failed = StartupStats::from_load(Err(SnapshotError::BadMagic));
+        assert!(!failed.is_warm());
+        assert!(failed.to_string().contains("cold start"));
+        assert!(failed.to_string().contains("bad magic"));
+
+        let warm = StartupStats::from_load(Ok(MergeReport {
+            snapshot_states: 10,
+            new_states: 10,
+            edges_loaded: 9,
+            silent_loaded: 4,
+            tokens_loaded: 4,
+        }));
+        assert!(warm.is_warm());
+        assert!(warm.to_string().contains("warm start: 10 states"));
+
+        // A snapshot that carried states but no edges is not warm: every
+        // lookup still runs weak_next.
+        let statesonly = StartupStats::from_load(Ok(MergeReport {
+            snapshot_states: 3,
+            new_states: 3,
+            ..MergeReport::default()
+        }));
+        assert!(!statesonly.is_warm());
+    }
+}

@@ -20,6 +20,8 @@
 //! is *not* cached, so every caller sees [`ExploreError`] exactly as the
 //! direct path would.
 
+pub mod snapshot;
+
 use crate::error::ExploreError;
 use crate::observe::{Observability, Observation};
 use crate::term::Service;
@@ -70,6 +72,10 @@ pub struct AutomatonStats {
     pub edge_hits: u64,
     /// Edge lookups that had to run `weak_next`.
     pub edge_misses: u64,
+    /// States adopted from on-disk snapshots (0 on a cold start).
+    pub loaded_states: u64,
+    /// Edge tables adopted from on-disk snapshots (0 on a cold start).
+    pub loaded_edges: u64,
 }
 
 /// A lazily-built, thread-shared compilation of one process's observable
@@ -85,6 +91,9 @@ pub struct ProcessAutomaton {
     initial: OnceLock<StateId>,
     edge_hits: AtomicU64,
     edge_misses: AtomicU64,
+    /// States/edges adopted from snapshots — the warm-start stats surface.
+    loaded_states: AtomicU64,
+    loaded_edges: AtomicU64,
 }
 
 impl Default for ProcessAutomaton {
@@ -101,6 +110,8 @@ impl ProcessAutomaton {
             initial: OnceLock::new(),
             edge_hits: AtomicU64::new(0),
             edge_misses: AtomicU64::new(0),
+            loaded_states: AtomicU64::new(0),
+            loaded_edges: AtomicU64::new(0),
         }
     }
 
@@ -247,13 +258,31 @@ impl ProcessAutomaton {
         let nodes = self.nodes.read();
         AutomatonStats {
             states: nodes.len(),
-            expanded: nodes
-                .iter()
-                .filter(|n| n.edges.read().is_some())
-                .count(),
+            expanded: nodes.iter().filter(|n| n.edges.read().is_some()).count(),
             edge_hits: self.edge_hits.load(Ordering::Relaxed),
             edge_misses: self.edge_misses.load(Ordering::Relaxed),
+            loaded_states: self.loaded_states.load(Ordering::Relaxed),
+            loaded_edges: self.loaded_edges.load(Ordering::Relaxed),
         }
+    }
+
+    /// Serialize the current compilation into snapshot bytes keyed by
+    /// `key` (see [`snapshot`] for the format and keying rules).
+    pub fn to_snapshot_bytes(&self, key: u64) -> Vec<u8> {
+        snapshot::encode_snapshot(self, key)
+    }
+
+    /// Fail-open load: decode `bytes` (validating magic, version, key and
+    /// checksum) and merge the carried states/edges/caches into this
+    /// automaton. On any error the automaton is untouched and the caller
+    /// falls back to cold compilation.
+    pub fn load_snapshot_bytes(
+        &self,
+        bytes: &[u8],
+        key: u64,
+    ) -> Result<snapshot::MergeReport, snapshot::SnapshotError> {
+        let decoded = snapshot::decode_snapshot(bytes, key)?;
+        Ok(snapshot::merge_snapshot(self, decoded))
     }
 }
 
@@ -335,7 +364,7 @@ mod tests {
     }
 
     #[test]
-    fn quiescence_and_tokens_are_cached_per_state(){
+    fn quiescence_and_tokens_are_cached_per_state() {
         let auto = ProcessAutomaton::new();
         let s = two_seq();
         let o = obs(&["P"], &["A", "B"]);

@@ -31,10 +31,7 @@ impl Lts {
             for (label, next) in self.edges_from(sid) {
                 match obs.observe(label) {
                     Some(o) => {
-                        let _ = writeln!(
-                            out,
-                            "  St{sid} -> St{next} [label=\"{o}\", style=bold];"
-                        );
+                        let _ = writeln!(out, "  St{sid} -> St{next} [label=\"{o}\", style=bold];");
                     }
                     None => {
                         let _ = writeln!(

@@ -251,8 +251,14 @@ mod tests {
 
     #[test]
     fn different_alphabets_are_inequivalent() {
-        let a = par(vec![invoke(ep("P", "T1")), request(ep("P", "T1"), Service::Nil)]);
-        let b = par(vec![invoke(ep("P", "T2")), request(ep("P", "T2"), Service::Nil)]);
+        let a = par(vec![
+            invoke(ep("P", "T1")),
+            request(ep("P", "T1"), Service::Nil),
+        ]);
+        let b = par(vec![
+            invoke(ep("P", "T2")),
+            request(ep("P", "T2"), Service::Nil),
+        ]);
         assert_inequiv(&a, &b);
     }
 
@@ -261,7 +267,10 @@ mod tests {
         // a runs T then stops; b runs T then is stuck waiting on an invoke
         // that never synchronizes (no quiescence distinction here — both
         // quiesce), so instead: b can also run T1 afterwards.
-        let a = par(vec![invoke(ep("P", "T")), request(ep("P", "T"), Service::Nil)]);
+        let a = par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), Service::Nil),
+        ]);
         let b = par(vec![
             invoke(ep("P", "T")),
             request(ep("P", "T"), invoke(ep("P", "T1"))),

@@ -44,10 +44,7 @@ pub enum Label {
 impl Label {
     /// Whether the label is a closed-system step (communication or kill).
     pub fn is_closed(&self) -> bool {
-        matches!(
-            self,
-            Label::Comm { .. } | Label::Kill(_) | Label::KillExec
-        )
+        matches!(self, Label::Comm { .. } | Label::Kill(_) | Label::KillExec)
     }
 
     /// Endpoint of a communication label, if any.

@@ -54,22 +54,23 @@ pub mod error;
 pub mod label;
 pub mod lts;
 pub mod normal;
-pub mod parse;
 pub mod observe;
+pub mod parse;
 pub mod semantics;
 pub mod subst;
 pub mod symbol;
 pub mod term;
 pub mod weaknext;
 
+pub use automaton::snapshot::{MergeReport, SnapshotError, StableHasher};
 pub use automaton::{AutomatonStats, ProcessAutomaton};
 pub use equiv::{weak_trace_equiv, EquivLimits, Inequivalence};
 pub use error::ExploreError;
 pub use label::Label;
 pub use lts::{explore, ExploreLimits, Lts, StateId};
 pub use normal::normalize;
-pub use parse::{parse_service, TermParseError};
 pub use observe::{Observability, Observation, TaskObservability};
+pub use parse::{parse_service, TermParseError};
 pub use symbol::{sym, Symbol};
 pub use term::{Endpoint, Service};
 pub use weaknext::{weak_next, Marked, TaskInstance, WeakNextLimits, WeakSuccessor};

@@ -30,7 +30,9 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
-        ExploreLimits { max_states: 100_000 }
+        ExploreLimits {
+            max_states: 100_000,
+        }
     }
 }
 

@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn empty_parallel_is_nil() {
-        assert_eq!(normalize(par(vec![Service::Nil, choice(vec![])])), Service::Nil);
+        assert_eq!(
+            normalize(par(vec![Service::Nil, choice(vec![])])),
+            Service::Nil
+        );
     }
 
     #[test]

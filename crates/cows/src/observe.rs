@@ -118,10 +118,7 @@ mod tests {
     }
 
     fn obs() -> TaskObservability {
-        TaskObservability::with(
-            [sym("GP"), sym("C")],
-            [sym("T01"), sym("T02"), sym("T06")],
-        )
+        TaskObservability::with([sym("GP"), sym("C")], [sym("T01"), sym("T02"), sym("T06")])
     }
 
     #[test]

@@ -152,11 +152,7 @@ impl<'a> Lexer<'a> {
                     lx.toks.push((at, Tok::Colon));
                     lx.pos += 1;
                 }
-                b'0' if lx
-                    .peek(1)
-                    .map(|c| !is_ident_char(c))
-                    .unwrap_or(true) =>
-                {
+                b'0' if lx.peek(1).map(|c| !is_ident_char(c)).unwrap_or(true) => {
                     lx.toks.push((at, Tok::Zero));
                     lx.pos += 1;
                 }
@@ -198,7 +194,11 @@ struct Parser {
 impl Parser {
     fn err(&self, message: impl Into<String>) -> TermParseError {
         TermParseError {
-            offset: self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(usize::MAX),
+            offset: self
+                .toks
+                .get(self.pos)
+                .map(|(o, _)| *o)
+                .unwrap_or(usize::MAX),
             message: message.into(),
         }
     }
@@ -256,15 +256,15 @@ impl Parser {
         if self.peek() != Some(&Tok::Plus) {
             return Ok(first);
         }
-        let mut branches = into_branches(first).map_err(|_| {
-            self.err("only request-guarded services may appear in a choice")
-        })?;
+        let mut branches = into_branches(first)
+            .map_err(|_| self.err("only request-guarded services may appear in a choice"))?;
         while self.peek() == Some(&Tok::Plus) {
             self.pos += 1;
             let next = self.prefix()?;
             branches.extend(
-                into_branches(next)
-                    .map_err(|_| self.err("only request-guarded services may appear in a choice"))?,
+                into_branches(next).map_err(|_| {
+                    self.err("only request-guarded services may appear in a choice")
+                })?,
             );
         }
         Ok(Service::Guarded(Guard { branches }))
@@ -320,7 +320,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(Decl::Var(self.ident("variable")?))
             }
-            Some(Tok::Ident(w)) if w == "k" && self.toks.get(self.pos + 1).map(|(_, t)| t) == Some(&Tok::Colon) => {
+            Some(Tok::Ident(w))
+                if w == "k" && self.toks.get(self.pos + 1).map(|(_, t)| t) == Some(&Tok::Colon) =>
+            {
                 self.pos += 2;
                 Ok(Decl::Killer(self.ident("killer label")?))
             }
@@ -360,7 +362,9 @@ impl Parser {
                     }],
                 }))
             }
-            other => Err(self.err(format!("expected `!` or `?` after endpoint, found {other:?}"))),
+            other => Err(self.err(format!(
+                "expected `!` or `?` after endpoint, found {other:?}"
+            ))),
         }
     }
 
@@ -420,8 +424,8 @@ mod tests {
 
     fn round_trip(s: &Service) {
         let text = s.to_string();
-        let parsed = parse_service(&text)
-            .unwrap_or_else(|e| panic!("failed to parse `{text}`: {e}"));
+        let parsed =
+            parse_service(&text).unwrap_or_else(|e| panic!("failed to parse `{text}`: {e}"));
         assert_eq!(
             normalize(parsed),
             normalize(s.clone()),
@@ -432,10 +436,7 @@ mod tests {
     #[test]
     fn parses_basic_activities() {
         assert_eq!(parse_service("0").unwrap(), Service::Nil);
-        assert_eq!(
-            parse_service("P.T!<>").unwrap(),
-            invoke(ep("P", "T"))
-        );
+        assert_eq!(parse_service("P.T!<>").unwrap(), invoke(ep("P", "T")));
         assert_eq!(
             parse_service("P.T!<msg1,msg2>").unwrap(),
             invoke_args(ep("P", "T"), vec![Word::name("msg1"), Word::name("msg2")])
@@ -495,11 +496,7 @@ mod tests {
             delim_killer("k", par(vec![kill("k"), protect(invoke(ep("P", "T1")))])),
             repl(delim_var(
                 "z",
-                request_params(
-                    ep("P1", "S2"),
-                    vec![Word::var("z")],
-                    invoke(ep("P1", "T1")),
-                ),
+                request_params(ep("P1", "S2"), vec![Word::var("z")], invoke(ep("P1", "T1"))),
             )),
         ];
         for s in samples {

@@ -123,13 +123,13 @@ fn parallel_transitions(children: &[Service]) -> Vec<(Label, Service)> {
 ///
 /// Returns the communication label together with the updated residuals of
 /// the invoking and requesting components.
-fn pair(
-    li: &Label,
-    ri: &Service,
-    lj: &Label,
-    rj: &Service,
-) -> Option<(Label, Service, Service)> {
-    let Label::Invoke { ep: e1, args, completes } = li else {
+fn pair(li: &Label, ri: &Service, lj: &Label, rj: &Service) -> Option<(Label, Service, Service)> {
+    let Label::Invoke {
+        ep: e1,
+        args,
+        completes,
+    } = li
+    else {
         return None;
     };
     let Label::Request { ep: e2, params } = lj else {
@@ -163,9 +163,7 @@ fn delim_transitions(d: Decl, body: &Service) -> Vec<(Label, Service)> {
             // here: the communication that fires this request will
             // instantiate the variable, so the delimiter is consumed (scope
             // resolution of the COWS delimitation rule).
-            (Label::Request { params, .. }, Decl::Var(x))
-                if params.contains(&Word::Var(*x)) =>
-            {
+            (Label::Request { params, .. }, Decl::Var(x)) if params.contains(&Word::Var(*x)) => {
                 out.push((l, resid));
             }
             // A private name cannot support interaction with the
@@ -289,7 +287,11 @@ type Shard = RwLock<HashMap<Service, Arc<Vec<(Label, Service)>>>>;
 
 fn cache() -> &'static [Shard] {
     static CACHE: OnceLock<Vec<Shard>> = OnceLock::new();
-    CACHE.get_or_init(|| (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect())
+    CACHE.get_or_init(|| {
+        (0..CACHE_SHARDS)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect()
+    })
 }
 
 fn shard_of(s: &Service) -> &'static Shard {
@@ -317,13 +319,20 @@ pub fn transitions_shared(s: &Service) -> Arc<Vec<(Label, Service)>> {
     let computed = Arc::new(compute_transitions(s));
     let mut wr = shard.write();
     if wr.len() >= SHARD_CAP {
-        let keep = wr.len() / 2;
-        let retained: HashMap<_, _> = wr.drain().take(keep).collect();
-        *wr = retained;
+        evict_half(&mut wr);
         CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
     }
     wr.insert(s.clone(), computed.clone());
     computed
+}
+
+/// Evict half of a full shard, keeping an arbitrary half warm (whatever
+/// the drain yields first). The survivors are a strict subset of the
+/// original entries — nothing is invented or mutated, only dropped.
+fn evict_half<K: std::hash::Hash + Eq, V>(map: &mut HashMap<K, V>) {
+    let keep = map.len() / 2;
+    let retained: HashMap<K, V> = map.drain().take(keep).collect();
+    *map = retained;
 }
 
 #[cfg(test)]
@@ -399,10 +408,7 @@ mod tests {
             other => panic!("expected comm, got {other}"),
         }
         // The continuation now invokes with the received value.
-        assert_eq!(
-            ts[0].1,
-            invoke_args(ep("P", "Q"), vec![Word::name("msg")])
-        );
+        assert_eq!(ts[0].1, invoke_args(ep("P", "Q"), vec![Word::name("msg")]));
     }
 
     #[test]
@@ -516,7 +522,9 @@ mod tests {
         // Step 2: internal choice, two sys syncs.
         let ts2 = transitions(&ts[0].1);
         assert_eq!(ts2.len(), 2);
-        assert!(ts2.iter().all(|(l, _)| matches!(l, Label::Comm { ep, .. } if ep.partner == sym("sys"))));
+        assert!(ts2
+            .iter()
+            .all(|(l, _)| matches!(l, Label::Comm { ep, .. } if ep.partner == sym("sys"))));
 
         // Step 3: kill preempts; afterwards exactly one branch invoke
         // survives and the alternative is gone.
@@ -590,10 +598,59 @@ mod tests {
         // …but an internal sync on sys is a visible Comm step.
         let s2 = delim(
             Decl::Name(sym("sys")),
-            par(vec![invoke(ep("sys", "T")), request(ep("sys", "T"), Service::Nil)]),
+            par(vec![
+                invoke(ep("sys", "T")),
+                request(ep("sys", "T"), Service::Nil),
+            ]),
         );
         let ts = transitions(&s2);
         assert_eq!(ts.len(), 1);
         assert_eq!(ts[0].0, sync_label("sys", "T"));
+    }
+
+    #[test]
+    fn evict_half_drops_half_and_keeps_a_subset() {
+        // Odd and even sizes, including the SHARD_CAP shape the live path
+        // hits: survivors must number len/2 and all come from the original.
+        for n in [0usize, 1, 2, 101, SHARD_CAP] {
+            let mut map: HashMap<u32, u32> = (0..n as u32).map(|i| (i, i * 10)).collect();
+            evict_half(&mut map);
+            assert_eq!(map.len(), n / 2, "size {n}");
+            assert!(
+                map.iter().all(|(&k, &v)| k < n as u32 && v == k * 10),
+                "size {n}: eviction must only drop entries, never alter them"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_stats_are_monotone_and_reset_free() {
+        // The memo is global to the process; other tests contribute to it
+        // concurrently. Monotonicity must hold regardless: the counters
+        // only ever go up, including across automaton-engine activity.
+        let before = cache_stats();
+        let s = par(vec![
+            invoke(ep("mono", "Tick")),
+            request(ep("mono", "Tick"), Service::Nil),
+        ]);
+        transitions_shared(&s); // miss (first time this term is seen)
+        transitions_shared(&s); // hit
+        let mid = cache_stats();
+        assert!(mid.hits > before.hits);
+        assert!(mid.misses > before.misses);
+        assert!(mid.evictions >= before.evictions);
+
+        // Drive the automaton engine over the same term; the shared memo
+        // keeps counting up — no reset, no divergent counter space.
+        let auto = crate::automaton::ProcessAutomaton::new();
+        let o = crate::observe::TaskObservability::with([sym("mono")], [sym("Tick")]);
+        let id = auto.initial_id(&s);
+        auto.successors(id, &o, crate::weaknext::WeakNextLimits::default())
+            .unwrap();
+        let after = cache_stats();
+        assert!(after.hits >= mid.hits);
+        assert!(after.misses >= mid.misses);
+        assert!(after.evictions >= mid.evictions);
+        assert!(after.hits + after.misses > mid.hits + mid.misses);
     }
 }

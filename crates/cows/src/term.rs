@@ -184,7 +184,11 @@ pub fn request(ep: Endpoint, cont: Service) -> Service {
 /// `p·o?⟨w̄⟩.s`.
 pub fn request_params(ep: Endpoint, params: Vec<Word>, cont: Service) -> Service {
     Service::Guarded(Guard {
-        branches: vec![Request { ep, params, cont: Arc::new(cont) }],
+        branches: vec![Request {
+            ep,
+            params,
+            cont: Arc::new(cont),
+        }],
     })
 }
 

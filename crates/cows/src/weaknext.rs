@@ -237,15 +237,10 @@ mod tests {
     use super::*;
     use crate::observe::TaskObservability;
     use crate::symbol::sym;
-    use crate::term::{
-        ep, invoke, invoke_completing, par, repl, request, Service,
-    };
+    use crate::term::{ep, invoke, invoke_completing, par, repl, request, Service};
 
     fn obs(roles: &[&str], tasks: &[&str]) -> TaskObservability {
-        TaskObservability::with(
-            roles.iter().map(|r| sym(r)),
-            tasks.iter().map(|t| sym(t)),
-        )
+        TaskObservability::with(roles.iter().map(|r| sym(r)), tasks.iter().map(|t| sym(t)))
     }
 
     #[test]
@@ -342,8 +337,7 @@ mod tests {
             request(ep("P", "L3"), Service::Nil),
         ]);
         let succ = weak_next(&Marked::initial(&s), &o, WeakNextLimits::default()).unwrap();
-        let observed: BTreeSet<String> =
-            succ.iter().map(|w| w.observation.to_string()).collect();
+        let observed: BTreeSet<String> = succ.iter().map(|w| w.observation.to_string()).collect();
         assert_eq!(
             observed,
             BTreeSet::from(["P.L1".into(), "P.L2".into(), "P.L3".into()])
@@ -390,26 +384,26 @@ mod tests {
             invoke(ep("sys", "end")),
             request(ep("sys", "end"), Service::Nil),
         ]);
-        assert!(can_terminate_silently(
-            &Marked::initial(&s),
-            &o,
-            WeakNextLimits::default()
-        )
-        .unwrap());
+        assert!(
+            can_terminate_silently(&Marked::initial(&s), &o, WeakNextLimits::default()).unwrap()
+        );
         // Requires an observable step before quiescence.
-        let s2 = par(vec![invoke(ep("P", "T")), request(ep("P", "T"), Service::Nil)]);
-        assert!(!can_terminate_silently(
-            &Marked::initial(&s2),
-            &o,
-            WeakNextLimits::default()
-        )
-        .unwrap());
+        let s2 = par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), Service::Nil),
+        ]);
+        assert!(
+            !can_terminate_silently(&Marked::initial(&s2), &o, WeakNextLimits::default()).unwrap()
+        );
     }
 
     #[test]
     fn enabled_and_token_tasks() {
         let o = obs(&["P"], &["T"]);
-        let s = par(vec![invoke(ep("P", "T")), request(ep("P", "T"), Service::Nil)]);
+        let s = par(vec![
+            invoke(ep("P", "T")),
+            request(ep("P", "T"), Service::Nil),
+        ]);
         let m = Marked::initial(&s);
         assert_eq!(m.enabled_tasks(&o), BTreeSet::from([(sym("P"), sym("T"))]));
         assert_eq!(m.token_tasks(&o), BTreeSet::from([(sym("P"), sym("T"))]));

@@ -118,7 +118,12 @@ pub fn token_replay(net: &PetriNet, log: &[Symbol], opts: &ReplayOptions) -> Rep
     }
     for p in 0..net.place_count() {
         let tokens = final_marking.tokens(crate::net::PlaceId(p));
-        if tokens > 0 && !net.place_name(crate::net::PlaceId(p)).as_str().starts_with("end_") {
+        if tokens > 0
+            && !net
+                .place_name(crate::net::PlaceId(p))
+                .as_str()
+                .starts_with("end_")
+        {
             replay.remaining += tokens;
         }
     }

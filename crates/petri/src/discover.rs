@@ -178,10 +178,7 @@ fn independent_subsets(
     tasks: &[Symbol],
     max_side: usize,
 ) -> Vec<BTreeSet<Symbol>> {
-    let mut out: Vec<BTreeSet<Symbol>> = tasks
-        .iter()
-        .map(|&t| BTreeSet::from([t]))
-        .collect();
+    let mut out: Vec<BTreeSet<Symbol>> = tasks.iter().map(|&t| BTreeSet::from([t])).collect();
     let mut frontier = out.clone();
     for _ in 1..max_side {
         let mut next: Vec<BTreeSet<Symbol>> = Vec::new();
@@ -269,10 +266,7 @@ mod tests {
 
     #[test]
     fn discovers_parallelism_without_false_places() {
-        let log = vec![
-            trace(&["A", "B", "C", "D"]),
-            trace(&["A", "C", "B", "D"]),
-        ];
+        let log = vec![trace(&["A", "B", "C", "D"]), trace(&["A", "C", "B", "D"])];
         let d = alpha_miner(&log, &DiscoverLimits::default());
         // B ∥ C: no place between them; both orders replay.
         for t in [&log[0], &log[1]] {

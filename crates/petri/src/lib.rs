@@ -16,8 +16,8 @@
 //!   fine-grained violations.
 
 pub mod conformance;
-pub mod dot;
 pub mod discover;
+pub mod dot;
 pub mod net;
 pub mod translate;
 

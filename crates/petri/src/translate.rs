@@ -61,20 +61,16 @@ pub fn translate(model: &ProcessModel) -> Result<PetriNet, TranslateError> {
     // One place per sequence flow.
     let mut flow_place: HashMap<(NodeId, NodeId), PlaceId> = HashMap::new();
     for f in model.flows() {
-        let name = format!(
-            "f_{}_{}",
-            model.node(f.from).name,
-            model.node(f.to).name
-        );
+        let name = format!("f_{}_{}", model.node(f.from).name, model.node(f.to).name);
         flow_place.insert((f.from, f.to), net.add_place(name.as_str(), 0));
     }
     // One inbox place per message-receiving node.
     let mut inbox: HashMap<NodeId, PlaceId> = HashMap::new();
     for n in model.nodes() {
         if let NodeKind::MessageEnd { to } = n.kind {
-            inbox
-                .entry(to)
-                .or_insert_with(|| net.add_place(format!("inbox_{}", model.node(to).name).as_str(), 0));
+            inbox.entry(to).or_insert_with(|| {
+                net.add_place(format!("inbox_{}", model.node(to).name).as_str(), 0)
+            });
         }
     }
     // A synthetic input place for error handlers reachable only through a
@@ -141,12 +137,7 @@ pub fn translate(model: &ProcessModel) -> Result<PetriNet, TranslateError> {
             NodeKind::End => {
                 let done = net.add_place(format!("end_{name}").as_str(), 0);
                 for (i, p) in in_places(model, &flow_place, n.id).into_iter().enumerate() {
-                    net.add_transition(
-                        format!("t_{name}_{i}").as_str(),
-                        None,
-                        vec![p],
-                        vec![done],
-                    );
+                    net.add_transition(format!("t_{name}_{i}").as_str(), None, vec![p], vec![done]);
                 }
             }
             NodeKind::MessageEnd { to } => {

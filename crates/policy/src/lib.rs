@@ -36,4 +36,6 @@ pub use context::PolicyContext;
 pub use hierarchy::RoleHierarchy;
 pub use object::{ObjectId, ObjectPattern, SubjectPattern};
 pub use parse::{format_policy, parse_policy, PolicyParseError};
-pub use statement::{AccessRequest, Action, Decision, DenialReason, Policy, Statement, StatementSubject};
+pub use statement::{
+    AccessRequest, Action, Decision, DenialReason, Policy, Statement, StatementSubject,
+};

@@ -66,7 +66,10 @@ fn parse_statement(line: &str, lineno: usize) -> Result<Statement, PolicyParseEr
         ));
     }
     if tokens[0] != "allow" {
-        return Err(err(lineno, format!("expected `allow`, got `{}`", tokens[0])));
+        return Err(err(
+            lineno,
+            format!("expected `allow`, got `{}`", tokens[0]),
+        ));
     }
     if tokens[4] != "for" {
         return Err(err(lineno, format!("expected `for`, got `{}`", tokens[4])));
@@ -77,16 +80,15 @@ fn parse_statement(line: &str, lineno: usize) -> Result<Statement, PolicyParseEr
         _ => {
             return Err(err(
                 lineno,
-                format!("subject must be `role:<name>` or `user:<name>`, got `{}`", tokens[1]),
+                format!(
+                    "subject must be `role:<name>` or `user:<name>`, got `{}`",
+                    tokens[1]
+                ),
             ))
         }
     };
-    let action: Action = tokens[2]
-        .parse()
-        .map_err(|e| err(lineno, format!("{e}")))?;
-    let object: ObjectPattern = tokens[3]
-        .parse()
-        .map_err(|e| err(lineno, format!("{e}")))?;
+    let action: Action = tokens[2].parse().map_err(|e| err(lineno, format!("{e}")))?;
+    let object: ObjectPattern = tokens[3].parse().map_err(|e| err(lineno, format!("{e}")))?;
     let purpose = Symbol::new(tokens[5]);
     Ok(Statement {
         subject,
@@ -130,10 +132,7 @@ allow role:Physician read [consent]EPR for clinicaltrial
         let p = parse_policy(text).unwrap();
         assert_eq!(p.len(), 3);
         assert_eq!(p.statements()[0].purpose, sym("treatment"));
-        assert_eq!(
-            p.statements()[2].object.subject,
-            SubjectPattern::Consenting
-        );
+        assert_eq!(p.statements()[2].object.subject, SubjectPattern::Consenting);
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub fn hospital_roles() -> RoleHierarchy {
     h.specializes("GP", "Physician").expect("acyclic");
     h.specializes("Cardiologist", "Physician").expect("acyclic");
     h.specializes("Radiologist", "Physician").expect("acyclic");
-    h.specializes("MedicalLabTech", "MedicalTech").expect("acyclic");
+    h.specializes("MedicalLabTech", "MedicalTech")
+        .expect("acyclic");
     h
 }
 

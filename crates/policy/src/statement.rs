@@ -275,7 +275,12 @@ mod tests {
     #[test]
     fn role_hierarchy_grants_specialization() {
         let d = policy().evaluate(
-            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "HT-1"),
+            &req(
+                "bob",
+                ObjectId::of_subject("Jane", "EPR/Clinical"),
+                "T06",
+                "HT-1",
+            ),
             &ctx(),
         );
         assert!(d.is_permit());
@@ -297,7 +302,12 @@ mod tests {
 
     #[test]
     fn wrong_action_denied() {
-        let mut r = req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "HT-1");
+        let mut r = req(
+            "bob",
+            ObjectId::of_subject("Jane", "EPR/Clinical"),
+            "T06",
+            "HT-1",
+        );
         r.action = Action::Write;
         assert_eq!(
             policy().evaluate(&r, &ctx()),
@@ -308,7 +318,12 @@ mod tests {
     #[test]
     fn unknown_user_denied() {
         let d = policy().evaluate(
-            &req("mallory", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "HT-1"),
+            &req(
+                "mallory",
+                ObjectId::of_subject("Jane", "EPR/Clinical"),
+                "T06",
+                "HT-1",
+            ),
             &ctx(),
         );
         assert!(!d.is_permit());
@@ -318,13 +333,23 @@ mod tests {
     fn consent_gates_trial_access() {
         // Alice consented to the clinical trial: reads under CT-1/T92 pass.
         let d = policy().evaluate(
-            &req("bob", ObjectId::of_subject("Alice", "EPR/Clinical"), "T92", "CT-1"),
+            &req(
+                "bob",
+                ObjectId::of_subject("Alice", "EPR/Clinical"),
+                "T92",
+                "CT-1",
+            ),
             &ctx(),
         );
         assert!(d.is_permit());
         // Jane did not consent.
         let d = policy().evaluate(
-            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T92", "CT-1"),
+            &req(
+                "bob",
+                ObjectId::of_subject("Jane", "EPR/Clinical"),
+                "T92",
+                "CT-1",
+            ),
             &ctx(),
         );
         assert!(!d.is_permit());
@@ -335,7 +360,12 @@ mod tests {
         // T92 is a clinical-trial task; requesting it under treatment fails
         // condition (iv).
         let d = policy().evaluate(
-            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T92", "HT-1"),
+            &req(
+                "bob",
+                ObjectId::of_subject("Jane", "EPR/Clinical"),
+                "T92",
+                "HT-1",
+            ),
             &ctx(),
         );
         assert_eq!(d, Decision::Deny(DenialReason::TaskNotInPurpose));
@@ -345,7 +375,12 @@ mod tests {
     fn case_purpose_mismatch_detected() {
         // Statement purpose is treatment but the case is a trial instance.
         let d = policy().evaluate(
-            &req("bob", ObjectId::of_subject("Jane", "EPR/Clinical"), "T06", "CT-1"),
+            &req(
+                "bob",
+                ObjectId::of_subject("Jane", "EPR/Clinical"),
+                "T06",
+                "CT-1",
+            ),
             &ctx(),
         );
         assert_eq!(d, Decision::Deny(DenialReason::CaseNotInstanceOfPurpose));

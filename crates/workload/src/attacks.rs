@@ -26,11 +26,23 @@ use rand::Rng;
 /// What an injector did, for ground-truth bookkeeping.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Injection {
-    Repurposed { foreign_task: Symbol },
-    ReusedCase { task: Symbol },
-    SkippedTask { task: Symbol },
-    WrongRole { index: usize, role: Symbol },
-    Shuffled { i: usize, j: usize },
+    Repurposed {
+        foreign_task: Symbol,
+    },
+    ReusedCase {
+        task: Symbol,
+    },
+    SkippedTask {
+        task: Symbol,
+    },
+    WrongRole {
+        index: usize,
+        role: Symbol,
+    },
+    Shuffled {
+        i: usize,
+        j: usize,
+    },
     /// The trail was too short or uniform to perturb.
     NotApplicable,
 }

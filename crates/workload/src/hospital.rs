@@ -91,20 +91,41 @@ pub fn healthcare_profiles() -> TaskProfiles {
         "T01",
         vec![
             (Action::Read, ObjectTemplate::SubjectPath("EPR/Clinical")),
-            (Action::Read, ObjectTemplate::SubjectPath("EPR/Demographics")),
+            (
+                Action::Read,
+                ObjectTemplate::SubjectPath("EPR/Demographics"),
+            ),
         ],
     );
-    p.set("T04", vec![(Action::Write, ObjectTemplate::SubjectPath("EPR/Clinical"))]);
+    p.set(
+        "T04",
+        vec![(Action::Write, ObjectTemplate::SubjectPath("EPR/Clinical"))],
+    );
     // Radiology: check, scan, export.
-    p.set("T10", vec![(Action::Read, ObjectTemplate::SubjectPath("EPR/Clinical"))]);
-    p.set("T11", vec![(Action::Execute, ObjectTemplate::Plain("ScanSoftware"))]);
+    p.set(
+        "T10",
+        vec![(Action::Read, ObjectTemplate::SubjectPath("EPR/Clinical"))],
+    );
+    p.set(
+        "T11",
+        vec![(Action::Execute, ObjectTemplate::Plain("ScanSoftware"))],
+    );
     p.set(
         "T12",
-        vec![(Action::Write, ObjectTemplate::SubjectPath("EPR/Clinical/Scan"))],
+        vec![(
+            Action::Write,
+            ObjectTemplate::SubjectPath("EPR/Clinical/Scan"),
+        )],
     );
     // Lab: check, exam, export.
-    p.set("T13", vec![(Action::Read, ObjectTemplate::SubjectPath("EPR/Clinical"))]);
-    p.set("T14", vec![(Action::Execute, ObjectTemplate::Plain("LabAnalyzer"))]);
+    p.set(
+        "T13",
+        vec![(Action::Read, ObjectTemplate::SubjectPath("EPR/Clinical"))],
+    );
+    p.set(
+        "T14",
+        vec![(Action::Execute, ObjectTemplate::Plain("LabAnalyzer"))],
+    );
     p.set(
         "T15",
         vec![(
@@ -118,25 +139,43 @@ pub fn healthcare_profiles() -> TaskProfiles {
 /// Profiles for the clinical-trial tasks of Fig. 2.
 pub fn trial_profiles() -> TaskProfiles {
     let mut p = TaskProfiles::new();
-    p.set("T91", vec![(Action::Write, ObjectTemplate::Plain("ClinicalTrial/Criteria"))]);
+    p.set(
+        "T91",
+        vec![(
+            Action::Write,
+            ObjectTemplate::Plain("ClinicalTrial/Criteria"),
+        )],
+    );
     p.set(
         "T92",
         vec![
             (Action::Read, ObjectTemplate::SubjectPath("EPR")),
-            (Action::Write, ObjectTemplate::Plain("ClinicalTrial/ListOfSelCand")),
+            (
+                Action::Write,
+                ObjectTemplate::Plain("ClinicalTrial/ListOfSelCand"),
+            ),
         ],
     );
     p.set(
         "T93",
-        vec![(Action::Write, ObjectTemplate::Plain("ClinicalTrial/ListOfEnrCand"))],
+        vec![(
+            Action::Write,
+            ObjectTemplate::Plain("ClinicalTrial/ListOfEnrCand"),
+        )],
     );
     p.set(
         "T94",
-        vec![(Action::Write, ObjectTemplate::Plain("ClinicalTrial/Measurements"))],
+        vec![(
+            Action::Write,
+            ObjectTemplate::Plain("ClinicalTrial/Measurements"),
+        )],
     );
     p.set(
         "T95",
-        vec![(Action::Write, ObjectTemplate::Plain("ClinicalTrial/Results"))],
+        vec![(
+            Action::Write,
+            ObjectTemplate::Plain("ClinicalTrial/Results"),
+        )],
     );
     p
 }
@@ -212,7 +251,10 @@ pub fn generate_day_with(
             let inj = match rng.gen_range(0..4) {
                 0 => attacks::repurpose(&mut entries, sym("T92")),
                 1 => {
-                    let task = entries.first().map(|e| e.task).unwrap_or_else(|| sym("T06"));
+                    let task = entries
+                        .first()
+                        .map(|e| e.task)
+                        .unwrap_or_else(|| sym("T06"));
                     attacks::reuse_case(&mut entries, task, &mut rng)
                 }
                 2 => attacks::skip_task(&mut entries, &mut rng),
@@ -309,11 +351,7 @@ mod tests {
             },
             13,
         );
-        let withheld = day
-            .truth
-            .values()
-            .filter(|t| t.consent_withheld)
-            .count();
+        let withheld = day.truth.values().filter(|t| t.consent_withheld).count();
         assert!(withheld > 0, "some trial cases must withhold consent");
         assert!(!day.consents.is_empty(), "most trial patients consent");
         // Consent bookkeeping only applies to trial cases.

@@ -95,7 +95,10 @@ impl Gen<'_> {
             entry.get_or_insert(seg_in);
             prev = Some(seg_out);
         }
-        (entry.expect("at least one segment"), prev.expect("at least one segment"))
+        (
+            entry.expect("at least one segment"),
+            prev.expect("at least one segment"),
+        )
     }
 
     fn segment(&mut self, rng: &mut StdRng, depth: usize) -> (NodeId, NodeId) {
@@ -116,7 +119,12 @@ impl Gen<'_> {
         }
     }
 
-    fn gateway_block(&mut self, rng: &mut StdRng, depth: usize, kind: BlockKind) -> (NodeId, NodeId) {
+    fn gateway_block(
+        &mut self,
+        rng: &mut StdRng,
+        depth: usize,
+        kind: BlockKind,
+    ) -> (NodeId, NodeId) {
         let branches = rng.gen_range(2..=self.cfg.max_branch.max(2));
         let (split, join) = match kind {
             BlockKind::Xor => {
@@ -203,7 +211,8 @@ pub fn generate(cfg: &ProcGenConfig, seed: u64) -> ProcessModel {
     }
     b.flow(start, entry.expect("at least one block"));
     b.flow(prev.expect("at least one block"), end);
-    b.build().expect("generated processes are valid by construction")
+    b.build()
+        .expect("generated processes are valid by construction")
 }
 
 #[cfg(test)]

@@ -52,10 +52,7 @@ impl TaskProfiles {
             (Action::Read, ObjectTemplate::SubjectPath("EPR/Clinical")),
             (Action::Write, ObjectTemplate::SubjectPath("EPR/Clinical")),
         ];
-        self.map
-            .get(&task)
-            .map(Vec::as_slice)
-            .unwrap_or(DEFAULT)
+        self.map.get(&task).map(Vec::as_slice).unwrap_or(DEFAULT)
     }
 }
 
@@ -132,14 +129,17 @@ pub fn simulate_case(
         // Partition into error and ordinary steps so error likelihood is
         // controllable.
         let err_steps: Vec<usize> = (0..ts.len())
-            .filter(|&i| matches!(encoded.observability.observe(&ts[i].0), Some(Observation::Error)))
+            .filter(|&i| {
+                matches!(
+                    encoded.observability.observe(&ts[i].0),
+                    Some(Observation::Error)
+                )
+            })
             .collect();
         let pick = if !err_steps.is_empty() && rng.gen_bool(cfg.error_prob) {
             err_steps[rng.gen_range(0..err_steps.len())]
         } else {
-            let ordinary: Vec<usize> = (0..ts.len())
-                .filter(|i| !err_steps.contains(i))
-                .collect();
+            let ordinary: Vec<usize> = (0..ts.len()).filter(|i| !err_steps.contains(i)).collect();
             if ordinary.is_empty() {
                 err_steps[rng.gen_range(0..err_steps.len())]
             } else {
@@ -238,8 +238,7 @@ mod tests {
         let encoded = encode(&model);
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let entries =
-                simulate_case(&encoded, "c", &SimConfig::new("Jane"), &mut rng);
+            let entries = simulate_case(&encoded, "c", &SimConfig::new("Jane"), &mut rng);
             assert!(!entries.is_empty());
             verify_compliant(&model, &entries);
         }
@@ -276,8 +275,7 @@ mod tests {
             let model = generate(&ProcGenConfig::default(), seed);
             let encoded = encode(&model);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
-            let entries =
-                simulate_case(&encoded, "g", &SimConfig::new("P"), &mut rng);
+            let entries = simulate_case(&encoded, "g", &SimConfig::new("P"), &mut rng);
             verify_compliant(&model, &entries);
         }
     }

@@ -20,18 +20,12 @@ use workload::hospital::{generate_day, HospitalConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let target_entries: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
-    let threads: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
+    let target_entries: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
 
     println!("generating a hospital day with ~{target_entries} record opens…");
     let t0 = Instant::now();
@@ -88,7 +82,9 @@ fn main() {
     println!("detection vs ground truth:");
     println!("  true positives  {tp}");
     println!("  false positives {fp}");
-    println!("  false negatives {fn_}   (reordering within one task and other model-invisible edits)");
+    println!(
+        "  false negatives {fn_}   (reordering within one task and other model-invisible edits)"
+    );
     println!("  true negatives  {tn}");
     if tp + fn_ > 0 {
         println!("  recall    {:.1}%", 100.0 * tp as f64 / (tp + fn_) as f64);
@@ -99,7 +95,11 @@ fn main() {
     println!();
     println!("top of the severity triage queue:");
     for case in report.triage().iter().take(5) {
-        if let CaseOutcome::Infringement { infringement, severity } = &case.outcome {
+        if let CaseOutcome::Infringement {
+            infringement,
+            severity,
+        } = &case.outcome
+        {
             println!(
                 "  {}: severity {:.2}, deviation at entry {} ({})",
                 case.case, severity.score, infringement.entry_index, infringement.entry

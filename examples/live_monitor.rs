@@ -13,12 +13,12 @@
 use audit::samples::figure4_expanded;
 use bpmn::models::{clinical_trial, healthcare_treatment};
 
-use purpose_control::auditor::{Auditor, ProcessRegistry};
-use purpose_control::drift::{case_task_log, drift_report};
-use purpose_control::live::{LiveAuditor, LiveEvent};
 use policy::samples::{
     clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
 };
+use purpose_control::auditor::{Auditor, ProcessRegistry};
+use purpose_control::drift::{case_task_log, drift_report};
+use purpose_control::live::{LiveAuditor, LiveEvent};
 
 fn main() {
     let mut registry = ProcessRegistry::new();
@@ -53,7 +53,10 @@ fn main() {
             }
         }
     }
-    println!("\n{accepted} entries accepted, {} alarms", monitor.alarms().len());
+    println!(
+        "\n{accepted} entries accepted, {} alarms",
+        monitor.alarms().len()
+    );
 
     let retired = monitor.retire_completed().expect("retirement succeeds");
     println!(
@@ -77,11 +80,19 @@ fn main() {
     println!("cases analyzed: {}", drift.cases);
     println!(
         "dead tasks (prescribed, never executed): {:?}",
-        drift.dead_tasks.iter().map(ToString::to_string).collect::<Vec<_>>()
+        drift
+            .dead_tasks
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
     println!(
         "foreign tasks (executed, not prescribed): {:?}",
-        drift.foreign_tasks.iter().map(ToString::to_string).collect::<Vec<_>>()
+        drift
+            .foreign_tasks
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
     println!(
         "illegal direct successions: {:?}",

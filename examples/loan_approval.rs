@@ -83,9 +83,18 @@ fn main() {
             "  {}: {}",
             case.case,
             match &case.outcome {
-                CaseOutcome::Compliant { can_complete } =>
-                    format!("compliant ({})", if *can_complete { "complete" } else { "in progress" }),
-                CaseOutcome::Infringement { infringement, severity } => format!(
+                CaseOutcome::Compliant { can_complete } => format!(
+                    "compliant ({})",
+                    if *can_complete {
+                        "complete"
+                    } else {
+                        "in progress"
+                    }
+                ),
+                CaseOutcome::Infringement {
+                    infringement,
+                    severity,
+                } => format!(
                     "INFRINGEMENT at entry {} (severity {:.2}, expected {:?})",
                     infringement.entry_index, severity.score, infringement.expected
                 ),

@@ -17,7 +17,14 @@ use cows::weaknext::{weak_next, WeakNextLimits};
 
 fn explore_model(model: &ProcessModel) {
     println!("=== {} ===", model.name());
-    println!("pools: {:?}", model.pools().iter().map(|p| p.role.to_string()).collect::<Vec<_>>());
+    println!(
+        "pools: {:?}",
+        model
+            .pools()
+            .iter()
+            .map(|p| p.role.to_string())
+            .collect::<Vec<_>>()
+    );
 
     let encoded = encode(model);
     println!("\nCOWS services (one per BPMN element, composed in parallel):");
@@ -42,7 +49,10 @@ fn explore_model(model: &ProcessModel) {
     let m0 = encoded.initial();
     let succ = weak_next(&m0, &encoded.observability, WeakNextLimits::default())
         .expect("well-founded process");
-    println!("\nWeakNext(initial): {} observable successor(s)", succ.len());
+    println!(
+        "\nWeakNext(initial): {} observable successor(s)",
+        succ.len()
+    );
     for w in &succ {
         let tokens: Vec<String> = w
             .state

@@ -60,7 +60,10 @@ fn main() {
     )
     .expect("trail parses");
 
-    for (name, trail) in [("ORD-1 (well-behaved)", &good), ("ORD-2 (re-purposed)", &bad)] {
+    for (name, trail) in [
+        ("ORD-1 (well-behaved)", &good),
+        ("ORD-2 (re-purposed)", &bad),
+    ] {
         let report = auditor.audit(trail);
         println!("=== {name} ===");
         print!("{report}");
@@ -71,13 +74,19 @@ fn main() {
                 match &case.outcome {
                     purpose_control::CaseOutcome::Compliant { can_complete } => format!(
                         "compliant ({})",
-                        if *can_complete { "process complete" } else { "in progress" }
+                        if *can_complete {
+                            "process complete"
+                        } else {
+                            "in progress"
+                        }
                     ),
-                    purpose_control::CaseOutcome::Infringement { infringement, severity } =>
-                        format!(
-                            "INFRINGEMENT at entry {} (expected one of {:?}), severity {:.2}",
-                            infringement.entry_index, infringement.expected, severity.score
-                        ),
+                    purpose_control::CaseOutcome::Infringement {
+                        infringement,
+                        severity,
+                    } => format!(
+                        "INFRINGEMENT at entry {} (expected one of {:?}), severity {:.2}",
+                        infringement.entry_index, infringement.expected, severity.score
+                    ),
                     other => format!("{other:?}"),
                 }
             );

@@ -70,7 +70,10 @@ fn or_gateway_inside_a_loop() {
         ok("P", "A", 50),
         ok("P", "Tail", 60),
     ];
-    assert_eq!(check(&model, &entries), Verdict::Compliant { can_complete: true });
+    assert_eq!(
+        check(&model, &entries),
+        Verdict::Compliant { can_complete: true }
+    );
 
     // Claiming both branches but only delivering one token must not let
     // Tail through: B logged, then Tail without B's token being possible…
@@ -114,10 +117,16 @@ fn two_or_splits_sharing_one_join() {
 
     // G1 chosen with both branches.
     let entries = vec![ok("P", "A1", 0), ok("P", "A2", 10), ok("P", "Tail", 20)];
-    assert_eq!(check(&model, &entries), Verdict::Compliant { can_complete: true });
+    assert_eq!(
+        check(&model, &entries),
+        Verdict::Compliant { can_complete: true }
+    );
     // G2 chosen with one branch.
     let entries = vec![ok("P", "B2", 0), ok("P", "Tail", 10)];
-    assert_eq!(check(&model, &entries), Verdict::Compliant { can_complete: true });
+    assert_eq!(
+        check(&model, &entries),
+        Verdict::Compliant { can_complete: true }
+    );
     // Mixing branches of different splits is not a valid execution.
     let entries = vec![ok("P", "A1", 0), ok("P", "B1", 10), ok("P", "Tail", 20)];
     assert!(!check(&model, &entries).is_compliant());
@@ -132,8 +141,7 @@ fn session_resumes_ht1_across_audit_rounds() {
     let trail = figure4_trail();
     let entries = trail.project_case(sym("HT-1"));
 
-    let mut session =
-        ReplaySession::new(&encoded, ctx.roles(), CheckOptions::default()).unwrap();
+    let mut session = ReplaySession::new(&encoded, ctx.roles(), CheckOptions::default()).unwrap();
     // Day one: the first 8 entries (through the radiology work).
     for e in &entries[..8] {
         assert!(matches!(
@@ -144,7 +152,9 @@ fn session_resumes_ht1_across_audit_rounds() {
     let midway = session.finish().unwrap();
     assert_eq!(
         midway.verdict,
-        Verdict::Compliant { can_complete: false },
+        Verdict::Compliant {
+            can_complete: false
+        },
         "mid-flight case is compliant but unfinished"
     );
 

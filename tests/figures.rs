@@ -41,7 +41,12 @@ fn fig1_model() {
     assert!(m.has_error_boundaries());
     // The encoding is well-founded and has the start task GP·T01.
     let enc = encode(&m);
-    let succ = weak_next(&enc.initial(), &enc.observability, WeakNextLimits::default()).unwrap();
+    let succ = weak_next(
+        &enc.initial(),
+        &enc.observability,
+        WeakNextLimits::default(),
+    )
+    .unwrap();
     assert_eq!(succ.len(), 1);
     assert_eq!(succ[0].observation.to_string(), "GP.T01");
 }
@@ -51,7 +56,12 @@ fn fig2_model() {
     let m = clinical_trial();
     assert_eq!(m.tasks().count(), 5);
     let enc = encode(&m);
-    let succ = weak_next(&enc.initial(), &enc.observability, WeakNextLimits::default()).unwrap();
+    let succ = weak_next(
+        &enc.initial(),
+        &enc.observability,
+        WeakNextLimits::default(),
+    )
+    .unwrap();
     assert_eq!(succ.len(), 1);
     assert_eq!(succ[0].observation.to_string(), "Physician.T91");
 }
@@ -142,7 +152,10 @@ fn fig6_visited_states() {
         ..CheckOptions::default()
     };
     let out = check_case(&encoded, ctx.roles(), &entries, &opts).unwrap();
-    assert!(matches!(out.verdict, Verdict::Compliant { can_complete: true }));
+    assert!(matches!(
+        out.verdict,
+        Verdict::Compliant { can_complete: true }
+    ));
     assert_eq!(out.steps.len(), entries.len());
 
     // Step 1 (GP·T01): one configuration, token tasks {GP·T01} — St2.
@@ -222,8 +235,7 @@ fn fig6_five_states_reachable_after_t06() {
                     next.push(w.state);
                 }
             }
-            if c.running.iter().any(|&(_, q)| q == e.task)
-                && e.status == audit::TaskStatus::Success
+            if c.running.iter().any(|&(_, q)| q == e.task) && e.status == audit::TaskStatus::Success
             {
                 next.push(c.clone());
             }
@@ -257,10 +269,7 @@ fn fig7_encoding_equivalent_to_appendix_text() {
     // form) is weakly equivalent to what the encoder produces from the
     // BPMN model — parser, encoder and equivalence checker agree.
     let enc = encode(&fig7_sequence());
-    let hand = cows::parse::parse_service(
-        "(P.T!<> | *P.T?<>.(P.E!<>) | *P.E?<>)",
-    )
-    .unwrap();
+    let hand = cows::parse::parse_service("(P.T!<> | *P.T?<>.(P.E!<>) | *P.E?<>)").unwrap();
     let witness = cows::equiv::weak_trace_equiv(
         &enc.service,
         &hand,
@@ -291,9 +300,7 @@ fn fig8_lts() {
     let lts = explore(&enc.service, ExploreLimits::default()).unwrap();
     assert_eq!(lts.state_count(), 10);
     // τ-abstracted traces: T then exactly one of T1/T2.
-    let traces = lts
-        .observable_traces(&enc.observability, 10, 1000)
-        .unwrap();
+    let traces = lts.observable_traces(&enc.observability, 10, 1000).unwrap();
     let complete: Vec<String> = traces
         .iter()
         .map(|t| {
@@ -305,7 +312,9 @@ fn fig8_lts() {
         .collect();
     assert!(complete.contains(&"P.T P.T1".to_string()));
     assert!(complete.contains(&"P.T P.T2".to_string()));
-    assert!(!complete.iter().any(|t| t.contains("T1") && t.contains("T2")));
+    assert!(!complete
+        .iter()
+        .any(|t| t.contains("T1") && t.contains("T2")));
 }
 
 #[test]
@@ -314,9 +323,7 @@ fn fig9_lts() {
     // error to T1.
     let enc = encode(&fig9_error());
     let lts = explore(&enc.service, ExploreLimits::default()).unwrap();
-    let traces = lts
-        .observable_traces(&enc.observability, 10, 1000)
-        .unwrap();
+    let traces = lts.observable_traces(&enc.observability, 10, 1000).unwrap();
     let rendered: Vec<String> = traces
         .iter()
         .map(|t| {

@@ -66,7 +66,10 @@ fn hospital_day_end_to_end() {
     // valid interleaving. Everything it missed must be explainable.
     for (case, inj) in &missed {
         assert!(
-            matches!(inj, Injection::SkippedTask { .. } | Injection::Shuffled { .. }),
+            matches!(
+                inj,
+                Injection::SkippedTask { .. } | Injection::Shuffled { .. }
+            ),
             "case {case}: unexplained miss of {inj:?}"
         );
     }
@@ -115,9 +118,8 @@ fn integrity_chain_protects_the_evidence() {
     // An attacker who can rewrite storage still cannot hide: delete the
     // incriminating tail.
     let mut tampered = committed.clone();
-    let shortened = audit::AuditTrail::from_entries(
-        day.trail.entries()[..day.trail.len() - 3].to_vec(),
-    );
+    let shortened =
+        audit::AuditTrail::from_entries(day.trail.entries()[..day.trail.len() - 3].to_vec());
     *tampered.tamper() = shortened;
     assert!(tampered.verify().is_err());
 }
@@ -211,19 +213,18 @@ fn consent_violations_caught_by_the_preventive_layer_only() {
     }
     // …but layer 1 (Def. 3) flags their non-consented EPR reads.
     for case in &withheld {
-        let flagged = report
-            .preventive_violations
-            .iter()
-            .any(|v| v.entry.case == *case && v.entry.object.as_ref().is_some_and(|o| o.subject.is_some()));
+        let flagged = report.preventive_violations.iter().any(|v| {
+            v.entry.case == *case && v.entry.object.as_ref().is_some_and(|o| o.subject.is_some())
+        });
         assert!(flagged, "case {case} must raise a preventive violation");
     }
     // And consenting trial cases raise no EPR-read violations.
     for (case, t) in &day.truth {
         if t.purpose == cows::sym("clinicaltrial") && !t.consent_withheld && t.injected.is_none() {
-            let flagged = report
-                .preventive_violations
-                .iter()
-                .any(|v| v.entry.case == *case && v.entry.object.as_ref().is_some_and(|o| o.subject.is_some()));
+            let flagged = report.preventive_violations.iter().any(|v| {
+                v.entry.case == *case
+                    && v.entry.object.as_ref().is_some_and(|o| o.subject.is_some())
+            });
             assert!(!flagged, "consented case {case} must pass Def. 3");
         }
     }
@@ -238,7 +239,10 @@ fn unknown_cases_are_reported_not_dropped() {
     .unwrap();
     let report = auditor.audit(&trail);
     assert_eq!(report.cases.len(), 1);
-    assert!(matches!(report.cases[0].outcome, CaseOutcome::Unresolved(_)));
+    assert!(matches!(
+        report.cases[0].outcome,
+        CaseOutcome::Unresolved(_)
+    ));
 }
 
 #[test]
