@@ -105,19 +105,32 @@ impl ChainedTrail {
 
     /// Re-derive the chain and compare: detects any in-place tampering.
     pub fn verify(&self) -> Result<(), IntegrityViolation> {
+        let prefix = self.verified_prefix_len();
+        if prefix == self.trail.len() && self.digests.len() == self.trail.len() {
+            Ok(())
+        } else {
+            Err(IntegrityViolation {
+                first_bad_index: prefix,
+            })
+        }
+    }
+
+    /// Length of the longest prefix still covered by matching digests.
+    ///
+    /// Equals `trail().len()` iff [`verify`](ChainedTrail::verify) passes.
+    /// Everything before this index is exactly what was committed (any
+    /// modification, insertion, deletion or reordering re-keys every later
+    /// digest); everything from it onward is untrustworthy and is what
+    /// [`crate::salvage::salvage_chained`] quarantines.
+    pub fn verified_prefix_len(&self) -> usize {
         let mut prev = 0u64;
         for (i, e) in self.trail.iter().enumerate() {
             prev = entry_digest(prev, e);
             if self.digests.get(i) != Some(&prev) {
-                return Err(IntegrityViolation { first_bad_index: i });
+                return i;
             }
         }
-        if self.digests.len() != self.trail.len() {
-            return Err(IntegrityViolation {
-                first_bad_index: self.trail.len().min(self.digests.len()),
-            });
-        }
-        Ok(())
+        self.trail.len().min(self.digests.len())
     }
 
     /// Test-and-audit helper: expose the trail mutably *without* updating
@@ -203,5 +216,79 @@ mod tests {
         let mut c = ChainedTrail::commit(AuditTrail::from_entries(vec![a.clone(), b.clone()]));
         *c.tamper() = AuditTrail::from_entries(vec![b, a]);
         assert!(c.verify().is_err());
+    }
+
+    // --- tamper localization -------------------------------------------
+    //
+    // Each class of tampering must pinpoint the *first* broken link, and
+    // the prefix before it must remain exactly what was committed — that
+    // prefix is what degraded-mode auditing still analyzes.
+
+    fn committed() -> (Vec<LogEntry>, ChainedTrail) {
+        let entries = vec![entry("A", 1), entry("B", 2), entry("C", 3), entry("D", 4)];
+        let c = ChainedTrail::commit(AuditTrail::from_entries(entries.clone()));
+        (entries, c)
+    }
+
+    fn assert_localized(c: &ChainedTrail, original: &[LogEntry], expect_first_bad: usize) {
+        let v = c.verify().unwrap_err();
+        assert_eq!(v.first_bad_index, expect_first_bad);
+        assert_eq!(c.verified_prefix_len(), expect_first_bad);
+        // The verified prefix is byte-for-byte the committed history, so
+        // an auditor can still replay it.
+        assert_eq!(
+            &c.trail().entries()[..expect_first_bad],
+            &original[..expect_first_bad]
+        );
+    }
+
+    #[test]
+    fn modification_localized_to_edited_entry() {
+        let (orig, mut c) = committed();
+        let mut t = orig.clone();
+        t[2] = entry("X", 3);
+        *c.tamper() = AuditTrail::from_entries(t);
+        assert_localized(&c, &orig, 2);
+    }
+
+    #[test]
+    fn insertion_localized_to_inserted_position() {
+        let (orig, mut c) = committed();
+        let mut t = orig.clone();
+        t.insert(1, entry("forged", 1));
+        *c.tamper() = AuditTrail::from_entries(t);
+        // The forged entry shares minute 1, so the stable sort places it
+        // right after the genuine A: the chain breaks at index 1.
+        assert_localized(&c, &orig, 1);
+    }
+
+    #[test]
+    fn deletion_localized_to_first_missing_position() {
+        let (orig, mut c) = committed();
+        let mut t = orig.clone();
+        t.remove(1);
+        *c.tamper() = AuditTrail::from_entries(t);
+        assert_localized(&c, &orig, 1);
+    }
+
+    #[test]
+    fn reordering_localized_to_first_swapped_position() {
+        let (orig, mut c) = committed();
+        // Same-timestamp entries so reordering survives the chronological
+        // sort (cross-timestamp swaps are undone by it).
+        let x = entry("X", 5);
+        let y = entry("Y", 5);
+        let orig2 = vec![orig[0].clone(), orig[1].clone(), x.clone(), y.clone()];
+        c = ChainedTrail::commit(AuditTrail::from_entries(orig2.clone()));
+        *c.tamper() =
+            AuditTrail::from_entries(vec![orig[0].clone(), orig[1].clone(), y.clone(), x.clone()]);
+        assert_localized(&c, &orig2, 2);
+    }
+
+    #[test]
+    fn verified_prefix_is_full_length_when_intact() {
+        let (orig, c) = committed();
+        assert_eq!(c.verified_prefix_len(), orig.len());
+        assert!(c.verify().is_ok());
     }
 }

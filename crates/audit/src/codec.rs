@@ -10,35 +10,89 @@
 //!
 //! The object column is `N/A` when the entry carries no object. Comments
 //! (`#`) and blank lines are ignored on input.
+//!
+//! [`parse_trail`] is the *strict* path: the first malformed line aborts the
+//! whole parse. For logs collected in the field — where §7 concedes trails
+//! are often partial and §3.4 assumes they can be damaged — use
+//! [`crate::salvage::parse_trail_salvage`], which quarantines bad lines with
+//! typed reasons instead of aborting.
 
 use crate::entry::{LogEntry, TaskStatus};
 use crate::trail::AuditTrail;
 use cows::symbol::Symbol;
 use std::fmt;
 
-/// Parse error with 1-based line number.
+/// How many characters of the offending line an error (or quarantine
+/// record) carries. Enough to diagnose without reopening the log, short
+/// enough to keep reports readable.
+pub const LINE_EXCERPT_CHARS: usize = 96;
+
+/// Copy at most [`LINE_EXCERPT_CHARS`] characters of `line`, marking the cut.
+pub fn line_excerpt(line: &str) -> String {
+    match line.char_indices().nth(LINE_EXCERPT_CHARS) {
+        Some((byte, _)) => format!("{}…", &line[..byte]),
+        None => line.to_string(),
+    }
+}
+
+/// Which column (or structural property) of a line failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Not exactly 8 whitespace-separated columns.
+    ColumnCount { got: usize },
+    /// Unknown action verb.
+    Action,
+    /// Malformed object identifier.
+    Object,
+    /// Unparseable `yyyymmddHHMM` timestamp.
+    Time,
+    /// Status other than `success`/`failure`.
+    Status,
+}
+
+/// Parse error with 1-based line number, a truncated copy of the offending
+/// line (so operators can diagnose without reopening the log), and the
+/// failing column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrailParseError {
     pub line: usize,
+    /// Truncated copy of the offending line text ([`line_excerpt`]).
+    pub text: String,
+    pub kind: ParseErrorKind,
     pub message: String,
 }
 
 impl fmt::Display for TrailParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {} in `{}`", self.line, self.message, self.text)
     }
 }
 
 impl std::error::Error for TrailParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> TrailParseError {
+fn err(
+    line: usize,
+    text: &str,
+    kind: ParseErrorKind,
+    message: impl Into<String>,
+) -> TrailParseError {
     TrailParseError {
         line,
+        text: line_excerpt(text),
+        kind,
         message: message.into(),
     }
 }
 
-/// Parse a trail document. Entries are sorted chronologically on load.
+/// Parse a trail document (strict: the first bad line aborts).
+///
+/// Entries are **silently re-sorted chronologically** on load (stable on
+/// equal timestamps), so physical disorder in the input file is invisible
+/// to the caller — see `tests::unsorted_input_is_sorted_silently`. When
+/// disorder itself is a signal worth surfacing (e.g. auditing a collector
+/// suspected of buffering), prefer
+/// [`crate::salvage::parse_trail_salvage`], which *records* out-of-order
+/// arrivals as diagnostics while still producing the same sorted trail.
 pub fn parse_trail(text: &str) -> Result<AuditTrail, TrailParseError> {
     let mut entries = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -52,28 +106,45 @@ pub fn parse_trail(text: &str) -> Result<AuditTrail, TrailParseError> {
     Ok(AuditTrail::from_entries(entries))
 }
 
-fn parse_entry(line: &str, lineno: usize) -> Result<LogEntry, TrailParseError> {
+pub(crate) fn parse_entry(line: &str, lineno: usize) -> Result<LogEntry, TrailParseError> {
     let tok: Vec<&str> = line.split_whitespace().collect();
     if tok.len() != 8 {
         return Err(err(
             lineno,
+            line,
+            ParseErrorKind::ColumnCount { got: tok.len() },
             format!(
                 "expected 8 columns (user role action object task case time status), got {}",
                 tok.len()
             ),
         ));
     }
-    let action = tok[2].parse().map_err(|e| err(lineno, format!("{e}")))?;
+    let action = tok[2]
+        .parse()
+        .map_err(|e| err(lineno, line, ParseErrorKind::Action, format!("{e}")))?;
     let object = if tok[3] == "N/A" {
         None
     } else {
-        Some(tok[3].parse().map_err(|e| err(lineno, format!("{e}")))?)
+        Some(
+            tok[3]
+                .parse()
+                .map_err(|e| err(lineno, line, ParseErrorKind::Object, format!("{e}")))?,
+        )
     };
-    let time = tok[6].parse().map_err(|e| err(lineno, format!("{e}")))?;
+    let time = tok[6]
+        .parse()
+        .map_err(|e| err(lineno, line, ParseErrorKind::Time, format!("{e}")))?;
     let status = match tok[7] {
         "success" => TaskStatus::Success,
         "failure" => TaskStatus::Failure,
-        other => return Err(err(lineno, format!("unknown status `{other}`"))),
+        other => {
+            return Err(err(
+                lineno,
+                line,
+                ParseErrorKind::Status,
+                format!("unknown status `{other}`"),
+            ))
+        }
     };
     Ok(LogEntry {
         user: Symbol::new(tok[0]),
@@ -127,21 +198,41 @@ John GP cancel N/A T02 HT-1 201003121216 failure
     }
 
     #[test]
-    fn column_count_errors_carry_line_numbers() {
+    fn column_count_errors_carry_line_numbers_and_text() {
         let e = parse_trail("John GP read\n").unwrap_err();
         assert_eq!(e.line, 1);
+        assert_eq!(e.kind, ParseErrorKind::ColumnCount { got: 3 });
         assert!(e.message.contains("8 columns"));
+        // The offending line rides along for diagnosis.
+        assert_eq!(e.text, "John GP read");
+        assert!(e.to_string().contains("`John GP read`"));
     }
 
     #[test]
-    fn bad_action_and_time_reported() {
-        assert!(parse_trail("u r poke o T c 201003121210 success\n").is_err());
-        assert!(parse_trail("u r read o T c 20100312 success\n").is_err());
-        assert!(parse_trail("u r read o T c 201003121210 maybe\n").is_err());
+    fn bad_action_and_time_reported_with_kinds() {
+        let action = parse_trail("u r poke o T c 201003121210 success\n").unwrap_err();
+        assert_eq!(action.kind, ParseErrorKind::Action);
+        let time = parse_trail("u r read o T c 20100312 success\n").unwrap_err();
+        assert_eq!(time.kind, ParseErrorKind::Time);
+        assert!(time.text.contains("20100312"));
+        let status = parse_trail("u r read o T c 201003121210 maybe\n").unwrap_err();
+        assert_eq!(status.kind, ParseErrorKind::Status);
     }
 
     #[test]
-    fn unsorted_input_is_sorted() {
+    fn long_offending_lines_are_truncated() {
+        let long = format!("u r read {} T c 201003121210 maybe", "x".repeat(300));
+        let e = parse_trail(&long).unwrap_err();
+        assert!(e.text.ends_with('…'));
+        assert!(e.text.chars().count() <= LINE_EXCERPT_CHARS + 1);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_silently() {
+        // The strict path hides physical disorder: the two lines below are
+        // reversed in the file, yet the parsed trail is chronological and
+        // no diagnostic is raised. `parse_trail_salvage` makes the same
+        // disorder visible (see `salvage::tests`).
         let text = "\
 u r read o2 B c 201003121220 success
 u r read o1 A c 201003121210 success

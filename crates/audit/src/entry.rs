@@ -30,7 +30,7 @@ impl fmt::Display for TaskStatus {
 }
 
 /// Def. 4 — a log entry.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub struct LogEntry {
     pub user: Symbol,
     pub role: Symbol,

@@ -16,14 +16,19 @@
 pub mod chain;
 pub mod codec;
 pub mod entry;
+pub mod salvage;
 pub mod samples;
 pub mod stats;
 pub mod time;
 pub mod trail;
 
 pub use chain::{ChainedTrail, IntegrityViolation};
-pub use codec::{format_trail, parse_trail, TrailParseError};
+pub use codec::{format_trail, parse_trail, ParseErrorKind, TrailParseError};
 pub use entry::{LogEntry, TaskStatus};
+pub use salvage::{
+    parse_trail_salvage, salvage_chained, OutOfOrderArrival, Quarantine, QuarantineReason,
+    QuarantinedLine,
+};
 pub use stats::{trail_stats, TrailStats};
 pub use time::Timestamp;
 pub use trail::AuditTrail;

@@ -573,6 +573,212 @@ fn p9_snapshot_warm_start(quick: bool) -> String {
     )
 }
 
+fn p10_degraded_mode(quick: bool) -> String {
+    use audit::codec::{format_trail, parse_trail};
+    use audit::salvage::{parse_trail_salvage, salvage_chained};
+    use std::collections::BTreeMap;
+    use workload::{inject_text, tamper_chain, TEXT_INJECTORS};
+
+    println!("## P10 — degraded-mode auditing (salvage overhead + chaos survival)");
+    let hospital = |target_entries: usize, seed: u64| {
+        generate_day(
+            &HospitalConfig {
+                target_entries,
+                trial_fraction: 0.1,
+                attack_fraction: 0.2,
+                error_prob: 0.1,
+            },
+            seed,
+        )
+        .trail
+    };
+    let auditor = hospital_auditor();
+    let threads = 4;
+
+    // Overhead on a *clean* trail at the paper's §1 scale (20,000 record
+    // opens/day): ingestion alone, then the full parse-and-audit pipeline
+    // an operator actually pays for.
+    let big = hospital(if quick { 2_000 } else { 20_000 }, 424242);
+    let big_text = format_trail(&big);
+    let reps = 3;
+    let parse_strict = median_time(
+        || {
+            parse_trail(&big_text).expect("clean text parses");
+        },
+        reps,
+    );
+    let parse_salvage = median_time(
+        || {
+            let _ = parse_trail_salvage(&big_text);
+        },
+        reps,
+    );
+    let strict = median_time(
+        || {
+            let t = parse_trail(&big_text).expect("clean text parses");
+            audit_parallel(&auditor, &t, threads);
+        },
+        reps,
+    );
+    let salvage = median_time(
+        || {
+            let (t, q) = parse_trail_salvage(&big_text);
+            assert!(q.is_clean(), "clean workload must not quarantine");
+            audit_parallel(&auditor, &t, threads);
+        },
+        reps,
+    );
+    let pct = |s: Duration, v: Duration| (v.as_secs_f64() / s.as_secs_f64() - 1.0) * 100.0;
+    let overhead = pct(strict, salvage);
+    println!(
+        "{:>14} | {:>10} | {:>10} | {:>9}   ({} entries, {} cases)",
+        "stage (clean)",
+        "strict",
+        "salvage",
+        "overhead",
+        big.len(),
+        big.cases().len()
+    );
+    println!(
+        "{:>14} | {:>10} | {:>10} | {:>8.1}%",
+        "parse only",
+        fmt_dur(parse_strict),
+        fmt_dur(parse_salvage),
+        pct(parse_strict, parse_salvage)
+    );
+    println!(
+        "{:>14} | {:>10} | {:>10} | {:>8.1}%",
+        "parse + audit",
+        fmt_dur(strict),
+        fmt_dur(salvage),
+        overhead
+    );
+    let overhead_entries = big.len();
+    drop(big_text);
+
+    // Chaos survival runs on a smaller day so the 7-scenario sweep stays
+    // fast; the invariants are scale-independent.
+    let trail = hospital(if quick { 600 } else { 2_000 }, 424242);
+    let text = format_trail(&trail);
+
+    // Chaos survival and verdict stability: corrupt the rendered trail,
+    // salvage, re-audit, and check every projection-identical case keeps a
+    // byte-identical (Debug) outcome. "Unaffected" is recomputed from the
+    // data, not taken from the injector's report.
+    let projections = |t: &audit::AuditTrail| -> BTreeMap<cows::symbol::Symbol, Vec<String>> {
+        let mut map: BTreeMap<cows::symbol::Symbol, Vec<String>> = BTreeMap::new();
+        for e in t.entries() {
+            map.entry(e.case).or_default().push(e.to_string());
+        }
+        map
+    };
+    let outcomes = |t: &audit::AuditTrail| -> BTreeMap<cows::symbol::Symbol, String> {
+        audit_parallel(&auditor, t, threads)
+            .cases
+            .into_iter()
+            .map(|c| (c.case, format!("{:?}", c.outcome)))
+            .collect()
+    };
+    let clean_proj = projections(&trail);
+    let clean_out = outcomes(&trail);
+    let stability_of = |salvaged: &audit::AuditTrail| -> (usize, usize) {
+        let proj = projections(salvaged);
+        let out = outcomes(salvaged);
+        let unaffected: Vec<_> = clean_proj
+            .iter()
+            .filter(|(case, p)| proj.get(*case) == Some(*p))
+            .map(|(&case, _)| case)
+            .collect();
+        let stable = unaffected
+            .iter()
+            .filter(|case| out.get(case) == clean_out.get(case))
+            .count();
+        (stable, unaffected.len())
+    };
+
+    println!(
+        "{:>16} | {:>11} | {:>12} | {:>10} | {:>7}",
+        "injector", "quarantined", "out-of-order", "unaffected", "stable"
+    );
+    let mut inj_json: Vec<String> = Vec::new();
+    let cases_total = trail.cases().len();
+    for kind in TEXT_INJECTORS {
+        let (corrupt, _) = inject_text(&text, kind, 5, 42);
+        let (salvaged, q) = parse_trail_salvage(&corrupt);
+        let (stable, unaffected) = stability_of(&salvaged);
+        let audited = salvaged.cases().len();
+        assert_eq!(
+            stable,
+            unaffected,
+            "verdict drifted for an unaffected case under {}",
+            kind.label()
+        );
+        println!(
+            "{:>16} | {:>11} | {:>12} | {:>10} | {:>7} | {:>6.0}%",
+            kind.label(),
+            q.lines.len(),
+            q.out_of_order.len(),
+            format!("{audited}/{cases_total}"),
+            unaffected,
+            100.0 * stable as f64 / unaffected.max(1) as f64
+        );
+        inj_json.push(format!(
+            "    {{ \"kind\": \"{}\", \"quarantined\": {}, \"out_of_order\": {}, \
+             \"cases_audited\": {audited}, \"cases_total\": {cases_total}, \
+             \"unaffected_cases\": {}, \"stable_cases\": {} }}",
+            kind.label(),
+            q.lines.len(),
+            q.out_of_order.len(),
+            unaffected,
+            stable
+        ));
+    }
+
+    // Integrity breach: tamper one committed entry, audit the intact prefix.
+    let (chained, _) = tamper_chain(&trail, 42);
+    let (prefix_trail, qc) = salvage_chained(&chained);
+    let (chain_stable, chain_unaffected) = stability_of(&prefix_trail);
+    assert_eq!(chain_stable, chain_unaffected, "chain-tamper verdict drift");
+    println!(
+        "{:>16} | {:>11} | {:>12} | {:>10} | {:>6.0}% (prefix {} of {})",
+        "chain-tamper",
+        qc.lines.len(),
+        qc.out_of_order.len(),
+        chain_unaffected,
+        100.0 * chain_stable as f64 / chain_unaffected.max(1) as f64,
+        prefix_trail.len(),
+        trail.len()
+    );
+    println!();
+
+    format!(
+        "{{\n  \
+           \"benchmark\": \"degraded_mode\",\n  \
+           \"workload\": \"hospital_day\",\n  \
+           \"entries\": {},\n  \
+           \"cases\": {},\n  \
+           \"overhead_entries\": {overhead_entries},\n  \
+           \"parse\": {{ \"strict_seconds\": {:.6}, \"salvage_seconds\": {:.6} }},\n  \
+           \"pipeline\": {{ \"strict_seconds\": {:.6}, \"salvage_seconds\": {:.6}, \
+             \"overhead_pct\": {:.2} }},\n  \
+           \"injectors\": [\n{}\n  ],\n  \
+           \"chain_tamper\": {{ \"prefix\": {}, \"quarantined\": {}, \
+             \"unaffected_cases\": {}, \"stable_cases\": {} }}\n}}",
+        trail.len(),
+        trail.cases().len(),
+        parse_strict.as_secs_f64(),
+        parse_salvage.as_secs_f64(),
+        strict.as_secs_f64(),
+        salvage.as_secs_f64(),
+        overhead,
+        inj_json.join(",\n"),
+        prefix_trail.len(),
+        qc.lines.len(),
+        chain_unaffected,
+        chain_stable,
+    )
+}
+
 fn fig4_summary() {
     println!("## F4 — the paper's running example (Fig. 4)");
     let auditor = hospital_auditor();
@@ -625,10 +831,13 @@ fn main() {
     p7_attack_detection();
     let p8 = p8_engine_ablation(quick);
     let p9 = p9_snapshot_warm_start(quick);
+    let p10 = p10_degraded_mode(quick);
     let json = format!(
-        "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {}\n}}\n",
+        "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {},\n\
+         \"p10_degraded_mode\": {}\n}}\n",
         p8.trim_end(),
-        p9
+        p9,
+        p10
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
     match std::fs::write(&path, &json) {

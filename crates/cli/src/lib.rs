@@ -10,12 +10,15 @@
 //! purposectl audit    --trail <file> [--policy <file>]
 //!                     --process <purpose>=<file> … --map <prefix>=<purpose> …
 //!                     [--threads N] [--object OBJ] [--max-minutes M]
+//!                     [--salvage] [--quarantine-out <file>]
+//!                     [--case-deadline-ms N] [--case-step-budget N]
 //! ```
 //!
 //! The library surface ([`run`]) takes argv-style arguments and a writer,
 //! so every command is unit-testable without spawning processes.
 
 use audit::codec::{format_trail, parse_trail};
+use audit::salvage::{parse_trail_salvage, Quarantine};
 use audit::trail::AuditTrail;
 use bpmn::encode::{encode, Encoded};
 use bpmn::parse::parse_process;
@@ -75,6 +78,17 @@ USAGE:
                       [--threads <N>] [--object <obj>] [--max-minutes <M>]
                       [--engine <direct|automaton>]
                       [--automaton-cache <dir>] [--no-automaton-cache]
+                      [--salvage] [--quarantine-out <file>]
+                      [--case-deadline-ms <N>] [--case-step-budget <N>]
+
+Degraded mode: --salvage keeps auditing a damaged trail instead of aborting
+on the first malformed line — bad lines are quarantined with typed reasons
+(bad column count/action/time/status, duplicates), out-of-order arrivals
+are reported, and every case whose entries survived intact gets exactly the
+verdict a clean run would give. --quarantine-out writes the full quarantine
+report to a file. --case-deadline-ms / --case-step-budget bound one case's
+wall-clock / exploration work; a case over budget is reported inconclusive
+without touching any other case's outcome.
 
 Automaton snapshots: check/audit persist the compiled replay automaton as
 `<process-file>.pcas` (in --automaton-cache <dir> if given, else beside the
@@ -209,6 +223,14 @@ fn load_trail(path: &str) -> Result<AuditTrail, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| fail(format!("cannot read trail file `{path}`: {e}")))?;
     parse_trail(&text).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+/// Load a trail in degraded mode: malformed lines are quarantined with
+/// typed reasons instead of aborting the audit.
+fn load_trail_salvage(path: &str) -> Result<(AuditTrail, Quarantine), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read trail file `{path}`: {e}")))?;
+    Ok(parse_trail_salvage(&text))
 }
 
 fn load_policy(path: &str) -> Result<Policy, CliError> {
@@ -386,7 +408,31 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
 }
 
 fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
-    let trail = load_trail(args.flag("trail").ok_or_else(|| fail("missing --trail"))?)?;
+    let trail_path = args.flag("trail").ok_or_else(|| fail("missing --trail"))?;
+    let salvage = args.has("salvage");
+    if args.flag("quarantine-out").is_some() && !salvage {
+        return Err(fail("--quarantine-out requires --salvage"));
+    }
+    let (trail, quarantine) = if salvage {
+        let (trail, q) = load_trail_salvage(trail_path)?;
+        (trail, Some(q))
+    } else {
+        (load_trail(trail_path)?, None)
+    };
+    if let Some(q) = &quarantine {
+        writeln!(out, "degraded mode: {q}").ok();
+        for line in &q.lines {
+            writeln!(out, "  quarantined {line}").ok();
+        }
+        for arrival in &q.out_of_order {
+            writeln!(out, "  noted {arrival}").ok();
+        }
+        if let Some(path) = args.flag("quarantine-out") {
+            std::fs::write(path, q.render())
+                .map_err(|e| fail(format!("cannot write quarantine report `{path}`: {e}")))?;
+            writeln!(out, "quarantine report written to {path}").ok();
+        }
+    }
     let mut registry = ProcessRegistry::new();
     let processes = args.flag_all("process");
     if processes.is_empty() {
@@ -429,6 +475,18 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         auditor.options.max_case_minutes =
             Some(m.parse().map_err(|_| fail("--max-minutes: not a number"))?);
     }
+    if let Some(ms) = args.flag("case-deadline-ms") {
+        auditor.options.case_deadline_ms = Some(
+            ms.parse()
+                .map_err(|_| fail("--case-deadline-ms: not a number"))?,
+        );
+    }
+    if let Some(n) = args.flag("case-step-budget") {
+        auditor.options.max_explored = Some(
+            n.parse()
+                .map_err(|_| fail("--case-step-budget: not a number"))?,
+        );
+    }
 
     let threads: usize = args.flag_num("threads", 1)?;
     let report = if let Some(obj) = args.flag("object") {
@@ -463,6 +521,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             ),
             CaseOutcome::Unresolved(e) => format!("unresolved: {e}"),
             CaseOutcome::Failed(e) => format!("failed: {e}"),
+            CaseOutcome::Inconclusive { reason } => format!("inconclusive: {reason}"),
         };
         writeln!(
             out,
@@ -655,6 +714,132 @@ flows
         ]);
         assert_eq!(code, 1);
         assert!(out.contains("INFRINGEMENT"));
+    }
+
+    #[test]
+    fn audit_salvage_survives_corruption_and_preserves_unaffected_verdicts() {
+        let p = write_temp("order13.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "3", "--seed", "9", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order13.trail", &trail_text);
+        let base = |trail: &str| {
+            args(&[
+                "audit",
+                "--trail",
+                trail,
+                "--process",
+                &format!("fulfillment={p}"),
+                "--map",
+                "ORD-=fulfillment",
+            ])
+        };
+        let mut buf = Vec::new();
+        let clean_code = run(&base(&t), &mut buf).unwrap();
+        let clean_out = String::from_utf8(buf).unwrap();
+        assert_eq!(clean_code, 0, "{clean_out}");
+
+        // Corrupt every ORD-2 line (extra column) and append a junk line.
+        let mut corrupted: String = trail_text
+            .lines()
+            .map(|l| {
+                if l.contains(" ORD-2 ") {
+                    format!("{l} stray-column\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        corrupted.push_str("this is not an audit record\n");
+        let t2 = write_temp("order13-corrupt.trail", &corrupted);
+
+        // Strict mode aborts on the damage...
+        let mut buf = Vec::new();
+        let err = run(&base(&t2), &mut buf).unwrap_err();
+        assert!(
+            err.message.contains("expected 8 columns"),
+            "{}",
+            err.message
+        );
+
+        // ...salvage mode audits what survived.
+        let qfile = write_temp("order13.quarantine", "");
+        let mut argv = base(&t2);
+        argv.extend(args(&["--salvage", "--quarantine-out", &qfile]));
+        let mut buf = Vec::new();
+        let code = run(&argv, &mut buf).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("degraded mode:"), "{out}");
+        assert!(out.contains("bad-column-count"), "{out}");
+        assert!(out.contains("quarantine report written to"), "{out}");
+
+        // Unaffected cases render byte-identically to the clean run; the
+        // fully corrupted case vanishes rather than getting a fake verdict.
+        let case_line = |text: &str, case: &str| {
+            text.lines()
+                .find(|l| l.trim_start().starts_with(&format!("{case} ")))
+                .map(str::to_string)
+        };
+        for case in ["ORD-1", "ORD-3"] {
+            let clean = case_line(&clean_out, case)
+                .unwrap_or_else(|| panic!("no {case} line in clean output"));
+            let salvaged =
+                case_line(&out, case).unwrap_or_else(|| panic!("no {case} line in salvage output"));
+            assert_eq!(clean, salvaged, "verdict drifted for unaffected {case}");
+        }
+        assert!(case_line(&out, "ORD-2").is_none(), "{out}");
+
+        let report = std::fs::read_to_string(&qfile).unwrap();
+        assert!(report.contains("bad-column-count"), "{report}");
+    }
+
+    #[test]
+    fn audit_quarantine_out_requires_salvage() {
+        let p = write_temp("order14.bpmn", ORDER);
+        let t = write_temp(
+            "order14.trail",
+            "carol Clerk read [A]Order Receive ORD-1 202607060900 success\n",
+        );
+        let mut buf = Vec::new();
+        let err = run(
+            &args(&[
+                "audit",
+                "--trail",
+                &t,
+                "--process",
+                &format!("fulfillment={p}"),
+                "--quarantine-out",
+                "/tmp/ignored",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("--quarantine-out requires --salvage"));
+    }
+
+    #[test]
+    fn audit_case_budget_flags_accept_clean_runs() {
+        let p = write_temp("order15.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "2", "--seed", "4", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order15.trail", &trail_text);
+        let (code, out) = run_capture(&[
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--case-deadline-ms",
+            "60000",
+            "--case-step-budget",
+            "1000000",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 compliant"), "{out}");
     }
 
     #[test]

@@ -95,6 +95,36 @@ pub struct PreventiveViolation {
     pub decision: Decision,
 }
 
+/// Why a case could not be brought to a verdict (fault isolation: the
+/// failure stays confined to the case; every other case still gets its
+/// normal outcome).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InconclusiveReason {
+    /// The replay panicked; the panic was caught at the case boundary.
+    Panicked { detail: String },
+    /// The per-case wall-clock deadline expired
+    /// ([`CheckOptions::case_deadline_ms`]).
+    DeadlineExceeded { entry_index: usize, limit_ms: u64 },
+    /// The per-case exploration budget ran out
+    /// ([`CheckOptions::max_explored`]).
+    StepBudgetExhausted { entry_index: usize, limit: usize },
+}
+
+impl fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InconclusiveReason::Panicked { detail } => write!(f, "replay panicked: {detail}"),
+            InconclusiveReason::DeadlineExceeded {
+                entry_index,
+                limit_ms,
+            } => write!(f, "deadline of {limit_ms}ms expired at entry {entry_index}"),
+            InconclusiveReason::StepBudgetExhausted { entry_index, limit } => {
+                write!(f, "step budget of {limit} exhausted at entry {entry_index}")
+            }
+        }
+    }
+}
+
 /// Outcome for one case.
 #[derive(Clone, Debug)]
 pub enum CaseOutcome {
@@ -109,6 +139,11 @@ pub enum CaseOutcome {
     Unresolved(CheckError),
     /// The replay machinery failed (e.g. configuration blow-up).
     Failed(CheckError),
+    /// The case hit a fault-isolation boundary (panic, deadline or step
+    /// budget): no verdict, but the rest of the run is unaffected.
+    Inconclusive {
+        reason: InconclusiveReason,
+    },
 }
 
 impl CaseOutcome {
@@ -118,6 +153,10 @@ impl CaseOutcome {
 
     pub fn is_infringement(&self) -> bool {
         matches!(self, CaseOutcome::Infringement { .. })
+    }
+
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, CaseOutcome::Inconclusive { .. })
     }
 }
 
@@ -153,6 +192,13 @@ impl AuditReport {
             .count()
     }
 
+    pub fn inconclusive_cases(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| c.outcome.is_inconclusive())
+            .count()
+    }
+
     /// Infringing cases ordered by decreasing severity — the §7
     /// "narrow down the number of situations to be investigated" queue.
     pub fn triage(&self) -> Vec<&CaseResult> {
@@ -178,14 +224,26 @@ impl AuditReport {
 
 impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
-            "audit report: {} cases ({} compliant, {} infringing), {} preventive violations",
+            "audit report: {} cases ({} compliant, {} infringing",
             self.cases.len(),
             self.compliant_cases(),
             self.infringing_cases(),
+        )?;
+        if self.inconclusive_cases() > 0 {
+            write!(f, ", {} inconclusive", self.inconclusive_cases())?;
+        }
+        writeln!(
+            f,
+            "), {} preventive violations",
             self.preventive_violations.len()
         )?;
+        for c in &self.cases {
+            if let CaseOutcome::Inconclusive { reason } = &c.outcome {
+                writeln!(f, "  [inconclusive] case {}: {}", c.case, reason)?;
+            }
+        }
         for c in self.triage() {
             if let CaseOutcome::Infringement {
                 infringement,
@@ -321,7 +379,34 @@ impl Auditor {
             };
         };
         let hierarchy = self.context.roles();
-        match check_case(&process.encoded, hierarchy, &entries, &self.options) {
+        // Fault isolation: a panic anywhere in one case's replay is caught
+        // at this boundary and reported as Inconclusive — it must never
+        // take down the run (or, under `parallel`, a worker thread). The
+        // auditor and entries are only read, so unwind safety is not a
+        // correctness concern beyond the poisoned case itself.
+        let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_case(&process.encoded, hierarchy, &entries, &self.options)
+        }));
+        let checked = match checked {
+            Ok(result) => result,
+            Err(payload) => {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return CaseResult {
+                    case,
+                    purpose: Some(purpose),
+                    entries: n,
+                    outcome: CaseOutcome::Inconclusive {
+                        reason: InconclusiveReason::Panicked { detail },
+                    },
+                    peak_configurations: 0,
+                };
+            }
+        };
+        match checked {
             Ok(CaseCheck {
                 verdict: Verdict::Compliant { can_complete },
                 peak_configurations,
@@ -350,6 +435,32 @@ impl Auditor {
                     peak_configurations,
                 }
             }
+            // Budget exhaustion is an isolation boundary, not a machinery
+            // failure: the case is inconclusive, the run goes on.
+            Err(CheckError::DeadlineExceeded {
+                entry_index,
+                limit_ms,
+            }) => CaseResult {
+                case,
+                purpose: Some(purpose),
+                entries: n,
+                outcome: CaseOutcome::Inconclusive {
+                    reason: InconclusiveReason::DeadlineExceeded {
+                        entry_index,
+                        limit_ms,
+                    },
+                },
+                peak_configurations: 0,
+            },
+            Err(CheckError::StepBudgetExhausted { entry_index, limit }) => CaseResult {
+                case,
+                purpose: Some(purpose),
+                entries: n,
+                outcome: CaseOutcome::Inconclusive {
+                    reason: InconclusiveReason::StepBudgetExhausted { entry_index, limit },
+                },
+                peak_configurations: 0,
+            },
             Err(e) => CaseResult {
                 case,
                 purpose: Some(purpose),
@@ -499,6 +610,25 @@ mod tests {
             violations.is_empty(),
             "unexpected preventive violations: {violations:?}"
         );
+    }
+
+    #[test]
+    fn poisoned_case_is_inconclusive_and_visible_in_report() {
+        let mut a = hospital_auditor();
+        a.options.failpoints = crate::replay::FailPoints {
+            panic_case: Some(sym("HT-1")),
+            ..Default::default()
+        };
+        let report = a.audit(&figure4_trail());
+        // The panic is confined to HT-1; the other seven cases keep their
+        // normal verdicts (Fig. 4: HT-2 + CT-1 compliant, five infringing).
+        assert_eq!(report.inconclusive_cases(), 1);
+        assert_eq!(report.compliant_cases(), 2);
+        assert_eq!(report.infringing_cases(), 5);
+        let text = report.to_string();
+        assert!(text.contains("1 inconclusive"), "{text}");
+        assert!(text.contains("[inconclusive] case HT-1"), "{text}");
+        assert!(text.contains("replay panicked"), "{text}");
     }
 
     #[test]

@@ -18,6 +18,16 @@ pub enum CheckError {
     UnknownPurpose { purpose: String },
     /// A case cannot be mapped to any purpose.
     UnresolvedCase { case: String },
+    /// The per-case wall-clock deadline
+    /// ([`crate::replay::CheckOptions::case_deadline_ms`]) expired while
+    /// consuming the entry at `entry_index`. The case is inconclusive, not
+    /// infringing — the auditor maps this to
+    /// [`crate::auditor::CaseOutcome::Inconclusive`].
+    DeadlineExceeded { entry_index: usize, limit_ms: u64 },
+    /// The per-case exploration budget
+    /// ([`crate::replay::CheckOptions::max_explored`]) was exhausted while
+    /// consuming the entry at `entry_index`.
+    StepBudgetExhausted { entry_index: usize, limit: usize },
 }
 
 impl fmt::Display for CheckError {
@@ -34,6 +44,17 @@ impl fmt::Display for CheckError {
             CheckError::UnresolvedCase { case } => {
                 write!(f, "case `{case}` cannot be mapped to a purpose")
             }
+            CheckError::DeadlineExceeded {
+                entry_index,
+                limit_ms,
+            } => write!(
+                f,
+                "case deadline of {limit_ms}ms expired while consuming entry {entry_index}"
+            ),
+            CheckError::StepBudgetExhausted { entry_index, limit } => write!(
+                f,
+                "exploration budget of {limit} successors exhausted while consuming entry {entry_index}"
+            ),
         }
     }
 }

@@ -54,15 +54,17 @@ pub mod session;
 pub mod severity;
 pub mod startup;
 
-pub use auditor::{AuditReport, Auditor, CaseOutcome, CaseResult, ProcessRegistry};
+pub use auditor::{
+    AuditReport, Auditor, CaseOutcome, CaseResult, InconclusiveReason, ProcessRegistry,
+};
 pub use drift::{allowed_successions, case_task_log, drift_report, DriftReport};
 pub use error::CheckError;
 pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};
 pub use live::{LiveAuditor, LiveEvent};
 pub use multitask::{multitasking_ratio, multitasking_report, MultitaskFinding};
 pub use replay::{
-    check_case, CaseCheck, CheckOptions, Configuration, Engine, Infringement, InfringementKind,
-    Verdict,
+    check_case, CaseCheck, CheckOptions, Configuration, Engine, FailPoints, Infringement,
+    InfringementKind, Verdict,
 };
 pub use session::{FeedOutcome, ReplaySession};
 pub use severity::{assess, SensitivityModel, SeverityAssessment};

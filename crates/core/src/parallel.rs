@@ -102,6 +102,7 @@ mod tests {
             CaseOutcome::Infringement { .. } => "infringement",
             CaseOutcome::Unresolved(_) => "unresolved",
             CaseOutcome::Failed(_) => "failed",
+            CaseOutcome::Inconclusive { .. } => "inconclusive",
         }
     }
 
@@ -126,5 +127,80 @@ mod tests {
         let trail = figure4_trail();
         let par = audit_parallel(&a, &trail, 64);
         assert_eq!(par.cases.len(), trail.cases().len());
+    }
+
+    // --- fault isolation ------------------------------------------------
+    //
+    // One deliberately poisoned case (panic or deadline) must not alter
+    // any other case's outcome, at any thread count, deterministically.
+
+    fn assert_blast_radius_confined(poison: crate::replay::FailPoints, expect_reason: &str) {
+        use crate::auditor::InconclusiveReason;
+        let trail = figure4_trail();
+        let clean = auditor().audit(&trail);
+        let poisoned_case = cows::sym("HT-2");
+
+        let mut a = auditor();
+        a.options.failpoints = poison;
+        if poison.stall_case.is_some() {
+            // Generous enough that every healthy Fig. 4 case finishes well
+            // inside it even in debug builds; the stalled case sleeps past
+            // it deterministically.
+            a.options.case_deadline_ms = Some(300);
+        }
+        for threads in [1, 2, 8] {
+            // Two runs per thread count: determinism, not luck.
+            for _ in 0..2 {
+                let par = audit_parallel(&a, &trail, threads);
+                assert_eq!(par.cases.len(), clean.cases.len());
+                for (p, s) in par.cases.iter().zip(&clean.cases) {
+                    assert_eq!(p.case, s.case);
+                    if p.case == poisoned_case {
+                        let CaseOutcome::Inconclusive { reason } = &p.outcome else {
+                            panic!("poisoned case must be inconclusive, got {:?}", p.outcome);
+                        };
+                        match expect_reason {
+                            "panicked" => {
+                                assert!(matches!(reason, InconclusiveReason::Panicked { .. }))
+                            }
+                            "deadline" => assert!(matches!(
+                                reason,
+                                InconclusiveReason::DeadlineExceeded { .. }
+                            )),
+                            other => unreachable!("{other}"),
+                        }
+                    } else {
+                        assert_eq!(
+                            outcome_key(&p.outcome),
+                            outcome_key(&s.outcome),
+                            "case {} outcome changed at {threads} threads",
+                            p.case
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_case_does_not_poison_the_run() {
+        assert_blast_radius_confined(
+            crate::replay::FailPoints {
+                panic_case: Some(cows::sym("HT-2")),
+                ..Default::default()
+            },
+            "panicked",
+        );
+    }
+
+    #[test]
+    fn deadline_blown_case_does_not_poison_the_run() {
+        assert_blast_radius_confined(
+            crate::replay::FailPoints {
+                stall_case: Some((cows::sym("HT-2"), 600)),
+                ..Default::default()
+            },
+            "deadline",
+        );
     }
 }

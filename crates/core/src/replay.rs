@@ -53,6 +53,28 @@ pub enum Engine {
     Automaton,
 }
 
+/// Deterministic fault-injection hooks for the chaos harness.
+///
+/// Inert by default (`FailPoints::default()` fires nothing); production
+/// paths never set them. Tests and the chaos suite use them to poison one
+/// chosen case — deterministically, at any thread count — and assert that
+/// the blast radius stays confined to that case
+/// ([`crate::auditor::CaseOutcome::Inconclusive`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailPoints {
+    /// Panic while consuming any entry of this case.
+    pub panic_case: Option<cows::Symbol>,
+    /// Sleep this many milliseconds before consuming each entry of this
+    /// case (drives the deadline path without a genuinely slow process).
+    pub stall_case: Option<(cows::Symbol, u64)>,
+}
+
+impl FailPoints {
+    pub fn is_inert(&self) -> bool {
+        self.panic_case.is_none() && self.stall_case.is_none()
+    }
+}
+
 /// Options for [`check_case`].
 #[derive(Clone, Copy, Debug)]
 pub struct CheckOptions {
@@ -70,6 +92,18 @@ pub struct CheckOptions {
     /// this temporal constraint is violated." Minutes from the case's
     /// first entry.
     pub max_case_minutes: Option<u64>,
+    /// Wall-clock budget for one case's replay, measured from session open.
+    /// Exceeding it aborts the case with
+    /// [`CheckError::DeadlineExceeded`](crate::error::CheckError) — an
+    /// *inconclusive* result, never a verdict — so one pathological case
+    /// cannot stall a whole audit run.
+    pub case_deadline_ms: Option<u64>,
+    /// Budget on total `WeakNext` successors explored for one case.
+    /// Exceeding it aborts the case with
+    /// [`CheckError::StepBudgetExhausted`](crate::error::CheckError).
+    pub max_explored: Option<usize>,
+    /// Chaos-testing fault injection (inert by default).
+    pub failpoints: FailPoints,
 }
 
 impl Default for CheckOptions {
@@ -80,6 +114,9 @@ impl Default for CheckOptions {
             max_configurations: 4_096,
             record_trace: false,
             max_case_minutes: None,
+            case_deadline_ms: None,
+            max_explored: None,
+            failpoints: FailPoints::default(),
         }
     }
 }

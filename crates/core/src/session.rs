@@ -84,6 +84,8 @@ pub struct SessionCore {
     consumed: usize,
     first_time: Option<Timestamp>,
     infringement: Option<Infringement>,
+    /// Wall-clock cutoff derived from `opts.case_deadline_ms` at open.
+    deadline: Option<std::time::Instant>,
 }
 
 impl SessionCore {
@@ -122,6 +124,9 @@ impl SessionCore {
             consumed: 0,
             first_time: None,
             infringement: None,
+            deadline: opts
+                .case_deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
         })
     }
 
@@ -217,6 +222,30 @@ impl SessionCore {
             return Ok(FeedOutcome::Rejected(inf.clone()));
         }
         let entry_index = self.consumed;
+
+        // Chaos failpoints (inert unless a test armed them).
+        if self.opts.failpoints.panic_case == Some(entry.case) {
+            panic!(
+                "failpoint: forced panic while consuming case {}",
+                entry.case
+            );
+        }
+        if let Some((case, ms)) = self.opts.failpoints.stall_case {
+            if case == entry.case {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+
+        // Fault isolation: a case that outlives its wall-clock budget is
+        // aborted as *inconclusive* — an engine limit, never a verdict.
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(CheckError::DeadlineExceeded {
+                    entry_index,
+                    limit_ms: self.opts.case_deadline_ms.unwrap_or(0),
+                });
+            }
+        }
 
         // Temporal constraint (§4): the whole case must fit in the window.
         let start = *self.first_time.get_or_insert(entry.time);
@@ -354,6 +383,15 @@ impl SessionCore {
                 }
             }
         };
+
+        // Fault isolation: the step budget caps total exploration work per
+        // case. Checked before the verdict so an exhausted case reads as
+        // inconclusive rather than as a spurious infringement.
+        if let Some(limit) = self.opts.max_explored {
+            if self.explored > limit {
+                return Err(CheckError::StepBudgetExhausted { entry_index, limit });
+            }
+        }
 
         if next_confs.len() == 0 {
             // Line 21: the entry cannot be simulated by the process.
@@ -600,6 +638,71 @@ mod tests {
                 limit_minutes: 60
             }
         );
+    }
+
+    #[test]
+    fn expired_deadline_aborts_as_engine_error_not_verdict() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let opts = CheckOptions {
+            // An already-expired deadline plus a stall failpoint: the very
+            // first feed must abort with DeadlineExceeded.
+            case_deadline_ms: Some(0),
+            ..CheckOptions::default()
+        };
+        let mut session = ReplaySession::new(&encoded, &h, opts).unwrap();
+        let err = session.feed(&entry("T", 1)).unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::DeadlineExceeded {
+                entry_index: 0,
+                limit_ms: 0
+            }
+        );
+    }
+
+    #[test]
+    fn exhausted_step_budget_aborts_with_entry_index() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let opts = CheckOptions {
+            max_explored: Some(0),
+            ..CheckOptions::default()
+        };
+        let mut session = ReplaySession::new(&encoded, &h, opts).unwrap();
+        let err = session.feed(&entry("T", 1)).unwrap_err();
+        assert!(
+            matches!(err, CheckError::StepBudgetExhausted { limit: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn panic_failpoint_fires_only_for_armed_case() {
+        let encoded = encode(&fig8_exclusive());
+        let h = RoleHierarchy::new();
+        let opts = CheckOptions {
+            failpoints: crate::replay::FailPoints {
+                panic_case: Some(cows::sym("poisoned")),
+                ..Default::default()
+            },
+            ..CheckOptions::default()
+        };
+        // Entries of other cases replay normally.
+        let mut session = ReplaySession::new(&encoded, &h, opts).unwrap();
+        assert!(matches!(
+            session.feed(&entry("T", 1)).unwrap(),
+            FeedOutcome::Accepted { .. }
+        ));
+        // The armed case panics (caught here; in production the auditor's
+        // catch_unwind turns this into CaseOutcome::Inconclusive).
+        let poisoned =
+            LogEntry::success("u", "P", Action::Read, None, "T", "poisoned", Timestamp(1));
+        let mut session = ReplaySession::new(&encoded, &h, opts).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = session.feed(&poisoned);
+        }));
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Chaos injectors: seeded, deterministic corruption of *rendered* trails.
+//!
+//! [`crate::attacks`] models semantic misuse inside well-formed trails;
+//! this module models the other failure family — transport- and
+//! storage-level damage to the log document itself (§3.4 assumes trails can
+//! be tampered with, §7 that they are often partial): flipped bits,
+//! truncated and mangled lines, duplicated and reordered records, skewed
+//! clocks, and hash-chain tampering. Every injector is driven by a seeded
+//! [`StdRng`], so a corruption scenario is reproducible from `(kind, hits,
+//! seed)` alone — the property the chaos suite and the CI seed matrix rely
+//! on.
+//!
+//! Injectors return a [`ChaosReport`] naming the hit lines and the cases
+//! recorded on them: the *potentially affected* set. The chaos suite does
+//! not trust it blindly — it recomputes the truly-unaffected cases by
+//! diffing per-case projections — but it is the right thing to print when a
+//! run needs explaining.
+
+use audit::chain::ChainedTrail;
+use audit::trail::AuditTrail;
+use cows::symbol::{sym, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A class of text-level corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Flip one bit of an alphanumeric byte on a line.
+    BitFlip,
+    /// Cut a line short mid-record.
+    TruncateLine,
+    /// Delete one whitespace-separated column from a line.
+    DropColumn,
+    /// Write a line twice.
+    DuplicateEntry,
+    /// Swap two differently-timed lines in storage order (the parsed
+    /// multiset is unchanged — only physical order is damaged).
+    ShuffleLines,
+    /// Push one entry's timestamp days into the future (a skewed collector
+    /// clock; the line stays well-formed).
+    ClockSkew,
+}
+
+/// All text-level injectors, for exhaustive sweeps.
+pub const TEXT_INJECTORS: [ChaosKind; 6] = [
+    ChaosKind::BitFlip,
+    ChaosKind::TruncateLine,
+    ChaosKind::DropColumn,
+    ChaosKind::DuplicateEntry,
+    ChaosKind::ShuffleLines,
+    ChaosKind::ClockSkew,
+];
+
+impl ChaosKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosKind::BitFlip => "bit-flip",
+            ChaosKind::TruncateLine => "truncate-line",
+            ChaosKind::DropColumn => "drop-column",
+            ChaosKind::DuplicateEntry => "duplicate-entry",
+            ChaosKind::ShuffleLines => "shuffle-lines",
+            ChaosKind::ClockSkew => "clock-skew",
+        }
+    }
+}
+
+/// What an injector touched.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// 1-based line numbers that were corrupted (for
+    /// [`tamper_chain`], the 1-based entry positions of the tampered
+    /// suffix start).
+    pub hit_lines: Vec<usize>,
+    /// Cases recorded on the hit lines — the potentially affected set.
+    pub cases_on_hit_lines: BTreeSet<Symbol>,
+}
+
+fn case_of_line(line: &str) -> Option<Symbol> {
+    line.split_whitespace().nth(5).map(sym)
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Corrupt up to `hits` lines of a rendered trail document with one class
+/// of damage. Deterministic in `(kind, hits, seed)`; comment and blank
+/// lines are never targeted.
+pub fn inject_text(text: &str, kind: ChaosKind, hits: usize, seed: u64) -> (String, ChaosReport) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let candidates: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let mut report = ChaosReport::default();
+    if candidates.is_empty() || hits == 0 {
+        return (text.to_string(), report);
+    }
+
+    if kind == ChaosKind::ShuffleLines {
+        // Swap pairs of differently-timed records; same parsed multiset.
+        for _ in 0..hits {
+            for _ in 0..32 {
+                let i = candidates[rng.gen_range(0..candidates.len())];
+                let j = candidates[rng.gen_range(0..candidates.len())];
+                let (ti, tj) = (
+                    lines[i].split_whitespace().nth(6).map(str::to_string),
+                    lines[j].split_whitespace().nth(6).map(str::to_string),
+                );
+                if i != j && ti != tj {
+                    report.hit_lines.push(i + 1);
+                    report.hit_lines.push(j + 1);
+                    report.cases_on_hit_lines.extend(case_of_line(&lines[i]));
+                    report.cases_on_hit_lines.extend(case_of_line(&lines[j]));
+                    lines.swap(i, j);
+                    break;
+                }
+            }
+        }
+        report.hit_lines.sort_unstable();
+        report.hit_lines.dedup();
+        let mut out = lines.join("\n");
+        out.push('\n');
+        return (out, report);
+    }
+
+    // Per-line damage: pick distinct target lines, then apply in
+    // descending order so DuplicateEntry insertions don't shift later
+    // targets.
+    let want = hits.min(candidates.len());
+    let mut chosen: BTreeSet<usize> = BTreeSet::new();
+    let mut tries = 0;
+    while chosen.len() < want && tries < 32 * want + 64 {
+        chosen.insert(candidates[rng.gen_range(0..candidates.len())]);
+        tries += 1;
+    }
+    for &idx in chosen.iter().rev() {
+        report.cases_on_hit_lines.extend(case_of_line(&lines[idx]));
+        match kind {
+            ChaosKind::BitFlip => {
+                let mut bytes = lines[idx].clone().into_bytes();
+                if bytes.is_empty() {
+                    continue;
+                }
+                let start = rng.gen_range(0..bytes.len());
+                if let Some(p) = (0..bytes.len())
+                    .map(|o| (start + o) % bytes.len())
+                    .find(|&p| bytes[p].is_ascii_alphanumeric())
+                {
+                    bytes[p] ^= 0x02;
+                    lines[idx] = String::from_utf8(bytes).expect("ascii flip stays utf8");
+                }
+            }
+            ChaosKind::TruncateLine => {
+                let len = lines[idx].len();
+                if len > 1 {
+                    let cut = floor_char_boundary(&lines[idx], rng.gen_range(1..len));
+                    lines[idx].truncate(cut.max(1));
+                }
+            }
+            ChaosKind::DropColumn => {
+                let mut cols: Vec<&str> = lines[idx].split_whitespace().collect();
+                if !cols.is_empty() {
+                    cols.remove(rng.gen_range(0..cols.len()));
+                    lines[idx] = cols.join(" ");
+                }
+            }
+            ChaosKind::DuplicateEntry => {
+                let copy = lines[idx].clone();
+                lines.insert(idx + 1, copy);
+            }
+            ChaosKind::ClockSkew => {
+                let cols: Vec<String> = lines[idx].split_whitespace().map(str::to_string).collect();
+                if cols.len() == 8 {
+                    if let Ok(t) = cols[6].parse::<audit::time::Timestamp>() {
+                        let skewed = t.plus_days(rng.gen_range(1..30u64));
+                        let mut cols = cols;
+                        cols[6] = skewed.to_string();
+                        lines[idx] = cols.join(" ");
+                    }
+                }
+            }
+            ChaosKind::ShuffleLines => unreachable!("handled above"),
+        }
+        report.hit_lines.push(idx + 1);
+    }
+    report.hit_lines.sort_unstable();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    (out, report)
+}
+
+/// Commit `trail` to a hash chain, then tamper one mid-trail entry in
+/// storage (without re-keying digests) — the §3.4 integrity-breach
+/// scenario. The report's `cases_on_hit_lines` holds every case with an
+/// entry at or after the broken link, i.e. the cases that lose entries when
+/// [`audit::salvage::salvage_chained`] quarantines the suffix.
+pub fn tamper_chain(trail: &AuditTrail, seed: u64) -> (ChainedTrail, ChaosReport) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chained = ChainedTrail::commit(trail.clone());
+    if trail.len() < 2 {
+        return (chained, ChaosReport::default());
+    }
+    // Mid-trail hit: leaves both a non-empty intact prefix and a non-empty
+    // quarantined suffix.
+    let idx = rng.gen_range(trail.len() / 4..(3 * trail.len()) / 4);
+    let mut entries = trail.entries().to_vec();
+    entries[idx].task = sym("TAMPERED");
+    *chained.tamper() = AuditTrail::from_entries(entries);
+    let report = ChaosReport {
+        hit_lines: vec![idx + 1],
+        cases_on_hit_lines: trail.entries()[idx..].iter().map(|e| e.case).collect(),
+    };
+    (chained, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audit::codec::{format_trail, parse_trail};
+    use audit::entry::LogEntry;
+    use audit::salvage::{parse_trail_salvage, salvage_chained};
+    use audit::time::Timestamp;
+    use policy::statement::Action;
+
+    fn sample_trail() -> AuditTrail {
+        let mut entries = Vec::new();
+        for i in 0..20u64 {
+            entries.push(LogEntry::success(
+                "John",
+                "GP",
+                Action::Read,
+                None,
+                format!("T{:02}", i % 5).as_str(),
+                format!("HT-{}", i / 5).as_str(),
+                Timestamp(1000 + i),
+            ));
+        }
+        AuditTrail::from_entries(entries)
+    }
+
+    #[test]
+    fn injectors_are_deterministic_in_seed() {
+        let text = format_trail(&sample_trail());
+        for kind in TEXT_INJECTORS {
+            let (a, ra) = inject_text(&text, kind, 3, 42);
+            let (b, rb) = inject_text(&text, kind, 3, 42);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            assert_eq!(ra, rb);
+            let (c, _) = inject_text(&text, kind, 3, 43);
+            assert_ne!(a, c, "{kind:?} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn injectors_report_hits_and_cases() {
+        let text = format_trail(&sample_trail());
+        for kind in TEXT_INJECTORS {
+            let (corrupt, report) = inject_text(&text, kind, 3, 7);
+            assert!(!report.hit_lines.is_empty(), "{kind:?} hit nothing");
+            assert!(
+                !report.cases_on_hit_lines.is_empty(),
+                "{kind:?} reported no cases"
+            );
+            assert_ne!(corrupt, text, "{kind:?} left the text unchanged");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_parsed_multiset() {
+        let text = format_trail(&sample_trail());
+        let (corrupt, _) = inject_text(&text, ChaosKind::ShuffleLines, 3, 11);
+        // Physical order differs, parsed (sorted) trail is identical.
+        let clean = parse_trail(&text).unwrap();
+        let (salvaged, q) = parse_trail_salvage(&corrupt);
+        assert_eq!(clean, salvaged);
+        assert!(q.lines.is_empty());
+        assert!(!q.out_of_order.is_empty(), "disorder must be recorded");
+    }
+
+    #[test]
+    fn duplicate_lines_are_quarantined_as_duplicates() {
+        let text = format_trail(&sample_trail());
+        let (corrupt, report) = inject_text(&text, ChaosKind::DuplicateEntry, 3, 13);
+        let (salvaged, q) = parse_trail_salvage(&corrupt);
+        assert_eq!(salvaged, parse_trail(&text).unwrap());
+        assert_eq!(q.lines.len(), report.hit_lines.len());
+        assert!(q
+            .lines
+            .iter()
+            .all(|l| l.reason.label() == "duplicate-entry"));
+    }
+
+    #[test]
+    fn drop_column_always_quarantines() {
+        let text = format_trail(&sample_trail());
+        let (corrupt, report) = inject_text(&text, ChaosKind::DropColumn, 4, 17);
+        let (_, q) = parse_trail_salvage(&corrupt);
+        assert_eq!(q.lines.len(), report.hit_lines.len());
+        assert!(q
+            .lines
+            .iter()
+            .all(|l| l.reason.label() == "bad-column-count"));
+    }
+
+    #[test]
+    fn chain_tamper_splits_prefix_and_suffix() {
+        let trail = sample_trail();
+        let (chained, report) = tamper_chain(&trail, 99);
+        assert!(chained.verify().is_err());
+        let (salvaged, q) = salvage_chained(&chained);
+        let first_bad = report.hit_lines[0] - 1;
+        assert_eq!(salvaged.len(), first_bad);
+        assert_eq!(q.lines.len(), trail.len() - first_bad);
+        assert!(!salvaged.is_empty(), "prefix must survive a mid-trail hit");
+    }
+}

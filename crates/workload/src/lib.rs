@@ -11,14 +11,19 @@
 //!   §2/§4 (re-purposing, case reuse/mimicry, task skipping, wrong role,
 //!   reordering);
 //! * [`hospital`] — the §1 Geneva-scale day model (20,000 record opens)
-//!   with ground truth.
+//!   with ground truth;
+//! * [`chaos`] — seeded transport/storage-level corruption of rendered
+//!   trails (bit flips, truncation, duplication, shuffles, clock skew,
+//!   chain tampering), driving the degraded-mode chaos suite.
 
 pub mod attacks;
+pub mod chaos;
 pub mod hospital;
 pub mod procgen;
 pub mod simulate;
 
 pub use attacks::Injection;
+pub use chaos::{inject_text, tamper_chain, ChaosKind, ChaosReport, TEXT_INJECTORS};
 pub use hospital::{generate_day, HospitalConfig, HospitalDay};
 pub use procgen::{generate, ProcGenConfig};
 pub use simulate::{simulate_case, SimConfig, TaskProfiles};

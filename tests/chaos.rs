@@ -1,0 +1,222 @@
+//! Chaos suite: seeded corruption of a rendered hospital trail, then a
+//! degraded-mode (salvage) audit. The invariant under test, per injector
+//! and seed:
+//!
+//! 1. **Survival** — salvage ingestion never fails, and everything it sets
+//!    aside carries a typed [`QuarantineReason`].
+//! 2. **Verdict stability** — every case whose per-case projection is
+//!    untouched by the corruption gets an outcome byte-identical (via
+//!    `Debug`) to the clean run's.
+//!
+//! "Untouched" is *recomputed* from the data (projection diff between the
+//! clean and salvaged parses), not taken from the injector's own report —
+//! so the suite stays valid for any RNG backend.
+//!
+//! Seeds come from `CHAOS_SEED` (the CI matrix) or default to a fixed
+//! trio so local `cargo test` exercises several corruption layouts.
+
+use audit::codec::{format_trail, parse_trail};
+use audit::salvage::{parse_trail_salvage, salvage_chained, Quarantine};
+use audit::trail::AuditTrail;
+use bpmn::models::{clinical_trial, healthcare_treatment};
+use cows::symbol::Symbol;
+use policy::samples::{
+    clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+};
+use purpose_control::auditor::{AuditReport, Auditor, ProcessRegistry};
+use purpose_control::parallel::audit_parallel;
+use std::collections::BTreeMap;
+use workload::hospital::{generate_day, HospitalConfig};
+use workload::{tamper_chain, TEXT_INJECTORS};
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => vec![7, 42, 1337],
+    }
+}
+
+fn hospital_auditor() -> Auditor {
+    let mut registry = ProcessRegistry::new();
+    registry.register(treatment(), healthcare_treatment());
+    registry.register(clinical_trial_purpose(), clinical_trial());
+    registry.add_case_prefix("HT-", treatment());
+    registry.add_case_prefix("CT-", clinical_trial_purpose());
+    Auditor::new(registry, extended_hospital_policy(), hospital_context())
+}
+
+fn small_day(seed: u64) -> AuditTrail {
+    generate_day(
+        &HospitalConfig {
+            target_entries: 240,
+            trial_fraction: 0.1,
+            attack_fraction: 0.2,
+            error_prob: 0.1,
+        },
+        seed,
+    )
+    .trail
+}
+
+/// Per-case projection: the canonical rendering of the case's entries, in
+/// trail order. Two equal projections replay identically.
+fn projections(trail: &AuditTrail) -> BTreeMap<Symbol, Vec<String>> {
+    let mut map: BTreeMap<Symbol, Vec<String>> = BTreeMap::new();
+    for e in trail.entries() {
+        map.entry(e.case).or_default().push(e.to_string());
+    }
+    map
+}
+
+/// Cases present in both trails with identical projections.
+fn unaffected_cases(clean: &AuditTrail, salvaged: &AuditTrail) -> Vec<Symbol> {
+    let a = projections(clean);
+    let b = projections(salvaged);
+    a.iter()
+        .filter(|(case, proj)| b.get(*case) == Some(proj))
+        .map(|(&case, _)| case)
+        .collect()
+}
+
+fn outcome_by_case(report: &AuditReport) -> BTreeMap<Symbol, String> {
+    report
+        .cases
+        .iter()
+        .map(|c| (c.case, format!("{:?}", c.outcome)))
+        .collect()
+}
+
+fn assert_verdicts_stable(
+    clean_trail: &AuditTrail,
+    clean: &BTreeMap<Symbol, String>,
+    salvaged_trail: &AuditTrail,
+    context: &str,
+) {
+    let auditor = hospital_auditor();
+    let degraded = outcome_by_case(&audit_parallel(&auditor, salvaged_trail, 4));
+    for case in unaffected_cases(clean_trail, salvaged_trail) {
+        assert_eq!(
+            clean.get(&case),
+            degraded.get(&case),
+            "[{context}] verdict drifted for unaffected case {case}"
+        );
+    }
+}
+
+fn assert_typed_reasons(q: &Quarantine, context: &str) {
+    assert_eq!(
+        q.scanned,
+        q.kept + q.lines.len(),
+        "[{context}] quarantine accounting must balance"
+    );
+    for l in &q.lines {
+        assert!(!l.reason.label().is_empty());
+        assert!(
+            !l.text.is_empty(),
+            "[{context}] quarantined line {} lost its text",
+            l.line
+        );
+    }
+}
+
+#[test]
+fn corrupted_trails_survive_salvage_with_stable_verdicts() {
+    for seed in seeds() {
+        let clean_trail = small_day(seed);
+        let text = format_trail(&clean_trail);
+        let auditor = hospital_auditor();
+        let clean = outcome_by_case(&audit_parallel(&auditor, &clean_trail, 4));
+
+        for kind in TEXT_INJECTORS {
+            let context = format!("seed {seed}, {}", kind.label());
+            let (corrupt, _) = workload::inject_text(&text, kind, 3, seed);
+            let (salvaged, q) = parse_trail_salvage(&corrupt);
+            assert_typed_reasons(&q, &context);
+            assert_verdicts_stable(&clean_trail, &clean, &salvaged, &context);
+        }
+    }
+}
+
+#[test]
+fn tampered_chain_audits_intact_prefix_quarantines_suffix() {
+    for seed in seeds() {
+        let clean_trail = small_day(seed);
+        let auditor = hospital_auditor();
+        let clean = outcome_by_case(&audit_parallel(&auditor, &clean_trail, 4));
+
+        let (chained, report) = tamper_chain(&clean_trail, seed);
+        assert!(chained.verify().is_err(), "tampering must break the chain");
+        let (salvaged, q) = salvage_chained(&chained);
+        let context = format!("seed {seed}, chain-tamper");
+
+        let first_bad = report.hit_lines[0] - 1;
+        assert_eq!(salvaged.len(), first_bad, "[{context}] prefix length");
+        assert_eq!(
+            q.lines.len(),
+            clean_trail.len() - first_bad,
+            "[{context}] suffix quarantined"
+        );
+        assert!(q
+            .lines
+            .iter()
+            .all(|l| l.reason.label() == "chain-break-suffix"));
+        assert_typed_reasons(&q, &context);
+        assert_verdicts_stable(&clean_trail, &clean, &salvaged, &context);
+    }
+}
+
+#[test]
+fn clean_trail_salvage_is_a_noop_with_identical_verdicts() {
+    let clean_trail = small_day(2026);
+    let text = format_trail(&clean_trail);
+    let strict = parse_trail(&text).unwrap();
+    let (salvaged, q) = parse_trail_salvage(&text);
+    assert!(q.is_clean(), "clean text must not quarantine anything: {q}");
+    assert_eq!(strict, salvaged);
+
+    let auditor = hospital_auditor();
+    let clean = outcome_by_case(&audit_parallel(&auditor, &clean_trail, 4));
+    let degraded = outcome_by_case(&audit_parallel(&auditor, &salvaged, 4));
+    assert_eq!(clean, degraded);
+}
+
+// --- golden corrupted corpus (rand-independent) -------------------------
+
+#[test]
+fn golden_mixed_corruption_quarantines_exactly() {
+    let text = include_str!("fixtures/corrupted_mixed.trail");
+    let (trail, q) = parse_trail_salvage(text);
+    assert_eq!(q.scanned, 10);
+    assert_eq!(q.kept, 5);
+    assert_eq!(trail.len(), 5);
+    assert!(trail.is_chronological());
+
+    let got: Vec<(usize, &'static str)> =
+        q.lines.iter().map(|l| (l.line, l.reason.label())).collect();
+    assert_eq!(
+        got,
+        vec![
+            (4, "bad-column-count"),
+            (5, "duplicate-entry"),
+            (6, "bad-action"),
+            (7, "bad-time"),
+            (8, "bad-status"),
+        ]
+    );
+    assert_eq!(q.out_of_order.len(), 1);
+    assert_eq!(q.out_of_order[0].line, 10);
+    // Every quarantine record carries the offending text.
+    assert!(q.lines.iter().all(|l| !l.text.is_empty()));
+}
+
+#[test]
+fn golden_shuffled_trail_matches_strict_parse_and_reports_disorder() {
+    let text = include_str!("fixtures/shuffled.trail");
+    let strict = parse_trail(text).unwrap();
+    let (salvaged, q) = parse_trail_salvage(text);
+    assert_eq!(strict, salvaged);
+    assert!(salvaged.is_chronological());
+    assert!(q.lines.is_empty());
+    let lines: Vec<usize> = q.out_of_order.iter().map(|o| o.line).collect();
+    assert_eq!(lines, vec![3, 4]);
+}
