@@ -26,8 +26,8 @@ pub use chain::{ChainedTrail, IntegrityViolation};
 pub use codec::{format_trail, parse_trail, ParseErrorKind, TrailParseError};
 pub use entry::{LogEntry, TaskStatus};
 pub use salvage::{
-    parse_trail_salvage, salvage_chained, OutOfOrderArrival, Quarantine, QuarantineReason,
-    QuarantinedLine,
+    parse_trail_salvage, parse_trail_salvage_traced, salvage_chained, OutOfOrderArrival,
+    Quarantine, QuarantineReason, QuarantinedLine,
 };
 pub use stats::{trail_stats, TrailStats};
 pub use time::Timestamp;

@@ -212,6 +212,33 @@ impl fmt::Display for Quarantine {
 /// keeps salvage ingestion allocation-free on the dedup path, which is
 /// what holds the overhead vs. strict mode inside the P10 acceptance
 /// gate.
+/// [`parse_trail_salvage`] with telemetry: when the parse was lossy, a
+/// `Degraded` summary event plus one `Quarantined`/`Noted` event per
+/// incident are emitted on the recorder — the structured form of the
+/// degraded-mode block the CLI renders. A clean parse emits nothing.
+pub fn parse_trail_salvage_traced(
+    text: &str,
+    recorder: &obs::Recorder,
+) -> (AuditTrail, Quarantine) {
+    let (trail, quarantine) = parse_trail_salvage(text);
+    if !quarantine.is_clean() {
+        recorder.emit(|| obs::ObsEvent::Degraded {
+            detail: quarantine.to_string(),
+        });
+        for line in &quarantine.lines {
+            recorder.emit(|| obs::ObsEvent::Quarantined {
+                line: line.to_string(),
+            });
+        }
+        for arrival in &quarantine.out_of_order {
+            recorder.emit(|| obs::ObsEvent::Noted {
+                arrival: arrival.to_string(),
+            });
+        }
+    }
+    (trail, quarantine)
+}
+
 pub fn parse_trail_salvage(text: &str) -> (AuditTrail, Quarantine) {
     let mut q = Quarantine::default();
     // Pre-size the per-entry containers from a byte-length estimate

@@ -44,6 +44,16 @@ impl TrailStats {
             _ => 0,
         }
     }
+
+    /// Export the trail's shape into a metrics registry (gauges — these
+    /// are levels of the audited input, not flows).
+    pub fn export_into(&self, registry: &obs::Registry) {
+        registry.set_gauge("trail_entries", self.entries as f64);
+        registry.set_gauge("trail_cases", self.cases as f64);
+        registry.set_gauge("trail_users", self.users as f64);
+        registry.set_gauge("trail_failures", self.failures as f64);
+        registry.set_gauge("trail_span_minutes", self.span_minutes() as f64);
+    }
 }
 
 fn sorted_counts(map: HashMap<Symbol, usize>) -> Vec<(Symbol, usize)> {

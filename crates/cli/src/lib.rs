@@ -12,18 +12,21 @@
 //!                     [--threads N] [--object OBJ] [--max-minutes M]
 //!                     [--salvage] [--quarantine-out <file>]
 //!                     [--case-deadline-ms N] [--case-step-budget N]
+//!                     [--metrics-out <file>] [--prom-out <file>]
+//!                     [--trace-out <file>] [--explain <case>] [--verbose]
 //! ```
 //!
 //! The library surface ([`run`]) takes argv-style arguments and a writer,
 //! so every command is unit-testable without spawning processes.
 
 use audit::codec::{format_trail, parse_trail};
-use audit::salvage::{parse_trail_salvage, Quarantine};
+use audit::salvage::{parse_trail_salvage_traced, Quarantine};
 use audit::trail::AuditTrail;
 use bpmn::encode::{encode, Encoded};
 use bpmn::parse::parse_process;
 use bpmn::ProcessModel;
 use cows::lts::{explore, ExploreLimits};
+use obs::{ObsEvent, Recorder};
 use policy::parse::parse_policy;
 use policy::samples::hospital_roles;
 use policy::{Policy, PolicyContext};
@@ -80,6 +83,16 @@ USAGE:
                       [--automaton-cache <dir>] [--no-automaton-cache]
                       [--salvage] [--quarantine-out <file>]
                       [--case-deadline-ms <N>] [--case-step-budget <N>]
+                      [--metrics-out <file>] [--prom-out <file>]
+                      [--trace-out <file>] [--explain <case>] [--verbose]
+
+Observability: --metrics-out / --prom-out export the run's metrics
+(case outcomes, cache and automaton counters, trail shape) as JSON /
+Prometheus text. --trace-out writes one deterministic JSONL evidence line
+per replayed case: the configuration path Algorithm 1 walked, with the
+WeakNext frontier size per step and the exact entry that triggered
+sys-Err. --explain <case> renders that path human-readably for one case.
+--verbose additionally prints the structured replay event stream.
 
 Degraded mode: --salvage keeps auditing a damaged trail instead of aborting
 on the first malformed line — bad lines are quarantined with typed reasons
@@ -195,7 +208,7 @@ fn warm_start(encoded: &Encoded, cache: Option<&Path>) -> (StartupStats, usize) 
 /// Re-save the snapshot if replay expanded states beyond what the load
 /// carried. Save failures are reported but never affect the exit code —
 /// the verdict is already computed.
-fn save_if_grown(encoded: &Encoded, cache: Option<&Path>, baseline: usize, out: &mut dyn Write) {
+fn save_if_grown(encoded: &Encoded, cache: Option<&Path>, baseline: usize, diag: &Recorder) {
     let Some(path) = cache else { return };
     if encoded.automaton.stats().expanded <= baseline {
         return;
@@ -205,11 +218,25 @@ fn save_if_grown(encoded: &Encoded, cache: Option<&Path>, baseline: usize, out: 
     }
     match encoded.save_snapshot(path) {
         Ok(()) => {
-            writeln!(out, "automaton: snapshot saved to {}", path.display()).ok();
+            diag.emit(|| ObsEvent::SnapshotSaved {
+                path: path.display().to_string(),
+            });
         }
         Err(e) => {
-            writeln!(out, "automaton: snapshot not saved: {e}").ok();
+            diag.emit(|| ObsEvent::Diagnostic {
+                detail: format!("automaton: snapshot not saved: {e}"),
+            });
         }
+    }
+}
+
+/// Drain `recorder` and render every buffered event through its `Display`
+/// form — the single rendering path for all CLI diagnostics. Lifecycle
+/// events (startup, salvage, snapshots) and `--verbose` replay events both
+/// flow through here; nothing in the CLI writes diagnostic lines directly.
+fn render_events(recorder: &Recorder, out: &mut dyn Write) {
+    for timed in recorder.drain() {
+        writeln!(out, "{}", timed.event).ok();
     }
 }
 
@@ -226,11 +253,12 @@ fn load_trail(path: &str) -> Result<AuditTrail, CliError> {
 }
 
 /// Load a trail in degraded mode: malformed lines are quarantined with
-/// typed reasons instead of aborting the audit.
-fn load_trail_salvage(path: &str) -> Result<(AuditTrail, Quarantine), CliError> {
+/// typed reasons instead of aborting the audit. Quarantine diagnostics are
+/// emitted as structured events on `diag`.
+fn load_trail_salvage(path: &str, diag: &Recorder) -> Result<(AuditTrail, Quarantine), CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| fail(format!("cannot read trail file `{path}`: {e}")))?;
-    Ok(parse_trail_salvage(&text))
+    Ok(parse_trail_salvage_traced(&text, diag))
 }
 
 fn load_policy(path: &str) -> Result<Policy, CliError> {
@@ -367,10 +395,15 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         Engine::Direct => None,
         _ => automaton_cache_file(args, &process_path),
     };
+    let diag = Recorder::new();
     let (startup, expanded_at_start) = warm_start(&encoded, cache.as_deref());
     if cache.is_some() {
-        writeln!(out, "automaton: {startup}").ok();
+        diag.emit(|| ObsEvent::Startup {
+            purpose: None,
+            detail: startup.to_string(),
+        });
     }
+    render_events(&diag, out);
 
     if lenient > 0 {
         let res = check_case_lenient(
@@ -383,7 +416,8 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             },
         )
         .map_err(|e| fail(format!("replay failed: {e}")))?;
-        save_if_grown(&encoded, cache.as_deref(), expanded_at_start, out);
+        save_if_grown(&encoded, cache.as_deref(), expanded_at_start, &diag);
+        render_events(&diag, out);
         writeln!(out, "case {case}: {:?}", res.verdict).ok();
         if !res.assumed.is_empty() {
             writeln!(out, "assumed silent activities: {:?}", res.assumed).ok();
@@ -393,7 +427,8 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
 
     let res = check_case(&encoded, &hierarchy, &entries, &opts)
         .map_err(|e| fail(format!("replay failed: {e}")))?;
-    save_if_grown(&encoded, cache.as_deref(), expanded_at_start, out);
+    save_if_grown(&encoded, cache.as_deref(), expanded_at_start, &diag);
+    render_events(&diag, out);
     for step in &res.steps {
         let e = entries[step.entry_index];
         writeln!(
@@ -413,26 +448,33 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     if args.flag("quarantine-out").is_some() && !salvage {
         return Err(fail("--quarantine-out requires --salvage"));
     }
+    // Lifecycle recorder: startup, salvage, and snapshot diagnostics all
+    // become structured events, rendered at the same points the old ad-hoc
+    // writeln!s sat so the visible output is unchanged.
+    let diag = Recorder::new();
     let (trail, quarantine) = if salvage {
-        let (trail, q) = load_trail_salvage(trail_path)?;
+        let (trail, q) = load_trail_salvage(trail_path, &diag)?;
         (trail, Some(q))
     } else {
         (load_trail(trail_path)?, None)
     };
     if let Some(q) = &quarantine {
-        writeln!(out, "degraded mode: {q}").ok();
-        for line in &q.lines {
-            writeln!(out, "  quarantined {line}").ok();
-        }
-        for arrival in &q.out_of_order {
-            writeln!(out, "  noted {arrival}").ok();
+        if q.is_clean() {
+            // The traced parser stays silent on a clean parse; the CLI still
+            // confirms that degraded mode was active.
+            diag.emit(|| ObsEvent::Degraded {
+                detail: q.to_string(),
+            });
         }
         if let Some(path) = args.flag("quarantine-out") {
             std::fs::write(path, q.render())
                 .map_err(|e| fail(format!("cannot write quarantine report `{path}`: {e}")))?;
-            writeln!(out, "quarantine report written to {path}").ok();
+            diag.emit(|| ObsEvent::QuarantineReport {
+                path: path.to_string(),
+            });
         }
     }
+    render_events(&diag, out);
     let mut registry = ProcessRegistry::new();
     let processes = args.flag_all("process");
     if processes.is_empty() {
@@ -443,6 +485,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     // registry, but the compiled automaton is shared behind `Arc`s, so
     // warm-starting here and re-saving after the audit works through them.
     let mut snapshots: Vec<(Arc<RegisteredProcess>, PathBuf, usize)> = Vec::new();
+    let mut startups: Vec<StartupStats> = Vec::new();
     for spec in processes {
         let (purpose, path) = spec
             .split_once('=')
@@ -454,10 +497,16 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         };
         if let (Some(cache), Some(rp)) = (cache, registry.process_for(cows::sym(purpose))) {
             let (startup, expanded_at_start) = warm_start(&rp.encoded, Some(&cache));
-            writeln!(out, "automaton[{purpose}]: {startup}").ok();
+            let purpose = purpose.to_string();
+            diag.emit(|| ObsEvent::Startup {
+                purpose: Some(purpose),
+                detail: startup.to_string(),
+            });
+            startups.push(startup);
             snapshots.push((rp.clone(), cache, expanded_at_start));
         }
     }
+    render_events(&diag, out);
     for spec in args.flag_all("map") {
         let (prefix, purpose) = spec
             .split_once('=')
@@ -471,6 +520,24 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     let context = PolicyContext::new(hospital_roles());
     let mut auditor = Auditor::new(registry, policy, context);
     auditor.options.engine = engine;
+
+    // Observability surface: metrics registry, evidence traces, verbose
+    // replay event stream.
+    let verbose = args.has("verbose");
+    let trace_out = args.flag("trace-out");
+    let explain = args.flag("explain");
+    let metrics = (args.flag("metrics-out").is_some() || args.flag("prom-out").is_some())
+        .then(|| Arc::new(obs::Registry::new()));
+    if let Some(registry) = &metrics {
+        purpose_control::register_audit_metrics(registry);
+        audit::trail_stats(&trail).export_into(registry);
+    }
+    auditor.metrics = metrics.clone();
+    auditor.options.record_evidence = trace_out.is_some() || explain.is_some();
+    if verbose {
+        auditor.recorder = Recorder::new();
+        cows::semantics::set_cache_recorder(auditor.recorder.clone());
+    }
     if let Some(m) = args.flag("max-minutes") {
         auditor.options.max_case_minutes =
             Some(m.parse().map_err(|_| fail("--max-minutes: not a number"))?);
@@ -499,7 +566,14 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     };
 
     for (rp, cache, expanded_at_start) in &snapshots {
-        save_if_grown(&rp.encoded, Some(cache), *expanded_at_start, out);
+        save_if_grown(&rp.encoded, Some(cache), *expanded_at_start, &diag);
+    }
+    render_events(&diag, out);
+    if verbose {
+        // Replay detail events (case lifecycle, per-entry steps, automaton
+        // expansions, cache evictions) share the lifecycle rendering path.
+        render_events(&auditor.recorder, out);
+        cows::semantics::set_cache_recorder(Recorder::noop());
     }
     write!(out, "{report}").ok();
     for case in &report.cases {
@@ -530,6 +604,57 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             case.entries
         )
         .ok();
+    }
+
+    if let Some(name) = explain {
+        let result = report
+            .cases
+            .iter()
+            .find(|c| c.case.to_string() == name)
+            .ok_or_else(|| fail(format!("--explain: case `{name}` not found in this audit")))?;
+        match auditor.case_evidence(&trail, result) {
+            Some(ev) => write!(out, "{}", ev.render_explain()).ok(),
+            None => writeln!(
+                out,
+                "case {name}: no evidence trace (outcome: {})",
+                purpose_control::auditor::outcome_label(&result.outcome)
+            )
+            .ok(),
+        };
+    }
+    if let Some(path) = trace_out {
+        let mut jsonl = String::new();
+        for case in &report.cases {
+            if let Some(ev) = auditor.case_evidence(&trail, case) {
+                jsonl.push_str(&ev.to_json_line());
+                jsonl.push('\n');
+            }
+        }
+        std::fs::write(path, jsonl)
+            .map_err(|e| fail(format!("cannot write trace file `{path}`: {e}")))?;
+    }
+    if let Some(registry) = &metrics {
+        for purpose in auditor.registry.purposes() {
+            if let Some(rp) = auditor.registry.process_for(purpose) {
+                rp.encoded.automaton.stats().export_into(registry);
+            }
+        }
+        for startup in &startups {
+            startup.export_into(registry);
+        }
+        cows::semantics::cache_stats().export_into(registry);
+        registry.set_counter(
+            "recorder_events_dropped",
+            auditor.recorder.dropped() + diag.dropped(),
+        );
+        if let Some(path) = args.flag("metrics-out") {
+            std::fs::write(path, registry.to_json())
+                .map_err(|e| fail(format!("cannot write metrics file `{path}`: {e}")))?;
+        }
+        if let Some(path) = args.flag("prom-out") {
+            std::fs::write(path, registry.to_prometheus())
+                .map_err(|e| fail(format!("cannot write metrics file `{path}`: {e}")))?;
+        }
     }
     Ok(i32::from(report.infringing_cases() > 0))
 }
@@ -840,6 +965,141 @@ flows
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("2 compliant"), "{out}");
+    }
+
+    #[test]
+    fn audit_metrics_exports_json_and_prometheus() {
+        let p = write_temp("order16.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "2", "--seed", "5", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order16.trail", &trail_text);
+        let mfile = write_temp("order16.metrics.json", "");
+        let pfile = write_temp("order16.metrics.prom", "");
+        let (code, _) = run_capture(&[
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--metrics-out",
+            &mfile,
+            "--prom-out",
+            &pfile,
+        ]);
+        assert_eq!(code, 0);
+        let json = std::fs::read_to_string(&mfile).unwrap();
+        assert!(json.contains("\"audit_cases_total\": 2"), "{json}");
+        assert!(json.contains("\"audit_cases_compliant\": 2"), "{json}");
+        assert!(json.contains("\"audit_cases_infringing\": 0"), "{json}");
+        assert!(json.contains("\"trail_cases\": 2"), "{json}");
+        assert!(json.contains("\"case_entries\""), "{json}");
+        let prom = std::fs::read_to_string(&pfile).unwrap();
+        assert!(prom.contains("purposectl_audit_cases_total 2"), "{prom}");
+        assert!(
+            prom.contains("# TYPE purposectl_case_entries histogram"),
+            "{prom}"
+        );
+        assert!(prom.contains("purposectl_case_entries_count 2"), "{prom}");
+    }
+
+    #[test]
+    fn audit_trace_out_and_explain_render_the_violation_path() {
+        let p = write_temp("order17.bpmn", ORDER);
+        // Ship before Receive: deviates at entry 0.
+        let t = write_temp(
+            "order17.trail",
+            "carol Clerk read [A]Order Ship ORD-1 202607060900 success\n",
+        );
+        let tr1 = write_temp("order17.a.jsonl", "");
+        let tr2 = write_temp("order17.b.jsonl", "");
+        let base = |trace: &str| {
+            args(&[
+                "audit",
+                "--trail",
+                &t,
+                "--process",
+                &format!("fulfillment={p}"),
+                "--map",
+                "ORD-=fulfillment",
+                "--trace-out",
+                trace,
+                "--explain",
+                "ORD-1",
+            ])
+        };
+        let mut buf = Vec::new();
+        let code = run(&base(&tr1), &mut buf).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 1, "{out}");
+        // --explain renders the replayed path ending at the deviation.
+        assert!(
+            out.contains("case ORD-1 [purpose fulfillment] — infringement"),
+            "{out}"
+        );
+        assert!(out.contains("=> sys·Err at entry #0"), "{out}");
+        assert!(out.contains("expected one of:"), "{out}");
+        // The JSONL trace carries the same path...
+        let trace = std::fs::read_to_string(&tr1).unwrap();
+        assert!(trace.contains("\"case\":\"ORD-1\""), "{trace}");
+        assert!(trace.contains("\"verdict\":\"infringement\""), "{trace}");
+        assert!(trace.contains("\"kind\":\"process-deviation\""), "{trace}");
+        // ...and is deterministic across runs.
+        let mut buf = Vec::new();
+        run(&base(&tr2), &mut buf).unwrap();
+        assert_eq!(trace, std::fs::read_to_string(&tr2).unwrap());
+    }
+
+    #[test]
+    fn audit_explain_unknown_case_errors() {
+        let p = write_temp("order18.bpmn", ORDER);
+        let t = write_temp(
+            "order18.trail",
+            "carol Clerk read [A]Order Receive ORD-1 202607060900 success\n",
+        );
+        let mut buf = Vec::new();
+        let err = run(
+            &args(&[
+                "audit",
+                "--trail",
+                &t,
+                "--process",
+                &format!("fulfillment={p}"),
+                "--map",
+                "ORD-=fulfillment",
+                "--explain",
+                "ORD-9",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not found"), "{}", err.message);
+    }
+
+    #[test]
+    fn audit_verbose_streams_replay_events() {
+        let p = write_temp("order19.bpmn", ORDER);
+        let (_, trail_text) = run_capture(&[
+            "simulate", &p, "--cases", "1", "--seed", "6", "--prefix", "ORD-",
+        ]);
+        let t = write_temp("order19.trail", &trail_text);
+        let (code, out) = run_capture(&[
+            "audit",
+            "--trail",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--verbose",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("case ORD-1: replay start"), "{out}");
+        assert!(out.contains("case ORD-1: entry 0 "), "{out}");
+        assert!(out.contains("(frontier "), "{out}");
+        assert!(out.contains("case ORD-1: compliant"), "{out}");
     }
 
     #[test]

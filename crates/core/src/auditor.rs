@@ -13,7 +13,7 @@
 //! 3. infringements are scored with the §7 severity metrics.
 
 use crate::error::CheckError;
-use crate::replay::{check_case, CaseCheck, CheckOptions, Infringement, Verdict};
+use crate::replay::{check_case_traced, CaseCheck, CheckOptions, Infringement, Verdict};
 use crate::severity::{assess, SensitivityModel, SeverityAssessment};
 use audit::entry::LogEntry;
 use audit::trail::AuditTrail;
@@ -168,6 +168,10 @@ pub struct CaseResult {
     pub entries: usize,
     pub outcome: CaseOutcome,
     pub peak_configurations: usize,
+    /// The replayed configuration path in capture form (present iff
+    /// [`CheckOptions::record_evidence`] and the case reached replay);
+    /// render it with [`Auditor::case_evidence`].
+    pub evidence: Option<crate::session::RawEvidence>,
 }
 
 /// The full audit report.
@@ -273,6 +277,13 @@ pub struct Auditor {
     pub context: PolicyContext,
     pub options: CheckOptions,
     pub sensitivity: SensitivityModel,
+    /// Event sink for replay telemetry (noop by default). Shared by all
+    /// cases of a run; under [`crate::parallel`] the workers clone it and
+    /// the ring serializes internally.
+    pub recorder: obs::Recorder,
+    /// Metrics registry; when set, per-case outcome counters and
+    /// histograms are recorded (shard-buffered — no hot-path locking).
+    pub metrics: Option<Arc<obs::Registry>>,
 }
 
 impl Auditor {
@@ -283,6 +294,8 @@ impl Auditor {
             context,
             options: CheckOptions::default(),
             sensitivity: SensitivityModel::default(),
+            recorder: obs::Recorder::noop(),
+            metrics: None,
         };
         // Make every registered process's task set known to the policy
         // context (condition (iv) of Def. 3).
@@ -354,8 +367,21 @@ impl Auditor {
 
     /// Run Algorithm 1 on one case of the trail.
     pub fn check_one_case(&self, trail: &AuditTrail, case: Symbol) -> CaseResult {
+        let result = self.check_one_case_inner(trail, case);
+        self.recorder.emit(|| obs::ObsEvent::CaseEnd {
+            case: case.to_string(),
+            verdict: outcome_label(&result.outcome).to_string(),
+        });
+        result
+    }
+
+    fn check_one_case_inner(&self, trail: &AuditTrail, case: Symbol) -> CaseResult {
         let entries = trail.project_case(case);
         let n = entries.len();
+        self.recorder.emit(|| obs::ObsEvent::CaseStart {
+            case: case.to_string(),
+            entries: n,
+        });
         let Some(purpose) = self.resolve_case(case) else {
             return CaseResult {
                 case,
@@ -365,6 +391,7 @@ impl Auditor {
                     case: case.to_string(),
                 }),
                 peak_configurations: 0,
+                evidence: None,
             };
         };
         let Some(process) = self.registry.process_for(purpose) else {
@@ -376,6 +403,7 @@ impl Auditor {
                     purpose: purpose.to_string(),
                 }),
                 peak_configurations: 0,
+                evidence: None,
             };
         };
         let hierarchy = self.context.roles();
@@ -385,7 +413,13 @@ impl Auditor {
         // auditor and entries are only read, so unwind safety is not a
         // correctness concern beyond the poisoned case itself.
         let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            check_case(&process.encoded, hierarchy, &entries, &self.options)
+            check_case_traced(
+                &process.encoded,
+                hierarchy,
+                &entries,
+                &self.options,
+                &self.recorder,
+            )
         }));
         let checked = match checked {
             Ok(result) => result,
@@ -403,13 +437,22 @@ impl Auditor {
                         reason: InconclusiveReason::Panicked { detail },
                     },
                     peak_configurations: 0,
+                    evidence: None,
                 };
             }
+        };
+        // The session labels evidence with what it saw; the auditor knows
+        // the resolved purpose and the canonical case name.
+        let adopt = |mut ev: crate::session::RawEvidence| {
+            ev.case = case.to_string();
+            ev.purpose = purpose.to_string();
+            ev
         };
         match checked {
             Ok(CaseCheck {
                 verdict: Verdict::Compliant { can_complete },
                 peak_configurations,
+                evidence,
                 ..
             }) => CaseResult {
                 case,
@@ -417,10 +460,12 @@ impl Auditor {
                 entries: n,
                 outcome: CaseOutcome::Compliant { can_complete },
                 peak_configurations,
+                evidence: evidence.map(adopt),
             },
             Ok(CaseCheck {
                 verdict: Verdict::Infringement(infringement),
                 peak_configurations,
+                evidence,
                 ..
             }) => {
                 let severity = assess(&infringement, &entries, &self.sensitivity);
@@ -433,6 +478,7 @@ impl Auditor {
                         severity,
                     },
                     peak_configurations,
+                    evidence: evidence.map(adopt),
                 }
             }
             // Budget exhaustion is an isolation boundary, not a machinery
@@ -451,6 +497,7 @@ impl Auditor {
                     },
                 },
                 peak_configurations: 0,
+                evidence: None,
             },
             Err(CheckError::StepBudgetExhausted { entry_index, limit }) => CaseResult {
                 case,
@@ -460,6 +507,7 @@ impl Auditor {
                     reason: InconclusiveReason::StepBudgetExhausted { entry_index, limit },
                 },
                 peak_configurations: 0,
+                evidence: None,
             },
             Err(e) => CaseResult {
                 case,
@@ -467,6 +515,7 @@ impl Auditor {
                 entries: n,
                 outcome: CaseOutcome::Failed(e),
                 peak_configurations: 0,
+                evidence: None,
             },
         }
     }
@@ -480,13 +529,41 @@ impl Auditor {
 
     /// Audit a selected set of cases.
     pub fn audit_cases(&self, trail: &AuditTrail, cases: &BTreeSet<Symbol>) -> AuditReport {
-        AuditReport {
-            cases: cases
-                .iter()
-                .map(|&c| self.check_one_case(trail, c))
-                .collect(),
-            preventive_violations: self.preventive_check(trail),
+        let results: Vec<CaseResult> = cases
+            .iter()
+            .map(|&c| self.check_one_case(trail, c))
+            .collect();
+        let preventive = self.preventive_check(trail);
+        if let Some(registry) = &self.metrics {
+            let mut shard = registry.shard();
+            for r in &results {
+                crate::metrics::record_case_metrics(&mut shard, r);
+            }
+            shard.add_counter("audit_preventive_violations", preventive.len() as u64);
+            shard.flush(registry);
         }
+        AuditReport {
+            cases: results,
+            preventive_violations: preventive,
+        }
+    }
+
+    /// Render one audited case's evidence trace as a serializable
+    /// [`obs::CaseEvidence`].
+    ///
+    /// Replay captures evidence compactly (interned state ids), keeping the
+    /// hot loop near-free; this resolves it against the purpose's process
+    /// and the case's entries. `None` when the case carries no evidence
+    /// (recording off, or the case never reached replay).
+    pub fn case_evidence(
+        &self,
+        trail: &AuditTrail,
+        result: &CaseResult,
+    ) -> Option<obs::CaseEvidence> {
+        let raw = result.evidence.as_ref()?;
+        let process = self.registry.process_for(result.purpose?)?;
+        let entries = trail.project_case(result.case);
+        Some(raw.materialize(&process.encoded, &entries))
     }
 
     /// §4: audit only the cases in which `object` was accessed — "it is not
@@ -500,6 +577,18 @@ impl Auditor {
     ) -> AuditReport {
         let cases = trail.cases_touching(object);
         self.audit_cases(trail, &cases)
+    }
+}
+
+/// Stable short label of an outcome, for `CaseEnd` events and metric
+/// bucket selection.
+pub fn outcome_label(outcome: &CaseOutcome) -> &'static str {
+    match outcome {
+        CaseOutcome::Compliant { .. } => "compliant",
+        CaseOutcome::Infringement { .. } => "infringement",
+        CaseOutcome::Unresolved(_) => "unresolved",
+        CaseOutcome::Failed(_) => "failed",
+        CaseOutcome::Inconclusive { .. } => "inconclusive",
     }
 }
 

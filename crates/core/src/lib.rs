@@ -46,6 +46,7 @@ pub mod drift;
 pub mod error;
 pub mod lenient;
 pub mod live;
+pub mod metrics;
 pub mod multitask;
 pub mod naive;
 pub mod parallel;
@@ -61,10 +62,11 @@ pub use drift::{allowed_successions, case_task_log, drift_report, DriftReport};
 pub use error::CheckError;
 pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};
 pub use live::{LiveAuditor, LiveEvent};
+pub use metrics::{record_case_metrics, register_audit_metrics};
 pub use multitask::{multitasking_ratio, multitasking_report, MultitaskFinding};
 pub use replay::{
-    check_case, CaseCheck, CheckOptions, Configuration, Engine, FailPoints, Infringement,
-    InfringementKind, Verdict,
+    check_case, check_case_traced, CaseCheck, CheckOptions, Configuration, Engine, FailPoints,
+    Infringement, InfringementKind, Verdict,
 };
 pub use session::{FeedOutcome, ReplaySession};
 pub use severity::{assess, SensitivityModel, SeverityAssessment};

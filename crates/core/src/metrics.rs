@@ -1,0 +1,111 @@
+//! The audit metric vocabulary and recording helpers.
+//!
+//! The name set is **closed**: [`register_audit_metrics`] pre-declares
+//! every counter, gauge and histogram the auditing pipeline can ever
+//! touch, zero-valued. Declared-but-untouched metrics still appear in the
+//! JSON/Prometheus exports, which is what lets `schemas/metrics.schema.json`
+//! require every key *and* forbid unknown ones — a missing metric means a
+//! codepath silently stopped reporting, an extra one means an undeclared
+//! name leaked in; CI fails on both.
+//!
+//! Hot paths never touch the registry directly: workers record into a
+//! thread-owned [`obs::Shard`] (plain map writes) and flush once at join —
+//! see [`crate::parallel`].
+
+use crate::auditor::{CaseOutcome, CaseResult};
+use obs::{Registry, Shard};
+
+/// Every counter the pipeline records, sorted.
+pub const AUDIT_COUNTERS: &[&str] = &[
+    "audit_cases_compliant",
+    "audit_cases_failed",
+    "audit_cases_inconclusive",
+    "audit_cases_infringing",
+    "audit_cases_total",
+    "audit_cases_unresolved",
+    "audit_entries_total",
+    "audit_preventive_violations",
+    "automaton_edge_hits",
+    "automaton_edge_misses",
+    "automaton_expanded",
+    "automaton_loaded_edges",
+    "automaton_loaded_states",
+    "automaton_states",
+    "recorder_events_dropped",
+    "semantics_cache_evictions",
+    "semantics_cache_hits",
+    "semantics_cache_misses",
+    "startup_cold_total",
+    "startup_warm_total",
+];
+
+/// Every gauge, sorted.
+pub const AUDIT_GAUGES: &[&str] = &[
+    "semantics_cache_entries",
+    "trail_cases",
+    "trail_entries",
+    "trail_failures",
+    "trail_span_minutes",
+    "trail_users",
+];
+
+/// Every histogram, sorted.
+pub const AUDIT_HISTOGRAMS: &[&str] = &["case_entries", "case_peak_configurations"];
+
+/// Declare the full audit metric vocabulary on `registry`, zero-valued.
+pub fn register_audit_metrics(registry: &Registry) {
+    for name in AUDIT_COUNTERS {
+        registry.declare_counter(name);
+    }
+    for name in AUDIT_GAUGES {
+        registry.declare_gauge(name);
+    }
+    for name in AUDIT_HISTOGRAMS {
+        registry.declare_histogram(name);
+    }
+}
+
+/// Record one case's outcome into a thread-owned shard (no locking).
+pub fn record_case_metrics(shard: &mut Shard, result: &CaseResult) {
+    shard.add_counter("audit_cases_total", 1);
+    let bucket = match &result.outcome {
+        CaseOutcome::Compliant { .. } => "audit_cases_compliant",
+        CaseOutcome::Infringement { .. } => "audit_cases_infringing",
+        CaseOutcome::Inconclusive { .. } => "audit_cases_inconclusive",
+        CaseOutcome::Unresolved(_) => "audit_cases_unresolved",
+        CaseOutcome::Failed(_) => "audit_cases_failed",
+    };
+    shard.add_counter(bucket, 1);
+    shard.add_counter("audit_entries_total", result.entries as u64);
+    shard.observe("case_entries", result.entries as u64);
+    shard.observe(
+        "case_peak_configurations",
+        result.peak_configurations as u64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_sorted_and_distinct() {
+        for list in [AUDIT_COUNTERS, AUDIT_GAUGES, AUDIT_HISTOGRAMS] {
+            for w in list.windows(2) {
+                assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn register_predeclares_everything_zero_valued() {
+        let reg = Registry::new();
+        register_audit_metrics(&reg);
+        let json = reg.to_json();
+        for name in AUDIT_COUNTERS.iter().chain(AUDIT_GAUGES) {
+            assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert_eq!(reg.counter_value("audit_cases_total"), 0);
+        assert_eq!(reg.histogram("case_entries").count, 0);
+    }
+}

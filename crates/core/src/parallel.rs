@@ -19,9 +19,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub fn audit_parallel(auditor: &Auditor, trail: &AuditTrail, threads: usize) -> AuditReport {
     let cases: Vec<Symbol> = trail.cases().into_iter().collect();
     let results = check_cases_parallel(auditor, trail, &cases, threads);
+    let preventive = auditor.preventive_check(trail);
+    if let Some(registry) = &auditor.metrics {
+        registry.add_counter("audit_preventive_violations", preventive.len() as u64);
+    }
     AuditReport {
         cases: results,
-        preventive_violations: auditor.preventive_check(trail),
+        preventive_violations: preventive,
     }
 }
 
@@ -35,23 +39,42 @@ pub fn check_cases_parallel(
 ) -> Vec<CaseResult> {
     let threads = threads.max(1).min(cases.len().max(1));
     if threads == 1 {
-        return cases
+        let results: Vec<CaseResult> = cases
             .iter()
             .map(|&c| auditor.check_one_case(trail, c))
             .collect();
+        if let Some(registry) = &auditor.metrics {
+            let mut shard = registry.shard();
+            for r in &results {
+                crate::metrics::record_case_metrics(&mut shard, r);
+            }
+            shard.flush(registry);
+        }
+        return results;
     }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, CaseResult)>> = Mutex::new(Vec::with_capacity(cases.len()));
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                // Metrics go into a worker-owned shard — the replay hot
+                // loop records with plain map writes and the registry lock
+                // is taken exactly once per worker, at join.
+                let mut shard = auditor.metrics.as_deref().map(|m| m.shard());
                 let mut local: Vec<(usize, CaseResult)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= cases.len() {
                         break;
                     }
-                    local.push((i, auditor.check_one_case(trail, cases[i])));
+                    let result = auditor.check_one_case(trail, cases[i]);
+                    if let Some(shard) = shard.as_mut() {
+                        crate::metrics::record_case_metrics(shard, &result);
+                    }
+                    local.push((i, result));
+                }
+                if let (Some(mut shard), Some(registry)) = (shard, auditor.metrics.as_deref()) {
+                    shard.flush(registry);
                 }
                 results.lock().extend(local);
             });
@@ -71,9 +94,14 @@ pub fn audit_cases_parallel(
     threads: usize,
 ) -> AuditReport {
     let cases: Vec<Symbol> = cases.iter().copied().collect();
+    let results = check_cases_parallel(auditor, trail, &cases, threads);
+    let preventive = auditor.preventive_check(trail);
+    if let Some(registry) = &auditor.metrics {
+        registry.add_counter("audit_preventive_violations", preventive.len() as u64);
+    }
     AuditReport {
-        cases: check_cases_parallel(auditor, trail, &cases, threads),
-        preventive_violations: auditor.preventive_check(trail),
+        cases: results,
+        preventive_violations: preventive,
     }
 }
 

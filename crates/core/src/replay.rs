@@ -104,6 +104,10 @@ pub struct CheckOptions {
     pub max_explored: Option<usize>,
     /// Chaos-testing fault injection (inert by default).
     pub failpoints: FailPoints,
+    /// Record the per-case evidence trace ([`obs::CaseEvidence`]): one step
+    /// per consumed entry plus the violating entry, serializable as
+    /// deterministic JSONL and rendered by `purposectl audit --explain`.
+    pub record_evidence: bool,
 }
 
 impl Default for CheckOptions {
@@ -117,6 +121,7 @@ impl Default for CheckOptions {
             case_deadline_ms: None,
             max_explored: None,
             failpoints: FailPoints::default(),
+            record_evidence: false,
         }
     }
 }
@@ -206,6 +211,29 @@ pub struct CaseCheck {
     pub peak_configurations: usize,
     /// Total `WeakNext` successor states computed.
     pub explored_successors: usize,
+    /// The evidence trace in capture form (present iff
+    /// [`CheckOptions::record_evidence`]); render it with
+    /// [`CaseCheck::evidence_trace`]. The `purpose` field is empty at this
+    /// layer — the auditor fills it in after purpose resolution.
+    pub evidence: Option<crate::session::RawEvidence>,
+}
+
+impl CaseCheck {
+    /// Render the recorded evidence as a serializable [`obs::CaseEvidence`].
+    ///
+    /// Capture during replay stores interned state ids, not strings — the
+    /// hot loop must stay near-free — so rendering needs the process and
+    /// the same `entries` projection that was replayed. `None` unless
+    /// [`CheckOptions::record_evidence`] was set.
+    pub fn evidence_trace(
+        &self,
+        encoded: &Encoded,
+        entries: &[&LogEntry],
+    ) -> Option<obs::CaseEvidence> {
+        self.evidence
+            .as_ref()
+            .map(|raw| raw.materialize(encoded, entries))
+    }
 }
 
 /// Run Algorithm 1 on the projection of an audit trail onto one case.
@@ -220,7 +248,21 @@ pub fn check_case(
     entries: &[&LogEntry],
     opts: &CheckOptions,
 ) -> Result<CaseCheck, CheckError> {
-    let mut session = crate::session::ReplaySession::new(encoded, hierarchy, *opts)?;
+    check_case_traced(encoded, hierarchy, entries, opts, &obs::Recorder::noop())
+}
+
+/// [`check_case`] with an event recorder: the session emits replay
+/// telemetry (entry steps, automaton expansions, `WeakNext` computations)
+/// on it. With a noop recorder this is exactly `check_case`.
+pub fn check_case_traced(
+    encoded: &Encoded,
+    hierarchy: &RoleHierarchy,
+    entries: &[&LogEntry],
+    opts: &CheckOptions,
+    recorder: &obs::Recorder,
+) -> Result<CaseCheck, CheckError> {
+    let mut session =
+        crate::session::ReplaySession::with_recorder(encoded, hierarchy, *opts, recorder.clone())?;
     session.feed_all(entries.iter().copied())?;
     session.finish()
 }

@@ -26,7 +26,8 @@ use audit::time::Timestamp;
 use bpmn::encode::Encoded;
 use cows::automaton::{ProcessAutomaton, StateId};
 use cows::observe::Observation;
-use cows::weaknext::{can_terminate_silently, weak_next, Marked, WeakSuccessor};
+use cows::weaknext::{can_terminate_silently, weak_next_traced, Marked, WeakSuccessor};
+use obs::{CaseEvidence, EvidenceStep, EvidenceViolation, ObsEvent, Recorder};
 use policy::hierarchy::RoleHierarchy;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -72,6 +73,137 @@ impl ConfSet {
 /// when inserted, so their edges are always compiled.
 const PRE_EXPANDED: &str = "live configuration ids are expanded on insertion";
 
+/// The configuration set of one evidence step, in capture form.
+///
+/// Evidence capture sits on Algorithm 1's per-entry hot path, so it must
+/// not allocate or render strings there. Under the automaton engine a step
+/// stores only the interned state ids (inline when there is a single live
+/// configuration, the common case); the active/token sets and frontier are
+/// recovered from the shared automaton at materialization time — interned
+/// states and their compiled edges are immutable, so the late lookup sees
+/// exactly what the replay saw. The direct engine clones whole `Marked`
+/// states per step anyway, so its evidence is captured eagerly.
+#[derive(Clone, Debug)]
+enum RawConfs {
+    Eager {
+        active: Vec<String>,
+        tokens: Vec<String>,
+        frontier: usize,
+        configurations: usize,
+    },
+    One(StateId),
+    Many(Vec<StateId>),
+}
+
+/// One consumed entry in capture form: its projection index, how the first
+/// configuration accepted it, and the surviving configuration set.
+#[derive(Clone, Debug)]
+struct RawStep {
+    index: usize,
+    matched: MatchKind,
+    confs: RawConfs,
+}
+
+/// The un-rendered evidence trace of one case — everything
+/// [`obs::CaseEvidence`] needs, keyed rather than stringified.
+///
+/// Produced by [`SessionCore::finish`] (via [`CaseCheck::evidence`]);
+/// rendered by [`RawEvidence::materialize`]. The split keeps the replay
+/// loop near-free under `record_evidence` while the rendered trace stays
+/// byte-identical to eager capture.
+#[derive(Clone, Debug)]
+pub struct RawEvidence {
+    /// Case label adopted from the first fed entry; the auditor overwrites
+    /// it with the canonical case name after purpose resolution.
+    pub case: String,
+    /// Empty at the session layer; the auditor fills it in.
+    pub purpose: String,
+    engine: &'static str,
+    verdict: &'static str,
+    steps: Vec<RawStep>,
+    violation: Option<EvidenceViolation>,
+    /// The shared automaton the step ids point into (automaton engine only).
+    auto: Option<Arc<ProcessAutomaton>>,
+}
+
+impl RawEvidence {
+    /// Render the serializable trace: resolve state ids into active/token
+    /// task sets and frontier sizes, and attach each step's log line.
+    /// `entries` must be the same chronological case projection that was
+    /// replayed.
+    pub fn materialize(&self, encoded: &Encoded, entries: &[&LogEntry]) -> CaseEvidence {
+        CaseEvidence {
+            case: self.case.clone(),
+            purpose: self.purpose.clone(),
+            engine: self.engine.to_string(),
+            verdict: self.verdict.to_string(),
+            steps: self
+                .steps
+                .iter()
+                .map(|s| self.render_step(encoded, entries, s))
+                .collect(),
+            violation: self.violation.clone(),
+        }
+    }
+
+    fn render_step(&self, encoded: &Encoded, entries: &[&LogEntry], s: &RawStep) -> EvidenceStep {
+        let entry = entries.get(s.index).copied();
+        let matched = match (s.matched, entry) {
+            (MatchKind::Absorbed, Some(e)) => format!("absorbed:{}.{}", e.role, e.task),
+            (MatchKind::Started, Some(e)) => format!("started:{}.{}", e.role, e.task),
+            _ => "err:sys.Err".to_string(),
+        };
+        let (active, tokens, frontier, configurations) = match &s.confs {
+            RawConfs::Eager {
+                active,
+                tokens,
+                frontier,
+                configurations,
+            } => (active.clone(), tokens.clone(), *frontier, *configurations),
+            RawConfs::One(id) => self.resolve(encoded, std::slice::from_ref(id)),
+            RawConfs::Many(ids) => self.resolve(encoded, ids),
+        };
+        EvidenceStep {
+            index: s.index,
+            entry: entry.map(|e| e.to_string()).unwrap_or_default(),
+            matched,
+            active,
+            tokens,
+            frontier,
+            configurations,
+        }
+    }
+
+    fn resolve(
+        &self,
+        encoded: &Encoded,
+        ids: &[StateId],
+    ) -> (Vec<String>, Vec<String>, usize, usize) {
+        let auto = self
+            .auto
+            .as_deref()
+            .expect("automaton evidence steps carry their automaton");
+        let mut active: Vec<String> = Vec::new();
+        let mut tokens: Vec<String> = Vec::new();
+        let mut frontier = 0usize;
+        for &id in ids {
+            let state = auto.state(id);
+            active.extend(state.running.iter().map(|(r, q)| format!("{r}.{q}")));
+            tokens.extend(
+                auto.token_tasks(id, &encoded.observability)
+                    .iter()
+                    .map(|(r, q)| format!("{r}.{q}")),
+            );
+            frontier += auto.cached_edges(id).expect(PRE_EXPANDED).len();
+        }
+        active.sort();
+        active.dedup();
+        tokens.sort();
+        tokens.dedup();
+        (active, tokens, frontier, ids.len())
+    }
+}
+
 /// The borrow-free Algorithm-1 state machine: the configuration set plus
 /// bookkeeping, independent of how the process and hierarchy are owned.
 #[derive(Clone, Debug)]
@@ -86,15 +218,36 @@ pub struct SessionCore {
     infringement: Option<Infringement>,
     /// Wall-clock cutoff derived from `opts.case_deadline_ms` at open.
     deadline: Option<std::time::Instant>,
+    /// Event sink for replay telemetry (noop by default, so the plain
+    /// constructors pay one branch per would-be event).
+    recorder: Recorder,
+    /// Case name adopted from the first fed entry, for evidence labeling.
+    case_name: Option<String>,
+    /// Per-entry evidence in capture form, accumulated when
+    /// `opts.record_evidence` is set.
+    evidence_steps: Vec<RawStep>,
+    evidence_violation: Option<EvidenceViolation>,
 }
 
 impl SessionCore {
     /// Open at the process's initial configuration.
     pub fn new(encoded: &Encoded, opts: CheckOptions) -> Result<SessionCore, CheckError> {
+        SessionCore::with_recorder(encoded, opts, Recorder::noop())
+    }
+
+    /// [`SessionCore::new`] with an event recorder: replay lifecycle events
+    /// (entry steps, automaton expansions, `WeakNext` computations) are
+    /// emitted on it as the session advances.
+    pub fn with_recorder(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        recorder: Recorder,
+    ) -> Result<SessionCore, CheckError> {
         let (confs, explored) = match opts.engine {
             Engine::Direct => {
                 let state = encoded.initial();
-                let next = weak_next(&state, &encoded.observability, opts.weaknext)?;
+                let next =
+                    weak_next_traced(&state, &encoded.observability, opts.weaknext, &recorder)?;
                 let explored = next.len();
                 (
                     ConfSet::Direct(vec![Configuration { state, next }]),
@@ -104,7 +257,8 @@ impl SessionCore {
             Engine::Automaton => {
                 let auto = encoded.automaton.clone();
                 let id = auto.initial_id(&encoded.service);
-                let edges = auto.successors(id, &encoded.observability, opts.weaknext)?;
+                let edges =
+                    auto.successors_traced(id, &encoded.observability, opts.weaknext, &recorder)?;
                 let explored = edges.len();
                 (
                     ConfSet::Automaton {
@@ -127,6 +281,10 @@ impl SessionCore {
             deadline: opts
                 .case_deadline_ms
                 .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            recorder,
+            case_name: None,
+            evidence_steps: Vec::new(),
+            evidence_violation: None,
         })
     }
 
@@ -210,6 +368,48 @@ impl SessionCore {
         v
     }
 
+    /// Total `WeakNext` frontier size: the sum of expected-next observation
+    /// counts across the live configurations.
+    fn frontier_size(&self) -> usize {
+        match &self.confs {
+            ConfSet::Direct(confs) => confs.iter().map(|c| c.next.len()).sum(),
+            ConfSet::Automaton { auto, ids } => ids
+                .iter()
+                .map(|&id| auto.cached_edges(id).expect(PRE_EXPANDED).len())
+                .sum(),
+        }
+    }
+
+    /// Token tasks (Fig. 6) flattened across configurations, sorted and
+    /// deduplicated — the evidence-trace rendering of "what could still
+    /// start".
+    fn token_task_set(&self, encoded: &Encoded) -> Vec<String> {
+        let mut v: Vec<String> = match &self.confs {
+            ConfSet::Direct(confs) => confs
+                .iter()
+                .flat_map(|c| {
+                    c.state
+                        .token_tasks(&encoded.observability)
+                        .iter()
+                        .map(|(r, q)| format!("{r}.{q}"))
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+            ConfSet::Automaton { auto, ids } => ids
+                .iter()
+                .flat_map(|&id| {
+                    auto.token_tasks(id, &encoded.observability)
+                        .iter()
+                        .map(|(r, q)| format!("{r}.{q}"))
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        };
+        v.sort();
+        v.dedup();
+        v
+    }
+
     /// Feed the next log entry of the case (chronological order is the
     /// caller's responsibility, as in Def. 5).
     pub fn feed(
@@ -222,6 +422,9 @@ impl SessionCore {
             return Ok(FeedOutcome::Rejected(inf.clone()));
         }
         let entry_index = self.consumed;
+        if self.case_name.is_none() {
+            self.case_name = Some(entry.case.to_string());
+        }
 
         // Chaos failpoints (inert unless a test armed them).
         if self.opts.failpoints.panic_case == Some(entry.case) {
@@ -262,6 +465,14 @@ impl SessionCore {
                         limit_minutes: limit,
                     },
                 };
+                if self.opts.record_evidence {
+                    self.evidence_violation = Some(EvidenceViolation {
+                        entry_index,
+                        entry: entry.to_string(),
+                        expected: Vec::new(),
+                        kind: "temporal-violation".to_string(),
+                    });
+                }
                 self.infringement = Some(inf.clone());
                 return Ok(FeedOutcome::Rejected(inf));
             }
@@ -310,8 +521,12 @@ impl SessionCore {
                             Observation::Task { .. } => MatchKind::Started,
                         });
                         if seen.insert(succ.state.clone()) {
-                            let next =
-                                weak_next(&succ.state, &encoded.observability, self.opts.weaknext)?;
+                            let next = weak_next_traced(
+                                &succ.state,
+                                &encoded.observability,
+                                self.opts.weaknext,
+                                &self.recorder,
+                            )?;
                             self.explored += next.len();
                             next_confs.push(Configuration {
                                 state: succ.state.clone(),
@@ -367,10 +582,11 @@ impl SessionCore {
                             // τ-budget errors surface on the same entry as
                             // the direct engine; a warmed automaton answers
                             // from the compiled table.
-                            let succ_edges = auto.successors(
+                            let succ_edges = auto.successors_traced(
                                 succ_id,
                                 &encoded.observability,
                                 self.opts.weaknext,
+                                &self.recorder,
                             )?;
                             self.explored += succ_edges.len();
                             next_ids.push(succ_id);
@@ -402,6 +618,20 @@ impl SessionCore {
                 active: self.active_tasks(),
                 kind: InfringementKind::ProcessDeviation,
             };
+            if self.opts.record_evidence {
+                self.evidence_violation = Some(EvidenceViolation {
+                    entry_index,
+                    entry: entry.to_string(),
+                    expected: inf.expected.clone(),
+                    kind: "process-deviation".to_string(),
+                });
+            }
+            self.recorder.emit(|| ObsEvent::EntryStep {
+                case: entry.case.to_string(),
+                index: entry_index,
+                matched: "err:sys.Err".to_string(),
+                frontier: 0,
+            });
             self.infringement = Some(inf.clone());
             return Ok(FeedOutcome::Rejected(inf));
         }
@@ -443,6 +673,31 @@ impl SessionCore {
         }
         self.confs = next_confs;
         self.consumed += 1;
+        if self.opts.record_evidence {
+            let confs = match &self.confs {
+                ConfSet::Direct(_) => RawConfs::Eager {
+                    active: self.active_tasks(),
+                    tokens: self.token_task_set(encoded),
+                    frontier: self.frontier_size(),
+                    configurations: self.confs.len(),
+                },
+                ConfSet::Automaton { ids, .. } => match ids.as_slice() {
+                    [id] => RawConfs::One(*id),
+                    _ => RawConfs::Many(ids.clone()),
+                },
+            };
+            self.evidence_steps.push(RawStep {
+                index: entry_index,
+                matched: matches.first().copied().unwrap_or(MatchKind::Failed),
+                confs,
+            });
+        }
+        self.recorder.emit(|| ObsEvent::EntryStep {
+            case: entry.case.to_string(),
+            index: entry_index,
+            matched: matched_label(&matches, entry),
+            frontier: self.frontier_size(),
+        });
         Ok(FeedOutcome::Accepted { matches })
     }
 
@@ -479,12 +734,53 @@ impl SessionCore {
                 Verdict::Compliant { can_complete }
             }
         };
+        let evidence = if self.opts.record_evidence {
+            Some(RawEvidence {
+                case: self.case_name.clone().unwrap_or_default(),
+                // The session does not know the purpose; the auditor fills
+                // it in after purpose resolution.
+                purpose: String::new(),
+                engine: match self.opts.engine {
+                    Engine::Direct => "direct",
+                    Engine::Automaton => "automaton",
+                },
+                verdict: match &verdict {
+                    Verdict::Compliant { can_complete: true } => "compliant",
+                    Verdict::Compliant {
+                        can_complete: false,
+                    } => "compliant-incomplete",
+                    Verdict::Infringement(_) => "infringement",
+                },
+                steps: self.evidence_steps.clone(),
+                violation: self.evidence_violation.clone(),
+                auto: match &self.confs {
+                    ConfSet::Direct(_) => None,
+                    ConfSet::Automaton { auto, .. } => Some(auto.clone()),
+                },
+            })
+        } else {
+            None
+        };
         Ok(CaseCheck {
             verdict,
             steps: self.steps.clone(),
             peak_configurations: self.peak,
             explored_successors: self.explored,
+            evidence,
         })
+    }
+}
+
+/// The stable evidence label of how an accepted entry matched: the first
+/// match in configuration order (identical across engines — the
+/// equivalence tests pin match vectors). `absorbed:R.T` and `started:R.T`
+/// use the *entry's* role and task; a consumed `sys·Err` edge renders as
+/// `err:sys.Err`.
+fn matched_label(matches: &[MatchKind], entry: &LogEntry) -> String {
+    match matches.first() {
+        Some(MatchKind::Absorbed) => format!("absorbed:{}.{}", entry.role, entry.task),
+        Some(MatchKind::Started) => format!("started:{}.{}", entry.role, entry.task),
+        Some(MatchKind::Failed) | None => "err:sys.Err".to_string(),
     }
 }
 
@@ -506,6 +802,21 @@ impl<'a> ReplaySession<'a> {
             encoded,
             hierarchy,
             core: SessionCore::new(encoded, opts)?,
+        })
+    }
+
+    /// [`ReplaySession::new`] with an event recorder (see
+    /// [`SessionCore::with_recorder`]).
+    pub fn with_recorder(
+        encoded: &'a Encoded,
+        hierarchy: &'a RoleHierarchy,
+        opts: CheckOptions,
+        recorder: Recorder,
+    ) -> Result<ReplaySession<'a>, CheckError> {
+        Ok(ReplaySession {
+            encoded,
+            hierarchy,
+            core: SessionCore::with_recorder(encoded, opts, recorder)?,
         })
     }
 

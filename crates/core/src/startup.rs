@@ -49,6 +49,16 @@ impl StartupStats {
     pub fn is_warm(&self) -> bool {
         self.loaded.map(|r| r.is_warm()).unwrap_or(false)
     }
+
+    /// Export into a metrics registry: one warm- or cold-start tick (add
+    /// semantics — audits start one automaton per registered process).
+    pub fn export_into(&self, registry: &obs::Registry) {
+        if self.is_warm() {
+            registry.add_counter("startup_warm_total", 1);
+        } else {
+            registry.add_counter("startup_cold_total", 1);
+        }
+    }
 }
 
 impl fmt::Display for StartupStats {

@@ -78,6 +78,20 @@ pub struct AutomatonStats {
     pub loaded_edges: u64,
 }
 
+impl AutomatonStats {
+    /// Export into a metrics registry with *add* semantics, so the stats
+    /// of several per-purpose automatons sum in one registry. All fields
+    /// are monotone counters for the lifetime of the owning automaton.
+    pub fn export_into(&self, registry: &obs::Registry) {
+        registry.add_counter("automaton_states", self.states as u64);
+        registry.add_counter("automaton_expanded", self.expanded as u64);
+        registry.add_counter("automaton_edge_hits", self.edge_hits);
+        registry.add_counter("automaton_edge_misses", self.edge_misses);
+        registry.add_counter("automaton_loaded_states", self.loaded_states);
+        registry.add_counter("automaton_loaded_edges", self.loaded_edges);
+    }
+}
+
 /// A lazily-built, thread-shared compilation of one process's observable
 /// LTS. Owned by `bpmn::encode::Encoded` behind an `Arc`; clones of the
 /// encoding share the same automaton.
@@ -183,19 +197,36 @@ impl ProcessAutomaton {
         obs: &dyn Observability,
         limits: WeakNextLimits,
     ) -> Result<Edges, ExploreError> {
+        self.successors_traced(id, obs, limits, &obs::Recorder::noop())
+    }
+
+    /// [`successors`](Self::successors) with telemetry: a compile (cache
+    /// miss) emits an [`obs::ObsEvent::AutomatonExpand`] event. Hits emit
+    /// nothing — the hot path stays a read-lock and an atomic increment.
+    pub fn successors_traced(
+        &self,
+        id: StateId,
+        observability: &dyn Observability,
+        limits: WeakNextLimits,
+        recorder: &obs::Recorder,
+    ) -> Result<Edges, ExploreError> {
         let node = self.node(id);
         if let Some(edges) = node.edges.read().as_ref() {
             self.edge_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(edges.clone());
         }
         self.edge_misses.fetch_add(1, Ordering::Relaxed);
-        let succ = weak_next(&node.state, obs, limits)?;
+        let succ = weak_next(&node.state, observability, limits)?;
         let edges: Edges = Arc::new(
             succ.into_iter()
                 .map(|w| (w.observation, self.intern(w.state)))
                 .collect(),
         );
         *node.edges.write() = Some(edges.clone());
+        recorder.emit(|| obs::ObsEvent::AutomatonExpand {
+            state: id,
+            successors: edges.len(),
+        });
         Ok(edges)
     }
 

@@ -73,4 +73,6 @@ pub use observe::{Observability, Observation, TaskObservability};
 pub use parse::{parse_service, TermParseError};
 pub use symbol::{sym, Symbol};
 pub use term::{Endpoint, Service};
-pub use weaknext::{weak_next, Marked, TaskInstance, WeakNextLimits, WeakSuccessor};
+pub use weaknext::{
+    weak_next, weak_next_traced, Marked, TaskInstance, WeakNextLimits, WeakSuccessor,
+};

@@ -271,6 +271,33 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+impl CacheStats {
+    /// The delta between this snapshot and an earlier `baseline`. The memo
+    /// counters are process-global, so a section of work that wants *its
+    /// own* hit/miss/eviction numbers must snapshot before, snapshot after
+    /// and subtract — anything else silently double-counts whatever ran
+    /// earlier in the process (the P8 bench bug). `entries` stays
+    /// point-in-time (it is a level, not a flow).
+    pub fn since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            entries: self.entries,
+        }
+    }
+
+    /// Export into a metrics registry. The counters are absolute
+    /// process-global totals, so this uses *set* semantics — re-exporting
+    /// after more work overwrites rather than double-counts.
+    pub fn export_into(&self, registry: &obs::Registry) {
+        registry.set_counter("semantics_cache_hits", self.hits);
+        registry.set_counter("semantics_cache_misses", self.misses);
+        registry.set_counter("semantics_cache_evictions", self.evictions);
+        registry.set_gauge("semantics_cache_entries", self.entries as f64);
+    }
+}
+
 /// Snapshot the global memo counters. Counters are process-wide and
 /// monotone (relaxed atomics); `entries` is a point-in-time sum over the
 /// shards.
@@ -281,6 +308,22 @@ pub fn cache_stats() -> CacheStats {
         evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
         entries: cache().iter().map(|s| s.read().len()).sum(),
     }
+}
+
+/// Recorder observing eviction events of the global memo. `set` installs a
+/// clone; evictions are rare cold-path events (a few per million lookups
+/// at steady state), so the hook costs one relaxed load on the eviction
+/// branch only — the lookup fast path is untouched.
+static CACHE_RECORDER: RwLock<Option<obs::Recorder>> = RwLock::new(None);
+
+/// Install (or, with a noop recorder, clear) the global memo's eviction
+/// observer.
+pub fn set_cache_recorder(recorder: obs::Recorder) {
+    *CACHE_RECORDER.write() = if recorder.enabled() {
+        Some(recorder)
+    } else {
+        None
+    };
 }
 
 type Shard = RwLock<HashMap<Service, Arc<Vec<(Label, Service)>>>>;
@@ -294,10 +337,10 @@ fn cache() -> &'static [Shard] {
     })
 }
 
-fn shard_of(s: &Service) -> &'static Shard {
+fn shard_index(s: &Service) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     s.hash(&mut h);
-    &cache()[(h.finish() as usize) % CACHE_SHARDS]
+    (h.finish() as usize) % CACHE_SHARDS
 }
 
 /// [`transitions`] with global (sharded) memoization.
@@ -310,7 +353,8 @@ fn shard_of(s: &Service) -> &'static Shard {
 /// `s` should be in canonical normal form — residuals returned by this
 /// function are.
 pub fn transitions_shared(s: &Service) -> Arc<Vec<(Label, Service)>> {
-    let shard = shard_of(s);
+    let idx = shard_index(s);
+    let shard = &cache()[idx];
     if let Some(hit) = shard.read().get(s) {
         CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return hit.clone();
@@ -319,8 +363,16 @@ pub fn transitions_shared(s: &Service) -> Arc<Vec<(Label, Service)>> {
     let computed = Arc::new(compute_transitions(s));
     let mut wr = shard.write();
     if wr.len() >= SHARD_CAP {
+        let before = wr.len();
         evict_half(&mut wr);
+        let evicted = before - wr.len();
         CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        if let Some(recorder) = CACHE_RECORDER.read().as_ref() {
+            recorder.emit(|| obs::ObsEvent::CacheEviction {
+                shard: idx,
+                evicted,
+            });
+        }
     }
     wr.insert(s.clone(), computed.clone());
     computed

@@ -124,6 +124,33 @@ pub fn weak_next(
     obs: &dyn Observability,
     limits: WeakNextLimits,
 ) -> Result<Vec<WeakSuccessor>, ExploreError> {
+    weak_next_counted(from, obs, limits).map(|(succ, _)| succ)
+}
+
+/// [`weak_next`] with telemetry: emits an [`obs::ObsEvent::WeakNext`]
+/// event (τ-states visited, successor count) on the recorder. With a
+/// noop recorder this is exactly `weak_next` plus one branch.
+pub fn weak_next_traced(
+    from: &Marked,
+    observability: &dyn Observability,
+    limits: WeakNextLimits,
+    recorder: &obs::Recorder,
+) -> Result<Vec<WeakSuccessor>, ExploreError> {
+    let (succ, tau_states) = weak_next_counted(from, observability, limits)?;
+    recorder.emit(|| obs::ObsEvent::WeakNext {
+        tau_states,
+        successors: succ.len(),
+    });
+    Ok(succ)
+}
+
+/// The BFS body shared by [`weak_next`] and [`weak_next_traced`]; also
+/// reports how many distinct unobservable states were expanded.
+fn weak_next_counted(
+    from: &Marked,
+    obs: &dyn Observability,
+    limits: WeakNextLimits,
+) -> Result<(Vec<WeakSuccessor>, usize), ExploreError> {
     let mut successors: Vec<WeakSuccessor> = Vec::new();
     let mut seen_succ: HashSet<(Observation, Marked)> = HashSet::new();
     // States live in `Arc`s shared between the visited set and the queue:
@@ -189,7 +216,8 @@ pub fn weak_next(
             &b.state.service,
         ))
     });
-    Ok(successors)
+    let tau_states = visited.len();
+    Ok((successors, tau_states))
 }
 
 /// Whether the process can still silently reach quiescence (every τ path

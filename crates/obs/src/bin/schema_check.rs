@@ -1,0 +1,98 @@
+//! `schema-check` — validate exported telemetry documents in CI.
+//!
+//! Usage:
+//!   schema-check --schema schemas/metrics.schema.json metrics.json
+//!   schema-check --schema schemas/trace.schema.json --jsonl traces.jsonl
+//!
+//! Exits non-zero (listing every violation) if any document fails, which
+//! is what makes the CI telemetry job fail on unknown or missing keys.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut schema_path: Option<String> = None;
+    let mut jsonl = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--schema" => {
+                i += 1;
+                schema_path = args.get(i).cloned();
+            }
+            "--jsonl" => jsonl = true,
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let Some(schema_path) = schema_path else {
+        eprintln!("usage: schema-check --schema <schema.json> [--jsonl] <file>...");
+        return ExitCode::from(2);
+    };
+    if files.is_empty() {
+        eprintln!("schema-check: no input files");
+        return ExitCode::from(2);
+    }
+
+    let schema_text = match std::fs::read_to_string(&schema_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("schema-check: cannot read {schema_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let schema = match obs::parse_json(&schema_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("schema-check: {schema_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("schema-check: cannot read {file}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let docs: Vec<(String, &str)> = if jsonl {
+            text.lines()
+                .enumerate()
+                .filter(|(_, l)| !l.trim().is_empty())
+                .map(|(n, l)| (format!("{file}:{}", n + 1), l))
+                .collect()
+        } else {
+            vec![(file.clone(), text.as_str())]
+        };
+        for (label, doc) in docs {
+            match obs::parse_json(doc) {
+                Err(e) => {
+                    eprintln!("{label}: invalid JSON: {e}");
+                    failures += 1;
+                }
+                Ok(value) => {
+                    let errors = obs::validate(&value, &schema);
+                    for err in &errors {
+                        eprintln!("{label}: {err}");
+                    }
+                    if !errors.is_empty() {
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("schema-check: {failures} document(s) failed validation");
+        ExitCode::FAILURE
+    } else {
+        println!("schema-check: ok ({} file(s))", files.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,495 @@
+//! Minimal JSON: a value model, an emitter, a recursive-descent parser and
+//! a validator for the JSON-Schema subset our exported documents use.
+//!
+//! The workspace deliberately has no `serde_json`; everything this engine
+//! exports is assembled by hand (the bench report already did this), and
+//! this module is where the shared pieces live. The parser exists so CI
+//! can re-read `--metrics-out`/`--trace-out` files and check them against
+//! the committed `schemas/*.schema.json` — failing on unknown **and**
+//! missing keys, which plain pretty-printing can't do.
+//!
+//! Supported schema keywords: `type` (string or array of strings, with
+//! `"integer"` meaning a fractionless number), `properties`, `required`,
+//! `additionalProperties: false`, `items`, `enum` (strings only). That is
+//! exactly what the two committed schemas use; anything else is rejected
+//! loudly rather than silently ignored.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON document. Objects use `BTreeMap` so re-emission is
+/// key-stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// Escape a string as a JSON string literal, including the quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a single JSON document. Trailing whitespace is allowed; trailing
+/// garbage is an error.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found '{}'",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found '{}'",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                b => {
+                    // Collect the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// A schema violation, with a JSON-pointer-ish path to the offending node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchemaError {
+    pub path: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// Validate `value` against `schema` (itself a parsed JSON document using
+/// the keyword subset described in the module docs). Returns every
+/// violation found, empty = valid.
+pub fn validate(value: &JsonValue, schema: &JsonValue) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    validate_at(value, schema, "$", &mut errors);
+    errors
+}
+
+fn type_matches(value: &JsonValue, ty: &str) -> bool {
+    match ty {
+        "null" => matches!(value, JsonValue::Null),
+        "boolean" => matches!(value, JsonValue::Bool(_)),
+        "number" => matches!(value, JsonValue::Number(_)),
+        "integer" => matches!(value, JsonValue::Number(n) if n.fract() == 0.0),
+        "string" => matches!(value, JsonValue::String(_)),
+        "array" => matches!(value, JsonValue::Array(_)),
+        "object" => matches!(value, JsonValue::Object(_)),
+        _ => false,
+    }
+}
+
+fn validate_at(value: &JsonValue, schema: &JsonValue, path: &str, errors: &mut Vec<SchemaError>) {
+    let Some(schema_obj) = schema.as_object() else {
+        errors.push(SchemaError {
+            path: path.to_string(),
+            message: "schema node is not an object".to_string(),
+        });
+        return;
+    };
+
+    if let Some(ty) = schema_obj.get("type") {
+        let allowed: Vec<&str> = match ty {
+            JsonValue::String(s) => vec![s.as_str()],
+            JsonValue::Array(v) => v.iter().filter_map(|t| t.as_str()).collect(),
+            _ => vec![],
+        };
+        if !allowed.iter().any(|t| type_matches(value, t)) {
+            errors.push(SchemaError {
+                path: path.to_string(),
+                message: format!(
+                    "expected type {}, found {}",
+                    allowed.join("|"),
+                    value.type_name()
+                ),
+            });
+            return;
+        }
+    }
+
+    if let Some(JsonValue::Array(options)) = schema_obj.get("enum") {
+        let ok = options.iter().any(|o| o == value);
+        if !ok {
+            errors.push(SchemaError {
+                path: path.to_string(),
+                message: format!(
+                    "value not in enum {:?}",
+                    options
+                        .iter()
+                        .filter_map(|o| o.as_str())
+                        .collect::<Vec<_>>()
+                ),
+            });
+        }
+    }
+
+    if let (Some(obj), Some(props)) = (value.as_object(), schema_obj.get("properties")) {
+        let props = props.as_object().cloned().unwrap_or_default();
+        if let Some(JsonValue::Array(required)) = schema_obj.get("required") {
+            for r in required.iter().filter_map(|r| r.as_str()) {
+                if !obj.contains_key(r) {
+                    errors.push(SchemaError {
+                        path: path.to_string(),
+                        message: format!("missing required key \"{r}\""),
+                    });
+                }
+            }
+        }
+        let closed = matches!(
+            schema_obj.get("additionalProperties"),
+            Some(JsonValue::Bool(false))
+        );
+        for (k, v) in obj {
+            match props.get(k) {
+                Some(subschema) => validate_at(v, subschema, &format!("{path}.{k}"), errors),
+                None if closed => errors.push(SchemaError {
+                    path: path.to_string(),
+                    message: format!("unknown key \"{k}\""),
+                }),
+                None => {}
+            }
+        }
+    } else if value.as_object().is_some() {
+        // Object with no `properties` but additionalProperties:false and a
+        // sub-schema for values via `items` is not a shape we use; objects
+        // whose keys are dynamic (metric names) use `valueSchema`.
+        if let Some(value_schema) = schema_obj.get("valueSchema") {
+            for (k, v) in value.as_object().unwrap() {
+                validate_at(v, value_schema, &format!("{path}.{k}"), errors);
+            }
+        }
+    }
+
+    if let (Some(items), Some(item_schema)) = (value.as_array(), schema_obj.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            validate_at(item, item_schema, &format!("{path}[{i}]"), errors);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_basics() {
+        let v = parse_json(r#"{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3}}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x\n")
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let lit = escape(s);
+        let back = parse_json(&lit).unwrap();
+        assert_eq!(back.as_str(), Some(s));
+    }
+
+    #[test]
+    fn validator_flags_unknown_and_missing() {
+        let schema = parse_json(
+            r#"{
+                "type": "object",
+                "additionalProperties": false,
+                "required": ["name", "count"],
+                "properties": {
+                    "name": { "type": "string" },
+                    "count": { "type": "integer" }
+                }
+            }"#,
+        )
+        .unwrap();
+        let ok = parse_json(r#"{"name": "x", "count": 3}"#).unwrap();
+        assert!(validate(&ok, &schema).is_empty());
+
+        let missing = parse_json(r#"{"name": "x"}"#).unwrap();
+        let errs = validate(&missing, &schema);
+        assert!(errs.iter().any(|e| e.message.contains("count")));
+
+        let unknown = parse_json(r#"{"name": "x", "count": 3, "extra": 1}"#).unwrap();
+        let errs = validate(&unknown, &schema);
+        assert!(errs.iter().any(|e| e.message.contains("extra")));
+
+        let wrong_type = parse_json(r#"{"name": "x", "count": 3.5}"#).unwrap();
+        let errs = validate(&wrong_type, &schema);
+        assert!(errs.iter().any(|e| e.message.contains("integer")));
+    }
+
+    #[test]
+    fn validator_value_schema_for_dynamic_keys() {
+        let schema =
+            parse_json(r#"{ "type": "object", "valueSchema": { "type": "integer" } }"#).unwrap();
+        let ok = parse_json(r#"{"metric_a": 1, "metric_b": 2}"#).unwrap();
+        assert!(validate(&ok, &schema).is_empty());
+        let bad = parse_json(r#"{"metric_a": "nope"}"#).unwrap();
+        assert!(!validate(&bad, &schema).is_empty());
+    }
+}

@@ -1,0 +1,470 @@
+//! The metrics registry: counters, gauges and log-scale histograms.
+//!
+//! Two-level design, mirroring the transitions-memo sharding that already
+//! keeps the §7 parallel auditor contention-free:
+//!
+//! * a [`Registry`] holds the authoritative aggregate behind one mutex —
+//!   it is touched only on cold paths (flush, exposition, direct updates);
+//! * a [`Shard`] is a thread-owned buffer of the same metric families.
+//!   Hot paths (per-case replay loops) record into their shard with plain
+//!   `HashMap` writes — no atomics, no locks — and [`Shard::flush`] merges
+//!   the whole buffer into the registry in one lock acquisition at join.
+//!
+//! Histograms use fixed log₂ buckets: bucket *i* counts values `v` with
+//! `2^(i-1) < v ≤ 2^i` (bucket 0 counts `v ≤ 1`). Merging shards is
+//! element-wise addition, so totals are exact regardless of interleaving —
+//! the property the 8-thread hammer test asserts.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Number of log₂ histogram buckets. Bucket 63 absorbs everything above
+/// `2^62`; the `+Inf` Prometheus bucket equals the histogram count.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket index of a value: `0` for `v ≤ 1`, else `ceil(log2(v))`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` (the Prometheus `le` label).
+#[inline]
+fn bucket_le(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Aggregated histogram state: exact count, exact sum, per-bucket counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[derive(Clone)]
+struct HistogramData {
+    count: u64,
+    sum: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        HistogramData {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramData {
+    #[inline]
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    fn merge(&mut self, other: &HistogramData) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let top = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            buckets: (0..top).map(|i| (bucket_le(i), self.buckets[i])).collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Aggregate {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramData>,
+}
+
+/// The shared metrics registry. Cheap to create; share behind an `Arc`.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Aggregate>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = self.inner.lock().unwrap();
+        f.debug_struct("Registry")
+            .field("counters", &a.counters.len())
+            .field("gauges", &a.gauges.len())
+            .field("histograms", &a.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A fresh thread-owned shard. Record into it lock-free; call
+    /// [`Shard::flush`] to merge into this registry.
+    pub fn shard(&self) -> Shard {
+        Shard::new()
+    }
+
+    /// Declare a counter (idempotent). Declared-but-untouched metrics still
+    /// appear in the exports, which is what lets the CI schema say
+    /// "no missing keys".
+    pub fn declare_counter(&self, name: &str) {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .entry(name.to_string())
+            .or_insert(0);
+    }
+
+    pub fn declare_gauge(&self, name: &str) {
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .entry(name.to_string())
+            .or_insert(0.0);
+    }
+
+    pub fn declare_histogram(&self, name: &str) {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name.to_string())
+            .or_default();
+    }
+
+    /// Add to a counter directly (cold path — takes the registry lock).
+    pub fn add_counter(&self, name: &str, v: u64) {
+        *self
+            .inner
+            .lock()
+            .unwrap()
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += v;
+    }
+
+    /// Set a counter to an absolute value (last write wins). Used to
+    /// export monotone process-global totals — the transitions-memo and
+    /// automaton atomics — where adding would double-count on re-export.
+    pub fn set_counter(&self, name: &str, v: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .insert(name.to_string(), v);
+    }
+
+    /// Set a gauge (last write wins).
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .insert(name.to_string(), v);
+    }
+
+    /// Observe a histogram value directly (cold path).
+    pub fn observe(&self, name: &str, v: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
+    }
+
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .get(name)
+            .map(|h| h.snapshot())
+            .unwrap_or_default()
+    }
+
+    fn merge_shard(&self, shard: &Shard) {
+        let mut a = self.inner.lock().unwrap();
+        for (k, v) in &shard.counters {
+            *a.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &shard.gauges {
+            a.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &shard.histograms {
+            a.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Stable JSON exposition: `{"counters":{…},"gauges":{…},
+    /// "histograms":{…}}` with keys sorted (BTreeMap order), so two runs
+    /// over the same data produce byte-identical documents.
+    pub fn to_json(&self) -> String {
+        let a = self.inner.lock().unwrap();
+        let mut s = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &a.counters {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            write!(s, "\n    {}: {v}", crate::json::escape(k)).unwrap();
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (k, v) in &a.gauges {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            write!(s, "\n    {}: {}", crate::json::escape(k), fmt_f64(*v)).unwrap();
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (k, h) in &a.histograms {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let snap = h.snapshot();
+            write!(
+                s,
+                "\n    {}: {{ \"count\": {}, \"sum\": {}, \"buckets\": [",
+                crate::json::escape(k),
+                snap.count,
+                snap.sum
+            )
+            .unwrap();
+            for (i, (le, n)) in snap.buckets.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                write!(s, " {{ \"le\": {le}, \"n\": {n} }}").unwrap();
+            }
+            s.push_str(" ] }");
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Prometheus text exposition (metric names are prefixed with
+    /// `purposectl_` and sanitized; histograms emit cumulative
+    /// `_bucket{le=…}` series plus `_sum`/`_count`).
+    pub fn to_prometheus(&self) -> String {
+        let a = self.inner.lock().unwrap();
+        let mut s = String::new();
+        for (k, v) in &a.counters {
+            let name = prom_name(k);
+            writeln!(s, "# TYPE {name} counter").unwrap();
+            writeln!(s, "{name} {v}").unwrap();
+        }
+        for (k, v) in &a.gauges {
+            let name = prom_name(k);
+            writeln!(s, "# TYPE {name} gauge").unwrap();
+            writeln!(s, "{name} {}", fmt_f64(*v)).unwrap();
+        }
+        for (k, h) in &a.histograms {
+            let name = prom_name(k);
+            let snap = h.snapshot();
+            writeln!(s, "# TYPE {name} histogram").unwrap();
+            let mut cum = 0u64;
+            for (le, n) in &snap.buckets {
+                cum += n;
+                writeln!(s, "{name}_bucket{{le=\"{le}\"}} {cum}").unwrap();
+            }
+            writeln!(s, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count).unwrap();
+            writeln!(s, "{name}_sum {}", snap.sum).unwrap();
+            writeln!(s, "{name}_count {}", snap.count).unwrap();
+        }
+        s
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    let mut s = String::with_capacity(name.len() + 11);
+    s.push_str("purposectl_");
+    for c in name.chars() {
+        s.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    s
+}
+
+/// A thread-owned metrics buffer. Not `Sync` by construction (callers own
+/// it mutably); recording is plain map insertion — the hot path takes no
+/// lock and touches no shared cache line.
+#[derive(Default)]
+pub struct Shard {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, HistogramData>,
+}
+
+impl Shard {
+    pub fn new() -> Shard {
+        Shard::default()
+    }
+
+    #[inline]
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += v,
+            None => {
+                self.counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    #[inline]
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    #[inline]
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = HistogramData::default();
+                h.observe(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Merge everything recorded so far into `registry` (one lock
+    /// acquisition) and clear the shard for reuse.
+    pub fn flush(&mut self, registry: &Registry) {
+        registry.merge_shard(self);
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1025), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn shard_flush_merges_exactly() {
+        let reg = Registry::new();
+        let mut s1 = reg.shard();
+        let mut s2 = reg.shard();
+        s1.add_counter("cases", 3);
+        s2.add_counter("cases", 4);
+        s1.observe("entries", 10);
+        s2.observe("entries", 1000);
+        s1.flush(&reg);
+        s2.flush(&reg);
+        assert_eq!(reg.counter_value("cases"), 7);
+        let h = reg.histogram("entries");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.buckets.iter().map(|(_, n)| n).sum::<u64>(), 2);
+        // Flushing twice must not double-count.
+        s1.flush(&reg);
+        assert_eq!(reg.counter_value("cases"), 7);
+    }
+
+    #[test]
+    fn json_is_stable_and_parses() {
+        let reg = Registry::new();
+        reg.declare_counter("b");
+        reg.declare_counter("a");
+        reg.set_gauge("g", 2.5);
+        reg.observe("h", 3);
+        let a = reg.to_json();
+        let b = reg.to_json();
+        assert_eq!(a, b);
+        let v = crate::json::parse_json(&a).unwrap();
+        let obj = v.as_object().unwrap();
+        assert!(obj.contains_key("counters"));
+        // Sorted keys: "a" before "b".
+        assert!(a.find("\"a\"").unwrap() < a.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.add_counter("cases_total", 2);
+        reg.observe("case_entries", 5);
+        reg.observe("case_entries", 6);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE purposectl_cases_total counter"));
+        assert!(text.contains("purposectl_cases_total 2"));
+        assert!(text.contains("purposectl_case_entries_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("purposectl_case_entries_sum 11"));
+        assert!(text.contains("purposectl_case_entries_count 2"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The span/event recorder.
+//!
+//! A [`Recorder`] is an `Option<Arc<RecorderInner>>` in a trenchcoat:
+//! [`Recorder::noop()`] is `None`, so disabled recording costs a single
+//! branch — the event value is never even constructed because [`emit`]
+//! takes a closure. An enabled recorder appends [`TimedEvent`]s to a
+//! bounded ring buffer (oldest events are dropped, with a counter, so a
+//! 20k-entry day cannot OOM the auditor).
+//!
+//! Events are enum-tagged ([`ObsEvent`]) rather than free-form strings so
+//! the CLI renders them through one consistent `--verbose` path, and so
+//! tests can match on structure instead of scraping text.
+//!
+//! [`emit`]: Recorder::emit
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring capacity: enough for a full hospital-day audit at one
+/// event per entry plus lifecycle events, small enough to stay cheap.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A structured observability event. Variants mirror the engine's
+/// lifecycle: startup, per-case replay, salvage, snapshots, quarantine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObsEvent {
+    /// Automaton startup resolved (warm from snapshot or cold compile).
+    /// `detail` is the human line previously printed ad hoc, e.g.
+    /// `"warm start: 12 states, 12 edge tables from snapshot (0 new)"`.
+    Startup {
+        purpose: Option<String>,
+        detail: String,
+    },
+    /// A compiled automaton snapshot was persisted.
+    SnapshotSaved { path: String },
+    /// A case replay began.
+    CaseStart { case: String, entries: usize },
+    /// A case replay finished. `verdict` is a stable short label
+    /// (`"compliant"`, `"infringement"`, `"inconclusive"`).
+    CaseEnd { case: String, verdict: String },
+    /// One log entry was consumed during replay.
+    EntryStep {
+        case: String,
+        index: usize,
+        matched: String,
+        frontier: usize,
+    },
+    /// The automaton expanded a state's successor table (cache miss).
+    AutomatonExpand { state: u32, successors: usize },
+    /// One `WeakNext` closure (Def. 7) was computed directly: how many
+    /// τ-states the BFS visited and how many observable successors it
+    /// yielded.
+    WeakNext {
+        tau_states: usize,
+        successors: usize,
+    },
+    /// The transitions memo evicted half a shard (cold path).
+    CacheEviction { shard: usize, evicted: usize },
+    /// Degraded-mode salvage summary line.
+    Degraded { detail: String },
+    /// A trail line was quarantined during salvage.
+    Quarantined { line: String },
+    /// An out-of-order arrival was noted during salvage.
+    Noted { arrival: String },
+    /// The quarantine report was written.
+    QuarantineReport { path: String },
+    /// Free-form diagnostic that has no structured variant (kept rare).
+    Diagnostic { detail: String },
+}
+
+impl std::fmt::Display for ObsEvent {
+    /// Renders exactly the diagnostic lines the CLI printed before events
+    /// existed — existing integration tests assert on these strings.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsEvent::Startup { purpose, detail } => match purpose {
+                Some(p) => write!(f, "automaton[{p}]: {detail}"),
+                None => write!(f, "automaton: {detail}"),
+            },
+            ObsEvent::SnapshotSaved { path } => {
+                write!(f, "automaton: snapshot saved to {path}")
+            }
+            ObsEvent::CaseStart { case, entries } => {
+                write!(f, "case {case}: replay start ({entries} entries)")
+            }
+            ObsEvent::CaseEnd { case, verdict } => {
+                write!(f, "case {case}: {verdict}")
+            }
+            ObsEvent::EntryStep {
+                case,
+                index,
+                matched,
+                frontier,
+            } => write!(
+                f,
+                "case {case}: entry {index} {matched} (frontier {frontier})"
+            ),
+            ObsEvent::AutomatonExpand { state, successors } => {
+                write!(
+                    f,
+                    "automaton: expanded state {state} ({successors} successors)"
+                )
+            }
+            ObsEvent::WeakNext {
+                tau_states,
+                successors,
+            } => write!(
+                f,
+                "weaknext: {tau_states} tau state(s) -> {successors} successor(s)"
+            ),
+            ObsEvent::CacheEviction { shard, evicted } => {
+                write!(f, "semantics: memo shard {shard} evicted {evicted} entries")
+            }
+            ObsEvent::Degraded { detail } => write!(f, "degraded mode: {detail}"),
+            ObsEvent::Quarantined { line } => write!(f, "  quarantined {line}"),
+            ObsEvent::Noted { arrival } => write!(f, "  noted {arrival}"),
+            ObsEvent::QuarantineReport { path } => {
+                write!(f, "quarantine report written to {path}")
+            }
+            ObsEvent::Diagnostic { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+/// An event plus the microseconds since the recorder was created
+/// (monotonic — `Instant`-based, never wall clock, so traces built from
+/// events stay deterministic when timestamps are excluded).
+#[derive(Clone, Debug)]
+pub struct TimedEvent {
+    pub micros: u64,
+    pub event: ObsEvent,
+}
+
+struct RecorderInner {
+    anchor: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TimedEvent>>,
+    dropped: AtomicU64,
+}
+
+/// Handle to the event ring. Cloning shares the buffer.
+#[derive(Clone)]
+pub struct Recorder(Option<Arc<RecorderInner>>);
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("Recorder::noop"),
+            Some(inner) => f
+                .debug_struct("Recorder")
+                .field("capacity", &inner.capacity)
+                .field("len", &inner.ring.lock().unwrap().len())
+                .field("dropped", &inner.dropped.load(Ordering::Relaxed))
+                .finish(),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::noop()
+    }
+}
+
+impl Recorder {
+    /// The disabled recorder: `enabled()` is false and [`Recorder::emit`]
+    /// never runs its closure.
+    pub const fn noop() -> Recorder {
+        Recorder(None)
+    }
+
+    /// An enabled recorder with the default ring capacity.
+    pub fn new() -> Recorder {
+        Recorder::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> Recorder {
+        Recorder(Some(Arc::new(RecorderInner {
+            anchor: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        })))
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record an event. The closure only runs when the recorder is
+    /// enabled, so a noop recorder never pays for event construction
+    /// (string formatting, clones) on the hot path.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> ObsEvent) {
+        if let Some(inner) = &self.0 {
+            let event = f();
+            let micros = inner.anchor.elapsed().as_micros() as u64;
+            let mut ring = inner.ring.lock().unwrap();
+            if ring.len() >= inner.capacity {
+                ring.pop_front();
+                inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push_back(TimedEvent { micros, event });
+        }
+    }
+
+    /// Drain all buffered events (oldest first), leaving the ring empty.
+    pub fn drain(&self) -> Vec<TimedEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner.ring.lock().unwrap().drain(..).collect(),
+        }
+    }
+
+    /// Snapshot the buffered events without draining.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner.ring.lock().unwrap().iter().cloned().collect(),
+        }
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_never_constructs_events() {
+        let r = Recorder::noop();
+        let mut ran = false;
+        r.emit(|| {
+            ran = true;
+            ObsEvent::Diagnostic { detail: "x".into() }
+        });
+        assert!(!ran);
+        assert!(!r.enabled());
+        assert!(r.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_bounds_and_drop_counter() {
+        let r = Recorder::with_capacity(4);
+        for i in 0..10 {
+            r.emit(|| ObsEvent::CaseStart {
+                case: format!("c{i}"),
+                entries: i,
+            });
+        }
+        let events = r.drain();
+        assert_eq!(events.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // Oldest dropped: the survivors are c6..c9.
+        match &events[0].event {
+            ObsEvent::CaseStart { case, .. } => assert_eq!(case, "c6"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_matches_legacy_cli_lines() {
+        let e = ObsEvent::Startup {
+            purpose: Some("fulfillment".into()),
+            detail: "warm start: 3 states, 3 edge tables from snapshot (0 new)".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "automaton[fulfillment]: warm start: 3 states, 3 edge tables from snapshot (0 new)"
+        );
+        let e = ObsEvent::SnapshotSaved {
+            path: "/tmp/a.pcas".into(),
+        };
+        assert_eq!(e.to_string(), "automaton: snapshot saved to /tmp/a.pcas");
+        let e = ObsEvent::Quarantined {
+            line: "line 3: bad-column-count".into(),
+        };
+        assert_eq!(e.to_string(), "  quarantined line 3: bad-column-count");
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let r = Recorder::new();
+        for _ in 0..5 {
+            r.emit(|| ObsEvent::Diagnostic {
+                detail: "tick".into(),
+            });
+        }
+        let events = r.events();
+        for w in events.windows(2) {
+            assert!(w[0].micros <= w[1].micros);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 pub use audit;
 pub use bpmn;
 pub use cows;
+pub use obs;
 pub use petri;
 pub use policy;
 pub use purpose_control;
