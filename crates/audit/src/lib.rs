@@ -19,6 +19,7 @@ pub mod entry;
 pub mod salvage;
 pub mod samples;
 pub mod stats;
+pub mod tail;
 pub mod time;
 pub mod trail;
 

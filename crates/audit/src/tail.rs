@@ -1,0 +1,216 @@
+//! Incremental reading of an append-only trail file.
+//!
+//! A live monitor consumes the same canonical trail lines as the batch
+//! auditor, but from a file that is still being written. [`TailReader`]
+//! tracks a byte offset and, on each [`poll`](TailReader::poll), parses
+//! only the complete lines appended since the previous poll:
+//!
+//! * **Torn tails** — log shippers append lines non-atomically, so the
+//!   file may momentarily end mid-line. The reader only consumes up to the
+//!   last `\n`; a torn tail is left in the file for the next poll rather
+//!   than quarantined as a corrupt line.
+//! * **Salvage** — complete lines go through
+//!   [`crate::salvage::parse_trail_salvage`], so a line corrupted at rest
+//!   is quarantined with a reason instead of aborting the tail.
+//! * **Truncation** — if the file shrinks below the consumed offset (log
+//!   rotation), the reader resets to the start of the new file.
+//!
+//! The consumed offset is exposed so a monitor checkpoint can record
+//! exactly how much of the stream its state reflects, and a restarted
+//! tailer can resume from that byte.
+
+use crate::salvage::{parse_trail_salvage, Quarantine};
+use crate::trail::AuditTrail;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// One poll's result.
+#[derive(Debug)]
+pub struct TailChunk {
+    /// Entries parsed from the newly consumed complete lines.
+    pub trail: AuditTrail,
+    /// Salvage report for those lines.
+    pub quarantine: Quarantine,
+    /// Whether the file was detected as truncated/rotated (the reader
+    /// restarted from byte 0).
+    pub truncated: bool,
+}
+
+/// A byte-offset tail over an append-only trail file.
+#[derive(Debug)]
+pub struct TailReader {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl TailReader {
+    /// Tail `path` from the beginning.
+    pub fn new(path: impl Into<PathBuf>) -> TailReader {
+        TailReader {
+            path: path.into(),
+            offset: 0,
+        }
+    }
+
+    /// Resume tailing from a previously consumed offset (e.g. out of a
+    /// monitor checkpoint).
+    pub fn with_offset(path: impl Into<PathBuf>, offset: u64) -> TailReader {
+        TailReader {
+            path: path.into(),
+            offset,
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes consumed so far (always at a line boundary).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Parse everything appended since the last poll. A missing file is
+    /// not an error — it yields an empty chunk (the writer may not have
+    /// created it yet).
+    pub fn poll(&mut self) -> std::io::Result<TailChunk> {
+        let mut truncated = false;
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(TailChunk {
+                    trail: AuditTrail::new(),
+                    quarantine: Quarantine::default(),
+                    truncated: false,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            // The file shrank under us: rotation or rewrite. Start over.
+            self.offset = 0;
+            truncated = true;
+        }
+        if len == self.offset {
+            return Ok(TailChunk {
+                trail: AuditTrail::new(),
+                quarantine: Quarantine::default(),
+                truncated,
+            });
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.take(len - self.offset).read_to_end(&mut buf)?;
+        // Only complete lines are consumable; a torn tail stays for later.
+        let consumable = match buf.iter().rposition(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        if consumable == 0 {
+            return Ok(TailChunk {
+                trail: AuditTrail::new(),
+                quarantine: Quarantine::default(),
+                truncated,
+            });
+        }
+        let text = String::from_utf8_lossy(&buf[..consumable]);
+        let (trail, quarantine) = parse_trail_salvage(&text);
+        self.offset += consumable as u64;
+        Ok(TailChunk {
+            trail,
+            quarantine,
+            truncated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::io::Write;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("purposectl-tail-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{name}.trail", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    const L1: &str = "John GP read [David]EPR/Demographics T01 HT-1 201007060900 success\n";
+    const L2: &str = "Bob Cardiologist read [David]EPR/Clinical T06 HT-1 201007060905 success\n";
+
+    #[test]
+    fn reads_only_appended_complete_lines() {
+        let path = scratch("append");
+        let mut reader = TailReader::new(&path);
+        // Nothing there yet.
+        assert_eq!(reader.poll().unwrap().trail.len(), 0);
+
+        fs::write(&path, L1).unwrap();
+        let chunk = reader.poll().unwrap();
+        assert_eq!(chunk.trail.len(), 1);
+        assert!(chunk.quarantine.is_clean());
+        // No new data → empty poll, offset unchanged.
+        let before = reader.offset();
+        assert_eq!(reader.poll().unwrap().trail.len(), 0);
+        assert_eq!(reader.offset(), before);
+
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(L2.as_bytes()).unwrap();
+        drop(f);
+        let chunk = reader.poll().unwrap();
+        assert_eq!(chunk.trail.len(), 1);
+        assert_eq!(chunk.trail.entries()[0].task.to_string(), "T06");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_deferred_not_quarantined() {
+        let path = scratch("torn");
+        // A complete line plus a torn prefix of the next one.
+        let torn = &L2[..30];
+        fs::write(&path, format!("{L1}{torn}")).unwrap();
+        let mut reader = TailReader::new(&path);
+        let chunk = reader.poll().unwrap();
+        assert_eq!(chunk.trail.len(), 1, "only the complete line");
+        assert!(chunk.quarantine.is_clean(), "torn tail is not corruption");
+        assert_eq!(reader.offset() as usize, L1.len());
+        // The writer finishes the line; the next poll picks it up whole.
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&L2.as_bytes()[30..]).unwrap();
+        drop(f);
+        let chunk = reader.poll().unwrap();
+        assert_eq!(chunk.trail.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_complete_line_is_quarantined() {
+        let path = scratch("corrupt");
+        fs::write(&path, format!("{L1}this is not a trail line\n{L2}")).unwrap();
+        let mut reader = TailReader::new(&path);
+        let chunk = reader.poll().unwrap();
+        assert_eq!(chunk.trail.len(), 2);
+        assert_eq!(chunk.quarantine.lines.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_resets_to_start() {
+        let path = scratch("rotate");
+        fs::write(&path, format!("{L1}{L2}")).unwrap();
+        let mut reader = TailReader::new(&path);
+        assert_eq!(reader.poll().unwrap().trail.len(), 2);
+        // Rotate: the file is replaced by a shorter one.
+        fs::write(&path, L1).unwrap();
+        let chunk = reader.poll().unwrap();
+        assert!(chunk.truncated);
+        assert_eq!(chunk.trail.len(), 1);
+        assert_eq!(reader.offset() as usize, L1.len());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -24,7 +24,8 @@ use policy::samples::hospital_roles;
 use purpose_control::auditor::CaseOutcome;
 use purpose_control::naive::{naive_check, NaiveLimits};
 use purpose_control::parallel::audit_parallel;
-use purpose_control::replay::{check_case, CheckOptions, Engine};
+use purpose_control::replay::{check_case, CheckOptions, Engine, Verdict};
+use purpose_control::{LiveConfig, ShardedMonitor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -937,6 +938,147 @@ fn p11_observability(quick: bool) -> String {
     )
 }
 
+fn p12_streaming(quick: bool) -> String {
+    use workload::stream::{case_count, interleave, peak_concurrency};
+
+    println!("## P12 — streaming monitor vs batch (bounded memory, checkpoint/resume)");
+    let entries = if quick { 20_000 } else { 120_000 };
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: entries,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    // Arrival order, not case blocks: the workload the batch auditor never
+    // sees but the live monitor is defined by.
+    let stream = interleave(&day.trail);
+    let cases = case_count(&stream);
+    let peak = peak_concurrency(&stream);
+
+    // Batch baseline: the §7 parallel audit over the finished trail.
+    let auditor = hospital_auditor();
+    let start = Instant::now();
+    let batch = audit_parallel(&auditor, &day.trail, 4);
+    let batch_time = start.elapsed();
+
+    // Live: sharded monitor with the resident set capped far below peak
+    // concurrency, so the memory bound is under constant pressure.
+    let shards = 4;
+    let max_open = (peak / 8).max(2);
+    let config = LiveConfig {
+        max_open_cases: max_open,
+        ..LiveConfig::default()
+    };
+    let mut live = ShardedMonitor::new(hospital_auditor(), &config, shards);
+    let start = Instant::now();
+    live.ingest(&stream).expect("live replay failed");
+    let live_time = start.elapsed();
+    let stats = live.stats();
+    assert!(stats.evictions > 0, "the memory bound must actually bite");
+
+    // Verdict equivalence: every case the batch auditor judged must get
+    // the same verdict out of the evicting monitor.
+    let mut mismatches = 0usize;
+    for c in &batch.cases {
+        let live_label = match live.snapshot(c.case) {
+            None => "unresolved".to_string(),
+            Some(Err(e)) => format!("failed: {e}"),
+            Some(Ok(check)) => match check.verdict {
+                Verdict::Compliant { can_complete } => format!("compliant/{can_complete}"),
+                Verdict::Infringement(inf) => format!("infringement@{}", inf.entry_index),
+            },
+        };
+        let batch_label = match &c.outcome {
+            CaseOutcome::Compliant { can_complete } => format!("compliant/{can_complete}"),
+            CaseOutcome::Infringement { infringement, .. } => {
+                format!("infringement@{}", infringement.entry_index)
+            }
+            CaseOutcome::Unresolved(_) => "unresolved".to_string(),
+            other => format!("{other:?}"),
+        };
+        if live_label != batch_label {
+            mismatches += 1;
+            if mismatches <= 5 {
+                println!(
+                    "  MISMATCH {}: batch {batch_label} vs live {live_label}",
+                    c.case
+                );
+            }
+        }
+    }
+    let verdicts_match = mismatches == 0;
+
+    // Checkpoint/restart/resume: stop mid-stream, serialize, rebuild, feed
+    // the rest — the restarted monitor must raise exactly the alarms of
+    // the uninterrupted run.
+    let mid = stream.len() / 2;
+    let mut first_half = ShardedMonitor::new(hospital_auditor(), &config, shards);
+    first_half
+        .ingest(&stream[..mid])
+        .expect("first half failed");
+    let pre_stats = first_half.stats();
+    let ckpt = first_half
+        .checkpoint(mid as u64)
+        .expect("checkpoint failed");
+    let ckpt_bytes = ckpt.len();
+    let (mut resumed, offset) = ShardedMonitor::restore(hospital_auditor(), &config, shards, &ckpt)
+        .expect("restore failed");
+    assert_eq!(offset, mid as u64, "resume offset must round-trip");
+    resumed.ingest(&stream[mid..]).expect("second half failed");
+    let straight_alarms: Vec<_> = live.alarms().iter().map(|(c, _)| *c).collect();
+    let resumed_alarms: Vec<_> = resumed.alarms().iter().map(|(c, _)| *c).collect();
+    let alarms_match = straight_alarms == resumed_alarms;
+    assert!(alarms_match, "resume changed the alarm set");
+    let evictions_total = pre_stats.evictions + resumed.stats().evictions;
+
+    println!(
+        "{} entries, {cases} cases (peak {peak} concurrent), {shards} shards x {max_open} resident",
+        stream.len()
+    );
+    println!(
+        "batch {} | live {} | {} alarms, {} evictions, {} rehydrations, {} KiB spilled",
+        fmt_dur(batch_time),
+        fmt_dur(live_time),
+        stats.alarms,
+        stats.evictions,
+        stats.rehydrations,
+        stats.spilled_bytes / 1024
+    );
+    println!(
+        "verdicts match batch: {verdicts_match} ({mismatches} mismatches) | \
+         checkpoint {ckpt_bytes} B at entry {mid}, resume alarms match: {alarms_match}"
+    );
+    println!();
+
+    format!(
+        "{{\n  \
+           \"benchmark\": \"streaming_monitor\",\n  \
+           \"workload\": \"hospital_day_interleaved\",\n  \
+           \"entries\": {},\n  \
+           \"cases\": {cases},\n  \
+           \"peak_concurrency\": {peak},\n  \
+           \"shards\": {shards},\n  \
+           \"max_open_cases\": {max_open},\n  \
+           \"batch\": {{ \"seconds\": {:.6}, \"infringing_cases\": {} }},\n  \
+           \"live\": {{ \"seconds\": {:.6}, \"alarms\": {}, \"evictions\": {}, \
+             \"rehydrations\": {}, \"retired\": {}, \"spilled_bytes\": {} }},\n  \
+           \"checkpoint\": {{ \"bytes\": {ckpt_bytes}, \"at_entry\": {mid}, \
+             \"resume_offset_ok\": true, \"alarms_match_uninterrupted\": {alarms_match}, \
+             \"evictions_across_restart\": {evictions_total} }},\n  \
+           \"verdicts_match_batch\": {verdicts_match}\n}}",
+        stream.len(),
+        batch_time.as_secs_f64(),
+        batch.infringing_cases(),
+        live_time.as_secs_f64(),
+        stats.alarms,
+        stats.evictions,
+        stats.rehydrations,
+        stats.retired,
+        stats.spilled_bytes,
+    )
+}
+
 fn fig4_summary() {
     println!("## F4 — the paper's running example (Fig. 4)");
     let auditor = hospital_auditor();
@@ -991,13 +1133,16 @@ fn main() {
     let p9 = p9_snapshot_warm_start(quick);
     let p10 = p10_degraded_mode(quick);
     let p11 = p11_observability(quick);
+    let p12 = p12_streaming(quick);
     let json = format!(
         "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {},\n\
-         \"p10_degraded_mode\": {},\n\"p11_observability\": {}\n}}\n",
+         \"p10_degraded_mode\": {},\n\"p11_observability\": {},\n\
+         \"p12_streaming\": {}\n}}\n",
         p8.trim_end(),
         p9,
         p10,
-        p11
+        p11,
+        p12
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
     match std::fs::write(&path, &json) {

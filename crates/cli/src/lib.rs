@@ -14,6 +14,8 @@
 //!                     [--case-deadline-ms N] [--case-step-budget N]
 //!                     [--metrics-out <file>] [--prom-out <file>]
 //!                     [--trace-out <file>] [--explain <case>] [--verbose]
+//! purposectl watch    <trail-file> --process <purpose>=<file> …
+//!                     [--follow] [--checkpoint <file>] [--shards N]
 //! ```
 //!
 //! The library surface ([`run`]) takes argv-style arguments and a writer,
@@ -21,6 +23,7 @@
 
 use audit::codec::{format_trail, parse_trail};
 use audit::salvage::{parse_trail_salvage_traced, Quarantine};
+use audit::tail::TailReader;
 use audit::trail::AuditTrail;
 use bpmn::encode::{encode, Encoded};
 use bpmn::parse::parse_process;
@@ -35,6 +38,7 @@ use purpose_control::lenient::{check_case_lenient, LenientOptions};
 use purpose_control::parallel::audit_parallel;
 use purpose_control::replay::{check_case, CheckOptions, Engine};
 use purpose_control::startup::StartupStats;
+use purpose_control::{LiveConfig, LiveEvent, ShardedMonitor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -85,6 +89,13 @@ USAGE:
                       [--case-deadline-ms <N>] [--case-step-budget <N>]
                       [--metrics-out <file>] [--prom-out <file>]
                       [--trace-out <file>] [--explain <case>] [--verbose]
+  purposectl watch    <trail-file>
+                      --process <purpose>=<file>... [--map <prefix>=<purpose>...]
+                      [--policy <file>] [--follow] [--poll-ms <N>]
+                      [--checkpoint <file>] [--shards <N>]
+                      [--max-open-cases <N>] [--max-entries-per-case <N>]
+                      [--idle-minutes <M>] [--spill-dir <dir>]
+                      [--engine <direct|automaton>] [--metrics-out <file>]
 
 Observability: --metrics-out / --prom-out export the run's metrics
 (case outcomes, cache and automaton counters, trail shape) as JSON /
@@ -109,6 +120,20 @@ process file) and start warm from it on the next run. Stale or corrupt
 snapshots self-invalidate: loading falls back to cold compilation with the
 reason printed, never a wrong verdict. --no-automaton-cache disables both
 loading and saving; --engine direct never touches snapshots.
+
+Live monitoring: watch tails an append-only trail file and replays every
+entry as it lands, raising alarms the moment a case deviates instead of at
+end-of-day. Torn final lines are deferred to the next poll, complete but
+corrupt lines are quarantined (salvage semantics). Memory stays bounded:
+beyond --max-open-cases the least-recently-active session is evicted
+(spilled to --spill-dir when given), rehydrated when its case speaks again;
+alarmed cases retire to compact records and --idle-minutes sweeps out stale
+sessions. --shards routes cases across N independent monitors by stable
+case hash. --follow keeps polling every --poll-ms milliseconds until
+SIGTERM/SIGINT; on exit (or at end of input without --follow) the monitor
+writes --checkpoint, and the next watch with the same flags resumes from
+the recorded byte offset with identical session state. A stale or corrupt
+checkpoint falls back to a cold start with the reason printed.
 ";
 
 /// Minimal flag scanner: positional args plus `--flag value` / `--flag`.
@@ -281,6 +306,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         "simulate" => cmd_simulate(&args, out),
         "check" => cmd_check(&args, out),
         "audit" => cmd_audit(&args, out),
+        "watch" => cmd_watch(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").ok();
             Ok(0)
@@ -442,6 +468,68 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     Ok(i32::from(!res.verdict.is_compliant()))
 }
 
+/// Everything `audit` and `watch` share: the engine-configured auditor
+/// plus the handles the snapshot lifecycle needs after the run.
+struct AuditorSetup {
+    auditor: Auditor,
+    /// `Auditor::new` consumes the registry, but the compiled automaton is
+    /// shared behind `Arc`s, so warm-starting before construction and
+    /// re-saving after the run works through these handles.
+    snapshots: Vec<(Arc<RegisteredProcess>, PathBuf, usize)>,
+    startups: Vec<StartupStats>,
+}
+
+/// Build the process registry, case map, policy, and engine from the
+/// common `--process/--map/--policy/--engine` flags.
+fn build_auditor(args: &Args, diag: &Recorder) -> Result<AuditorSetup, CliError> {
+    let mut registry = ProcessRegistry::new();
+    let processes = args.flag_all("process");
+    if processes.is_empty() {
+        return Err(fail("at least one --process <purpose>=<file> is required"));
+    }
+    let engine = engine_flag(args)?;
+    let mut snapshots: Vec<(Arc<RegisteredProcess>, PathBuf, usize)> = Vec::new();
+    let mut startups: Vec<StartupStats> = Vec::new();
+    for spec in processes {
+        let (purpose, path) = spec
+            .split_once('=')
+            .ok_or_else(|| fail(format!("--process `{spec}`: expected <purpose>=<file>")))?;
+        registry.register(purpose, load_process(path)?);
+        let cache = match engine {
+            Engine::Direct => None,
+            _ => automaton_cache_file(args, path),
+        };
+        if let (Some(cache), Some(rp)) = (cache, registry.process_for(cows::sym(purpose))) {
+            let (startup, expanded_at_start) = warm_start(&rp.encoded, Some(&cache));
+            let purpose = purpose.to_string();
+            diag.emit(|| ObsEvent::Startup {
+                purpose: Some(purpose),
+                detail: startup.to_string(),
+            });
+            startups.push(startup);
+            snapshots.push((rp.clone(), cache, expanded_at_start));
+        }
+    }
+    for spec in args.flag_all("map") {
+        let (prefix, purpose) = spec
+            .split_once('=')
+            .ok_or_else(|| fail(format!("--map `{spec}`: expected <prefix>=<purpose>")))?;
+        registry.add_case_prefix(prefix, purpose);
+    }
+    let policy = match args.flag("policy") {
+        Some(path) => load_policy(path)?,
+        None => Policy::new(),
+    };
+    let context = PolicyContext::new(hospital_roles());
+    let mut auditor = Auditor::new(registry, policy, context);
+    auditor.options.engine = engine;
+    Ok(AuditorSetup {
+        auditor,
+        snapshots,
+        startups,
+    })
+}
+
 fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     let trail_path = args.flag("trail").ok_or_else(|| fail("missing --trail"))?;
     let salvage = args.has("salvage");
@@ -475,51 +563,12 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         }
     }
     render_events(&diag, out);
-    let mut registry = ProcessRegistry::new();
-    let processes = args.flag_all("process");
-    if processes.is_empty() {
-        return Err(fail("at least one --process <purpose>=<file> is required"));
-    }
-    let engine = engine_flag(args)?;
-    // Handles for the snapshot lifecycle: `Auditor::new` consumes the
-    // registry, but the compiled automaton is shared behind `Arc`s, so
-    // warm-starting here and re-saving after the audit works through them.
-    let mut snapshots: Vec<(Arc<RegisteredProcess>, PathBuf, usize)> = Vec::new();
-    let mut startups: Vec<StartupStats> = Vec::new();
-    for spec in processes {
-        let (purpose, path) = spec
-            .split_once('=')
-            .ok_or_else(|| fail(format!("--process `{spec}`: expected <purpose>=<file>")))?;
-        registry.register(purpose, load_process(path)?);
-        let cache = match engine {
-            Engine::Direct => None,
-            _ => automaton_cache_file(args, path),
-        };
-        if let (Some(cache), Some(rp)) = (cache, registry.process_for(cows::sym(purpose))) {
-            let (startup, expanded_at_start) = warm_start(&rp.encoded, Some(&cache));
-            let purpose = purpose.to_string();
-            diag.emit(|| ObsEvent::Startup {
-                purpose: Some(purpose),
-                detail: startup.to_string(),
-            });
-            startups.push(startup);
-            snapshots.push((rp.clone(), cache, expanded_at_start));
-        }
-    }
+    let AuditorSetup {
+        mut auditor,
+        snapshots,
+        startups,
+    } = build_auditor(args, &diag)?;
     render_events(&diag, out);
-    for spec in args.flag_all("map") {
-        let (prefix, purpose) = spec
-            .split_once('=')
-            .ok_or_else(|| fail(format!("--map `{spec}`: expected <prefix>=<purpose>")))?;
-        registry.add_case_prefix(prefix, purpose);
-    }
-    let policy = match args.flag("policy") {
-        Some(path) => load_policy(path)?,
-        None => Policy::new(),
-    };
-    let context = PolicyContext::new(hospital_roles());
-    let mut auditor = Auditor::new(registry, policy, context);
-    auditor.options.engine = engine;
 
     // Observability surface: metrics registry, evidence traces, verbose
     // replay event stream.
@@ -657,6 +706,221 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         }
     }
     Ok(i32::from(report.infringing_cases() > 0))
+}
+
+/// Cooperative shutdown for `watch --follow`: SIGTERM/SIGINT set a flag
+/// the poll loop checks between polls, so the monitor always checkpoints
+/// before exiting. The handler only stores an atomic — async-signal-safe.
+#[cfg(unix)]
+mod shutdown {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod shutdown {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let trail_path = args
+        .positional
+        .first()
+        .ok_or_else(|| fail("missing <trail-file> argument"))?
+        .clone();
+    let diag = Recorder::new();
+    let AuditorSetup {
+        auditor, snapshots, ..
+    } = build_auditor(args, &diag)?;
+
+    let defaults = LiveConfig::default();
+    let config = LiveConfig {
+        max_open_cases: args.flag_num("max-open-cases", defaults.max_open_cases)?,
+        max_entries_per_case: args
+            .flag_num("max-entries-per-case", defaults.max_entries_per_case)?,
+        idle_eviction: match args.flag("idle-minutes") {
+            None => defaults.idle_eviction,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| fail(format!("--idle-minutes: `{v}` is not a valid number")))?,
+            ),
+        },
+        spill_dir: args.flag("spill-dir").map(PathBuf::from),
+    };
+    let shards: usize = args.flag_num("shards", 1)?;
+    let checkpoint_path = args.flag("checkpoint").map(PathBuf::from);
+
+    // Resume from a previous run's checkpoint when one exists. Like the
+    // automaton snapshots this is fail-open: a stale or unreadable
+    // checkpoint means a cold start with the reason printed — replaying
+    // the whole trail again is always correct, just slower.
+    let (mut monitor, start_offset) = match checkpoint_path.as_deref().filter(|p| p.exists()) {
+        Some(path) => {
+            let outcome = std::fs::read(path)
+                .map_err(|e| format!("{e}"))
+                .and_then(|bytes| {
+                    ShardedMonitor::restore(auditor.clone(), &config, shards, &bytes)
+                        .map_err(|e| format!("{e}"))
+                });
+            match outcome {
+                Ok((monitor, offset)) => {
+                    let detail = format!(
+                        "watch: resumed from checkpoint `{}` at byte offset {offset} ({} cases tracked)",
+                        path.display(),
+                        monitor.tracked_cases(),
+                    );
+                    diag.emit(|| ObsEvent::Diagnostic { detail });
+                    (monitor, offset)
+                }
+                Err(reason) => {
+                    let detail = format!(
+                        "watch: checkpoint `{}` not usable ({reason}); starting cold",
+                        path.display()
+                    );
+                    diag.emit(|| ObsEvent::Diagnostic { detail });
+                    (ShardedMonitor::new(auditor, &config, shards), 0)
+                }
+            }
+        }
+        None => (ShardedMonitor::new(auditor, &config, shards), 0),
+    };
+
+    let follow = args.has("follow");
+    let poll_ms: u64 = args.flag_num("poll-ms", 200)?;
+    shutdown::install();
+    let mut reader = TailReader::with_offset(&trail_path, start_offset);
+    render_events(&diag, out);
+
+    loop {
+        let before = reader.offset();
+        let chunk = reader
+            .poll()
+            .map_err(|e| fail(format!("cannot tail `{trail_path}`: {e}")))?;
+        if chunk.truncated {
+            diag.emit(|| ObsEvent::Diagnostic {
+                detail: "watch: trail truncated or rotated; restarting from byte 0".to_string(),
+            });
+        }
+        if !chunk.quarantine.is_clean() {
+            diag.emit(|| ObsEvent::Degraded {
+                detail: chunk.quarantine.to_string(),
+            });
+        }
+        let events = monitor
+            .ingest(chunk.trail.entries())
+            .map_err(|e| fail(format!("live replay failed: {e}")))?;
+        render_events(&diag, out);
+        for ev in &events {
+            if let LiveEvent::Alarm {
+                case,
+                infringement,
+                severity,
+            } = ev
+            {
+                writeln!(
+                    out,
+                    "ALARM {case} at case entry {} (severity {:.2})",
+                    infringement.entry_index, severity.score
+                )
+                .ok();
+            }
+        }
+        let progressed = reader.offset() != before;
+        if progressed {
+            // Completed cases retire; a case whose completion check errors
+            // stays tracked and is reported without stopping the stream.
+            let (_retired, errors) = monitor.retire_completed();
+            for (case, e) in errors {
+                writeln!(out, "case {case}: completion check failed: {e}").ok();
+            }
+            monitor
+                .maintain()
+                .map_err(|e| fail(format!("idle sweep failed: {e}")))?;
+        }
+        if shutdown::requested() {
+            break;
+        }
+        if !progressed {
+            if !follow {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        }
+    }
+
+    if let Some(path) = &checkpoint_path {
+        let bytes = monitor
+            .checkpoint(reader.offset())
+            .map_err(|e| fail(format!("cannot checkpoint monitor state: {e}")))?;
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, &bytes)
+            .map_err(|e| fail(format!("cannot write checkpoint `{}`: {e}", path.display())))?;
+        writeln!(
+            out,
+            "checkpoint: {} cases tracked at byte offset {} -> {}",
+            monitor.tracked_cases(),
+            reader.offset(),
+            path.display()
+        )
+        .ok();
+    }
+    for (rp, cache, expanded_at_start) in &snapshots {
+        save_if_grown(&rp.encoded, Some(cache), *expanded_at_start, &diag);
+    }
+    render_events(&diag, out);
+
+    if let Some(path) = args.flag("metrics-out") {
+        let registry = obs::Registry::new();
+        purpose_control::register_audit_metrics(&registry);
+        monitor.flush_metrics(&registry);
+        std::fs::write(path, registry.to_json())
+            .map_err(|e| fail(format!("cannot write metrics file `{path}`: {e}")))?;
+    }
+
+    let stats = monitor.stats();
+    writeln!(
+        out,
+        "watched {} entries, {} open / {} tracked cases: {} alarms, {} after-alarm, \
+         {} unresolved, {} retired, {} evictions, {} rehydrations",
+        stats.entries,
+        monitor.open_cases(),
+        monitor.tracked_cases(),
+        stats.alarms,
+        stats.after_alarm,
+        stats.unresolved,
+        stats.retired,
+        stats.evictions,
+        stats.rehydrations
+    )
+    .ok();
+    Ok(i32::from(!monitor.alarms().is_empty()))
 }
 
 #[cfg(test)]
@@ -839,6 +1103,112 @@ flows
         ]);
         assert_eq!(code, 1);
         assert!(out.contains("INFRINGEMENT"));
+    }
+
+    #[test]
+    fn watch_tails_a_static_trail_and_reports_alarms() {
+        let p = write_temp("order20.bpmn", ORDER);
+        // ORD-1 starts correctly and stays open; ORD-2 ships first — a
+        // live deviation the monitor must flag at its very first entry.
+        let t = write_temp(
+            "order20.trail",
+            "carol Clerk read [A]Order Receive ORD-1 202607060900 success\n\
+             carol Clerk read [A]Order Ship ORD-2 202607060901 success\n",
+        );
+        let (code, out) = run_capture(&[
+            "watch",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("ALARM ORD-2"), "{out}");
+        assert!(!out.contains("ALARM ORD-1"), "{out}");
+        assert!(out.contains("watched 2 entries"), "{out}");
+        assert!(out.contains("1 alarms"), "{out}");
+    }
+
+    #[test]
+    fn watch_checkpoints_and_resumes_without_duplicate_alarms() {
+        let p = write_temp("order21.bpmn", ORDER);
+        let dir = std::env::temp_dir().join("purposectl-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let t = dir.join(format!("order21-{pid}.trail"));
+        let ck = dir.join(format!("order21-{pid}.ckpt"));
+        let _ = std::fs::remove_file(&ck);
+        std::fs::write(
+            &t,
+            "carol Clerk read [A]Order Ship ORD-9 202607060900 success\n",
+        )
+        .unwrap();
+        let argv = args(&[
+            "watch",
+            &t.to_string_lossy(),
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--checkpoint",
+            &ck.to_string_lossy(),
+            "--shards",
+            "2",
+        ]);
+        let mut buf = Vec::new();
+        let code = run(&argv, &mut buf).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("ALARM ORD-9"), "{out}");
+        assert!(ck.exists(), "checkpoint written at EOF");
+
+        // Append a post-alarm entry plus a fresh compliant case and run
+        // again: the restored monitor must pick up at the recorded byte
+        // offset and must not re-raise the old alarm.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&t).unwrap();
+        use std::io::Write as _;
+        f.write_all(
+            b"carol Clerk read [A]Order Ship ORD-9 202607060905 success\n\
+              carol Clerk read [A]Order Receive ORD-10 202607060906 success\n",
+        )
+        .unwrap();
+        drop(f);
+        let mut buf = Vec::new();
+        let code = run(&argv, &mut buf).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert_eq!(code, 1, "restored alarm still sets the exit code: {out}");
+        assert!(out.contains("resumed from checkpoint"), "{out}");
+        assert!(!out.contains("ALARM ORD-9"), "no duplicate alarm: {out}");
+        assert!(out.contains("1 after-alarm"), "{out}");
+        let _ = std::fs::remove_file(&t);
+        let _ = std::fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn watch_metrics_export_counts_the_stream() {
+        let p = write_temp("order22.bpmn", ORDER);
+        let t = write_temp(
+            "order22.trail",
+            "carol Clerk read [A]Order Receive ORD-1 202607060900 success\n\
+             carol Clerk read [A]Order Pick ORD-1 202607060905 success\n",
+        );
+        let mfile = write_temp("order22.metrics.json", "");
+        let (code, out) = run_capture(&[
+            "watch",
+            &t,
+            "--process",
+            &format!("fulfillment={p}"),
+            "--map",
+            "ORD-=fulfillment",
+            "--metrics-out",
+            &mfile,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let json = std::fs::read_to_string(&mfile).unwrap();
+        assert!(json.contains("\"live_entries_total\": 2"), "{json}");
+        assert!(json.contains("\"live_alarms_total\": 0"), "{json}");
+        assert!(json.contains("\"live_open_cases\""), "{json}");
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum CheckError {
     /// ([`crate::replay::CheckOptions::max_explored`]) was exhausted while
     /// consuming the entry at `entry_index`.
     StepBudgetExhausted { entry_index: usize, limit: usize },
+    /// A live-case checkpoint could not be written to or read back from
+    /// the spill store (IO failure, or codec failure on rehydration).
+    Checkpoint { detail: String },
 }
 
 impl fmt::Display for CheckError {
@@ -55,6 +58,9 @@ impl fmt::Display for CheckError {
                 f,
                 "exploration budget of {limit} successors exhausted while consuming entry {entry_index}"
             ),
+            CheckError::Checkpoint { detail } => {
+                write!(f, "live checkpoint failed: {detail}")
+            }
         }
     }
 }

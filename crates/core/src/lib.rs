@@ -42,6 +42,7 @@
 //! ```
 
 pub mod auditor;
+pub mod checkpoint;
 pub mod drift;
 pub mod error;
 pub mod lenient;
@@ -53,21 +54,24 @@ pub mod parallel;
 pub mod replay;
 pub mod session;
 pub mod severity;
+pub mod sharded;
 pub mod startup;
 
 pub use auditor::{
     AuditReport, Auditor, CaseOutcome, CaseResult, InconclusiveReason, ProcessRegistry,
 };
+pub use checkpoint::{CaseCheckpoint, MonitorCheckpoint, RestoreError};
 pub use drift::{allowed_successions, case_task_log, drift_report, DriftReport};
 pub use error::CheckError;
 pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};
-pub use live::{LiveAuditor, LiveEvent};
+pub use live::{ClosedCase, LiveAuditor, LiveConfig, LiveEvent, LiveStats};
 pub use metrics::{record_case_metrics, register_audit_metrics};
 pub use multitask::{multitasking_ratio, multitasking_report, MultitaskFinding};
 pub use replay::{
     check_case, check_case_traced, CaseCheck, CheckOptions, Configuration, Engine, FailPoints,
     Infringement, InfringementKind, Verdict,
 };
-pub use session::{FeedOutcome, ReplaySession};
+pub use session::{FeedOutcome, ReplaySession, SessionState};
 pub use severity::{assess, SensitivityModel, SeverityAssessment};
+pub use sharded::{shard_of, ShardedMonitor};
 pub use startup::StartupStats;

@@ -1,4 +1,4 @@
-//! Online purpose control.
+//! Online purpose control — the streaming audit service.
 //!
 //! The paper's mechanism is a-posteriori, but nothing in Algorithm 1
 //! requires the trail to be complete before checking starts — the
@@ -8,15 +8,37 @@
 //! detective control into a near-real-time one (a tighter variant of the
 //! §4 observation that mimicry only works in narrow windows — windows this
 //! monitor shrinks to a single log entry).
+//!
+//! Unlike a batch replay, a monitor runs forever, so its memory must not
+//! grow with history. Three mechanisms bound it ([`LiveConfig`]):
+//!
+//! * **Retirement** — an alarmed case collapses into a compact
+//!   [`ClosedCase`] (infringement + severity + a counter of post-alarm
+//!   entries), never a growing entry vector.
+//! * **Windowed context** — per open case only the last
+//!   `max_entries_per_case` entries are retained (the severity context);
+//!   older ones are counted, not stored.
+//! * **Eviction** — when more than `max_open_cases` cases are open, or a
+//!   case has been idle longer than `idle_eviction` trail-minutes, the
+//!   least-recently-active session is checkpointed
+//!   ([`crate::checkpoint`]) to the spill store and dropped from memory.
+//!   Its next entry rehydrates it byte-identically and the replay
+//!   continues as if it had never left.
 
 use crate::auditor::{Auditor, RegisteredProcess};
+use crate::checkpoint::{
+    decode_case, encode_case, CaseCheckpoint, MonitorCheckpoint, RestoreError,
+};
 use crate::error::CheckError;
-use crate::replay::{CaseCheck, Infringement};
+use crate::replay::{CaseCheck, Infringement, Verdict};
 use crate::session::{FeedOutcome, SessionCore};
 use crate::severity::{assess, SeverityAssessment};
 use audit::entry::LogEntry;
+use audit::time::Timestamp;
 use cows::symbol::Symbol;
-use std::collections::HashMap;
+use cows::StableHasher;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// What happened when an entry was observed.
@@ -31,7 +53,7 @@ pub enum LiveEvent {
         severity: SeverityAssessment,
     },
     /// The case was already closed by a previous alarm; the entry is
-    /// recorded as additional unaccounted activity.
+    /// counted as additional unaccounted activity.
     AfterAlarm { case: Symbol },
     /// No purpose/process could be resolved for the case.
     Unresolved { case: Symbol },
@@ -43,25 +65,128 @@ impl LiveEvent {
     }
 }
 
+/// Memory policy of the streaming monitor.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Most sessions kept resident; beyond this the least-recently-active
+    /// case is evicted to the spill store.
+    pub max_open_cases: usize,
+    /// Severity-context window per open case; older entries are counted
+    /// (`entries_dropped`), not stored.
+    pub max_entries_per_case: usize,
+    /// Evict cases idle for more than this many trail-time minutes
+    /// (checked by [`LiveAuditor::maintain`]). `None` disables the idle
+    /// sweep; capacity eviction still applies.
+    pub idle_eviction: Option<u64>,
+    /// Directory for spilled case checkpoints (`*.pclc`). `None` keeps
+    /// spilled blobs in memory — still far smaller than live sessions, and
+    /// the right default for tests and bounded runs.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> LiveConfig {
+        LiveConfig {
+            max_open_cases: 1024,
+            max_entries_per_case: 256,
+            idle_eviction: None,
+            spill_dir: None,
+        }
+    }
+}
+
+/// Monitor throughput/occupancy counters, exported into the closed metric
+/// vocabulary by [`crate::metrics::record_live_metrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Entries observed (all events).
+    pub entries: u64,
+    /// Alarms raised.
+    pub alarms: u64,
+    /// Entries observed on already-closed cases.
+    pub after_alarm: u64,
+    /// Entries whose case resolved to no purpose/process.
+    pub unresolved: u64,
+    /// Sessions checkpointed out of memory.
+    pub evictions: u64,
+    /// Sessions rebuilt from the spill store.
+    pub rehydrations: u64,
+    /// Completed cases garbage-collected by [`LiveAuditor::retire_completed`].
+    pub retired: u64,
+    /// Total bytes written to the spill store.
+    pub spilled_bytes: u64,
+}
+
+/// The compact record an alarmed case retires into: verdict material only,
+/// never the case's entry history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClosedCase {
+    pub case: Symbol,
+    pub infringement: Infringement,
+    /// Severity assessed at alarm time over the retained entry window.
+    pub severity: SeverityAssessment,
+    /// Entries observed after the alarm (counted, not stored).
+    pub after_alarm: u64,
+}
+
+/// An open case resident in memory.
 struct LiveCase {
     process: Arc<RegisteredProcess>,
     core: SessionCore,
-    entries: Vec<LogEntry>,
+    /// Trailing entry window (severity context), bounded by
+    /// `max_entries_per_case`.
+    entries: VecDeque<LogEntry>,
+    /// Entries shed from the front of the window.
+    entries_dropped: u64,
+    /// Trail-time of the last observed entry (idle-eviction clock).
+    last_seen: Timestamp,
+    /// LRU tick of the last observation.
+    touched: u64,
+}
+
+/// Where an evicted case's bytes live.
+enum Spilled {
+    Memory(Vec<u8>),
+    File(PathBuf),
 }
 
 /// A streaming auditor: feed it log entries as the systems emit them.
 pub struct LiveAuditor {
     auditor: Auditor,
+    config: LiveConfig,
     cases: HashMap<Symbol, LiveCase>,
-    alarms: Vec<(Symbol, Infringement)>,
+    spill: HashMap<Symbol, Spilled>,
+    closed: HashMap<Symbol, ClosedCase>,
+    /// Case names in alarm order (the monitor's alarm log).
+    alarm_order: Vec<Symbol>,
+    /// Monotone LRU clock.
+    tick: u64,
+    /// Highest trail timestamp seen (idle-eviction reference).
+    high_water: Option<Timestamp>,
+    stats: LiveStats,
+    /// Stats already pushed to a metrics shard (delta tracking for
+    /// [`LiveAuditor::flush_stats_into`]).
+    flushed: LiveStats,
 }
 
 impl LiveAuditor {
+    /// A monitor with the default [`LiveConfig`].
     pub fn new(auditor: Auditor) -> LiveAuditor {
+        LiveAuditor::with_config(auditor, LiveConfig::default())
+    }
+
+    pub fn with_config(auditor: Auditor, config: LiveConfig) -> LiveAuditor {
         LiveAuditor {
             auditor,
+            config,
             cases: HashMap::new(),
-            alarms: Vec::new(),
+            spill: HashMap::new(),
+            closed: HashMap::new(),
+            alarm_order: Vec::new(),
+            tick: 0,
+            high_water: None,
+            stats: LiveStats::default(),
+            flushed: LiveStats::default(),
         }
     }
 
@@ -69,49 +194,125 @@ impl LiveAuditor {
         &self.auditor
     }
 
-    /// Number of cases currently tracked.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+
+    /// Number of cases resident in memory.
     pub fn open_cases(&self) -> usize {
         self.cases.len()
     }
 
+    /// Number of cases evicted to the spill store.
+    pub fn spilled_cases(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// All cases still being tracked (resident + spilled).
+    pub fn tracked_cases(&self) -> usize {
+        self.cases.len() + self.spill.len()
+    }
+
+    /// Monitor counters since construction.
+    pub fn stats(&self) -> LiveStats {
+        self.stats
+    }
+
     /// Alarms raised so far, in order.
-    pub fn alarms(&self) -> &[(Symbol, Infringement)] {
-        &self.alarms
+    pub fn alarms(&self) -> Vec<(Symbol, &Infringement)> {
+        self.alarm_order
+            .iter()
+            .map(|c| (*c, &self.closed[c].infringement))
+            .collect()
+    }
+
+    /// Retired alarm records, in alarm order.
+    pub fn closed_cases(&self) -> impl Iterator<Item = &ClosedCase> {
+        self.alarm_order.iter().map(|c| &self.closed[c])
     }
 
     /// Observe one log entry (entries must arrive per-case in
     /// chronological order, as a log shipper would deliver them).
     pub fn observe(&mut self, entry: &LogEntry) -> Result<LiveEvent, CheckError> {
         let case = entry.case;
-        if !self.cases.contains_key(&case) {
-            let Some(purpose) = self.auditor.resolve_case(case) else {
-                return Ok(LiveEvent::Unresolved { case });
-            };
-            let Some(process) = self.auditor.registry.process_for(purpose) else {
-                return Ok(LiveEvent::Unresolved { case });
-            };
-            let core = SessionCore::new(&process.encoded, self.auditor.options)?;
-            self.cases.insert(
-                case,
-                LiveCase {
-                    process: process.clone(),
-                    core,
-                    entries: Vec::new(),
-                },
-            );
-        }
-        let live = self.cases.get_mut(&case).expect("inserted above");
-        live.entries.push(entry.clone());
-        if live.core.is_closed() {
+        self.stats.entries += 1;
+        self.high_water = Some(self.high_water.map_or(entry.time, |h| h.max(entry.time)));
+
+        // A retired case never reopens: count the activity, don't store it.
+        if let Some(closed) = self.closed.get_mut(&case) {
+            closed.after_alarm += 1;
+            self.stats.after_alarm += 1;
             return Ok(LiveEvent::AfterAlarm { case });
         }
+
+        if !self.cases.contains_key(&case) {
+            if self.spill.contains_key(&case) {
+                self.rehydrate(case)?;
+            } else {
+                let Some(purpose) = self.auditor.resolve_case(case) else {
+                    self.stats.unresolved += 1;
+                    return Ok(LiveEvent::Unresolved { case });
+                };
+                let Some(process) = self.auditor.registry.process_for(purpose) else {
+                    self.stats.unresolved += 1;
+                    return Ok(LiveEvent::Unresolved { case });
+                };
+                let core = SessionCore::new(&process.encoded, self.auditor.options)?;
+                self.cases.insert(
+                    case,
+                    LiveCase {
+                        process: process.clone(),
+                        core,
+                        entries: VecDeque::new(),
+                        entries_dropped: 0,
+                        last_seen: entry.time,
+                        touched: 0,
+                    },
+                );
+            }
+            // Keep the case just admitted; shed the least-recently-active
+            // other session if this pushed us over capacity.
+            self.enforce_capacity(case)?;
+        }
+
+        let live = self.cases.get_mut(&case).expect("admitted above");
+        live.entries.push_back(entry.clone());
+        while live.entries.len() > self.config.max_entries_per_case.max(1) {
+            live.entries.pop_front();
+            live.entries_dropped += 1;
+        }
+        live.last_seen = entry.time;
+        self.tick += 1;
+        live.touched = self.tick;
+
         let hierarchy = self.auditor.context.roles();
         match live.core.feed(&live.process.encoded, hierarchy, entry)? {
             FeedOutcome::Accepted { .. } => Ok(LiveEvent::Accepted { case }),
             FeedOutcome::Rejected(infringement) => {
+                // Severity over the retained window: the infringing entry
+                // is always the window's last element, so re-anchoring the
+                // index to the window start reproduces the unbounded
+                // monitor's assessment exactly.
                 let refs: Vec<&LogEntry> = live.entries.iter().collect();
-                let severity = assess(&infringement, &refs, &self.auditor.sensitivity);
-                self.alarms.push((case, infringement.clone()));
+                let window_inf = Infringement {
+                    entry_index: infringement
+                        .entry_index
+                        .saturating_sub(live.entries_dropped as usize),
+                    ..infringement.clone()
+                };
+                let severity = assess(&window_inf, &refs, &self.auditor.sensitivity);
+                self.cases.remove(&case);
+                self.closed.insert(
+                    case,
+                    ClosedCase {
+                        case,
+                        infringement: infringement.clone(),
+                        severity: severity.clone(),
+                        after_alarm: 0,
+                    },
+                );
+                self.alarm_order.push(case);
+                self.stats.alarms += 1;
                 Ok(LiveEvent::Alarm {
                     case,
                     infringement,
@@ -121,33 +322,369 @@ impl LiveAuditor {
         }
     }
 
-    /// Snapshot the Algorithm-1 result for one tracked case.
+    /// Snapshot the Algorithm-1 result for one tracked case: a resident
+    /// session is finished in place, a spilled one is decoded read-only
+    /// (without re-admitting it), a retired one reports its infringement.
     pub fn snapshot(&self, case: Symbol) -> Option<Result<CaseCheck, CheckError>> {
-        self.cases
-            .get(&case)
-            .map(|live| live.core.finish(&live.process.encoded))
+        if let Some(live) = self.cases.get(&case) {
+            return Some(live.core.finish(&live.process.encoded));
+        }
+        if let Some(closed) = self.closed.get(&case) {
+            return Some(Ok(CaseCheck {
+                verdict: Verdict::Infringement(closed.infringement.clone()),
+                steps: Vec::new(),
+                peak_configurations: 0,
+                explored_successors: 0,
+                evidence: None,
+            }));
+        }
+        if self.spill.contains_key(&case) {
+            return Some(self.peek_spilled(case));
+        }
+        None
+    }
+
+    fn peek_spilled(&self, case: Symbol) -> Result<CaseCheck, CheckError> {
+        let bytes = self.load_spilled(case)?;
+        let ckpt = decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
+            detail: e.to_string(),
+        })?;
+        let process =
+            self.auditor
+                .registry
+                .process_for(ckpt.purpose)
+                .ok_or(CheckError::UnknownPurpose {
+                    purpose: ckpt.purpose.to_string(),
+                })?;
+        let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
+        core.finish(&process.encoded)
+    }
+
+    /// Serialize one resident open case (the eviction payload, exposed for
+    /// inspection and tests).
+    pub fn checkpoint_case(&self, case: Symbol) -> Option<Vec<u8>> {
+        let live = self.cases.get(&case)?;
+        Some(encode_case(&CaseCheckpoint {
+            case,
+            purpose: live.process.purpose,
+            process_key: live.process.encoded.snapshot_key(),
+            state: live.core.export_state(),
+            entries: live.entries.iter().cloned().collect(),
+            entries_dropped: live.entries_dropped,
+            last_seen: live.last_seen,
+        }))
+    }
+
+    /// Evict one resident case to the spill store. No-op result for a case
+    /// that is not resident.
+    pub fn evict(&mut self, case: Symbol) -> Result<(), CheckError> {
+        let Some(bytes) = self.checkpoint_case(case) else {
+            return Ok(());
+        };
+        let slot = match &self.config.spill_dir {
+            None => Spilled::Memory(bytes),
+            Some(dir) => {
+                let path = dir.join(spill_file_name(case));
+                std::fs::create_dir_all(dir).map_err(|e| CheckError::Checkpoint {
+                    detail: format!("create spill dir {}: {e}", dir.display()),
+                })?;
+                std::fs::write(&path, &bytes).map_err(|e| CheckError::Checkpoint {
+                    detail: format!("write spill file {}: {e}", path.display()),
+                })?;
+                self.stats.spilled_bytes += bytes.len() as u64;
+                Spilled::File(path)
+            }
+        };
+        if let Spilled::Memory(b) = &slot {
+            self.stats.spilled_bytes += b.len() as u64;
+        }
+        self.cases.remove(&case);
+        self.spill.insert(case, slot);
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    fn load_spilled(&self, case: Symbol) -> Result<Vec<u8>, CheckError> {
+        match self.spill.get(&case) {
+            None => Err(CheckError::Checkpoint {
+                detail: format!("case {case} is not in the spill store"),
+            }),
+            Some(Spilled::Memory(bytes)) => Ok(bytes.clone()),
+            Some(Spilled::File(path)) => std::fs::read(path).map_err(|e| CheckError::Checkpoint {
+                detail: format!("read spill file {}: {e}", path.display()),
+            }),
+        }
+    }
+
+    /// Rebuild an evicted session and re-admit it.
+    fn rehydrate(&mut self, case: Symbol) -> Result<(), CheckError> {
+        let bytes = self.load_spilled(case)?;
+        let ckpt = decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
+            detail: e.to_string(),
+        })?;
+        let live = self.admit(ckpt)?;
+        if let Some(Spilled::File(path)) = self.spill.remove(&case) {
+            let _ = std::fs::remove_file(path);
+        }
+        self.cases.insert(case, live);
+        self.stats.rehydrations += 1;
+        Ok(())
+    }
+
+    /// Build a resident [`LiveCase`] from a decoded checkpoint, validating
+    /// it against the current registry.
+    fn admit(&mut self, ckpt: CaseCheckpoint) -> Result<LiveCase, CheckError> {
+        let process = self
+            .auditor
+            .registry
+            .process_for(ckpt.purpose)
+            .ok_or(CheckError::UnknownPurpose {
+                purpose: ckpt.purpose.to_string(),
+            })?
+            .clone();
+        let expected = process.encoded.snapshot_key();
+        if ckpt.process_key != expected {
+            return Err(CheckError::Checkpoint {
+                detail: format!(
+                    "case {} checkpoint keyed to a different {} process \
+                     (key {:#018x}, registry has {expected:#018x})",
+                    ckpt.case, ckpt.purpose, ckpt.process_key
+                ),
+            });
+        }
+        let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
+        self.tick += 1;
+        Ok(LiveCase {
+            process,
+            core,
+            entries: ckpt.entries.into(),
+            entries_dropped: ckpt.entries_dropped,
+            last_seen: ckpt.last_seen,
+            touched: self.tick,
+        })
+    }
+
+    /// Evict least-recently-active sessions until at most
+    /// `max_open_cases` remain resident, never shedding `keep`.
+    fn enforce_capacity(&mut self, keep: Symbol) -> Result<(), CheckError> {
+        while self.cases.len() > self.config.max_open_cases.max(1) {
+            let victim = self
+                .cases
+                .iter()
+                .filter(|(c, _)| **c != keep)
+                .min_by_key(|(_, l)| l.touched)
+                .map(|(c, _)| *c);
+            match victim {
+                Some(v) => self.evict(v)?,
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Idle sweep: evict resident cases whose last entry is more than
+    /// `idle_eviction` trail-minutes behind the monitor's high-water
+    /// timestamp. Returns the evicted case names (sorted).
+    pub fn maintain(&mut self) -> Result<Vec<Symbol>, CheckError> {
+        let (Some(idle), Some(high)) = (self.config.idle_eviction, self.high_water) else {
+            return Ok(Vec::new());
+        };
+        let mut idle_cases: Vec<Symbol> = self
+            .cases
+            .iter()
+            .filter(|(_, l)| high.0.saturating_sub(l.last_seen.0) > idle)
+            .map(|(c, _)| *c)
+            .collect();
+        idle_cases.sort();
+        for &c in &idle_cases {
+            self.evict(c)?;
+        }
+        Ok(idle_cases)
     }
 
     /// Drop cases whose process has completed (every configuration can
     /// silently terminate) — the live monitor's garbage collection.
-    /// Returns the retired case names.
-    pub fn retire_completed(&mut self) -> Result<Vec<Symbol>, CheckError> {
+    ///
+    /// Returns the retired case names plus any per-case machinery errors.
+    /// A case whose `finish` fails is *kept open* — one broken case must
+    /// never wipe the monitor — and reported alongside; it will be retried
+    /// on the next sweep (or evicted like any idle case).
+    pub fn retire_completed(&mut self) -> (Vec<Symbol>, Vec<(Symbol, CheckError)>) {
         let mut retired = Vec::new();
-        let mut keep: HashMap<Symbol, LiveCase> = HashMap::new();
-        for (case, live) in self.cases.drain() {
-            let done = !live.core.is_closed()
-                && live.core.finish(&live.process.encoded)?.verdict
-                    == crate::replay::Verdict::Compliant { can_complete: true };
-            if done {
-                retired.push(case);
-            } else {
-                keep.insert(case, live);
+        let mut errors = Vec::new();
+        let done: Vec<Symbol> = self
+            .cases
+            .iter()
+            .filter_map(|(case, live)| {
+                debug_assert!(!live.core.is_closed(), "closed cases retire at alarm");
+                match live.core.finish(&live.process.encoded) {
+                    Ok(check) => (check.verdict == Verdict::Compliant { can_complete: true })
+                        .then_some(*case),
+                    Err(e) => {
+                        errors.push((*case, e));
+                        None
+                    }
+                }
+            })
+            .collect();
+        for case in done {
+            self.cases.remove(&case);
+            self.stats.retired += 1;
+            retired.push(case);
+        }
+        retired.sort();
+        errors.sort_by_key(|(c, _)| *c);
+        (retired, errors)
+    }
+
+    /// Serialize the whole monitor: stream offset, every open case
+    /// (resident and spilled), retired records and alarm order.
+    pub fn checkpoint(&self, stream_offset: u64) -> Result<Vec<u8>, CheckError> {
+        let mut cases: Vec<CaseCheckpoint> = Vec::with_capacity(self.tracked_cases());
+        let mut names: Vec<Symbol> = self.cases.keys().copied().collect();
+        names.sort();
+        for case in names {
+            let live = &self.cases[&case];
+            cases.push(CaseCheckpoint {
+                case,
+                purpose: live.process.purpose,
+                process_key: live.process.encoded.snapshot_key(),
+                state: live.core.export_state(),
+                entries: live.entries.iter().cloned().collect(),
+                entries_dropped: live.entries_dropped,
+                last_seen: live.last_seen,
+            });
+        }
+        let mut names: Vec<Symbol> = self.spill.keys().copied().collect();
+        names.sort();
+        for case in names {
+            let bytes = self.load_spilled(case)?;
+            cases.push(decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
+                detail: e.to_string(),
+            })?);
+        }
+        let closed = self
+            .alarm_order
+            .iter()
+            .map(|c| self.closed[c].clone())
+            .collect();
+        Ok(crate::checkpoint::encode_monitor(&MonitorCheckpoint {
+            stream_offset,
+            cases,
+            closed,
+            alarm_order: self.alarm_order.clone(),
+        }))
+    }
+
+    /// Rebuild a monitor from a [`LiveAuditor::checkpoint`] blob. Open
+    /// cases beyond `max_open_cases` are spilled immediately (most-recent
+    /// cases stay resident). Returns the monitor and the checkpoint's
+    /// stream offset.
+    pub fn restore(
+        auditor: Auditor,
+        config: LiveConfig,
+        bytes: &[u8],
+    ) -> Result<(LiveAuditor, u64), RestoreError> {
+        let ckpt = crate::checkpoint::decode_monitor(bytes)?;
+        let resident_cap = config.max_open_cases.max(1);
+        let mut monitor = LiveAuditor::with_config(auditor, config);
+        for c in &ckpt.cases {
+            // Validate every case against the registry up front, spilled
+            // ones included, so a stale checkpoint fails atomically.
+            let process = monitor.auditor.registry.process_for(c.purpose).ok_or(
+                RestoreError::UnknownPurpose {
+                    case: c.case.to_string(),
+                    purpose: c.purpose.to_string(),
+                },
+            )?;
+            let expected = process.encoded.snapshot_key();
+            if c.process_key != expected {
+                return Err(RestoreError::ProcessKeyMismatch {
+                    purpose: c.purpose.to_string(),
+                    found: c.process_key,
+                    expected,
+                });
             }
         }
-        self.cases = keep;
-        retired.sort();
-        Ok(retired)
+        // Most-recently-active cases stay resident.
+        let mut order: Vec<usize> = (0..ckpt.cases.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(ckpt.cases[i].last_seen));
+        let resident: std::collections::HashSet<usize> =
+            order.iter().take(resident_cap).copied().collect();
+        for (i, c) in ckpt.cases.into_iter().enumerate() {
+            let case = c.case;
+            monitor.high_water = Some(
+                monitor
+                    .high_water
+                    .map_or(c.last_seen, |h| h.max(c.last_seen)),
+            );
+            if resident.contains(&i) {
+                let live = monitor.admit(c)?;
+                monitor.cases.insert(case, live);
+            } else {
+                let blob = encode_case(&c);
+                let slot = match &monitor.config.spill_dir {
+                    None => Spilled::Memory(blob),
+                    Some(dir) => {
+                        let path = dir.join(spill_file_name(case));
+                        std::fs::create_dir_all(dir).map_err(|e| {
+                            RestoreError::Codec(cows::SnapshotError::Io(e.to_string()))
+                        })?;
+                        std::fs::write(&path, &blob).map_err(|e| {
+                            RestoreError::Codec(cows::SnapshotError::Io(e.to_string()))
+                        })?;
+                        Spilled::File(path)
+                    }
+                };
+                monitor.spill.insert(case, slot);
+            }
+        }
+        for c in ckpt.closed {
+            monitor.closed.insert(c.case, c);
+        }
+        monitor.alarm_order = ckpt.alarm_order;
+        Ok((monitor, ckpt.stream_offset))
     }
+
+    /// Push counter deltas since the last flush into an `obs` shard —
+    /// the same one-lock-per-worker pattern as `audit_parallel`. Repeated
+    /// flushes never double-count: only growth since the previous flush is
+    /// recorded.
+    pub fn flush_stats_into(&mut self, shard: &mut obs::Shard) {
+        let s = self.stats;
+        let f = self.flushed;
+        let delta = LiveStats {
+            entries: s.entries - f.entries,
+            alarms: s.alarms - f.alarms,
+            after_alarm: s.after_alarm - f.after_alarm,
+            unresolved: s.unresolved - f.unresolved,
+            evictions: s.evictions - f.evictions,
+            rehydrations: s.rehydrations - f.rehydrations,
+            retired: s.retired - f.retired,
+            spilled_bytes: s.spilled_bytes - f.spilled_bytes,
+        };
+        crate::metrics::record_live_metrics(shard, &delta);
+        self.flushed = s;
+    }
+}
+
+/// Spill-file name for a case: a sanitized stem for the operator plus a
+/// stable hash so distinct cases never collide after sanitization.
+fn spill_file_name(case: Symbol) -> String {
+    let text = case.to_string();
+    let stem: String = text
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut h = StableHasher::new();
+    h.write_str(&text);
+    format!("{stem}-{:016x}.pclc", h.finish())
 }
 
 #[cfg(test)]
@@ -161,17 +698,17 @@ mod tests {
         clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
     };
 
-    fn live() -> LiveAuditor {
+    fn auditor() -> Auditor {
         let mut registry = ProcessRegistry::new();
         registry.register(treatment(), healthcare_treatment());
         registry.register(clinical_trial_purpose(), clinical_trial());
         registry.add_case_prefix("HT-", treatment());
         registry.add_case_prefix("CT-", clinical_trial_purpose());
-        LiveAuditor::new(Auditor::new(
-            registry,
-            extended_hospital_policy(),
-            hospital_context(),
-        ))
+        Auditor::new(registry, extended_hospital_policy(), hospital_context())
+    }
+
+    fn live() -> LiveAuditor {
+        LiveAuditor::new(auditor())
     }
 
     #[test]
@@ -206,11 +743,12 @@ mod tests {
     }
 
     #[test]
-    fn entries_after_an_alarm_are_tracked_not_replayed() {
+    fn entries_after_an_alarm_are_counted_not_stored() {
         let mut monitor = live();
         let bad = audit::codec::parse_trail(
             "Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060900 success\n\
-             Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060905 success\n",
+             Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060905 success\n\
+             Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060910 success\n",
         )
         .unwrap();
         let mut events = Vec::new();
@@ -219,7 +757,14 @@ mod tests {
         }
         assert!(events[0].is_alarm());
         assert!(matches!(events[1], LiveEvent::AfterAlarm { .. }));
+        assert!(matches!(events[2], LiveEvent::AfterAlarm { .. }));
         assert_eq!(monitor.alarms().len(), 1);
+        // The satellite bugfix: post-alarm entries are a counter on the
+        // compact record, not stored history.
+        let closed = monitor.closed_cases().next().unwrap();
+        assert_eq!(closed.after_alarm, 2);
+        assert_eq!(monitor.open_cases(), 0, "alarmed case retired");
+        assert_eq!(monitor.stats().after_alarm, 2);
     }
 
     #[test]
@@ -232,6 +777,7 @@ mod tests {
         let ev = monitor.observe(&e.entries()[0]).unwrap();
         assert!(matches!(ev, LiveEvent::Unresolved { .. }));
         assert_eq!(monitor.open_cases(), 0);
+        assert_eq!(monitor.stats().unresolved, 1);
     }
 
     #[test]
@@ -242,18 +788,86 @@ mod tests {
             monitor.observe(e).unwrap();
         }
         assert_eq!(monitor.open_cases(), 1);
-        let retired = monitor.retire_completed().unwrap();
+        let (retired, errors) = monitor.retire_completed();
         assert_eq!(retired, vec![sym("HT-1")]);
+        assert!(errors.is_empty());
         assert_eq!(monitor.open_cases(), 0);
+        assert_eq!(monitor.stats().retired, 1);
     }
 
     #[test]
-    fn live_verdicts_match_batch_audit() {
-        let mut monitor = live();
+    fn retire_sweep_survives_finish_errors_without_losing_cases() {
+        // Regression for the drain-and-`?` bug: one case whose `finish`
+        // fails (τ-budget exhausted at verdict time) used to wipe every
+        // tracked case — including completed ones — from the monitor. Now
+        // the error is reported per case and nothing is lost.
+        let mut a = auditor();
+        // Direct engine: quiescence runs uncached, so a shrunk τ-budget
+        // actually bites at finish time.
+        a.options.engine = crate::replay::Engine::Direct;
+        let mut monitor = LiveAuditor::new(a);
+        let trail = figure4_trail();
+        // HT-1 completes; CT-1 stops mid-process (all but its last entry).
+        for e in trail.project_case(sym("HT-1")) {
+            monitor.observe(e).unwrap();
+        }
+        let partial = trail.project_case(sym("CT-1"));
+        for e in &partial[..partial.len() - 1] {
+            monitor.observe(e).unwrap();
+        }
+        assert_eq!(monitor.open_cases(), 2);
+        // Starve CT-1's verdict-time quiescence search after the fact.
+        monitor
+            .cases
+            .get_mut(&sym("CT-1"))
+            .unwrap()
+            .core
+            .set_weaknext_limits(cows::weaknext::WeakNextLimits { max_tau_states: 1 });
+        let (retired, errors) = monitor.retire_completed();
+        // The completed case still retires, the broken one is kept open
+        // and reported — never silently dropped.
+        assert_eq!(retired, vec![sym("HT-1")]);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, sym("CT-1"));
+        assert!(matches!(errors[0].1, CheckError::Explore(_)));
+        assert_eq!(monitor.open_cases(), 1, "erroring case must survive");
+        assert!(monitor.snapshot(sym("CT-1")).unwrap().is_err());
+    }
+
+    #[test]
+    fn severity_window_is_bounded_per_case() {
+        let config = LiveConfig {
+            max_entries_per_case: 2,
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config);
+        let trail = figure4_trail();
+        for e in trail.project_case(sym("HT-1")) {
+            monitor.observe(e).unwrap();
+        }
+        let live = monitor.cases.get(&sym("HT-1")).unwrap();
+        assert!(live.entries.len() <= 2);
+        assert_eq!(
+            live.entries_dropped as usize + live.entries.len(),
+            trail.project_case(sym("HT-1")).len()
+        );
+    }
+
+    #[test]
+    fn eviction_and_rehydration_preserve_verdicts() {
+        let config = LiveConfig {
+            max_open_cases: 2,
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config);
         let trail = figure4_trail();
         for e in &trail {
             monitor.observe(e).unwrap();
         }
+        assert!(monitor.open_cases() <= 2, "capacity bound holds");
+        assert!(monitor.stats().evictions > 0, "eviction actually happened");
+        // Every case (resident, spilled or retired) still answers with the
+        // batch verdict.
         let batch = monitor.auditor().audit(&trail);
         for case in &batch.cases {
             let live_verdict = monitor
@@ -266,6 +880,120 @@ mod tests {
                 "case {} disagrees between live and batch",
                 case.case
             );
+        }
+    }
+
+    #[test]
+    fn evicted_case_checkpoint_is_byte_identical_after_rehydration() {
+        let mut monitor = live();
+        let trail = figure4_trail();
+        let case = sym("HT-1");
+        let entries = trail.project_case(case);
+        // Feed all but the last entry, snapshot, evict, rehydrate (by
+        // feeding the last entry), and compare against an unevicted twin.
+        let mut twin = live();
+        for e in &entries[..entries.len() - 1] {
+            monitor.observe(e).unwrap();
+            twin.observe(e).unwrap();
+        }
+        let before = monitor.checkpoint_case(case).unwrap();
+        assert_eq!(before, twin.checkpoint_case(case).unwrap());
+        monitor.evict(case).unwrap();
+        assert_eq!(monitor.open_cases(), 0);
+        assert_eq!(monitor.spilled_cases(), 1);
+        // Rehydration is transparent: the next entry re-admits the case…
+        monitor.observe(entries[entries.len() - 1]).unwrap();
+        twin.observe(entries[entries.len() - 1]).unwrap();
+        assert_eq!(monitor.stats().rehydrations, 1);
+        // …and the rebuilt session's checkpoint is byte-identical to the
+        // twin that never left memory.
+        assert_eq!(
+            monitor.checkpoint_case(case).unwrap(),
+            twin.checkpoint_case(case).unwrap()
+        );
+    }
+
+    #[test]
+    fn idle_cases_are_swept_by_maintain() {
+        let config = LiveConfig {
+            idle_eviction: Some(30),
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config);
+        let trail = figure4_trail();
+        for e in &trail {
+            monitor.observe(e).unwrap();
+        }
+        // Fig. 4 case times span more than 30 minutes, so at least one
+        // case trails the high-water mark far enough to be idle.
+        let evicted = monitor.maintain().unwrap();
+        assert!(!evicted.is_empty());
+        for c in &evicted {
+            assert!(monitor.spill.contains_key(c));
+        }
+    }
+
+    #[test]
+    fn monitor_checkpoint_restores_alarms_offset_and_sessions() {
+        let config = LiveConfig {
+            max_open_cases: 2,
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config.clone());
+        let trail = figure4_trail();
+        for e in &trail {
+            monitor.observe(e).unwrap();
+        }
+        let alarms_before: Vec<Symbol> = monitor.alarms().iter().map(|(c, _)| *c).collect();
+        let bytes = monitor.checkpoint(777).unwrap();
+
+        let (restored, offset) = LiveAuditor::restore(auditor(), config, &bytes).unwrap();
+        assert_eq!(offset, 777);
+        let alarms_after: Vec<Symbol> = restored.alarms().iter().map(|(c, _)| *c).collect();
+        assert_eq!(alarms_before, alarms_after);
+        assert_eq!(restored.tracked_cases(), monitor.tracked_cases());
+        assert!(restored.open_cases() <= 2);
+        // A post-alarm entry on a restored retired case is still counted.
+        let mut restored = restored;
+        let bad = audit::codec::parse_trail(
+            "Bob Cardiologist read [Jane]EPR/Clinical T06 HT-10 201007060900 success\n",
+        )
+        .unwrap();
+        let ev = restored.observe(&bad.entries()[0]).unwrap();
+        assert!(matches!(ev, LiveEvent::AfterAlarm { .. }));
+        // Restored open sessions replay on: checkpoints re-encode
+        // identically for every tracked case.
+        for case in trail.cases() {
+            match (monitor.snapshot(case), restored.snapshot(case)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        a.unwrap().verdict.is_compliant(),
+                        b.unwrap().verdict.is_compliant()
+                    );
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_a_changed_process() {
+        let mut monitor = live();
+        let trail = figure4_trail();
+        for e in trail.project_case(sym("HT-1")) {
+            monitor.observe(e).unwrap();
+        }
+        let bytes = monitor.checkpoint(0).unwrap();
+        // A registry whose treatment process differs (clinical trial model
+        // under the treatment purpose) must refuse the checkpoint.
+        let mut registry = ProcessRegistry::new();
+        registry.register(treatment(), clinical_trial());
+        registry.add_case_prefix("HT-", treatment());
+        let other = Auditor::new(registry, extended_hospital_policy(), hospital_context());
+        match LiveAuditor::restore(other, LiveConfig::default(), &bytes) {
+            Err(RestoreError::ProcessKeyMismatch { .. }) => {}
+            Err(e) => panic!("wrong restore error: {e}"),
+            Ok(_) => panic!("restore must reject a changed process"),
         }
     }
 }

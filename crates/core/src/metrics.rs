@@ -31,6 +31,14 @@ pub const AUDIT_COUNTERS: &[&str] = &[
     "automaton_loaded_edges",
     "automaton_loaded_states",
     "automaton_states",
+    "live_after_alarm_total",
+    "live_alarms_total",
+    "live_entries_total",
+    "live_evictions_total",
+    "live_rehydrations_total",
+    "live_retired_total",
+    "live_spilled_bytes_total",
+    "live_unresolved_total",
     "recorder_events_dropped",
     "semantics_cache_evictions",
     "semantics_cache_hits",
@@ -41,6 +49,7 @@ pub const AUDIT_COUNTERS: &[&str] = &[
 
 /// Every gauge, sorted.
 pub const AUDIT_GAUGES: &[&str] = &[
+    "live_open_cases",
     "semantics_cache_entries",
     "trail_cases",
     "trail_entries",
@@ -82,6 +91,20 @@ pub fn record_case_metrics(shard: &mut Shard, result: &CaseResult) {
         "case_peak_configurations",
         result.peak_configurations as u64,
     );
+}
+
+/// Record streaming-monitor counter *deltas* into a thread-owned shard.
+/// Callers hand in the difference between the current [`crate::live::LiveStats`]
+/// and the last flushed snapshot so repeated flushes never double-count.
+pub fn record_live_metrics(shard: &mut Shard, delta: &crate::live::LiveStats) {
+    shard.add_counter("live_entries_total", delta.entries);
+    shard.add_counter("live_alarms_total", delta.alarms);
+    shard.add_counter("live_after_alarm_total", delta.after_alarm);
+    shard.add_counter("live_unresolved_total", delta.unresolved);
+    shard.add_counter("live_evictions_total", delta.evictions);
+    shard.add_counter("live_rehydrations_total", delta.rehydrations);
+    shard.add_counter("live_retired_total", delta.retired);
+    shard.add_counter("live_spilled_bytes_total", delta.spilled_bytes);
 }
 
 #[cfg(test)]

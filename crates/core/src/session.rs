@@ -73,6 +73,28 @@ impl ConfSet {
 /// when inserted, so their edges are always compiled.
 const PRE_EXPANDED: &str = "live configuration ids are expanded on insertion";
 
+/// The portable state of an open session — what
+/// [`SessionCore::export_state`] extracts and [`SessionCore::from_state`]
+/// rebuilds. Configurations are owned [`Marked`] states in live-set order;
+/// the counters are Algorithm 1's bookkeeping, carried verbatim so a
+/// rehydrated session is indistinguishable from one that never left
+/// memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionState {
+    /// The live configuration set (Def. 6), in set order.
+    pub confs: Vec<Marked>,
+    /// Largest configuration-set size seen.
+    pub peak: usize,
+    /// Total successors explored (the `max_explored` budget's counter).
+    pub explored: usize,
+    /// Entries consumed so far.
+    pub consumed: usize,
+    /// Timestamp of the first fed entry (temporal-constraint anchor).
+    pub first_time: Option<Timestamp>,
+    /// Case label adopted from the first fed entry.
+    pub case_name: Option<String>,
+}
+
 /// The configuration set of one evidence step, in capture form.
 ///
 /// Evidence capture sits on Algorithm 1's per-entry hot path, so it must
@@ -701,6 +723,111 @@ impl SessionCore {
         Ok(FeedOutcome::Accepted { matches })
     }
 
+    /// Extract the portable state of an *open* session: everything `feed`
+    /// mutates, with the configuration set as owned [`Marked`] states so
+    /// the result is engine- and run-independent (automaton ids are
+    /// run-local and never exported).
+    ///
+    /// Closed sessions are not exportable — the live monitor retires them
+    /// into compact records instead of checkpointing them — and trace or
+    /// evidence accumulation (`record_trace` / `record_evidence`) does not
+    /// survive a checkpoint: those buffers replay history, which eviction
+    /// exists to shed.
+    pub fn export_state(&self) -> SessionState {
+        debug_assert!(
+            self.infringement.is_none(),
+            "closed sessions are retired, not checkpointed"
+        );
+        let confs = match &self.confs {
+            ConfSet::Direct(confs) => confs.iter().map(|c| c.state.clone()).collect(),
+            ConfSet::Automaton { auto, ids } => {
+                ids.iter().map(|&id| (*auto.state(id)).clone()).collect()
+            }
+        };
+        SessionState {
+            confs,
+            peak: self.peak,
+            explored: self.explored,
+            consumed: self.consumed,
+            first_time: self.first_time,
+            case_name: self.case_name.clone(),
+        }
+    }
+
+    /// Rebuild a session from an exported state — the rehydrate half of
+    /// checkpoint/evict/rehydrate.
+    ///
+    /// Configurations are re-admitted in export order. Under the automaton
+    /// engine each state is interned (a no-op when the shared automaton
+    /// already knows it) and its successor table compiled, restoring the
+    /// [`PRE_EXPANDED`] invariant; under the direct engine `weak_next` is
+    /// recomputed. Neither counts toward `explored` — the exported counter
+    /// already includes everything the original session explored, so a
+    /// rehydrated session and its unevicted twin keep identical counters.
+    /// The wall-clock `case_deadline_ms` budget is re-armed at rehydration
+    /// (wall time spent evicted is not replay work).
+    pub fn from_state(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        state: SessionState,
+    ) -> Result<SessionCore, CheckError> {
+        SessionCore::from_state_with_recorder(encoded, opts, state, Recorder::noop())
+    }
+
+    /// [`SessionCore::from_state`] with an event recorder.
+    pub fn from_state_with_recorder(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        state: SessionState,
+        recorder: Recorder,
+    ) -> Result<SessionCore, CheckError> {
+        let confs = match opts.engine {
+            Engine::Direct => {
+                let mut confs = Vec::with_capacity(state.confs.len());
+                for m in state.confs {
+                    let next =
+                        weak_next_traced(&m, &encoded.observability, opts.weaknext, &recorder)?;
+                    confs.push(Configuration { state: m, next });
+                }
+                ConfSet::Direct(confs)
+            }
+            Engine::Automaton => {
+                let auto = encoded.automaton.clone();
+                let mut ids = Vec::with_capacity(state.confs.len());
+                for m in state.confs {
+                    let id = auto.intern(m);
+                    auto.successors_traced(id, &encoded.observability, opts.weaknext, &recorder)?;
+                    ids.push(id);
+                }
+                ConfSet::Automaton { auto, ids }
+            }
+        };
+        Ok(SessionCore {
+            opts,
+            confs,
+            steps: Vec::new(),
+            peak: state.peak,
+            explored: state.explored,
+            consumed: state.consumed,
+            first_time: state.first_time,
+            infringement: None,
+            deadline: opts
+                .case_deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            recorder,
+            case_name: state.case_name,
+            evidence_steps: Vec::new(),
+            evidence_violation: None,
+        })
+    }
+
+    /// Test hook: tighten the τ-budget of an open session after the fact,
+    /// to exercise finish-time budget exhaustion without touching feeds.
+    #[cfg(test)]
+    pub(crate) fn set_weaknext_limits(&mut self, limits: cows::weaknext::WeakNextLimits) {
+        self.opts.weaknext = limits;
+    }
+
     /// Snapshot the Algorithm-1 result for everything fed so far. The
     /// session can keep being fed afterwards — this is what "resume when
     /// new actions are recorded" needs.
@@ -1014,6 +1141,39 @@ mod tests {
             let _ = session.feed(&poisoned);
         }));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn exported_state_rehydrates_to_an_identical_twin() {
+        for engine in [Engine::Direct, Engine::Automaton] {
+            let encoded = encode(&fig8_exclusive());
+            let h = RoleHierarchy::new();
+            let opts = CheckOptions {
+                engine,
+                ..CheckOptions::default()
+            };
+            let mut twin = SessionCore::new(&encoded, opts).unwrap();
+            twin.feed(&encoded, &h, &entry("T", 1)).unwrap();
+
+            // Checkpoint mid-case, rebuild, and compare against the twin
+            // that never left memory.
+            let state = twin.export_state();
+            let mut back = SessionCore::from_state(&encoded, opts, state.clone()).unwrap();
+            assert_eq!(back.export_state(), state, "export is a fixed point");
+            let e = entry("T1", 2);
+            let a = twin.feed(&encoded, &h, &e).unwrap();
+            let b = back.feed(&encoded, &h, &e).unwrap();
+            assert_eq!(a, b, "{engine:?}: outcomes diverged");
+            assert_eq!(back.export_state(), twin.export_state());
+            assert_eq!(
+                back.finish(&encoded).unwrap().verdict,
+                twin.finish(&encoded).unwrap().verdict
+            );
+            assert_eq!(
+                back.finish(&encoded).unwrap().explored_successors,
+                twin.finish(&encoded).unwrap().explored_successors
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Sharded front for the streaming monitor.
+//!
+//! Cases are independent (§7), so a live workload shards the same way the
+//! batch audit parallelizes: a stable hash of the case name routes every
+//! entry of a case to the same [`LiveAuditor`], and shards never touch
+//! each other's state. [`ShardedMonitor::ingest`] drives all shards from
+//! one interleaved entry stream with scoped threads; per-shard metrics go
+//! into worker-owned `obs` shards and are flushed once per
+//! [`ShardedMonitor::flush_metrics`] call, exactly as `audit_parallel`
+//! flushes once per worker at join.
+
+use crate::auditor::Auditor;
+use crate::checkpoint::{decode_sharded, encode_sharded, RestoreError};
+use crate::error::CheckError;
+use crate::live::{LiveAuditor, LiveConfig, LiveEvent, LiveStats};
+use crate::replay::Infringement;
+use audit::entry::LogEntry;
+use cows::symbol::Symbol;
+use cows::StableHasher;
+use obs::Registry;
+
+/// N independent [`LiveAuditor`]s behind a stable case-hash router.
+pub struct ShardedMonitor {
+    shards: Vec<LiveAuditor>,
+}
+
+/// Route a case to a shard: FNV-1a over the case name, reduced mod N.
+/// Stable across runs and processes (no `DefaultHasher` seeding), so a
+/// checkpoint written by one run routes identically in the next.
+pub fn shard_of(case: Symbol, shards: usize) -> usize {
+    let mut h = StableHasher::new();
+    h.write_str(case.as_str());
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+impl ShardedMonitor {
+    /// `shards` monitors sharing one auditor configuration. When `config`
+    /// spills to a directory, each shard gets its own `shard-N`
+    /// subdirectory so spill files never collide across shards.
+    pub fn new(auditor: Auditor, config: &LiveConfig, shards: usize) -> ShardedMonitor {
+        let n = shards.max(1);
+        ShardedMonitor {
+            shards: (0..n)
+                .map(|i| LiveAuditor::with_config(auditor.clone(), shard_config(config, i)))
+                .collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Route one entry to its case's shard.
+    pub fn observe(&mut self, entry: &LogEntry) -> Result<LiveEvent, CheckError> {
+        let i = shard_of(entry.case, self.shards.len());
+        self.shards[i].observe(entry)
+    }
+
+    /// Drive all shards from one interleaved stream: entries are
+    /// partitioned by case hash (preserving relative order, which is all
+    /// the per-case sessions need) and every shard consumes its partition
+    /// on its own scoped thread. Returns the events in input order.
+    pub fn ingest(&mut self, entries: &[LogEntry]) -> Result<Vec<LiveEvent>, CheckError> {
+        let n = self.shards.len();
+        let mut batches: Vec<Vec<(usize, &LogEntry)>> = vec![Vec::new(); n];
+        for (i, e) in entries.iter().enumerate() {
+            batches[shard_of(e.case, n)].push((i, e));
+        }
+        let mut results: Vec<Result<Vec<(usize, LiveEvent)>, CheckError>> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(batches)
+                .map(|(shard, batch)| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(batch.len());
+                        for (i, e) in batch {
+                            out.push((i, shard.observe(e)?));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("shard worker panicked"));
+            }
+        });
+        let mut events: Vec<(usize, LiveEvent)> = Vec::with_capacity(entries.len());
+        for r in results {
+            events.extend(r?);
+        }
+        events.sort_by_key(|(i, _)| *i);
+        Ok(events.into_iter().map(|(_, e)| e).collect())
+    }
+
+    /// Alarms across all shards, sorted by case name (shards race, so
+    /// cross-shard chronology is not meaningful; per-shard order is
+    /// preserved inside each [`LiveAuditor`]).
+    pub fn alarms(&self) -> Vec<(Symbol, &Infringement)> {
+        let mut all: Vec<(Symbol, &Infringement)> =
+            self.shards.iter().flat_map(|s| s.alarms()).collect();
+        all.sort_by_key(|(c, _)| *c);
+        all
+    }
+
+    /// Counter totals across all shards.
+    pub fn stats(&self) -> LiveStats {
+        self.shards.iter().fold(LiveStats::default(), |acc, s| {
+            let v = s.stats();
+            LiveStats {
+                entries: acc.entries + v.entries,
+                alarms: acc.alarms + v.alarms,
+                after_alarm: acc.after_alarm + v.after_alarm,
+                unresolved: acc.unresolved + v.unresolved,
+                evictions: acc.evictions + v.evictions,
+                rehydrations: acc.rehydrations + v.rehydrations,
+                retired: acc.retired + v.retired,
+                spilled_bytes: acc.spilled_bytes + v.spilled_bytes,
+            }
+        })
+    }
+
+    pub fn open_cases(&self) -> usize {
+        self.shards.iter().map(|s| s.open_cases()).sum()
+    }
+
+    pub fn tracked_cases(&self) -> usize {
+        self.shards.iter().map(|s| s.tracked_cases()).sum()
+    }
+
+    /// Per-shard access (the router is public so callers can pre-compute
+    /// [`shard_of`]).
+    pub fn shard(&self, i: usize) -> &LiveAuditor {
+        &self.shards[i]
+    }
+
+    /// Snapshot one case's verdict, wherever its shard keeps it.
+    pub fn snapshot(&self, case: Symbol) -> Option<Result<crate::replay::CaseCheck, CheckError>> {
+        self.shards[shard_of(case, self.shards.len())].snapshot(case)
+    }
+
+    /// Retire completed cases on every shard; merged `(retired, errors)`,
+    /// both sorted by case.
+    pub fn retire_completed(&mut self) -> (Vec<Symbol>, Vec<(Symbol, CheckError)>) {
+        let mut retired = Vec::new();
+        let mut errors = Vec::new();
+        for s in &mut self.shards {
+            let (r, e) = s.retire_completed();
+            retired.extend(r);
+            errors.extend(e);
+        }
+        retired.sort();
+        errors.sort_by_key(|(c, _)| *c);
+        (retired, errors)
+    }
+
+    /// Run the idle sweep on every shard; evicted cases, sorted.
+    pub fn maintain(&mut self) -> Result<Vec<Symbol>, CheckError> {
+        let mut evicted = Vec::new();
+        for s in &mut self.shards {
+            evicted.extend(s.maintain()?);
+        }
+        evicted.sort();
+        Ok(evicted)
+    }
+
+    /// Flush per-shard counter deltas into `registry` (one obs shard per
+    /// monitor shard, one registry merge each — the `audit_parallel`
+    /// discipline) and set the `live_open_cases` occupancy gauge once.
+    pub fn flush_metrics(&mut self, registry: &Registry) {
+        for s in &mut self.shards {
+            let mut obs_shard = registry.shard();
+            s.flush_stats_into(&mut obs_shard);
+            obs_shard.flush(registry);
+        }
+        registry.set_gauge("live_open_cases", self.open_cases() as f64);
+    }
+
+    /// Serialize every shard (each a complete monitor checkpoint carrying
+    /// `stream_offset`) into one sharded envelope.
+    pub fn checkpoint(&self, stream_offset: u64) -> Result<Vec<u8>, CheckError> {
+        let blobs = self
+            .shards
+            .iter()
+            .map(|s| s.checkpoint(stream_offset))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(encode_sharded(&blobs))
+    }
+
+    /// Rebuild a sharded monitor. The checkpoint must have been written
+    /// with the same shard count — the router is a function of N, so a
+    /// different N would send future entries of checkpointed cases to the
+    /// wrong shard.
+    pub fn restore(
+        auditor: Auditor,
+        config: &LiveConfig,
+        shards: usize,
+        bytes: &[u8],
+    ) -> Result<(ShardedMonitor, u64), RestoreError> {
+        let blobs = decode_sharded(bytes)?;
+        let n = shards.max(1);
+        if blobs.len() != n {
+            return Err(RestoreError::ShardCountMismatch {
+                found: blobs.len(),
+                expected: n,
+            });
+        }
+        let mut restored = Vec::with_capacity(n);
+        let mut offset = 0;
+        for (i, blob) in blobs.iter().enumerate() {
+            let (monitor, o) =
+                LiveAuditor::restore(auditor.clone(), shard_config(config, i), blob)?;
+            offset = offset.max(o);
+            restored.push(monitor);
+        }
+        Ok((ShardedMonitor { shards: restored }, offset))
+    }
+}
+
+fn shard_config(config: &LiveConfig, i: usize) -> LiveConfig {
+    LiveConfig {
+        spill_dir: config
+            .spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("shard-{i}"))),
+        ..config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::ProcessRegistry;
+    use audit::samples::figure4_trail;
+    use bpmn::models::{clinical_trial, healthcare_treatment};
+    use cows::sym;
+    use policy::samples::{
+        clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+    };
+
+    fn auditor() -> Auditor {
+        let mut registry = ProcessRegistry::new();
+        registry.register(treatment(), healthcare_treatment());
+        registry.register(clinical_trial_purpose(), clinical_trial());
+        registry.add_case_prefix("HT-", treatment());
+        registry.add_case_prefix("CT-", clinical_trial_purpose());
+        Auditor::new(registry, extended_hospital_policy(), hospital_context())
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        for n in [1, 2, 3, 8] {
+            for case in ["HT-1", "HT-2", "CT-1", "HT-30"] {
+                let i = shard_of(sym(case), n);
+                assert!(i < n);
+                assert_eq!(i, shard_of(sym(case), n), "routing must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_matches_single_monitor() {
+        let trail = figure4_trail();
+        let mut single = LiveAuditor::new(auditor());
+        for e in &trail {
+            single.observe(e).unwrap();
+        }
+        for n in [1, 2, 4] {
+            let mut sharded = ShardedMonitor::new(auditor(), &LiveConfig::default(), n);
+            let events = sharded.ingest(trail.entries()).unwrap();
+            assert_eq!(events.len(), trail.len());
+            // Same alarms (sharded sorts by case; single preserves stream
+            // order — compare as sets of case names).
+            let mut single_alarms: Vec<Symbol> = single.alarms().iter().map(|(c, _)| *c).collect();
+            single_alarms.sort();
+            let sharded_alarms: Vec<Symbol> = sharded.alarms().iter().map(|(c, _)| *c).collect();
+            assert_eq!(single_alarms, sharded_alarms, "at {n} shards");
+            // Same per-case verdicts.
+            for case in trail.cases() {
+                match (single.snapshot(case), sharded.snapshot(case)) {
+                    (Some(a), Some(b)) => assert_eq!(
+                        a.unwrap().verdict.is_compliant(),
+                        b.unwrap().verdict.is_compliant(),
+                        "case {case} at {n} shards"
+                    ),
+                    (a, b) => assert_eq!(a.is_some(), b.is_some()),
+                }
+            }
+            assert_eq!(sharded.stats().entries, trail.len() as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_restores_with_matching_count() {
+        let trail = figure4_trail();
+        let config = LiveConfig::default();
+        let mut sharded = ShardedMonitor::new(auditor(), &config, 3);
+        sharded.ingest(trail.entries()).unwrap();
+        let bytes = sharded.checkpoint(42).unwrap();
+
+        let (back, offset) = ShardedMonitor::restore(auditor(), &config, 3, &bytes).unwrap();
+        assert_eq!(offset, 42);
+        assert_eq!(back.tracked_cases(), sharded.tracked_cases());
+        assert_eq!(
+            back.alarms().iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            sharded.alarms().iter().map(|(c, _)| *c).collect::<Vec<_>>()
+        );
+
+        match ShardedMonitor::restore(auditor(), &config, 2, &bytes) {
+            Err(RestoreError::ShardCountMismatch {
+                found: 3,
+                expected: 2,
+            }) => {}
+            other => panic!("expected shard-count mismatch, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn metrics_flush_is_delta_not_cumulative() {
+        let trail = figure4_trail();
+        let registry = Registry::new();
+        crate::metrics::register_audit_metrics(&registry);
+        let mut sharded = ShardedMonitor::new(auditor(), &LiveConfig::default(), 2);
+        sharded.ingest(trail.entries()).unwrap();
+        sharded.flush_metrics(&registry);
+        let first = registry.counter_value("live_entries_total");
+        assert_eq!(first, trail.len() as u64);
+        assert_eq!(
+            registry.counter_value("live_alarms_total"),
+            sharded.stats().alarms
+        );
+        // A second flush with no new entries must add nothing.
+        sharded.flush_metrics(&registry);
+        assert_eq!(registry.counter_value("live_entries_total"), first);
+        assert_eq!(
+            registry.gauge_value("live_open_cases"),
+            sharded.open_cases() as f64
+        );
+    }
+}

@@ -933,6 +933,151 @@ fn intern_all(auto: &ProcessAutomaton, states: Vec<Marked>) -> Vec<StateId> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Reusable state codec (live-session checkpoints)
+// ---------------------------------------------------------------------------
+
+/// Payload writer for consumers outside this module that persist [`Marked`]
+/// states — live-session checkpoints reuse the snapshot's symbol-table
+/// framing and term encoding instead of inventing a second binary format.
+/// Strings written with [`put_str`] land inline in the body; symbols go
+/// through the deduplicating table exactly as in a `.pcas` payload.
+///
+/// [`put_str`]: StateEncoder::put_str
+pub struct StateEncoder(Encoder);
+
+impl StateEncoder {
+    pub fn new() -> StateEncoder {
+        StateEncoder(Encoder::new())
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.0.put_u8(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.0.put_u32(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.0.body.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A collection length (`u32`, checked).
+    pub fn put_len(&mut self, n: usize) {
+        self.0.put_len(n);
+    }
+
+    pub fn put_sym(&mut self, s: Symbol) {
+        self.0.put_sym(s);
+    }
+
+    /// A free-form string, length-prefixed, inline in the body (not
+    /// interned — use [`StateEncoder::put_sym`] for repeated identifiers).
+    pub fn put_str(&mut self, s: &str) {
+        self.0.put_len(s.len());
+        self.0.body.extend_from_slice(s.as_bytes());
+    }
+
+    /// One marked state: the COWS term plus its running-task set.
+    pub fn put_state(&mut self, m: &Marked) {
+        self.0.put_service(&m.service);
+        self.0.put_task_set(&m.running);
+    }
+
+    /// Assemble the payload (symbol table first, then the body).
+    pub fn into_payload(self) -> Vec<u8> {
+        self.0.into_payload()
+    }
+}
+
+impl Default for StateEncoder {
+    fn default() -> Self {
+        StateEncoder::new()
+    }
+}
+
+/// Payload reader matching [`StateEncoder`]. Construction consumes the
+/// symbol table; every getter is fail-open (typed [`SnapshotError`], never
+/// a panic) and decoded states are re-normalized under the *current* run's
+/// symbol order, so callers always receive canonical terms (the same
+/// repair [`merge_snapshot`] applies — see the module docs on
+/// run-independence).
+pub struct StateDecoder<'b>(Decoder<'b>);
+
+impl<'b> StateDecoder<'b> {
+    pub fn new(payload: &'b [u8]) -> Result<StateDecoder<'b>, SnapshotError> {
+        let mut d = Decoder {
+            bytes: payload,
+            pos: 0,
+            table: Vec::new(),
+        };
+        let nsyms = d.get_len()?;
+        for _ in 0..nsyms {
+            let len = d.get_len()?;
+            let raw = d.take(len)?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| SnapshotError::Malformed("symbol is not utf-8"))?;
+            d.table.push(Symbol::new(text));
+        }
+        Ok(StateDecoder(d))
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        self.0.get_u8()
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        self.0.get_u32()
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.0.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub fn get_len(&mut self) -> Result<usize, SnapshotError> {
+        self.0.get_len()
+    }
+
+    pub fn get_sym(&mut self) -> Result<Symbol, SnapshotError> {
+        self.0.get_sym()
+    }
+
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.0.get_len()?;
+        let raw = self.0.take(len)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| SnapshotError::Malformed("string is not utf-8"))
+    }
+
+    /// One marked state, re-normalized under this run's symbol order.
+    pub fn get_state(&mut self) -> Result<Marked, SnapshotError> {
+        let service = self.0.get_service(0)?;
+        let running = self.0.get_task_set()?;
+        Ok(Marked {
+            service: normalize(service),
+            running,
+        })
+    }
+
+    /// Bytes consumed so far (symbol table included) — for callers that
+    /// frame raw sub-payloads after a decoded section.
+    pub fn consumed_bytes(&self) -> usize {
+        self.0.pos
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.0.pos != self.0.bytes.len() {
+            return Err(SnapshotError::Malformed("payload has unread bytes"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1097,5 +1242,57 @@ mod tests {
         let mut h3 = StableHasher::new();
         hash_service(&mut h3, &invoke(ep("P", "A")));
         assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn state_codec_round_trips_scalars_and_states() {
+        let state = Marked {
+            service: normalize(branchy()),
+            running: [(sym("P"), sym("A")), (sym("P"), sym("B"))]
+                .into_iter()
+                .collect(),
+        };
+        let mut enc = StateEncoder::new();
+        enc.put_u8(3);
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(0x0123_4567_89ab_cdef);
+        enc.put_str("HT-7 café"); // non-ascii exercises utf-8 handling
+        enc.put_sym(sym("treatment"));
+        enc.put_sym(sym("treatment")); // second use: table index, not a copy
+        enc.put_state(&state);
+        let payload = enc.into_payload();
+
+        let mut dec = StateDecoder::new(&payload).unwrap();
+        assert_eq!(dec.get_u8().unwrap(), 3);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(dec.get_str().unwrap(), "HT-7 café");
+        assert_eq!(dec.get_sym().unwrap(), sym("treatment"));
+        assert_eq!(dec.get_sym().unwrap(), sym("treatment"));
+        assert_eq!(dec.get_state().unwrap(), state);
+        dec.finish().unwrap();
+
+        // Trailing garbage is caught, truncation is fail-open.
+        let mut longer = payload.clone();
+        longer.push(0);
+        let mut dec = StateDecoder::new(&longer).unwrap();
+        while dec.get_u8().is_ok() {}
+        for len in 0..payload.len() {
+            let mut dec = match StateDecoder::new(&payload[..len]) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let r = (|| -> Result<(), SnapshotError> {
+                dec.get_u8()?;
+                dec.get_u32()?;
+                dec.get_u64()?;
+                dec.get_str()?;
+                dec.get_sym()?;
+                dec.get_sym()?;
+                dec.get_state()?;
+                dec.finish()
+            })();
+            assert!(r.is_err(), "truncation to {len} bytes must not decode");
+        }
     }
 }

@@ -62,7 +62,9 @@ pub mod symbol;
 pub mod term;
 pub mod weaknext;
 
-pub use automaton::snapshot::{MergeReport, SnapshotError, StableHasher};
+pub use automaton::snapshot::{
+    MergeReport, SnapshotError, StableHasher, StateDecoder, StateEncoder,
+};
 pub use automaton::{AutomatonStats, ProcessAutomaton};
 pub use equiv::{weak_trace_equiv, EquivLimits, Inequivalence};
 pub use error::ExploreError;

@@ -140,6 +140,19 @@ struct RecorderInner {
     dropped: AtomicU64,
 }
 
+impl RecorderInner {
+    /// Lock the ring, recovering from poisoning. A worker that panics
+    /// while holding the lock (the exact fault `catch_unwind` case
+    /// isolation contains) must not take every sibling's telemetry down
+    /// with it — the ring holds plain event values, so the data is
+    /// coherent even after a mid-`emit` panic.
+    fn ring(&self) -> std::sync::MutexGuard<'_, VecDeque<TimedEvent>> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 /// Handle to the event ring. Cloning shares the buffer.
 #[derive(Clone)]
 pub struct Recorder(Option<Arc<RecorderInner>>);
@@ -151,7 +164,7 @@ impl std::fmt::Debug for Recorder {
             Some(inner) => f
                 .debug_struct("Recorder")
                 .field("capacity", &inner.capacity)
-                .field("len", &inner.ring.lock().unwrap().len())
+                .field("len", &inner.ring().len())
                 .field("dropped", &inner.dropped.load(Ordering::Relaxed))
                 .finish(),
         }
@@ -198,7 +211,7 @@ impl Recorder {
         if let Some(inner) = &self.0 {
             let event = f();
             let micros = inner.anchor.elapsed().as_micros() as u64;
-            let mut ring = inner.ring.lock().unwrap();
+            let mut ring = inner.ring();
             if ring.len() >= inner.capacity {
                 ring.pop_front();
                 inner.dropped.fetch_add(1, Ordering::Relaxed);
@@ -211,7 +224,7 @@ impl Recorder {
     pub fn drain(&self) -> Vec<TimedEvent> {
         match &self.0 {
             None => Vec::new(),
-            Some(inner) => inner.ring.lock().unwrap().drain(..).collect(),
+            Some(inner) => inner.ring().drain(..).collect(),
         }
     }
 
@@ -219,7 +232,7 @@ impl Recorder {
     pub fn events(&self) -> Vec<TimedEvent> {
         match &self.0 {
             None => Vec::new(),
-            Some(inner) => inner.ring.lock().unwrap().iter().cloned().collect(),
+            Some(inner) => inner.ring().iter().cloned().collect(),
         }
     }
 
@@ -286,6 +299,43 @@ mod tests {
             line: "line 3: bad-column-count".into(),
         };
         assert_eq!(e.to_string(), "  quarantined line 3: bad-column-count");
+    }
+
+    #[test]
+    fn poisoned_ring_recovers_for_sibling_workers() {
+        let r = Recorder::with_capacity(16);
+        r.emit(|| ObsEvent::Diagnostic {
+            detail: "before".into(),
+        });
+        // A worker panics *inside* the emit closure — under `catch_unwind`
+        // case isolation the process survives, but the closure runs before
+        // the lock is taken, so also poison the mutex directly by panicking
+        // while a guard is held.
+        let poisoner = r.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            poisoner.emit(|| panic!("worker fault mid-emit"));
+        }));
+        assert!(result.is_err());
+        let inner = r.0.as_ref().expect("enabled recorder");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = inner.ring.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("worker fault while holding the ring lock");
+        }));
+        assert!(result.is_err());
+        assert!(inner.ring.is_poisoned());
+        // Sibling workers keep recording and reading through the poison.
+        r.emit(|| ObsEvent::Diagnostic {
+            detail: "after".into(),
+        });
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert!(format!("{r:?}").contains("len"));
+        let drained = r.drain();
+        assert_eq!(drained.len(), 2);
+        match &drained[1].event {
+            ObsEvent::Diagnostic { detail } => assert_eq!(detail, "after"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

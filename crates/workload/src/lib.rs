@@ -21,6 +21,7 @@ pub mod chaos;
 pub mod hospital;
 pub mod procgen;
 pub mod simulate;
+pub mod stream;
 
 pub use attacks::Injection;
 pub use chaos::{inject_text, tamper_chain, ChaosKind, ChaosReport, TEXT_INJECTORS};

@@ -46,7 +46,7 @@ fn main() {
                 );
             }
             LiveEvent::AfterAlarm { case } => {
-                println!("   (case {case} already under alarm; entry recorded)");
+                println!("   (case {case} already under alarm; entry counted)");
             }
             LiveEvent::Unresolved { case } => {
                 println!("?? case {case} has no registered purpose");
@@ -58,13 +58,16 @@ fn main() {
         monitor.alarms().len()
     );
 
-    let retired = monitor.retire_completed().expect("retirement succeeds");
+    let (retired, errors) = monitor.retire_completed();
     println!(
         "retired {} completed case(s): {:?}; {} still open",
         retired.len(),
         retired.iter().map(ToString::to_string).collect::<Vec<_>>(),
         monitor.open_cases()
     );
+    for (case, e) in &errors {
+        println!("case {case}: completion check failed ({e}); kept open");
+    }
 
     // End-of-day organizational lens: has treatment practice drifted from
     // the prescribed Fig. 1 process?

@@ -1,0 +1,161 @@
+//! Streaming equivalence suite: the bounded-memory live monitor must reach
+//! exactly the batch auditor's verdicts, for every arrival order a log
+//! shipper could produce and under constant eviction pressure.
+//!
+//! Arrival order is the live monitor's only degree of freedom: per-case
+//! entries arrive in sequence (shippers preserve intra-stream order), but
+//! cross-case interleaving is arbitrary. The suite replays the Fig. 4
+//! trail in its logged order plus several chaos-shuffled interleavings
+//! (seeded random merges of the per-case queues), with `max_open_cases =
+//! 2` so almost every entry forces an eviction or a rehydration, and
+//! requires byte-identical infringement positions and severity scores.
+
+use audit::entry::LogEntry;
+use audit::samples::figure4_trail;
+use audit::trail::AuditTrail;
+use bpmn::models::{clinical_trial, healthcare_treatment};
+use cows::symbol::Symbol;
+use policy::samples::{
+    clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+};
+use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
+use purpose_control::replay::Verdict;
+use purpose_control::{shard_of, LiveAuditor, LiveConfig, ShardedMonitor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+
+const SEEDS: [u64; 4] = [7, 42, 1337, 2026];
+
+fn hospital_auditor() -> Auditor {
+    let mut registry = ProcessRegistry::new();
+    registry.register(treatment(), healthcare_treatment());
+    registry.register(clinical_trial_purpose(), clinical_trial());
+    registry.add_case_prefix("HT-", treatment());
+    registry.add_case_prefix("CT-", clinical_trial_purpose());
+    Auditor::new(registry, extended_hospital_policy(), hospital_context())
+}
+
+/// A random merge of the per-case entry queues: each step pops the front
+/// of a randomly chosen still-nonempty case. Cross-case order is chaos;
+/// per-case order is preserved — the one invariant a shipper guarantees.
+fn chaos_interleave(trail: &AuditTrail, seed: u64) -> Vec<LogEntry> {
+    let mut queues: Vec<VecDeque<LogEntry>> = trail
+        .cases()
+        .into_iter()
+        .map(|c| trail.project_case(c).into_iter().cloned().collect())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<usize> = (0..queues.len()).collect();
+    let mut out = Vec::with_capacity(trail.len());
+    while !live.is_empty() {
+        let pick = rng.gen_range(0..live.len());
+        let q = &mut queues[live[pick]];
+        out.push(q.pop_front().expect("live queues are nonempty"));
+        if q.is_empty() {
+            live.swap_remove(pick);
+        }
+    }
+    out
+}
+
+/// Comparable per-case verdict: compliance (with completability) or the
+/// per-case index of the infringing entry plus its severity score.
+fn batch_labels(auditor: &Auditor, trail: &AuditTrail) -> BTreeMap<Symbol, String> {
+    auditor
+        .audit(trail)
+        .cases
+        .iter()
+        .map(|c| {
+            let label = match &c.outcome {
+                CaseOutcome::Compliant { can_complete } => {
+                    format!("compliant complete={can_complete}")
+                }
+                CaseOutcome::Infringement {
+                    infringement,
+                    severity,
+                } => format!(
+                    "infringement@{} severity={:.4}",
+                    infringement.entry_index, severity.score
+                ),
+                other => format!("{other:?}"),
+            };
+            (c.case, label)
+        })
+        .collect()
+}
+
+/// The same label out of a live monitor shard, wherever it keeps the case
+/// (resident session, spilled checkpoint, or retired alarm record).
+fn live_label(shard: &LiveAuditor, case: Symbol) -> String {
+    let check = shard
+        .snapshot(case)
+        .expect("case tracked")
+        .expect("live replay clean");
+    match check.verdict {
+        Verdict::Compliant { can_complete } => format!("compliant complete={can_complete}"),
+        Verdict::Infringement(inf) => {
+            let severity = shard
+                .closed_cases()
+                .find(|c| c.case == case)
+                .expect("alarmed cases retire with a severity assessment")
+                .severity
+                .score;
+            format!("infringement@{} severity={severity:.4}", inf.entry_index)
+        }
+    }
+}
+
+#[test]
+fn evicting_live_monitor_matches_batch_verdicts_for_any_arrival_order() {
+    let trail = figure4_trail();
+    let batch = batch_labels(&hospital_auditor(), &trail);
+    let config = LiveConfig {
+        max_open_cases: 2,
+        ..LiveConfig::default()
+    };
+
+    let mut orders: Vec<(String, Vec<LogEntry>)> =
+        vec![("logged order".into(), trail.entries().to_vec())];
+    for seed in SEEDS {
+        orders.push((format!("chaos seed {seed}"), chaos_interleave(&trail, seed)));
+    }
+
+    for (context, order) in &orders {
+        let mut monitor = LiveAuditor::with_config(hospital_auditor(), config.clone());
+        for e in order {
+            monitor.observe(e).unwrap();
+        }
+        assert!(
+            monitor.stats().evictions > 0,
+            "[{context}] the memory bound must actually bite"
+        );
+        let live: BTreeMap<Symbol, String> = trail
+            .cases()
+            .into_iter()
+            .map(|c| (c, live_label(&monitor, c)))
+            .collect();
+        assert_eq!(batch, live, "[{context}] live verdicts drifted from batch");
+    }
+}
+
+#[test]
+fn sharded_monitor_matches_batch_verdicts_under_chaos_interleaving() {
+    let trail = figure4_trail();
+    let batch = batch_labels(&hospital_auditor(), &trail);
+    let config = LiveConfig {
+        max_open_cases: 2,
+        ..LiveConfig::default()
+    };
+    for seed in SEEDS {
+        let order = chaos_interleave(&trail, seed);
+        let mut monitor = ShardedMonitor::new(hospital_auditor(), &config, 3);
+        monitor.ingest(&order).unwrap();
+        let live: BTreeMap<Symbol, String> = trail
+            .cases()
+            .into_iter()
+            .map(|c| (c, live_label(monitor.shard(shard_of(c, 3)), c)))
+            .collect();
+        assert_eq!(batch, live, "[chaos seed {seed}] sharded verdicts drifted");
+    }
+}
