@@ -1,0 +1,48 @@
+//! P13 codec micro-bench — the churn envelope (`PCLE`) against the
+//! durable case checkpoint (`PCLC`) on the same populated session.
+//!
+//! Eviction cost under an undersized resident cap is dominated by
+//! serialization; the churn format exists so that cost is interner
+//! indices and varints instead of term serialization. This bench pins
+//! the encode/decode gap the tiered spill path relies on.
+
+use bench::spill_codec_fixtures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use purpose_control::checkpoint::{decode_case, encode_case};
+use purpose_control::churn::{decode_churn, encode_churn};
+use std::hint::black_box;
+
+fn bench_spill_codec(c: &mut Criterion) {
+    let (churn, durable) = spill_codec_fixtures();
+    let pcle = encode_churn(&churn);
+    let pclc = encode_case(&durable);
+
+    let mut g = c.benchmark_group("spill_codec");
+    g.throughput(Throughput::Bytes(pcle.len() as u64));
+    g.bench_function(BenchmarkId::new("encode", "pcle"), |b| {
+        b.iter(|| black_box(encode_churn(black_box(&churn))))
+    });
+    g.bench_function(BenchmarkId::new("decode", "pcle"), |b| {
+        b.iter(|| black_box(decode_churn(black_box(&pcle)).unwrap()))
+    });
+    // Rehydration pays envelope decode alone (the entry window stays in
+    // wire form); this variant materializes the window too — the
+    // like-for-like comparison against PCLC decode.
+    g.bench_function(BenchmarkId::new("decode", "pcle-full"), |b| {
+        b.iter(|| {
+            let c = decode_churn(black_box(&pcle)).unwrap();
+            black_box(c.entries.decode(c.case).unwrap())
+        })
+    });
+    g.throughput(Throughput::Bytes(pclc.len() as u64));
+    g.bench_function(BenchmarkId::new("encode", "pclc"), |b| {
+        b.iter(|| black_box(encode_case(black_box(&durable))))
+    });
+    g.bench_function(BenchmarkId::new("decode", "pclc"), |b| {
+        b.iter(|| black_box(decode_case(black_box(&pclc)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_spill_codec);
+criterion_main!(benches);

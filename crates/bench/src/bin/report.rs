@@ -1079,6 +1079,247 @@ fn p12_streaming(quick: bool) -> String {
     )
 }
 
+fn p13_churn(quick: bool) -> String {
+    use purpose_control::checkpoint::{decode_case, encode_case};
+    use purpose_control::churn::{decode_churn, encode_churn};
+    use workload::stream::{interleave, peak_concurrency};
+
+    println!("## P13 — churn-proof spill path (tiered store, hysteresis, adaptive caps)");
+    let entries = if quick { 20_000 } else { 120_000 };
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: entries,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    let stream = interleave(&day.trail);
+    let peak = peak_concurrency(&stream);
+    let shards = 4;
+    let max_open = (peak / 8).max(2);
+
+    // Batch baseline: the same reference point as P12.
+    let auditor = hospital_auditor();
+    let start = Instant::now();
+    let batch = audit_parallel(&auditor, &day.trail, 4);
+    let batch_time = start.elapsed();
+
+    // Live, churn configuration: spill directory set, so evictions flow
+    // through the compressed memory tier and (on overflow) the
+    // append-only log. The P12 run keeps spill blobs in plain memory;
+    // this one exercises the full tiered path.
+    let scratch = std::env::temp_dir().join(format!("purposectl-p13-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let config = LiveConfig {
+        max_open_cases: max_open,
+        spill_dir: Some(scratch.join("live")),
+        ..LiveConfig::default()
+    };
+    let mut live = ShardedMonitor::new(hospital_auditor(), &config, shards);
+    let start = Instant::now();
+    live.ingest(&stream).expect("live replay failed");
+    let live_time = start.elapsed();
+    let stats = live.stats();
+    assert!(stats.evictions > 0, "the memory bound must actually bite");
+    let live_over_batch = live_time.as_secs_f64() / batch_time.as_secs_f64();
+
+    // Disk-eviction reduction: the pre-tier design wrote one spill file
+    // per eviction; the tiered store only touches disk on memory-tier
+    // overflow. The ratio is the P13 ">= 10x fewer disk evictions" claim.
+    let disk_reduction = stats.evictions as f64 / (stats.spill_disk_demotions.max(1)) as f64;
+
+    // Verdict equivalence against the parallel batch audit.
+    let mut mismatches = 0usize;
+    for c in &batch.cases {
+        let live_label = match live.snapshot(c.case) {
+            None => "unresolved".to_string(),
+            Some(Err(e)) => format!("failed: {e}"),
+            Some(Ok(check)) => match check.verdict {
+                Verdict::Compliant { can_complete } => format!("compliant/{can_complete}"),
+                Verdict::Infringement(inf) => format!("infringement@{}", inf.entry_index),
+            },
+        };
+        let batch_label = match &c.outcome {
+            CaseOutcome::Compliant { can_complete } => format!("compliant/{can_complete}"),
+            CaseOutcome::Infringement { infringement, .. } => {
+                format!("infringement@{}", infringement.entry_index)
+            }
+            CaseOutcome::Unresolved(_) => "unresolved".to_string(),
+            other => format!("{other:?}"),
+        };
+        if live_label != batch_label {
+            mismatches += 1;
+            if mismatches <= 5 {
+                println!(
+                    "  MISMATCH {}: batch {batch_label} vs live {live_label}",
+                    c.case
+                );
+            }
+        }
+    }
+    let verdicts_match = mismatches == 0;
+
+    // Checkpoint over the loaded spill path, restore into fresh
+    // directories, finish the stream: alarms must be those of the
+    // uninterrupted run.
+    let mid = stream.len() / 2;
+    let mut first = ShardedMonitor::new(
+        hospital_auditor(),
+        &LiveConfig {
+            spill_dir: Some(scratch.join("first")),
+            ..config.clone()
+        },
+        shards,
+    );
+    first.ingest(&stream[..mid]).expect("first half failed");
+    let ckpt = first.checkpoint(mid as u64).expect("checkpoint failed");
+    let ckpt_bytes = ckpt.len();
+    drop(first);
+    let (mut resumed, offset) = ShardedMonitor::restore(
+        hospital_auditor(),
+        &LiveConfig {
+            spill_dir: Some(scratch.join("resumed")),
+            ..config.clone()
+        },
+        shards,
+        &ckpt,
+    )
+    .expect("restore failed");
+    assert_eq!(offset, mid as u64, "resume offset must round-trip");
+    resumed.ingest(&stream[mid..]).expect("second half failed");
+    let straight_alarms: Vec<_> = live.alarms().iter().map(|(c, _)| *c).collect();
+    let resumed_alarms: Vec<_> = resumed.alarms().iter().map(|(c, _)| *c).collect();
+    let alarms_match = straight_alarms == resumed_alarms;
+    assert!(alarms_match, "resume changed the alarm set");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // PCLE vs PCLC codec micro-bench on a representative eviction victim
+    // (see [`bench::spill_codec_fixtures`]).
+    let (churn, durable) = bench::spill_codec_fixtures();
+    let pcle = encode_churn(&churn);
+    let pclc = encode_case(&durable);
+    const CODEC_ITERS: u32 = 2_000;
+    let per_op = |d: Duration| d.as_nanos() as u64 / u128::from(CODEC_ITERS) as u64;
+    let pcle_enc = per_op(median_time(
+        || {
+            for _ in 0..CODEC_ITERS {
+                std::hint::black_box(encode_churn(std::hint::black_box(&churn)));
+            }
+        },
+        5,
+    ));
+    let pcle_dec = per_op(median_time(
+        || {
+            for _ in 0..CODEC_ITERS {
+                std::hint::black_box(decode_churn(std::hint::black_box(&pcle)).unwrap());
+            }
+        },
+        5,
+    ));
+    // What a rehydration cycle pays is envelope decode alone — the entry
+    // window stays in wire form. Materializing it (the alarm/durable-
+    // checkpoint path, and the closest like-for-like against PCLC decode)
+    // is measured separately.
+    let pcle_dec_full = per_op(median_time(
+        || {
+            for _ in 0..CODEC_ITERS {
+                let c = decode_churn(std::hint::black_box(&pcle)).unwrap();
+                std::hint::black_box(c.entries.decode(c.case).unwrap());
+            }
+        },
+        5,
+    ));
+    let pclc_enc = per_op(median_time(
+        || {
+            for _ in 0..CODEC_ITERS {
+                std::hint::black_box(encode_case(std::hint::black_box(&durable)));
+            }
+        },
+        5,
+    ));
+    let pclc_dec = per_op(median_time(
+        || {
+            for _ in 0..CODEC_ITERS {
+                std::hint::black_box(decode_case(std::hint::black_box(&pclc)).unwrap());
+            }
+        },
+        5,
+    ));
+
+    println!(
+        "{} entries, peak {peak} concurrent, {shards} shards x {max_open} resident",
+        stream.len()
+    );
+    println!(
+        "batch {} | live {} ({live_over_batch:.2}x batch) | {} alarms",
+        fmt_dur(batch_time),
+        fmt_dur(live_time),
+        stats.alarms,
+    );
+    println!(
+        "churn: {} evictions ({} avoided), {} tier hits, {} disk demotions \
+         ({disk_reduction:.0}x fewer than evictions), {} log bytes, {} compactions, \
+         {} cap rebalances",
+        stats.evictions,
+        stats.evictions_avoided,
+        stats.spill_tier_hits,
+        stats.spill_disk_demotions,
+        stats.spill_log_bytes,
+        stats.spill_compactions,
+        stats.cap_rebalances,
+    );
+    println!(
+        "codec ({} entries in window): PCLE {} B enc {pcle_enc} ns dec {pcle_dec} ns \
+         ({pcle_dec_full} ns with window materialized) | \
+         PCLC {} B enc {pclc_enc} ns dec {pclc_dec} ns",
+        churn.entries.len(),
+        pcle.len(),
+        pclc.len(),
+    );
+    println!(
+        "verdicts match batch: {verdicts_match} ({mismatches} mismatches) | \
+         checkpoint {ckpt_bytes} B at entry {mid}, resume alarms match: {alarms_match}"
+    );
+    println!();
+
+    format!(
+        "{{\n  \
+           \"benchmark\": \"churn_spill_path\",\n  \
+           \"workload\": \"hospital_day_interleaved\",\n  \
+           \"entries\": {},\n  \
+           \"peak_concurrency\": {peak},\n  \
+           \"shards\": {shards},\n  \
+           \"max_open_cases\": {max_open},\n  \
+           \"batch_seconds\": {:.6},\n  \
+           \"live_seconds\": {:.6},\n  \
+           \"live_over_batch\": {live_over_batch:.4},\n  \
+           \"counters\": {{ \"evictions\": {}, \"evictions_avoided\": {}, \
+             \"rehydrations\": {}, \"spill_tier_hits\": {}, \"spill_disk_demotions\": {}, \
+             \"spill_log_bytes\": {}, \"spill_compactions\": {}, \"cap_rebalances\": {} }},\n  \
+           \"disk_eviction_reduction\": {disk_reduction:.1},\n  \
+           \"codec\": {{ \"pcle_bytes\": {}, \"pclc_bytes\": {}, \
+             \"pcle_encode_ns\": {pcle_enc}, \"pcle_decode_ns\": {pcle_dec}, \
+             \"pcle_decode_full_ns\": {pcle_dec_full}, \
+             \"pclc_encode_ns\": {pclc_enc}, \"pclc_decode_ns\": {pclc_dec} }},\n  \
+           \"checkpoint\": {{ \"bytes\": {ckpt_bytes}, \"at_entry\": {mid}, \
+             \"resume_offset_ok\": true, \"alarms_match_uninterrupted\": {alarms_match} }},\n  \
+           \"verdicts_match_batch\": {verdicts_match}\n}}",
+        stream.len(),
+        batch_time.as_secs_f64(),
+        live_time.as_secs_f64(),
+        stats.evictions,
+        stats.evictions_avoided,
+        stats.rehydrations,
+        stats.spill_tier_hits,
+        stats.spill_disk_demotions,
+        stats.spill_log_bytes,
+        stats.spill_compactions,
+        stats.cap_rebalances,
+        pcle.len(),
+        pclc.len(),
+    )
+}
+
 fn fig4_summary() {
     println!("## F4 — the paper's running example (Fig. 4)");
     let auditor = hospital_auditor();
@@ -1134,15 +1375,17 @@ fn main() {
     let p10 = p10_degraded_mode(quick);
     let p11 = p11_observability(quick);
     let p12 = p12_streaming(quick);
+    let p13 = p13_churn(quick);
     let json = format!(
         "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {},\n\
          \"p10_degraded_mode\": {},\n\"p11_observability\": {},\n\
-         \"p12_streaming\": {}\n}}\n",
+         \"p12_streaming\": {},\n\"p13_churn\": {}\n}}\n",
         p8.trim_end(),
         p9,
         p10,
         p11,
-        p12
+        p12,
+        p13
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
     match std::fs::write(&path, &json) {

@@ -183,3 +183,65 @@ pub fn or_diamond(fanout: usize) -> (Encoded, Vec<LogEntry>) {
 pub fn to_trail(entries: &[LogEntry]) -> AuditTrail {
     AuditTrail::from_entries(entries.to_vec())
 }
+
+/// A matched pair of spill envelopes — churn (`PCLE`) and durable
+/// (`PCLC`) — for the same populated session: the longest treatment case
+/// of a small synthetic hospital day, a representative eviction victim.
+/// Shared by the P13 report section and the `spill_codec` bench.
+pub fn spill_codec_fixtures() -> (
+    purpose_control::ChurnCheckpoint,
+    purpose_control::CaseCheckpoint,
+) {
+    use purpose_control::session::{FeedOutcome, SessionCore};
+    use workload::hospital::{generate_day, HospitalConfig};
+
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: 2_000,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    let auditor = hospital_auditor();
+    let encoded = encode(&healthcare_treatment());
+    let hierarchy = auditor.context.roles();
+    let victim = day
+        .trail
+        .cases()
+        .into_iter()
+        .filter(|c| c.to_string().starts_with("HT-"))
+        .max_by_key(|&c| day.trail.project_case(c).len())
+        .expect("the day has treatment cases");
+    let mut core = SessionCore::new(&encoded, auditor.options).expect("session open");
+    let mut kept: Vec<LogEntry> = Vec::new();
+    let mut last_seen = audit::Timestamp(0);
+    for e in day.trail.project_case(victim) {
+        if core
+            .feed(&encoded, hierarchy, e)
+            .is_ok_and(|o| !matches!(o, FeedOutcome::Rejected(_)))
+        {
+            kept.push(e.clone());
+            last_seen = e.time;
+        }
+    }
+    let churn = purpose_control::ChurnCheckpoint {
+        case: victim,
+        purpose: policy::samples::treatment(),
+        process_key: encoded.snapshot_key(),
+        ids: core.conf_ids().expect("automaton engine").to_vec(),
+        meta: core.export_meta(),
+        entries: purpose_control::EntryBlock::from_entries(&kept),
+        entries_dropped: 0,
+        last_seen,
+    };
+    let durable = purpose_control::CaseCheckpoint {
+        case: victim,
+        purpose: policy::samples::treatment(),
+        process_key: encoded.snapshot_key(),
+        state: core.export_state(),
+        entries: kept,
+        entries_dropped: 0,
+        last_seen,
+    };
+    (churn, durable)
+}

@@ -95,6 +95,7 @@ USAGE:
                       [--checkpoint <file>] [--shards <N>]
                       [--max-open-cases <N>] [--max-entries-per-case <N>]
                       [--idle-minutes <M>] [--spill-dir <dir>]
+                      [--spill-mem-kib <N>]
                       [--engine <direct|automaton>] [--metrics-out <file>]
 
 Observability: --metrics-out / --prom-out export the run's metrics
@@ -126,9 +127,10 @@ entry as it lands, raising alarms the moment a case deviates instead of at
 end-of-day. Torn final lines are deferred to the next poll, complete but
 corrupt lines are quarantined (salvage semantics). Memory stays bounded:
 beyond --max-open-cases the least-recently-active session is evicted
-(spilled to --spill-dir when given), rehydrated when its case speaks again;
-alarmed cases retire to compact records and --idle-minutes sweeps out stale
-sessions. --shards routes cases across N independent monitors by stable
+(spilled to a compressed in-memory tier of --spill-mem-kib KiB, overflowing
+into an append-only spill log under --spill-dir when given), rehydrated when
+its case speaks again; alarmed cases retire to compact records and
+--idle-minutes sweeps out stale sessions. --shards routes cases across N independent monitors by stable
 case hash. --follow keeps polling every --poll-ms milliseconds until
 SIGTERM/SIGINT; on exit (or at end of input without --follow) the monitor
 writes --checkpoint, and the next watch with the same flags resumes from
@@ -771,6 +773,10 @@ fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             ),
         },
         spill_dir: args.flag("spill-dir").map(PathBuf::from),
+        mem_spill_bytes: args
+            .flag_num("spill-mem-kib", defaults.mem_spill_bytes / 1024)?
+            .saturating_mul(1024),
+        eviction_debounce: defaults.eviction_debounce,
     };
     let shards: usize = args.flag_num("shards", 1)?;
     let checkpoint_path = args.flag("checkpoint").map(PathBuf::from);
@@ -918,6 +924,18 @@ fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         stats.retired,
         stats.evictions,
         stats.rehydrations
+    )
+    .ok();
+    writeln!(
+        out,
+        "spill: {} tier hits, {} disk demotions, {} log bytes, {} compactions, \
+         {} evictions avoided, {} cap rebalances",
+        stats.spill_tier_hits,
+        stats.spill_disk_demotions,
+        stats.spill_log_bytes,
+        stats.spill_compactions,
+        stats.evictions_avoided,
+        stats.cap_rebalances
     )
     .ok();
     Ok(i32::from(!monitor.alarms().is_empty()))

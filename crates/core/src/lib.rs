@@ -43,6 +43,7 @@
 
 pub mod auditor;
 pub mod checkpoint;
+pub mod churn;
 pub mod drift;
 pub mod error;
 pub mod lenient;
@@ -55,12 +56,14 @@ pub mod replay;
 pub mod session;
 pub mod severity;
 pub mod sharded;
+pub mod spill;
 pub mod startup;
 
 pub use auditor::{
     AuditReport, Auditor, CaseOutcome, CaseResult, InconclusiveReason, ProcessRegistry,
 };
 pub use checkpoint::{CaseCheckpoint, MonitorCheckpoint, RestoreError};
+pub use churn::{decode_churn, encode_churn, ChurnCheckpoint, EntryBlock};
 pub use drift::{allowed_successions, case_task_log, drift_report, DriftReport};
 pub use error::CheckError;
 pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};
@@ -71,7 +74,7 @@ pub use replay::{
     check_case, check_case_traced, CaseCheck, CheckOptions, Configuration, Engine, FailPoints,
     Infringement, InfringementKind, Verdict,
 };
-pub use session::{FeedOutcome, ReplaySession, SessionState};
+pub use session::{FeedOutcome, ReplaySession, SessionMeta, SessionState};
 pub use severity::{assess, SensitivityModel, SeverityAssessment};
 pub use sharded::{shard_of, ShardedMonitor};
 pub use startup::StartupStats;

@@ -19,25 +19,44 @@
 //!   `max_entries_per_case` entries are retained (the severity context);
 //!   older ones are counted, not stored.
 //! * **Eviction** — when more than `max_open_cases` cases are open, or a
-//!   case has been idle longer than `idle_eviction` trail-minutes, the
-//!   least-recently-active session is checkpointed
-//!   ([`crate::checkpoint`]) to the spill store and dropped from memory.
-//!   Its next entry rehydrates it byte-identically and the replay
+//!   case has been idle longer than `idle_eviction` trail-minutes, a
+//!   victim session is serialized to the spill store and dropped from
+//!   memory. Its next entry rehydrates it byte-identically and the replay
 //!   continues as if it had never left.
+//!
+//! Eviction is engineered for *churn*, not durability (P12 measured the
+//! old durable path at 8× batch time under an undersized cap):
+//!
+//! * **Hysteresis** — the resident set is segmented: cases enter on
+//!   *probation* and are *protected* once re-touched; victims are drawn
+//!   probation-first, and a freshly rehydrated case is shielded for
+//!   [`LiveConfig::eviction_debounce`] LRU ticks so hot cases stop
+//!   thrashing through the spill store ([`LiveStats::evictions_avoided`]
+//!   counts every time the shield overrode plain LRU).
+//! * **The churn envelope** — within a run, evicted sessions travel as
+//!   compact [`crate::churn`] `PCLE` records (raw automaton ids + interner
+//!   indices, varint-packed) instead of the durable `PCLC` checkpoint;
+//!   whole-monitor [`LiveAuditor::checkpoint`]/[`LiveAuditor::restore`]
+//!   still speak `PCLC`/`PCLM` only.
+//! * **Tiered spilling** — blobs land in a size-capped compressed
+//!   in-memory tier ([`crate::spill::SpillStore`]) and reach disk only by
+//!   coalesced batched appends to a single run-scoped spill log, not one
+//!   file per case per eviction.
 
 use crate::auditor::{Auditor, RegisteredProcess};
 use crate::checkpoint::{
     decode_case, encode_case, CaseCheckpoint, MonitorCheckpoint, RestoreError,
 };
+use crate::churn::{decode_churn, encode_churn, ChurnCheckpoint, EntryBlock, CHURN_MAGIC};
 use crate::error::CheckError;
 use crate::replay::{CaseCheck, Infringement, Verdict};
 use crate::session::{FeedOutcome, SessionCore};
 use crate::severity::{assess, SeverityAssessment};
+use crate::spill::SpillStore;
 use audit::entry::LogEntry;
 use audit::time::Timestamp;
 use cows::symbol::Symbol;
-use cows::StableHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -78,10 +97,19 @@ pub struct LiveConfig {
     /// (checked by [`LiveAuditor::maintain`]). `None` disables the idle
     /// sweep; capacity eviction still applies.
     pub idle_eviction: Option<u64>,
-    /// Directory for spilled case checkpoints (`*.pclc`). `None` keeps
+    /// Directory for the spill store's append-only log. `None` keeps
     /// spilled blobs in memory — still far smaller than live sessions, and
-    /// the right default for tests and bounded runs.
+    /// the right default for tests and bounded runs. Each monitor needs
+    /// its own directory ([`crate::sharded::ShardedMonitor`] adds a
+    /// `shard-{i}` suffix per shard).
     pub spill_dir: Option<PathBuf>,
+    /// Byte budget of the compressed in-memory spill tier. Only meaningful
+    /// with a `spill_dir` — without one there is nowhere to demote to and
+    /// the tier is unbounded.
+    pub mem_spill_bytes: usize,
+    /// How many LRU ticks a freshly rehydrated case is shielded from
+    /// eviction (the churn debounce). `None` disables the shield.
+    pub eviction_debounce: Option<u64>,
 }
 
 impl Default for LiveConfig {
@@ -91,6 +119,8 @@ impl Default for LiveConfig {
             max_entries_per_case: 256,
             idle_eviction: None,
             spill_dir: None,
+            mem_spill_bytes: 8 * 1024 * 1024,
+            eviction_debounce: Some(32),
         }
     }
 }
@@ -111,10 +141,69 @@ pub struct LiveStats {
     pub evictions: u64,
     /// Sessions rebuilt from the spill store.
     pub rehydrations: u64,
-    /// Completed cases garbage-collected by [`LiveAuditor::retire_completed`].
+    /// Cases that stopped being tracked as sessions: completed cases
+    /// garbage-collected by [`LiveAuditor::retire_completed`] plus alarmed
+    /// cases collapsed into [`ClosedCase`] records.
     pub retired: u64,
-    /// Total bytes written to the spill store.
+    /// Total bytes handed to the spill store (pre-compression).
     pub spilled_bytes: u64,
+    /// Times the hysteresis policy (probation/protected segments + the
+    /// rehydration shield) overrode the plain-LRU victim.
+    pub evictions_avoided: u64,
+    /// Rehydrations served from the in-memory spill tier (no disk).
+    pub spill_tier_hits: u64,
+    /// Blobs demoted from the memory tier onto the spill log — the real
+    /// disk evictions.
+    pub spill_disk_demotions: u64,
+    /// Total bytes appended to the spill log.
+    pub spill_log_bytes: u64,
+    /// Spill-log compactions.
+    pub spill_compactions: u64,
+    /// Resident-budget rebalances (always 0 at shard level; set by
+    /// [`crate::sharded::ShardedMonitor`]).
+    pub cap_rebalances: u64,
+}
+
+impl LiveStats {
+    /// Field-wise sum, for cross-shard folds.
+    pub(crate) fn plus(&self, other: &LiveStats) -> LiveStats {
+        LiveStats {
+            entries: self.entries + other.entries,
+            alarms: self.alarms + other.alarms,
+            after_alarm: self.after_alarm + other.after_alarm,
+            unresolved: self.unresolved + other.unresolved,
+            evictions: self.evictions + other.evictions,
+            rehydrations: self.rehydrations + other.rehydrations,
+            retired: self.retired + other.retired,
+            spilled_bytes: self.spilled_bytes + other.spilled_bytes,
+            evictions_avoided: self.evictions_avoided + other.evictions_avoided,
+            spill_tier_hits: self.spill_tier_hits + other.spill_tier_hits,
+            spill_disk_demotions: self.spill_disk_demotions + other.spill_disk_demotions,
+            spill_log_bytes: self.spill_log_bytes + other.spill_log_bytes,
+            spill_compactions: self.spill_compactions + other.spill_compactions,
+            cap_rebalances: self.cap_rebalances + other.cap_rebalances,
+        }
+    }
+
+    /// Field-wise `self - earlier`, for delta-flush bookkeeping.
+    pub(crate) fn minus(&self, earlier: &LiveStats) -> LiveStats {
+        LiveStats {
+            entries: self.entries - earlier.entries,
+            alarms: self.alarms - earlier.alarms,
+            after_alarm: self.after_alarm - earlier.after_alarm,
+            unresolved: self.unresolved - earlier.unresolved,
+            evictions: self.evictions - earlier.evictions,
+            rehydrations: self.rehydrations - earlier.rehydrations,
+            retired: self.retired - earlier.retired,
+            spilled_bytes: self.spilled_bytes - earlier.spilled_bytes,
+            evictions_avoided: self.evictions_avoided - earlier.evictions_avoided,
+            spill_tier_hits: self.spill_tier_hits - earlier.spill_tier_hits,
+            spill_disk_demotions: self.spill_disk_demotions - earlier.spill_disk_demotions,
+            spill_log_bytes: self.spill_log_bytes - earlier.spill_log_bytes,
+            spill_compactions: self.spill_compactions - earlier.spill_compactions,
+            cap_rebalances: self.cap_rebalances - earlier.cap_rebalances,
+        }
+    }
 }
 
 /// The compact record an alarmed case retires into: verdict material only,
@@ -134,20 +223,21 @@ struct LiveCase {
     process: Arc<RegisteredProcess>,
     core: SessionCore,
     /// Trailing entry window (severity context), bounded by
-    /// `max_entries_per_case`.
-    entries: VecDeque<LogEntry>,
+    /// `max_entries_per_case`. Kept in wire form so eviction and
+    /// rehydration move it as bytes; it only decodes at an alarm or a
+    /// durable checkpoint.
+    entries: EntryBlock,
     /// Entries shed from the front of the window.
     entries_dropped: u64,
     /// Trail-time of the last observed entry (idle-eviction clock).
     last_seen: Timestamp,
     /// LRU tick of the last observation.
     touched: u64,
-}
-
-/// Where an evicted case's bytes live.
-enum Spilled {
-    Memory(Vec<u8>),
-    File(PathBuf),
+    /// Hysteresis segment: `false` = probation (admitted once), `true` =
+    /// protected (re-touched while resident). Victims come probation-first.
+    protected: bool,
+    /// Shielded from eviction until this LRU tick (rehydration debounce).
+    shielded_until: u64,
 }
 
 /// A streaming auditor: feed it log entries as the systems emit them.
@@ -155,7 +245,7 @@ pub struct LiveAuditor {
     auditor: Auditor,
     config: LiveConfig,
     cases: HashMap<Symbol, LiveCase>,
-    spill: HashMap<Symbol, Spilled>,
+    spill: SpillStore,
     closed: HashMap<Symbol, ClosedCase>,
     /// Case names in alarm order (the monitor's alarm log).
     alarm_order: Vec<Symbol>,
@@ -163,6 +253,9 @@ pub struct LiveAuditor {
     tick: u64,
     /// Highest trail timestamp seen (idle-eviction reference).
     high_water: Option<Timestamp>,
+    /// Current resident budget — starts at `config.max_open_cases`, moved
+    /// by [`LiveAuditor::set_resident_cap`] (the sharded rebalancer).
+    resident_cap: usize,
     stats: LiveStats,
     /// Stats already pushed to a metrics shard (delta tracking for
     /// [`LiveAuditor::flush_stats_into`]).
@@ -176,15 +269,18 @@ impl LiveAuditor {
     }
 
     pub fn with_config(auditor: Auditor, config: LiveConfig) -> LiveAuditor {
+        let spill = SpillStore::new(config.spill_dir.clone(), config.mem_spill_bytes);
+        let resident_cap = config.max_open_cases.max(1);
         LiveAuditor {
             auditor,
             config,
             cases: HashMap::new(),
-            spill: HashMap::new(),
+            spill,
             closed: HashMap::new(),
             alarm_order: Vec::new(),
             tick: 0,
             high_water: None,
+            resident_cap,
             stats: LiveStats::default(),
             flushed: LiveStats::default(),
         }
@@ -213,9 +309,39 @@ impl LiveAuditor {
         self.cases.len() + self.spill.len()
     }
 
-    /// Monitor counters since construction.
+    /// Monitor counters since construction (spill-store traffic merged in).
     pub fn stats(&self) -> LiveStats {
-        self.stats
+        let mut s = self.stats;
+        let sp = self.spill.stats();
+        s.spill_tier_hits = sp.tier_hits;
+        s.spill_disk_demotions = sp.disk_demotions;
+        s.spill_log_bytes = sp.log_bytes;
+        s.spill_compactions = sp.compactions;
+        s
+    }
+
+    /// The current resident budget.
+    pub fn resident_cap(&self) -> usize {
+        self.resident_cap
+    }
+
+    /// Move the resident budget (the sharded rebalancer's lever). Growth
+    /// takes effect lazily; call [`LiveAuditor::shrink_to_cap`] to evict
+    /// down to a reduced budget eagerly.
+    pub fn set_resident_cap(&mut self, cap: usize) {
+        self.resident_cap = cap.max(1);
+    }
+
+    /// Evict least-recently-active sessions until the resident set fits
+    /// the current budget.
+    pub fn shrink_to_cap(&mut self) -> Result<(), CheckError> {
+        self.enforce_capacity(None)
+    }
+
+    /// Stale spill files removed when the spill store opened its
+    /// directory (the restore-time orphan sweep).
+    pub fn orphans_swept(&self) -> usize {
+        self.spill.orphans_swept()
     }
 
     /// Alarms raised so far, in order.
@@ -245,8 +371,9 @@ impl LiveAuditor {
             return Ok(LiveEvent::AfterAlarm { case });
         }
 
-        if !self.cases.contains_key(&case) {
-            if self.spill.contains_key(&case) {
+        let was_resident = self.cases.contains_key(&case);
+        if !was_resident {
+            if self.spill.contains(case) {
                 self.rehydrate(case)?;
             } else {
                 let Some(purpose) = self.auditor.resolve_case(case) else {
@@ -263,28 +390,43 @@ impl LiveAuditor {
                     LiveCase {
                         process: process.clone(),
                         core,
-                        entries: VecDeque::new(),
+                        entries: EntryBlock::default(),
                         entries_dropped: 0,
                         last_seen: entry.time,
                         touched: 0,
+                        protected: false,
+                        shielded_until: 0,
                     },
                 );
             }
-            // Keep the case just admitted; shed the least-recently-active
-            // other session if this pushed us over capacity.
-            self.enforce_capacity(case)?;
+            // Keep the case just admitted; shed a victim if this pushed us
+            // over capacity.
+            self.enforce_capacity(Some(case))?;
+        }
+
+        self.tick += 1;
+        let tick = self.tick;
+        let promoted = {
+            let live = self.cases.get_mut(&case).expect("admitted above");
+            live.entries.push(entry);
+            while live.entries.len() > self.config.max_entries_per_case.max(1) {
+                live.entries.pop_front();
+                live.entries_dropped += 1;
+            }
+            live.last_seen = entry.time;
+            live.touched = tick;
+            // Second touch while resident promotes probation → protected.
+            let promote = was_resident && !live.protected;
+            if promote {
+                live.protected = true;
+            }
+            promote
+        };
+        if promoted {
+            self.demote_protected_overflow(case);
         }
 
         let live = self.cases.get_mut(&case).expect("admitted above");
-        live.entries.push_back(entry.clone());
-        while live.entries.len() > self.config.max_entries_per_case.max(1) {
-            live.entries.pop_front();
-            live.entries_dropped += 1;
-        }
-        live.last_seen = entry.time;
-        self.tick += 1;
-        live.touched = self.tick;
-
         let hierarchy = self.auditor.context.roles();
         match live.core.feed(&live.process.encoded, hierarchy, entry)? {
             FeedOutcome::Accepted { .. } => Ok(LiveEvent::Accepted { case }),
@@ -292,8 +434,15 @@ impl LiveAuditor {
                 // Severity over the retained window: the infringing entry
                 // is always the window's last element, so re-anchoring the
                 // index to the window start reproduces the unbounded
-                // monitor's assessment exactly.
-                let refs: Vec<&LogEntry> = live.entries.iter().collect();
+                // monitor's assessment exactly. This is one of the two
+                // places the wire-form window actually materializes.
+                let window = live
+                    .entries
+                    .decode(case)
+                    .map_err(|e| CheckError::Checkpoint {
+                        detail: format!("case {case} entry window: {e}"),
+                    })?;
+                let refs: Vec<&LogEntry> = window.iter().collect();
                 let window_inf = Infringement {
                     entry_index: infringement
                         .entry_index
@@ -302,6 +451,9 @@ impl LiveAuditor {
                 };
                 let severity = assess(&window_inf, &refs, &self.auditor.sensitivity);
                 self.cases.remove(&case);
+                // Alarmed cases retire into the compact record: count them
+                // (the P12 `retired: 0` bug) and drop any stale spill slot.
+                let _ = self.spill.remove(case);
                 self.closed.insert(
                     case,
                     ClosedCase {
@@ -313,6 +465,7 @@ impl LiveAuditor {
                 );
                 self.alarm_order.push(case);
                 self.stats.alarms += 1;
+                self.stats.retired += 1;
                 Ok(LiveEvent::Alarm {
                     case,
                     infringement,
@@ -338,7 +491,7 @@ impl LiveAuditor {
                 evidence: None,
             }));
         }
-        if self.spill.contains_key(&case) {
+        if self.spill.contains(case) {
             return Some(self.peek_spilled(case));
         }
         None
@@ -346,18 +499,65 @@ impl LiveAuditor {
 
     fn peek_spilled(&self, case: Symbol) -> Result<CaseCheck, CheckError> {
         let bytes = self.load_spilled(case)?;
-        let ckpt = decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
-            detail: e.to_string(),
-        })?;
-        let process =
-            self.auditor
-                .registry
-                .process_for(ckpt.purpose)
-                .ok_or(CheckError::UnknownPurpose {
-                    purpose: ckpt.purpose.to_string(),
-                })?;
-        let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
+        let (process, core) = self.decode_spilled(&bytes)?;
         core.finish(&process.encoded)
+    }
+
+    /// Rebuild a session from a spilled blob without admitting it,
+    /// dispatching on the envelope magic (`PCLE` churn vs durable `PCLC`).
+    fn decode_spilled(
+        &self,
+        bytes: &[u8],
+    ) -> Result<(Arc<RegisteredProcess>, SessionCore), CheckError> {
+        if bytes.len() >= 4 && bytes[..4] == CHURN_MAGIC {
+            let ckpt = decode_churn(bytes).map_err(|e| CheckError::Checkpoint {
+                detail: e.to_string(),
+            })?;
+            let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
+            let core = SessionCore::from_interned(
+                &process.encoded,
+                self.auditor.options,
+                ckpt.ids,
+                ckpt.meta,
+            )?;
+            Ok((process, core))
+        } else {
+            let ckpt = decode_case(bytes).map_err(|e| CheckError::Checkpoint {
+                detail: e.to_string(),
+            })?;
+            let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
+            let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
+            Ok((process, core))
+        }
+    }
+
+    /// Registry lookup + process-key check shared by every rehydration
+    /// path — a spilled case keyed to a different process is a checkpoint
+    /// error, never trusted.
+    fn validated_process(
+        &self,
+        case: Symbol,
+        purpose: Symbol,
+        process_key: u64,
+    ) -> Result<Arc<RegisteredProcess>, CheckError> {
+        let process = self
+            .auditor
+            .registry
+            .process_for(purpose)
+            .ok_or(CheckError::UnknownPurpose {
+                purpose: purpose.to_string(),
+            })?
+            .clone();
+        let expected = process.encoded.snapshot_key();
+        if process_key != expected {
+            return Err(CheckError::Checkpoint {
+                detail: format!(
+                    "case {case} checkpoint keyed to a different {purpose} process \
+                     (key {process_key:#018x}, registry has {expected:#018x})"
+                ),
+            });
+        }
+        Ok(process)
     }
 
     /// Serialize one resident open case (the eviction payload, exposed for
@@ -369,7 +569,7 @@ impl LiveAuditor {
             purpose: live.process.purpose,
             process_key: live.process.encoded.snapshot_key(),
             state: live.core.export_state(),
-            entries: live.entries.iter().cloned().collect(),
+            entries: live.entries.decode(case).ok()?,
             entries_dropped: live.entries_dropped,
             last_seen: live.last_seen,
         }))
@@ -377,107 +577,188 @@ impl LiveAuditor {
 
     /// Evict one resident case to the spill store. No-op result for a case
     /// that is not resident.
+    ///
+    /// Automaton-engine sessions travel as the run-local `PCLE` churn
+    /// envelope — raw state ids, no term serialization — which is what
+    /// makes eviction cheap enough for an undersized cap. Direct-engine
+    /// sessions have no shared automaton to point into and fall back to
+    /// the durable `PCLC` encoding.
     pub fn evict(&mut self, case: Symbol) -> Result<(), CheckError> {
-        let Some(bytes) = self.checkpoint_case(case) else {
+        let Some(live) = self.cases.get(&case) else {
             return Ok(());
         };
-        let slot = match &self.config.spill_dir {
-            None => Spilled::Memory(bytes),
-            Some(dir) => {
-                let path = dir.join(spill_file_name(case));
-                std::fs::create_dir_all(dir).map_err(|e| CheckError::Checkpoint {
-                    detail: format!("create spill dir {}: {e}", dir.display()),
-                })?;
-                std::fs::write(&path, &bytes).map_err(|e| CheckError::Checkpoint {
-                    detail: format!("write spill file {}: {e}", path.display()),
-                })?;
-                self.stats.spilled_bytes += bytes.len() as u64;
-                Spilled::File(path)
-            }
+        let bytes = match live.core.conf_ids() {
+            Some(ids) => encode_churn(&ChurnCheckpoint {
+                case,
+                purpose: live.process.purpose,
+                process_key: live.process.encoded.snapshot_key(),
+                ids: ids.to_vec(),
+                meta: live.core.export_meta(),
+                // The window splices into the envelope as bytes — eviction
+                // cost is O(ids), not O(window).
+                entries: live.entries.clone(),
+                entries_dropped: live.entries_dropped,
+                last_seen: live.last_seen,
+            }),
+            None => self.checkpoint_case(case).expect("checked resident above"),
         };
-        if let Spilled::Memory(b) = &slot {
-            self.stats.spilled_bytes += b.len() as u64;
-        }
+        self.stats.spilled_bytes += bytes.len() as u64;
+        self.spill
+            .insert(case, &bytes)
+            .map_err(|detail| CheckError::Checkpoint { detail })?;
         self.cases.remove(&case);
-        self.spill.insert(case, slot);
         self.stats.evictions += 1;
         Ok(())
     }
 
     fn load_spilled(&self, case: Symbol) -> Result<Vec<u8>, CheckError> {
-        match self.spill.get(&case) {
-            None => Err(CheckError::Checkpoint {
+        self.spill
+            .peek(case)
+            .map_err(|detail| CheckError::Checkpoint { detail })?
+            .ok_or_else(|| CheckError::Checkpoint {
                 detail: format!("case {case} is not in the spill store"),
-            }),
-            Some(Spilled::Memory(bytes)) => Ok(bytes.clone()),
-            Some(Spilled::File(path)) => std::fs::read(path).map_err(|e| CheckError::Checkpoint {
-                detail: format!("read spill file {}: {e}", path.display()),
-            }),
-        }
+            })
     }
 
-    /// Rebuild an evicted session and re-admit it.
+    /// Rebuild an evicted session and re-admit it, shielded from the next
+    /// few evictions (the churn debounce).
     fn rehydrate(&mut self, case: Symbol) -> Result<(), CheckError> {
-        let bytes = self.load_spilled(case)?;
-        let ckpt = decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
-            detail: e.to_string(),
-        })?;
-        let live = self.admit(ckpt)?;
-        if let Some(Spilled::File(path)) = self.spill.remove(&case) {
-            let _ = std::fs::remove_file(path);
-        }
-        self.cases.insert(case, live);
+        let bytes = self
+            .spill
+            .take(case)
+            .map_err(|detail| CheckError::Checkpoint { detail })?
+            .ok_or_else(|| CheckError::Checkpoint {
+                detail: format!("case {case} is not in the spill store"),
+            })?;
+        let (process, core, entries, entries_dropped, last_seen) = if bytes.len() >= 4
+            && bytes[..4] == CHURN_MAGIC
+        {
+            let ckpt = decode_churn(&bytes).map_err(|e| CheckError::Checkpoint {
+                detail: e.to_string(),
+            })?;
+            let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
+            let core = SessionCore::from_interned(
+                &process.encoded,
+                self.auditor.options,
+                ckpt.ids,
+                ckpt.meta,
+            )?;
+            (
+                process,
+                core,
+                ckpt.entries,
+                ckpt.entries_dropped,
+                ckpt.last_seen,
+            )
+        } else {
+            let ckpt = decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
+                detail: e.to_string(),
+            })?;
+            let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
+            let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
+            (
+                process,
+                core,
+                EntryBlock::from_entries(&ckpt.entries),
+                ckpt.entries_dropped,
+                ckpt.last_seen,
+            )
+        };
+        self.tick += 1;
+        let shielded_until = self.config.eviction_debounce.map_or(0, |d| self.tick + d);
+        self.cases.insert(
+            case,
+            LiveCase {
+                process,
+                core,
+                entries,
+                entries_dropped,
+                last_seen,
+                touched: self.tick,
+                protected: false,
+                shielded_until,
+            },
+        );
         self.stats.rehydrations += 1;
         Ok(())
     }
 
-    /// Build a resident [`LiveCase`] from a decoded checkpoint, validating
-    /// it against the current registry.
+    /// Build a resident [`LiveCase`] from a decoded durable checkpoint
+    /// (the restore path), validating it against the current registry.
     fn admit(&mut self, ckpt: CaseCheckpoint) -> Result<LiveCase, CheckError> {
-        let process = self
-            .auditor
-            .registry
-            .process_for(ckpt.purpose)
-            .ok_or(CheckError::UnknownPurpose {
-                purpose: ckpt.purpose.to_string(),
-            })?
-            .clone();
-        let expected = process.encoded.snapshot_key();
-        if ckpt.process_key != expected {
-            return Err(CheckError::Checkpoint {
-                detail: format!(
-                    "case {} checkpoint keyed to a different {} process \
-                     (key {:#018x}, registry has {expected:#018x})",
-                    ckpt.case, ckpt.purpose, ckpt.process_key
-                ),
-            });
-        }
+        let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
         let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
         self.tick += 1;
         Ok(LiveCase {
             process,
             core,
-            entries: ckpt.entries.into(),
+            entries: EntryBlock::from_entries(&ckpt.entries),
             entries_dropped: ckpt.entries_dropped,
             last_seen: ckpt.last_seen,
             touched: self.tick,
+            protected: false,
+            shielded_until: 0,
         })
     }
 
-    /// Evict least-recently-active sessions until at most
-    /// `max_open_cases` remain resident, never shedding `keep`.
-    fn enforce_capacity(&mut self, keep: Symbol) -> Result<(), CheckError> {
-        while self.cases.len() > self.config.max_open_cases.max(1) {
+    /// The protected segment's share of the resident budget.
+    fn protected_cap(&self) -> usize {
+        (self.resident_cap * 3 / 4).max(1)
+    }
+
+    /// Demote least-recently-touched protected cases back to probation
+    /// until the protected segment fits its share, sparing `keep` (the
+    /// case whose promotion triggered the check).
+    fn demote_protected_overflow(&mut self, keep: Symbol) {
+        let cap = self.protected_cap();
+        loop {
+            let over = self.cases.values().filter(|l| l.protected).count() > cap;
+            if !over {
+                return;
+            }
             let victim = self
                 .cases
                 .iter()
-                .filter(|(c, _)| **c != keep)
+                .filter(|(c, l)| **c != keep && l.protected)
                 .min_by_key(|(_, l)| l.touched)
                 .map(|(c, _)| *c);
             match victim {
-                Some(v) => self.evict(v)?,
-                None => break,
+                Some(v) => self.cases.get_mut(&v).expect("from iter above").protected = false,
+                None => return,
             }
+        }
+    }
+
+    /// Evict sessions until the resident set fits the budget, never
+    /// shedding `keep`.
+    ///
+    /// Victim order is the hysteresis policy: unshielded probation first,
+    /// then unshielded protected, then — only when every candidate is
+    /// shielded — plain LRU. Whenever that order spares the globally
+    /// least-recently-touched case, `evictions_avoided` counts the save.
+    fn enforce_capacity(&mut self, keep: Option<Symbol>) -> Result<(), CheckError> {
+        while self.cases.len() > self.resident_cap {
+            let tick = self.tick;
+            let candidates = || self.cases.iter().filter(|(c, _)| keep != Some(**c));
+            let global_lru = candidates().min_by_key(|(_, l)| l.touched).map(|(c, _)| *c);
+            let Some(global_lru) = global_lru else {
+                break;
+            };
+            let victim = candidates()
+                .filter(|(_, l)| !l.protected && l.shielded_until <= tick)
+                .min_by_key(|(_, l)| l.touched)
+                .map(|(c, _)| *c)
+                .or_else(|| {
+                    candidates()
+                        .filter(|(_, l)| l.protected && l.shielded_until <= tick)
+                        .min_by_key(|(_, l)| l.touched)
+                        .map(|(c, _)| *c)
+                })
+                .unwrap_or(global_lru);
+            if victim != global_lru {
+                self.stats.evictions_avoided += 1;
+            }
+            self.evict(victim)?;
         }
         Ok(())
     }
@@ -529,6 +810,11 @@ impl LiveAuditor {
             .collect();
         for case in done {
             self.cases.remove(&case);
+            // Spill-store hygiene: a retired case must leave no blob (or
+            // dead log record) behind.
+            if let Err(detail) = self.spill.remove(case) {
+                errors.push((case, CheckError::Checkpoint { detail }));
+            }
             self.stats.retired += 1;
             retired.push(case);
         }
@@ -550,18 +836,47 @@ impl LiveAuditor {
                 purpose: live.process.purpose,
                 process_key: live.process.encoded.snapshot_key(),
                 state: live.core.export_state(),
-                entries: live.entries.iter().cloned().collect(),
+                entries: live
+                    .entries
+                    .decode(case)
+                    .map_err(|e| CheckError::Checkpoint {
+                        detail: format!("case {case} entry window: {e}"),
+                    })?,
                 entries_dropped: live.entries_dropped,
                 last_seen: live.last_seen,
             });
         }
-        let mut names: Vec<Symbol> = self.spill.keys().copied().collect();
+        let mut names: Vec<Symbol> = self.spill.cases();
         names.sort();
         for case in names {
             let bytes = self.load_spilled(case)?;
-            cases.push(decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
-                detail: e.to_string(),
-            })?);
+            // Churn blobs never cross a run boundary: materialize them into
+            // the durable encoding (a rebuilt session's `export_state`, so
+            // the checkpoint is identical to an unevicted monitor's).
+            if bytes.len() >= 4 && bytes[..4] == CHURN_MAGIC {
+                let ckpt = decode_churn(&bytes).map_err(|e| CheckError::Checkpoint {
+                    detail: e.to_string(),
+                })?;
+                let (process, core) = self.decode_spilled(&bytes)?;
+                cases.push(CaseCheckpoint {
+                    case,
+                    purpose: ckpt.purpose,
+                    process_key: process.encoded.snapshot_key(),
+                    state: core.export_state(),
+                    entries: ckpt
+                        .entries
+                        .decode(case)
+                        .map_err(|e| CheckError::Checkpoint {
+                            detail: format!("case {case} entry window: {e}"),
+                        })?,
+                    entries_dropped: ckpt.entries_dropped,
+                    last_seen: ckpt.last_seen,
+                });
+            } else {
+                cases.push(decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
+                    detail: e.to_string(),
+                })?);
+            }
         }
         let closed = self
             .alarm_order
@@ -622,21 +937,13 @@ impl LiveAuditor {
                 let live = monitor.admit(c)?;
                 monitor.cases.insert(case, live);
             } else {
-                let blob = encode_case(&c);
-                let slot = match &monitor.config.spill_dir {
-                    None => Spilled::Memory(blob),
-                    Some(dir) => {
-                        let path = dir.join(spill_file_name(case));
-                        std::fs::create_dir_all(dir).map_err(|e| {
-                            RestoreError::Codec(cows::SnapshotError::Io(e.to_string()))
-                        })?;
-                        std::fs::write(&path, &blob).map_err(|e| {
-                            RestoreError::Codec(cows::SnapshotError::Io(e.to_string()))
-                        })?;
-                        Spilled::File(path)
-                    }
-                };
-                monitor.spill.insert(case, slot);
+                // Restored-but-not-resident cases enter the spill store in
+                // the durable encoding; their first entry rehydrates them
+                // through the magic-dispatched path like any other blob.
+                monitor
+                    .spill
+                    .insert(case, &encode_case(&c))
+                    .map_err(|detail| RestoreError::Codec(cows::SnapshotError::Io(detail)))?;
             }
         }
         for c in ckpt.closed {
@@ -651,40 +958,10 @@ impl LiveAuditor {
     /// flushes never double-count: only growth since the previous flush is
     /// recorded.
     pub fn flush_stats_into(&mut self, shard: &mut obs::Shard) {
-        let s = self.stats;
-        let f = self.flushed;
-        let delta = LiveStats {
-            entries: s.entries - f.entries,
-            alarms: s.alarms - f.alarms,
-            after_alarm: s.after_alarm - f.after_alarm,
-            unresolved: s.unresolved - f.unresolved,
-            evictions: s.evictions - f.evictions,
-            rehydrations: s.rehydrations - f.rehydrations,
-            retired: s.retired - f.retired,
-            spilled_bytes: s.spilled_bytes - f.spilled_bytes,
-        };
-        crate::metrics::record_live_metrics(shard, &delta);
+        let s = self.stats();
+        crate::metrics::record_live_metrics(shard, &s.minus(&self.flushed));
         self.flushed = s;
     }
-}
-
-/// Spill-file name for a case: a sanitized stem for the operator plus a
-/// stable hash so distinct cases never collide after sanitization.
-fn spill_file_name(case: Symbol) -> String {
-    let text = case.to_string();
-    let stem: String = text
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect();
-    let mut h = StableHasher::new();
-    h.write_str(&text);
-    format!("{stem}-{:016x}.pclc", h.finish())
 }
 
 #[cfg(test)]
@@ -929,7 +1206,7 @@ mod tests {
         let evicted = monitor.maintain().unwrap();
         assert!(!evicted.is_empty());
         for c in &evicted {
-            assert!(monitor.spill.contains_key(c));
+            assert!(monitor.spill.contains(*c));
         }
     }
 
@@ -974,6 +1251,153 @@ mod tests {
                 (a, b) => assert_eq!(a.is_some(), b.is_some()),
             }
         }
+    }
+
+    #[test]
+    fn alarmed_cases_count_as_retired() {
+        // Regression for the P12 `retired: 0` bug: retiring into a
+        // `ClosedCase` at alarm time is a retirement and must be counted.
+        let mut monitor = live();
+        let bad = audit::codec::parse_trail(
+            "Bob Cardiologist read [Jane]EPR/Clinical T06 HT-99 201007060900 success\n",
+        )
+        .unwrap();
+        assert!(monitor.observe(&bad.entries()[0]).unwrap().is_alarm());
+        assert_eq!(monitor.stats().retired, 1);
+        // retire_completed keeps counting on top.
+        let trail = figure4_trail();
+        for e in trail.project_case(sym("HT-1")) {
+            monitor.observe(e).unwrap();
+        }
+        monitor.retire_completed();
+        assert_eq!(monitor.stats().retired, 2);
+    }
+
+    #[test]
+    fn memory_tier_serves_rehydrations_without_disk() {
+        // No spill_dir: every spill lands in the memory tier, so every
+        // rehydration must be a tier hit and the log must stay untouched.
+        let config = LiveConfig {
+            max_open_cases: 2,
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config);
+        let trail = figure4_trail();
+        for e in &trail {
+            monitor.observe(e).unwrap();
+        }
+        let stats = monitor.stats();
+        assert!(stats.rehydrations > 0, "pressure must actually bite");
+        assert_eq!(stats.spill_tier_hits, stats.rehydrations);
+        assert_eq!(stats.spill_disk_demotions, 0);
+        assert_eq!(stats.spill_log_bytes, 0);
+    }
+
+    #[test]
+    fn rehydration_shield_overrides_plain_lru() {
+        // Four cases against a budget of two, each replaying the (valid)
+        // HT-1 entry sequence under its own name. The interleaving is
+        // chosen so the globally least-recently-touched case is shielded
+        // by a fresh rehydration exactly when capacity next bites.
+        let ht1: Vec<LogEntry> = figure4_trail()
+            .project_case(sym("HT-1"))
+            .into_iter()
+            .cloned()
+            .collect();
+        let entry_for = |case: &str, step: usize| LogEntry {
+            case: sym(case),
+            ..ht1[step].clone()
+        };
+        let config = LiveConfig {
+            max_open_cases: 2,
+            eviction_debounce: Some(100),
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config);
+        monitor.observe(&entry_for("HT-a", 0)).unwrap(); // resident: a
+        monitor.observe(&entry_for("HT-b", 0)).unwrap(); // resident: a b
+        monitor.observe(&entry_for("HT-c", 0)).unwrap(); // evicts a (plain LRU)
+        assert!(!monitor.cases.contains_key(&sym("HT-a")));
+        monitor.observe(&entry_for("HT-a", 1)).unwrap(); // rehydrates a (shielded), evicts b
+        assert_eq!(monitor.stats().rehydrations, 1);
+        monitor.observe(&entry_for("HT-c", 1)).unwrap(); // touches c (→ protected)
+                                                         // Admitting d: the global LRU is the shielded a; the policy must
+                                                         // spare it and take c instead.
+        monitor.observe(&entry_for("HT-d", 0)).unwrap();
+        assert!(
+            monitor.cases.contains_key(&sym("HT-a")),
+            "shielded case must survive"
+        );
+        assert!(!monitor.cases.contains_key(&sym("HT-c")));
+        assert_eq!(monitor.stats().evictions_avoided, 1);
+    }
+
+    #[test]
+    fn churn_spill_reaches_the_log_and_still_matches_batch() {
+        // A spill directory plus a zero-byte memory tier forces every
+        // eviction through the append-only log — the worst case for the
+        // churn path — and verdicts must still match batch exactly.
+        let dir = std::env::temp_dir()
+            .join("purposectl-tests")
+            .join(format!("live-log-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = LiveConfig {
+            max_open_cases: 2,
+            mem_spill_bytes: 0,
+            spill_dir: Some(dir.clone()),
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config);
+        let trail = figure4_trail();
+        for e in &trail {
+            monitor.observe(e).unwrap();
+        }
+        let stats = monitor.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.spill_disk_demotions > 0, "the log must be exercised");
+        let batch = monitor.auditor().audit(&trail);
+        for case in &batch.cases {
+            let live_verdict = monitor.snapshot(case.case).unwrap().unwrap();
+            assert_eq!(
+                live_verdict.verdict.is_compliant(),
+                case.outcome.is_compliant(),
+                "case {} disagrees between live and batch",
+                case.case
+            );
+        }
+        drop(monitor);
+        assert!(
+            !dir.join("spill.log").exists(),
+            "run-scoped log removed on drop"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_sweeps_orphaned_spill_files() {
+        let dir = std::env::temp_dir()
+            .join("purposectl-tests")
+            .join(format!("live-orphans-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("HT-9-deadbeefdeadbeef.pclc"), b"stale").unwrap();
+        std::fs::write(dir.join("spill.log"), b"stale log").unwrap();
+
+        let mut monitor = live();
+        let trail = figure4_trail();
+        for e in &trail {
+            monitor.observe(e).unwrap();
+        }
+        let bytes = monitor.checkpoint(0).unwrap();
+        let config = LiveConfig {
+            spill_dir: Some(dir.clone()),
+            ..LiveConfig::default()
+        };
+        let (restored, _) = LiveAuditor::restore(auditor(), config, &bytes).unwrap();
+        assert_eq!(restored.orphans_swept(), 2);
+        assert!(!dir.join("HT-9-deadbeefdeadbeef.pclc").exists());
+        drop(restored);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

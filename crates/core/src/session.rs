@@ -95,6 +95,25 @@ pub struct SessionState {
     pub case_name: Option<String>,
 }
 
+/// The session's Algorithm-1 bookkeeping without the configuration set —
+/// the run-independent half of [`SessionState`]. The churn spill path
+/// pairs this with raw automaton [`StateId`]s (run-local) instead of
+/// owned [`Marked`] states, skipping the deep clone that makes
+/// [`SessionCore::export_state`] too expensive for eviction traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// Largest configuration-set size seen.
+    pub peak: usize,
+    /// Total successors explored (the `max_explored` budget's counter).
+    pub explored: usize,
+    /// Entries consumed so far.
+    pub consumed: usize,
+    /// Timestamp of the first fed entry (temporal-constraint anchor).
+    pub first_time: Option<Timestamp>,
+    /// Case label adopted from the first fed entry.
+    pub case_name: Option<String>,
+}
+
 /// The configuration set of one evidence step, in capture form.
 ///
 /// Evidence capture sits on Algorithm 1's per-entry hot path, so it must
@@ -752,6 +771,79 @@ impl SessionCore {
             first_time: self.first_time,
             case_name: self.case_name.clone(),
         }
+    }
+
+    /// The live configuration set as shared-automaton ids, or `None` under
+    /// the direct engine. Ids are run-local (see [`SessionMeta`]); with
+    /// [`SessionCore::export_meta`] they form the cheap churn checkpoint.
+    pub fn conf_ids(&self) -> Option<&[StateId]> {
+        match &self.confs {
+            ConfSet::Direct(_) => None,
+            ConfSet::Automaton { ids, .. } => Some(ids),
+        }
+    }
+
+    /// The bookkeeping half of [`SessionCore::export_state`], without
+    /// cloning any configuration state.
+    pub fn export_meta(&self) -> SessionMeta {
+        debug_assert!(
+            self.infringement.is_none(),
+            "closed sessions are retired, not checkpointed"
+        );
+        SessionMeta {
+            peak: self.peak,
+            explored: self.explored,
+            consumed: self.consumed,
+            first_time: self.first_time,
+            case_name: self.case_name.clone(),
+        }
+    }
+
+    /// Rebuild an automaton-engine session from raw state ids — the cheap
+    /// rehydrate matching [`SessionCore::conf_ids`] / `export_meta`.
+    ///
+    /// The ids must come from the same run and the same shared automaton
+    /// (which only ever grows, so any id this process issued stays valid);
+    /// an out-of-range id is rejected as a checkpoint error rather than
+    /// trusted. Edges are already compiled for every id the live set ever
+    /// held — `successors_traced` is then a cache hit — so the
+    /// [`PRE_EXPANDED`] invariant is restored without exploration work,
+    /// and like [`SessionCore::from_state`] none of it counts toward
+    /// `explored`.
+    pub fn from_interned(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        ids: Vec<StateId>,
+        meta: SessionMeta,
+    ) -> Result<SessionCore, CheckError> {
+        debug_assert!(matches!(opts.engine, Engine::Automaton));
+        let auto = encoded.automaton.clone();
+        let known = auto.len() as u64;
+        for &id in &ids {
+            if u64::from(id) >= known {
+                return Err(CheckError::Checkpoint {
+                    detail: format!("churn checkpoint id {id} outside automaton ({known} states)"),
+                });
+            }
+            auto.successors_traced(id, &encoded.observability, opts.weaknext, &Recorder::noop())?;
+        }
+        Ok(SessionCore {
+            opts,
+            confs: ConfSet::Automaton { auto, ids },
+            steps: Vec::new(),
+            peak: meta.peak,
+            explored: meta.explored,
+            consumed: meta.consumed,
+            first_time: meta.first_time,
+            infringement: None,
+            deadline: opts
+                .case_deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            recorder: Recorder::noop(),
+            case_name: meta.case_name,
+            evidence_steps: Vec::new(),
+            evidence_violation: None,
+        })
     }
 
     /// Rebuild a session from an exported state — the rehydrate half of

@@ -19,9 +19,28 @@ use cows::symbol::Symbol;
 use cows::StableHasher;
 use obs::Registry;
 
+/// How many entries [`ShardedMonitor::ingest`] observes between automatic
+/// resident-budget rebalances.
+const REBALANCE_EVERY: u64 = 4096;
+
 /// N independent [`LiveAuditor`]s behind a stable case-hash router.
+///
+/// The resident budget is adaptive: the per-shard `max_open_cases` from
+/// the config is pooled (`N × base`) and periodically redistributed in
+/// proportion to each shard's demand — open cases plus recent eviction
+/// pressure — so a hot shard borrows headroom an idle one is not using.
 pub struct ShardedMonitor {
     shards: Vec<LiveAuditor>,
+    /// Per-shard cap the pool was built from.
+    base_cap: usize,
+    /// Entries ingested since the last automatic rebalance.
+    since_rebalance: u64,
+    /// Per-shard eviction counters at the last rebalance (rate window).
+    evictions_then: Vec<u64>,
+    /// Budget redistributions performed.
+    rebalances: u64,
+    /// `rebalances` already pushed to metrics (delta tracking).
+    flushed_rebalances: u64,
 }
 
 /// Route a case to a shard: FNV-1a over the case name, reduced mod N.
@@ -43,6 +62,11 @@ impl ShardedMonitor {
             shards: (0..n)
                 .map(|i| LiveAuditor::with_config(auditor.clone(), shard_config(config, i)))
                 .collect(),
+            base_cap: config.max_open_cases.max(1),
+            since_rebalance: 0,
+            evictions_then: vec![0; n],
+            rebalances: 0,
+            flushed_rebalances: 0,
         }
     }
 
@@ -91,7 +115,75 @@ impl ShardedMonitor {
             events.extend(r?);
         }
         events.sort_by_key(|(i, _)| *i);
+        self.since_rebalance += entries.len() as u64;
+        if self.since_rebalance >= REBALANCE_EVERY {
+            self.since_rebalance = 0;
+            self.rebalance_caps()?;
+        }
         Ok(events.into_iter().map(|(_, e)| e).collect())
+    }
+
+    /// Redistribute the pooled resident budget (`N × max_open_cases`)
+    /// across shards in proportion to demand: each shard's open cases
+    /// plus its evictions since the previous rebalance (the pressure a
+    /// too-small cap shows up as). Every shard keeps a small floor so an
+    /// idle shard can still admit without immediately thrashing.
+    ///
+    /// [`ShardedMonitor::ingest`] calls this automatically every
+    /// [`REBALANCE_EVERY`] entries; it is public for drivers that feed
+    /// entries through [`ShardedMonitor::observe`] one at a time.
+    pub fn rebalance_caps(&mut self) -> Result<(), CheckError> {
+        let n = self.shards.len();
+        if n < 2 {
+            return Ok(());
+        }
+        let floor = self.base_cap.min(2);
+        let budget = self.base_cap * n;
+        let spread = budget - floor * n;
+        let demands: Vec<u64> = self
+            .shards
+            .iter()
+            .zip(&self.evictions_then)
+            .map(|(s, &then)| s.open_cases() as u64 + (s.stats().evictions - then))
+            .collect();
+        let total: u64 = demands.iter().sum();
+        let mut caps: Vec<usize> = if total == 0 {
+            vec![self.base_cap; n]
+        } else {
+            demands
+                .iter()
+                .map(|&d| floor + (spread as u64 * d / total) as usize)
+                .collect()
+        };
+        // Integer division leaves a few slots on the floor; hand them to
+        // the hottest shards so the pool is always fully allocated.
+        let mut leftover = budget.saturating_sub(caps.iter().sum());
+        let mut by_demand: Vec<usize> = (0..n).collect();
+        by_demand.sort_by_key(|&i| std::cmp::Reverse(demands[i]));
+        for &i in by_demand.iter().cycle().take(leftover.min(budget)) {
+            caps[i] += 1;
+            leftover -= 1;
+            if leftover == 0 {
+                break;
+            }
+        }
+        for (shard, cap) in self.shards.iter_mut().zip(caps) {
+            shard.set_resident_cap(cap);
+            shard.shrink_to_cap()?;
+        }
+        self.evictions_then = self.shards.iter().map(|s| s.stats().evictions).collect();
+        self.rebalances += 1;
+        Ok(())
+    }
+
+    /// Budget redistributions performed so far.
+    pub fn cap_rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Current per-shard resident caps (diagnostics and tests).
+    pub fn resident_caps(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.resident_cap()).collect()
     }
 
     /// Alarms across all shards, sorted by case name (shards race, so
@@ -104,21 +196,15 @@ impl ShardedMonitor {
         all
     }
 
-    /// Counter totals across all shards.
+    /// Counter totals across all shards, plus the monitor-level
+    /// rebalance count.
     pub fn stats(&self) -> LiveStats {
-        self.shards.iter().fold(LiveStats::default(), |acc, s| {
-            let v = s.stats();
-            LiveStats {
-                entries: acc.entries + v.entries,
-                alarms: acc.alarms + v.alarms,
-                after_alarm: acc.after_alarm + v.after_alarm,
-                unresolved: acc.unresolved + v.unresolved,
-                evictions: acc.evictions + v.evictions,
-                rehydrations: acc.rehydrations + v.rehydrations,
-                retired: acc.retired + v.retired,
-                spilled_bytes: acc.spilled_bytes + v.spilled_bytes,
-            }
-        })
+        let mut total = self
+            .shards
+            .iter()
+            .fold(LiveStats::default(), |acc, s| acc.plus(&s.stats()));
+        total.cap_rebalances = self.rebalances;
+        total
     }
 
     pub fn open_cases(&self) -> usize {
@@ -174,6 +260,20 @@ impl ShardedMonitor {
             s.flush_stats_into(&mut obs_shard);
             obs_shard.flush(registry);
         }
+        // The rebalance counter lives on the monitor, not a shard; same
+        // delta discipline.
+        if self.rebalances > self.flushed_rebalances {
+            let mut obs_shard = registry.shard();
+            crate::metrics::record_live_metrics(
+                &mut obs_shard,
+                &LiveStats {
+                    cap_rebalances: self.rebalances - self.flushed_rebalances,
+                    ..LiveStats::default()
+                },
+            );
+            obs_shard.flush(registry);
+            self.flushed_rebalances = self.rebalances;
+        }
         registry.set_gauge("live_open_cases", self.open_cases() as f64);
     }
 
@@ -214,7 +314,18 @@ impl ShardedMonitor {
             offset = offset.max(o);
             restored.push(monitor);
         }
-        Ok((ShardedMonitor { shards: restored }, offset))
+        let evictions_then = restored.iter().map(|s| s.stats().evictions).collect();
+        Ok((
+            ShardedMonitor {
+                shards: restored,
+                base_cap: config.max_open_cases.max(1),
+                since_rebalance: 0,
+                evictions_then,
+                rebalances: 0,
+                flushed_rebalances: 0,
+            },
+            offset,
+        ))
     }
 }
 
@@ -313,6 +424,38 @@ mod tests {
                 expected: 2,
             }) => {}
             other => panic!("expected shard-count mismatch, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn hot_shards_borrow_headroom_from_idle_ones() {
+        // Eight single-case observations all land wherever their shard
+        // hash says; with a tiny base cap the loaded shards show demand
+        // (open cases + evictions) and a manual rebalance must hand them
+        // budget from the idle ones — while conserving the pool.
+        let config = LiveConfig {
+            max_open_cases: 4,
+            ..LiveConfig::default()
+        };
+        let n = 3;
+        let mut sharded = ShardedMonitor::new(auditor(), &config, n);
+        let trail = figure4_trail();
+        sharded.ingest(trail.entries()).unwrap();
+        sharded.rebalance_caps().unwrap();
+        assert_eq!(sharded.cap_rebalances(), 1);
+        assert_eq!(sharded.stats().cap_rebalances, 1);
+        let caps = sharded.resident_caps();
+        assert_eq!(caps.iter().sum::<usize>(), 4 * n, "pool is conserved");
+        assert!(caps.iter().all(|&c| c >= 2), "every shard keeps the floor");
+        // Demand concentrates where the cases hashed; the busiest shard
+        // must hold at least as much budget as the emptiest.
+        let open: Vec<usize> = (0..n).map(|i| sharded.shard(i).open_cases()).collect();
+        let hottest = (0..n).max_by_key(|&i| open[i]).unwrap();
+        let coldest = (0..n).min_by_key(|&i| open[i]).unwrap();
+        assert!(caps[hottest] >= caps[coldest]);
+        // The capacity invariant holds after shrinking to the new caps.
+        for i in 0..n {
+            assert!(sharded.shard(i).open_cases() <= sharded.shard(i).resident_cap());
         }
     }
 

@@ -1,0 +1,779 @@
+//! The tiered spill store: where evicted cases go, cheaply.
+//!
+//! P12 profiled the old spill path — one `create_dir_all` + `fs::write`
+//! per eviction, one `read` + `remove_file` per rehydration — at tens of
+//! thousands of filesystem round trips per run. This store replaces it
+//! with two tiers:
+//!
+//! 1. **A compressed in-memory tier** (size-capped). Evicted blobs are
+//!    parked in a map; rehydrating from here is a pure memory operation
+//!    (`tier_hits`). Under churn — the P12 regime, where the same hot
+//!    cases thrash in and out — almost every rehydration is served here
+//!    and the disk is never touched. Compression is pressure-gated: blobs
+//!    park raw while the tier sits below half its budget (the codec costs
+//!    nothing in the common regime) and LZ-compress only once the
+//!    watermark is crossed, raw residents repacking before any demotion.
+//! 2. **A single append-only spill log**. When the memory tier overflows
+//!    its byte budget, the least-recently-spilled blobs are demoted into a
+//!    pending buffer and flushed to `spill.log` in coalesced batched
+//!    appends (one `write` per ~256 KiB, not per case). An in-memory
+//!    offset index serves reads; records orphaned by rehydration or
+//!    retirement become dead bytes, and when dead outweighs live the log
+//!    is compacted (rewrite + rename).
+//!
+//! The store is format-agnostic: blobs are opaque bytes, so the run-local
+//! `PCLE` churn envelope and the durable `PCLC` checkpoints (inserted by
+//! monitor restore) coexist; the reader dispatches on magic. The log is
+//! strictly run-scoped — created fresh, deleted on drop — and
+//! construction sweeps stale `*.pclc` per-case files and leftover logs
+//! that a previous run (or crash) left in the directory.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use cows::symbol::Symbol;
+
+/// Coalescing threshold: demoted blobs accumulate in the pending buffer
+/// until this many bytes are ready, then hit the log in one append.
+const FLUSH_BYTES: usize = 256 * 1024;
+
+/// Compact when the log carries more dead than live payload, but never
+/// for a trivially small log.
+const COMPACT_MIN_DEAD: u64 = 64 * 1024;
+
+/// Spill-store traffic counters, merged into
+/// [`crate::live::LiveStats`] by the monitor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Rehydrations served from the in-memory tier (no disk involved).
+    pub tier_hits: u64,
+    /// Blobs actually written to the spill log (the real disk evictions).
+    pub disk_demotions: u64,
+    /// Total bytes appended to the spill log.
+    pub log_bytes: u64,
+    /// Log compactions (rewrite + rename).
+    pub compactions: u64,
+}
+
+/// The open spill log plus its in-memory read index.
+struct SpillLog {
+    path: PathBuf,
+    file: fs::File,
+    /// `case -> (payload offset, payload length)`.
+    index: HashMap<Symbol, (u64, u32)>,
+    /// Append position.
+    tail: u64,
+    /// Payload bytes still reachable through the index.
+    live_bytes: u64,
+    /// Payload + header bytes orphaned by take/remove/replace.
+    dead_bytes: u64,
+}
+
+/// Record header in the log: case interner index + payload length.
+const REC_HEADER: u64 = 8;
+
+/// A two-tier store of evicted-case blobs, keyed by case symbol.
+pub struct SpillStore {
+    dir: Option<PathBuf>,
+    /// Byte budget of the (compressed) memory tier. Ignored when there is
+    /// no directory — with nowhere to demote to, the tier is unbounded,
+    /// which is the old `Spilled::Memory` behavior and the right default
+    /// for tests and bounded runs.
+    mem_cap: usize,
+    mem: HashMap<Symbol, (u64, Vec<u8>)>,
+    /// Demotion order: `(case, generation)` pairs; stale generations are
+    /// skipped, so re-spilled cases are only demoted at their newest slot.
+    mem_order: VecDeque<(Symbol, u64)>,
+    mem_bytes: usize,
+    generation: u64,
+    /// Demoted blobs awaiting a coalesced append.
+    pending: HashMap<Symbol, Vec<u8>>,
+    pending_bytes: usize,
+    log: Option<SpillLog>,
+    /// Stale files removed from the directory at construction.
+    orphans_swept: usize,
+    stats: SpillStats,
+}
+
+impl SpillStore {
+    /// Open a store over `dir` (`None` = memory only). Sweeps orphaned
+    /// `*.pclc` per-case spill files and stale `spill.log*` leftovers from
+    /// previous runs; the sweep is best-effort — an unreadable directory
+    /// just yields a store that will surface the IO error on first demote.
+    pub fn new(dir: Option<PathBuf>, mem_cap: usize) -> SpillStore {
+        let mut orphans_swept = 0;
+        if let Some(d) = &dir {
+            if let Ok(listing) = fs::read_dir(d) {
+                for entry in listing.flatten() {
+                    let name = entry.file_name();
+                    let name = name.to_string_lossy();
+                    if (name.ends_with(".pclc") || name.starts_with("spill.log"))
+                        && fs::remove_file(entry.path()).is_ok()
+                    {
+                        orphans_swept += 1;
+                    }
+                }
+            }
+        }
+        SpillStore {
+            dir,
+            mem_cap,
+            mem: HashMap::new(),
+            mem_order: VecDeque::new(),
+            mem_bytes: 0,
+            generation: 0,
+            pending: HashMap::new(),
+            pending_bytes: 0,
+            log: None,
+            orphans_swept,
+            stats: SpillStats::default(),
+        }
+    }
+
+    /// Stale spill files removed at construction (restore's orphan sweep).
+    pub fn orphans_swept(&self) -> usize {
+        self.orphans_swept
+    }
+
+    pub fn stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.mem.len() + self.pending.len() + self.log.as_ref().map_or(0, |l| l.index.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn contains(&self, case: Symbol) -> bool {
+        self.mem.contains_key(&case)
+            || self.pending.contains_key(&case)
+            || self
+                .log
+                .as_ref()
+                .is_some_and(|l| l.index.contains_key(&case))
+    }
+
+    /// Every spilled case, unordered.
+    pub fn cases(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self.mem.keys().copied().collect();
+        v.extend(self.pending.keys().copied());
+        if let Some(l) = &self.log {
+            v.extend(l.index.keys().copied());
+        }
+        v
+    }
+
+    /// Park a blob. Replaces any previous spill of the same case.
+    ///
+    /// Compression is pressure-gated: while the tier sits below half its
+    /// byte budget, blobs park raw (a tag byte and a memcpy — the common
+    /// churn regime, where the resident spill set is far smaller than the
+    /// budget, pays no codec at all). Once the tier passes the watermark,
+    /// new blobs compress on the way in and raw-parked ones compress on
+    /// their way out (see the overflow loop), so the budget is still
+    /// honored in actual bytes and the disk still receives compressed
+    /// records.
+    pub fn insert(&mut self, case: Symbol, payload: &[u8]) -> Result<(), String> {
+        self.forget(case);
+        let pressured =
+            self.dir.is_some() && (self.mem_bytes + payload.len()).saturating_mul(2) > self.mem_cap;
+        let blob = if pressured {
+            compress(payload)
+        } else {
+            let mut raw = Vec::with_capacity(payload.len() + 1);
+            raw.push(TAG_RAW);
+            raw.extend_from_slice(payload);
+            raw
+        };
+        self.mem_bytes += blob.len();
+        self.generation += 1;
+        self.mem_order.push_back((case, self.generation));
+        self.mem.insert(case, (self.generation, blob));
+        if self.dir.is_some() {
+            while self.mem_bytes > self.mem_cap {
+                let Some((victim, generation)) = self.mem_order.pop_front() else {
+                    break;
+                };
+                match self.mem.get(&victim) {
+                    Some(&(g, _)) if g == generation => {}
+                    _ => continue, // stale order slot: taken, removed or re-spilled
+                }
+                let (_, blob) = self.mem.remove(&victim).expect("checked above");
+                self.mem_bytes -= blob.len();
+                // A raw-parked blob compresses on its way out; when the
+                // reclaimed bytes alone bring the tier back under budget,
+                // it stays resident instead of touching disk. (If the
+                // data is incompressible the repack is a no-gain copy and
+                // the demotion proceeds — no retry loop.)
+                let blob = if blob.first() == Some(&TAG_RAW) {
+                    let packed = compress(&blob[1..]);
+                    if self.mem_bytes + packed.len() <= self.mem_cap {
+                        self.mem_bytes += packed.len();
+                        self.generation += 1;
+                        self.mem_order.push_back((victim, self.generation));
+                        self.mem.insert(victim, (self.generation, packed));
+                        continue;
+                    }
+                    packed
+                } else {
+                    blob
+                };
+                self.pending_bytes += blob.len();
+                self.pending.insert(victim, blob);
+            }
+            // A zero-byte memory tier means "nothing buffered": flush on
+            // every insert instead of coalescing.
+            let threshold = if self.mem_cap == 0 { 0 } else { FLUSH_BYTES };
+            if self.pending_bytes >= threshold && !self.pending.is_empty() {
+                self.flush_pending()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Take a blob out of the store (the rehydration read).
+    pub fn take(&mut self, case: Symbol) -> Result<Option<Vec<u8>>, String> {
+        if let Some((_, blob)) = self.mem.remove(&case) {
+            self.mem_bytes -= blob.len();
+            self.stats.tier_hits += 1;
+            return decompress(&blob).map(Some);
+        }
+        if let Some(blob) = self.pending.remove(&case) {
+            self.pending_bytes -= blob.len();
+            self.stats.tier_hits += 1; // never reached disk
+            return decompress(&blob).map(Some);
+        }
+        let Some(log) = &mut self.log else {
+            return Ok(None);
+        };
+        let Some((offset, len)) = log.index.remove(&case) else {
+            return Ok(None);
+        };
+        log.live_bytes -= u64::from(len);
+        log.dead_bytes += REC_HEADER + u64::from(len);
+        let mut blob = vec![0u8; len as usize];
+        log.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| log.file.read_exact(&mut blob))
+            .map_err(|e| format!("read spill log {}: {e}", log.path.display()))?;
+        self.maybe_compact()?;
+        decompress(&blob).map(Some)
+    }
+
+    /// Read a blob without removing it or touching the counters (used for
+    /// read-only snapshots and whole-monitor checkpoints).
+    pub fn peek(&self, case: Symbol) -> Result<Option<Vec<u8>>, String> {
+        if let Some((_, blob)) = self.mem.get(&case) {
+            return decompress(blob).map(Some);
+        }
+        if let Some(blob) = self.pending.get(&case) {
+            return decompress(blob).map(Some);
+        }
+        let Some(log) = &self.log else {
+            return Ok(None);
+        };
+        let Some(&(offset, len)) = log.index.get(&case) else {
+            return Ok(None);
+        };
+        // A fresh read handle keeps peeks `&self`; they are rare (operator
+        // snapshots, whole-monitor checkpoints), never the churn path.
+        let mut file = fs::File::open(&log.path)
+            .map_err(|e| format!("open spill log {}: {e}", log.path.display()))?;
+        let mut blob = vec![0u8; len as usize];
+        file.seek(SeekFrom::Start(offset))
+            .and_then(|_| file.read_exact(&mut blob))
+            .map_err(|e| format!("read spill log {}: {e}", log.path.display()))?;
+        decompress(&blob).map(Some)
+    }
+
+    /// Drop a case from every tier (retirement cleanup). Compacts the log
+    /// when the removal tips the dead-byte balance.
+    pub fn remove(&mut self, case: Symbol) -> Result<(), String> {
+        self.forget(case);
+        self.maybe_compact()
+    }
+
+    /// Untrack `case` everywhere without compaction.
+    fn forget(&mut self, case: Symbol) {
+        if let Some((_, blob)) = self.mem.remove(&case) {
+            self.mem_bytes -= blob.len();
+        }
+        if let Some(blob) = self.pending.remove(&case) {
+            self.pending_bytes -= blob.len();
+        }
+        if let Some(log) = &mut self.log {
+            if let Some((_, len)) = log.index.remove(&case) {
+                log.live_bytes -= u64::from(len);
+                log.dead_bytes += REC_HEADER + u64::from(len);
+            }
+        }
+    }
+
+    /// One coalesced append of everything pending.
+    fn flush_pending(&mut self) -> Result<(), String> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let dir = self
+            .dir
+            .clone()
+            .expect("pending only accumulates with a dir");
+        if self.log.is_none() {
+            fs::create_dir_all(&dir)
+                .map_err(|e| format!("create spill dir {}: {e}", dir.display()))?;
+            let path = dir.join("spill.log");
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .read(true)
+                .write(true)
+                .open(&path)
+                .map_err(|e| format!("create spill log {}: {e}", path.display()))?;
+            self.log = Some(SpillLog {
+                path,
+                file,
+                index: HashMap::new(),
+                tail: 0,
+                live_bytes: 0,
+                dead_bytes: 0,
+            });
+        }
+        let log = self.log.as_mut().expect("created above");
+        let mut batch =
+            Vec::with_capacity(self.pending_bytes + REC_HEADER as usize * self.pending.len());
+        let mut drained: Vec<(Symbol, Vec<u8>)> = self.pending.drain().collect();
+        drained.sort_by_key(|(c, _)| *c);
+        for (case, blob) in drained {
+            let len = u32::try_from(blob.len()).expect("spill blobs are far below 4 GiB");
+            batch.extend_from_slice(&case.index().to_le_bytes());
+            batch.extend_from_slice(&len.to_le_bytes());
+            let payload_at = log.tail + batch.len() as u64;
+            batch.extend_from_slice(&blob);
+            if let Some((_, old)) = log.index.insert(case, (payload_at, len)) {
+                log.live_bytes -= u64::from(old);
+                log.dead_bytes += REC_HEADER + u64::from(old);
+            }
+            log.live_bytes += u64::from(len);
+            self.stats.disk_demotions += 1;
+        }
+        log.file
+            .seek(SeekFrom::Start(log.tail))
+            .and_then(|_| log.file.write_all(&batch))
+            .map_err(|e| format!("append spill log {}: {e}", log.path.display()))?;
+        log.tail += batch.len() as u64;
+        self.stats.log_bytes += batch.len() as u64;
+        self.pending_bytes = 0;
+        Ok(())
+    }
+
+    /// Rewrite the log with only live records once dead bytes dominate.
+    fn maybe_compact(&mut self) -> Result<(), String> {
+        let Some(log) = &self.log else {
+            return Ok(());
+        };
+        if log.dead_bytes < COMPACT_MIN_DEAD || log.dead_bytes <= log.live_bytes {
+            return Ok(());
+        }
+        let log = self.log.as_mut().expect("checked above");
+        let mut entries: Vec<(Symbol, u64, u32)> = log
+            .index
+            .iter()
+            .map(|(&c, &(off, len))| (c, off, len))
+            .collect();
+        entries.sort_by_key(|&(_, off, _)| off);
+        let mut rewritten = Vec::new();
+        let mut index = HashMap::with_capacity(entries.len());
+        let mut live_bytes = 0u64;
+        for (case, offset, len) in entries {
+            let mut blob = vec![0u8; len as usize];
+            log.file
+                .seek(SeekFrom::Start(offset))
+                .and_then(|_| log.file.read_exact(&mut blob))
+                .map_err(|e| format!("compact: read {}: {e}", log.path.display()))?;
+            rewritten.extend_from_slice(&case.index().to_le_bytes());
+            rewritten.extend_from_slice(&len.to_le_bytes());
+            index.insert(case, (rewritten.len() as u64, len));
+            rewritten.extend_from_slice(&blob);
+            live_bytes += u64::from(len);
+        }
+        let tmp = log.path.with_extension("log.tmp");
+        fs::write(&tmp, &rewritten)
+            .map_err(|e| format!("compact: write {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, &log.path)
+            .map_err(|e| format!("compact: rename {}: {e}", log.path.display()))?;
+        log.file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&log.path)
+            .map_err(|e| format!("compact: reopen {}: {e}", log.path.display()))?;
+        log.tail = rewritten.len() as u64;
+        log.index = index;
+        log.live_bytes = live_bytes;
+        log.dead_bytes = 0;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+}
+
+impl Drop for SpillStore {
+    /// The log is run-scoped scratch, never a durability surface — remove
+    /// it so nothing lingers for the next run's orphan sweep.
+    fn drop(&mut self) {
+        if let Some(log) = &self.log {
+            let _ = fs::remove_file(&log.path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compression: a dependency-free LZSS
+// ---------------------------------------------------------------------------
+//
+// Checkpoint blobs are full of repeated structure (shared path prefixes,
+// runs of similar entries), so even a minimal LZ pass roughly halves them
+// — which doubles the effective capacity of the memory tier, the number
+// that decides whether churn ever reaches disk. Greedy matching against a
+// single-slot 3-byte-prefix hash table; matches are 2 bytes (12-bit
+// backward distance, 4-bit length for 3..=18), literals 1 byte, flags
+// packed 8 per control byte. If that fails to win, the blob is stored raw
+// behind a 1-byte tag, so compression never costs more than one byte.
+
+const TAG_RAW: u8 = 0;
+const TAG_LZ: u8 = 1;
+const WINDOW: usize = 1 << 12;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = MIN_MATCH + 15;
+
+#[inline]
+fn prefix_hash(bytes: &[u8]) -> usize {
+    let p = u32::from(bytes[0]) | u32::from(bytes[1]) << 8 | u32::from(bytes[2]) << 16;
+    (p.wrapping_mul(0x9e37_79b1) >> 19) as usize & (WINDOW - 1)
+}
+
+/// Compress `input`; the result always round-trips through [`decompress`].
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(TAG_LZ);
+    out.extend_from_slice(&(u32::try_from(input.len()).expect("blob < 4 GiB")).to_le_bytes());
+    let mut table = [usize::MAX; WINDOW];
+    let mut i = 0usize;
+    let mut flags_at = usize::MAX;
+    let mut flag_count = 8u8;
+    while i < input.len() {
+        if flag_count == 8 {
+            flags_at = out.len();
+            out.push(0);
+            flag_count = 0;
+        }
+        let mut matched = 0usize;
+        let mut distance = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let slot = prefix_hash(&input[i..]);
+            let candidate = table[slot];
+            table[slot] = i;
+            if candidate != usize::MAX && i - candidate <= WINDOW && candidate < i {
+                let limit = MAX_MATCH.min(input.len() - i);
+                let mut l = 0;
+                while l < limit && input[candidate + l] == input[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH {
+                    matched = l;
+                    distance = i - candidate;
+                }
+            }
+        }
+        if matched >= MIN_MATCH {
+            // Flag bit 0 = match; 12-bit distance-1 | 4-bit length-3.
+            let token = ((distance - 1) as u16) << 4 | (matched - MIN_MATCH) as u16;
+            out.extend_from_slice(&token.to_le_bytes());
+            i += matched;
+        } else {
+            out[flags_at] |= 1 << flag_count;
+            out.push(input[i]);
+            i += 1;
+        }
+        flag_count += 1;
+    }
+    if out.len() > input.len() {
+        let mut raw = Vec::with_capacity(input.len() + 1);
+        raw.push(TAG_RAW);
+        raw.extend_from_slice(input);
+        return raw;
+    }
+    out
+}
+
+/// Invert [`compress`].
+pub fn decompress(blob: &[u8]) -> Result<Vec<u8>, String> {
+    match blob.split_first() {
+        Some((&TAG_RAW, rest)) => Ok(rest.to_vec()),
+        Some((&TAG_LZ, rest)) => {
+            if rest.len() < 4 {
+                return Err("compressed blob truncated before length".into());
+            }
+            let expect = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            let mut out = Vec::with_capacity(expect);
+            let mut pos = 4usize;
+            let mut flags = 0u8;
+            let mut flag_count = 8u8;
+            while out.len() < expect {
+                if flag_count == 8 {
+                    flags = *rest.get(pos).ok_or("compressed blob truncated at flags")?;
+                    pos += 1;
+                    flag_count = 0;
+                }
+                if flags >> flag_count & 1 == 1 {
+                    out.push(
+                        *rest
+                            .get(pos)
+                            .ok_or("compressed blob truncated at literal")?,
+                    );
+                    pos += 1;
+                } else {
+                    let lo = *rest.get(pos).ok_or("compressed blob truncated at match")?;
+                    let hi = *rest
+                        .get(pos + 1)
+                        .ok_or("compressed blob truncated at match")?;
+                    pos += 2;
+                    let token = u16::from_le_bytes([lo, hi]);
+                    let distance = (token >> 4) as usize + 1;
+                    let length = (token & 0xf) as usize + MIN_MATCH;
+                    if distance > out.len() {
+                        return Err("match distance before start of output".into());
+                    }
+                    let start = out.len() - distance;
+                    for k in 0..length {
+                        // Overlapping copies are the RLE case; index math
+                        // stays valid because out grows as we push.
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+                flag_count += 1;
+            }
+            if out.len() != expect {
+                return Err("decompressed length mismatch".into());
+            }
+            Ok(out)
+        }
+        _ => Err("empty or untagged compressed blob".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cows::sym;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("purposectl-tests")
+            .join(format!("spill-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn compression_round_trips() {
+        let samples: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"abcabcabcabcabcabc".to_vec(),
+            vec![0u8; 10_000],
+            (0..=255u8).cycle().take(4096).collect(),
+            b"PCLE[Jane]EPR/Clinical[Jane]EPR/Clinical[Jane]EPR/Demographics".to_vec(),
+        ];
+        for s in samples {
+            let c = compress(&s);
+            assert_eq!(decompress(&c).unwrap(), s, "sample len {}", s.len());
+            assert!(c.len() <= s.len() + 5, "never more than tag+len overhead");
+        }
+    }
+
+    #[test]
+    fn repetitive_blobs_actually_shrink() {
+        let blob: Vec<u8> = b"T06 HT-99 201007060900 success "
+            .iter()
+            .cycle()
+            .take(4096)
+            .copied()
+            .collect();
+        let c = compress(&blob);
+        assert!(c.len() * 2 < blob.len(), "{} vs {}", c.len(), blob.len());
+    }
+
+    #[test]
+    fn memory_only_store_round_trips() {
+        let mut store = SpillStore::new(None, 0);
+        let payload = b"hello spill".to_vec();
+        store.insert(sym("S-1"), &payload).unwrap();
+        assert!(store.contains(sym("S-1")));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.peek(sym("S-1")).unwrap().unwrap(), payload);
+        assert_eq!(store.take(sym("S-1")).unwrap().unwrap(), payload);
+        assert_eq!(store.stats().tier_hits, 1);
+        assert_eq!(store.stats().disk_demotions, 0);
+        assert!(store.is_empty());
+        assert!(store.take(sym("S-1")).unwrap().is_none());
+    }
+
+    #[test]
+    fn overflowing_the_memory_tier_demotes_to_the_log() {
+        let dir = scratch("demote");
+        // A tiny memory tier and an incompressible payload force demotion;
+        // FLUSH_BYTES is reached after enough inserts.
+        let mut store = SpillStore::new(Some(dir.clone()), 1024);
+        let payloads: Vec<(Symbol, Vec<u8>)> = (0..600u32)
+            .map(|i| {
+                let case = sym(&format!("D-{i}"));
+                // Hash-mixed bytes: no short repeats, so LZSS falls back
+                // to raw and the pending buffer really reaches FLUSH_BYTES.
+                let payload: Vec<u8> = (0..700u64)
+                    .map(|j| {
+                        let mut h = u64::from(i) * 700 + j;
+                        h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                        h = (h ^ (h >> 29)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+                        (h ^ (h >> 32)) as u8
+                    })
+                    .collect();
+                (case, payload)
+            })
+            .collect();
+        for (case, payload) in &payloads {
+            store.insert(*case, payload).unwrap();
+        }
+        assert!(store.stats().disk_demotions > 0, "log must be reached");
+        assert!(store.stats().log_bytes > 0);
+        assert!(dir.join("spill.log").exists());
+        // Every blob still reads back, from whichever tier holds it.
+        for (case, payload) in &payloads {
+            assert_eq!(store.peek(*case).unwrap().as_ref(), Some(payload));
+            assert_eq!(store.take(*case).unwrap().as_ref(), Some(payload));
+        }
+        assert!(store.is_empty());
+        drop(store);
+        assert!(!dir.join("spill.log").exists(), "log removed on drop");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compression_is_pressure_gated() {
+        let dir = scratch("pressure");
+        // Highly compressible payload: LZSS would shrink it ~10x, so the
+        // stored size tells us whether the codec ran.
+        let payload: Vec<u8> = b"T06 HT-99 201007060900 success "
+            .iter()
+            .cycle()
+            .take(2048)
+            .copied()
+            .collect();
+
+        // Headroom: a roomy budget parks the blob raw (tag + payload).
+        let mut roomy = SpillStore::new(Some(dir.clone()), 1024 * 1024);
+        roomy.insert(sym("P-raw"), &payload).unwrap();
+        assert_eq!(roomy.mem_bytes, payload.len() + 1, "parked raw");
+        assert_eq!(roomy.take(sym("P-raw")).unwrap().unwrap(), payload);
+        drop(roomy);
+
+        // Pressure: a budget under 2x the payload compresses on insert,
+        // and the compressible blob stays resident — no disk involved.
+        let mut tight = SpillStore::new(Some(dir.clone()), 3000);
+        tight.insert(sym("P-lz"), &payload).unwrap();
+        assert!(
+            tight.mem_bytes * 2 < payload.len(),
+            "compressed in place ({} B of {} B)",
+            tight.mem_bytes,
+            payload.len()
+        );
+        assert_eq!(tight.stats().disk_demotions, 0);
+        assert_eq!(tight.take(sym("P-lz")).unwrap().unwrap(), payload);
+        drop(tight);
+
+        // Overflow: a raw-parked blob repacks on its way out of a filling
+        // tier; when compression alone reclaims the budget it stays
+        // resident instead of demoting. P-0 parks raw under the watermark,
+        // the Q-i compress past the cap, and the overflow squeezes P-0.
+        let mut filling = SpillStore::new(Some(dir.clone()), 6000);
+        filling.insert(sym("P-0"), &payload).unwrap();
+        assert_eq!(filling.mem_bytes, payload.len() + 1, "parked raw");
+        for i in 0..20 {
+            filling.insert(sym(&format!("Q-{i}")), &payload).unwrap();
+        }
+        assert!(filling.mem_bytes <= 6000, "budget honored");
+        assert_eq!(filling.stats().disk_demotions, 0, "repack avoided disk");
+        assert_eq!(filling.take(sym("P-0")).unwrap().unwrap(), payload);
+        for i in 0..20 {
+            let got = filling.take(sym(&format!("Q-{i}"))).unwrap().unwrap();
+            assert_eq!(got, payload);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn removals_trigger_compaction() {
+        let dir = scratch("compact");
+        let mut store = SpillStore::new(Some(dir.clone()), 0);
+        let payload: Vec<u8> = (0..4000u32)
+            .map(|j| j.wrapping_mul(2654435761) as u8)
+            .collect();
+        for i in 0..200 {
+            store.insert(sym(&format!("C-{i}")), &payload).unwrap();
+        }
+        // Force everything pending onto disk by crossing the flush line.
+        assert!(store.stats().disk_demotions > 0);
+        for i in 0..190 {
+            store.remove(sym(&format!("C-{i}"))).unwrap();
+        }
+        assert!(
+            store.stats().compactions > 0,
+            "dead bytes must trigger compaction"
+        );
+        for i in 190..200 {
+            let case = sym(&format!("C-{i}"));
+            if store.contains(case) {
+                assert_eq!(store.take(case).unwrap().unwrap(), payload);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn construction_sweeps_orphaned_spill_files() {
+        let dir = scratch("orphans");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("HT-1-0123456789abcdef.pclc"), b"stale").unwrap();
+        fs::write(dir.join("spill.log"), b"stale log").unwrap();
+        fs::write(dir.join("keep.txt"), b"unrelated").unwrap();
+        let store = SpillStore::new(Some(dir.clone()), 0);
+        assert_eq!(store.orphans_swept(), 2);
+        assert!(!dir.join("HT-1-0123456789abcdef.pclc").exists());
+        assert!(!dir.join("spill.log").exists());
+        assert!(dir.join("keep.txt").exists(), "sweep is format-scoped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_log_reads_survive_replacement() {
+        let dir = scratch("replace");
+        let mut store = SpillStore::new(Some(dir.clone()), 0);
+        let a: Vec<u8> = (0..3000u32).map(|j| (j * 31) as u8).collect();
+        let b: Vec<u8> = (0..3000u32).map(|j| (j * 37) as u8).collect();
+        for i in 0..120 {
+            store.insert(sym(&format!("R-{i}")), &a).unwrap();
+        }
+        for i in 0..120 {
+            store.insert(sym(&format!("R-{i}")), &b).unwrap();
+        }
+        assert_eq!(store.len(), 120, "replacement must not double-count");
+        for i in 0..120 {
+            assert_eq!(store.take(sym(&format!("R-{i}"))).unwrap().unwrap(), b);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -69,6 +69,33 @@ impl Symbol {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuild a symbol from its [`Symbol::index`]. Returns `None` for an
+    /// index the interner never issued. Only meaningful within the run that
+    /// produced the index — this exists for *in-memory* encodings (the
+    /// live monitor's churn envelope), never for anything persisted.
+    pub fn try_from_index(index: u32) -> Option<Symbol> {
+        if index < Symbol::interned_len() {
+            Some(Symbol(index))
+        } else {
+            None
+        }
+    }
+
+    /// How many symbols the interner has issued so far. The interner only
+    /// grows, so a decoder validating many indices can snapshot this once
+    /// and check each against the bound via [`Symbol::from_index_below`]
+    /// instead of taking the interner lock per symbol.
+    pub fn interned_len() -> u32 {
+        interner().read().strings.len() as u32
+    }
+
+    /// Lock-free [`Symbol::try_from_index`] against a caller-held
+    /// [`Symbol::interned_len`] snapshot. Sound for any snapshot taken
+    /// *after* the indices were issued: indices are never reused.
+    pub fn from_index_below(index: u32, known: u32) -> Option<Symbol> {
+        (index < known).then_some(Symbol(index))
+    }
 }
 
 impl serde::Serialize for Symbol {
@@ -143,6 +170,13 @@ mod tests {
         // Ordering is by interner index, not lexicographic; it only needs to
         // be a total order stable within the run.
         assert_eq!(a.cmp(&b), a.index().cmp(&b.index()));
+    }
+
+    #[test]
+    fn index_round_trips_within_a_run() {
+        let s = sym("index-round-trip");
+        assert_eq!(Symbol::try_from_index(s.index()), Some(s));
+        assert_eq!(Symbol::try_from_index(u32::MAX), None);
     }
 
     #[test]

@@ -99,10 +99,18 @@ impl FromStr for ObjectId {
                 Some(Symbol::new(name))
             }
         };
-        Ok(ObjectId {
-            subject,
-            path: split_path(rest),
-        })
+        let path = split_path(rest);
+        // Brackets are structural (they delimit the subject prefix): a
+        // segment containing one would render to a string that re-parses
+        // differently — e.g. `[a]b` as a first segment reads back as
+        // subject `a`, path `b`. Reject instead of round-tripping wrong.
+        if path.iter().any(|seg| seg.as_str().contains(['[', ']'])) {
+            return Err(ObjectParseError {
+                input: s.into(),
+                reason: "brackets are reserved for the subject prefix",
+            });
+        }
+        Ok(ObjectId { subject, path })
     }
 }
 

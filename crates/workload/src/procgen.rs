@@ -83,8 +83,11 @@ impl Gen<'_> {
     /// Generate a block and return its (entry, exit) nodes; the caller
     /// wires flows into entry and out of exit.
     fn block(&mut self, rng: &mut StdRng, depth: usize) -> (NodeId, NodeId) {
-        // Segment count: 1–3 per block.
-        let segments = rng.gen_range(1..=3);
+        // Segment count: 1–3 per block, never more than the remaining task
+        // budget — so a purely sequential config yields exactly
+        // `target_tasks` (gateway fan-out can still overshoot slightly).
+        let cap = self.tasks_left.max(1) as usize;
+        let segments = rng.gen_range(1..=3usize).min(cap);
         let mut entry: Option<NodeId> = None;
         let mut prev: Option<NodeId> = None;
         for _ in 0..segments {

@@ -1,0 +1,152 @@
+//! Churn regression suite (CI job `churn`): a scaled-down P12 hospital
+//! day replayed through the sharded live monitor with the resident set
+//! capped far below peak concurrency, so every shard is under constant
+//! eviction pressure. All invariants are counter-based — a slow runner
+//! must never flake this suite — and mirror the P13 acceptance criteria:
+//! the churn machinery demonstrably engages, the tiered spill store keeps
+//! rehydrations off the disk path, and none of it is visible in the
+//! verdicts or the alarm stream.
+
+use purpose_control::auditor::{Auditor, CaseOutcome, ProcessRegistry};
+use purpose_control::parallel::audit_parallel;
+use purpose_control::replay::Verdict;
+use purpose_control::{LiveConfig, ShardedMonitor};
+use workload::hospital::{generate_day, HospitalConfig};
+use workload::stream::{interleave, peak_concurrency};
+
+use audit::entry::LogEntry;
+use bpmn::models::{clinical_trial, healthcare_treatment};
+use policy::samples::{
+    clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+};
+
+const ENTRIES: usize = 6_000;
+const SHARDS: usize = 2;
+
+fn hospital_auditor() -> Auditor {
+    let mut registry = ProcessRegistry::new();
+    registry.register(treatment(), healthcare_treatment());
+    registry.register(clinical_trial_purpose(), clinical_trial());
+    registry.add_case_prefix("HT-", treatment());
+    registry.add_case_prefix("CT-", clinical_trial_purpose());
+    Auditor::new(registry, extended_hospital_policy(), hospital_context())
+}
+
+/// The P12 workload at CI scale.
+fn churn_stream() -> (Vec<LogEntry>, usize, audit::trail::AuditTrail) {
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: ENTRIES,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    let stream = interleave(&day.trail);
+    let peak = peak_concurrency(&stream);
+    (stream, peak, day.trail)
+}
+
+/// Monitor config with the bench's cap rule (`peak / 8`, floor 2) and a
+/// monitor-private spill directory (spill logs are run-scoped, so
+/// concurrent monitors must not share one).
+fn churn_config(peak: usize, tag: &str) -> LiveConfig {
+    let dir = std::env::temp_dir()
+        .join("purposectl-tests")
+        .join(format!("churn-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    LiveConfig {
+        max_open_cases: (peak / 8).max(2),
+        spill_dir: Some(dir),
+        ..LiveConfig::default()
+    }
+}
+
+#[test]
+fn churn_counters_hold_and_verdicts_match_batch() {
+    let (stream, peak, trail) = churn_stream();
+    let config = churn_config(peak, "counters");
+    let mut live = ShardedMonitor::new(hospital_auditor(), &config, SHARDS);
+    live.ingest(&stream).unwrap();
+    let stats = live.stats();
+
+    // Pressure invariants: the cap bites and cases churn through the
+    // spill store, so the counters below measure a loaded system.
+    assert!(stats.evictions > 0, "the memory bound must bite");
+    assert!(stats.rehydrations > 0, "evicted cases must come back");
+
+    // Tier invariant: rehydration is served from the compressed memory
+    // tier; disk demotions stay at least an order of magnitude below the
+    // eviction count (the P13 "disk evictions reduced >= 10x" criterion).
+    assert!(
+        stats.spill_tier_hits > 0,
+        "the memory tier must serve rehydrations"
+    );
+    assert!(
+        stats.spill_disk_demotions * 10 <= stats.evictions,
+        "disk demotions ({}) must stay >= 10x below evictions ({})",
+        stats.spill_disk_demotions,
+        stats.evictions
+    );
+
+    // Verdict invariant: byte-for-byte the batch auditor's outcome.
+    let batch = audit_parallel(&hospital_auditor(), &trail, 2);
+    for c in &batch.cases {
+        let live_label = match live.snapshot(c.case) {
+            None => "unresolved".to_string(),
+            Some(Err(e)) => format!("failed: {e}"),
+            Some(Ok(check)) => match check.verdict {
+                Verdict::Compliant { can_complete } => format!("compliant/{can_complete}"),
+                Verdict::Infringement(inf) => format!("infringement@{}", inf.entry_index),
+            },
+        };
+        let batch_label = match &c.outcome {
+            CaseOutcome::Compliant { can_complete } => format!("compliant/{can_complete}"),
+            CaseOutcome::Infringement { infringement, .. } => {
+                format!("infringement@{}", infringement.entry_index)
+            }
+            CaseOutcome::Unresolved(_) => "unresolved".to_string(),
+            other => format!("{other:?}"),
+        };
+        assert_eq!(
+            batch_label, live_label,
+            "case {} disagrees between batch and live",
+            c.case
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_alarm_identical_under_churn() {
+    let (stream, peak, _) = churn_stream();
+
+    let mut straight =
+        ShardedMonitor::new(hospital_auditor(), &churn_config(peak, "straight"), SHARDS);
+    straight.ingest(&stream).unwrap();
+
+    let mid = stream.len() / 2;
+    let mut first = ShardedMonitor::new(hospital_auditor(), &churn_config(peak, "first"), SHARDS);
+    first.ingest(&stream[..mid]).unwrap();
+    assert!(
+        first.stats().evictions > 0,
+        "the checkpoint must be taken under pressure"
+    );
+    let ckpt = first.checkpoint(mid as u64).unwrap();
+    drop(first);
+
+    let (mut resumed, offset) = ShardedMonitor::restore(
+        hospital_auditor(),
+        &churn_config(peak, "resumed"),
+        SHARDS,
+        &ckpt,
+    )
+    .unwrap();
+    assert_eq!(offset, mid as u64);
+    resumed.ingest(&stream[mid..]).unwrap();
+
+    let straight_alarms: Vec<_> = straight.alarms().iter().map(|(c, _)| *c).collect();
+    let resumed_alarms: Vec<_> = resumed.alarms().iter().map(|(c, _)| *c).collect();
+    assert_eq!(
+        straight_alarms, resumed_alarms,
+        "resume changed the alarm stream"
+    );
+}

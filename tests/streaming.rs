@@ -139,6 +139,153 @@ fn evicting_live_monitor_matches_batch_verdicts_for_any_arrival_order() {
     }
 }
 
+/// Every churn-path configuration must be invisible in the verdicts: the
+/// hysteresis shield, the compressed in-memory spill tier and the
+/// append-only spill log are throughput machinery, not semantics. Each
+/// configuration replays the chaos orders and must reproduce the batch
+/// labels byte-for-byte while its distinguishing counter actually fires.
+#[test]
+fn churn_path_configurations_are_verdict_invisible() {
+    let trail = figure4_trail();
+    let batch = batch_labels(&hospital_auditor(), &trail);
+    let scratch = std::env::temp_dir()
+        .join("purposectl-tests")
+        .join(format!("streaming-churn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let configs: Vec<(&str, LiveConfig)> = vec![
+        (
+            "debounce off",
+            LiveConfig {
+                max_open_cases: 2,
+                eviction_debounce: None,
+                ..LiveConfig::default()
+            },
+        ),
+        (
+            "aggressive debounce",
+            LiveConfig {
+                max_open_cases: 2,
+                eviction_debounce: Some(1024),
+                ..LiveConfig::default()
+            },
+        ),
+        (
+            "compressed mem tier",
+            LiveConfig {
+                max_open_cases: 2,
+                spill_dir: Some(scratch.join("mem-tier")),
+                mem_spill_bytes: 64 * 1024 * 1024,
+                ..LiveConfig::default()
+            },
+        ),
+        (
+            "spill log",
+            LiveConfig {
+                max_open_cases: 2,
+                spill_dir: Some(scratch.join("log")),
+                mem_spill_bytes: 0,
+                ..LiveConfig::default()
+            },
+        ),
+    ];
+
+    for (context, config) in &configs {
+        // Per-seed counters vary with the interleaving; the machinery must
+        // demonstrably engage somewhere across the chaos orders.
+        let (mut avoided, mut tier_hits, mut demotions) = (0u64, 0u64, 0u64);
+        for seed in SEEDS {
+            let order = chaos_interleave(&trail, seed);
+            let mut monitor = LiveAuditor::with_config(hospital_auditor(), config.clone());
+            for e in &order {
+                monitor.observe(e).unwrap();
+            }
+            let stats = monitor.stats();
+            avoided += stats.evictions_avoided;
+            tier_hits += stats.spill_tier_hits;
+            demotions += stats.spill_disk_demotions;
+            assert!(
+                stats.evictions > 0,
+                "[{context} seed {seed}] the memory bound must bite"
+            );
+            let live: BTreeMap<Symbol, String> = trail
+                .cases()
+                .into_iter()
+                .map(|c| (c, live_label(&monitor, c)))
+                .collect();
+            assert_eq!(
+                batch, live,
+                "[{context} seed {seed}] live verdicts drifted from batch"
+            );
+        }
+        match *context {
+            "aggressive debounce" => assert!(
+                avoided > 0,
+                "the shield must redirect at least one eviction across the seeds"
+            ),
+            "compressed mem tier" => assert!(
+                tier_hits > 0 && demotions == 0,
+                "rehydrations must be served from memory"
+            ),
+            "spill log" => assert!(demotions > 0, "the append-only log must be exercised"),
+            _ => {}
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Checkpoint in the middle of a chaos replay — with the spill log
+/// populated — restore into a fresh monitor over a fresh directory, finish
+/// the stream, and the verdicts must still be the batch verdicts.
+#[test]
+fn checkpoint_restore_over_a_populated_spill_log_preserves_verdicts() {
+    let trail = figure4_trail();
+    let batch = batch_labels(&hospital_auditor(), &trail);
+    let scratch = std::env::temp_dir()
+        .join("purposectl-tests")
+        .join(format!("streaming-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    for seed in SEEDS {
+        let order = chaos_interleave(&trail, seed);
+        let half = order.len() / 2;
+        let config = |leg: &str| LiveConfig {
+            max_open_cases: 2,
+            spill_dir: Some(scratch.join(format!("seed-{seed}-{leg}"))),
+            mem_spill_bytes: 0,
+            ..LiveConfig::default()
+        };
+
+        let mut first = LiveAuditor::with_config(hospital_auditor(), config("a"));
+        for e in &order[..half] {
+            first.observe(e).unwrap();
+        }
+        assert!(
+            first.spilled_cases() > 0 && first.stats().spill_disk_demotions > 0,
+            "[seed {seed}] the checkpoint must be taken over a populated spill log"
+        );
+        let blob = first.checkpoint(half as u64).unwrap();
+        drop(first);
+
+        let (mut resumed, offset) =
+            LiveAuditor::restore(hospital_auditor(), config("b"), &blob).unwrap();
+        assert_eq!(offset, half as u64);
+        for e in &order[half..] {
+            resumed.observe(e).unwrap();
+        }
+        let live: BTreeMap<Symbol, String> = trail
+            .cases()
+            .into_iter()
+            .map(|c| (c, live_label(&resumed, c)))
+            .collect();
+        assert_eq!(
+            batch, live,
+            "[seed {seed}] restored monitor drifted from batch"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 #[test]
 fn sharded_monitor_matches_batch_verdicts_under_chaos_interleaving() {
     let trail = figure4_trail();
