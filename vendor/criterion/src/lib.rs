@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Keeps the workspace's `benches/` targets compiling and runnable with
+//! no registry access: the statistical machinery is replaced by a short
+//! fixed-iteration timing loop that prints one line per benchmark. The
+//! serious numbers in this repo come from `crates/bench/src/bin/report.rs`
+//! (which does its own timing); these bench targets are smoke-level.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmarks per-`iter` timing with a handful of passes.
+pub struct Bencher {
+    iters: u32,
+    last_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up pass, then the timed passes.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / f64::from(self.iters);
+    }
+}
+
+/// Throughput annotation, accepted and echoed but not rate-normalized.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 3,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        run_one(&name, 3, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion floors at 10 samples; this harness just bounds work.
+        self.sample_size = (n as u32).clamp(1, 10);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, iters: u32, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iters,
+        last_ns: 0.0,
+    };
+    f(&mut bencher);
+    match throughput {
+        Some(Throughput::Elements(n)) if bencher.last_ns > 0.0 => {
+            let rate = n as f64 / (bencher.last_ns / 1e9);
+            println!(
+                "bench {id}: {:.0} ns/iter ({rate:.0} elem/s)",
+                bencher.last_ns
+            );
+        }
+        _ => println!("bench {id}: {:.0} ns/iter", bencher.last_ns),
+    }
+}
+
+/// Define a function running each listed benchmark with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("f", 1), &3, |b, &x| {
+                b.iter(|| x * 2);
+                ran += 1;
+            });
+            g.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        assert_eq!(ran, 1);
+    }
+}

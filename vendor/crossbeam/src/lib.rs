@@ -1,0 +1,88 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only the `crossbeam::thread::scope` API surface this workspace uses is
+//! provided, implemented on `std::thread::scope` (stable since 1.63).
+//! Semantics match crossbeam where the workspace relies on them: spawned
+//! threads may borrow the enclosing stack frame, and `scope` returns
+//! `Err` instead of unwinding when any unjoined child panicked.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The result of a completed scope or joined thread: `Err` carries the
+    /// panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a placeholder scope
+        /// argument (crossbeam passes `&Scope`; every in-tree caller
+        /// ignores it, and `&()` keeps this shim free of self-referential
+        /// lifetimes).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&())),
+            }
+        }
+    }
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// are joined before `scope` returns. A panicking child (or closure)
+    /// yields `Err` with the payload rather than unwinding the caller.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope, 'r> FnOnce(&'r Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_the_stack() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panics_surface_as_err() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(out.is_err());
+    }
+}

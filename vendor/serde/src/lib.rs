@@ -1,0 +1,89 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types as
+//! forward-looking API surface, but ships no serializer implementation
+//! (there is no `serde_json`/`bincode` in the dependency tree), so the
+//! traits can never actually run. This shim keeps the trait bounds and
+//! derive attributes compiling: `Serialize` funnels into
+//! [`Serializer::serialize_opaque`] and a derived `Deserialize` reports
+//! itself unsupported through [`de::Error::custom`]. The hand-written
+//! `Symbol` impls in `cows` use the string fast paths, which behave
+//! faithfully should a real serializer ever be vendored.
+
+/// A type that can hand itself to a [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The driver side of serialization. Real serde has a wide method family;
+/// this shim keeps the two entry points the workspace's impls call.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    /// Serialize a borrowed string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a value whose structure this shim does not model.
+    fn serialize_opaque(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be built back from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The driver side of deserialization.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Produce a string borrowed from the input.
+    fn deserialize_str(self) -> Result<&'de str, Self::Error>;
+}
+
+pub mod ser {
+    /// Errors a [`super::Serializer`] can raise.
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    /// Errors a [`super::Deserializer`] can raise.
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Helper the inert derive expansion calls: a derived `Deserialize`
+    /// has no field decoding logic, so it fails with a typed error.
+    pub fn unsupported<'de, D: super::Deserializer<'de>>(_deserializer: D) -> D::Error {
+        Error::custom("stub serde derive cannot deserialize")
+    }
+}
+
+impl<'de> Deserialize<'de> for &'de str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_str()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserializer.deserialize_str()?.to_owned())
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

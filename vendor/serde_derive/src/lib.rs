@@ -1,0 +1,83 @@
+//! Inert `#[derive(Serialize, Deserialize)]` for the offline serde
+//! stand-in (see `vendor/README.md`).
+//!
+//! The expansion is deliberately structureless: serialization funnels into
+//! `Serializer::serialize_opaque` and deserialization fails with a typed
+//! error, because nothing in the workspace ever drives either trait (there
+//! is no serializer implementation in the dependency tree). Written
+//! without `syn`/`quote`: the only parsing needed is the type's name.
+//!
+//! Generic types are rejected with a compile error rather than silently
+//! mis-expanded; no current derive target is generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following the `struct`/`enum`/`union` keyword,
+/// plus whether a generic parameter list follows it.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return Err(format!("`{kw}` not followed by a name"));
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                return Err(format!(
+                    "stub serde derive does not support generic type `{name}`; \
+                     write the impl by hand"
+                ));
+            }
+        }
+        return Ok(name.to_string());
+    }
+    Err("no struct/enum/union found".to_string())
+}
+
+fn expand(input: TokenStream, template: fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template(&name)
+            .parse()
+            .expect("stub derive emits valid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!(
+            "#[automatically_derived]
+             impl ::serde::Serialize for {name} {{
+                 fn serialize<S: ::serde::Serializer>(
+                     &self,
+                     serializer: S,
+                 ) -> ::core::result::Result<S::Ok, S::Error> {{
+                     serializer.serialize_opaque()
+                 }}
+             }}"
+        )
+    })
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!(
+            "#[automatically_derived]
+             impl<'de> ::serde::Deserialize<'de> for {name} {{
+                 fn deserialize<D: ::serde::Deserializer<'de>>(
+                     deserializer: D,
+                 ) -> ::core::result::Result<Self, D::Error> {{
+                     ::core::result::Result::Err(::serde::de::unsupported(deserializer))
+                 }}
+             }}"
+        )
+    })
+}
