@@ -16,6 +16,7 @@
 pub mod chain;
 pub mod codec;
 pub mod entry;
+pub mod routing;
 pub mod salvage;
 pub mod samples;
 pub mod stats;
@@ -26,6 +27,7 @@ pub mod trail;
 pub use chain::{ChainedTrail, IntegrityViolation};
 pub use codec::{format_trail, parse_trail, ParseErrorKind, TrailParseError};
 pub use entry::{LogEntry, TaskStatus};
+pub use routing::{case_key, partition_of};
 pub use salvage::{
     parse_trail_salvage, parse_trail_salvage_traced, salvage_chained, OutOfOrderArrival,
     Quarantine, QuarantineReason, QuarantinedLine,

@@ -28,6 +28,7 @@ use purpose_control::replay::{check_case, CheckOptions, Engine, Verdict};
 use purpose_control::{LiveConfig, ShardedMonitor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serve::{client, ServeConfig, Server, TenantSpec};
 use std::time::{Duration, Instant};
 use workload::attacks;
 use workload::hospital::{generate_day, HospitalConfig};
@@ -1320,6 +1321,206 @@ fn p13_churn(quick: bool) -> String {
     )
 }
 
+fn p14_serve(quick: bool) -> String {
+    use workload::stream::interleave;
+
+    println!("## P14 — serving layer: HTTP ingest vs the batch auditor");
+    let entries = if quick { 20_000 } else { 120_000 };
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: entries,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    let stream = interleave(&day.trail);
+
+    // Batch baseline: the §7 parallel audit over the finished trail.
+    let start = Instant::now();
+    let batch = audit_parallel(&hospital_auditor(), &day.trail, 4);
+    let batch_time = start.elapsed();
+
+    // Split arrival order across tenants with the shared routing helper —
+    // the same split the e2e harness uses, so each case lands whole on
+    // exactly one tenant and per-tenant identity is well-defined.
+    const TENANTS: [&str; 3] = ["north", "south", "east"];
+    const BATCH: usize = 2_000;
+    let mut per_tenant: Vec<Vec<String>> = vec![Vec::new(); TENANTS.len()];
+    for e in &stream {
+        let key = audit::case_key(e.case.as_str());
+        per_tenant[audit::partition_of(key, TENANTS.len())].push(e.to_string());
+    }
+    let posts: usize = per_tenant.iter().map(|t| t.chunks(BATCH).count()).sum();
+
+    let specs = TENANTS
+        .iter()
+        .map(|t| TenantSpec {
+            name: t.to_string(),
+            auditor: hospital_auditor(),
+        })
+        .collect();
+    let server = Server::start(
+        specs,
+        ServeConfig {
+            watermark: stream.len() as u64 + 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server boot");
+    let addr = server.addr().to_string();
+
+    // Sustained ingest: one client thread per tenant, fixed-size batches,
+    // timed from the first byte on the wire until every queue has drained
+    // — the latency a caller actually observes, not just socket accept.
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, tenant) in TENANTS.iter().enumerate() {
+            let lines = &per_tenant[i];
+            let addr = addr.as_str();
+            scope.spawn(move || {
+                for chunk in lines.chunks(BATCH) {
+                    let body = format!("{}\n", chunk.join("\n"));
+                    let resp =
+                        client::request(addr, "POST", &format!("/v1/{tenant}/entries"), &body)
+                            .expect("submit");
+                    assert_eq!(resp.status, 202, "submit failed: {}", resp.body);
+                }
+            });
+        }
+    });
+    let drain_deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let queued: u64 = TENANTS
+            .iter()
+            .map(|t| {
+                let resp = client::request(&addr, "GET", &format!("/v1/{t}/verdicts"), "")
+                    .expect("verdicts");
+                let doc = obs::parse_json(&resp.body).expect("verdicts JSON");
+                doc.get("queued").and_then(|v| v.as_f64()).expect("queued") as u64
+            })
+            .sum();
+        if queued == 0 {
+            break;
+        }
+        assert!(Instant::now() < drain_deadline, "queues never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let serve_time = start.elapsed();
+    let per_sec = stream.len() as f64 / serve_time.as_secs_f64();
+
+    // Verdict identity: every batch outcome against the served label,
+    // fetched through the public case endpoint.
+    let mut mismatches = 0usize;
+    let mut alarms = 0usize;
+    for c in &batch.cases {
+        let batch_label = match &c.outcome {
+            CaseOutcome::Compliant { can_complete } => {
+                format!("compliant complete={can_complete}")
+            }
+            CaseOutcome::Infringement {
+                infringement,
+                severity,
+            } => {
+                alarms += 1;
+                format!(
+                    "infringement@{} severity={:.4}",
+                    infringement.entry_index, severity.score
+                )
+            }
+            other => format!("{other:?}"),
+        };
+        let key = audit::case_key(c.case.as_str());
+        let tenant = TENANTS[audit::partition_of(key, TENANTS.len())];
+        let resp = client::request(&addr, "GET", &format!("/v1/{tenant}/cases/{}", c.case), "")
+            .expect("case fetch");
+        let served = obs::parse_json(&resp.body)
+            .ok()
+            .and_then(|doc| {
+                doc.get("verdict")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+            })
+            .unwrap_or_else(|| format!("status {}", resp.status));
+        if served != batch_label {
+            mismatches += 1;
+            if mismatches <= 5 {
+                println!(
+                    "  MISMATCH {}: batch {batch_label} vs served {served}",
+                    c.case
+                );
+            }
+        }
+    }
+    let verdicts_match = mismatches == 0;
+    assert!(verdicts_match, "served verdicts diverged from batch");
+
+    let report = server.shutdown().expect("shutdown");
+    assert!(
+        report.failed.is_empty(),
+        "tenant worker died: {:?}",
+        report.failed
+    );
+    let audited: u64 = report.checkpoints.iter().map(|(_, n, _)| *n).sum();
+    assert_eq!(audited, stream.len() as u64, "entries lost in flight");
+    let sustained = per_sec >= 50_000.0;
+    if !quick && cfg!(not(debug_assertions)) {
+        assert!(
+            sustained,
+            "sustained HTTP ingest below 50k entries/s: {per_sec:.0}"
+        );
+    }
+
+    println!(
+        "{} entries over HTTP across {} tenants ({BATCH}-line batches, {posts} POSTs)",
+        stream.len(),
+        TENANTS.len()
+    );
+    println!(
+        "batch {} | served ingest {} ({per_sec:.0} entries/s) | \
+         {} cases, {alarms} alarms, verdicts match: {verdicts_match}",
+        fmt_dur(batch_time),
+        fmt_dur(serve_time),
+        batch.cases.len(),
+    );
+    println!();
+
+    format!(
+        "{{\n  \
+           \"benchmark\": \"serving_layer\",\n  \
+           \"workload\": \"hospital_day_interleaved\",\n  \
+           \"entries\": {},\n  \
+           \"tenants\": {},\n  \
+           \"lines_per_post\": {BATCH},\n  \
+           \"posts\": {posts},\n  \
+           \"batch\": {{ \"seconds\": {:.6}, \"infringing_cases\": {} }},\n  \
+           \"serve\": {{ \"seconds\": {:.6}, \"entries_per_sec\": {per_sec:.0}, \
+             \"alarms\": {alarms}, \"drained_offset_ok\": true }},\n  \
+           \"sustained_50k_per_sec\": {sustained},\n  \
+           \"verdicts_match_batch\": {verdicts_match}\n}}",
+        stream.len(),
+        TENANTS.len(),
+        batch_time.as_secs_f64(),
+        batch.infringing_cases(),
+        serve_time.as_secs_f64(),
+    )
+}
+
+/// Replace or append the `p14_serve` section of an existing report file
+/// without rerunning P1–P13 (the serving bench is self-contained).
+fn splice_p14(existing: &str, p14: &str) -> String {
+    let mut base = existing.trim_end().to_string();
+    if let Some(i) = base.find("\"p14_serve\"") {
+        let cut = base[..i].rfind(',').expect("malformed BENCH_replay.json");
+        base.truncate(cut);
+    } else {
+        let i = base.rfind('}').expect("malformed BENCH_replay.json");
+        base.truncate(i);
+        let kept = base.trim_end().trim_end_matches(',').len();
+        base.truncate(kept);
+    }
+    format!("{base},\n\"p14_serve\": {p14}\n}}\n")
+}
+
 fn fig4_summary() {
     println!("## F4 — the paper's running example (Fig. 4)");
     let auditor = hospital_auditor();
@@ -1361,6 +1562,15 @@ fn main() {
         return;
     }
     let quick = argv.iter().any(|a| a == "--quick");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
+    if argv.iter().any(|a| a == "--only-p14") {
+        let p14 = p14_serve(quick);
+        let existing = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e} (run the full report first)", path.display()));
+        std::fs::write(&path, splice_p14(&existing, &p14)).expect("write report");
+        println!("wrote {}", path.display());
+        return;
+    }
     println!("# purpose-control experiment report\n");
     fig4_summary();
     p1_naive_vs_replay(quick);
@@ -1376,18 +1586,19 @@ fn main() {
     let p11 = p11_observability(quick);
     let p12 = p12_streaming(quick);
     let p13 = p13_churn(quick);
+    let p14 = p14_serve(quick);
     let json = format!(
         "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {},\n\
          \"p10_degraded_mode\": {},\n\"p11_observability\": {},\n\
-         \"p12_streaming\": {},\n\"p13_churn\": {}\n}}\n",
+         \"p12_streaming\": {},\n\"p13_churn\": {},\n\"p14_serve\": {}\n}}\n",
         p8.trim_end(),
         p9,
         p10,
         p11,
         p12,
-        p13
+        p13,
+        p14
     );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_replay.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => println!("could not write {}: {e}", path.display()),

@@ -97,6 +97,12 @@ USAGE:
                       [--idle-minutes <M>] [--spill-dir <dir>]
                       [--spill-mem-kib <N>]
                       [--engine <direct|automaton>] [--metrics-out <file>]
+  purposectl serve    --tenants <name,name,...>
+                      --process <purpose>=<file>... [--map <prefix>=<purpose>...]
+                      [--policy <file>] [--addr <ip:port>] [--shards <N>]
+                      [--watermark <entries>] [--checkpoint-dir <dir>]
+                      [--max-open-cases <N>] [--max-entries-per-case <N>]
+                      [--max-body-kib <N>] [--engine <direct|automaton>]
 
 Observability: --metrics-out / --prom-out export the run's metrics
 (case outcomes, cache and automaton counters, trail shape) as JSON /
@@ -136,6 +142,18 @@ SIGTERM/SIGINT; on exit (or at end of input without --follow) the monitor
 writes --checkpoint, and the next watch with the same flags resumes from
 the recorded byte offset with identical session state. A stale or corrupt
 checkpoint falls back to a cold start with the reason printed.
+
+Serving: serve hosts one bounded live monitor per tenant behind a raw
+HTTP/1.1 surface (POST /v1/<tenant>/entries to submit trail batches with
+salvage semantics, GET /v1/<tenant>/cases/<id> and /v1/<tenant>/verdicts
+for verdicts, GET /metrics for tenant-labeled Prometheus, POST
+/admin/checkpoint). Submits past --watermark queued entries are refused
+whole with 429 + Retry-After, so accepted entries are never dropped or
+reordered. --addr with port 0 picks an ephemeral port; the bound address
+is printed as `serving on <addr>`. SIGTERM/SIGINT drain every tenant
+queue and checkpoint to --checkpoint-dir/<tenant>.ckpt; the next serve
+with the same tenant set resumes warm (fail-open: orphan, unreadable or
+incompatible checkpoints are reported and ignored, never fatal).
 ";
 
 /// Minimal flag scanner: positional args plus `--flag value` / `--flag`.
@@ -216,7 +234,13 @@ fn automaton_cache_file(args: &Args, process_path: &str) -> Option<PathBuf> {
         return None;
     }
     let dir = args.flag("automaton-cache").map(Path::new);
-    Some(Encoded::snapshot_path(Path::new(process_path), dir))
+    // Builtin (`@name`) processes have no file to sit beside; they only
+    // get a snapshot when an explicit cache directory names where.
+    if process_path.starts_with('@') && dir.is_none() {
+        return None;
+    }
+    let file_stem = process_path.strip_prefix('@').unwrap_or(process_path);
+    Some(Encoded::snapshot_path(Path::new(file_stem), dir))
 }
 
 /// Attempt a warm start from `cache` (fail-open: any load failure is just a
@@ -267,7 +291,20 @@ fn render_events(recorder: &Recorder, out: &mut dyn Write) {
     }
 }
 
+/// Load a process model: a file path, or `@name` for one of the built-in
+/// paper models (the Fig. 1 healthcare process uses message starts and
+/// OR-join gateways the textual format cannot express, so serving it
+/// requires the compiled-in constructor).
 fn load_process(path: &str) -> Result<ProcessModel, CliError> {
+    if let Some(builtin) = path.strip_prefix('@') {
+        return match builtin {
+            "healthcare_treatment" => Ok(bpmn::models::healthcare_treatment()),
+            "clinical_trial" => Ok(bpmn::models::clinical_trial()),
+            other => Err(fail(format!(
+                "unknown builtin process `@{other}` (available: @healthcare_treatment, @clinical_trial)"
+            ))),
+        };
+    }
     let text = std::fs::read_to_string(path)
         .map_err(|e| fail(format!("cannot read process file `{path}`: {e}")))?;
     parse_process(&text).map_err(|e| fail(format!("{path}: {e}")))
@@ -309,6 +346,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         "check" => cmd_check(&args, out),
         "audit" => cmd_audit(&args, out),
         "watch" => cmd_watch(&args, out),
+        "serve" => cmd_serve(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").ok();
             Ok(0)
@@ -939,6 +977,101 @@ fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     )
     .ok();
     Ok(i32::from(!monitor.alarms().is_empty()))
+}
+
+fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let tenants_flag = args
+        .flag("tenants")
+        .ok_or_else(|| fail("missing --tenants <name,name,...>"))?;
+    let tenant_names: Vec<&str> = tenants_flag
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tenant_names.is_empty() {
+        return Err(fail("--tenants: at least one tenant name is required"));
+    }
+    if tenant_names.iter().any(|t| {
+        !t.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    }) {
+        return Err(fail(
+            "--tenants: names must be alphanumeric (plus `-`/`_`) — they become URL segments and checkpoint file names",
+        ));
+    }
+
+    let diag = Recorder::new();
+    // One shared process catalog; each tenant gets its own monitor over a
+    // clone of the auditor (the compiled automata stay shared via Arc, so
+    // N tenants warm-start from the same snapshot load).
+    let AuditorSetup {
+        auditor, snapshots, ..
+    } = build_auditor(args, &diag)?;
+    render_events(&diag, out);
+
+    let defaults = LiveConfig::default();
+    let live = LiveConfig {
+        max_open_cases: args.flag_num("max-open-cases", defaults.max_open_cases)?,
+        max_entries_per_case: args
+            .flag_num("max-entries-per-case", defaults.max_entries_per_case)?,
+        ..LiveConfig::default()
+    };
+    let default_limits = serve::http::Limits::default();
+    let config = serve::ServeConfig {
+        addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
+        watermark: args.flag_num("watermark", 100_000u64)?,
+        checkpoint_dir: args.flag("checkpoint-dir").map(PathBuf::from),
+        shards: args.flag_num("shards", 4)?,
+        live,
+        limits: serve::http::Limits {
+            max_body_bytes: args
+                .flag_num("max-body-kib", default_limits.max_body_bytes / 1024)?
+                .saturating_mul(1024),
+            ..default_limits
+        },
+    };
+
+    let specs = tenant_names
+        .iter()
+        .map(|name| serve::TenantSpec {
+            name: name.to_string(),
+            auditor: auditor.clone(),
+        })
+        .collect();
+    let server = serve::Server::start(specs, config).map_err(|e| fail(format!("serve: {e}")))?;
+    for issue in server.restore_issues() {
+        writeln!(out, "serve: {issue}").ok();
+    }
+    // The harness and any process supervisor discover the ephemeral port
+    // from this exact line; keep its shape stable.
+    writeln!(out, "serving on {}", server.addr()).ok();
+    out.flush().ok();
+
+    shutdown::install();
+    while !shutdown::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    writeln!(out, "serve: shutdown requested; draining").ok();
+    let report = server.shutdown().map_err(|e| fail(format!("serve: {e}")))?;
+    for (tenant, offset, path) in &report.checkpoints {
+        match path {
+            Some(path) => writeln!(
+                out,
+                "serve: tenant {tenant} checkpointed at offset {offset} -> {}",
+                path.display()
+            )
+            .ok(),
+            None => writeln!(out, "serve: tenant {tenant} drained at offset {offset}").ok(),
+        };
+    }
+    for tenant in &report.failed {
+        writeln!(out, "serve: tenant {tenant}: worker failed before drain").ok();
+    }
+    for (rp, cache, expanded_at_start) in &snapshots {
+        save_if_grown(&rp.encoded, Some(cache), *expanded_at_start, &diag);
+    }
+    render_events(&diag, out);
+    Ok(i32::from(!report.failed.is_empty()))
 }
 
 #[cfg(test)]

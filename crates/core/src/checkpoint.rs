@@ -53,7 +53,9 @@ pub const MONITOR_MAGIC: [u8; 4] = *b"PCLM";
 pub const SHARDED_MAGIC: [u8; 4] = *b"PCLS";
 
 /// Checkpoint format version (independent of the `.pcas` version).
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// v2: closed-case records carry the severity breadth set, so resumed
+/// monitors keep folding post-alarm entries into the assessment.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Envelope size: magic + version + key + payload length + checksum.
 pub const HEADER_LEN: usize = 32;
@@ -497,6 +499,12 @@ pub fn encode_monitor(m: &MonitorCheckpoint) -> Vec<u8> {
         tail.put_u64(c.after_alarm);
         put_infringement(&mut tail, &c.infringement);
         put_severity(&mut tail, &c.severity);
+        // The breadth set: resumed monitors keep absorbing post-alarm
+        // entries into the severity assessment.
+        tail.put_len(c.subjects.len());
+        for &s in &c.subjects {
+            tail.put_sym(s);
+        }
     }
     tail.put_len(m.alarm_order.len());
     for &c in &m.alarm_order {
@@ -536,10 +544,15 @@ pub fn decode_monitor(bytes: &[u8]) -> Result<MonitorCheckpoint, SnapshotError> 
         let after_alarm = tail.get_u64()?;
         let infringement = get_infringement(&mut tail)?;
         let severity = get_severity(&mut tail)?;
+        let nsubjects = tail.get_len()?;
+        let subjects = (0..nsubjects)
+            .map(|_| tail.get_sym())
+            .collect::<Result<std::collections::BTreeSet<_>, _>>()?;
         closed.push(ClosedCase {
             case,
             infringement,
             severity,
+            subjects,
             after_alarm,
         });
     }
@@ -670,6 +683,7 @@ mod tests {
                     subjects_touched: 1,
                     score: 3.25,
                 },
+                subjects: [sym("Jane")].into_iter().collect(),
                 after_alarm: 4,
             }],
             alarm_order: vec![sym("HT-99")],

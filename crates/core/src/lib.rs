@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod multitask;
 pub mod naive;
 pub mod parallel;
+pub mod pool;
 pub mod replay;
 pub mod session;
 pub mod severity;
@@ -70,6 +71,7 @@ pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};
 pub use live::{ClosedCase, LiveAuditor, LiveConfig, LiveEvent, LiveStats};
 pub use metrics::{record_case_metrics, register_audit_metrics};
 pub use multitask::{multitasking_ratio, multitasking_report, MultitaskFinding};
+pub use pool::{MonitorHandle, MonitorPool};
 pub use replay::{
     check_case, check_case_traced, CaseCheck, CheckOptions, Configuration, Engine, FailPoints,
     Infringement, InfringementKind, Verdict,

@@ -56,7 +56,7 @@ use crate::spill::SpillStore;
 use audit::entry::LogEntry;
 use audit::time::Timestamp;
 use cows::symbol::Symbol;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -212,8 +212,14 @@ impl LiveStats {
 pub struct ClosedCase {
     pub case: Symbol,
     pub infringement: Infringement,
-    /// Severity assessed at alarm time over the retained entry window.
+    /// Severity over the unaccounted tail. Assessed at alarm time, then
+    /// updated as post-alarm entries arrive, so it converges to exactly
+    /// the batch auditor's full-projection assessment once the case's
+    /// stream has been fully delivered.
     pub severity: SeverityAssessment,
+    /// Distinct data subjects among unaccounted entries (the severity
+    /// breadth set; needed to keep absorbing post-alarm entries).
+    pub subjects: BTreeSet<Symbol>,
     /// Entries observed after the alarm (counted, not stored).
     pub after_alarm: u64,
 }
@@ -364,9 +370,14 @@ impl LiveAuditor {
         self.stats.entries += 1;
         self.high_water = Some(self.high_water.map_or(entry.time, |h| h.max(entry.time)));
 
-        // A retired case never reopens: count the activity, don't store it.
+        // A retired case never reopens: count the activity and fold it
+        // into the severity assessment (every post-alarm entry is by
+        // definition unaccounted), but don't store it.
         if let Some(closed) = self.closed.get_mut(&case) {
             closed.after_alarm += 1;
+            closed
+                .severity
+                .absorb(entry, &mut closed.subjects, &self.auditor.sensitivity);
             self.stats.after_alarm += 1;
             return Ok(LiveEvent::AfterAlarm { case });
         }
@@ -450,6 +461,13 @@ impl LiveAuditor {
                     ..infringement.clone()
                 };
                 let severity = assess(&window_inf, &refs, &self.auditor.sensitivity);
+                // Seed the breadth set with the subjects already counted in
+                // the alarm-time assessment, so post-alarm absorption keeps
+                // deduplicating against them.
+                let subjects: BTreeSet<Symbol> = window[window_inf.entry_index.min(window.len())..]
+                    .iter()
+                    .filter_map(|e| e.object.as_ref().and_then(|o| o.subject))
+                    .collect();
                 self.cases.remove(&case);
                 // Alarmed cases retire into the compact record: count them
                 // (the P12 `retired: 0` bug) and drop any stale spill slot.
@@ -460,6 +478,7 @@ impl LiveAuditor {
                         case,
                         infringement: infringement.clone(),
                         severity: severity.clone(),
+                        subjects,
                         after_alarm: 0,
                     },
                 );

@@ -49,6 +49,14 @@ pub const AUDIT_COUNTERS: &[&str] = &[
     "semantics_cache_evictions",
     "semantics_cache_hits",
     "semantics_cache_misses",
+    "serve_batches_accepted",
+    "serve_batches_rejected",
+    "serve_checkpoints_total",
+    "serve_entries_audited",
+    "serve_http_errors_total",
+    "serve_lines_accepted",
+    "serve_lines_quarantined",
+    "serve_requests_total",
     "startup_cold_total",
     "startup_warm_total",
 ];
@@ -57,6 +65,7 @@ pub const AUDIT_COUNTERS: &[&str] = &[
 pub const AUDIT_GAUGES: &[&str] = &[
     "live_open_cases",
     "semantics_cache_entries",
+    "serve_queue_depth",
     "trail_cases",
     "trail_entries",
     "trail_failures",

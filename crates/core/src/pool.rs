@@ -1,0 +1,241 @@
+//! Thread-safe handles over sharded monitors — the embedding surface for
+//! long-lived services.
+//!
+//! [`crate::sharded::ShardedMonitor`] is deliberately `&mut`-driven: one
+//! ingest loop owns it and drives all shards. A resident service
+//! (`purposectl serve`) has *many* drivers — HTTP readers snapshotting
+//! verdicts while an ingest worker feeds entries and an admin endpoint
+//! checkpoints — so it needs a shared handle with interior locking.
+//! [`MonitorHandle`] is that handle: a clonable `Arc<Mutex<_>>` newtype
+//! whose methods scope the lock to one monitor operation, so no caller can
+//! hold it across I/O. [`MonitorPool`] names many handles (one per
+//! tenant/purpose universe) and provides the whole-pool operations a
+//! daemon needs at checkpoint time.
+
+use crate::error::CheckError;
+use crate::live::{ClosedCase, LiveStats};
+use crate::replay::CaseCheck;
+use crate::sharded::ShardedMonitor;
+use audit::entry::LogEntry;
+use cows::symbol::Symbol;
+use obs::Registry;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A clonable, lock-scoped handle to one [`ShardedMonitor`].
+#[derive(Clone)]
+pub struct MonitorHandle {
+    inner: Arc<Mutex<ShardedMonitor>>,
+}
+
+impl MonitorHandle {
+    pub fn new(monitor: ShardedMonitor) -> MonitorHandle {
+        MonitorHandle {
+            inner: Arc::new(Mutex::new(monitor)),
+        }
+    }
+
+    /// Run one operation under the monitor lock. The closure must not
+    /// block on anything that waits for this handle (classic re-entrancy
+    /// rule); every other method here is implemented through this.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ShardedMonitor) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut guard)
+    }
+
+    /// Feed a batch through all shards (see [`ShardedMonitor::ingest`]).
+    pub fn ingest(&self, entries: &[LogEntry]) -> Result<(), CheckError> {
+        self.with(|m| m.ingest(entries).map(|_| ()))
+    }
+
+    /// One case's verdict, wherever its shard keeps it.
+    pub fn snapshot(&self, case: Symbol) -> Option<Result<CaseCheck, CheckError>> {
+        self.with(|m| m.snapshot(case))
+    }
+
+    /// One case's retirement record, cloned out of the lock.
+    pub fn closed_case(&self, case: Symbol) -> Option<ClosedCase> {
+        self.with(|m| m.closed_case(case).cloned())
+    }
+
+    /// Alarmed case names, sorted (cross-shard chronology is not defined).
+    pub fn alarmed_cases(&self) -> Vec<Symbol> {
+        self.with(|m| m.alarms().iter().map(|(c, _)| *c).collect())
+    }
+
+    pub fn stats(&self) -> LiveStats {
+        self.with(|m| m.stats())
+    }
+
+    pub fn open_cases(&self) -> usize {
+        self.with(|m| m.open_cases())
+    }
+
+    pub fn tracked_cases(&self) -> usize {
+        self.with(|m| m.tracked_cases())
+    }
+
+    /// Retire completed cases and run the idle sweep — the between-batches
+    /// housekeeping an ingest worker performs.
+    pub fn housekeep(&self) -> Result<(), CheckError> {
+        self.with(|m| {
+            let _ = m.retire_completed();
+            m.maintain().map(|_| ())
+        })
+    }
+
+    /// Flush per-shard counter deltas into `registry`.
+    pub fn flush_metrics(&self, registry: &Registry) {
+        self.with(|m| m.flush_metrics(registry));
+    }
+
+    /// Serialize the whole monitor at `stream_offset` (see
+    /// [`ShardedMonitor::checkpoint`]).
+    pub fn checkpoint(&self, stream_offset: u64) -> Result<Vec<u8>, CheckError> {
+        self.with(|m| m.checkpoint(stream_offset))
+    }
+}
+
+/// `(name, checkpoint bytes)` per tenant, or the first failing tenant.
+pub type CheckpointAllResult = Result<Vec<(String, Vec<u8>)>, (String, CheckError)>;
+
+/// Named monitors — one per tenant — with whole-pool operations.
+#[derive(Default)]
+pub struct MonitorPool {
+    tenants: BTreeMap<String, MonitorHandle>,
+}
+
+impl MonitorPool {
+    pub fn new() -> MonitorPool {
+        MonitorPool::default()
+    }
+
+    /// Register a tenant's monitor. Returns the previous handle if the
+    /// name was already taken (callers treat that as a config error).
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        monitor: ShardedMonitor,
+    ) -> Option<MonitorHandle> {
+        self.tenants
+            .insert(name.into(), MonitorHandle::new(monitor))
+    }
+
+    pub fn get(&self, name: &str) -> Option<&MonitorHandle> {
+        self.tenants.get(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tenants.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MonitorHandle)> {
+        self.tenants.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Checkpoint every tenant with its own stream offset (looked up by
+    /// name; missing names default to 0). Returns `(name, bytes)` pairs
+    /// in name order, or the first failure.
+    pub fn checkpoint_all(&self, offsets: &BTreeMap<String, u64>) -> CheckpointAllResult {
+        let mut out = Vec::with_capacity(self.tenants.len());
+        for (name, handle) in &self.tenants {
+            let offset = offsets.get(name).copied().unwrap_or(0);
+            match handle.checkpoint(offset) {
+                Ok(bytes) => out.push((name.clone(), bytes)),
+                Err(e) => return Err((name.clone(), e)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::{Auditor, ProcessRegistry};
+    use crate::live::LiveConfig;
+    use audit::samples::figure4_trail;
+    use bpmn::models::{clinical_trial, healthcare_treatment};
+    use cows::sym;
+    use policy::samples::{
+        clinical_trial_purpose, extended_hospital_policy, hospital_context, treatment,
+    };
+
+    fn auditor() -> Auditor {
+        let mut registry = ProcessRegistry::new();
+        registry.register(treatment(), healthcare_treatment());
+        registry.register(clinical_trial_purpose(), clinical_trial());
+        registry.add_case_prefix("HT-", treatment());
+        registry.add_case_prefix("CT-", clinical_trial_purpose());
+        Auditor::new(registry, extended_hospital_policy(), hospital_context())
+    }
+
+    fn monitor() -> ShardedMonitor {
+        ShardedMonitor::new(auditor(), &LiveConfig::default(), 2)
+    }
+
+    #[test]
+    fn handle_is_shareable_across_threads() {
+        let handle = MonitorHandle::new(monitor());
+        let trail = figure4_trail();
+        let mid = trail.len() / 2;
+        let (front, back) = trail.entries().split_at(mid);
+        std::thread::scope(|scope| {
+            let h1 = handle.clone();
+            let h2 = handle.clone();
+            scope.spawn(move || h1.ingest(front).unwrap());
+            scope.spawn(move || h2.ingest(back).unwrap());
+        });
+        assert_eq!(handle.stats().entries, trail.len() as u64);
+        // The Fig. 4 misuse case alarms regardless of batch split.
+        assert!(handle.alarmed_cases().contains(&sym("HT-11")));
+        assert!(handle.closed_case(sym("HT-11")).is_some());
+        assert!(handle.snapshot(sym("HT-1")).is_some());
+    }
+
+    #[test]
+    fn pool_names_and_checkpoints_every_tenant() {
+        let mut pool = MonitorPool::new();
+        assert!(pool.insert("clinic", monitor()).is_none());
+        assert!(pool.insert("trial", monitor()).is_none());
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.names().collect::<Vec<_>>(), vec!["clinic", "trial"]);
+
+        let trail = figure4_trail();
+        pool.get("clinic").unwrap().ingest(trail.entries()).unwrap();
+
+        let mut offsets = BTreeMap::new();
+        offsets.insert("clinic".to_string(), trail.len() as u64);
+        let blobs = pool.checkpoint_all(&offsets).unwrap();
+        assert_eq!(blobs.len(), 2);
+        assert_eq!(blobs[0].0, "clinic");
+        // Each blob restores independently with the recorded offset.
+        let (restored, offset) =
+            ShardedMonitor::restore(auditor(), &LiveConfig::default(), 2, &blobs[0].1).unwrap();
+        assert_eq!(offset, trail.len() as u64);
+        assert_eq!(
+            restored.tracked_cases(),
+            pool.get("clinic").unwrap().tracked_cases()
+        );
+        // The untouched tenant checkpoints at offset 0.
+        let (_, offset) =
+            ShardedMonitor::restore(auditor(), &LiveConfig::default(), 2, &blobs[1].1).unwrap();
+        assert_eq!(offset, 0);
+    }
+
+    #[test]
+    fn duplicate_insert_returns_previous_handle() {
+        let mut pool = MonitorPool::new();
+        assert!(pool.insert("t", monitor()).is_none());
+        assert!(pool.insert("t", monitor()).is_some());
+        assert_eq!(pool.len(), 1);
+    }
+}

@@ -21,7 +21,7 @@
 use crate::replay::Infringement;
 use audit::entry::LogEntry;
 use cows::symbol::Symbol;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Configurable object-sensitivity weights, matched on the first path
 /// segment after the subject (e.g. `EPR`) plus optional deeper segments.
@@ -91,6 +91,42 @@ pub struct SeverityAssessment {
     pub score: f64,
 }
 
+impl SeverityAssessment {
+    /// Fold one more unaccounted entry into the assessment. The caller
+    /// owns the distinct-subject set (it outlives the per-entry call);
+    /// streaming the case tail through here reproduces [`assess`] over
+    /// the full projection exactly, which is what lets a live monitor's
+    /// alarm-time score converge to the batch auditor's as post-alarm
+    /// entries arrive.
+    pub fn absorb(
+        &mut self,
+        entry: &LogEntry,
+        subjects: &mut BTreeSet<Symbol>,
+        model: &SensitivityModel,
+    ) {
+        self.unaccounted_entries += 1;
+        self.max_sensitivity = self.max_sensitivity.max(model.object_weight(entry));
+        if let Some(s) = entry.object.as_ref().and_then(|o| o.subject) {
+            subjects.insert(s);
+        }
+        self.subjects_touched = subjects.len();
+        self.score = score(
+            self.unaccounted_entries,
+            self.max_sensitivity,
+            self.subjects_touched,
+        );
+    }
+}
+
+/// The combined score from the three aggregates. Normalized so one
+/// unaccounted access to one subject at default weight scores 1.0.
+pub fn score(unaccounted_entries: usize, max_sensitivity: f64, subjects_touched: usize) -> f64 {
+    let exposure = 1.0 + (unaccounted_entries as f64).ln_1p();
+    let breadth = 1.0 + (subjects_touched as f64).ln_1p();
+    let norm = (1.0 + 1f64.ln_1p()) * (1.0 + 1f64.ln_1p());
+    max_sensitivity * exposure * breadth / norm
+}
+
 /// Assess an infringement against the full case projection it was found in.
 pub fn assess(
     infringement: &Infringement,
@@ -108,15 +144,11 @@ pub fn assess(
         .filter_map(|e| e.object.as_ref().and_then(|o| o.subject))
         .collect();
     let subjects_touched = subjects.len();
-    let exposure = 1.0 + (unaccounted_entries as f64).ln_1p();
-    let breadth = 1.0 + (subjects_touched as f64).ln_1p();
-    // Normalize: one unaccounted access, one subject, default weight → 1.0.
-    let norm = (1.0 + 1f64.ln_1p()) * (1.0 + 1f64.ln_1p());
     SeverityAssessment {
         unaccounted_entries,
         max_sensitivity,
         subjects_touched,
-        score: max_sensitivity * exposure * breadth / norm,
+        score: score(unaccounted_entries, max_sensitivity, subjects_touched),
     }
 }
 

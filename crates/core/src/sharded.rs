@@ -16,7 +16,6 @@ use crate::live::{LiveAuditor, LiveConfig, LiveEvent, LiveStats};
 use crate::replay::Infringement;
 use audit::entry::LogEntry;
 use cows::symbol::Symbol;
-use cows::StableHasher;
 use obs::Registry;
 
 /// How many entries [`ShardedMonitor::ingest`] observes between automatic
@@ -45,11 +44,11 @@ pub struct ShardedMonitor {
 
 /// Route a case to a shard: FNV-1a over the case name, reduced mod N.
 /// Stable across runs and processes (no `DefaultHasher` seeding), so a
-/// checkpoint written by one run routes identically in the next.
+/// checkpoint written by one run routes identically in the next. The key
+/// derivation is shared with every other router via [`audit::case_key`] —
+/// `watch` and `serve` must agree on where a case lives.
 pub fn shard_of(case: Symbol, shards: usize) -> usize {
-    let mut h = StableHasher::new();
-    h.write_str(case.as_str());
-    (h.finish() % shards.max(1) as u64) as usize
+    audit::partition_of(audit::case_key(case.as_str()), shards)
 }
 
 impl ShardedMonitor {
@@ -224,6 +223,18 @@ impl ShardedMonitor {
     /// Snapshot one case's verdict, wherever its shard keeps it.
     pub fn snapshot(&self, case: Symbol) -> Option<Result<crate::replay::CaseCheck, CheckError>> {
         self.shards[shard_of(case, self.shards.len())].snapshot(case)
+    }
+
+    /// The compact retirement record of one alarmed case, if it has one.
+    pub fn closed_case(&self, case: Symbol) -> Option<&crate::live::ClosedCase> {
+        self.shards[shard_of(case, self.shards.len())]
+            .closed_cases()
+            .find(|c| c.case == case)
+    }
+
+    /// Retirement records across all shards (arbitrary cross-shard order).
+    pub fn closed_cases(&self) -> impl Iterator<Item = &crate::live::ClosedCase> {
+        self.shards.iter().flat_map(|s| s.closed_cases())
     }
 
     /// Retire completed cases on every shard; merged `(retired, errors)`,

@@ -34,5 +34,5 @@ pub mod recorder;
 
 pub use evidence::{CaseEvidence, EvidenceStep, EvidenceViolation};
 pub use json::{parse_json, validate, JsonValue, SchemaError};
-pub use metrics::{HistogramSnapshot, Registry, Shard};
+pub use metrics::{prometheus_multi, HistogramSnapshot, Registry, Shard};
 pub use recorder::{ObsEvent, Recorder, TimedEvent};

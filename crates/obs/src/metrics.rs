@@ -330,6 +330,87 @@ impl Registry {
     }
 }
 
+/// Multi-registry Prometheus text exposition with a `tenant` label.
+///
+/// A multi-tenant service hosts one [`Registry`] per tenant but must serve
+/// a *single* valid scrape document: one `# TYPE` line per metric family,
+/// then one labeled sample per tenant. Interleaving per-tenant
+/// [`Registry::to_prometheus`] outputs would repeat TYPE lines (invalid
+/// exposition), so this walks the union of metric names across all
+/// registries in sorted order and emits `name{tenant="…"} value` samples
+/// grouped under one family header. Histogram bucket series carry both
+/// `tenant` and `le` labels.
+pub fn prometheus_multi(tenants: &[(&str, &Registry)]) -> String {
+    use std::collections::BTreeSet;
+    let mut counters = BTreeSet::new();
+    let mut gauges = BTreeSet::new();
+    let mut histograms = BTreeSet::new();
+    for (_, reg) in tenants {
+        let a = reg.inner.lock().unwrap();
+        counters.extend(a.counters.keys().cloned());
+        gauges.extend(a.gauges.keys().cloned());
+        histograms.extend(a.histograms.keys().cloned());
+    }
+    let mut s = String::new();
+    for k in &counters {
+        let name = prom_name(k);
+        writeln!(s, "# TYPE {name} counter").unwrap();
+        for (tenant, reg) in tenants {
+            let label = prom_label(tenant);
+            writeln!(s, "{name}{{tenant=\"{label}\"}} {}", reg.counter_value(k)).unwrap();
+        }
+    }
+    for k in &gauges {
+        let name = prom_name(k);
+        writeln!(s, "# TYPE {name} gauge").unwrap();
+        for (tenant, reg) in tenants {
+            let label = prom_label(tenant);
+            writeln!(
+                s,
+                "{name}{{tenant=\"{label}\"}} {}",
+                fmt_f64(reg.gauge_value(k))
+            )
+            .unwrap();
+        }
+    }
+    for k in &histograms {
+        let name = prom_name(k);
+        writeln!(s, "# TYPE {name} histogram").unwrap();
+        for (tenant, reg) in tenants {
+            let label = prom_label(tenant);
+            let snap = reg.histogram(k);
+            let mut cum = 0u64;
+            for (le, n) in &snap.buckets {
+                cum += n;
+                writeln!(s, "{name}_bucket{{tenant=\"{label}\",le=\"{le}\"}} {cum}").unwrap();
+            }
+            writeln!(
+                s,
+                "{name}_bucket{{tenant=\"{label}\",le=\"+Inf\"}} {}",
+                snap.count
+            )
+            .unwrap();
+            writeln!(s, "{name}_sum{{tenant=\"{label}\"}} {}", snap.sum).unwrap();
+            writeln!(s, "{name}_count{{tenant=\"{label}\"}} {}", snap.count).unwrap();
+        }
+    }
+    s
+}
+
+/// Escape a string for use inside a Prometheus label value.
+fn prom_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            c => s.push(c),
+        }
+    }
+    s
+}
+
 fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
@@ -466,5 +547,37 @@ mod tests {
         assert!(text.contains("purposectl_case_entries_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("purposectl_case_entries_sum 11"));
         assert!(text.contains("purposectl_case_entries_count 2"));
+    }
+
+    #[test]
+    fn prometheus_multi_emits_one_type_line_per_family() {
+        let clinic = Registry::new();
+        let trial = Registry::new();
+        clinic.add_counter("cases_total", 2);
+        trial.add_counter("cases_total", 7);
+        trial.set_gauge("open", 3.0);
+        clinic.observe("case_entries", 4);
+        let text = prometheus_multi(&[("clinic", &clinic), ("trial", &trial)]);
+        // One family header even though both tenants export the counter.
+        assert_eq!(
+            text.matches("# TYPE purposectl_cases_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("purposectl_cases_total{tenant=\"clinic\"} 2"));
+        assert!(text.contains("purposectl_cases_total{tenant=\"trial\"} 7"));
+        // A metric only one tenant touched still samples (zero) for both.
+        assert!(text.contains("purposectl_open{tenant=\"clinic\"} 0"));
+        assert!(text.contains("purposectl_open{tenant=\"trial\"} 3"));
+        assert!(text.contains("purposectl_case_entries_bucket{tenant=\"clinic\",le=\"+Inf\"} 1"));
+        assert!(text.contains("purposectl_case_entries_count{tenant=\"trial\"} 0"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.add_counter("c", 1);
+        let text = prometheus_multi(&[("a\"b\\c", &reg)]);
+        assert!(text.contains("purposectl_c{tenant=\"a\\\"b\\\\c\"} 1"));
     }
 }
