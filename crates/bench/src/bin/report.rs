@@ -1505,20 +1505,205 @@ fn p14_serve(quick: bool) -> String {
     )
 }
 
+fn p15_durability(quick: bool) -> String {
+    use purpose_control::SyncPolicy;
+    use workload::stream::{interleave, peak_concurrency};
+
+    println!("## P15 — fsync-policy overhead on the live churn workload");
+    let entries = if quick { 20_000 } else { 120_000 };
+    let day = generate_day(
+        &HospitalConfig {
+            target_entries: entries,
+            ..HospitalConfig::default()
+        },
+        42,
+    );
+    let stream = interleave(&day.trail);
+    let peak = peak_concurrency(&stream);
+    let shards = 4;
+    let max_open = (peak / 8).max(2);
+
+    let auditor = hospital_auditor();
+    let start = Instant::now();
+    let _batch = audit_parallel(&auditor, &day.trail, 4);
+    let batch_time = start.elapsed();
+
+    let scratch = std::env::temp_dir().join(format!("purposectl-p15-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let policies = [
+        ("never", SyncPolicy::Never),
+        ("batched", SyncPolicy::default()),
+        ("always", SyncPolicy::Always),
+    ];
+
+    // One live run of the stream under `config`; returns the JSON fragment
+    // and (seconds, alarms) for the cross-policy identity check.
+    let run = |label: &str, config: &LiveConfig| -> (String, f64, u64) {
+        let mut live = ShardedMonitor::new(hospital_auditor(), config, shards);
+        let start = Instant::now();
+        live.ingest(&stream).expect("live replay failed");
+        let secs = start.elapsed().as_secs_f64();
+        let stats = live.stats();
+        println!(
+            "  {label:<20} {} ({:.2}x batch): {} fsyncs, {} disk demotions, \
+             {} log bytes, {} alarms",
+            fmt_dur(Duration::from_secs_f64(secs)),
+            secs / batch_time.as_secs_f64(),
+            stats.durable_fsyncs,
+            stats.spill_disk_demotions,
+            stats.spill_log_bytes,
+            stats.alarms,
+        );
+        let json = format!(
+            "{{ \"live_seconds\": {secs:.6}, \"live_over_batch\": {:.4}, \
+             \"fsyncs\": {}, \"disk_demotions\": {}, \"log_bytes\": {} }}",
+            secs / batch_time.as_secs_f64(),
+            stats.durable_fsyncs,
+            stats.spill_disk_demotions,
+            stats.spill_log_bytes,
+        );
+        (json, secs, stats.alarms)
+    };
+
+    // (a) The stock P13 churn configuration (PR 6 baseline shape): the
+    // compressed memory tier absorbs the churn, so the spill log — and
+    // with it the fsync policy — is rarely touched. This is the
+    // acceptance configuration: batched must stay within 10% of the PR 6
+    // live-over-batch baseline.
+    println!("stock P13 configuration (memory tier absorbs churn):");
+    let mut stock = Vec::new();
+    let mut alarms_seen = Vec::new();
+    for (label, policy) in policies {
+        let config = LiveConfig {
+            max_open_cases: max_open,
+            spill_dir: Some(scratch.join(format!("stock-{label}"))),
+            durability: policy,
+            ..LiveConfig::default()
+        };
+        let (json, secs, alarms) = run(label, &config);
+        stock.push((label, json, secs));
+        alarms_seen.push(alarms);
+    }
+
+    // (b) Forced-disk variant: no memory tier, every eviction hits the
+    // append-only log — the worst case for fsync cost and the shape that
+    // actually separates the three policies.
+    println!("forced-disk variant (memory tier disabled, every eviction hits the log):");
+    let mut forced = Vec::new();
+    for (label, policy) in policies {
+        let config = LiveConfig {
+            max_open_cases: max_open,
+            spill_dir: Some(scratch.join(format!("disk-{label}"))),
+            mem_spill_bytes: 0,
+            durability: policy,
+            ..LiveConfig::default()
+        };
+        let (json, secs, alarms) = run(label, &config);
+        forced.push((label, json, secs));
+        alarms_seen.push(alarms);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // The policy buys durability, never verdicts: every run must raise
+    // the same alarms.
+    assert!(
+        alarms_seen.windows(2).all(|w| w[0] == w[1]),
+        "fsync policy changed the alarm count: {alarms_seen:?}"
+    );
+
+    let stock_never = stock[0].2;
+    let stock_batched = stock[1].2;
+    let forced_never = forced[0].2;
+    let forced_batched = forced[1].2;
+    let forced_always = forced[2].2;
+    println!(
+        "overhead vs never: stock batched {:+.1}% | forced-disk batched {:+.1}%, \
+         always {:+.1}%",
+        (stock_batched / stock_never - 1.0) * 100.0,
+        (forced_batched / forced_never - 1.0) * 100.0,
+        (forced_always / forced_never - 1.0) * 100.0,
+    );
+    println!();
+
+    let section = |runs: &[(&str, String, f64)]| {
+        runs.iter()
+            .map(|(label, json, _)| format!("\"{label}\": {json}"))
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    };
+    format!(
+        "{{\n  \
+           \"benchmark\": \"durability_fsync_policy\",\n  \
+           \"workload\": \"hospital_day_interleaved\",\n  \
+           \"entries\": {},\n  \
+           \"shards\": {shards},\n  \
+           \"max_open_cases\": {max_open},\n  \
+           \"batch_seconds\": {:.6},\n  \
+           \"stock\": {{\n    {}\n  }},\n  \
+           \"forced_disk\": {{\n    {}\n  }},\n  \
+           \"stock_batched_over_never\": {:.4},\n  \
+           \"forced_batched_over_never\": {:.4},\n  \
+           \"forced_always_over_never\": {:.4},\n  \
+           \"alarms_identical_across_policies\": true\n}}",
+        stream.len(),
+        batch_time.as_secs_f64(),
+        section(&stock),
+        section(&forced),
+        stock_batched / stock_never,
+        forced_batched / forced_never,
+        forced_always / forced_never,
+    )
+}
+
+/// Replace or append one top-level `"key": {...}` section of an existing
+/// report file without rerunning the other experiments. The section's
+/// object is located by brace matching (no string values in the report
+/// contain braces), removed if present, and the fresh body appended last.
+fn splice_section(existing: &str, key: &str, body: &str) -> String {
+    let mut base = existing.trim_end().to_string();
+    let needle = format!("\"{key}\"");
+    if let Some(i) = base.find(&needle) {
+        let open = base[i..].find('{').expect("malformed section") + i;
+        let mut depth = 0usize;
+        let mut end = open;
+        for (j, c) in base[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(end > open, "unbalanced braces in BENCH_replay.json");
+        // Swallow the separator comma on whichever side has one.
+        let before = base[..i].trim_end();
+        let start = if before.ends_with(',') {
+            before.len() - 1
+        } else {
+            i
+        };
+        let mut rest = base[end..].trim_start();
+        if start == i && rest.starts_with(',') {
+            rest = rest[1..].trim_start();
+        }
+        base = format!("{}{}", &base[..start], rest);
+    }
+    let i = base.rfind('}').expect("malformed BENCH_replay.json");
+    base.truncate(i);
+    let kept = base.trim_end().trim_end_matches(',').len();
+    base.truncate(kept);
+    format!("{base},\n\"{key}\": {body}\n}}\n")
+}
+
 /// Replace or append the `p14_serve` section of an existing report file
 /// without rerunning P1–P13 (the serving bench is self-contained).
 fn splice_p14(existing: &str, p14: &str) -> String {
-    let mut base = existing.trim_end().to_string();
-    if let Some(i) = base.find("\"p14_serve\"") {
-        let cut = base[..i].rfind(',').expect("malformed BENCH_replay.json");
-        base.truncate(cut);
-    } else {
-        let i = base.rfind('}').expect("malformed BENCH_replay.json");
-        base.truncate(i);
-        let kept = base.trim_end().trim_end_matches(',').len();
-        base.truncate(kept);
-    }
-    format!("{base},\n\"p14_serve\": {p14}\n}}\n")
+    splice_section(existing, "p14_serve", p14)
 }
 
 fn fig4_summary() {
@@ -1571,6 +1756,15 @@ fn main() {
         println!("wrote {}", path.display());
         return;
     }
+    if argv.iter().any(|a| a == "--only-p15") {
+        let p15 = p15_durability(quick);
+        let existing = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e} (run the full report first)", path.display()));
+        std::fs::write(&path, splice_section(&existing, "p15_durability", &p15))
+            .expect("write report");
+        println!("wrote {}", path.display());
+        return;
+    }
     println!("# purpose-control experiment report\n");
     fig4_summary();
     p1_naive_vs_replay(quick);
@@ -1587,17 +1781,20 @@ fn main() {
     let p12 = p12_streaming(quick);
     let p13 = p13_churn(quick);
     let p14 = p14_serve(quick);
+    let p15 = p15_durability(quick);
     let json = format!(
         "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {},\n\
          \"p10_degraded_mode\": {},\n\"p11_observability\": {},\n\
-         \"p12_streaming\": {},\n\"p13_churn\": {},\n\"p14_serve\": {}\n}}\n",
+         \"p12_streaming\": {},\n\"p13_churn\": {},\n\"p14_serve\": {},\n\
+         \"p15_durability\": {}\n}}\n",
         p8.trim_end(),
         p9,
         p10,
         p11,
         p12,
         p13,
-        p14
+        p14,
+        p15
     );
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),

@@ -38,7 +38,7 @@ use purpose_control::lenient::{check_case_lenient, LenientOptions};
 use purpose_control::parallel::audit_parallel;
 use purpose_control::replay::{check_case, CheckOptions, Engine};
 use purpose_control::startup::StartupStats;
-use purpose_control::{LiveConfig, LiveEvent, ShardedMonitor};
+use purpose_control::{atomic_write_sync, LiveConfig, LiveEvent, ShardedMonitor, SyncPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -89,6 +89,7 @@ USAGE:
                       [--case-deadline-ms <N>] [--case-step-budget <N>]
                       [--metrics-out <file>] [--prom-out <file>]
                       [--trace-out <file>] [--explain <case>] [--verbose]
+                      [--durability <always|batched[:N]|never>]
   purposectl watch    <trail-file>
                       --process <purpose>=<file>... [--map <prefix>=<purpose>...]
                       [--policy <file>] [--follow] [--poll-ms <N>]
@@ -96,13 +97,16 @@ USAGE:
                       [--max-open-cases <N>] [--max-entries-per-case <N>]
                       [--idle-minutes <M>] [--spill-dir <dir>]
                       [--spill-mem-kib <N>]
+                      [--durability <always|batched[:N]|never>]
                       [--engine <direct|automaton>] [--metrics-out <file>]
   purposectl serve    --tenants <name,name,...>
                       --process <purpose>=<file>... [--map <prefix>=<purpose>...]
                       [--policy <file>] [--addr <ip:port>] [--shards <N>]
                       [--watermark <entries>] [--checkpoint-dir <dir>]
                       [--max-open-cases <N>] [--max-entries-per-case <N>]
-                      [--max-body-kib <N>] [--engine <direct|automaton>]
+                      [--max-body-kib <N>] [--io-timeout <secs>]
+                      [--durability <always|batched[:N]|never>]
+                      [--engine <direct|automaton>]
 
 Observability: --metrics-out / --prom-out export the run's metrics
 (case outcomes, cache and automaton counters, trail shape) as JSON /
@@ -143,6 +147,17 @@ writes --checkpoint, and the next watch with the same flags resumes from
 the recorded byte offset with identical session state. A stale or corrupt
 checkpoint falls back to a cold start with the reason printed.
 
+Durability: every persistent artifact (spill log, watch/serve checkpoints,
+metric/trace/quarantine exports) is written crash-atomically — temp file,
+fsync, rename, directory fsync — under the --durability policy: `always`
+fsyncs every spill append, `batched[:N]` (default, N=16) groups appends per
+fsync, `never` leaves flushing to the OS. Whole-file replacements sync on
+`always` and `batched`, skip syncing on `never`. On a torn tail (crash mid
+append) the next open scans the log, keeps every fully-written record and
+truncates the rest, counted in `durable_torn_tail_truncations`. A full disk
+(ENOSPC) degrades per the salvage playbook: the victim case stays resident
+and correct, `durable_enospc_degradations` is counted, no verdict is lost.
+
 Serving: serve hosts one bounded live monitor per tenant behind a raw
 HTTP/1.1 surface (POST /v1/<tenant>/entries to submit trail batches with
 salvage semantics, GET /v1/<tenant>/cases/<id> and /v1/<tenant>/verdicts
@@ -154,6 +169,8 @@ is printed as `serving on <addr>`. SIGTERM/SIGINT drain every tenant
 queue and checkpoint to --checkpoint-dir/<tenant>.ckpt; the next serve
 with the same tenant set resumes warm (fail-open: orphan, unreadable or
 incompatible checkpoints are reported and ignored, never fatal).
+--io-timeout bounds each socket read/write; a client that stalls
+mid-request gets 408 instead of pinning a worker (slow-loris guard).
 ";
 
 /// Minimal flag scanner: positional args plus `--flag value` / `--flag`.
@@ -223,6 +240,25 @@ fn engine_flag(args: &Args) -> Result<Engine, CliError> {
             "--engine: expected `direct` or `automaton`, got `{other}`"
         ))),
     }
+}
+
+/// Parse `--durability` into the fsync policy every persistent artifact of
+/// the run is written under (spill log, checkpoints, report exports).
+/// Default: `batched` — group-sync appends, full write→fsync→rename→dir-fsync
+/// on whole-file replacement.
+fn durability_flag(args: &Args) -> Result<SyncPolicy, CliError> {
+    match args.flag("durability") {
+        None => Ok(SyncPolicy::default()),
+        Some(v) => SyncPolicy::parse(v).map_err(|e| fail(format!("--durability: {e}"))),
+    }
+}
+
+/// Write an export artifact crash-atomically under the run's `--durability`
+/// policy: readers see the old file or the new one, never a torn mix.
+fn write_export(path: &str, bytes: &[u8], policy: SyncPolicy, what: &str) -> Result<(), CliError> {
+    atomic_write_sync(Path::new(path), bytes, policy)
+        .map(|_| ())
+        .map_err(|e| fail(format!("cannot write {what} `{path}`: {e}")))
 }
 
 /// Where the automaton snapshot for `process_path` lives, honoring
@@ -572,6 +608,7 @@ fn build_auditor(args: &Args, diag: &Recorder) -> Result<AuditorSetup, CliError>
 
 fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     let trail_path = args.flag("trail").ok_or_else(|| fail("missing --trail"))?;
+    let durability = durability_flag(args)?;
     let salvage = args.has("salvage");
     if args.flag("quarantine-out").is_some() && !salvage {
         return Err(fail("--quarantine-out requires --salvage"));
@@ -595,8 +632,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             });
         }
         if let Some(path) = args.flag("quarantine-out") {
-            std::fs::write(path, q.render())
-                .map_err(|e| fail(format!("cannot write quarantine report `{path}`: {e}")))?;
+            write_export(path, q.render().as_bytes(), durability, "quarantine report")?;
             diag.emit(|| ObsEvent::QuarantineReport {
                 path: path.to_string(),
             });
@@ -719,8 +755,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
                 jsonl.push('\n');
             }
         }
-        std::fs::write(path, jsonl)
-            .map_err(|e| fail(format!("cannot write trace file `{path}`: {e}")))?;
+        write_export(path, jsonl.as_bytes(), durability, "trace file")?;
     }
     if let Some(registry) = &metrics {
         for purpose in auditor.registry.purposes() {
@@ -737,12 +772,20 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             auditor.recorder.dropped() + diag.dropped(),
         );
         if let Some(path) = args.flag("metrics-out") {
-            std::fs::write(path, registry.to_json())
-                .map_err(|e| fail(format!("cannot write metrics file `{path}`: {e}")))?;
+            write_export(
+                path,
+                registry.to_json().as_bytes(),
+                durability,
+                "metrics file",
+            )?;
         }
         if let Some(path) = args.flag("prom-out") {
-            std::fs::write(path, registry.to_prometheus())
-                .map_err(|e| fail(format!("cannot write metrics file `{path}`: {e}")))?;
+            write_export(
+                path,
+                registry.to_prometheus().as_bytes(),
+                durability,
+                "metrics file",
+            )?;
         }
     }
     Ok(i32::from(report.infringing_cases() > 0))
@@ -815,7 +858,9 @@ fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             .flag_num("spill-mem-kib", defaults.mem_spill_bytes / 1024)?
             .saturating_mul(1024),
         eviction_debounce: defaults.eviction_debounce,
+        durability: durability_flag(args)?,
     };
+    let durability = config.durability;
     let shards: usize = args.flag_num("shards", 1)?;
     let checkpoint_path = args.flag("checkpoint").map(PathBuf::from);
 
@@ -921,10 +966,7 @@ fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         let bytes = monitor
             .checkpoint(reader.offset())
             .map_err(|e| fail(format!("cannot checkpoint monitor state: {e}")))?;
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        std::fs::write(path, &bytes)
+        atomic_write_sync(path, &bytes, durability)
             .map_err(|e| fail(format!("cannot write checkpoint `{}`: {e}", path.display())))?;
         writeln!(
             out,
@@ -944,8 +986,12 @@ fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         let registry = obs::Registry::new();
         purpose_control::register_audit_metrics(&registry);
         monitor.flush_metrics(&registry);
-        std::fs::write(path, registry.to_json())
-            .map_err(|e| fail(format!("cannot write metrics file `{path}`: {e}")))?;
+        write_export(
+            path,
+            registry.to_json().as_bytes(),
+            durability,
+            "metrics file",
+        )?;
     }
 
     let stats = monitor.stats();
@@ -1014,6 +1060,7 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         max_open_cases: args.flag_num("max-open-cases", defaults.max_open_cases)?,
         max_entries_per_case: args
             .flag_num("max-entries-per-case", defaults.max_entries_per_case)?,
+        durability: durability_flag(args)?,
         ..LiveConfig::default()
     };
     let default_limits = serve::http::Limits::default();
@@ -1027,6 +1074,9 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             max_body_bytes: args
                 .flag_num("max-body-kib", default_limits.max_body_bytes / 1024)?
                 .saturating_mul(1024),
+            io_timeout: std::time::Duration::from_secs(
+                args.flag_num("io-timeout", default_limits.io_timeout.as_secs())?,
+            ),
             ..default_limits
         },
     };

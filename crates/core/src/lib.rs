@@ -45,6 +45,7 @@ pub mod auditor;
 pub mod checkpoint;
 pub mod churn;
 pub mod drift;
+pub mod durable;
 pub mod error;
 pub mod lenient;
 pub mod live;
@@ -66,6 +67,7 @@ pub use auditor::{
 pub use checkpoint::{CaseCheckpoint, MonitorCheckpoint, RestoreError};
 pub use churn::{decode_churn, encode_churn, ChurnCheckpoint, EntryBlock};
 pub use drift::{allowed_successions, case_task_log, drift_report, DriftReport};
+pub use durable::{atomic_write_sync, DurableFile, SyncPolicy};
 pub use error::CheckError;
 pub use lenient::{check_case_lenient, LenientCheck, LenientOptions};
 pub use live::{ClosedCase, LiveAuditor, LiveConfig, LiveEvent, LiveStats};

@@ -48,6 +48,7 @@ use crate::checkpoint::{
     decode_case, encode_case, CaseCheckpoint, MonitorCheckpoint, RestoreError,
 };
 use crate::churn::{decode_churn, encode_churn, ChurnCheckpoint, EntryBlock, CHURN_MAGIC};
+use crate::durable::SyncPolicy;
 use crate::error::CheckError;
 use crate::replay::{CaseCheck, Infringement, Verdict};
 use crate::session::{FeedOutcome, SessionCore};
@@ -110,6 +111,9 @@ pub struct LiveConfig {
     /// How many LRU ticks a freshly rehydrated case is shielded from
     /// eviction (the churn debounce). `None` disables the shield.
     pub eviction_debounce: Option<u64>,
+    /// Fsync cadence for the spill log and checkpoint writes (the
+    /// `--durability` knob; see [`crate::durable::SyncPolicy`]).
+    pub durability: SyncPolicy,
 }
 
 impl Default for LiveConfig {
@@ -121,6 +125,7 @@ impl Default for LiveConfig {
             spill_dir: None,
             mem_spill_bytes: 8 * 1024 * 1024,
             eviction_debounce: Some(32),
+            durability: SyncPolicy::default(),
         }
     }
 }
@@ -162,6 +167,17 @@ pub struct LiveStats {
     /// Resident-budget rebalances (always 0 at shard level; set by
     /// [`crate::sharded::ShardedMonitor`]).
     pub cap_rebalances: u64,
+    /// `fsync` calls issued for durable artifacts (spill log, compactions).
+    pub durable_fsyncs: u64,
+    /// Torn tails truncated: leftover logs ending mid-record at open plus
+    /// failed appends repaired by truncation.
+    pub durable_torn_tail_truncations: u64,
+    /// Disk faults injected by the chaos layer (test/chaos builds only;
+    /// always 0 in production).
+    pub durable_injected_faults: u64,
+    /// Evictions degraded because the disk was full: the case stayed
+    /// resident (over budget) instead of losing its verdict.
+    pub durable_enospc_degradations: u64,
 }
 
 impl LiveStats {
@@ -182,6 +198,12 @@ impl LiveStats {
             spill_log_bytes: self.spill_log_bytes + other.spill_log_bytes,
             spill_compactions: self.spill_compactions + other.spill_compactions,
             cap_rebalances: self.cap_rebalances + other.cap_rebalances,
+            durable_fsyncs: self.durable_fsyncs + other.durable_fsyncs,
+            durable_torn_tail_truncations: self.durable_torn_tail_truncations
+                + other.durable_torn_tail_truncations,
+            durable_injected_faults: self.durable_injected_faults + other.durable_injected_faults,
+            durable_enospc_degradations: self.durable_enospc_degradations
+                + other.durable_enospc_degradations,
         }
     }
 
@@ -202,6 +224,12 @@ impl LiveStats {
             spill_log_bytes: self.spill_log_bytes - earlier.spill_log_bytes,
             spill_compactions: self.spill_compactions - earlier.spill_compactions,
             cap_rebalances: self.cap_rebalances - earlier.cap_rebalances,
+            durable_fsyncs: self.durable_fsyncs - earlier.durable_fsyncs,
+            durable_torn_tail_truncations: self.durable_torn_tail_truncations
+                - earlier.durable_torn_tail_truncations,
+            durable_injected_faults: self.durable_injected_faults - earlier.durable_injected_faults,
+            durable_enospc_degradations: self.durable_enospc_degradations
+                - earlier.durable_enospc_degradations,
         }
     }
 }
@@ -275,7 +303,11 @@ impl LiveAuditor {
     }
 
     pub fn with_config(auditor: Auditor, config: LiveConfig) -> LiveAuditor {
-        let spill = SpillStore::new(config.spill_dir.clone(), config.mem_spill_bytes);
+        let spill = SpillStore::new(
+            config.spill_dir.clone(),
+            config.mem_spill_bytes,
+            config.durability,
+        );
         let resident_cap = config.max_open_cases.max(1);
         LiveAuditor {
             auditor,
@@ -323,6 +355,9 @@ impl LiveAuditor {
         s.spill_disk_demotions = sp.disk_demotions;
         s.spill_log_bytes = sp.log_bytes;
         s.spill_compactions = sp.compactions;
+        s.durable_fsyncs = sp.fsyncs;
+        s.durable_torn_tail_truncations = sp.torn_tail_truncations;
+        s.durable_injected_faults = sp.injected_faults;
         s
     }
 
@@ -621,10 +656,26 @@ impl LiveAuditor {
             }),
             None => self.checkpoint_case(case).expect("checked resident above"),
         };
+        match self.spill.insert(case, &bytes) {
+            Ok(()) => {}
+            Err(e) if e.is_no_space() => {
+                // Disk full. Degrade instead of failing: the case stays
+                // resident (over budget) with its verdict intact — memory
+                // pressure is recoverable, a lost case is not. The
+                // capacity loop treats an unshrunk resident set as final.
+                // Drop whatever the store buffered for the failed insert
+                // so the resident case is the single source of truth.
+                let _ = self.spill.remove(case);
+                self.stats.durable_enospc_degradations += 1;
+                return Ok(());
+            }
+            Err(e) => {
+                return Err(CheckError::Checkpoint {
+                    detail: e.to_string(),
+                })
+            }
+        }
         self.stats.spilled_bytes += bytes.len() as u64;
-        self.spill
-            .insert(case, &bytes)
-            .map_err(|detail| CheckError::Checkpoint { detail })?;
         self.cases.remove(&case);
         self.stats.evictions += 1;
         Ok(())
@@ -633,7 +684,9 @@ impl LiveAuditor {
     fn load_spilled(&self, case: Symbol) -> Result<Vec<u8>, CheckError> {
         self.spill
             .peek(case)
-            .map_err(|detail| CheckError::Checkpoint { detail })?
+            .map_err(|e| CheckError::Checkpoint {
+                detail: e.to_string(),
+            })?
             .ok_or_else(|| CheckError::Checkpoint {
                 detail: format!("case {case} is not in the spill store"),
             })
@@ -645,7 +698,9 @@ impl LiveAuditor {
         let bytes = self
             .spill
             .take(case)
-            .map_err(|detail| CheckError::Checkpoint { detail })?
+            .map_err(|e| CheckError::Checkpoint {
+                detail: e.to_string(),
+            })?
             .ok_or_else(|| CheckError::Checkpoint {
                 detail: format!("case {case} is not in the spill store"),
             })?;
@@ -777,7 +832,14 @@ impl LiveAuditor {
             if victim != global_lru {
                 self.stats.evictions_avoided += 1;
             }
+            let before = self.cases.len();
             self.evict(victim)?;
+            if self.cases.len() == before {
+                // The eviction degraded (disk full, case kept resident):
+                // no further eviction can shrink the set either, so stop
+                // instead of spinning.
+                break;
+            }
         }
         Ok(())
     }
@@ -831,8 +893,13 @@ impl LiveAuditor {
             self.cases.remove(&case);
             // Spill-store hygiene: a retired case must leave no blob (or
             // dead log record) behind.
-            if let Err(detail) = self.spill.remove(case) {
-                errors.push((case, CheckError::Checkpoint { detail }));
+            if let Err(e) = self.spill.remove(case) {
+                errors.push((
+                    case,
+                    CheckError::Checkpoint {
+                        detail: e.to_string(),
+                    },
+                ));
             }
             self.stats.retired += 1;
             retired.push(case);
@@ -962,7 +1029,7 @@ impl LiveAuditor {
                 monitor
                     .spill
                     .insert(case, &encode_case(&c))
-                    .map_err(|detail| RestoreError::Codec(cows::SnapshotError::Io(detail)))?;
+                    .map_err(|e| RestoreError::Codec(cows::SnapshotError::Io(e.to_string())))?;
             }
         }
         for c in ckpt.closed {
@@ -1438,5 +1505,55 @@ mod tests {
             Err(e) => panic!("wrong restore error: {e}"),
             Ok(_) => panic!("restore must reject a changed process"),
         }
+    }
+
+    #[test]
+    fn enospc_degrades_without_losing_resident_verdicts() {
+        use crate::durable::fault;
+        // A full disk from the very first spill write: every eviction
+        // attempt fails with ENOSPC. The monitor must degrade — keep the
+        // cases resident, over budget — and still agree with batch on
+        // every verdict.
+        let dir = std::env::temp_dir()
+            .join("purposectl-tests")
+            .join(format!("live-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        fault::arm(fault::FaultPlan::new(&dir, fault::FaultKind::Enospc, 1));
+        let config = LiveConfig {
+            max_open_cases: 2,
+            mem_spill_bytes: 0,
+            spill_dir: Some(dir.clone()),
+            durability: SyncPolicy::Always,
+            ..LiveConfig::default()
+        };
+        let mut monitor = LiveAuditor::with_config(auditor(), config);
+        let trail = figure4_trail();
+        for e in &trail {
+            monitor.observe(e).unwrap();
+        }
+        let stats = monitor.stats();
+        assert!(
+            stats.durable_enospc_degradations > 0,
+            "the full disk must have been hit: {stats:?}"
+        );
+        assert_eq!(stats.evictions, 0, "nothing actually left memory");
+        assert!(
+            monitor.open_cases() > 2,
+            "degradation keeps cases resident over budget"
+        );
+        let batch = monitor.auditor().audit(&trail);
+        for case in &batch.cases {
+            let live_verdict = monitor.snapshot(case.case).unwrap().unwrap();
+            assert_eq!(
+                live_verdict.verdict.is_compliant(),
+                case.outcome.is_compliant(),
+                "case {} lost its verdict under ENOSPC",
+                case.case
+            );
+        }
+        fault::disarm(&dir);
+        drop(monitor);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -31,6 +31,10 @@ pub const AUDIT_COUNTERS: &[&str] = &[
     "automaton_loaded_edges",
     "automaton_loaded_states",
     "automaton_states",
+    "durable_enospc_degradations",
+    "durable_fsyncs",
+    "durable_injected_faults",
+    "durable_torn_tail_truncations",
     "live_after_alarm_total",
     "live_alarms_total",
     "live_cap_rebalances",
@@ -126,6 +130,16 @@ pub fn record_live_metrics(shard: &mut Shard, delta: &crate::live::LiveStats) {
     shard.add_counter("live_spill_log_bytes", delta.spill_log_bytes);
     shard.add_counter("live_spill_compactions", delta.spill_compactions);
     shard.add_counter("live_cap_rebalances", delta.cap_rebalances);
+    shard.add_counter("durable_fsyncs", delta.durable_fsyncs);
+    shard.add_counter(
+        "durable_torn_tail_truncations",
+        delta.durable_torn_tail_truncations,
+    );
+    shard.add_counter("durable_injected_faults", delta.durable_injected_faults);
+    shard.add_counter(
+        "durable_enospc_degradations",
+        delta.durable_enospc_degradations,
+    );
 }
 
 #[cfg(test)]

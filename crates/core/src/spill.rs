@@ -1,4 +1,5 @@
-//! The tiered spill store: where evicted cases go, cheaply.
+//! The tiered spill store: where evicted cases go, cheaply — and now
+//! durably.
 //!
 //! P12 profiled the old spill path — one `create_dir_all` + `fs::write`
 //! per eviction, one `read` + `remove_file` per rehydration — at tens of
@@ -21,19 +22,38 @@
 //!    retirement become dead bytes, and when dead outweighs live the log
 //!    is compacted (rewrite + rename).
 //!
+//! Writes go through [`crate::durable`]: appends land via a
+//! [`DurableFile`] whose fsync cadence follows the store's
+//! [`SyncPolicy`], and compaction replaces the log with the full
+//! write → fsync → rename → dir-fsync sequence, so a crash mid-compaction
+//! can never leave a half-written log in place. Every record carries an
+//! FNV-1a-64 checksum; [`recover_log`] scans a log front to back and
+//! stops at the first record whose header, length or checksum does not
+//! hold — the torn-tail truncation point. A failed append repairs itself
+//! the same way: the file is truncated back to the last known-good tail
+//! and the batch is requeued, so the in-memory index never references
+//! bytes that might not exist.
+//!
 //! The store is format-agnostic: blobs are opaque bytes, so the run-local
 //! `PCLE` churn envelope and the durable `PCLC` checkpoints (inserted by
 //! monitor restore) coexist; the reader dispatches on magic. The log is
 //! strictly run-scoped — created fresh, deleted on drop — and
 //! construction sweeps stale `*.pclc` per-case files and leftover logs
-//! that a previous run (or crash) left in the directory.
+//! that a previous run (or crash) left in the directory, counting a
+//! torn-tail truncation when a leftover log ends mid-record. (Cross-run
+//! blob *adoption* is deliberately impossible: records key on interner
+//! indices, which are process-local; durability across runs comes from
+//! monitor checkpoints, not the spill log.)
 
 use std::collections::{HashMap, VecDeque};
 use std::fs;
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
 
 use cows::symbol::Symbol;
+use cows::StableHasher;
+
+use crate::durable::{self, atomic_write_sync, DurableFile, SyncPolicy};
 
 /// Coalescing threshold: demoted blobs accumulate in the pending buffer
 /// until this many bytes are ready, then hit the log in one append.
@@ -55,12 +75,64 @@ pub struct SpillStats {
     pub log_bytes: u64,
     /// Log compactions (rewrite + rename).
     pub compactions: u64,
+    /// `fsync` calls issued for the log and its compactions.
+    pub fsyncs: u64,
+    /// Torn tails truncated: leftover logs that ended mid-record at
+    /// construction, plus failed appends repaired by truncating back to
+    /// the last known-good tail.
+    pub torn_tail_truncations: u64,
+    /// Faults injected into this store's log writes (test/chaos builds).
+    pub injected_faults: u64,
 }
+
+/// A spill-store failure, typed so callers can tell "disk full" (degrade
+/// by keeping the case resident) from "disk broken" (surface a typed
+/// error) from "bytes corrupt" (never silently trusted).
+#[derive(Debug)]
+pub enum SpillError {
+    /// An I/O operation on the spill log or its directory failed.
+    Io {
+        op: &'static str,
+        path: PathBuf,
+        source: io::Error,
+    },
+    /// A stored blob failed to decode.
+    Codec { detail: String },
+}
+
+impl SpillError {
+    fn io<'a>(op: &'static str, path: &'a Path) -> impl FnOnce(io::Error) -> SpillError + 'a {
+        move |source| SpillError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    /// `true` when the failure means the disk is full — the one class
+    /// the live monitor degrades through instead of surfacing.
+    pub fn is_no_space(&self) -> bool {
+        matches!(self, SpillError::Io { source, .. } if durable::is_no_space(source))
+    }
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            SpillError::Codec { detail } => write!(f, "spill blob corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
 
 /// The open spill log plus its in-memory read index.
 struct SpillLog {
     path: PathBuf,
-    file: fs::File,
+    file: DurableFile,
     /// `case -> (payload offset, payload length)`.
     index: HashMap<Symbol, (u64, u32)>,
     /// Append position.
@@ -71,8 +143,66 @@ struct SpillLog {
     dead_bytes: u64,
 }
 
-/// Record header in the log: case interner index + payload length.
-const REC_HEADER: u64 = 8;
+/// Record header in the log: case interner index (u32 LE) + payload
+/// length (u32 LE) + FNV-1a-64 checksum of the payload keyed by the case
+/// (u64 LE). The checksum is what lets [`recover_log`] tell a fully
+/// written record from a torn tail.
+const REC_HEADER: u64 = 16;
+
+/// Checksum of one record: the case index folded in first so a payload
+/// can't validate under the wrong case.
+fn record_checksum(case_index: u32, payload: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(&case_index.to_le_bytes());
+    h.write(payload);
+    h.finish()
+}
+
+/// What a torn-tail scan of a spill log recovered.
+pub struct LogRecovery {
+    /// Fully written records in file order: the case's raw interner index
+    /// (interner indices are process-local — a cross-run reader must not
+    /// trust them as symbols) and the stored, still-compressed blob
+    /// (see [`decompress`]). Superseded records of a replaced case appear
+    /// before their replacement; last write wins.
+    pub records: Vec<(u32, Vec<u8>)>,
+    /// Bytes of the valid prefix — where a repairing truncate would cut.
+    pub valid_bytes: u64,
+    /// Torn/garbage tail bytes beyond the valid prefix.
+    pub dropped_bytes: u64,
+}
+
+/// Scan a spill log front to back, stopping at the first record whose
+/// header, length or checksum does not hold. Everything before the stop
+/// point is returned; everything after is the torn tail.
+pub fn recover_log(path: &Path) -> Result<LogRecovery, SpillError> {
+    let bytes = fs::read(path).map_err(SpillError::io("read spill log", path))?;
+    Ok(scan_records(&bytes))
+}
+
+fn scan_records(bytes: &[u8]) -> LogRecovery {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + REC_HEADER as usize) {
+        let case = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let stored = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let payload_at = pos + REC_HEADER as usize;
+        let Some(payload) = bytes.get(payload_at..payload_at + len) else {
+            break;
+        };
+        if record_checksum(case, payload) != stored {
+            break;
+        }
+        records.push((case, payload.to_vec()));
+        pos = payload_at + len;
+    }
+    LogRecovery {
+        records,
+        valid_bytes: pos as u64,
+        dropped_bytes: (bytes.len() - pos) as u64,
+    }
+}
 
 /// A two-tier store of evicted-case blobs, keyed by case symbol.
 pub struct SpillStore {
@@ -82,6 +212,8 @@ pub struct SpillStore {
     /// which is the old `Spilled::Memory` behavior and the right default
     /// for tests and bounded runs.
     mem_cap: usize,
+    /// Fsync cadence for log appends and compactions.
+    policy: SyncPolicy,
     mem: HashMap<Symbol, (u64, Vec<u8>)>,
     /// Demotion order: `(case, generation)` pairs; stale generations are
     /// skipped, so re-spilled cases are only demoted at their newest slot.
@@ -100,18 +232,29 @@ pub struct SpillStore {
 impl SpillStore {
     /// Open a store over `dir` (`None` = memory only). Sweeps orphaned
     /// `*.pclc` per-case spill files and stale `spill.log*` leftovers from
-    /// previous runs; the sweep is best-effort — an unreadable directory
-    /// just yields a store that will surface the IO error on first demote.
-    pub fn new(dir: Option<PathBuf>, mem_cap: usize) -> SpillStore {
+    /// previous runs — scanning a leftover `spill.log` first, so a tail
+    /// torn by the previous crash is counted before the file goes; the
+    /// sweep is best-effort — an unreadable directory just yields a store
+    /// that will surface the IO error on first demote.
+    pub fn new(dir: Option<PathBuf>, mem_cap: usize, policy: SyncPolicy) -> SpillStore {
         let mut orphans_swept = 0;
+        let mut stats = SpillStats::default();
         if let Some(d) = &dir {
             if let Ok(listing) = fs::read_dir(d) {
                 for entry in listing.flatten() {
                     let name = entry.file_name();
                     let name = name.to_string_lossy();
-                    if (name.ends_with(".pclc") || name.starts_with("spill.log"))
-                        && fs::remove_file(entry.path()).is_ok()
-                    {
+                    if !name.ends_with(".pclc") && !name.starts_with("spill.log") {
+                        continue;
+                    }
+                    if name == "spill.log" {
+                        if let Ok(scan) = recover_log(&entry.path()) {
+                            if scan.dropped_bytes > 0 {
+                                stats.torn_tail_truncations += 1;
+                            }
+                        }
+                    }
+                    if fs::remove_file(entry.path()).is_ok() {
                         orphans_swept += 1;
                     }
                 }
@@ -120,6 +263,7 @@ impl SpillStore {
         SpillStore {
             dir,
             mem_cap,
+            policy,
             mem: HashMap::new(),
             mem_order: VecDeque::new(),
             mem_bytes: 0,
@@ -128,7 +272,7 @@ impl SpillStore {
             pending_bytes: 0,
             log: None,
             orphans_swept,
-            stats: SpillStats::default(),
+            stats,
         }
     }
 
@@ -138,7 +282,13 @@ impl SpillStore {
     }
 
     pub fn stats(&self) -> SpillStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(log) = &self.log {
+            let file = log.file.stats();
+            stats.fsyncs += file.fsyncs;
+            stats.injected_faults += file.injected_faults;
+        }
+        stats
     }
 
     pub fn len(&self) -> usize {
@@ -178,7 +328,7 @@ impl SpillStore {
     /// their way out (see the overflow loop), so the budget is still
     /// honored in actual bytes and the disk still receives compressed
     /// records.
-    pub fn insert(&mut self, case: Symbol, payload: &[u8]) -> Result<(), String> {
+    pub fn insert(&mut self, case: Symbol, payload: &[u8]) -> Result<(), SpillError> {
         self.forget(case);
         let pressured =
             self.dir.is_some() && (self.mem_bytes + payload.len()).saturating_mul(2) > self.mem_cap;
@@ -237,16 +387,16 @@ impl SpillStore {
     }
 
     /// Take a blob out of the store (the rehydration read).
-    pub fn take(&mut self, case: Symbol) -> Result<Option<Vec<u8>>, String> {
+    pub fn take(&mut self, case: Symbol) -> Result<Option<Vec<u8>>, SpillError> {
         if let Some((_, blob)) = self.mem.remove(&case) {
             self.mem_bytes -= blob.len();
             self.stats.tier_hits += 1;
-            return decompress(&blob).map(Some);
+            return decode(&blob).map(Some);
         }
         if let Some(blob) = self.pending.remove(&case) {
             self.pending_bytes -= blob.len();
             self.stats.tier_hits += 1; // never reached disk
-            return decompress(&blob).map(Some);
+            return decode(&blob).map(Some);
         }
         let Some(log) = &mut self.log else {
             return Ok(None);
@@ -258,21 +408,20 @@ impl SpillStore {
         log.dead_bytes += REC_HEADER + u64::from(len);
         let mut blob = vec![0u8; len as usize];
         log.file
-            .seek(SeekFrom::Start(offset))
-            .and_then(|_| log.file.read_exact(&mut blob))
-            .map_err(|e| format!("read spill log {}: {e}", log.path.display()))?;
+            .read_at(offset, &mut blob)
+            .map_err(SpillError::io("read spill log", &log.path))?;
         self.maybe_compact()?;
-        decompress(&blob).map(Some)
+        decode(&blob).map(Some)
     }
 
     /// Read a blob without removing it or touching the counters (used for
     /// read-only snapshots and whole-monitor checkpoints).
-    pub fn peek(&self, case: Symbol) -> Result<Option<Vec<u8>>, String> {
+    pub fn peek(&self, case: Symbol) -> Result<Option<Vec<u8>>, SpillError> {
         if let Some((_, blob)) = self.mem.get(&case) {
-            return decompress(blob).map(Some);
+            return decode(blob).map(Some);
         }
         if let Some(blob) = self.pending.get(&case) {
-            return decompress(blob).map(Some);
+            return decode(blob).map(Some);
         }
         let Some(log) = &self.log else {
             return Ok(None);
@@ -282,18 +431,18 @@ impl SpillStore {
         };
         // A fresh read handle keeps peeks `&self`; they are rare (operator
         // snapshots, whole-monitor checkpoints), never the churn path.
-        let mut file = fs::File::open(&log.path)
-            .map_err(|e| format!("open spill log {}: {e}", log.path.display()))?;
+        let mut file =
+            fs::File::open(&log.path).map_err(SpillError::io("open spill log", &log.path))?;
         let mut blob = vec![0u8; len as usize];
         file.seek(SeekFrom::Start(offset))
             .and_then(|_| file.read_exact(&mut blob))
-            .map_err(|e| format!("read spill log {}: {e}", log.path.display()))?;
-        decompress(&blob).map(Some)
+            .map_err(SpillError::io("read spill log", &log.path))?;
+        decode(&blob).map(Some)
     }
 
     /// Drop a case from every tier (retirement cleanup). Compacts the log
     /// when the removal tips the dead-byte balance.
-    pub fn remove(&mut self, case: Symbol) -> Result<(), String> {
+    pub fn remove(&mut self, case: Symbol) -> Result<(), SpillError> {
         self.forget(case);
         self.maybe_compact()
     }
@@ -315,7 +464,13 @@ impl SpillStore {
     }
 
     /// One coalesced append of everything pending.
-    fn flush_pending(&mut self) -> Result<(), String> {
+    ///
+    /// The index is only updated after the write (and its policy-driven
+    /// fsync) succeed. On failure the file is truncated back to the old
+    /// tail — repairing any torn partial write — and the batch is
+    /// requeued, so a later flush (or rehydration from the pending
+    /// buffer) still sees every blob.
+    fn flush_pending(&mut self) -> Result<(), SpillError> {
         if self.pending.is_empty() {
             return Ok(());
         }
@@ -324,16 +479,10 @@ impl SpillStore {
             .clone()
             .expect("pending only accumulates with a dir");
         if self.log.is_none() {
-            fs::create_dir_all(&dir)
-                .map_err(|e| format!("create spill dir {}: {e}", dir.display()))?;
+            fs::create_dir_all(&dir).map_err(SpillError::io("create spill dir", &dir))?;
             let path = dir.join("spill.log");
-            let file = fs::OpenOptions::new()
-                .create(true)
-                .truncate(true)
-                .read(true)
-                .write(true)
-                .open(&path)
-                .map_err(|e| format!("create spill log {}: {e}", path.display()))?;
+            let file = DurableFile::create(&path, self.policy)
+                .map_err(SpillError::io("create spill log", &path))?;
             self.log = Some(SpillLog {
                 path,
                 file,
@@ -347,13 +496,33 @@ impl SpillStore {
         let mut batch =
             Vec::with_capacity(self.pending_bytes + REC_HEADER as usize * self.pending.len());
         let mut drained: Vec<(Symbol, Vec<u8>)> = self.pending.drain().collect();
+        self.pending_bytes = 0;
         drained.sort_by_key(|(c, _)| *c);
-        for (case, blob) in drained {
+        let mut placed: Vec<(Symbol, u64, u32)> = Vec::with_capacity(drained.len());
+        for (case, blob) in &drained {
             let len = u32::try_from(blob.len()).expect("spill blobs are far below 4 GiB");
             batch.extend_from_slice(&case.index().to_le_bytes());
             batch.extend_from_slice(&len.to_le_bytes());
+            batch.extend_from_slice(&record_checksum(case.index(), blob).to_le_bytes());
             let payload_at = log.tail + batch.len() as u64;
-            batch.extend_from_slice(&blob);
+            batch.extend_from_slice(blob);
+            placed.push((*case, payload_at, len));
+        }
+        if let Err(source) = log.file.write_at(log.tail, &batch) {
+            let _ = log.file.set_len(log.tail);
+            let path = log.path.clone();
+            self.stats.torn_tail_truncations += 1;
+            for (case, blob) in drained {
+                self.pending_bytes += blob.len();
+                self.pending.insert(case, blob);
+            }
+            return Err(SpillError::Io {
+                op: "append spill log",
+                path,
+                source,
+            });
+        }
+        for (case, payload_at, len) in placed {
             if let Some((_, old)) = log.index.insert(case, (payload_at, len)) {
                 log.live_bytes -= u64::from(old);
                 log.dead_bytes += REC_HEADER + u64::from(old);
@@ -361,24 +530,23 @@ impl SpillStore {
             log.live_bytes += u64::from(len);
             self.stats.disk_demotions += 1;
         }
-        log.file
-            .seek(SeekFrom::Start(log.tail))
-            .and_then(|_| log.file.write_all(&batch))
-            .map_err(|e| format!("append spill log {}: {e}", log.path.display()))?;
         log.tail += batch.len() as u64;
         self.stats.log_bytes += batch.len() as u64;
-        self.pending_bytes = 0;
         Ok(())
     }
 
     /// Rewrite the log with only live records once dead bytes dominate.
-    fn maybe_compact(&mut self) -> Result<(), String> {
+    /// The rewrite goes through [`atomic_write_sync`] — tmp, fsync,
+    /// rename, dir fsync — so a crash mid-compaction leaves either the
+    /// old log or the new one, never a hybrid.
+    fn maybe_compact(&mut self) -> Result<(), SpillError> {
         let Some(log) = &self.log else {
             return Ok(());
         };
         if log.dead_bytes < COMPACT_MIN_DEAD || log.dead_bytes <= log.live_bytes {
             return Ok(());
         }
+        let policy = self.policy;
         let log = self.log.as_mut().expect("checked above");
         let mut entries: Vec<(Symbol, u64, u32)> = log
             .index
@@ -392,25 +560,25 @@ impl SpillStore {
         for (case, offset, len) in entries {
             let mut blob = vec![0u8; len as usize];
             log.file
-                .seek(SeekFrom::Start(offset))
-                .and_then(|_| log.file.read_exact(&mut blob))
-                .map_err(|e| format!("compact: read {}: {e}", log.path.display()))?;
+                .read_at(offset, &mut blob)
+                .map_err(SpillError::io("compact: read spill log", &log.path))?;
             rewritten.extend_from_slice(&case.index().to_le_bytes());
             rewritten.extend_from_slice(&len.to_le_bytes());
+            rewritten.extend_from_slice(&record_checksum(case.index(), &blob).to_le_bytes());
             index.insert(case, (rewritten.len() as u64, len));
             rewritten.extend_from_slice(&blob);
             live_bytes += u64::from(len);
         }
-        let tmp = log.path.with_extension("log.tmp");
-        fs::write(&tmp, &rewritten)
-            .map_err(|e| format!("compact: write {}: {e}", tmp.display()))?;
-        fs::rename(&tmp, &log.path)
-            .map_err(|e| format!("compact: rename {}: {e}", log.path.display()))?;
-        log.file = fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&log.path)
-            .map_err(|e| format!("compact: reopen {}: {e}", log.path.display()))?;
+        // The old handle's counters would vanish with the handle — fold
+        // them into the store's totals before the swap.
+        let retiring = log.file.stats();
+        self.stats.fsyncs += retiring.fsyncs;
+        self.stats.injected_faults += retiring.injected_faults;
+        let fsyncs = atomic_write_sync(&log.path, &rewritten, policy)
+            .map_err(SpillError::io("compact: replace spill log", &log.path))?;
+        self.stats.fsyncs += fsyncs;
+        log.file = DurableFile::open(&log.path, policy)
+            .map_err(SpillError::io("compact: reopen spill log", &log.path))?;
         log.tail = rewritten.len() as u64;
         log.index = index;
         log.live_bytes = live_bytes;
@@ -425,9 +593,20 @@ impl Drop for SpillStore {
     /// it so nothing lingers for the next run's orphan sweep.
     fn drop(&mut self) {
         if let Some(log) = &self.log {
-            let _ = fs::remove_file(&log.path);
+            let _ = fs::remove_file(log.path());
         }
     }
+}
+
+impl SpillLog {
+    fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Decode a stored blob, lifting codec failures into [`SpillError`].
+fn decode(blob: &[u8]) -> Result<Vec<u8>, SpillError> {
+    decompress(blob).map_err(|detail| SpillError::Codec { detail })
 }
 
 // ---------------------------------------------------------------------------
@@ -569,6 +748,7 @@ pub fn decompress(blob: &[u8]) -> Result<Vec<u8>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durable::fault;
     use cows::sym;
 
     fn scratch(name: &str) -> PathBuf {
@@ -610,7 +790,7 @@ mod tests {
 
     #[test]
     fn memory_only_store_round_trips() {
-        let mut store = SpillStore::new(None, 0);
+        let mut store = SpillStore::new(None, 0, SyncPolicy::Never);
         let payload = b"hello spill".to_vec();
         store.insert(sym("S-1"), &payload).unwrap();
         assert!(store.contains(sym("S-1")));
@@ -623,27 +803,26 @@ mod tests {
         assert!(store.take(sym("S-1")).unwrap().is_none());
     }
 
+    /// Hash-mixed (incompressible) payloads so tests really reach disk.
+    fn mixed_payload(i: u32, len: u64) -> Vec<u8> {
+        (0..len)
+            .map(|j| {
+                let mut h = u64::from(i) * len + j;
+                h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h = (h ^ (h >> 29)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+                (h ^ (h >> 32)) as u8
+            })
+            .collect()
+    }
+
     #[test]
     fn overflowing_the_memory_tier_demotes_to_the_log() {
         let dir = scratch("demote");
         // A tiny memory tier and an incompressible payload force demotion;
         // FLUSH_BYTES is reached after enough inserts.
-        let mut store = SpillStore::new(Some(dir.clone()), 1024);
+        let mut store = SpillStore::new(Some(dir.clone()), 1024, SyncPolicy::Batched(8));
         let payloads: Vec<(Symbol, Vec<u8>)> = (0..600u32)
-            .map(|i| {
-                let case = sym(&format!("D-{i}"));
-                // Hash-mixed bytes: no short repeats, so LZSS falls back
-                // to raw and the pending buffer really reaches FLUSH_BYTES.
-                let payload: Vec<u8> = (0..700u64)
-                    .map(|j| {
-                        let mut h = u64::from(i) * 700 + j;
-                        h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-                        h = (h ^ (h >> 29)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
-                        (h ^ (h >> 32)) as u8
-                    })
-                    .collect();
-                (case, payload)
-            })
+            .map(|i| (sym(&format!("D-{i}")), mixed_payload(i, 700)))
             .collect();
         for (case, payload) in &payloads {
             store.insert(*case, payload).unwrap();
@@ -663,6 +842,32 @@ mod tests {
     }
 
     #[test]
+    fn always_policy_fsyncs_every_append() {
+        let dir = scratch("fsync-always");
+        let mut store = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Always);
+        for i in 0..5u32 {
+            store
+                .insert(sym(&format!("F-{i}")), &mixed_payload(i, 600))
+                .unwrap();
+        }
+        assert!(store.stats().disk_demotions >= 5);
+        assert!(
+            store.stats().fsyncs >= 5,
+            "every append synced: {:?}",
+            store.stats()
+        );
+        drop(store);
+
+        let mut lazy = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Never);
+        for i in 0..5u32 {
+            lazy.insert(sym(&format!("F-{i}")), &mixed_payload(i, 600))
+                .unwrap();
+        }
+        assert_eq!(lazy.stats().fsyncs, 0, "never means never");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn compression_is_pressure_gated() {
         let dir = scratch("pressure");
         // Highly compressible payload: LZSS would shrink it ~10x, so the
@@ -675,7 +880,7 @@ mod tests {
             .collect();
 
         // Headroom: a roomy budget parks the blob raw (tag + payload).
-        let mut roomy = SpillStore::new(Some(dir.clone()), 1024 * 1024);
+        let mut roomy = SpillStore::new(Some(dir.clone()), 1024 * 1024, SyncPolicy::Never);
         roomy.insert(sym("P-raw"), &payload).unwrap();
         assert_eq!(roomy.mem_bytes, payload.len() + 1, "parked raw");
         assert_eq!(roomy.take(sym("P-raw")).unwrap().unwrap(), payload);
@@ -683,7 +888,7 @@ mod tests {
 
         // Pressure: a budget under 2x the payload compresses on insert,
         // and the compressible blob stays resident — no disk involved.
-        let mut tight = SpillStore::new(Some(dir.clone()), 3000);
+        let mut tight = SpillStore::new(Some(dir.clone()), 3000, SyncPolicy::Never);
         tight.insert(sym("P-lz"), &payload).unwrap();
         assert!(
             tight.mem_bytes * 2 < payload.len(),
@@ -699,7 +904,7 @@ mod tests {
         // tier; when compression alone reclaims the budget it stays
         // resident instead of demoting. P-0 parks raw under the watermark,
         // the Q-i compress past the cap, and the overflow squeezes P-0.
-        let mut filling = SpillStore::new(Some(dir.clone()), 6000);
+        let mut filling = SpillStore::new(Some(dir.clone()), 6000, SyncPolicy::Never);
         filling.insert(sym("P-0"), &payload).unwrap();
         assert_eq!(filling.mem_bytes, payload.len() + 1, "parked raw");
         for i in 0..20 {
@@ -718,7 +923,7 @@ mod tests {
     #[test]
     fn removals_trigger_compaction() {
         let dir = scratch("compact");
-        let mut store = SpillStore::new(Some(dir.clone()), 0);
+        let mut store = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Batched(4));
         let payload: Vec<u8> = (0..4000u32)
             .map(|j| j.wrapping_mul(2654435761) as u8)
             .collect();
@@ -750,8 +955,13 @@ mod tests {
         fs::write(dir.join("HT-1-0123456789abcdef.pclc"), b"stale").unwrap();
         fs::write(dir.join("spill.log"), b"stale log").unwrap();
         fs::write(dir.join("keep.txt"), b"unrelated").unwrap();
-        let store = SpillStore::new(Some(dir.clone()), 0);
+        let store = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Never);
         assert_eq!(store.orphans_swept(), 2);
+        assert_eq!(
+            store.stats().torn_tail_truncations,
+            1,
+            "the garbage leftover log counts as a torn tail"
+        );
         assert!(!dir.join("HT-1-0123456789abcdef.pclc").exists());
         assert!(!dir.join("spill.log").exists());
         assert!(dir.join("keep.txt").exists(), "sweep is format-scoped");
@@ -761,7 +971,7 @@ mod tests {
     #[test]
     fn reinsert_replaces_and_log_reads_survive_replacement() {
         let dir = scratch("replace");
-        let mut store = SpillStore::new(Some(dir.clone()), 0);
+        let mut store = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Never);
         let a: Vec<u8> = (0..3000u32).map(|j| (j * 31) as u8).collect();
         let b: Vec<u8> = (0..3000u32).map(|j| (j * 37) as u8).collect();
         for i in 0..120 {
@@ -774,6 +984,89 @@ mod tests {
         for i in 0..120 {
             assert_eq!(store.take(sym(&format!("R-{i}"))).unwrap().unwrap(), b);
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_log_stops_at_torn_tail() {
+        let dir = scratch("recover");
+        let mut store = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Never);
+        let payloads: Vec<(Symbol, Vec<u8>)> = (0..8u32)
+            .map(|i| (sym(&format!("V-{i}")), mixed_payload(i, 900)))
+            .collect();
+        for (case, payload) in &payloads {
+            store.insert(*case, payload).unwrap();
+        }
+        let log_path = dir.join("spill.log");
+        let pristine = fs::read(&log_path).unwrap();
+
+        // Pristine log: every record comes back, in order, bit-exact.
+        let scan = scan_records(&pristine);
+        assert_eq!(scan.dropped_bytes, 0);
+        assert_eq!(scan.records.len(), payloads.len());
+        for ((case, payload), (idx, blob)) in payloads.iter().zip(&scan.records) {
+            assert_eq!(*idx, case.index());
+            assert_eq!(&decompress(blob).unwrap(), payload);
+        }
+
+        // Cut mid-record and graft garbage on: the scan keeps exactly the
+        // records fully inside the cut and drops the rest.
+        let cut = scan.valid_bytes as usize / 2;
+        let mut torn = pristine[..cut].to_vec();
+        torn.extend_from_slice(b"\xde\xad\xbe\xefgarbage tail");
+        let scan_torn = scan_records(&torn);
+        assert!(scan_torn.records.len() < payloads.len());
+        assert!(scan_torn.dropped_bytes > 0);
+        for ((case, payload), (idx, blob)) in payloads.iter().zip(&scan_torn.records) {
+            assert_eq!(*idx, case.index());
+            assert_eq!(&decompress(blob).unwrap(), payload);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_truncates_and_requeues() {
+        let dir = scratch("fault-append");
+        let mut store = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Never);
+        let first = mixed_payload(1, 800);
+        store.insert(sym("A-1"), &first).unwrap();
+        let tail = fs::metadata(dir.join("spill.log")).unwrap().len();
+
+        // The next durable write under this directory tears halfway.
+        fault::arm(fault::FaultPlan::new(&dir, fault::FaultKind::ShortWrite, 1));
+        let second = mixed_payload(2, 800);
+        let err = store.insert(sym("A-2"), &second).unwrap_err();
+        assert!(!err.is_no_space());
+        fault::disarm(&dir);
+
+        // The torn bytes were truncated away and the blob requeued: the
+        // log is exactly as long as before the failure, the scan sees
+        // only whole records, and the case is still readable.
+        assert_eq!(fs::metadata(dir.join("spill.log")).unwrap().len(), tail);
+        assert_eq!(store.stats().torn_tail_truncations, 1);
+        assert!(store.stats().injected_faults >= 1);
+        let scan = recover_log(&dir.join("spill.log")).unwrap();
+        assert_eq!(scan.dropped_bytes, 0);
+        assert_eq!(store.take(sym("A-2")).unwrap().unwrap(), second);
+        assert_eq!(store.take(sym("A-1")).unwrap().unwrap(), first);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_append_is_typed_and_recoverable() {
+        let dir = scratch("fault-enospc");
+        let mut store = SpillStore::new(Some(dir.clone()), 0, SyncPolicy::Never);
+        store.insert(sym("E-1"), &mixed_payload(1, 700)).unwrap();
+        fault::arm(fault::FaultPlan::new(&dir, fault::FaultKind::Enospc, 1));
+        let payload = mixed_payload(2, 700);
+        let err = store.insert(sym("E-2"), &payload).unwrap_err();
+        assert!(err.is_no_space(), "{err}");
+        // The blob is parked in the pending buffer: readable now, flushed
+        // once the disk comes back.
+        assert_eq!(store.peek(sym("E-2")).unwrap().unwrap(), payload);
+        fault::disarm(&dir);
+        store.insert(sym("E-3"), &mixed_payload(3, 700)).unwrap();
+        assert_eq!(store.take(sym("E-2")).unwrap().unwrap(), payload);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -12,15 +12,24 @@
 //! while streaming chunked bodies), and any framing violation — torn
 //! request line, non-numeric length, truncated chunk — is a `400` that
 //! also poisons the connection (framing is unrecoverable mid-stream).
+//! A connection that stalls mid-request — the slow-loris pattern: open a
+//! socket, dribble half a request line, hold — trips the socket's
+//! read/write deadline ([`Limits::io_timeout`]) and is answered `408`.
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 /// Parsing limits. Defaults are generous for trail batches but bounded:
-/// a client cannot make the server buffer more than `max_body_bytes`.
+/// a client cannot make the server buffer more than `max_body_bytes` or
+/// hold a worker longer than `io_timeout` per socket operation.
 #[derive(Clone, Copy, Debug)]
 pub struct Limits {
     pub max_header_bytes: usize,
     pub max_body_bytes: usize,
+    /// Per-operation socket deadline, applied to both reads and writes
+    /// (`--io-timeout`). A stalled request line gets a `408` when it
+    /// expires.
+    pub io_timeout: Duration,
 }
 
 impl Default for Limits {
@@ -28,6 +37,7 @@ impl Default for Limits {
         Limits {
             max_header_bytes: 16 * 1024,
             max_body_bytes: 8 * 1024 * 1024,
+            io_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -70,6 +80,9 @@ pub enum HttpError {
     HeadersTooLarge,
     /// Declared or streamed body exceeded [`Limits::max_body_bytes`].
     BodyTooLarge,
+    /// The socket deadline ([`Limits::io_timeout`]) expired mid-request —
+    /// the slow-loris guard.
+    TimedOut,
     /// Transport failure mid-request.
     Io(std::io::Error),
 }
@@ -81,8 +94,19 @@ impl HttpError {
             HttpError::Malformed(_) => Some((400, "Bad Request")),
             HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
             HttpError::BodyTooLarge => Some((413, "Content Too Large")),
+            HttpError::TimedOut => Some((408, "Request Timeout")),
             HttpError::Closed | HttpError::Io(_) => None,
         }
+    }
+}
+
+/// Lift a transport error, separating "the deadline expired" (a typed
+/// `408`) from genuine transport failure. Timeouts surface as `WouldBlock`
+/// or `TimedOut` depending on platform; both mean the peer stalled.
+fn classify_io(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => HttpError::TimedOut,
+        _ => HttpError::Io(e),
     }
 }
 
@@ -93,6 +117,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
             HttpError::HeadersTooLarge => write!(f, "header block too large"),
             HttpError::BodyTooLarge => write!(f, "body too large"),
+            HttpError::TimedOut => write!(f, "request stalled past the io timeout"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -118,7 +143,7 @@ fn read_line_bounded(
                 return Err(HttpError::Malformed("truncated line"));
             }
             Ok(_) => {}
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) => return Err(classify_io(e)),
         }
         if *budget == 0 {
             return Err(over);
@@ -144,9 +169,10 @@ fn read_exact_body(
         return Err(HttpError::BodyTooLarge);
     }
     let mut body = vec![0u8; len];
-    reader
-        .read_exact(&mut body)
-        .map_err(|_| HttpError::Malformed("body shorter than Content-Length"))?;
+    reader.read_exact(&mut body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => HttpError::TimedOut,
+        _ => HttpError::Malformed("body shorter than Content-Length"),
+    })?;
     Ok(body)
 }
 
@@ -190,7 +216,12 @@ fn read_chunked_body(reader: &mut impl BufRead, limits: &Limits) -> Result<Vec<u
         body.resize(start + size, 0);
         reader
             .read_exact(&mut body[start..])
-            .map_err(|_| HttpError::Malformed("truncated chunk data"))?;
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                    HttpError::TimedOut
+                }
+                _ => HttpError::Malformed("truncated chunk data"),
+            })?;
         let mut crlf = [0u8; 2];
         reader
             .read_exact(&mut crlf)

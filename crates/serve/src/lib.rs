@@ -36,6 +36,7 @@ pub use tenant::{
 
 use http::{read_request, write_response, Limits, Request};
 use obs::json::escape;
+use purpose_control::durable::{atomic_write_sync, SyncPolicy};
 use purpose_control::pool::MonitorHandle;
 use purpose_control::replay::Verdict;
 use purpose_control::{Auditor, LiveConfig};
@@ -93,6 +94,9 @@ struct State {
     tenants: BTreeMap<String, Arc<Tenant>>,
     limits: Limits,
     checkpoint_dir: Option<PathBuf>,
+    /// Fsync cadence for checkpoint writes (from the live config, so one
+    /// `--durability` flag governs every durable artifact).
+    durability: SyncPolicy,
     stop: AtomicBool,
     issues: Vec<RestoreIssue>,
 }
@@ -165,6 +169,7 @@ impl Server {
             tenants,
             limits: config.limits,
             checkpoint_dir: config.checkpoint_dir.clone(),
+            durability: config.live.durability,
             stop: AtomicBool::new(false),
             issues,
         });
@@ -256,7 +261,7 @@ impl Server {
                     std::fs::create_dir_all(dir)
                         .map_err(|e| ServeError::Checkpoint(format!("{}: {e}", dir.display())))?;
                     let path = checkpoint_path(dir, name);
-                    std::fs::write(&path, &bytes)
+                    atomic_write_sync(&path, &bytes, self.state.durability)
                         .map_err(|e| ServeError::Checkpoint(format!("{}: {e}", path.display())))?;
                     Some(path)
                 }
@@ -284,7 +289,12 @@ pub fn quiesce(server: &Server) {
 // ---------------------------------------------------------------------------
 
 fn serve_connection(stream: TcpStream, state: Arc<State>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // Both directions get the deadline: a reader that dribbles bytes
+    // (slow loris) trips the read timeout and is owed a 408; a client
+    // that stops draining its receive window can no longer pin a worker
+    // in write_all forever.
+    let _ = stream.set_read_timeout(Some(state.limits.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.limits.io_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -467,7 +477,7 @@ fn admin_checkpoint(state: &State) -> Outcome {
             }
         };
         let path = checkpoint_path(dir, name);
-        if let Err(e) = std::fs::write(&path, &bytes) {
+        if let Err(e) = atomic_write_sync(&path, &bytes, state.durability) {
             return Outcome::json(500, "Internal Server Error", error_body(&e.to_string()));
         }
         tenant.note_checkpoint();
@@ -685,5 +695,68 @@ pub mod client {
             headers,
             body: String::from_utf8_lossy(&body).into_owned(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    /// The slow-loris guard: a client that sends half a request line and
+    /// then stalls must get a 408 when the io deadline expires — not pin
+    /// the connection thread forever, not be dropped without a status.
+    #[test]
+    fn half_open_connection_gets_408_not_a_hung_worker() {
+        let config = ServeConfig {
+            limits: Limits {
+                io_timeout: Duration::from_millis(200),
+                ..Limits::default()
+            },
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Vec::new(), config).unwrap();
+        let addr = server.addr();
+
+        let started = std::time::Instant::now();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Half a request line, no terminator — then silence.
+        stream.write_all(b"GET /hea").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        // Bound the client read too, so a regression hangs the test with
+        // a clear timeout instead of forever.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 408 Request Timeout"),
+            "got: {response:?}"
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(200),
+            "the 408 must come from the deadline, not an instant refusal"
+        );
+        server.shutdown().unwrap();
+    }
+
+    /// An intact request against the same tiny deadline still succeeds —
+    /// the timeout punishes stalling, not ordinary clients.
+    #[test]
+    fn prompt_requests_are_unaffected_by_the_io_deadline() {
+        let config = ServeConfig {
+            limits: Limits {
+                io_timeout: Duration::from_millis(200),
+                ..Limits::default()
+            },
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Vec::new(), config).unwrap();
+        let addr = server.addr().to_string();
+        let response = client::request(&addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(response.status, 200);
+        server.shutdown().unwrap();
     }
 }

@@ -14,10 +14,13 @@
 //!   with ground truth;
 //! * [`chaos`] — seeded transport/storage-level corruption of rendered
 //!   trails (bit flips, truncation, duplication, shuffles, clock skew,
-//!   chain tampering), driving the degraded-mode chaos suite.
+//!   chain tampering), driving the degraded-mode chaos suite;
+//! * [`crashgen`] — seeded kill-9 schedules (which batch, warm or cold,
+//!   how far into the drain) for the crash-injection harness.
 
 pub mod attacks;
 pub mod chaos;
+pub mod crashgen;
 pub mod hospital;
 pub mod procgen;
 pub mod simulate;
@@ -25,6 +28,7 @@ pub mod stream;
 
 pub use attacks::Injection;
 pub use chaos::{inject_text, tamper_chain, ChaosKind, ChaosReport, TEXT_INJECTORS};
+pub use crashgen::{batch_splits, seed_matrix, CrashSchedule};
 pub use hospital::{generate_day, HospitalConfig, HospitalDay};
 pub use procgen::{generate, ProcGenConfig};
 pub use simulate::{simulate_case, SimConfig, TaskProfiles};
