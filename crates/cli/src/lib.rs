@@ -107,6 +107,10 @@ USAGE:
                       [--max-body-kib <N>] [--io-timeout <secs>]
                       [--durability <always|batched[:N]|never>]
                       [--engine <direct|automaton>]
+                      [--trace-sample <0.0..1.0>] [--trace-slow-ms <N>]
+                      [--trace-out <file>] [--access-log <file>]
+                      [--flight-dir <dir>]
+  purposectl trace    --file <spans.jsonl> (<trace-id> | --slowest <N>)
 
 Observability: --metrics-out / --prom-out export the run's metrics
 (case outcomes, cache and automaton counters, trail shape) as JSON /
@@ -171,6 +175,21 @@ with the same tenant set resumes warm (fail-open: orphan, unreadable or
 incompatible checkpoints are reported and ignored, never fatal).
 --io-timeout bounds each socket read/write; a client that stalls
 mid-request gets 408 instead of pinning a worker (slow-loris guard).
+
+Tracing & postmortems: --trace-sample enables request tracing — every
+request gets a trace id (correlated in --access-log, one JSON line per
+request) and per-stage spans (accept, admission, queue_wait, replay,
+spill, rehydrate, verdict) feed the stage_latency_us_* histograms with
+p50/p95/p99 in both expositions. The tail sampler keeps the given
+fraction of traces plus every slow (>= --trace-slow-ms), alarmed,
+quarantined or errored request, appending kept span trees to
+--trace-out as JSONL (crash-atomic, --durability policy). Inspect with
+`purposectl trace --file <spans.jsonl> <trace-id>` or `--slowest N`,
+or live via GET /debug/spans. --flight-dir arms the crash flight
+recorder: a bounded in-memory ring of recent events (span opens/closes,
+queue depths, offset commits, degradations) dumped to
+<dir>/flight.jsonl on panic, SIGUSR1, ENOSPC/EIO degradation, every
+~500ms, and at shutdown — GET /debug/flight shows the live ring.
 ";
 
 /// Minimal flag scanner: positional args plus `--flag value` / `--flag`.
@@ -383,6 +402,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         "audit" => cmd_audit(&args, out),
         "watch" => cmd_watch(&args, out),
         "serve" => cmd_serve(&args, out),
+        "trace" => cmd_trace(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").ok();
             Ok(0)
@@ -799,9 +819,14 @@ mod shutdown {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static STOP: AtomicBool = AtomicBool::new(false);
+    static USR1: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_signal(_signum: i32) {
         STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_usr1(_signum: i32) {
+        USR1.store(true, Ordering::SeqCst);
     }
 
     extern "C" {
@@ -817,15 +842,37 @@ mod shutdown {
         }
     }
 
+    /// SIGUSR1 = "dump the flight recorder now" (handled by the serve
+    /// poll loop; the handler only flips a flag, as signal rules demand).
+    pub fn install_usr1() {
+        #[cfg(target_os = "linux")]
+        const SIGUSR1: i32 = 10;
+        #[cfg(not(target_os = "linux"))]
+        const SIGUSR1: i32 = 30;
+        unsafe {
+            signal(SIGUSR1, on_usr1);
+        }
+    }
+
     pub fn requested() -> bool {
         STOP.load(Ordering::SeqCst)
+    }
+
+    /// One-shot read of a pending SIGUSR1 (swap-style: each delivery is
+    /// honored exactly once).
+    pub fn usr1_requested() -> bool {
+        USR1.swap(false, Ordering::SeqCst)
     }
 }
 
 #[cfg(not(unix))]
 mod shutdown {
     pub fn install() {}
+    pub fn install_usr1() {}
     pub fn requested() -> bool {
+        false
+    }
+    pub fn usr1_requested() -> bool {
         false
     }
 }
@@ -1025,6 +1072,191 @@ fn cmd_watch(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     Ok(i32::from(!monitor.alarms().is_empty()))
 }
 
+/// `(span, parent, stage, start_us, dur_us, case)` for one loaded span.
+type LoadedSpan = (String, Option<String>, String, u64, u64, Option<String>);
+
+/// One trace loaded back from a spans JSONL file (`--trace-out`).
+struct LoadedTrace {
+    trace: String,
+    dur_us: u64,
+    kept: String,
+    spans: Vec<LoadedSpan>,
+}
+
+fn load_spans_file(path: &str) -> Result<Vec<LoadedTrace>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read spans file `{path}`: {e}")))?;
+    let mut traces = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = obs::parse_json(line)
+            .map_err(|e| fail(format!("{path}:{}: not a span tree: {e}", lineno + 1)))?;
+        let field =
+            |v: &obs::JsonValue, k: &str| v.get(k).and_then(|x| x.as_str()).map(String::from);
+        let num =
+            |v: &obs::JsonValue, k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+        let spans = doc
+            .get("spans")
+            .and_then(|s| s.as_array())
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|s| {
+                        (
+                            field(s, "span").unwrap_or_default(),
+                            field(s, "parent"),
+                            field(s, "stage").unwrap_or_default(),
+                            num(s, "start_us"),
+                            num(s, "dur_us"),
+                            field(s, "case"),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        traces.push(LoadedTrace {
+            trace: field(&doc, "trace")
+                .ok_or_else(|| fail(format!("{path}:{}: missing trace id", lineno + 1)))?,
+            dur_us: num(&doc, "dur_us"),
+            kept: field(&doc, "kept").unwrap_or_default(),
+            spans,
+        });
+    }
+    Ok(traces)
+}
+
+/// Render one trace as an indented span tree (children under parents,
+/// siblings by start time). Orphan spans — a parent id that closed into a
+/// different trace or never closed — are listed explicitly: the e2e suite
+/// asserts there are none.
+fn render_trace(t: &LoadedTrace, out: &mut dyn Write) {
+    writeln!(
+        out,
+        "trace {} dur={}us kept={} spans={}",
+        t.trace,
+        t.dur_us,
+        t.kept,
+        t.spans.len()
+    )
+    .ok();
+    let ids: std::collections::BTreeSet<&str> = t.spans.iter().map(|s| s.0.as_str()).collect();
+    let mut by_start: Vec<usize> = (0..t.spans.len()).collect();
+    by_start.sort_by_key(|&i| t.spans[i].3);
+    fn render_children(
+        t: &LoadedTrace,
+        order: &[usize],
+        parent: Option<&str>,
+        depth: usize,
+        out: &mut dyn Write,
+    ) {
+        for &i in order {
+            let (span, p, stage, start_us, dur_us, case) = &t.spans[i];
+            if p.as_deref() != parent {
+                continue;
+            }
+            let case = case
+                .as_deref()
+                .map(|c| format!(" case={c}"))
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "{:indent$}{stage} +{start_us}us {dur_us}us{case}",
+                "",
+                indent = 2 + depth * 2
+            )
+            .ok();
+            render_children(t, order, Some(span), depth + 1, out);
+        }
+    }
+    render_children(t, &by_start, None, 0, out);
+    for &i in &by_start {
+        let (_, parent, stage, ..) = &t.spans[i];
+        if let Some(p) = parent {
+            if !ids.contains(p.as_str()) {
+                writeln!(out, "  ORPHAN {stage} (parent {p} not in trace)").ok();
+            }
+        }
+    }
+}
+
+fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
+    let file = args
+        .flag("file")
+        .ok_or_else(|| fail("missing --file <spans.jsonl> (the serve --trace-out file)"))?;
+    let traces = load_spans_file(file)?;
+    if let Some(id) = args.positional.first() {
+        let matched: Vec<&LoadedTrace> = traces.iter().filter(|t| &t.trace == id).collect();
+        if matched.is_empty() {
+            return Err(fail(format!("trace `{id}` not found in {file}")));
+        }
+        for t in matched {
+            render_trace(t, out);
+        }
+        return Ok(0);
+    }
+    let slowest: usize = args.flag_num("slowest", 0)?;
+    if slowest == 0 {
+        return Err(fail("pass a <trace-id> or --slowest <N>"));
+    }
+    let mut by_dur: Vec<&LoadedTrace> = traces.iter().collect();
+    by_dur.sort_by_key(|t| std::cmp::Reverse(t.dur_us));
+    writeln!(out, "{} traces in {file}", by_dur.len()).ok();
+    for t in by_dur.into_iter().take(slowest) {
+        render_trace(t, out);
+    }
+    Ok(0)
+}
+
+/// Appends kept span trees as JSONL through the durable write path
+/// (`core::durable`), so a crash mid-append is recoverable and the fsync
+/// cadence follows the same `--durability` policy as every other artifact.
+struct SpanWriter {
+    file: Option<purpose_control::durable::DurableFile>,
+    offset: u64,
+}
+
+impl SpanWriter {
+    fn open(path: Option<&Path>, policy: SyncPolicy) -> Result<SpanWriter, CliError> {
+        let file = match path {
+            None => None,
+            Some(path) => {
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| fail(format!("--trace-out {}: {e}", parent.display())))?;
+                }
+                Some(
+                    purpose_control::durable::DurableFile::create(path, policy)
+                        .map_err(|e| fail(format!("--trace-out {}: {e}", path.display())))?,
+                )
+            }
+        };
+        Ok(SpanWriter { file, offset: 0 })
+    }
+
+    fn append(&mut self, trees: &[obs::TraceTree]) -> Result<(), CliError> {
+        let Some(file) = &mut self.file else {
+            return Ok(());
+        };
+        for tree in trees {
+            let mut line = tree.to_json_line();
+            line.push('\n');
+            file.write_at(self.offset, line.as_bytes())
+                .map_err(|e| fail(format!("trace out: {e}")))?;
+            self.offset += line.len() as u64;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), CliError> {
+        if let Some(file) = &mut self.file {
+            file.sync().map_err(|e| fail(format!("trace out: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
 fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     let tenants_flag = args
         .flag("tenants")
@@ -1063,6 +1295,32 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         durability: durability_flag(args)?,
         ..LiveConfig::default()
     };
+    // Tracing is on when either --trace-sample or --trace-out is given:
+    // sample 0.0 still keeps slow and alarmed/quarantined traces (the
+    // tail sampler's always-keep classes).
+    let trace_sample: f64 = args.flag_num("trace-sample", 0.0)?;
+    if !(0.0..=1.0).contains(&trace_sample) {
+        return Err(fail("--trace-sample: must be in 0.0..=1.0"));
+    }
+    let trace_slow_ms: u64 = args.flag_num("trace-slow-ms", 100)?;
+    let trace_out = args.flag("trace-out").map(PathBuf::from);
+    let tracer = if args.has("trace-sample") || trace_out.is_some() {
+        obs::Tracer::sampled(trace_sample, trace_slow_ms.saturating_mul(1000))
+    } else {
+        obs::Tracer::noop()
+    };
+    if let Some(dir) = args.flag("flight-dir") {
+        obs::flight::install(
+            Some(std::path::Path::new(dir)),
+            obs::flight::DEFAULT_WINDOW_SECS,
+            obs::flight::DEFAULT_CAPACITY,
+        );
+        obs::flight::install_panic_hook();
+        obs::flight::record(|| ObsEvent::Diagnostic {
+            detail: format!("serve: flight recorder armed, dumps to {dir}/flight.jsonl"),
+        });
+    }
+
     let default_limits = serve::http::Limits::default();
     let config = serve::ServeConfig {
         addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
@@ -1079,7 +1337,10 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
             ),
             ..default_limits
         },
+        tracer: tracer.clone(),
+        access_log: args.flag("access-log").map(PathBuf::from),
     };
+    let durability = config.live.durability;
 
     let specs = tenant_names
         .iter()
@@ -1098,11 +1359,36 @@ fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
     out.flush().ok();
 
     shutdown::install();
+    shutdown::install_usr1();
+    let mut spans = SpanWriter::open(trace_out.as_deref(), durability)?;
+    let mut ticks: u64 = 0;
     while !shutdown::requested() {
         std::thread::sleep(std::time::Duration::from_millis(50));
+        ticks += 1;
+        spans.append(&tracer.drain())?;
+        let dumped_on_signal = shutdown::usr1_requested();
+        if dumped_on_signal {
+            match obs::flight::dump("SIGUSR1") {
+                Some(path) => writeln!(out, "serve: flight dump -> {}", path.display()).ok(),
+                None => writeln!(out, "serve: SIGUSR1 but no --flight-dir configured").ok(),
+            };
+            out.flush().ok();
+        }
+        // Persist the black box every ~500ms: a SIGKILL cannot run a dump,
+        // so the last periodic dump is the postmortem it leaves behind. A
+        // tick that just honored SIGUSR1 skips the periodic rewrite so the
+        // operator-requested dump stays on disk at least one full period.
+        if !dumped_on_signal && ticks.is_multiple_of(10) && obs::flight::installed() {
+            obs::flight::dump("periodic");
+        }
     }
     writeln!(out, "serve: shutdown requested; draining").ok();
     let report = server.shutdown().map_err(|e| fail(format!("serve: {e}")))?;
+    spans.append(&tracer.drain())?;
+    spans.close()?;
+    if obs::flight::installed() {
+        obs::flight::dump("shutdown");
+    }
     for (tenant, offset, path) in &report.checkpoints {
         match path {
             Some(path) => writeln!(

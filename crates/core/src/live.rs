@@ -294,7 +294,19 @@ pub struct LiveAuditor {
     /// Stats already pushed to a metrics shard (delta tracking for
     /// [`LiveAuditor::flush_stats_into`]).
     flushed: LiveStats,
+    /// Request tracer ([`obs::Tracer::noop`] unless serve installed one).
+    tracer: obs::Tracer,
+    /// Trace context for the batch currently being ingested: the request's
+    /// trace id plus the parent span the spill/rehydrate spans hang off.
+    trace_ctx: Option<(obs::TraceId, obs::SpanId)>,
+    /// Buffered `stage_latency_us_*` samples, drained by
+    /// [`LiveAuditor::flush_stats_into`] (hot paths never touch a registry).
+    stage_samples: Vec<(&'static str, u64)>,
 }
+
+/// Cap on buffered stage samples between metric flushes; beyond this the
+/// distribution is saturated anyway and we keep memory bounded.
+const STAGE_SAMPLE_CAP: usize = 8_192;
 
 impl LiveAuditor {
     /// A monitor with the default [`LiveConfig`].
@@ -321,6 +333,40 @@ impl LiveAuditor {
             resident_cap,
             stats: LiveStats::default(),
             flushed: LiveStats::default(),
+            tracer: obs::Tracer::noop(),
+            trace_ctx: None,
+            stage_samples: Vec::new(),
+        }
+    }
+
+    /// Install a request tracer. Spill/rehydrate latencies are always
+    /// recorded as histogram samples; spans are only emitted when the
+    /// tracer is enabled *and* a trace context is set for the batch.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Set (or clear) the trace context for the entries ingested next:
+    /// the request's trace id and the parent span id to link under.
+    pub fn set_trace_context(&mut self, ctx: Option<(obs::TraceId, obs::SpanId)>) {
+        self.trace_ctx = ctx;
+    }
+
+    /// Record one stage latency sample (bounded buffer; drained at flush)
+    /// and, when tracing this batch, close a span for it.
+    fn record_stage(&mut self, stage: obs::Stage, start: std::time::Instant, case: Symbol) {
+        let us = start.elapsed().as_micros() as u64;
+        if self.stage_samples.len() < STAGE_SAMPLE_CAP {
+            self.stage_samples.push((stage.histogram_name(), us));
+        }
+        if let Some((trace, parent)) = self.trace_ctx {
+            if self.tracer.enabled() {
+                let mut open = self.tracer.begin(trace, Some(parent), stage);
+                // Backdate: the span covers the measured interval, not the
+                // instant we got around to reporting it.
+                open.start_us = open.start_us.saturating_sub(us);
+                self.tracer.finish(open, Some(&case.to_string()));
+            }
         }
     }
 
@@ -641,6 +687,7 @@ impl LiveAuditor {
         let Some(live) = self.cases.get(&case) else {
             return Ok(());
         };
+        let spill_start = std::time::Instant::now();
         let bytes = match live.core.conf_ids() {
             Some(ids) => encode_churn(&ChurnCheckpoint {
                 case,
@@ -667,17 +714,26 @@ impl LiveAuditor {
                 // so the resident case is the single source of truth.
                 let _ = self.spill.remove(case);
                 self.stats.durable_enospc_degradations += 1;
+                obs::flight::record(|| obs::ObsEvent::Diagnostic {
+                    detail: format!("ENOSPC degradation: case {case} stays resident over budget"),
+                });
+                obs::flight::dump("enospc degradation");
                 return Ok(());
             }
             Err(e) => {
+                obs::flight::record(|| obs::ObsEvent::Diagnostic {
+                    detail: format!("spill I/O error for case {case}: {e}"),
+                });
+                obs::flight::dump("spill io error");
                 return Err(CheckError::Checkpoint {
                     detail: e.to_string(),
-                })
+                });
             }
         }
         self.stats.spilled_bytes += bytes.len() as u64;
         self.cases.remove(&case);
         self.stats.evictions += 1;
+        self.record_stage(obs::Stage::Spill, spill_start, case);
         Ok(())
     }
 
@@ -695,6 +751,7 @@ impl LiveAuditor {
     /// Rebuild an evicted session and re-admit it, shielded from the next
     /// few evictions (the churn debounce).
     fn rehydrate(&mut self, case: Symbol) -> Result<(), CheckError> {
+        let rehydrate_start = std::time::Instant::now();
         let bytes = self
             .spill
             .take(case)
@@ -754,6 +811,7 @@ impl LiveAuditor {
             },
         );
         self.stats.rehydrations += 1;
+        self.record_stage(obs::Stage::Rehydrate, rehydrate_start, case);
         Ok(())
     }
 
@@ -1047,6 +1105,9 @@ impl LiveAuditor {
         let s = self.stats();
         crate::metrics::record_live_metrics(shard, &s.minus(&self.flushed));
         self.flushed = s;
+        for (name, us) in self.stage_samples.drain(..) {
+            shard.observe(name, us);
+        }
     }
 }
 

@@ -49,6 +49,7 @@ pub const AUDIT_COUNTERS: &[&str] = &[
     "live_spill_tier_hits",
     "live_spilled_bytes_total",
     "live_unresolved_total",
+    "obs_events_dropped",
     "recorder_events_dropped",
     "semantics_cache_evictions",
     "semantics_cache_hits",
@@ -63,6 +64,8 @@ pub const AUDIT_COUNTERS: &[&str] = &[
     "serve_requests_total",
     "startup_cold_total",
     "startup_warm_total",
+    "trace_spans_total",
+    "trace_traces_kept",
 ];
 
 /// Every gauge, sorted.
@@ -77,8 +80,20 @@ pub const AUDIT_GAUGES: &[&str] = &[
     "trail_users",
 ];
 
-/// Every histogram, sorted.
-pub const AUDIT_HISTOGRAMS: &[&str] = &["case_entries", "case_peak_configurations"];
+/// Every histogram, sorted. The `stage_latency_us_*` family is one
+/// histogram per tracing stage ([`obs::STAGES`]) so per-stage latency
+/// distributions survive the closed-vocabulary check.
+pub const AUDIT_HISTOGRAMS: &[&str] = &[
+    "case_entries",
+    "case_peak_configurations",
+    "stage_latency_us_accept",
+    "stage_latency_us_admission",
+    "stage_latency_us_queue_wait",
+    "stage_latency_us_rehydrate",
+    "stage_latency_us_replay",
+    "stage_latency_us_spill",
+    "stage_latency_us_verdict",
+];
 
 /// Declare the full audit metric vocabulary on `registry`, zero-valued.
 pub fn register_audit_metrics(registry: &Registry) {
@@ -142,6 +157,26 @@ pub fn record_live_metrics(shard: &mut Shard, delta: &crate::live::LiveStats) {
     );
 }
 
+/// Export the observability layer's own loss and volume counters. The
+/// `obs_events_dropped` aggregate (recorder ring + flight-recorder ring +
+/// tracer finished-ring evictions) is the first-class signal that the
+/// telemetry itself lost data — silent drops were previously invisible.
+pub fn record_observability_metrics(
+    registry: &Registry,
+    recorder: &obs::Recorder,
+    tracer: &obs::Tracer,
+) {
+    registry.set_counter(
+        "obs_events_dropped",
+        recorder
+            .dropped()
+            .saturating_add(obs::flight::dropped())
+            .saturating_add(tracer.dropped()),
+    );
+    registry.set_counter("trace_spans_total", tracer.spans_total());
+    registry.set_counter("trace_traces_kept", tracer.traces_kept());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +200,35 @@ mod tests {
         }
         assert_eq!(reg.counter_value("audit_cases_total"), 0);
         assert_eq!(reg.histogram("case_entries").count, 0);
+    }
+
+    #[test]
+    fn every_tracing_stage_has_a_declared_histogram() {
+        for stage in obs::STAGES {
+            assert!(
+                AUDIT_HISTOGRAMS.contains(&stage.histogram_name()),
+                "stage {stage} missing from AUDIT_HISTOGRAMS"
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_ring_overflow_surfaces_as_obs_events_dropped() {
+        let recorder = obs::Recorder::with_capacity(4);
+        for i in 0..9u64 {
+            recorder.emit(|| obs::ObsEvent::Diagnostic {
+                detail: format!("event {i}"),
+            });
+        }
+        assert_eq!(recorder.dropped(), 5, "9 emits into a 4-slot ring drop 5");
+
+        let reg = Registry::new();
+        register_audit_metrics(&reg);
+        record_observability_metrics(&reg, &recorder, &obs::Tracer::noop());
+        assert!(
+            reg.counter_value("obs_events_dropped") >= 5,
+            "ring drops must surface in the closed vocabulary (flight ring \
+             drops from concurrently running tests may add to the floor)"
+        );
     }
 }

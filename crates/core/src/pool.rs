@@ -48,6 +48,28 @@ impl MonitorHandle {
         self.with(|m| m.ingest(entries).map(|_| ()))
     }
 
+    /// Install a request tracer on every shard of the monitor.
+    pub fn set_tracer(&self, tracer: &obs::Tracer) {
+        self.with(|m| m.set_tracer(tracer));
+    }
+
+    /// [`MonitorHandle::ingest`] with a trace context: spill/rehydrate
+    /// spans emitted while this batch replays link under `ctx`'s parent
+    /// span. The context is set and cleared under one lock scope, so
+    /// concurrent ingests never borrow another request's trace.
+    pub fn ingest_traced(
+        &self,
+        entries: &[LogEntry],
+        ctx: Option<(obs::TraceId, obs::SpanId)>,
+    ) -> Result<(), CheckError> {
+        self.with(|m| {
+            m.set_trace_context(ctx);
+            let result = m.ingest(entries);
+            m.set_trace_context(None);
+            result.map(|_| ())
+        })
+    }
+
     /// One case's verdict, wherever its shard keeps it.
     pub fn snapshot(&self, case: Symbol) -> Option<Result<CaseCheck, CheckError>> {
         self.with(|m| m.snapshot(case))

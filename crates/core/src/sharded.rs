@@ -73,6 +73,22 @@ impl ShardedMonitor {
         self.shards.len()
     }
 
+    /// Install a request tracer on every shard (cheap `Arc` clones).
+    pub fn set_tracer(&mut self, tracer: &obs::Tracer) {
+        for s in &mut self.shards {
+            s.set_tracer(tracer.clone());
+        }
+    }
+
+    /// Set (or clear) the trace context spill/rehydrate spans attach to
+    /// for entries ingested next. Shards run on independent threads but
+    /// each owns its context, so one batch-wide set/clear is race-free.
+    pub fn set_trace_context(&mut self, ctx: Option<(obs::TraceId, obs::SpanId)>) {
+        for s in &mut self.shards {
+            s.set_trace_context(ctx);
+        }
+    }
+
     /// Route one entry to its case's shard.
     pub fn observe(&mut self, entry: &LogEntry) -> Result<LiveEvent, CheckError> {
         let i = shard_of(entry.case, self.shards.len());

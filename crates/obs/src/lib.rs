@@ -22,17 +22,27 @@
 //! * [`json`] — a minimal JSON value model (emit + parse) and a schema
 //!   validator for the subset of JSON Schema the exported documents are
 //!   checked against in CI (`schemas/*.schema.json`).
+//! * [`span`] — request-scoped tracing: lock-free [`span::TraceId`] /
+//!   [`span::SpanId`] allocation, per-stage timed spans, and tail-based
+//!   sampling ([`span::Tracer`]) that keeps slow/alarmed traces and a
+//!   configurable fraction of the rest as JSONL span trees.
+//! * [`flight`] — the crash flight recorder: a process-global bounded ring
+//!   of [`recorder::ObsEvent`]s covering the last N seconds, dumped to
+//!   `flight.jsonl` on panic, SIGUSR1, or storage degradation.
 //!
 //! The crate deliberately depends on `std` alone so every other crate in
 //! the workspace (including `cows` at the bottom of the graph) can thread
 //! a [`Recorder`] through its hot paths without a dependency cycle.
 
 pub mod evidence;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod span;
 
 pub use evidence::{CaseEvidence, EvidenceStep, EvidenceViolation};
 pub use json::{parse_json, validate, JsonValue, SchemaError};
 pub use metrics::{prometheus_multi, HistogramSnapshot, Registry, Shard};
 pub use recorder::{ObsEvent, Recorder, TimedEvent};
+pub use span::{OpenSpan, SpanId, SpanRecord, Stage, TraceId, TraceTree, Tracer, STAGES};

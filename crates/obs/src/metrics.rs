@@ -48,6 +48,40 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the log₂ buckets, the
+    /// way Prometheus' `histogram_quantile` does: find the bucket the
+    /// target rank falls in, then interpolate linearly between its bounds
+    /// (bucket 0 spans `(0, 1]`). Exact to within one bucket width — the
+    /// inherent resolution of log-scale buckets. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &(le, n)) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev_cum = cum;
+            cum += n;
+            if (cum as f64) >= rank {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    self.buckets[i - 1].0 as f64
+                };
+                let hi = le as f64;
+                let frac = (rank - prev_cum as f64) / n as f64;
+                return lo + frac * (hi - lo);
+            }
+        }
+        self.buckets.last().map_or(0.0, |&(le, _)| le as f64)
+    }
+}
+
 #[derive(Clone)]
 struct HistogramData {
     count: u64,
@@ -267,7 +301,7 @@ impl Registry {
                 s.push(',');
             }
             first = false;
-            write!(s, "\n    {}: {}", crate::json::escape(k), fmt_f64(*v)).unwrap();
+            write!(s, "\n    {}: {}", crate::json::escape(k), fmt_json_f64(*v)).unwrap();
         }
         s.push_str("\n  },\n  \"histograms\": {");
         first = true;
@@ -279,10 +313,14 @@ impl Registry {
             let snap = h.snapshot();
             write!(
                 s,
-                "\n    {}: {{ \"count\": {}, \"sum\": {}, \"buckets\": [",
+                "\n    {}: {{ \"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \
+                 \"p99\": {}, \"buckets\": [",
                 crate::json::escape(k),
                 snap.count,
-                snap.sum
+                snap.sum,
+                fmt_json_f64(snap.quantile(0.50)),
+                fmt_json_f64(snap.quantile(0.95)),
+                fmt_json_f64(snap.quantile(0.99)),
             )
             .unwrap();
             for (i, (le, n)) in snap.buckets.iter().enumerate() {
@@ -325,10 +363,21 @@ impl Registry {
             writeln!(s, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count).unwrap();
             writeln!(s, "{name}_sum {}", snap.sum).unwrap();
             writeln!(s, "{name}_count {}", snap.count).unwrap();
+            // Server-side quantile estimates as separate gauge families
+            // (folding them into the histogram family would be invalid
+            // exposition — only _bucket/_sum/_count belong to it).
+            for (q, tag) in QUANTILES {
+                let qn = format!("{name}_{tag}");
+                writeln!(s, "# TYPE {qn} gauge").unwrap();
+                writeln!(s, "{qn} {}", fmt_f64(snap.quantile(q))).unwrap();
+            }
         }
         s
     }
 }
+
+/// The quantile estimates both expositions publish per histogram.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
 
 /// Multi-registry Prometheus text exposition with a `tenant` label.
 ///
@@ -393,6 +442,19 @@ pub fn prometheus_multi(tenants: &[(&str, &Registry)]) -> String {
             writeln!(s, "{name}_sum{{tenant=\"{label}\"}} {}", snap.sum).unwrap();
             writeln!(s, "{name}_count{{tenant=\"{label}\"}} {}", snap.count).unwrap();
         }
+        for (q, tag) in QUANTILES {
+            let qn = format!("{name}_{tag}");
+            writeln!(s, "# TYPE {qn} gauge").unwrap();
+            for (tenant, reg) in tenants {
+                let label = prom_label(tenant);
+                writeln!(
+                    s,
+                    "{qn}{{tenant=\"{label}\"}} {}",
+                    fmt_f64(reg.histogram(k).quantile(q))
+                )
+                .unwrap();
+            }
+        }
     }
     s
 }
@@ -411,11 +473,34 @@ fn prom_label(v: &str) -> String {
     s
 }
 
+/// Render a float the way the Prometheus exposition format expects.
+/// Rust's `Display` writes `inf`/`NaN`, which scrapers reject — the spec
+/// (and client_golang) use `+Inf`/`-Inf`/`NaN`. Integral values drop the
+/// fraction so counters-as-gauges stay byte-stable across exports.
 fn fmt_f64(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
         format!("{v}")
+    }
+}
+
+/// Render a float for the JSON exposition. JSON has no literal for
+/// non-finite values; a gauge poisoned with one exports `null` rather
+/// than producing an unparseable document.
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
     }
 }
 
@@ -579,5 +664,125 @@ mod tests {
         reg.add_counter("c", 1);
         let text = prometheus_multi(&[("a\"b\\c", &reg)]);
         assert!(text.contains("purposectl_c{tenant=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    /// Decode a Prometheus label value the way a conforming scraper does:
+    /// `\\` → `\`, `\"` → `"`, `\n` → newline, nothing else is an escape.
+    fn prom_label_unescape(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_prometheus_multi() {
+        // Every character class the exposition format cares about:
+        // backslash, double quote, newline — plus bystanders that must
+        // pass through untouched (tab, braces, unicode, `\r`).
+        let hostile = [
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "all\\three\"at\nonce",
+            "tab\tand{braces}and\rcr",
+            "ünïcode-ø",
+            "\\\"\n\\\\",
+        ];
+        for tenant in hostile {
+            let reg = Registry::new();
+            reg.add_counter("c", 9);
+            let text = prometheus_multi(&[(tenant, &reg)]);
+            // The sample line must be exactly one physical line …
+            let line = text
+                .lines()
+                .find(|l| l.starts_with("purposectl_c{tenant=\""))
+                .unwrap_or_else(|| panic!("no sample line for {tenant:?} in:\n{text}"));
+            // … whose label value decodes back to the original name.
+            let start = line.find('"').unwrap() + 1;
+            let end = line.rfind('"').unwrap();
+            assert_eq!(
+                prom_label_unescape(&line[start..end]),
+                tenant,
+                "label for {tenant:?} did not round-trip: {line}"
+            );
+            assert!(line.ends_with("\"} 9"), "malformed sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_render_per_exposition_spec() {
+        let reg = Registry::new();
+        reg.set_gauge("pos", f64::INFINITY);
+        reg.set_gauge("neg", f64::NEG_INFINITY);
+        reg.set_gauge("nan", f64::NAN);
+        let text = reg.to_prometheus();
+        assert!(text.contains("purposectl_pos +Inf"), "{text}");
+        assert!(text.contains("purposectl_neg -Inf"), "{text}");
+        assert!(text.contains("purposectl_nan NaN"), "{text}");
+        // The JSON exposition must stay parseable: non-finite → null.
+        let json = reg.to_json();
+        let doc = crate::json::parse_json(&json).expect("JSON stays valid");
+        assert!(matches!(
+            doc.get("gauges").and_then(|g| g.get("pos")),
+            Some(crate::json::JsonValue::Null)
+        ));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let snap = HistogramSnapshot::default();
+        assert_eq!(snap.quantile(0.5), 0.0);
+
+        let reg = Registry::new();
+        // 100 observations of 1: everything lands in bucket 0 → (0, 1].
+        for _ in 0..100 {
+            reg.observe("h", 1);
+        }
+        let snap = reg.histogram("h");
+        assert!(snap.quantile(0.5) > 0.0 && snap.quantile(0.5) <= 1.0);
+        assert!(snap.quantile(0.99) <= 1.0);
+
+        // Bimodal: 90 fast (≤ 8), 10 slow in (512, 1024].
+        let reg = Registry::new();
+        for _ in 0..90 {
+            reg.observe("h", 8);
+        }
+        for _ in 0..10 {
+            reg.observe("h", 700);
+        }
+        let snap = reg.histogram("h");
+        let p50 = snap.quantile(0.50);
+        let p95 = snap.quantile(0.95);
+        let p99 = snap.quantile(0.99);
+        assert!(p50 <= 8.0, "p50 {p50} should sit in the fast mode");
+        assert!(
+            (512.0..=1024.0).contains(&p95),
+            "p95 {p95} should sit in the slow bucket"
+        );
+        assert!(p99 >= p95, "quantiles must be monotone: {p95} > {p99}");
+        // The estimates surface in both expositions.
+        let json = reg.to_json();
+        assert!(json.contains("\"p50\""), "{json}");
+        assert!(json.contains("\"p95\""), "{json}");
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("# TYPE purposectl_h_p99 gauge"), "{prom}");
+        let multi = prometheus_multi(&[("t", &reg)]);
+        assert!(multi.contains("purposectl_h_p95{tenant=\"t\"}"), "{multi}");
     }
 }

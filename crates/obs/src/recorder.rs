@@ -68,6 +68,47 @@ pub enum ObsEvent {
     QuarantineReport { path: String },
     /// Free-form diagnostic that has no structured variant (kept rare).
     Diagnostic { detail: String },
+    /// A tracing span was opened (flight-recorder context for postmortems;
+    /// the span registry itself lives in `obs::span`).
+    SpanOpen { trace: u64, stage: &'static str },
+    /// A tracing span closed after `dur_us` microseconds.
+    SpanClose {
+        trace: u64,
+        stage: &'static str,
+        dur_us: u64,
+    },
+    /// A tenant ingest-queue depth snapshot.
+    QueueDepth { tenant: String, depth: u64 },
+    /// A tenant worker finished a batch: the tenant's audited stream
+    /// offset advanced to `offset`. The last of these in a flight dump is
+    /// the offset the tenant had durably reported when the process died.
+    OffsetCommit { tenant: String, offset: u64 },
+}
+
+impl ObsEvent {
+    /// Stable variant tag — the `kind` field of flight-recorder JSON lines
+    /// (`schemas/flight.schema.json` enumerates these).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::Startup { .. } => "Startup",
+            ObsEvent::SnapshotSaved { .. } => "SnapshotSaved",
+            ObsEvent::CaseStart { .. } => "CaseStart",
+            ObsEvent::CaseEnd { .. } => "CaseEnd",
+            ObsEvent::EntryStep { .. } => "EntryStep",
+            ObsEvent::AutomatonExpand { .. } => "AutomatonExpand",
+            ObsEvent::WeakNext { .. } => "WeakNext",
+            ObsEvent::CacheEviction { .. } => "CacheEviction",
+            ObsEvent::Degraded { .. } => "Degraded",
+            ObsEvent::Quarantined { .. } => "Quarantined",
+            ObsEvent::Noted { .. } => "Noted",
+            ObsEvent::QuarantineReport { .. } => "QuarantineReport",
+            ObsEvent::Diagnostic { .. } => "Diagnostic",
+            ObsEvent::SpanOpen { .. } => "SpanOpen",
+            ObsEvent::SpanClose { .. } => "SpanClose",
+            ObsEvent::QueueDepth { .. } => "QueueDepth",
+            ObsEvent::OffsetCommit { .. } => "OffsetCommit",
+        }
+    }
 }
 
 impl std::fmt::Display for ObsEvent {
@@ -120,6 +161,20 @@ impl std::fmt::Display for ObsEvent {
                 write!(f, "quarantine report written to {path}")
             }
             ObsEvent::Diagnostic { detail } => write!(f, "{detail}"),
+            ObsEvent::SpanOpen { trace, stage } => {
+                write!(f, "span open {stage} trace {trace:016x}")
+            }
+            ObsEvent::SpanClose {
+                trace,
+                stage,
+                dur_us,
+            } => write!(f, "span close {stage} trace {trace:016x} ({dur_us}us)"),
+            ObsEvent::QueueDepth { tenant, depth } => {
+                write!(f, "tenant {tenant}: queue depth {depth}")
+            }
+            ObsEvent::OffsetCommit { tenant, offset } => {
+                write!(f, "tenant {tenant}: committed stream offset {offset}")
+            }
         }
     }
 }

@@ -60,6 +60,10 @@ pub struct ServeConfig {
     pub shards: usize,
     pub live: LiveConfig,
     pub limits: Limits,
+    /// Request tracer ([`obs::Tracer::noop`] disables tracing entirely).
+    pub tracer: obs::Tracer,
+    /// Structured per-request access log (JSONL, trace-id correlated).
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +75,8 @@ impl Default for ServeConfig {
             shards: 4,
             live: LiveConfig::default(),
             limits: Limits::default(),
+            tracer: obs::Tracer::noop(),
+            access_log: None,
         }
     }
 }
@@ -99,6 +105,10 @@ struct State {
     durability: SyncPolicy,
     stop: AtomicBool,
     issues: Vec<RestoreIssue>,
+    tracer: obs::Tracer,
+    /// Line-buffered access log sink (append mode; one JSON line per
+    /// request, written under this lock so lines never interleave).
+    access_log: Option<std::sync::Mutex<std::fs::File>>,
 }
 
 /// A running service. Dropping without [`Server::shutdown`] leaks the
@@ -117,6 +127,7 @@ pub enum ServeError {
     Bind(std::io::Error),
     DuplicateTenant(String),
     Checkpoint(String),
+    AccessLog(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -125,6 +136,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Bind(e) => write!(f, "cannot bind: {e}"),
             ServeError::DuplicateTenant(t) => write!(f, "duplicate tenant `{t}`"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+            ServeError::AccessLog(e) => write!(f, "cannot open access log: {e}"),
         }
     }
 }
@@ -151,11 +163,12 @@ impl Server {
                 config.shards,
             );
             issues.extend(issue);
-            let tenant = Arc::new(Tenant::new(
+            let tenant = Arc::new(Tenant::with_tracer(
                 spec.name.clone(),
                 MonitorHandle::new(monitor),
                 config.watermark,
                 offset,
+                config.tracer.clone(),
             ));
             if tenants.insert(spec.name.clone(), tenant).is_some() {
                 return Err(ServeError::DuplicateTenant(spec.name));
@@ -165,6 +178,21 @@ impl Server {
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
         listener.set_nonblocking(true).map_err(ServeError::Bind)?;
 
+        let access_log = match &config.access_log {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| ServeError::AccessLog(format!("{}: {e}", path.display())))?;
+                Some(std::sync::Mutex::new(file))
+            }
+            None => None,
+        };
+
         let state = Arc::new(State {
             tenants,
             limits: config.limits,
@@ -172,6 +200,8 @@ impl Server {
             durability: config.live.durability,
             stop: AtomicBool::new(false),
             issues,
+            tracer: config.tracer.clone(),
+            access_log,
         });
 
         let workers = state
@@ -322,7 +352,12 @@ fn serve_connection(stream: TcpStream, state: Arc<State>) {
             }
         };
         let close = request.wants_close() || state.stop.load(Ordering::SeqCst);
-        let outcome = route(&request, &state);
+        let started = std::time::Instant::now();
+        // Root span for the whole HTTP round; the trace id rides through
+        // admission, the tenant queue, replay, and verdict emission.
+        let trace = state.tracer.start();
+        let root = trace.map(|t| state.tracer.begin(t, None, obs::Stage::Accept));
+        let outcome = route(&request, &state, trace.zip(root.map(|r| r.span)), started);
         let ok = write_response(
             &mut writer,
             outcome.status,
@@ -337,10 +372,47 @@ fn serve_connection(stream: TcpStream, state: Arc<State>) {
             close,
         )
         .is_ok();
+        let dur_us = started.elapsed().as_micros() as u64;
+        if let (Some(t), Some(open)) = (trace, root) {
+            state.tracer.finish(open, None);
+            if outcome.status >= 400 {
+                state.tracer.force_keep(t);
+            }
+            state.tracer.complete(t);
+        }
+        access_log_line(&state, trace, &request, outcome.status, dur_us);
         if !ok || close {
             return;
         }
     }
+}
+
+/// One structured access-log line: epoch micros, correlated trace id (or
+/// `null` when tracing is off), method, path, status, duration.
+fn access_log_line(
+    state: &State,
+    trace: Option<obs::TraceId>,
+    request: &Request,
+    status: u16,
+    dur_us: u64,
+) {
+    let Some(log) = &state.access_log else { return };
+    let t_us = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let trace = match trace {
+        Some(t) => format!("\"{t}\""),
+        None => "null".to_string(),
+    };
+    let line = format!(
+        "{{\"t_us\":{t_us},\"trace\":{trace},\"method\":{},\"path\":{},\"status\":{status},\"dur_us\":{dur_us}}}\n",
+        escape(&request.method),
+        escape(&request.path),
+    );
+    use std::io::Write as _;
+    let mut file = log.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = file.write_all(line.as_bytes());
 }
 
 struct Outcome {
@@ -387,7 +459,12 @@ fn not_found(what: &str) -> Outcome {
     Outcome::json(404, "Not Found", error_body(what))
 }
 
-fn route(request: &Request, state: &State) -> Outcome {
+fn route(
+    request: &Request,
+    state: &State,
+    trace: Option<(obs::TraceId, obs::SpanId)>,
+    started: std::time::Instant,
+) -> Outcome {
     let path = request.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let outcome = match segments.as_slice() {
@@ -397,6 +474,14 @@ fn route(request: &Request, state: &State) -> Outcome {
         },
         ["metrics"] => match request.method.as_str() {
             "GET" => metrics_prometheus(state),
+            _ => method_not_allowed("GET"),
+        },
+        ["debug", "spans"] => match request.method.as_str() {
+            "GET" => debug_spans(state),
+            _ => method_not_allowed("GET"),
+        },
+        ["debug", "flight"] => match request.method.as_str() {
+            "GET" => debug_flight(),
             _ => method_not_allowed("GET"),
         },
         ["admin", "checkpoint"] => match request.method.as_str() {
@@ -409,7 +494,7 @@ fn route(request: &Request, state: &State) -> Outcome {
             };
             tenant.note_request();
             let outcome = match (request.method.as_str(), rest) {
-                ("POST", ["entries"]) => submit_entries(tenant, request),
+                ("POST", ["entries"]) => submit_entries(tenant, request, trace),
                 ("GET", ["entries"]) => method_not_allowed("POST"),
                 ("GET", ["verdicts"]) => verdicts(tenant),
                 ("GET", ["metrics"]) => Outcome::json(200, "OK", tenant.export_metrics().to_json()),
@@ -417,6 +502,13 @@ fn route(request: &Request, state: &State) -> Outcome {
                 (_, ["verdicts" | "metrics"]) | (_, ["cases", _]) => method_not_allowed("GET"),
                 _ => not_found("no such resource"),
             };
+            // The accept-stage histogram is tenant-scoped: request read +
+            // routing + handling (response write excluded — the span, not
+            // the histogram, carries the full round).
+            tenant.registry.observe(
+                "stage_latency_us_accept",
+                started.elapsed().as_micros() as u64,
+            );
             if outcome.status >= 400 {
                 tenant.note_http_error();
             }
@@ -425,6 +517,43 @@ fn route(request: &Request, state: &State) -> Outcome {
         _ => not_found("no such resource"),
     };
     outcome
+}
+
+/// `GET /debug/spans`: the most recent kept traces, newest last.
+fn debug_spans(state: &State) -> Outcome {
+    let trees = state.tracer.recent(RECENT_SPAN_LIMIT);
+    let body = format!(
+        "{{ \"enabled\": {}, \"traces\": [{}] }}\n",
+        state.tracer.enabled(),
+        trees
+            .iter()
+            .map(|t| t.to_json_line())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Outcome::json(200, "OK", body)
+}
+
+/// Traces shown by `GET /debug/spans`.
+const RECENT_SPAN_LIMIT: usize = 32;
+
+/// `GET /debug/flight`: the flight-recorder ring as JSON lines — exactly
+/// what a crash dump would contain right now.
+fn debug_flight() -> Outcome {
+    if !obs::flight::installed() {
+        return Outcome::json(
+            404,
+            "Not Found",
+            error_body("flight recorder not installed"),
+        );
+    }
+    Outcome {
+        status: 200,
+        reason: "OK",
+        content_type: "application/jsonl",
+        extra: Vec::new(),
+        body: obs::flight::dump_lines("debug endpoint"),
+    }
 }
 
 fn healthz(state: &State) -> Outcome {
@@ -494,12 +623,28 @@ fn admin_checkpoint(state: &State) -> Outcome {
     )
 }
 
-fn submit_entries(tenant: &Tenant, request: &Request) -> Outcome {
+fn submit_entries(
+    tenant: &Tenant,
+    request: &Request,
+    trace: Option<(obs::TraceId, obs::SpanId)>,
+) -> Outcome {
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
         Err(_) => return Outcome::json(400, "Bad Request", error_body("body is not UTF-8")),
     };
-    match tenant.submit(body) {
+    // Admission stage: salvage parse + watermark check + enqueue.
+    let admission_span =
+        trace.map(|(t, root)| tenant.tracer.begin(t, Some(root), obs::Stage::Admission));
+    let admission_start = std::time::Instant::now();
+    let admission = tenant.submit(body, trace);
+    tenant.registry.observe(
+        "stage_latency_us_admission",
+        admission_start.elapsed().as_micros() as u64,
+    );
+    if let Some(span) = admission_span {
+        tenant.tracer.finish(span, None);
+    }
+    match admission {
         Admission::Accepted {
             accepted,
             quarantined,

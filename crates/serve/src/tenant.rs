@@ -43,8 +43,26 @@ pub struct Counters {
     pub http_errors: u64,
 }
 
+/// Trace context riding along with a queued batch: the request's trace,
+/// its root (accept) span, and the queue-wait span opened at admission
+/// and closed when the worker dequeues the batch.
+struct TraceCtx {
+    trace: obs::TraceId,
+    root: obs::SpanId,
+    queue_wait: obs::OpenSpan,
+}
+
+/// One admitted batch awaiting replay.
+struct Batch {
+    entries: Vec<LogEntry>,
+    /// When the batch entered the queue (queue-wait latency histogram —
+    /// recorded whether or not the request is traced).
+    queued_at: std::time::Instant,
+    trace: Option<TraceCtx>,
+}
+
 struct Queue {
-    batches: VecDeque<Vec<LogEntry>>,
+    batches: VecDeque<Batch>,
     counters: Counters,
     /// Set once at shutdown: the worker drains what is queued, then exits.
     closing: bool,
@@ -62,6 +80,9 @@ pub struct Tenant {
     /// vocabulary so the JSON exposition always validates against
     /// `schemas/metrics.schema.json`.
     pub registry: Registry,
+    /// Request tracer shared with the whole service ([`obs::Tracer::noop`]
+    /// when tracing is off — every span site is one branch).
+    pub tracer: obs::Tracer,
     queue: Mutex<Queue>,
     wake: Condvar,
     /// Entries admitted to the queue at once, beyond which submits 429.
@@ -93,12 +114,24 @@ impl Tenant {
         watermark: u64,
         base_offset: u64,
     ) -> Tenant {
+        Tenant::with_tracer(name, handle, watermark, base_offset, obs::Tracer::noop())
+    }
+
+    pub fn with_tracer(
+        name: impl Into<String>,
+        handle: MonitorHandle,
+        watermark: u64,
+        base_offset: u64,
+        tracer: obs::Tracer,
+    ) -> Tenant {
         let registry = Registry::new();
         register_audit_metrics(&registry);
+        handle.set_tracer(&tracer);
         Tenant {
             name: name.into(),
             handle,
             registry,
+            tracer,
             queue: Mutex::new(Queue {
                 batches: VecDeque::new(),
                 counters: Counters::default(),
@@ -125,7 +158,13 @@ impl Tenant {
     /// refuse it whole. Malformed lines inside an *accepted* batch are
     /// quarantined (counted, never replayed) — same degraded-mode contract
     /// as `purposectl audit --salvage`.
-    pub fn submit(&self, body: &str) -> Admission {
+    ///
+    /// `trace` is the submitting request's `(trace, root span)` context.
+    /// When the batch is enqueued, the trace gains a completion hold and a
+    /// queue-wait span that the ingest worker closes — and requests with
+    /// quarantined lines or a backpressure refusal are force-kept by the
+    /// tail sampler.
+    pub fn submit(&self, body: &str, trace: Option<(obs::TraceId, obs::SpanId)>) -> Admission {
         let (trail, quarantine) = parse_trail_salvage(body);
         let kept = trail.len() as u64;
         let scanned = quarantine.scanned as u64;
@@ -133,6 +172,9 @@ impl Tenant {
         let mut q = self.lock();
         if q.counters.queued_entries + kept > self.watermark {
             q.counters.batches_rejected += 1;
+            if let Some((t, _)) = trace {
+                self.tracer.force_keep(t);
+            }
             return Admission::Backpressure {
                 queued: q.counters.queued_entries,
                 watermark: self.watermark,
@@ -142,12 +184,33 @@ impl Tenant {
         q.counters.lines_quarantined += quarantined;
         q.counters.queued_entries += kept;
         q.counters.batches_accepted += 1;
+        if quarantined > 0 {
+            if let Some((t, _)) = trace {
+                self.tracer.force_keep(t);
+            }
+        }
         if kept > 0 {
-            q.batches.push_back(trail.entries().to_vec());
+            let ctx = trace.map(|(t, root)| {
+                self.tracer.retain(t);
+                TraceCtx {
+                    trace: t,
+                    root,
+                    queue_wait: self.tracer.begin(t, Some(root), obs::Stage::QueueWait),
+                }
+            });
+            q.batches.push_back(Batch {
+                entries: trail.entries().to_vec(),
+                queued_at: std::time::Instant::now(),
+                trace: ctx,
+            });
         }
         let queued = q.counters.queued_entries;
         drop(q);
         self.wake.notify_all();
+        obs::flight::record(|| obs::ObsEvent::QueueDepth {
+            tenant: self.name.clone(),
+            depth: queued,
+        });
         Admission::Accepted {
             accepted: kept,
             quarantined,
@@ -159,14 +222,21 @@ impl Tenant {
     /// Run on a dedicated thread per tenant.
     pub fn worker_loop(&self) {
         loop {
-            let batch = {
+            let (entries, queued_at, ctx) = {
                 let mut q = self.lock();
                 loop {
                     if q.worker_error.is_some() {
                         return;
                     }
                     if let Some(front) = q.batches.front() {
-                        break front.clone();
+                        break (
+                            front.entries.clone(),
+                            front.queued_at,
+                            front
+                                .trace
+                                .as_ref()
+                                .map(|c| (c.trace, c.root, c.queue_wait)),
+                        );
                     }
                     if q.closing {
                         return;
@@ -174,22 +244,70 @@ impl Tenant {
                     q = self.wake.wait(q).unwrap_or_else(|p| p.into_inner());
                 }
             };
-            let outcome = self.handle.ingest(&batch);
+            // The batch leaves the queue now (conceptually): close its
+            // queue-wait span and open the replay span under the same root.
+            self.registry.observe(
+                "stage_latency_us_queue_wait",
+                queued_at.elapsed().as_micros() as u64,
+            );
+            let replay_span = ctx.map(|(trace, root, queue_wait)| {
+                self.tracer.finish(queue_wait, None);
+                self.tracer.begin(trace, Some(root), obs::Stage::Replay)
+            });
+            let alarms_before = ctx.map(|_| self.handle.stats().alarms);
+            let replay_start = std::time::Instant::now();
+            let outcome = self
+                .handle
+                .ingest_traced(&entries, replay_span.map(|s| (s.trace, s.span)));
+            self.registry.observe(
+                "stage_latency_us_replay",
+                replay_start.elapsed().as_micros() as u64,
+            );
+            if let Some(span) = replay_span {
+                self.tracer.finish(span, None);
+            }
             let mut q = self.lock();
             match outcome {
                 Ok(()) => {
                     q.batches.pop_front();
-                    let n = batch.len() as u64;
+                    let n = entries.len() as u64;
                     q.counters.queued_entries -= n;
                     q.counters.entries_audited += n;
+                    let offset = self.base_offset + q.counters.entries_audited;
+                    drop(q);
+                    obs::flight::record(|| obs::ObsEvent::OffsetCommit {
+                        tenant: self.name.clone(),
+                        offset,
+                    });
+                    // Verdict stage: the post-replay bookkeeping — alarm
+                    // delta, offset commit, tail-sampling decision.
+                    if let Some((trace, root, _)) = ctx {
+                        let verdict = self.tracer.begin(trace, Some(root), obs::Stage::Verdict);
+                        let alarmed = alarms_before.is_some_and(|b| self.handle.stats().alarms > b);
+                        if alarmed {
+                            self.tracer.force_keep(trace);
+                        }
+                        let verdict_us = self.tracer.finish(verdict, None);
+                        self.registry
+                            .observe("stage_latency_us_verdict", verdict_us);
+                        self.tracer.complete(trace);
+                    }
                 }
                 Err(e) => {
                     // Leave the batch queued (the invariant still holds)
                     // and park the error: the tenant is now read-only.
+                    obs::flight::record(|| obs::ObsEvent::Diagnostic {
+                        detail: format!("tenant {}: worker failed: {e}", self.name),
+                    });
+                    obs::flight::dump("worker failure");
+                    if let Some((trace, _, _)) = ctx {
+                        self.tracer.force_keep(trace);
+                        self.tracer.complete(trace);
+                    }
                     q.worker_error = Some(e);
+                    drop(q);
                 }
             }
-            drop(q);
             self.wake.notify_all();
         }
     }
@@ -267,6 +385,13 @@ impl Tenant {
             .set_gauge("serve_queue_depth", c.queued_entries as f64);
         self.registry
             .set_gauge("live_open_cases", self.handle.open_cases() as f64);
+        // The service embeds no event recorder of its own; the aggregate
+        // still carries flight-ring and tracer losses.
+        purpose_control::metrics::record_observability_metrics(
+            &self.registry,
+            &obs::Recorder::noop(),
+            &self.tracer,
+        );
         &self.registry
     }
 }

@@ -333,6 +333,8 @@ fn sigkill_serve_restart_resumes_to_identical_verdicts() {
         let schedule = CrashSchedule::derive(seed, BATCHES_PER_TENANT);
         let ckpt = scratch_dir(&format!("serve-{seed}"));
         let ckpt_flag = ckpt.to_str().unwrap().to_string();
+        let flight_dir = ckpt.join("flight");
+        let flight_flag = flight_dir.to_str().unwrap().to_string();
         let extra = [
             "--checkpoint-dir",
             &ckpt_flag,
@@ -340,6 +342,8 @@ fn sigkill_serve_restart_resumes_to_identical_verdicts() {
             "always",
             "--shards",
             "2",
+            "--flight-dir",
+            &flight_flag,
         ];
 
         // Phase 1: feed each tenant its first `kill_after_batch` batches,
@@ -362,8 +366,48 @@ fn sigkill_serve_restart_resumes_to_identical_verdicts() {
             let resp = server.post("/admin/checkpoint", "");
             assert_eq!(resp.status, 200, "admin checkpoint: {}", resp.body);
         }
+        // The flight recorder persists its ring every ~500ms; wait for the
+        // first periodic dump so the SIGKILL below provably leaves a
+        // postmortem behind (the atomic rename means it is never torn).
+        let flight_file = flight_dir.join("flight.jsonl");
+        let flight_deadline = Instant::now() + Duration::from_secs(10);
+        while !flight_file.exists() {
+            assert!(
+                Instant::now() < flight_deadline,
+                "seed {seed}: periodic flight dump never appeared"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
         std::thread::sleep(Duration::from_millis(schedule.kill_delay_ms));
         server.kill9();
+
+        // The postmortem the crash left behind: schema-valid lines whose
+        // committed offsets never exceed what was actually submitted.
+        let flight_schema_text = std::fs::read_to_string(
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("schemas/flight.schema.json"),
+        )
+        .expect("flight schema");
+        let flight_schema = obs::parse_json(&flight_schema_text).expect("schema parses");
+        let text = std::fs::read_to_string(&flight_file).expect("flight dump readable");
+        for line in text.lines() {
+            let doc = obs::parse_json(line)
+                .unwrap_or_else(|e| panic!("seed {seed}: torn flight line {line:?}: {e:?}"));
+            let errors = obs::validate(&doc, &flight_schema);
+            assert!(
+                errors.is_empty(),
+                "seed {seed}: flight schema violations: {errors:?}\n{line}"
+            );
+            if doc.get("kind").and_then(|v| v.as_str()) == Some("OffsetCommit") {
+                let tenant = doc.get("tenant").and_then(|v| v.as_str()).unwrap();
+                let offset = number(&doc, "offset") as usize;
+                assert!(
+                    offset <= submitted[tenant],
+                    "seed {seed}, tenant {tenant}: flight offset {offset} beyond \
+                     submitted {}",
+                    submitted[tenant]
+                );
+            }
+        }
 
         // Phase 2: restart against whatever the crash left on disk. The
         // startup must be clean or *typed*-degraded — never a panic, never

@@ -884,3 +884,313 @@ fn soak_eight_threads_preserve_counter_invariant() {
 
     server.terminate();
 }
+
+// ---------------------------------------------------------------------------
+// Observability: scrape-under-load, span trees, flight recorder
+// ---------------------------------------------------------------------------
+
+fn load_schema(name: &str) -> obs::JsonValue {
+    let text = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("schemas/{name}")),
+    )
+    .expect("schema file");
+    obs::parse_json(&text).expect("schema parses")
+}
+
+/// Sum of every `purposectl_<counter>{...}` sample in a Prometheus
+/// exposition (the multi-tenant export emits one line per tenant label).
+fn prom_counter_sum(body: &str, counter: &str) -> f64 {
+    let bare = format!("purposectl_{counter} ");
+    let labeled = format!("purposectl_{counter}{{");
+    body.lines()
+        .filter(|l| l.starts_with(&bare) || l.starts_with(&labeled))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("unparsable sample line: {l:?}"))
+        })
+        .sum()
+}
+
+/// Satellite (c): eight scraper threads hammer `GET /metrics` while a
+/// writer streams entries in. Every scrape must be a complete, well-formed
+/// exposition (no torn writes, no half-rendered lines) and the accepted
+/// counter must be monotone within each scraper's view.
+#[test]
+fn metrics_scrape_under_load_is_never_torn() {
+    let (_, stream) = p12_stream(4_000);
+    let split = split_by_tenant(&stream);
+    let server = ServerProc::spawn(&TENANTS, &["--watermark", "100000"]);
+    let addr = server.addr.clone();
+    let done = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let done = &done;
+        // 8 scrapers, each checking exposition integrity + monotonicity.
+        for _ in 0..8 {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut last_accepted = 0.0f64;
+                let mut scrapes = 0u32;
+                while !done.load(std::sync::atomic::Ordering::Relaxed) || scrapes == 0 {
+                    let resp = request(&addr, "GET", "/metrics", "").expect("scrape");
+                    assert_eq!(resp.status, 200);
+                    assert!(
+                        resp.body.ends_with('\n'),
+                        "torn exposition: body does not end in newline"
+                    );
+                    for line in resp.body.lines() {
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        assert!(
+                            line.starts_with("purposectl_"),
+                            "stray exposition line: {line:?}"
+                        );
+                        let value = line.rsplit(' ').next().unwrap_or("");
+                        assert!(
+                            value.parse::<f64>().is_ok()
+                                || matches!(value, "+Inf" | "-Inf" | "NaN"),
+                            "unparsable sample value in line: {line:?}"
+                        );
+                    }
+                    let accepted = prom_counter_sum(&resp.body, "serve_lines_accepted");
+                    assert!(
+                        accepted >= last_accepted,
+                        "accepted counter went backwards: {last_accepted} -> {accepted}"
+                    );
+                    last_accepted = accepted;
+                    scrapes += 1;
+                }
+            });
+        }
+        // 1 writer: stream every tenant's lines in small batches.
+        for (tenant, lines) in &split {
+            for chunk in lines.chunks(200) {
+                let body = format!("{}\n", chunk.join("\n"));
+                let resp = request(&addr, "POST", &format!("/v1/{tenant}/entries"), &body)
+                    .expect("submit");
+                assert_eq!(resp.status, 202, "{}", resp.body);
+            }
+        }
+        server.quiesce(&TENANTS);
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    // After the dust settles the counter equals the workload size.
+    let resp = server.get("/metrics");
+    let accepted = prom_counter_sum(&resp.body, "serve_lines_accepted");
+    assert_eq!(accepted as usize, stream.len(), "accepted != submitted");
+    server.terminate();
+}
+
+/// Tentpole acceptance: a fully-sampled served run yields span trees that
+/// are complete (single `accept` root, no orphan parents, worker stages
+/// present) and `purposectl trace --slowest` reconstructs them.
+#[test]
+fn traced_p12_run_yields_complete_span_trees() {
+    let (_, stream) = p12_stream(2_000);
+    let split = split_by_tenant(&stream);
+    let dir = scratch_dir("trace");
+    let spans_path = dir.join("spans.jsonl");
+    let server = ServerProc::spawn(
+        &TENANTS,
+        &[
+            "--trace-sample",
+            "1.0",
+            "--trace-out",
+            spans_path.to_str().unwrap(),
+            "--watermark",
+            "100000",
+        ],
+    );
+    for (tenant, lines) in &split {
+        let body = format!("{}\n", lines.join("\n"));
+        let resp = server.post(&format!("/v1/{tenant}/entries"), &body);
+        assert_eq!(resp.status, 202, "{}", resp.body);
+    }
+    server.quiesce(&TENANTS);
+    // `GET /debug/spans` serves recent trees while the process is live.
+    let resp = server.get("/debug/spans");
+    assert_eq!(resp.status, 200);
+    let doc = obs::parse_json(&resp.body).expect("debug spans JSON");
+    assert_eq!(
+        doc.get("enabled")
+            .and_then(|v| v.as_str().map(str::to_string)),
+        None,
+        "enabled must be a bool, not a string"
+    );
+    server.terminate();
+
+    // Every persisted line validates against the span schema, and every
+    // tree is closed: one accept root, all parents resolvable.
+    let schema = load_schema("span.schema.json");
+    let text = std::fs::read_to_string(&spans_path).expect("span file written");
+    let mut trees = 0usize;
+    let mut ingest_trees = 0usize;
+    for line in text.lines() {
+        let doc = obs::parse_json(line).expect("span line parses");
+        let errors = obs::validate(&doc, &schema);
+        assert!(errors.is_empty(), "span schema violations: {errors:?}");
+        trees += 1;
+        let spans = doc.get("spans").and_then(|v| v.as_array()).unwrap();
+        let ids: Vec<String> = spans
+            .iter()
+            .map(|s| s.get("span").and_then(|v| v.as_str()).unwrap().to_string())
+            .collect();
+        let mut roots = 0;
+        let mut stages = Vec::new();
+        for span in spans {
+            let stage = span.get("stage").and_then(|v| v.as_str()).unwrap();
+            stages.push(stage.to_string());
+            match span.get("parent") {
+                Some(obs::JsonValue::Null) => {
+                    roots += 1;
+                    assert_eq!(stage, "accept", "root span must be the accept stage");
+                }
+                Some(obs::JsonValue::String(p)) => {
+                    assert!(
+                        ids.contains(p),
+                        "orphan span: parent {p} not in tree\n{line}"
+                    );
+                }
+                other => panic!("bad parent field: {other:?}"),
+            }
+        }
+        assert_eq!(roots, 1, "tree must have exactly one root\n{line}");
+        if stages.iter().any(|s| s == "replay") {
+            ingest_trees += 1;
+            for required in ["admission", "queue_wait", "verdict"] {
+                assert!(
+                    stages.iter().any(|s| s == required),
+                    "ingest trace missing {required} stage\n{line}"
+                );
+            }
+        }
+    }
+    assert!(trees > 0, "no traces persisted");
+    assert_eq!(
+        ingest_trees,
+        TENANTS.len(),
+        "each tenant submission must yield one full accept->verdict tree"
+    );
+
+    // The operator view reconstructs the same trees with no orphans.
+    let output = Command::new(purposectl_bin())
+        .args([
+            "trace",
+            "--file",
+            spans_path.to_str().unwrap(),
+            "--slowest",
+            "5",
+        ])
+        .output()
+        .expect("run purposectl trace");
+    assert!(output.status.success(), "purposectl trace failed");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("trace "), "no trace rendered:\n{stdout}");
+    assert!(stdout.contains("accept"), "accept stage missing:\n{stdout}");
+    assert!(
+        !stdout.contains("ORPHAN"),
+        "trace reconstruction found orphan spans:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGUSR1 must produce a schema-valid flight dump whose final
+/// `OffsetCommit` per tenant equals the offsets the API reports.
+#[test]
+fn sigusr1_dumps_schema_valid_flight_with_final_offsets() {
+    let (_, stream) = p12_stream(2_000);
+    let split = split_by_tenant(&stream);
+    let dir = scratch_dir("flight");
+    let server = ServerProc::spawn(
+        &TENANTS,
+        &[
+            "--flight-dir",
+            dir.to_str().unwrap(),
+            "--watermark",
+            "100000",
+        ],
+    );
+    let mut kept: BTreeMap<&str, u64> = BTreeMap::new();
+    for (tenant, lines) in &split {
+        let body = format!("{}\n", lines.join("\n"));
+        let resp = server.post(&format!("/v1/{tenant}/entries"), &body);
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        let doc = obs::parse_json(&resp.body).expect("accept JSON");
+        kept.insert(tenant, number(&doc, "accepted") as u64);
+    }
+    server.quiesce(&TENANTS);
+    let mut audited: BTreeMap<&str, u64> = BTreeMap::new();
+    for tenant in TENANTS {
+        let resp = server.get(&format!("/v1/{tenant}/verdicts"));
+        let doc = obs::parse_json(&resp.body).expect("verdicts JSON");
+        audited.insert(tenant, number(&doc, "audited") as u64);
+        assert_eq!(audited[tenant], kept[tenant], "quiesced tenant not drained");
+    }
+
+    // The live ring is also visible over HTTP before any dump happens.
+    let resp = server.get("/debug/flight");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let pid = server.child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-USR1", &pid])
+        .status()
+        .expect("send SIGUSR1");
+    assert!(status.success(), "kill -USR1 failed");
+
+    // The serve loop honors the signal within one 50ms tick and keeps the
+    // SIGUSR1 dump on disk for at least one periodic interval.
+    let flight_path = dir.join("flight.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let text = loop {
+        assert!(
+            Instant::now() < deadline,
+            "SIGUSR1 flight dump never landed"
+        );
+        if let Ok(text) = std::fs::read_to_string(&flight_path) {
+            if text.contains("SIGUSR1") {
+                break text;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    let schema = load_schema("flight.schema.json");
+    let mut last_offset: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_kind = String::new();
+    for line in text.lines() {
+        let doc = obs::parse_json(line).expect("flight line parses");
+        let errors = obs::validate(&doc, &schema);
+        assert!(
+            errors.is_empty(),
+            "flight schema violations: {errors:?}\n{line}"
+        );
+        let kind = doc
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        if kind == "OffsetCommit" {
+            let tenant = doc.get("tenant").and_then(|v| v.as_str()).unwrap();
+            last_offset.insert(tenant.to_string(), number(&doc, "offset") as u64);
+        }
+        last_kind = kind;
+    }
+    assert_eq!(
+        last_kind, "FlightDump",
+        "dump must end with its marker event"
+    );
+    for tenant in TENANTS {
+        assert_eq!(
+            last_offset.get(tenant).copied(),
+            Some(audited[tenant]),
+            "flight recorder's last committed offset diverged from the API"
+        );
+    }
+    server.terminate();
+    let _ = std::fs::remove_dir_all(&dir);
+}
