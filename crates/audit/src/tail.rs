@@ -12,8 +12,11 @@
 //! * **Salvage** — complete lines go through
 //!   [`crate::salvage::parse_trail_salvage`], so a line corrupted at rest
 //!   is quarantined with a reason instead of aborting the tail.
-//! * **Truncation** — if the file shrinks below the consumed offset (log
-//!   rotation), the reader resets to the start of the new file.
+//! * **Rotation** — the reader remembers the `(dev, ino)` identity of the
+//!   file it is consuming and resets to byte 0 whenever the path starts
+//!   naming a different file, even one longer than the consumed offset.
+//!   A shrink below the consumed offset also resets (rewrite in place,
+//!   or the fallback on platforms without inode identity).
 //!
 //! The consumed offset is exposed so a monitor checkpoint can record
 //! exactly how much of the stream its state reflects, and a restarted
@@ -42,6 +45,11 @@ pub struct TailChunk {
 pub struct TailReader {
     path: PathBuf,
     offset: u64,
+    /// `(dev, ino)` of the file the offset refers to. Rotation replaces
+    /// the path with a different inode; if the replacement is already
+    /// *longer* than the consumed offset, the shrink heuristic alone
+    /// would keep reading from a stale mid-file position in the new file.
+    identity: Option<(u64, u64)>,
 }
 
 impl TailReader {
@@ -50,6 +58,7 @@ impl TailReader {
         TailReader {
             path: path.into(),
             offset: 0,
+            identity: None,
         }
     }
 
@@ -59,6 +68,7 @@ impl TailReader {
         TailReader {
             path: path.into(),
             offset,
+            identity: None,
         }
     }
 
@@ -87,9 +97,23 @@ impl TailReader {
             }
             Err(e) => return Err(e),
         };
-        let len = file.metadata()?.len();
+        let meta = file.metadata()?;
+        let len = meta.len();
+        let identity = file_identity(&meta);
+        match (self.identity, identity) {
+            (Some(old), Some(new)) if old != new => {
+                // The path now names a different file (rotation), even if
+                // the replacement is longer than what we had consumed.
+                self.offset = 0;
+                truncated = true;
+            }
+            _ => {}
+        }
+        self.identity = identity.or(self.identity);
         if len < self.offset {
             // The file shrank under us: rotation or rewrite. Start over.
+            // (Also the rotation fallback where inode identity is
+            // unavailable.)
             self.offset = 0;
             truncated = true;
         }
@@ -124,6 +148,19 @@ impl TailReader {
             truncated,
         })
     }
+}
+
+/// `(dev, ino)` where the platform exposes it; `None` elsewhere (those
+/// platforms keep the shrink-only rotation heuristic).
+#[cfg(unix)]
+fn file_identity(meta: &std::fs::Metadata) -> Option<(u64, u64)> {
+    use std::os::unix::fs::MetadataExt;
+    Some((meta.dev(), meta.ino()))
+}
+
+#[cfg(not(unix))]
+fn file_identity(_meta: &std::fs::Metadata) -> Option<(u64, u64)> {
+    None
 }
 
 #[cfg(test)]
@@ -196,6 +233,30 @@ mod tests {
         let chunk = reader.poll().unwrap();
         assert_eq!(chunk.trail.len(), 2);
         assert_eq!(chunk.quarantine.lines.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn rotation_to_longer_file_resets_to_start() {
+        // Rotate to a *longer* replacement: the shrink heuristic alone
+        // would keep the stale offset and read the new file mid-line.
+        let path = scratch("rotate-longer");
+        fs::write(&path, L1).unwrap();
+        let mut reader = TailReader::new(&path);
+        assert_eq!(reader.poll().unwrap().trail.len(), 1);
+        assert_eq!(reader.offset() as usize, L1.len());
+
+        // A longer file, atomically renamed over the path (new inode).
+        let staged = scratch("rotate-longer-staged");
+        fs::write(&staged, format!("{L1}{L2}")).unwrap();
+        fs::rename(&staged, &path).unwrap();
+
+        let chunk = reader.poll().unwrap();
+        assert!(chunk.truncated, "identity change must be flagged");
+        assert_eq!(chunk.trail.len(), 2, "the whole new file is consumed");
+        assert!(chunk.quarantine.is_clean(), "no mid-line garbage");
+        assert_eq!(reader.offset() as usize, L1.len() + L2.len());
         let _ = fs::remove_file(&path);
     }
 

@@ -24,11 +24,14 @@ use policy::samples::hospital_roles;
 use purpose_control::auditor::CaseOutcome;
 use purpose_control::naive::{naive_check, NaiveLimits};
 use purpose_control::parallel::audit_parallel;
-use purpose_control::replay::{check_case, CheckOptions, Engine, Verdict};
-use purpose_control::{LiveConfig, ShardedMonitor};
+use purpose_control::replay::{
+    check_case, check_case_with, CaseCheck, CheckOptions, Engine, Verdict,
+};
+use purpose_control::{LiveConfig, ReplayTrie, ShardedMonitor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serve::{client, ServeConfig, Server, TenantSpec};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use workload::attacks;
 use workload::hospital::{generate_day, HospitalConfig};
@@ -1827,6 +1830,214 @@ fn p16_tracing(quick: bool) -> String {
     )
 }
 
+/// Run every projected case through `check`, fanned over `threads`
+/// contiguous chunks (the duplicate-heavy cases are cost-homogeneous, so
+/// chunking balances fine), preserving case order in the result.
+fn p17_run_all<'a>(
+    projected: &[Vec<&'a audit::LogEntry>],
+    threads: usize,
+    check: &(dyn Fn(&[&'a audit::LogEntry]) -> CaseCheck + Sync),
+) -> Vec<CaseCheck> {
+    if threads <= 1 {
+        return projected.iter().map(|e| check(e)).collect();
+    }
+    let chunk = projected.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(projected.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = projected
+            .chunks(chunk)
+            .map(|slice| s.spawn(move || slice.iter().map(|e| check(e)).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("replay worker panicked"));
+        }
+    });
+    out
+}
+
+fn p17_trie(quick: bool, gate: bool) -> String {
+    use workload::dupheavy::{generate_dupheavy_with, DupHeavyConfig};
+
+    println!("## P17 — prefix-sharing replay trie vs automaton (duplicate-heavy day)");
+    let cfg = DupHeavyConfig {
+        cases: if quick { 1_200 } else { 4_000 },
+        archetypes: 4,
+        duplicate_fraction: 0.92,
+        deviant_fraction: 0.02,
+        error_prob: 0.1,
+    };
+    let encoded = encode(&healthcare_treatment());
+    let day = generate_dupheavy_with(&cfg, 4242, &encoded);
+    let h = hospital_roles();
+    let cases: Vec<cows::symbol::Symbol> = day.trail.cases().into_iter().collect();
+    // Project each case once: the per-case replay core is what the two
+    // engines differ on, and what we time. (Projection itself is
+    // engine-independent and would only dilute the comparison.)
+    let projected: Vec<Vec<&audit::LogEntry>> =
+        cases.iter().map(|&c| day.trail.project_case(c)).collect();
+    let entries_total: usize = projected.iter().map(|c| c.len()).sum();
+
+    let auto_opts = CheckOptions {
+        engine: Engine::Automaton,
+        ..CheckOptions::default()
+    };
+    let trie_opts = CheckOptions {
+        engine: Engine::Trie,
+        ..CheckOptions::default()
+    };
+    // Min of 3: throughput floor, same estimator as P16. Each trie rep
+    // starts from a cold, empty cache, so its misses are paid inside the
+    // timed region — the speedup is not an artifact of pre-warming.
+    let reps = 3;
+    let time_one = |threads: usize, trie: bool| -> (f64, Vec<CaseCheck>) {
+        let mut best = f64::MAX;
+        let mut last = Vec::new();
+        for _ in 0..reps {
+            let shared = trie.then(|| Arc::new(ReplayTrie::new(encoded.automaton.clone())));
+            let t = Instant::now();
+            let out = p17_run_all(&projected, threads, &|entries| match &shared {
+                Some(tr) => check_case_with(
+                    &encoded,
+                    &h,
+                    entries,
+                    &trie_opts,
+                    &obs::Recorder::noop(),
+                    Some(tr),
+                )
+                .expect("trie replay failed"),
+                None => check_case(&encoded, &h, entries, &auto_opts).expect("replay failed"),
+            });
+            best = best.min(t.elapsed().as_secs_f64());
+            last = out;
+        }
+        (best, last)
+    };
+
+    let (auto_t1, auto_r1) = time_one(1, false);
+    let (auto_t8, auto_r8) = time_one(8, false);
+    let (trie_t1, trie_r1) = time_one(1, true);
+    let (trie_t8, trie_r8) = time_one(8, true);
+
+    // Byte-identity of the observable outputs across engines and thread
+    // counts — this never degrades to a warning, even outside --gate.
+    let fp = |checks: &[CaseCheck]| -> Vec<(String, usize, usize)> {
+        checks
+            .iter()
+            .map(|c| {
+                let v = match &c.verdict {
+                    Verdict::Compliant { can_complete } => format!("compliant/{can_complete}"),
+                    Verdict::Infringement(inf) => format!("infringement@{}", inf.entry_index),
+                };
+                (v, c.explored_successors, c.peak_configurations)
+            })
+            .collect()
+    };
+    let baseline = fp(&auto_r1);
+    for (label, run) in [
+        ("automaton/8", fp(&auto_r8)),
+        ("trie/1", fp(&trie_r1)),
+        ("trie/8", fp(&trie_r8)),
+    ] {
+        assert_eq!(
+            baseline, run,
+            "P17: {label} verdicts diverged from automaton/1"
+        );
+    }
+    let infringing = baseline
+        .iter()
+        .filter(|(v, _, _)| v.starts_with("inf"))
+        .count();
+
+    // One instrumented pass on a persistent trie for the cache counters.
+    let stats_trie = Arc::new(ReplayTrie::new(encoded.automaton.clone()));
+    for entries in &projected {
+        check_case_with(
+            &encoded,
+            &h,
+            entries,
+            &trie_opts,
+            &obs::Recorder::noop(),
+            Some(&stats_trie),
+        )
+        .expect("trie replay failed");
+    }
+    let ts = stats_trie.stats();
+
+    let cps = |secs: f64| cfg.cases as f64 / secs;
+    let speedup_t1 = auto_t1 / trie_t1;
+    let speedup_t8 = auto_t8 / trie_t8;
+    println!(
+        "{} cases ({} entries, {} stamped, {} infringing), min of {reps}:",
+        cfg.cases, entries_total, day.stamped, infringing
+    );
+    println!(
+        "  1 thread : automaton {:>9} ({:>9.0} cases/s) | trie {:>9} ({:>9.0} cases/s) | {speedup_t1:.1}x",
+        fmt_dur(Duration::from_secs_f64(auto_t1)),
+        cps(auto_t1),
+        fmt_dur(Duration::from_secs_f64(trie_t1)),
+        cps(trie_t1),
+    );
+    println!(
+        "  8 threads: automaton {:>9} ({:>9.0} cases/s) | trie {:>9} ({:>9.0} cases/s) | {speedup_t8:.1}x",
+        fmt_dur(Duration::from_secs_f64(auto_t8)),
+        cps(auto_t8),
+        fmt_dur(Duration::from_secs_f64(trie_t8)),
+        cps(trie_t8),
+    );
+    println!(
+        "  trie cache: {} hits / {} misses ({:.1}% hit rate), {} frontiers, {} transitions, {} KiB",
+        ts.hits,
+        ts.misses,
+        100.0 * ts.hits as f64 / (ts.hits + ts.misses).max(1) as f64,
+        ts.frontiers,
+        ts.transitions,
+        ts.bytes / 1024,
+    );
+    if gate {
+        assert!(
+            speedup_t1 >= 3.0,
+            "P17 gate: duplicate-heavy trie speedup {speedup_t1:.2}x below the 3x floor"
+        );
+        println!("  gate: OK (>= 3.0x, verdicts identical)");
+    }
+    println!();
+
+    format!(
+        "{{\n  \
+           \"benchmark\": \"replay_trie_vs_automaton\",\n  \
+           \"workload\": \"dupheavy_treatment_day\",\n  \
+           \"cases\": {},\n  \
+           \"entries\": {entries_total},\n  \
+           \"stamped_cases\": {},\n  \
+           \"infringing_cases\": {infringing},\n  \
+           \"duplicate_fraction\": {},\n  \
+           \"archetypes\": {},\n  \
+           \"reps\": {reps},\n  \
+           \"automaton\": {{ \"t1_seconds\": {auto_t1:.6}, \"t1_cases_per_s\": {:.1}, \
+             \"t8_seconds\": {auto_t8:.6}, \"t8_cases_per_s\": {:.1} }},\n  \
+           \"trie\": {{ \"t1_seconds\": {trie_t1:.6}, \"t1_cases_per_s\": {:.1}, \
+             \"t8_seconds\": {trie_t8:.6}, \"t8_cases_per_s\": {:.1}, \
+             \"hits\": {}, \"misses\": {}, \"frontiers\": {}, \"transitions\": {}, \
+             \"bytes\": {} }},\n  \
+           \"speedup_t1\": {speedup_t1:.2},\n  \
+           \"speedup_t8\": {speedup_t8:.2},\n  \
+           \"verdicts_identical\": true\n}}",
+        cfg.cases,
+        day.stamped,
+        cfg.duplicate_fraction,
+        cfg.archetypes,
+        cps(auto_t1),
+        cps(auto_t8),
+        cps(trie_t1),
+        cps(trie_t8),
+        ts.hits,
+        ts.misses,
+        ts.frontiers,
+        ts.transitions,
+        ts.bytes,
+    )
+}
+
 /// Replace or append one top-level `"key": {...}` section of an existing
 /// report file without rerunning the other experiments. The section's
 /// object is located by brace matching (no string values in the report
@@ -1946,6 +2157,15 @@ fn main() {
         println!("wrote {}", path.display());
         return;
     }
+    let gate = argv.iter().any(|a| a == "--gate");
+    if argv.iter().any(|a| a == "--only-p17") {
+        let p17 = p17_trie(quick, gate);
+        let existing = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e} (run the full report first)", path.display()));
+        std::fs::write(&path, splice_section(&existing, "p17_trie", &p17)).expect("write report");
+        println!("wrote {}", path.display());
+        return;
+    }
     println!("# purpose-control experiment report\n");
     fig4_summary();
     p1_naive_vs_replay(quick);
@@ -1964,11 +2184,12 @@ fn main() {
     let p14 = p14_serve(quick);
     let p15 = p15_durability(quick);
     let p16 = p16_tracing(quick);
+    let p17 = p17_trie(quick, gate);
     let json = format!(
         "{{\n\"p8_engine_ablation\": {},\n\"p9_snapshot_warm_start\": {},\n\
          \"p10_degraded_mode\": {},\n\"p11_observability\": {},\n\
          \"p12_streaming\": {},\n\"p13_churn\": {},\n\"p14_serve\": {},\n\
-         \"p15_durability\": {},\n\"p16_tracing\": {}\n}}\n",
+         \"p15_durability\": {},\n\"p16_tracing\": {},\n\"p17_trie\": {}\n}}\n",
         p8.trim_end(),
         p9,
         p10,
@@ -1977,7 +2198,8 @@ fn main() {
         p13,
         p14,
         p15,
-        p16
+        p16,
+        p17
     );
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),

@@ -78,12 +78,12 @@ USAGE:
   purposectl explore  <process-file> [--dot]
   purposectl simulate <process-file> --cases <N> [--seed <S>] [--prefix <P>]
   purposectl check    <process-file> --trail <file> --case <name> [--trace] [--lenient <K>]
-                      [--engine <direct|automaton>]
+                      [--engine <direct|automaton|trie>]
                       [--automaton-cache <dir>] [--no-automaton-cache]
   purposectl audit    --trail <file> [--policy <file>]
                       --process <purpose>=<file>... [--map <prefix>=<purpose>...]
                       [--threads <N>] [--object <obj>] [--max-minutes <M>]
-                      [--engine <direct|automaton>]
+                      [--engine <direct|automaton|trie>]
                       [--automaton-cache <dir>] [--no-automaton-cache]
                       [--salvage] [--quarantine-out <file>]
                       [--case-deadline-ms <N>] [--case-step-budget <N>]
@@ -98,7 +98,7 @@ USAGE:
                       [--idle-minutes <M>] [--spill-dir <dir>]
                       [--spill-mem-kib <N>]
                       [--durability <always|batched[:N]|never>]
-                      [--engine <direct|automaton>] [--metrics-out <file>]
+                      [--engine <direct|automaton|trie>] [--metrics-out <file>]
   purposectl serve    --tenants <name,name,...>
                       --process <purpose>=<file>... [--map <prefix>=<purpose>...]
                       [--policy <file>] [--addr <ip:port>] [--shards <N>]
@@ -106,7 +106,7 @@ USAGE:
                       [--max-open-cases <N>] [--max-entries-per-case <N>]
                       [--max-body-kib <N>] [--io-timeout <secs>]
                       [--durability <always|batched[:N]|never>]
-                      [--engine <direct|automaton>]
+                      [--engine <direct|automaton|trie>]
                       [--trace-sample <0.0..1.0>] [--trace-slow-ms <N>]
                       [--trace-out <file>] [--access-log <file>]
                       [--flight-dir <dir>]
@@ -249,14 +249,16 @@ impl Args {
 }
 
 /// Parse `--engine` (default: the compiled automaton; `direct` keeps the
-/// per-case `WeakNext` recomputation for ablation and debugging).
+/// per-case `WeakNext` recomputation for ablation and debugging; `trie`
+/// adds the cross-case memoizing replay trie on top of the automaton).
 fn engine_flag(args: &Args) -> Result<Engine, CliError> {
     match args.flag("engine") {
         None => Ok(Engine::default()),
         Some("direct") => Ok(Engine::Direct),
         Some("automaton") => Ok(Engine::Automaton),
+        Some("trie") => Ok(Engine::Trie),
         Some(other) => Err(fail(format!(
-            "--engine: expected `direct` or `automaton`, got `{other}`"
+            "--engine: expected `direct`, `automaton` or `trie`, got `{other}`"
         ))),
     }
 }
@@ -781,6 +783,7 @@ fn cmd_audit(args: &Args, out: &mut dyn Write) -> Result<i32, CliError> {
         for purpose in auditor.registry.purposes() {
             if let Some(rp) = auditor.registry.process_for(purpose) {
                 rp.encoded.automaton.stats().export_into(registry);
+                rp.trie.stats().export_into(registry);
             }
         }
         for startup in &startups {

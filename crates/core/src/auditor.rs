@@ -13,8 +13,9 @@
 //! 3. infringements are scored with the §7 severity metrics.
 
 use crate::error::CheckError;
-use crate::replay::{check_case_traced, CaseCheck, CheckOptions, Infringement, Verdict};
+use crate::replay::{check_case_with, CaseCheck, CheckOptions, Infringement, Verdict};
 use crate::severity::{assess, SensitivityModel, SeverityAssessment};
+use crate::trie::ReplayTrie;
 use audit::entry::LogEntry;
 use audit::trail::AuditTrail;
 use bpmn::encode::{encode, Encoded};
@@ -32,6 +33,10 @@ pub struct RegisteredProcess {
     pub purpose: Symbol,
     pub model: ProcessModel,
     pub encoded: Encoded,
+    /// Per-process replay trie, shared by every case replayed under
+    /// [`crate::replay::Engine::Trie`] (batch, parallel and live); inert
+    /// under the other engines.
+    pub trie: Arc<ReplayTrie>,
 }
 
 /// Purpose → process registry, with case-name resolution rules.
@@ -54,12 +59,14 @@ impl ProcessRegistry {
     pub fn register(&mut self, purpose: impl Into<Symbol>, model: ProcessModel) {
         let purpose = purpose.into();
         let encoded = encode(&model);
+        let trie = Arc::new(ReplayTrie::new(encoded.automaton.clone()));
         self.by_purpose.insert(
             purpose,
             Arc::new(RegisteredProcess {
                 purpose,
                 model,
                 encoded,
+                trie,
             }),
         );
     }
@@ -413,12 +420,13 @@ impl Auditor {
         // auditor and entries are only read, so unwind safety is not a
         // correctness concern beyond the poisoned case itself.
         let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            check_case_traced(
+            check_case_with(
                 &process.encoded,
                 hierarchy,
                 &entries,
                 &self.options,
                 &self.recorder,
+                Some(&process.trie),
             )
         }));
         let checked = match checked {

@@ -84,6 +84,11 @@ pub enum RestoreError {
     Check(CheckError),
     /// A sharded checkpoint was written with a different shard count.
     ShardCountMismatch { found: usize, expected: usize },
+    /// Shards of one sharded checkpoint disagree on the stream offset
+    /// their state reflects (a partial or spliced checkpoint). Resuming
+    /// at the max would skip entries owed to the lagging shards; resuming
+    /// at the min would double-feed the shards already ahead.
+    ShardOffsetMismatch { min: u64, max: u64 },
 }
 
 impl fmt::Display for RestoreError {
@@ -109,6 +114,12 @@ impl fmt::Display for RestoreError {
             RestoreError::ShardCountMismatch { found, expected } => write!(
                 f,
                 "checkpoint written with {found} shard(s), monitor has {expected}"
+            ),
+            RestoreError::ShardOffsetMismatch { min, max } => write!(
+                f,
+                "sharded checkpoint shards disagree on the consumed stream \
+                 offset (min {min}, max {max}); refusing to resume from an \
+                 inconsistent checkpoint"
             ),
         }
     }

@@ -31,6 +31,10 @@ pub enum CheckError {
     /// A live-case checkpoint could not be written to or read back from
     /// the spill store (IO failure, or codec failure on rehydration).
     Checkpoint { detail: String },
+    /// An engine component was wired inconsistently (e.g. a replay trie
+    /// bound to one role hierarchy asked to serve a session under a
+    /// different one). Always a configuration bug, never a verdict.
+    EngineConfig { detail: String },
 }
 
 impl fmt::Display for CheckError {
@@ -60,6 +64,9 @@ impl fmt::Display for CheckError {
             ),
             CheckError::Checkpoint { detail } => {
                 write!(f, "live checkpoint failed: {detail}")
+            }
+            CheckError::EngineConfig { detail } => {
+                write!(f, "engine misconfiguration: {detail}")
             }
         }
     }

@@ -39,7 +39,10 @@ fn expand(
 ) -> Result<Vec<WeakSuccessor>, CheckError> {
     match opts.engine {
         Engine::Direct => Ok(weak_next(state, &encoded.observability, opts.weaknext)?),
-        Engine::Automaton => {
+        // The lenient replay explores hypothetical silent steps, which the
+        // replay trie does not memoize; the trie engine therefore rides the
+        // plain interned-automaton path here.
+        Engine::Automaton | Engine::Trie => {
             let id = encoded.automaton.intern(state.clone());
             Ok(encoded
                 .automaton
@@ -56,7 +59,7 @@ fn quiesces(encoded: &Encoded, state: &Marked, opts: &CheckOptions) -> Result<bo
             &encoded.observability,
             opts.weaknext,
         )?),
-        Engine::Automaton => {
+        Engine::Automaton | Engine::Trie => {
             let id = encoded.automaton.intern(state.clone());
             Ok(encoded
                 .automaton

@@ -60,6 +60,7 @@ pub mod severity;
 pub mod sharded;
 pub mod spill;
 pub mod startup;
+pub mod trie;
 
 pub use auditor::{
     AuditReport, Auditor, CaseOutcome, CaseResult, InconclusiveReason, ProcessRegistry,
@@ -75,10 +76,11 @@ pub use metrics::{record_case_metrics, register_audit_metrics};
 pub use multitask::{multitasking_ratio, multitasking_report, MultitaskFinding};
 pub use pool::{MonitorHandle, MonitorPool};
 pub use replay::{
-    check_case, check_case_traced, CaseCheck, CheckOptions, Configuration, Engine, FailPoints,
-    Infringement, InfringementKind, Verdict,
+    check_case, check_case_traced, check_case_with, CaseCheck, CheckOptions, Configuration, Engine,
+    FailPoints, Infringement, InfringementKind, Verdict,
 };
 pub use session::{FeedOutcome, ReplaySession, SessionMeta, SessionState};
 pub use severity::{assess, SensitivityModel, SeverityAssessment};
 pub use sharded::{shard_of, ShardedMonitor};
 pub use startup::StartupStats;
+pub use trie::{ReplayTrie, TrieStats};

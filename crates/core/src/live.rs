@@ -50,8 +50,8 @@ use crate::checkpoint::{
 use crate::churn::{decode_churn, encode_churn, ChurnCheckpoint, EntryBlock, CHURN_MAGIC};
 use crate::durable::SyncPolicy;
 use crate::error::CheckError;
-use crate::replay::{CaseCheck, Infringement, Verdict};
-use crate::session::{FeedOutcome, SessionCore};
+use crate::replay::{CaseCheck, Engine, Infringement, Verdict};
+use crate::session::{FeedOutcome, SessionCore, SessionMeta, SessionState};
 use crate::severity::{assess, SeverityAssessment};
 use crate::spill::SpillStore;
 use audit::entry::LogEntry;
@@ -476,7 +476,7 @@ impl LiveAuditor {
                     self.stats.unresolved += 1;
                     return Ok(LiveEvent::Unresolved { case });
                 };
-                let core = SessionCore::new(&process.encoded, self.auditor.options)?;
+                let core = self.open_session(process)?;
                 self.cases.insert(
                     case,
                     LiveCase {
@@ -505,7 +505,12 @@ impl LiveAuditor {
                 live.entries.pop_front();
                 live.entries_dropped += 1;
             }
-            live.last_seen = entry.time;
+            // Monotone: a salvaged or clock-skewed trail can carry entries
+            // whose timestamps regress. `high_water` only ever rises, so
+            // letting a regressing entry drag `last_seen` back down would
+            // make the idle sweep see a just-touched case as stale and
+            // evict it spuriously.
+            live.last_seen = live.last_seen.max(entry.time);
             live.touched = tick;
             // Second touch while resident promotes probation → protected.
             let promote = was_resident && !live.protected;
@@ -597,6 +602,62 @@ impl LiveAuditor {
         None
     }
 
+    /// Open a session at the process's initial configuration through the
+    /// configured engine. Under [`Engine::Trie`] every live case of a
+    /// process shares the process's replay trie, so a monitor churning
+    /// through duplicate-heavy traffic steps mostly from cache.
+    fn open_session(&self, process: &RegisteredProcess) -> Result<SessionCore, CheckError> {
+        match self.auditor.options.engine {
+            Engine::Trie => SessionCore::with_trie(
+                &process.encoded,
+                self.auditor.options,
+                process.trie.clone(),
+                self.auditor.context.roles(),
+                obs::Recorder::noop(),
+            ),
+            _ => SessionCore::new(&process.encoded, self.auditor.options),
+        }
+    }
+
+    /// Engine-dispatched [`SessionCore::from_interned`] (churn rehydrate).
+    fn session_from_interned(
+        &self,
+        process: &RegisteredProcess,
+        ids: Vec<cows::automaton::StateId>,
+        meta: SessionMeta,
+    ) -> Result<SessionCore, CheckError> {
+        match self.auditor.options.engine {
+            Engine::Trie => SessionCore::from_interned_with_trie(
+                &process.encoded,
+                self.auditor.options,
+                process.trie.clone(),
+                self.auditor.context.roles(),
+                ids,
+                meta,
+            ),
+            _ => SessionCore::from_interned(&process.encoded, self.auditor.options, ids, meta),
+        }
+    }
+
+    /// Engine-dispatched [`SessionCore::from_state`] (durable rehydrate).
+    fn session_from_state(
+        &self,
+        process: &RegisteredProcess,
+        state: SessionState,
+    ) -> Result<SessionCore, CheckError> {
+        match self.auditor.options.engine {
+            Engine::Trie => SessionCore::from_state_with_trie(
+                &process.encoded,
+                self.auditor.options,
+                process.trie.clone(),
+                self.auditor.context.roles(),
+                state,
+                obs::Recorder::noop(),
+            ),
+            _ => SessionCore::from_state(&process.encoded, self.auditor.options, state),
+        }
+    }
+
     fn peek_spilled(&self, case: Symbol) -> Result<CaseCheck, CheckError> {
         let bytes = self.load_spilled(case)?;
         let (process, core) = self.decode_spilled(&bytes)?;
@@ -614,19 +675,14 @@ impl LiveAuditor {
                 detail: e.to_string(),
             })?;
             let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
-            let core = SessionCore::from_interned(
-                &process.encoded,
-                self.auditor.options,
-                ckpt.ids,
-                ckpt.meta,
-            )?;
+            let core = self.session_from_interned(&process, ckpt.ids, ckpt.meta)?;
             Ok((process, core))
         } else {
             let ckpt = decode_case(bytes).map_err(|e| CheckError::Checkpoint {
                 detail: e.to_string(),
             })?;
             let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
-            let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
+            let core = self.session_from_state(&process, ckpt.state)?;
             Ok((process, core))
         }
     }
@@ -761,40 +817,34 @@ impl LiveAuditor {
             .ok_or_else(|| CheckError::Checkpoint {
                 detail: format!("case {case} is not in the spill store"),
             })?;
-        let (process, core, entries, entries_dropped, last_seen) = if bytes.len() >= 4
-            && bytes[..4] == CHURN_MAGIC
-        {
-            let ckpt = decode_churn(&bytes).map_err(|e| CheckError::Checkpoint {
-                detail: e.to_string(),
-            })?;
-            let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
-            let core = SessionCore::from_interned(
-                &process.encoded,
-                self.auditor.options,
-                ckpt.ids,
-                ckpt.meta,
-            )?;
-            (
-                process,
-                core,
-                ckpt.entries,
-                ckpt.entries_dropped,
-                ckpt.last_seen,
-            )
-        } else {
-            let ckpt = decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
-                detail: e.to_string(),
-            })?;
-            let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
-            let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
-            (
-                process,
-                core,
-                EntryBlock::from_entries(&ckpt.entries),
-                ckpt.entries_dropped,
-                ckpt.last_seen,
-            )
-        };
+        let (process, core, entries, entries_dropped, last_seen) =
+            if bytes.len() >= 4 && bytes[..4] == CHURN_MAGIC {
+                let ckpt = decode_churn(&bytes).map_err(|e| CheckError::Checkpoint {
+                    detail: e.to_string(),
+                })?;
+                let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
+                let core = self.session_from_interned(&process, ckpt.ids, ckpt.meta)?;
+                (
+                    process,
+                    core,
+                    ckpt.entries,
+                    ckpt.entries_dropped,
+                    ckpt.last_seen,
+                )
+            } else {
+                let ckpt = decode_case(&bytes).map_err(|e| CheckError::Checkpoint {
+                    detail: e.to_string(),
+                })?;
+                let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
+                let core = self.session_from_state(&process, ckpt.state)?;
+                (
+                    process,
+                    core,
+                    EntryBlock::from_entries(&ckpt.entries),
+                    ckpt.entries_dropped,
+                    ckpt.last_seen,
+                )
+            };
         self.tick += 1;
         let shielded_until = self.config.eviction_debounce.map_or(0, |d| self.tick + d);
         self.cases.insert(
@@ -819,7 +869,7 @@ impl LiveAuditor {
     /// (the restore path), validating it against the current registry.
     fn admit(&mut self, ckpt: CaseCheckpoint) -> Result<LiveCase, CheckError> {
         let process = self.validated_process(ckpt.case, ckpt.purpose, ckpt.process_key)?;
-        let core = SessionCore::from_state(&process.encoded, self.auditor.options, ckpt.state)?;
+        let core = self.session_from_state(&process, ckpt.state)?;
         self.tick += 1;
         Ok(LiveCase {
             process,
@@ -1189,6 +1239,42 @@ mod tests {
         assert_eq!(closed.after_alarm, 2);
         assert_eq!(monitor.open_cases(), 0, "alarmed case retired");
         assert_eq!(monitor.stats().after_alarm, 2);
+    }
+
+    #[test]
+    fn clock_regressing_entry_does_not_trigger_spurious_idle_eviction() {
+        // Salvaged/skewed trails can carry entries whose timestamps
+        // regress. `high_water` is monotone, so if a regressing entry
+        // dragged `last_seen` backwards the idle sweep would evict a case
+        // that was touched moments ago.
+        let mut monitor = LiveAuditor::with_config(
+            auditor(),
+            LiveConfig {
+                idle_eviction: Some(60),
+                ..LiveConfig::default()
+            },
+        );
+        // A valid treatment prefix; the second entry jumps 20 days ahead
+        // (inflating the high-water mark), the third regresses back near
+        // the start (clock skew). `parse_trail` sorts chronologically, so
+        // parse line-by-line and feed in delivery order — exactly what a
+        // tailing monitor sees across poll chunks.
+        let lines = [
+            "John GP read [Jane]EPR/Clinical T01 HT-77 201007060900 success\n",
+            "John GP write [Jane]EPR/Clinical T02 HT-77 201007260900 success\n",
+            "John GP cancel N/A T02 HT-77 201007060905 failure\n",
+        ];
+        for line in lines {
+            let trail = audit::codec::parse_trail(line).unwrap();
+            let ev = monitor.observe(&trail.entries()[0]).unwrap();
+            assert!(!ev.is_alarm(), "prefix is compliant");
+        }
+        assert_eq!(monitor.open_cases(), 1);
+        // The case saw an entry at the current high-water instant; it is
+        // not idle, and the sweep must leave it resident.
+        let evicted = monitor.maintain().unwrap();
+        assert!(evicted.is_empty(), "spurious idle eviction of a hot case");
+        assert_eq!(monitor.open_cases(), 1);
     }
 
     #[test]

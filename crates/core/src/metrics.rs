@@ -66,6 +66,11 @@ pub const AUDIT_COUNTERS: &[&str] = &[
     "startup_warm_total",
     "trace_spans_total",
     "trace_traces_kept",
+    "trie_bytes",
+    "trie_frontiers",
+    "trie_hits",
+    "trie_misses",
+    "trie_transitions",
 ];
 
 /// Every gauge, sorted.

@@ -43,7 +43,11 @@ pub struct Configuration {
 ///   [`cows::automaton::ProcessAutomaton`]: states are interned `u32` ids
 ///   and each state's successor edges are computed once per process (not
 ///   once per case), so replaying many cases of the same process is
-///   integer-automaton walking.
+///   integer-automaton walking;
+/// * [`Engine::Trie`] layers the [`crate::trie::ReplayTrie`] over the
+///   automaton: whole `configuration-set × observation` steps are
+///   memoized on interned frontier rows, so observation prefixes shared
+///   *across cases* cost one automaton walk instead of N.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Engine {
     /// Recompute `WeakNext` per configuration (no cross-case sharing).
@@ -51,6 +55,9 @@ pub enum Engine {
     /// Walk the lazily compiled, thread-shared observable-step automaton.
     #[default]
     Automaton,
+    /// Automaton walking behind a cross-case prefix-sharing transition
+    /// cache with dense interned frontiers.
+    Trie,
 }
 
 /// Deterministic fault-injection hooks for the chaos harness.
@@ -261,10 +268,48 @@ pub fn check_case_traced(
     opts: &CheckOptions,
     recorder: &obs::Recorder,
 ) -> Result<CaseCheck, CheckError> {
-    let mut session =
-        crate::session::ReplaySession::with_recorder(encoded, hierarchy, *opts, recorder.clone())?;
-    session.feed_all(entries.iter().copied())?;
-    session.finish()
+    check_case_with(encoded, hierarchy, entries, opts, recorder, None)
+}
+
+/// [`check_case_traced`] with an optional shared [`ReplayTrie`]. Under
+/// [`Engine::Trie`] the session memoizes into (and is served from) that
+/// trie, sharing transitions with every other case of the process; without
+/// one, a session-local trie is built — correct but unshared. Other
+/// engines ignore the handle.
+pub fn check_case_with(
+    encoded: &Encoded,
+    hierarchy: &RoleHierarchy,
+    entries: &[&LogEntry],
+    opts: &CheckOptions,
+    recorder: &obs::Recorder,
+    trie: Option<&std::sync::Arc<crate::trie::ReplayTrie>>,
+) -> Result<CaseCheck, CheckError> {
+    let mut core = match (opts.engine, trie) {
+        (Engine::Trie, Some(t)) => {
+            // Whole-case fast path: when the outcome is a pure function of
+            // the replay-relevant projection, duplicate cases skip the
+            // per-entry session walk entirely.
+            if crate::trie::case_memo_eligible(opts) {
+                return crate::trie::replay_case_memoized(
+                    encoded, hierarchy, entries, opts, recorder, t,
+                );
+            }
+            crate::session::SessionCore::with_trie(
+                encoded,
+                *opts,
+                t.clone(),
+                hierarchy,
+                recorder.clone(),
+            )?
+        }
+        _ => crate::session::SessionCore::with_recorder(encoded, *opts, recorder.clone())?,
+    };
+    for e in entries {
+        if let crate::session::FeedOutcome::Rejected(_) = core.feed(encoded, hierarchy, e)? {
+            break;
+        }
+    }
+    core.finish(encoded)
 }
 
 #[cfg(test)]
@@ -445,15 +490,28 @@ mod tests {
                     },
                 )
                 .unwrap();
-                assert_eq!(direct.verdict, automaton.verdict);
-                assert_eq!(direct.peak_configurations, automaton.peak_configurations);
-                assert_eq!(direct.explored_successors, automaton.explored_successors);
-                assert_eq!(direct.steps.len(), automaton.steps.len());
-                for (d, a) in direct.steps.iter().zip(&automaton.steps) {
-                    assert_eq!(d.entry_index, a.entry_index);
-                    assert_eq!(d.matches, a.matches);
-                    assert_eq!(d.configurations, a.configurations);
-                    assert_eq!(d.token_tasks, a.token_tasks);
+                let trie = check_case(
+                    &encode(&model()),
+                    &h,
+                    &refs,
+                    &CheckOptions {
+                        engine: Engine::Trie,
+                        record_trace: true,
+                        ..CheckOptions::default()
+                    },
+                )
+                .unwrap();
+                for other in [&automaton, &trie] {
+                    assert_eq!(direct.verdict, other.verdict);
+                    assert_eq!(direct.peak_configurations, other.peak_configurations);
+                    assert_eq!(direct.explored_successors, other.explored_successors);
+                    assert_eq!(direct.steps.len(), other.steps.len());
+                    for (d, a) in direct.steps.iter().zip(&other.steps) {
+                        assert_eq!(d.entry_index, a.entry_index);
+                        assert_eq!(d.matches, a.matches);
+                        assert_eq!(d.configurations, a.configurations);
+                        assert_eq!(d.token_tasks, a.token_tasks);
+                    }
                 }
             }
         }

@@ -21,9 +21,11 @@ use crate::replay::{
     CaseCheck, CheckOptions, Configuration, Engine, Infringement, InfringementKind, MatchKind,
     StepRecord, Verdict,
 };
+use crate::trie::ReplayTrie;
 use audit::entry::{LogEntry, TaskStatus};
 use audit::time::Timestamp;
 use bpmn::encode::Encoded;
+use cows::automaton::frontier::FrontierId;
 use cows::automaton::{ProcessAutomaton, StateId};
 use cows::observe::Observation;
 use cows::weaknext::{can_terminate_silently, weak_next_traced, Marked, WeakSuccessor};
@@ -45,18 +47,26 @@ pub enum FeedOutcome {
 /// The configuration set of Algorithm 1, in the representation of the
 /// selected [`Engine`].
 ///
-/// Both variants track the same mathematical set of Def. 6 configurations.
+/// All variants track the same mathematical set of Def. 6 configurations.
 /// `Direct` owns the `Marked` states and their precomputed successors;
 /// `Automaton` holds dense [`StateId`]s into the process's shared
 /// [`ProcessAutomaton`], whose invariant here is that every live id has
 /// already been expanded (its edges are compiled), so a feed step is pure
-/// table walking.
+/// table walking. `Trie` holds the same ids as an interned
+/// [`FrontierId`] row in a shared [`ReplayTrie`], so whole
+/// `configuration-set × observation` steps memoize across cases.
 #[derive(Clone, Debug)]
 enum ConfSet {
     Direct(Vec<Configuration>),
     Automaton {
         auto: Arc<ProcessAutomaton>,
         ids: Vec<StateId>,
+    },
+    Trie {
+        trie: Arc<ReplayTrie>,
+        frontier: FrontierId,
+        /// The dense row behind `frontier` (shared with the trie's table).
+        ids: Arc<[StateId]>,
     },
 }
 
@@ -65,6 +75,7 @@ impl ConfSet {
         match self {
             ConfSet::Direct(confs) => confs.len(),
             ConfSet::Automaton { ids, .. } => ids.len(),
+            ConfSet::Trie { ids, .. } => ids.len(),
         }
     }
 }
@@ -268,6 +279,11 @@ pub struct SessionCore {
     /// `opts.record_evidence` is set.
     evidence_steps: Vec<RawStep>,
     evidence_violation: Option<EvidenceViolation>,
+    /// Whether the trie (if any) has been fingerprint-bound to the role
+    /// hierarchy this session replays under. Constructors that receive the
+    /// hierarchy bind eagerly; the hierarchy-free fallback binds on the
+    /// first feed. Always `true` for the other engines.
+    trie_bound: bool,
 }
 
 impl SessionCore {
@@ -284,7 +300,7 @@ impl SessionCore {
         opts: CheckOptions,
         recorder: Recorder,
     ) -> Result<SessionCore, CheckError> {
-        let (confs, explored) = match opts.engine {
+        let (confs, explored, trie_bound) = match opts.engine {
             Engine::Direct => {
                 let state = encoded.initial();
                 let next =
@@ -293,6 +309,7 @@ impl SessionCore {
                 (
                     ConfSet::Direct(vec![Configuration { state, next }]),
                     explored,
+                    true,
                 )
             }
             Engine::Automaton => {
@@ -307,6 +324,24 @@ impl SessionCore {
                         ids: vec![id],
                     },
                     explored,
+                    true,
+                )
+            }
+            Engine::Trie => {
+                // Hierarchy-free fallback: a private per-session trie that
+                // binds lazily on the first feed. Correct (same verdicts)
+                // but unshared — callers wanting cross-case memoization go
+                // through [`SessionCore::with_trie`] instead.
+                let trie = Arc::new(ReplayTrie::new(encoded.automaton.clone()));
+                let (frontier, ids, explored) = trie.root(encoded, opts.weaknext, &recorder)?;
+                (
+                    ConfSet::Trie {
+                        trie,
+                        frontier,
+                        ids,
+                    },
+                    explored,
+                    false,
                 )
             }
         };
@@ -326,6 +361,47 @@ impl SessionCore {
             case_name: None,
             evidence_steps: Vec::new(),
             evidence_violation: None,
+            trie_bound,
+        })
+    }
+
+    /// Open at the process's initial configuration under a *shared*
+    /// [`ReplayTrie`] — the cross-case memoizing variant of the
+    /// [`Engine::Trie`] engine. The trie is fingerprint-bound to
+    /// `hierarchy` here, so a trie reused under a different role hierarchy
+    /// fails fast with [`CheckError::EngineConfig`] instead of serving
+    /// cached transitions computed under different specialization rules.
+    pub fn with_trie(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        trie: Arc<ReplayTrie>,
+        hierarchy: &RoleHierarchy,
+        recorder: Recorder,
+    ) -> Result<SessionCore, CheckError> {
+        debug_assert!(matches!(opts.engine, Engine::Trie));
+        trie.bind(hierarchy)?;
+        let (frontier, ids, explored) = trie.root(encoded, opts.weaknext, &recorder)?;
+        Ok(SessionCore {
+            opts,
+            confs: ConfSet::Trie {
+                trie,
+                frontier,
+                ids,
+            },
+            steps: Vec::new(),
+            peak: 1,
+            explored,
+            consumed: 0,
+            first_time: None,
+            infringement: None,
+            deadline: opts
+                .case_deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            recorder,
+            case_name: None,
+            evidence_steps: Vec::new(),
+            evidence_violation: None,
+            trie_bound: true,
         })
     }
 
@@ -336,23 +412,27 @@ impl SessionCore {
     pub fn configurations(&self) -> Vec<Configuration> {
         match &self.confs {
             ConfSet::Direct(confs) => confs.clone(),
-            ConfSet::Automaton { auto, ids } => ids
-                .iter()
-                .map(|&id| {
-                    let edges = auto.cached_edges(id).expect(PRE_EXPANDED);
-                    Configuration {
-                        state: (*auto.state(id)).clone(),
-                        next: edges
-                            .iter()
-                            .map(|&(observation, sid)| WeakSuccessor {
-                                observation,
-                                state: (*auto.state(sid)).clone(),
-                            })
-                            .collect(),
-                    }
-                })
-                .collect(),
+            ConfSet::Automaton { auto, ids } => Self::materialize_ids(auto, ids),
+            ConfSet::Trie { trie, ids, .. } => Self::materialize_ids(trie.automaton(), ids),
         }
+    }
+
+    fn materialize_ids(auto: &Arc<ProcessAutomaton>, ids: &[StateId]) -> Vec<Configuration> {
+        ids.iter()
+            .map(|&id| {
+                let edges = auto.cached_edges(id).expect(PRE_EXPANDED);
+                Configuration {
+                    state: (*auto.state(id)).clone(),
+                    next: edges
+                        .iter()
+                        .map(|&(observation, sid)| WeakSuccessor {
+                            observation,
+                            state: (*auto.state(sid)).clone(),
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
     }
 
     pub fn consumed(&self) -> usize {
@@ -382,6 +462,13 @@ impl SessionCore {
                     v.extend(edges.iter().map(|(o, _)| o.to_string()));
                 }
             }
+            ConfSet::Trie { trie, ids, .. } => {
+                let auto = trie.automaton();
+                for &id in ids.iter() {
+                    let edges = auto.cached_edges(id).expect(PRE_EXPANDED);
+                    v.extend(edges.iter().map(|(o, _)| o.to_string()));
+                }
+            }
         }
         v.sort();
         v.dedup();
@@ -403,6 +490,13 @@ impl SessionCore {
                     v.extend(state.running.iter().map(|(r, q)| format!("{r}.{q}")));
                 }
             }
+            ConfSet::Trie { trie, ids, .. } => {
+                let auto = trie.automaton();
+                for &id in ids.iter() {
+                    let state = auto.state(id);
+                    v.extend(state.running.iter().map(|(r, q)| format!("{r}.{q}")));
+                }
+            }
         }
         v.sort();
         v.dedup();
@@ -418,6 +512,12 @@ impl SessionCore {
                 .iter()
                 .map(|&id| auto.cached_edges(id).expect(PRE_EXPANDED).len())
                 .sum(),
+            ConfSet::Trie { trie, ids, .. } => {
+                let auto = trie.automaton();
+                ids.iter()
+                    .map(|&id| auto.cached_edges(id).expect(PRE_EXPANDED).len())
+                    .sum()
+            }
         }
     }
 
@@ -445,6 +545,17 @@ impl SessionCore {
                         .collect::<Vec<_>>()
                 })
                 .collect(),
+            ConfSet::Trie { trie, ids, .. } => {
+                let auto = trie.automaton();
+                ids.iter()
+                    .flat_map(|&id| {
+                        auto.token_tasks(id, &encoded.observability)
+                            .iter()
+                            .map(|(r, q)| format!("{r}.{q}"))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            }
         };
         v.sort();
         v.dedup();
@@ -639,6 +750,32 @@ impl SessionCore {
                     ids: next_ids,
                 }
             }
+            ConfSet::Trie { trie, frontier, .. } => {
+                // One memoized step: the cache key covers everything the
+                // loops above inspect (frontier row, entry role/task,
+                // success-vs-failure), so a hit replays the exact match
+                // vector, survivors and exploration delta the automaton
+                // arm would have produced.
+                if !self.trie_bound {
+                    trie.bind(hierarchy)?;
+                    self.trie_bound = true;
+                }
+                let step = trie.step(
+                    encoded,
+                    hierarchy,
+                    *frontier,
+                    entry,
+                    self.opts.weaknext,
+                    &self.recorder,
+                )?;
+                self.explored += step.explored_delta;
+                matches.extend_from_slice(&step.matches);
+                ConfSet::Trie {
+                    trie: trie.clone(),
+                    frontier: step.next,
+                    ids: step.next_row.clone(),
+                }
+            }
         };
 
         // Fault isolation: the step budget caps total exploration work per
@@ -704,6 +841,17 @@ impl SessionCore {
                             .collect()
                     })
                     .collect(),
+                ConfSet::Trie { trie, ids, .. } => {
+                    let auto = trie.automaton();
+                    ids.iter()
+                        .map(|&id| {
+                            auto.token_tasks(id, &encoded.observability)
+                                .iter()
+                                .map(|(r, q)| format!("{r}.{q}"))
+                                .collect()
+                        })
+                        .collect()
+                }
             };
             self.steps.push(StepRecord {
                 entry_index,
@@ -725,6 +873,10 @@ impl SessionCore {
                 ConfSet::Automaton { ids, .. } => match ids.as_slice() {
                     [id] => RawConfs::One(*id),
                     _ => RawConfs::Many(ids.clone()),
+                },
+                ConfSet::Trie { ids, .. } => match ids.as_ref() {
+                    [id] => RawConfs::One(*id),
+                    _ => RawConfs::Many(ids.to_vec()),
                 },
             };
             self.evidence_steps.push(RawStep {
@@ -762,6 +914,10 @@ impl SessionCore {
             ConfSet::Automaton { auto, ids } => {
                 ids.iter().map(|&id| (*auto.state(id)).clone()).collect()
             }
+            ConfSet::Trie { trie, ids, .. } => {
+                let auto = trie.automaton();
+                ids.iter().map(|&id| (*auto.state(id)).clone()).collect()
+            }
         };
         SessionState {
             confs,
@@ -780,6 +936,7 @@ impl SessionCore {
         match &self.confs {
             ConfSet::Direct(_) => None,
             ConfSet::Automaton { ids, .. } => Some(ids),
+            ConfSet::Trie { ids, .. } => Some(ids),
         }
     }
 
@@ -843,6 +1000,56 @@ impl SessionCore {
             case_name: meta.case_name,
             evidence_steps: Vec::new(),
             evidence_violation: None,
+            trie_bound: true,
+        })
+    }
+
+    /// [`SessionCore::from_interned`] for the trie engine: the ids are
+    /// validated and re-expanded against the trie's automaton, then
+    /// interned as a frontier row so the rehydrated session resumes
+    /// memoized stepping exactly where the evicted one left off.
+    pub fn from_interned_with_trie(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        trie: Arc<ReplayTrie>,
+        hierarchy: &RoleHierarchy,
+        ids: Vec<StateId>,
+        meta: SessionMeta,
+    ) -> Result<SessionCore, CheckError> {
+        debug_assert!(matches!(opts.engine, Engine::Trie));
+        trie.bind(hierarchy)?;
+        let auto = trie.automaton().clone();
+        let known = auto.len() as u64;
+        for &id in &ids {
+            if u64::from(id) >= known {
+                return Err(CheckError::Checkpoint {
+                    detail: format!("churn checkpoint id {id} outside automaton ({known} states)"),
+                });
+            }
+            auto.successors_traced(id, &encoded.observability, opts.weaknext, &Recorder::noop())?;
+        }
+        let (frontier, row) = trie.intern_frontier(&ids);
+        Ok(SessionCore {
+            opts,
+            confs: ConfSet::Trie {
+                trie,
+                frontier,
+                ids: row,
+            },
+            steps: Vec::new(),
+            peak: meta.peak,
+            explored: meta.explored,
+            consumed: meta.consumed,
+            first_time: meta.first_time,
+            infringement: None,
+            deadline: opts
+                .case_deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            recorder: Recorder::noop(),
+            case_name: meta.case_name,
+            evidence_steps: Vec::new(),
+            evidence_violation: None,
+            trie_bound: true,
         })
     }
 
@@ -873,7 +1080,7 @@ impl SessionCore {
         state: SessionState,
         recorder: Recorder,
     ) -> Result<SessionCore, CheckError> {
-        let confs = match opts.engine {
+        let (confs, trie_bound) = match opts.engine {
             Engine::Direct => {
                 let mut confs = Vec::with_capacity(state.confs.len());
                 for m in state.confs {
@@ -881,7 +1088,7 @@ impl SessionCore {
                         weak_next_traced(&m, &encoded.observability, opts.weaknext, &recorder)?;
                     confs.push(Configuration { state: m, next });
                 }
-                ConfSet::Direct(confs)
+                (ConfSet::Direct(confs), true)
             }
             Engine::Automaton => {
                 let auto = encoded.automaton.clone();
@@ -891,7 +1098,15 @@ impl SessionCore {
                     auto.successors_traced(id, &encoded.observability, opts.weaknext, &recorder)?;
                     ids.push(id);
                 }
-                ConfSet::Automaton { auto, ids }
+                (ConfSet::Automaton { auto, ids }, true)
+            }
+            Engine::Trie => {
+                // Hierarchy-free fallback (see `with_recorder`); use
+                // [`SessionCore::from_state_with_trie`] for sharing.
+                let trie = Arc::new(ReplayTrie::new(encoded.automaton.clone()));
+                let confs =
+                    Self::trie_confs_from_state(encoded, opts, &trie, state.confs, &recorder)?;
+                (confs, false)
             }
         };
         Ok(SessionCore {
@@ -910,6 +1125,66 @@ impl SessionCore {
             case_name: state.case_name,
             evidence_steps: Vec::new(),
             evidence_violation: None,
+            trie_bound,
+        })
+    }
+
+    /// [`SessionCore::from_state`] for the trie engine with a *shared*
+    /// trie: states are re-interned and expanded against the trie's
+    /// automaton and the live set becomes an interned frontier row.
+    pub fn from_state_with_trie(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        trie: Arc<ReplayTrie>,
+        hierarchy: &RoleHierarchy,
+        state: SessionState,
+        recorder: Recorder,
+    ) -> Result<SessionCore, CheckError> {
+        debug_assert!(matches!(opts.engine, Engine::Trie));
+        trie.bind(hierarchy)?;
+        let confs = Self::trie_confs_from_state(encoded, opts, &trie, state.confs, &recorder)?;
+        Ok(SessionCore {
+            opts,
+            confs,
+            steps: Vec::new(),
+            peak: state.peak,
+            explored: state.explored,
+            consumed: state.consumed,
+            first_time: state.first_time,
+            infringement: None,
+            deadline: opts
+                .case_deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            recorder,
+            case_name: state.case_name,
+            evidence_steps: Vec::new(),
+            evidence_violation: None,
+            trie_bound: true,
+        })
+    }
+
+    /// Intern exported `Marked` states into the trie's automaton, restore
+    /// the [`PRE_EXPANDED`] invariant, and intern the resulting live set as
+    /// a frontier row.
+    fn trie_confs_from_state(
+        encoded: &Encoded,
+        opts: CheckOptions,
+        trie: &Arc<ReplayTrie>,
+        states: Vec<Marked>,
+        recorder: &Recorder,
+    ) -> Result<ConfSet, CheckError> {
+        let auto = trie.automaton().clone();
+        let mut ids = Vec::with_capacity(states.len());
+        for m in states {
+            let id = auto.intern(m);
+            auto.successors_traced(id, &encoded.observability, opts.weaknext, recorder)?;
+            ids.push(id);
+        }
+        let (frontier, row) = trie.intern_frontier(&ids);
+        Ok(ConfSet::Trie {
+            trie: trie.clone(),
+            frontier,
+            ids: row,
         })
     }
 
@@ -949,6 +1224,15 @@ impl SessionCore {
                             }
                         }
                     }
+                    ConfSet::Trie { trie, ids, .. } => {
+                        let auto = trie.automaton();
+                        for &id in ids.iter() {
+                            if auto.can_quiesce(id, &encoded.observability, self.opts.weaknext)? {
+                                can_complete = true;
+                                break;
+                            }
+                        }
+                    }
                 }
                 Verdict::Compliant { can_complete }
             }
@@ -962,6 +1246,7 @@ impl SessionCore {
                 engine: match self.opts.engine {
                     Engine::Direct => "direct",
                     Engine::Automaton => "automaton",
+                    Engine::Trie => "trie",
                 },
                 verdict: match &verdict {
                     Verdict::Compliant { can_complete: true } => "compliant",
@@ -975,6 +1260,7 @@ impl SessionCore {
                 auto: match &self.confs {
                     ConfSet::Direct(_) => None,
                     ConfSet::Automaton { auto, .. } => Some(auto.clone()),
+                    ConfSet::Trie { trie, .. } => Some(trie.automaton().clone()),
                 },
             })
         } else {
@@ -1237,7 +1523,7 @@ mod tests {
 
     #[test]
     fn exported_state_rehydrates_to_an_identical_twin() {
-        for engine in [Engine::Direct, Engine::Automaton] {
+        for engine in [Engine::Direct, Engine::Automaton, Engine::Trie] {
             let encoded = encode(&fig8_exclusive());
             let h = RoleHierarchy::new();
             let opts = CheckOptions {

@@ -334,13 +334,29 @@ impl ShardedMonitor {
             });
         }
         let mut restored = Vec::with_capacity(n);
-        let mut offset = 0;
+        // Every shard of one checkpoint must reflect the same consumed
+        // stream offset — `checkpoint` writes one offset to all shards.
+        // A disagreement means a partial or spliced checkpoint: resuming
+        // at the max (the old behavior) silently skips entries owed to
+        // the lagging shards, and resuming at the min would double-feed
+        // shards already ahead (entries carry no sequence numbers, so
+        // re-ingest is not idempotent). Refuse with a typed error.
+        let mut min_offset = u64::MAX;
+        let mut max_offset = 0u64;
         for (i, blob) in blobs.iter().enumerate() {
             let (monitor, o) =
                 LiveAuditor::restore(auditor.clone(), shard_config(config, i), blob)?;
-            offset = offset.max(o);
+            min_offset = min_offset.min(o);
+            max_offset = max_offset.max(o);
             restored.push(monitor);
         }
+        if min_offset != max_offset {
+            return Err(RestoreError::ShardOffsetMismatch {
+                min: min_offset,
+                max: max_offset,
+            });
+        }
+        let offset = min_offset;
         let evictions_then = restored.iter().map(|s| s.stats().evictions).collect();
         Ok((
             ShardedMonitor {
@@ -452,6 +468,33 @@ mod tests {
             }) => {}
             other => panic!("expected shard-count mismatch, got {:?}", other.is_ok()),
         }
+    }
+
+    #[test]
+    fn restore_refuses_unequal_shard_offsets() {
+        // A spliced envelope whose shards checkpointed at different stream
+        // offsets must be rejected with the typed mismatch error — the old
+        // behavior resumed at the max and silently skipped the entries
+        // still owed to the lagging shards.
+        let trail = figure4_trail();
+        let config = LiveConfig::default();
+        let mut sharded = ShardedMonitor::new(auditor(), &config, 3);
+        sharded.ingest(trail.entries()).unwrap();
+        let blobs: Vec<Vec<u8>> = sharded
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.checkpoint(100 * (i as u64 + 1)).unwrap())
+            .collect();
+        let bytes = encode_sharded(&blobs);
+        match ShardedMonitor::restore(auditor(), &config, 3, &bytes) {
+            Err(RestoreError::ShardOffsetMismatch { min: 100, max: 300 }) => {}
+            other => panic!("expected shard-offset mismatch, got ok={:?}", other.is_ok()),
+        }
+        // Agreeing shards still restore, at exactly the shared offset.
+        let bytes = sharded.checkpoint(250).unwrap();
+        let (_, offset) = ShardedMonitor::restore(auditor(), &config, 3, &bytes).unwrap();
+        assert_eq!(offset, 250);
     }
 
     #[test]

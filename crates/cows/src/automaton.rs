@@ -20,6 +20,7 @@
 //! is *not* cached, so every caller sees [`ExploreError`] exactly as the
 //! direct path would.
 
+pub mod frontier;
 pub mod snapshot;
 
 use crate::error::ExploreError;

@@ -1,0 +1,217 @@
+//! Struct-of-arrays configuration-set frontiers.
+//!
+//! A replay session's live configuration set is a small ordered list of
+//! interned [`StateId`]s. Cross-case prefix sharing (the replay trie)
+//! memoizes whole `configuration-set × observation → configuration-set`
+//! transitions, which needs the configuration sets themselves interned:
+//! [`FrontierTable`] stores each distinct set once as a dense `u32` row
+//! (`Arc<[StateId]>`, order-preserving — set order is part of Algorithm 1's
+//! observable behavior) and hands out stable [`FrontierId`]s to key the
+//! transition cache on.
+//!
+//! [`DenseBitSet`] is the companion dedup structure: when a transition is
+//! computed, successor ids are deduplicated in insertion order against a
+//! bitset sized to the automaton (a few machine words for typical
+//! processes) instead of a per-step `HashSet`.
+
+use super::StateId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Index of an interned configuration-set row in a [`FrontierTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FrontierId(pub u32);
+
+/// A fast, non-cryptographic hasher (FxHash-style multiply-rotate) for the
+/// hot-path maps keyed on small integer tuples. The replay trie sits on the
+/// per-entry path of every audited case; SipHash dominates the lookup cost
+/// there for no benefit (keys are interner-issued ids, not attacker data).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Order-preserving interner of configuration-set rows.
+///
+/// Rows are dense `Arc<[StateId]>` slabs shared between the table, the
+/// transition cache and the sessions holding them — interning a set that
+/// already exists is a read-locked map probe, no allocation. The table is
+/// append-only: a [`FrontierId`] stays valid for the table's lifetime, so
+/// sessions can carry ids across transition-cache flushes.
+#[derive(Debug, Default)]
+pub struct FrontierTable {
+    index: RwLock<HashMap<Arc<[StateId]>, u32, FxBuildHasher>>,
+    rows: RwLock<Vec<Arc<[StateId]>>>,
+    /// Approximate payload bytes across interned rows.
+    bytes: AtomicUsize,
+}
+
+impl FrontierTable {
+    pub fn new() -> FrontierTable {
+        FrontierTable::default()
+    }
+
+    /// Intern `ids` (order-sensitive) and return its stable id. The row is
+    /// stored once; later calls with an equal row are read-only.
+    pub fn intern(&self, ids: &[StateId]) -> FrontierId {
+        if let Some(&i) = self.index.read().get(ids) {
+            return FrontierId(i);
+        }
+        let mut index = self.index.write();
+        if let Some(&i) = index.get(ids) {
+            return FrontierId(i);
+        }
+        let row: Arc<[StateId]> = ids.into();
+        let mut rows = self.rows.write();
+        let i = u32::try_from(rows.len()).expect("frontier table overflow");
+        rows.push(row.clone());
+        index.insert(row, i);
+        self.bytes
+            .fetch_add(std::mem::size_of_val(ids), Ordering::Relaxed);
+        FrontierId(i)
+    }
+
+    /// The dense state row behind `id`.
+    pub fn row(&self, id: FrontierId) -> Arc<[StateId]> {
+        self.rows.read()[id.0 as usize].clone()
+    }
+
+    /// Number of distinct rows interned.
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate payload bytes held by the interned rows.
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// A growable bitset over [`StateId`]s for insertion-order dedup of
+/// successor frontiers. Sized in 64-bit words; automata in this codebase
+/// intern tens of states, so the whole set is a cache line.
+#[derive(Debug, Default)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+}
+
+impl DenseBitSet {
+    /// A bitset with room for ids `0..bits` without regrowing.
+    pub fn with_capacity(bits: usize) -> DenseBitSet {
+        DenseBitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Insert `bit`; returns `true` if it was not yet present (the
+    /// `HashSet::insert` contract the dedup loops rely on).
+    pub fn insert(&mut self, bit: StateId) -> bool {
+        let word = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Whether `bit` is present.
+    pub fn contains(&self, bit: StateId) -> bool {
+        let word = (bit / 64) as usize;
+        self.words
+            .get(word)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Clear all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_order_sensitive() {
+        let t = FrontierTable::new();
+        let a = t.intern(&[1, 2, 3]);
+        let b = t.intern(&[1, 2, 3]);
+        let c = t.intern(&[3, 2, 1]);
+        let empty = t.intern(&[]);
+        assert_eq!(a, b, "equal rows share an id");
+        assert_ne!(a, c, "order is part of the row identity");
+        assert_eq!(t.row(a).as_ref(), &[1, 2, 3]);
+        assert_eq!(t.row(c).as_ref(), &[3, 2, 1]);
+        assert_eq!(t.row(empty).as_ref(), &[] as &[StateId]);
+        assert_eq!(t.len(), 3);
+        assert!(t.bytes() >= 6 * std::mem::size_of::<StateId>());
+    }
+
+    #[test]
+    fn bitset_insert_reports_freshness_and_grows() {
+        let mut s = DenseBitSet::with_capacity(8);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        // Growth past the initial capacity.
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        s.clear();
+        assert!(!s.contains(3));
+        assert!(s.insert(3));
+    }
+}

@@ -62,8 +62,8 @@ pub struct EvidenceViolation {
 pub struct CaseEvidence {
     pub case: String,
     pub purpose: String,
-    /// Engine label: `direct` or `automaton`. Recorded for provenance;
-    /// the steps themselves must not differ between engines.
+    /// Engine label: `direct`, `automaton` or `trie`. Recorded for
+    /// provenance; the steps themselves must not differ between engines.
     pub engine: String,
     /// Verdict label: `compliant`, `compliant-incomplete`, `infringement`.
     pub verdict: String,

@@ -92,6 +92,28 @@ impl RoleHierarchy {
         false
     }
 
+    /// A content fingerprint of the partial order: equal hierarchies (same
+    /// roles, same direct-specialization edges, regardless of insertion
+    /// order) hash equal. Caches keyed on role-matching decisions (the
+    /// replay trie) bind to this so a transition memoized under one
+    /// hierarchy is never served under a different one.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut roles: Vec<&str> = self.roles.iter().map(|r| r.as_str()).collect();
+        roles.sort_unstable();
+        let mut edges: Vec<(&str, &str)> = self
+            .generalizations
+            .iter()
+            .flat_map(|(s, gs)| gs.iter().map(move |g| (s.as_str(), g.as_str())))
+            .collect();
+        edges.sort_unstable();
+        let mut h = DefaultHasher::new();
+        roles.hash(&mut h);
+        edges.hash(&mut h);
+        h.finish()
+    }
+
     /// All roles `b` such that `a ≥R b`, including `a`.
     pub fn generalizations_of(&self, a: Symbol) -> HashSet<Symbol> {
         let mut out = HashSet::new();

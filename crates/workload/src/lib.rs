@@ -21,6 +21,7 @@
 pub mod attacks;
 pub mod chaos;
 pub mod crashgen;
+pub mod dupheavy;
 pub mod hospital;
 pub mod procgen;
 pub mod simulate;
@@ -29,6 +30,7 @@ pub mod stream;
 pub use attacks::Injection;
 pub use chaos::{inject_text, tamper_chain, ChaosKind, ChaosReport, TEXT_INJECTORS};
 pub use crashgen::{batch_splits, seed_matrix, CrashSchedule};
+pub use dupheavy::{generate_dupheavy, DupHeavyConfig, DupHeavyDay};
 pub use hospital::{generate_day, HospitalConfig, HospitalDay};
 pub use procgen::{generate, ProcGenConfig};
 pub use simulate::{simulate_case, SimConfig, TaskProfiles};

@@ -210,6 +210,75 @@ fn golden_mixed_corruption_quarantines_exactly() {
 }
 
 #[test]
+fn clock_skew_does_not_spuriously_evict_the_skewed_case() {
+    // Regression for the live-monitor clock-regression bug: a future-
+    // skewed entry inflates the monitor's high-water mark, and the same
+    // case's *subsequent* (normal-time) entries regress relative to it.
+    // `last_seen` is monotone per case, so the case that owns the skewed
+    // entry is at the high-water instant and the idle sweep must never
+    // evict it right after it was touched.
+    use purpose_control::live::{LiveAuditor, LiveConfig};
+    for seed in seeds() {
+        let clean_trail = small_day(seed);
+        let text = format_trail(&clean_trail);
+        let (corrupt, _) = workload::inject_text(&text, workload::ChaosKind::ClockSkew, 1, seed);
+        // Deliver the corrupt stream the way a tailing monitor receives
+        // it: small poll chunks, each salvage-parsed on its own. Sorting
+        // happens within a chunk only, so the future-skewed entry is
+        // observed *before* later chunks' normal-time entries — a real
+        // per-case clock regression at the monitor boundary.
+        let chunks: Vec<AuditTrail> = corrupt
+            .lines()
+            .collect::<Vec<_>>()
+            .chunks(8)
+            .map(|c| {
+                let mut s = c.join("\n");
+                s.push('\n');
+                parse_trail_salvage(&s).0
+            })
+            .collect();
+        let max_time = chunks
+            .iter()
+            .flat_map(|t| t.entries())
+            .map(|e| e.time)
+            .max()
+            .expect("non-empty trail");
+        let skewed_case = chunks
+            .iter()
+            .flat_map(|t| t.entries())
+            .find(|e| e.time == max_time)
+            .unwrap()
+            .case;
+        let mut monitor = LiveAuditor::with_config(
+            hospital_auditor(),
+            LiveConfig {
+                idle_eviction: Some(60),
+                ..LiveConfig::default()
+            },
+        );
+        let mut skew_seen = false;
+        for chunk in &chunks {
+            for e in chunk.entries() {
+                monitor.observe(e).unwrap();
+                if e.time == max_time {
+                    skew_seen = true;
+                }
+                if skew_seen && e.case == skewed_case {
+                    // The case that owns the skewed entry sits at the
+                    // high-water mark; an idle sweep right after one of
+                    // its (possibly regressed) entries must keep it.
+                    let evicted = monitor.maintain().unwrap();
+                    assert!(
+                        !evicted.contains(&skewed_case),
+                        "seed {seed}: idle sweep evicted the case it just saw"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn golden_shuffled_trail_matches_strict_parse_and_reports_disorder() {
     let text = include_str!("fixtures/shuffled.trail");
     let strict = parse_trail(text).unwrap();
